@@ -1,0 +1,37 @@
+//! Criterion micro-benchmarks for the relevance analysis itself:
+//! plan building (parse + DNF + classification + satisfiability + query
+//! generation) and plan execution, separated — the same split the paper
+//! uses to attribute Focused-method overhead to PL/pgSQL parsing.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use trac_core::{RecencyPlan, RelevanceConfig};
+use trac_expr::bind_select;
+use trac_sql::parse_select;
+use trac_workload::{load_eval_db, EvalConfig, PAPER_QUERIES};
+
+fn bench_relevance(c: &mut Criterion) {
+    let e = load_eval_db(&EvalConfig::new(20_000, 10)).expect("generate");
+    let txn = e.db.begin_read();
+    let mut group = c.benchmark_group("relevance");
+    group.sample_size(30);
+    for (name, sql) in PAPER_QUERIES {
+        group.bench_with_input(BenchmarkId::new("build_plan", name), &sql, |b, sql| {
+            b.iter(|| {
+                let stmt = parse_select(sql).expect("parse");
+                let bound = bind_select(&txn, &stmt).expect("bind");
+                RecencyPlan::build(&txn, &bound, RelevanceConfig::default()).expect("plan")
+            });
+        });
+        let stmt = parse_select(sql).expect("parse");
+        let bound = bind_select(&txn, &stmt).expect("bind");
+        let plan =
+            RecencyPlan::build(&txn, &bound, RelevanceConfig::default()).expect("plan");
+        group.bench_with_input(BenchmarkId::new("execute_plan", name), &plan, |b, plan| {
+            b.iter(|| plan.execute(&txn).expect("execute"));
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_relevance);
+criterion_main!(benches);

@@ -1,0 +1,91 @@
+//! Criterion micro-benchmarks for the storage substrate: ingestion (with
+//! heartbeat maintenance), index probes vs. sequential scans, and MVCC
+//! snapshot visibility overhead.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use trac_storage::{ColumnDef, Database, TableSchema};
+use trac_types::{DataType, SourceId, Timestamp, Value};
+
+fn setup(rows: usize) -> (Database, trac_storage::TableId) {
+    let db = Database::new();
+    let tid = db
+        .create_table(
+            TableSchema::new(
+                "activity",
+                vec![
+                    ColumnDef::new("mach_id", DataType::Text),
+                    ColumnDef::new("value", DataType::Text),
+                    ColumnDef::new("event_time", DataType::Timestamp),
+                ],
+                Some("mach_id"),
+            )
+            .unwrap(),
+        )
+        .unwrap();
+    db.create_index("activity", "mach_id").unwrap();
+    let txn = db.begin_write();
+    for i in 0..rows {
+        txn.insert(
+            tid,
+            vec![
+                Value::Text(format!("m{}", i % 100)),
+                Value::text(if i % 2 == 0 { "idle" } else { "busy" }),
+                Value::Timestamp(Timestamp::from_secs(i as i64)),
+            ],
+        )
+        .unwrap();
+    }
+    txn.commit();
+    (db, tid)
+}
+
+fn bench_storage(c: &mut Criterion) {
+    let (db, tid) = setup(50_000);
+    let mut group = c.benchmark_group("storage");
+    group.sample_size(20);
+
+    group.bench_function("ingest_with_heartbeat", |b| {
+        let src = SourceId::new("m1");
+        let mut t = 0i64;
+        b.iter(|| {
+            t += 1;
+            db.with_write(|w| {
+                w.ingest(
+                    &src,
+                    tid,
+                    vec![
+                        Value::text("m1"),
+                        Value::text("idle"),
+                        Value::Timestamp(Timestamp::from_secs(t)),
+                    ],
+                    Timestamp::from_secs(t),
+                )
+            })
+            .unwrap()
+        });
+    });
+
+    group.bench_function("index_probe_one_source", |b| {
+        let key = [Value::text("m42")];
+        b.iter(|| {
+            let txn = db.begin_read();
+            txn.index_probe_in(tid, 0, &key).unwrap().unwrap().len()
+        });
+    });
+
+    group.bench_function("seq_scan_50k", |b| {
+        b.iter(|| {
+            let txn = db.begin_read();
+            txn.scan(tid).unwrap().len()
+        });
+    });
+
+    group.bench_function("snapshot_open", |b| {
+        b.iter(|| db.begin_read());
+    });
+
+    group.finish();
+}
+
+criterion_group!(benches, bench_storage);
+criterion_main!(benches);

@@ -1,0 +1,129 @@
+//! Design-choice ablations (DESIGN.md Section 6).
+//!
+//! A. **Index scans for recency queries** — the paper builds B-tree
+//!    indexes on data source columns; this measures the Focused recency
+//!    query for Q1 with index probes enabled vs. disabled.
+//! B. **Analysis-cost isolation** — Focused vs. Focused-hardcoded,
+//!    the paper's own parse/generation-cost split.
+//! C. **z-score outlier split** — with deliberately stale sources, the
+//!    reported bound of inconsistency with and without exceptional-source
+//!    detection.
+//! D. **DNF budget** — a heavily disjunctive query under a tight budget
+//!    (falls back to all-sources) vs. the default (stays precise).
+//!
+//! Usage: `ablation [--total-rows 100000] [--runs 3] [--warmup 1]`
+
+use trac_bench::harness::{measure, time_mean, Args, Variant};
+use trac_core::{RecencyPlan, RelevanceConfig, ReportConfig, Session};
+use trac_exec::{execute_select_with, ExecOptions};
+use trac_expr::bind_select;
+use trac_sql::parse_select;
+use trac_workload::{load_eval_db, EvalConfig, SweepPoint, PAPER_QUERIES};
+
+fn main() {
+    let args = Args::parse();
+    let total_rows = args.get_u64("total-rows", 100_000);
+    let runs = args.get_u32("runs", 3);
+    let warmup = args.get_u32("warmup", 1);
+    let ratio = 10;
+    let mut cfg = EvalConfig::new(total_rows, ratio);
+    cfg.n_stale_sources = 3;
+    let e = load_eval_db(&cfg).expect("generate eval db");
+    let point = SweepPoint {
+        data_ratio: ratio,
+        n_sources: total_rows / ratio,
+    };
+    println!("# Ablations at {} sources, ratio {ratio}", point.n_sources);
+
+    // --- A: index probes on/off for the generated recency query. ---
+    let (q1_name, q1_sql) = PAPER_QUERIES[0];
+    let txn = e.db.begin_read();
+    let bound = bind_select(&txn, &parse_select(q1_sql).unwrap()).unwrap();
+    let plan = RecencyPlan::build(&txn, &bound, RelevanceConfig::default()).unwrap();
+    let sub = plan.subqueries[0].query.clone().expect("non-empty subquery");
+    for (label, opts) in [
+        ("index probes ON ", ExecOptions::default()),
+        (
+            "index probes OFF",
+            ExecOptions {
+                enable_index_scan: false,
+                enable_hash_join: true,
+            },
+        ),
+    ] {
+        let mean = time_mean(warmup, runs, || {
+            execute_select_with(&txn, &sub, opts).map(|(r, _)| r)
+        })
+        .unwrap();
+        println!(
+            "A  {q1_name} recency query, {label}: {:>10.3} ms",
+            mean.as_secs_f64() * 1e3
+        );
+    }
+    drop(txn);
+
+    // --- B: analysis-cost isolation. ---
+    let session = Session::new(e.db.clone());
+    for variant in [Variant::Focused, Variant::FocusedHardcoded] {
+        let m = measure(&session, point, q1_name, q1_sql, variant, warmup, runs).unwrap();
+        println!(
+            "B  {q1_name} {:<18}: {:>10.3} ms",
+            m.variant.label(),
+            m.mean_secs * 1e3
+        );
+    }
+
+    // --- C: z-score outlier split on/off. ---
+    let mut with = Session::new(e.db.clone());
+    with.report_config = ReportConfig::default();
+    let mut without = Session::new(e.db.clone());
+    without.report_config = ReportConfig {
+        detect_exceptional: false,
+        ..Default::default()
+    };
+    let sql_all = "SELECT COUNT(*) FROM Activity A WHERE A.value = 'idle'";
+    let out_with = with.recency_report(sql_all).unwrap();
+    let out_without = without.recency_report(sql_all).unwrap();
+    println!(
+        "C  z-score ON : {} exceptional, bound of inconsistency {}",
+        out_with.report.exceptional.len(),
+        out_with
+            .report
+            .inconsistency_bound
+            .map_or("n/a".into(), |d| d.to_string())
+    );
+    println!(
+        "C  z-score OFF: {} exceptional, bound of inconsistency {}",
+        out_without.report.exceptional.len(),
+        out_without
+            .report
+            .inconsistency_bound
+            .map_or("n/a".into(), |d| d.to_string())
+    );
+
+    // --- D: DNF budget. ---
+    let mut clauses = Vec::new();
+    for i in 1..=5 {
+        clauses.push(format!(
+            "(A.mach_id = 'Tao{i}' OR A.value = 'idle' AND A.mach_id = 'Tao{}')",
+            i + 10
+        ));
+    }
+    let disjunctive = format!(
+        "SELECT COUNT(*) FROM Activity A WHERE {}",
+        clauses.join(" AND ")
+    );
+    let txn = e.db.begin_read();
+    let bound = bind_select(&txn, &parse_select(&disjunctive).unwrap()).unwrap();
+    for (label, budget) in [("default budget", RelevanceConfig::default().dnf_budget), ("tight budget  ", 32)] {
+        let plan = RecencyPlan::build(&txn, &bound, RelevanceConfig { dnf_budget: budget })
+            .unwrap();
+        let sources = plan.execute(&txn).unwrap();
+        println!(
+            "D  {label}: all_sources={}, |A(Q)|={}, guarantee={}",
+            plan.all_sources,
+            sources.len(),
+            plan.guarantee
+        );
+    }
+}

@@ -1,0 +1,63 @@
+//! Figure 1 reproduction: performance overhead of recency and
+//! consistency reporting w.r.t. data ratio and number of data sources
+//! ((data ratio) × (# of data sources) = total rows).
+//!
+//! For each sweep point and each of Q1–Q4, prints the response-time
+//! overhead `(t2 − t1)/t1` of the Naive, Focused (auto-generated recency
+//! query) and Focused-hardcoded (prebuilt plan) methods — the three
+//! curves of each panel in the paper's Figure 1.
+//!
+//! Usage: `figure1 [--total-rows 1000000] [--runs 3] [--warmup 1]
+//!                 [--max-sources 100000]`
+
+use trac_bench::harness::{load_point, measure, pct, Args, Variant};
+use trac_core::Session;
+use trac_workload::{eval::figure1_sweep, PAPER_QUERIES};
+
+fn main() {
+    let args = Args::parse();
+    let total_rows = args.get_u64("total-rows", 1_000_000);
+    let runs = args.get_u32("runs", 3);
+    let warmup = args.get_u32("warmup", 1);
+    let max_sources = args.get_u64("max-sources", 100_000);
+    let sweep = figure1_sweep(total_rows, max_sources);
+
+    println!("# Figure 1: overhead of recency/consistency reporting");
+    println!(
+        "# total_rows = {total_rows}, runs = {runs} (after {warmup} warmup), sweep points = {}",
+        sweep.len()
+    );
+    println!(
+        "{:<6} {:>10} {:>10} {:>12} {:>12} {:>12} {:>12}",
+        "query", "ratio", "sources", "t1(ms)", "naive", "focused", "hardcoded"
+    );
+    for point in sweep {
+        let e = match load_point(total_rows, point, 7) {
+            Ok(e) => e,
+            Err(err) => {
+                eprintln!("skipping ratio {}: {err}", point.data_ratio);
+                continue;
+            }
+        };
+        let session = Session::new(e.db.clone());
+        for (name, sql) in PAPER_QUERIES {
+            let t1 = measure(&session, point, name, sql, Variant::Plain, warmup, runs)
+                .expect("plain run");
+            let mut row = format!(
+                "{:<6} {:>10} {:>10} {:>12.3}",
+                name,
+                point.data_ratio,
+                point.n_sources,
+                t1.mean_secs * 1e3
+            );
+            for variant in [Variant::Naive, Variant::Focused, Variant::FocusedHardcoded] {
+                let t2 = measure(&session, point, name, sql, variant, warmup, runs)
+                    .expect("variant run");
+                let overhead = (t2.mean_secs - t1.mean_secs) / t1.mean_secs;
+                row.push_str(&format!(" {:>12}", pct(overhead)));
+            }
+            println!("{row}");
+        }
+    }
+    println!("# overhead = (t2 - t1) / t1, per Section 5.2");
+}

@@ -1,0 +1,55 @@
+//! Figure 2 reproduction: absolute response times for Q1 and Q3 with and
+//! without the recency report, w.r.t. data ratio and number of sources.
+//! The *Focused* method with auto-generation of the recency query is used,
+//! as in the paper. This zooms into the region where Figure 1's selective-
+//! query overheads look large: the user queries there are simply very fast.
+//!
+//! Usage: `figure2 [--total-rows 1000000] [--runs 3] [--warmup 1]
+//!                 [--max-sources 100000]`
+
+use trac_bench::harness::{load_point, measure, Args, Variant};
+use trac_core::Session;
+use trac_workload::{eval::figure1_sweep, PAPER_QUERIES};
+
+fn main() {
+    let args = Args::parse();
+    let total_rows = args.get_u64("total-rows", 1_000_000);
+    let runs = args.get_u32("runs", 3);
+    let warmup = args.get_u32("warmup", 1);
+    let max_sources = args.get_u64("max-sources", 100_000);
+    let sweep = figure1_sweep(total_rows, max_sources);
+
+    println!("# Figure 2: response times for Q1 and Q3 with and without recency report");
+    println!("# total_rows = {total_rows}, runs = {runs} (after {warmup} warmup)");
+    println!(
+        "{:<6} {:>10} {:>10} {:>16} {:>16}",
+        "query", "ratio", "sources", "without(ms)", "with(ms)"
+    );
+    for point in sweep {
+        let e = match load_point(total_rows, point, 7) {
+            Ok(e) => e,
+            Err(err) => {
+                eprintln!("skipping ratio {}: {err}", point.data_ratio);
+                continue;
+            }
+        };
+        let session = Session::new(e.db.clone());
+        for (name, sql) in PAPER_QUERIES {
+            if name != "Q1" && name != "Q3" {
+                continue;
+            }
+            let without = measure(&session, point, name, sql, Variant::Plain, warmup, runs)
+                .expect("plain run");
+            let with = measure(&session, point, name, sql, Variant::Focused, warmup, runs)
+                .expect("focused run");
+            println!(
+                "{:<6} {:>10} {:>10} {:>16.3} {:>16.3}",
+                name,
+                point.data_ratio,
+                point.n_sources,
+                without.mean_secs * 1e3,
+                with.mean_secs * 1e3
+            );
+        }
+    }
+}

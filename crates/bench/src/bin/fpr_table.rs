@@ -1,0 +1,78 @@
+//! False-positive-rate reproduction (Section 5.2's fpr numbers).
+//!
+//! Two parts:
+//!
+//! 1. **Exact** fpr for Q1–Q4 at an oracle-feasible scale: the brute-force
+//!    oracle (Definitions 1 & 2) computes the true `S(Q)`, and we measure
+//!    the Focused and Naive methods against it. This mirrors the paper's
+//!    own approach ("a test schema specially designed so that a finite
+//!    domain with a reasonable cardinality is associated with each
+//!    column").
+//! 2. The **closed forms at the paper's 100,000-source configuration**
+//!    (with its `10000` typo corrected to `100000`):
+//!    `fpr(Q1) = fpr(Q3) = (100000 − 6)/6 ≈ 16665.67`,
+//!    `fpr(Q2) = fpr(Q4) = 6/(100000 − 6) ≈ 0.00006`; Focused = 0 for all.
+//!
+//! Usage: `fpr_table [--sources 100] [--ratio 10]`
+
+use trac_bench::harness::Args;
+use trac_core::oracle::relevant_sources_oracle;
+use trac_core::{false_positive_rate, metrics::missed_count, RecencyPlan, RelevanceConfig};
+use trac_expr::bind_select;
+use trac_sql::parse_select;
+use trac_storage::heartbeat;
+use trac_types::SourceId;
+use trac_workload::{load_eval_db, EvalConfig, PAPER_QUERIES};
+
+fn main() {
+    let args = Args::parse();
+    let n_sources = args.get_u64("sources", 100);
+    let ratio = args.get_u64("ratio", 10);
+    let total = n_sources * ratio;
+    let e = load_eval_db(&EvalConfig::new(total, ratio)).expect("generate eval db");
+    println!("# FPR table: exact measurement at {n_sources} sources, data ratio {ratio}");
+    println!(
+        "{:<6} {:>8} {:>10} {:>9} {:>12} {:>12} {:>7} {:>7}",
+        "query", "|S(Q)|", "|focused|", "|naive|", "fpr(focused)", "fpr(naive)", "missF", "missN"
+    );
+    let txn = e.db.begin_read();
+    let naive: std::collections::BTreeSet<SourceId> = heartbeat::all_recencies(&txn)
+        .expect("heartbeats")
+        .into_iter()
+        .map(|(s, _)| s)
+        .collect();
+    for (name, sql) in PAPER_QUERIES {
+        let stmt = parse_select(sql).expect("parse");
+        let bound = bind_select(&txn, &stmt).expect("bind");
+        let truth = relevant_sources_oracle(&txn, &bound, 200_000_000).expect("oracle");
+        let plan =
+            RecencyPlan::build(&txn, &bound, RelevanceConfig::default()).expect("plan");
+        let focused = plan.execute(&txn).expect("focused");
+        let fpr_f = false_positive_rate(&focused, &truth);
+        let fpr_n = false_positive_rate(&naive, &truth);
+        println!(
+            "{:<6} {:>8} {:>10} {:>9} {:>12} {:>12} {:>7} {:>7}",
+            name,
+            truth.len(),
+            focused.len(),
+            naive.len(),
+            fpr_f.map_or("n/a".into(), |x| format!("{x:.5}")),
+            fpr_n.map_or("n/a".into(), |x| format!("{x:.2}")),
+            missed_count(&focused, &truth),
+            missed_count(&naive, &truth),
+        );
+        assert_eq!(
+            missed_count(&focused, &truth),
+            0,
+            "{name}: completeness violated!"
+        );
+    }
+    println!();
+    println!("# Closed forms at the paper's 100,000-source configuration");
+    println!("# (paper prints '(10000-6)/6 = 16665'; 10000 is a typo for 100000)");
+    let n = 100_000.0;
+    println!("Q1: fpr(naive) = (100000-6)/6 = {:.2}, fpr(focused) = 0", (n - 6.0) / 6.0);
+    println!("Q2: fpr(naive) = 6/(100000-6) = {:.6}, fpr(focused) = 0", 6.0 / (n - 6.0));
+    println!("Q3: fpr(naive) = (100000-6)/6 = {:.2}, fpr(focused) = 0", (n - 6.0) / 6.0);
+    println!("Q4: fpr(naive) = 6/(100000-6) = {:.6}, fpr(focused) = 0", 6.0 / (n - 6.0));
+}

@@ -1,0 +1,15 @@
+//! Experiment harness for reproducing the paper's evaluation.
+//!
+//! Binaries (all accept `--total-rows N --runs K --max-sources M`):
+//!
+//! * `figure1` — response-time overhead (%) of recency reporting vs.
+//!   data ratio, Q1–Q4 × {Naive, Focused, Focused-hardcoded};
+//! * `figure2` — absolute response times of Q1 and Q3 with and without
+//!   the Focused recency report;
+//! * `fpr_table` — false positive rates (exact, via the brute-force
+//!   oracle at oracle-feasible scale, plus the corrected closed forms at
+//!   the paper's 100,000-source configuration);
+//! * `ablation` — design-choice ablations: index scans off, z-score off,
+//!   DNF budget, analysis-cost isolation.
+
+pub mod harness;

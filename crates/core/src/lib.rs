@@ -1,0 +1,40 @@
+//! TRAC: query-centric recency and consistency reporting.
+//!
+//! This crate is the paper's primary contribution. Given a user query
+//! over a database fed by asynchronous distributed data sources, it
+//!
+//! 1. determines which sources are **relevant** — could change the
+//!    query's answer with a single update (Definitions 1 & 2, Theorem 1);
+//! 2. generates and runs a **recency query** over the `Heartbeat` table
+//!    (Theorems 3 & 4, Corollaries 1–6), minimal except in the paper's
+//!    two extreme cases (mixed predicates, unsatisfiable predicates),
+//!    always a sound upper bound;
+//! 3. reports **recency and consistency** statistics — least/most recent
+//!    relevant source, the bound of inconsistency, and z-score-based
+//!    "exceptional" source detection (Section 4.3) — transactionally
+//!    consistent with the user query result (same MVCC snapshot);
+//! 4. materializes the detail into session temp tables exactly like the
+//!    prototype's `sys_temp_a…`/`sys_temp_e…` tables (Section 5.1).
+//!
+//! Entry point: [`Session::recency_report`]. The [`oracle`] module holds
+//! the brute-force ground-truth computation used by the evaluation's
+//! false-positive-rate metric, and [`metrics`] the fpr/overhead formulas
+//! of Section 5.2.
+
+#![warn(missing_docs)]
+
+pub mod metrics;
+#[cfg(test)]
+pub(crate) mod testutil;
+pub mod oracle;
+pub mod relevance;
+pub mod report;
+pub(crate) mod semijoin;
+pub mod session;
+pub mod zscore;
+
+pub use metrics::{false_positive_rate, overhead};
+pub use relevance::{Guarantee, RecencyPlan, RecencySubquery, RelevanceConfig};
+pub use report::{RecencyReport, ReportConfig, StalenessSummary};
+pub use session::{Method, ReportOutput, Session};
+pub use zscore::{mean, population_std_dev, z_scores};

@@ -1,0 +1,90 @@
+//! Evaluation metrics (Section 5.2).
+//!
+//! * **False positive rate**: `|A(Q) − S(Q)| / |S(Q)|` — irrelevant
+//!   sources reported, normalized by the true relevant count.
+//! * **Response-time overhead**: `(t2 − t1) / t1` where `t1` is the plain
+//!   user query and `t2` the query with recency/consistency reporting.
+
+use std::collections::BTreeSet;
+use std::time::Duration;
+use trac_types::SourceId;
+
+/// `fpr = |A − S| / |S|`. Returns `None` when `S` is empty (the paper's
+/// formula divides by |S|; an empty true set makes the ratio undefined —
+/// any reported source is then spurious).
+pub fn false_positive_rate(
+    reported: &BTreeSet<SourceId>,
+    truth: &BTreeSet<SourceId>,
+) -> Option<f64> {
+    if truth.is_empty() {
+        return None;
+    }
+    let spurious = reported.difference(truth).count();
+    Some(spurious as f64 / truth.len() as f64)
+}
+
+/// `overhead = (t2 − t1) / t1`, as a fraction (multiply by 100 for %).
+pub fn overhead(t1: Duration, t2: Duration) -> f64 {
+    let base = t1.as_secs_f64();
+    if base == 0.0 {
+        return f64::INFINITY;
+    }
+    (t2.as_secs_f64() - base) / base
+}
+
+/// Count of true relevant sources missed — must always be zero for a
+/// sound method (the paper's completeness requirement).
+pub fn missed_count(reported: &BTreeSet<SourceId>, truth: &BTreeSet<SourceId>) -> usize {
+    truth.difference(reported).count()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn set(names: &[&str]) -> BTreeSet<SourceId> {
+        names.iter().map(|n| SourceId::new(*n)).collect()
+    }
+
+    #[test]
+    fn paper_q1_fpr_formula() {
+        // The paper (with the 10000→100000 typo corrected):
+        // fpr(Q1, Naive) = (100000 − 6) / 6 ≈ 16665.67, where the 6
+        // relevant sources are among the 100000 the Naive method reports.
+        let all: BTreeSet<SourceId> =
+            (0..100_000).map(|i| SourceId::new(format!("s{i}"))).collect();
+        let truth: BTreeSet<SourceId> = all.iter().take(6).cloned().collect();
+        let fpr = false_positive_rate(&all, &truth).unwrap();
+        assert!((fpr - (100_000.0 - 6.0) / 6.0).abs() < 1e-9, "fpr = {fpr}");
+    }
+
+    #[test]
+    fn focused_fpr_zero() {
+        let truth = set(&["a", "b"]);
+        assert_eq!(false_positive_rate(&truth, &truth), Some(0.0));
+    }
+
+    #[test]
+    fn empty_truth_is_undefined() {
+        assert_eq!(false_positive_rate(&set(&["a"]), &set(&[])), None);
+    }
+
+    #[test]
+    fn missed_counts() {
+        assert_eq!(missed_count(&set(&["a"]), &set(&["a", "b"])), 1);
+        assert_eq!(missed_count(&set(&["a", "b"]), &set(&["a", "b"])), 0);
+        assert_eq!(missed_count(&set(&["a", "b", "c"]), &set(&["a"])), 0);
+    }
+
+    #[test]
+    fn overhead_formula() {
+        let t1 = Duration::from_millis(100);
+        let t2 = Duration::from_millis(150);
+        assert!((overhead(t1, t2) - 0.5).abs() < 1e-9);
+        assert!((overhead(t1, t1)).abs() < 1e-9);
+        assert_eq!(overhead(Duration::ZERO, t2), f64::INFINITY);
+        // Negative overhead is representable (reporting faster than base
+        // run; happens within measurement noise).
+        assert!(overhead(t2, t1) < 0.0);
+    }
+}

@@ -1,0 +1,98 @@
+//! Shared fixtures for this crate's unit tests: the paper's running
+//! example database (Tables 1 and 2 with finite domains).
+
+use crate::relevance::{RecencyPlan, RelevanceConfig};
+use std::collections::BTreeSet;
+use trac_expr::bind_select;
+use trac_sql::parse_select;
+use trac_storage::{ColumnDef, Database, TableSchema};
+use trac_types::{ColumnDomain, DataType, SourceId, Timestamp, Value};
+
+/// Builds the paper's running example: `Activity` (Table 1) and `Routing`
+/// (Table 2), machine domain {m1, m2, m3}, indexes on source columns,
+/// heartbeats driven by ingestion.
+pub(crate) fn paper_db() -> Database {
+    let db = Database::new();
+    let machines = ColumnDomain::text_set(["m1", "m2", "m3"]);
+    db.create_table(
+        TableSchema::new(
+            "activity",
+            vec![
+                ColumnDef::new("mach_id", DataType::Text).with_domain(machines.clone()),
+                ColumnDef::new("value", DataType::Text)
+                    .with_domain(ColumnDomain::text_set(["idle", "busy"])),
+                ColumnDef::new("event_time", DataType::Timestamp).with_domain(
+                    ColumnDomain::TimestampRange {
+                        lo: Timestamp::parse("2006-02-10 00:00:00").unwrap(),
+                        hi: Timestamp::parse("2006-02-10 00:00:59").unwrap(),
+                    },
+                ),
+            ],
+            Some("mach_id"),
+        )
+        .unwrap(),
+    )
+    .unwrap();
+    db.create_table(
+        TableSchema::new(
+            "routing",
+            vec![
+                ColumnDef::new("mach_id", DataType::Text).with_domain(machines.clone()),
+                ColumnDef::new("neighbor", DataType::Text).with_domain(machines),
+                ColumnDef::new("event_time", DataType::Timestamp).with_domain(
+                    ColumnDomain::TimestampRange {
+                        lo: Timestamp::parse("2006-02-10 00:00:00").unwrap(),
+                        hi: Timestamp::parse("2006-02-10 00:00:59").unwrap(),
+                    },
+                ),
+            ],
+            Some("mach_id"),
+        )
+        .unwrap(),
+    )
+    .unwrap();
+    db.create_index("activity", "mach_id").unwrap();
+    db.create_index("routing", "mach_id").unwrap();
+    let a = db.begin_read().table_id("activity").unwrap();
+    let r = db.begin_read().table_id("routing").unwrap();
+    db.with_write(|w| {
+        for (m, v, t) in [
+            ("m1", "idle", "2006-02-10 00:00:10"),
+            ("m2", "busy", "2006-02-10 00:00:20"),
+            ("m3", "idle", "2006-02-10 00:00:30"),
+        ] {
+            let ts = Timestamp::parse(t).unwrap();
+            w.ingest(
+                &SourceId::new(m),
+                a,
+                vec![Value::text(m), Value::text(v), Value::Timestamp(ts)],
+                ts,
+            )?;
+        }
+        for (m, n, t) in [
+            ("m1", "m3", "2006-02-10 00:00:40"),
+            ("m2", "m3", "2006-02-10 00:00:50"),
+        ] {
+            let ts = Timestamp::parse(t).unwrap();
+            w.ingest(
+                &SourceId::new(m),
+                r,
+                vec![Value::text(m), Value::text(n), Value::Timestamp(ts)],
+                ts,
+            )?;
+        }
+        Ok(())
+    })
+    .unwrap();
+    db
+}
+
+/// Builds and executes a recency plan for `sql` against `db`.
+pub(crate) fn plan_for(db: &Database, sql: &str) -> (RecencyPlan, BTreeSet<SourceId>) {
+    let txn = db.begin_read();
+    let stmt = parse_select(sql).unwrap();
+    let bound = bind_select(&txn, &stmt).unwrap();
+    let plan = RecencyPlan::build(&txn, &bound, RelevanceConfig::default()).unwrap();
+    let sources = plan.execute(&txn).unwrap();
+    (plan, sources)
+}

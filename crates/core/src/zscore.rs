@@ -1,0 +1,79 @@
+//! z-score statistics for exceptional-source detection (Section 4.3).
+//!
+//! The paper: "For each recency timestamp x, the z-score can be
+//! calculated with … (x − μ)/σ" with μ the mean and σ the *population*
+//! standard deviation, and sources with |z| ≥ 3 treated as exceptional
+//! (Chebyshev: at least 89% of any data set lies within 3σ).
+
+/// Arithmetic mean; 0 for an empty slice.
+pub fn mean(xs: &[f64]) -> f64 {
+    if xs.is_empty() {
+        return 0.0;
+    }
+    xs.iter().sum::<f64>() / xs.len() as f64
+}
+
+/// Population standard deviation (the paper's σ divides by N, not N−1).
+pub fn population_std_dev(xs: &[f64]) -> f64 {
+    if xs.is_empty() {
+        return 0.0;
+    }
+    let m = mean(xs);
+    let var = xs.iter().map(|x| (x - m) * (x - m)).sum::<f64>() / xs.len() as f64;
+    var.sqrt()
+}
+
+/// z-scores of each element. When σ = 0 every score is 0 (no element can
+/// be exceptional in a constant data set).
+pub fn z_scores(xs: &[f64]) -> Vec<f64> {
+    let m = mean(xs);
+    let sd = population_std_dev(xs);
+    if sd == 0.0 {
+        return vec![0.0; xs.len()];
+    }
+    xs.iter().map(|x| (x - m) / sd).collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn mean_and_std() {
+        let xs = [2.0, 4.0, 4.0, 4.0, 5.0, 5.0, 7.0, 9.0];
+        assert_eq!(mean(&xs), 5.0);
+        assert!((population_std_dev(&xs) - 2.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn empty_and_singleton() {
+        assert_eq!(mean(&[]), 0.0);
+        assert_eq!(population_std_dev(&[]), 0.0);
+        assert_eq!(z_scores(&[]), Vec::<f64>::new());
+        assert_eq!(z_scores(&[42.0]), vec![0.0]);
+    }
+
+    #[test]
+    fn constant_data_has_no_outliers() {
+        let z = z_scores(&[5.0, 5.0, 5.0]);
+        assert!(z.iter().all(|&v| v == 0.0));
+    }
+
+    #[test]
+    fn far_point_scores_high() {
+        // Ten clustered points and one far outlier.
+        let mut xs = vec![100.0; 10];
+        xs.push(0.0);
+        let z = z_scores(&xs);
+        assert!(z[10].abs() >= 3.0, "outlier z = {}", z[10]);
+        assert!(z[0].abs() < 1.0);
+    }
+
+    #[test]
+    fn z_scores_are_standardized() {
+        let xs = [1.0, 2.0, 3.0, 4.0, 5.0];
+        let z = z_scores(&xs);
+        assert!(mean(&z).abs() < 1e-12);
+        assert!((population_std_dev(&z) - 1.0).abs() < 1e-12);
+    }
+}

@@ -1,0 +1,268 @@
+//! Per-table access path selection.
+//!
+//! Given the single-table conjuncts that apply to a table, pick an index
+//! probe (`col = lit` or `col IN (lits)` on an indexed column) or fall
+//! back to a filtered sequential scan. Index-key predicates are still
+//! re-applied after the probe — the probe is an optimization, never a
+//! semantic change.
+
+use trac_expr::{BoundExpr, ColRef};
+use trac_storage::{ReadTxn, TableId};
+use trac_types::Value;
+
+/// Execution tuning knobs, mostly for the ablation benchmarks.
+#[derive(Debug, Clone, Copy)]
+pub struct ExecOptions {
+    /// Allow index probes (off ⇒ everything is a sequential scan).
+    pub enable_index_scan: bool,
+    /// Allow hash joins (off ⇒ nested loops only).
+    pub enable_hash_join: bool,
+}
+
+impl Default for ExecOptions {
+    fn default() -> ExecOptions {
+        ExecOptions {
+            enable_index_scan: true,
+            enable_hash_join: true,
+        }
+    }
+}
+
+/// How one table will be read.
+#[derive(Debug, Clone, PartialEq)]
+pub enum AccessPath {
+    /// Full scan (filters applied afterwards).
+    SeqScan,
+    /// Probe the index on `column` with the given keys.
+    IndexProbe {
+        /// Indexed column position.
+        column: usize,
+        /// Probe keys (deduplicated literals).
+        keys: Vec<Value>,
+    },
+}
+
+impl AccessPath {
+    /// Short human-readable description (used by EXPLAIN-style output).
+    pub fn describe(&self) -> String {
+        match self {
+            AccessPath::SeqScan => "SeqScan".to_string(),
+            AccessPath::IndexProbe { column, keys } => {
+                format!("IndexProbe(col#{column}, {} keys)", keys.len())
+            }
+        }
+    }
+}
+
+/// Extracts `(column, keys)` when `term` pins `table`'s column to literal
+/// key(s): `col = lit`, `lit = col`, or `col IN (lit, …)`.
+fn probe_candidate(term: &BoundExpr, table: usize) -> Option<(usize, Vec<Value>)> {
+    match term {
+        BoundExpr::Binary {
+            op: trac_sql::BinaryOp::Eq,
+            lhs,
+            rhs,
+        } => match (lhs.as_ref(), rhs.as_ref()) {
+            (BoundExpr::Column(ColRef { table: t, column }), BoundExpr::Literal(v))
+            | (BoundExpr::Literal(v), BoundExpr::Column(ColRef { table: t, column }))
+                if *t == table && !v.is_null() =>
+            {
+                Some((*column, vec![v.clone()]))
+            }
+            _ => None,
+        },
+        BoundExpr::InList {
+            expr,
+            list,
+            negated: false,
+        } => {
+            let BoundExpr::Column(ColRef { table: t, column }) = expr.as_ref() else {
+                return None;
+            };
+            if *t != table {
+                return None;
+            }
+            let mut keys = Vec::with_capacity(list.len());
+            for item in list {
+                match item {
+                    BoundExpr::Literal(v) if !v.is_null() => keys.push(v.clone()),
+                    BoundExpr::Literal(_) => {} // NULL key matches nothing
+                    _ => return None,
+                }
+            }
+            keys.sort();
+            keys.dedup();
+            Some((*column, keys))
+        }
+        _ => None,
+    }
+}
+
+/// Chooses the access path for `table` given the conjuncts that reference
+/// only that table. Prefers the probe with the fewest keys.
+pub fn choose_access_path(
+    txn: &ReadTxn,
+    tid: TableId,
+    table_pos: usize,
+    table_conjuncts: &[BoundExpr],
+    opts: ExecOptions,
+) -> AccessPath {
+    if !opts.enable_index_scan {
+        return AccessPath::SeqScan;
+    }
+    let mut best: Option<(usize, Vec<Value>)> = None;
+    for term in table_conjuncts {
+        if let Some((column, keys)) = probe_candidate(term, table_pos) {
+            if txn.has_index(tid, column) {
+                let better = match &best {
+                    None => true,
+                    Some((_, cur)) => keys.len() < cur.len(),
+                };
+                if better {
+                    best = Some((column, keys));
+                }
+            }
+        }
+    }
+    match best {
+        Some((column, keys)) => AccessPath::IndexProbe { column, keys },
+        None => AccessPath::SeqScan,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use trac_expr::BoundExpr as E;
+    use trac_sql::BinaryOp;
+    use trac_storage::{ColumnDef, Database, TableSchema};
+    use trac_types::DataType;
+
+    fn setup() -> (Database, TableId) {
+        let db = Database::new();
+        let tid = db
+            .create_table(
+                TableSchema::new(
+                    "t",
+                    vec![
+                        ColumnDef::new("sid", DataType::Text),
+                        ColumnDef::new("v", DataType::Int),
+                    ],
+                    Some("sid"),
+                )
+                .unwrap(),
+            )
+            .unwrap();
+        db.create_index("t", "sid").unwrap();
+        (db, tid)
+    }
+
+    #[test]
+    fn picks_index_probe_for_eq() {
+        let (db, tid) = setup();
+        let txn = db.begin_read();
+        let term = E::binary(BinaryOp::Eq, E::col(0, 0), E::lit("m1"));
+        let p = choose_access_path(&txn, tid, 0, &[term], ExecOptions::default());
+        assert_eq!(
+            p,
+            AccessPath::IndexProbe {
+                column: 0,
+                keys: vec![Value::text("m1")]
+            }
+        );
+    }
+
+    #[test]
+    fn picks_index_probe_for_in_list_and_dedups() {
+        let (db, tid) = setup();
+        let txn = db.begin_read();
+        let term = E::InList {
+            expr: Box::new(E::col(0, 0)),
+            list: vec![E::lit("m2"), E::lit("m1"), E::lit("m2")],
+            negated: false,
+        };
+        let p = choose_access_path(&txn, tid, 0, &[term], ExecOptions::default());
+        assert_eq!(
+            p,
+            AccessPath::IndexProbe {
+                column: 0,
+                keys: vec![Value::text("m1"), Value::text("m2")]
+            }
+        );
+    }
+
+    #[test]
+    fn falls_back_to_seqscan() {
+        let (db, tid) = setup();
+        let txn = db.begin_read();
+        // No index on v.
+        let term = E::binary(BinaryOp::Eq, E::col(0, 1), E::lit(3i64));
+        assert_eq!(
+            choose_access_path(&txn, tid, 0, std::slice::from_ref(&term), ExecOptions::default()),
+            AccessPath::SeqScan
+        );
+        // NOT IN cannot probe.
+        let ni = E::InList {
+            expr: Box::new(E::col(0, 0)),
+            list: vec![E::lit("m1")],
+            negated: true,
+        };
+        assert_eq!(
+            choose_access_path(&txn, tid, 0, &[ni], ExecOptions::default()),
+            AccessPath::SeqScan
+        );
+        // Range predicates don't probe (we only use point/IN probes).
+        let rng = E::binary(BinaryOp::Lt, E::col(0, 0), E::lit("m9"));
+        assert_eq!(
+            choose_access_path(&txn, tid, 0, &[rng], ExecOptions::default()),
+            AccessPath::SeqScan
+        );
+    }
+
+    #[test]
+    fn options_disable_index() {
+        let (db, tid) = setup();
+        let txn = db.begin_read();
+        let term = E::binary(BinaryOp::Eq, E::col(0, 0), E::lit("m1"));
+        let opts = ExecOptions {
+            enable_index_scan: false,
+            ..Default::default()
+        };
+        assert_eq!(
+            choose_access_path(&txn, tid, 0, &[term], opts),
+            AccessPath::SeqScan
+        );
+    }
+
+    #[test]
+    fn prefers_fewest_keys() {
+        let (db, tid) = setup();
+        db.create_index("t", "v").unwrap();
+        let txn = db.begin_read();
+        let many = E::InList {
+            expr: Box::new(E::col(0, 0)),
+            list: vec![E::lit("a"), E::lit("b"), E::lit("c")],
+            negated: false,
+        };
+        let one = E::binary(BinaryOp::Eq, E::col(0, 1), E::lit(5i64));
+        let p = choose_access_path(&txn, tid, 0, &[many, one], ExecOptions::default());
+        assert_eq!(
+            p,
+            AccessPath::IndexProbe {
+                column: 1,
+                keys: vec![Value::Int(5)]
+            }
+        );
+    }
+
+    #[test]
+    fn null_eq_never_probes_with_null() {
+        let (db, tid) = setup();
+        let txn = db.begin_read();
+        let term = E::binary(BinaryOp::Eq, E::col(0, 0), E::Literal(Value::Null));
+        assert_eq!(
+            choose_access_path(&txn, tid, 0, &[term], ExecOptions::default()),
+            AccessPath::SeqScan
+        );
+    }
+}

@@ -1,0 +1,985 @@
+//! The SELECT execution pipeline.
+
+use crate::access::{choose_access_path, AccessPath, ExecOptions};
+use crate::result::QueryResult;
+use std::collections::{BTreeSet, HashMap};
+use trac_expr::{
+    bind_select, eval_expr, eval_predicate, AggFunc, BoundExpr, BoundSelect, ColRef,
+    Projection, Truth,
+};
+use trac_sql::{parse_select, BinaryOp};
+use trac_storage::{ReadTxn, Row};
+use trac_types::{Result, TracError, Value};
+
+/// EXPLAIN-style description of how a query was executed.
+#[derive(Debug, Clone, Default)]
+pub struct PlanInfo {
+    /// `(table binding, access path / join strategy)` in join order.
+    pub steps: Vec<(String, String)>,
+}
+
+/// Parses, binds and executes a `SELECT` string in `txn`'s snapshot.
+pub fn execute_sql(txn: &ReadTxn, sql: &str) -> Result<QueryResult> {
+    let stmt = parse_select(sql)?;
+    let bound = bind_select(txn, &stmt)?;
+    execute_select(txn, &bound)
+}
+
+/// Executes a bound `SELECT` with default options.
+pub fn execute_select(txn: &ReadTxn, q: &BoundSelect) -> Result<QueryResult> {
+    execute_select_with(txn, q, ExecOptions::default()).map(|(r, _)| r)
+}
+
+/// Executes a bound `SELECT`, also reporting the plan taken.
+pub fn execute_select_with(
+    txn: &ReadTxn,
+    q: &BoundSelect,
+    opts: ExecOptions,
+) -> Result<(QueryResult, PlanInfo)> {
+    let mut plan = PlanInfo::default();
+    // 1. Split the predicate into top-level conjuncts.
+    let mut conjuncts: Vec<BoundExpr> = Vec::new();
+    if let Some(p) = &q.predicate {
+        split_and(p, &mut conjuncts);
+    }
+    // 2. Constant conjuncts decide emptiness up front.
+    let mut pending: Vec<Option<BoundExpr>> = Vec::new();
+    let mut trivially_empty = false;
+    for c in conjuncts {
+        if c.references().is_empty() {
+            if eval_predicate(&c, &[])? != Truth::True {
+                trivially_empty = true;
+            }
+        } else {
+            pending.push(Some(c));
+        }
+    }
+    // 3. Join tables left-to-right.
+    let mut tuples: Vec<Vec<Row>> = vec![vec![]];
+    if trivially_empty {
+        tuples.clear();
+    }
+    let mut joined: BTreeSet<usize> = BTreeSet::new();
+    for (pos, bt) in q.tables.iter().enumerate() {
+        if tuples.is_empty() {
+            // Still record a step for the plan, then keep the empty set.
+            plan.steps.push((bt.binding.clone(), "pruned (empty input)".into()));
+            joined.insert(pos);
+            continue;
+        }
+        // Single-table conjuncts for this table.
+        let table_conjuncts: Vec<BoundExpr> = pending
+            .iter()
+            .flatten()
+            .filter(|c| c.tables() == BTreeSet::from([pos]))
+            .cloned()
+            .collect();
+        // Join conjuncts that become applicable once `pos` joins.
+        let mut applicable: Vec<BoundExpr> = Vec::new();
+        for slot in pending.iter_mut() {
+            if let Some(c) = slot {
+                let ts = c.tables();
+                if ts.contains(&pos) || ts.iter().all(|t| joined.contains(t)) {
+                    let ready = ts
+                        .iter()
+                        .all(|t| *t == pos || joined.contains(t));
+                    if ready {
+                        applicable.push(slot.take().unwrap());
+                    }
+                }
+            }
+        }
+        // Pick an equi-join conjunct usable as a key: pos.col = joined.col
+        let equi = applicable.iter().find_map(|c| equi_key(c, pos, &joined));
+        let access = choose_access_path(txn, bt.id, pos, &table_conjuncts, opts);
+        let single_filters: Vec<&BoundExpr> = applicable
+            .iter()
+            .filter(|c| c.tables() == BTreeSet::from([pos]))
+            .collect();
+        let cross_filters: Vec<&BoundExpr> = applicable
+            .iter()
+            .filter(|c| c.tables() != BTreeSet::from([pos]))
+            .collect();
+        let n_tables = pos + 1;
+        let mut next: Vec<Vec<Row>> = Vec::new();
+        let use_index_nl = opts.enable_index_scan
+            && matches!(access, AccessPath::SeqScan)
+            && equi
+                .as_ref()
+                .is_some_and(|(inner_col, _)| txn.has_index(bt.id, *inner_col));
+        if use_index_nl {
+            // Index nested-loop: probe this table's index once per tuple.
+            let (inner_col, outer) = equi.unwrap();
+            plan.steps.push((
+                bt.binding.clone(),
+                format!("IndexNLJoin(col#{inner_col})"),
+            ));
+            for tuple in &tuples {
+                let key = tuple_value(tuple, outer)?;
+                if key.is_null() {
+                    continue;
+                }
+                let rows = txn
+                    .index_probe_in(bt.id, inner_col, std::slice::from_ref(&key))?
+                    .expect("has_index checked");
+                extend_tuples(
+                    tuple,
+                    rows,
+                    n_tables,
+                    &single_filters,
+                    &cross_filters,
+                    &mut next,
+                )?;
+            }
+        } else {
+            // Fetch this table's (filtered) rows once.
+            let rows = fetch_rows(txn, bt.id, pos, &access, &table_conjuncts)?;
+            if let Some((inner_col, outer)) = equi.filter(|_| {
+                opts.enable_hash_join && tuples.len() > 1 && !rows.is_empty()
+            }) {
+                plan.steps.push((
+                    bt.binding.clone(),
+                    format!("HashJoin(col#{inner_col}) over {}", access.describe()),
+                ));
+                let mut table: HashMap<Value, Vec<Row>> = HashMap::new();
+                for r in rows {
+                    let k = r[inner_col].clone();
+                    if !k.is_null() {
+                        table.entry(k).or_default().push(r);
+                    }
+                }
+                for tuple in &tuples {
+                    let key = tuple_value(tuple, outer)?;
+                    let matches = match table.get(&key) {
+                        Some(v) => v.clone(),
+                        None => continue,
+                    };
+                    extend_tuples(
+                        tuple,
+                        matches,
+                        n_tables,
+                        &single_filters,
+                        &cross_filters,
+                        &mut next,
+                    )?;
+                }
+            } else {
+                plan.steps
+                    .push((bt.binding.clone(), access.describe()));
+                for tuple in &tuples {
+                    extend_tuples(
+                        tuple,
+                        rows.clone(),
+                        n_tables,
+                        &single_filters,
+                        &cross_filters,
+                        &mut next,
+                    )?;
+                }
+            }
+        }
+        tuples = next;
+        joined.insert(pos);
+    }
+    // 4. Leftover conjuncts (defensive; all should have been applied).
+    for c in pending.iter().flatten() {
+        tuples.retain(|t| matches!(eval_predicate(c, t), Ok(Truth::True)));
+    }
+    // 5. Aggregate or project.
+    let columns = q.output_names();
+    let result = if !q.group_by.is_empty() {
+        // Grouped aggregation: partition tuples by their key vector, then
+        // evaluate each projection per group (scalars against a
+        // representative tuple — bind guarantees they are grouping keys).
+        let mut groups: Vec<(Vec<Value>, Vec<Vec<Row>>)> = Vec::new();
+        let mut index: HashMap<Vec<Value>, usize> = HashMap::new();
+        for t in tuples {
+            let mut key = Vec::with_capacity(q.group_by.len());
+            for g in &q.group_by {
+                key.push(eval_expr(g, &t)?);
+            }
+            match index.get(&key) {
+                Some(&i) => groups[i].1.push(t),
+                None => {
+                    index.insert(key.clone(), groups.len());
+                    groups.push((key, vec![t]));
+                }
+            }
+        }
+        let mut kept: Vec<(Vec<Value>, Vec<Row>)> = Vec::with_capacity(groups.len());
+        let mut rows = Vec::with_capacity(groups.len());
+        for (_, members) in groups {
+            let rep = members[0].clone();
+            if let Some(h) = &q.having {
+                if !having_passes(h, &members, &rep)? {
+                    continue;
+                }
+            }
+            let mut row = Vec::with_capacity(q.projections.len());
+            for p in &q.projections {
+                match p {
+                    Projection::Scalar { expr, .. } => row.push(eval_expr(expr, &rep)?),
+                    Projection::Aggregate { .. } => {
+                        row.push(aggregate_one(p, &members)?);
+                    }
+                }
+            }
+            rows.push(row);
+            kept.push((Vec::new(), rep));
+        }
+        // ORDER BY against group representatives; LIMIT on groups.
+        if !q.order_by.is_empty() {
+            let mut keyed: Vec<(Vec<Value>, Vec<Value>)> = Vec::with_capacity(rows.len());
+            for (row, (_, rep)) in rows.into_iter().zip(&kept) {
+                let mut keys = Vec::with_capacity(q.order_by.len());
+                for (e, _) in &q.order_by {
+                    keys.push(eval_expr(e, rep)?);
+                }
+                keyed.push((keys, row));
+            }
+            keyed.sort_by(|a, b| order_cmp(&a.0, &b.0, &q.order_by));
+            rows = keyed.into_iter().map(|(_, r)| r).collect();
+        }
+        if let Some(n) = q.limit {
+            rows.truncate(n as usize);
+        }
+        QueryResult { columns, rows }
+    } else if q.is_aggregate() {
+        // Global aggregate: one group of everything. A HAVING clause can
+        // suppress the single output row.
+        if let Some(h) = &q.having {
+            let rep: Vec<Row> = tuples.first().cloned().unwrap_or_default();
+            if !having_passes(h, &tuples, &rep)? {
+                return Ok((QueryResult::empty(columns), plan));
+            }
+        }
+        let row = aggregate_row(&q.projections, &tuples)?;
+        QueryResult {
+            columns,
+            rows: vec![row],
+        }
+    } else {
+        // ORDER BY evaluates against the pre-projection tuples.
+        let mut tuples = tuples;
+        if !q.order_by.is_empty() {
+            let mut keyed: Vec<(Vec<Value>, Vec<Row>)> = Vec::with_capacity(tuples.len());
+            for t in tuples {
+                let mut keys = Vec::with_capacity(q.order_by.len());
+                for (e, _) in &q.order_by {
+                    keys.push(eval_expr(e, &t)?);
+                }
+                keyed.push((keys, t));
+            }
+            keyed.sort_by(|a, b| order_cmp(&a.0, &b.0, &q.order_by));
+            tuples = keyed.into_iter().map(|(_, t)| t).collect();
+        }
+        let mut rows = Vec::with_capacity(tuples.len());
+        for t in &tuples {
+            let mut row = Vec::with_capacity(q.projections.len());
+            for p in &q.projections {
+                match p {
+                    Projection::Scalar { expr, .. } => row.push(eval_expr(expr, t)?),
+                    Projection::Aggregate { .. } => unreachable!("checked at bind"),
+                }
+            }
+            rows.push(row);
+        }
+        if q.distinct {
+            let mut seen = std::collections::HashSet::new();
+            rows.retain(|r| seen.insert(r.clone()));
+        }
+        if let Some(n) = q.limit {
+            rows.truncate(n as usize);
+        }
+        QueryResult { columns, rows }
+    };
+    Ok((result, plan))
+}
+
+/// Splits nested ANDs into a conjunct list.
+fn split_and(e: &BoundExpr, out: &mut Vec<BoundExpr>) {
+    match e {
+        BoundExpr::Binary {
+            op: BinaryOp::And,
+            lhs,
+            rhs,
+        } => {
+            split_and(lhs, out);
+            split_and(rhs, out);
+        }
+        other => out.push(other.clone()),
+    }
+}
+
+/// If `c` is `pos.col = other.col` with `other` already joined, returns
+/// `(pos column, outer column ref)`.
+fn equi_key(c: &BoundExpr, pos: usize, joined: &BTreeSet<usize>) -> Option<(usize, ColRef)> {
+    let BoundExpr::Binary {
+        op: BinaryOp::Eq,
+        lhs,
+        rhs,
+    } = c
+    else {
+        return None;
+    };
+    match (lhs.as_ref(), rhs.as_ref()) {
+        (BoundExpr::Column(a), BoundExpr::Column(b)) => {
+            if a.table == pos && joined.contains(&b.table) {
+                Some((a.column, *b))
+            } else if b.table == pos && joined.contains(&a.table) {
+                Some((b.column, *a))
+            } else {
+                None
+            }
+        }
+        _ => None,
+    }
+}
+
+fn tuple_value(tuple: &[Row], c: ColRef) -> Result<Value> {
+    tuple
+        .get(c.table)
+        .and_then(|r| r.get(c.column))
+        .cloned()
+        .ok_or_else(|| TracError::Execution(format!("bad column ref {c:?}")))
+}
+
+fn fetch_rows(
+    txn: &ReadTxn,
+    tid: trac_storage::TableId,
+    pos: usize,
+    access: &AccessPath,
+    table_conjuncts: &[BoundExpr],
+) -> Result<Vec<Row>> {
+    let raw = match access {
+        AccessPath::SeqScan => txn.scan(tid)?,
+        AccessPath::IndexProbe { column, keys } => txn
+            .index_probe_in(tid, *column, keys)?
+            .ok_or_else(|| TracError::Execution("index vanished mid-plan".into()))?,
+    };
+    if table_conjuncts.is_empty() {
+        return Ok(raw);
+    }
+    // Evaluate single-table conjuncts with the row in its own slot.
+    let mut scratch: Vec<Row> = vec![std::sync::Arc::from(Vec::new().into_boxed_slice()); pos + 1];
+    let mut out = Vec::with_capacity(raw.len());
+    for r in raw {
+        scratch[pos] = r.clone();
+        let ok = table_conjuncts
+            .iter()
+            .all(|c| matches!(eval_predicate(c, &scratch), Ok(Truth::True)));
+        if ok {
+            out.push(r);
+        }
+    }
+    Ok(out)
+}
+
+fn extend_tuples(
+    tuple: &[Row],
+    candidates: Vec<Row>,
+    n_tables: usize,
+    single_filters: &[&BoundExpr],
+    cross_filters: &[&BoundExpr],
+    out: &mut Vec<Vec<Row>>,
+) -> Result<()> {
+    for r in candidates {
+        let mut t = Vec::with_capacity(n_tables);
+        t.extend(tuple.iter().cloned());
+        t.push(r);
+        let ok = single_filters
+            .iter()
+            .chain(cross_filters.iter())
+            .all(|c| matches!(eval_predicate(c, &t), Ok(Truth::True)));
+        if ok {
+            out.push(t);
+        }
+    }
+    Ok(())
+}
+
+/// Key comparison for ORDER BY (per-key DESC handling).
+fn order_cmp(
+    a: &[Value],
+    b: &[Value],
+    order_by: &[(BoundExpr, bool)],
+) -> std::cmp::Ordering {
+    for (i, (_, desc)) in order_by.iter().enumerate() {
+        let ord = a[i].cmp(&b[i]);
+        let ord = if *desc { ord.reverse() } else { ord };
+        if !ord.is_eq() {
+            return ord;
+        }
+    }
+    std::cmp::Ordering::Equal
+}
+
+/// Evaluates a HAVING clause for one group: compute the hoisted
+/// aggregates, substitute them for their markers, then evaluate the
+/// residual predicate against the group representative.
+fn having_passes(
+    h: &trac_expr::bound::BoundHaving,
+    members: &[Vec<Row>],
+    rep: &[Row],
+) -> Result<bool> {
+    let mut agg_values = Vec::with_capacity(h.aggregates.len());
+    for (func, arg) in &h.aggregates {
+        let p = Projection::Aggregate {
+            func: *func,
+            arg: arg.clone(),
+            name: String::new(),
+        };
+        agg_values.push(aggregate_one(&p, members)?);
+    }
+    let substituted = substitute_agg_markers(&h.predicate, h.agg_table, &agg_values);
+    Ok(eval_predicate(&substituted, rep)? == Truth::True)
+}
+
+/// Replaces `ColRef { table: agg_table, column: k }` with the computed
+/// aggregate literal `values[k]`.
+fn substitute_agg_markers(e: &BoundExpr, agg_table: usize, values: &[Value]) -> BoundExpr {
+    match e {
+        BoundExpr::Column(c) if c.table == agg_table => {
+            BoundExpr::Literal(values[c.column].clone())
+        }
+        BoundExpr::Column(_) | BoundExpr::Literal(_) => e.clone(),
+        BoundExpr::Binary { op, lhs, rhs } => BoundExpr::Binary {
+            op: *op,
+            lhs: Box::new(substitute_agg_markers(lhs, agg_table, values)),
+            rhs: Box::new(substitute_agg_markers(rhs, agg_table, values)),
+        },
+        BoundExpr::InList {
+            expr,
+            list,
+            negated,
+        } => BoundExpr::InList {
+            expr: Box::new(substitute_agg_markers(expr, agg_table, values)),
+            list: list
+                .iter()
+                .map(|e| substitute_agg_markers(e, agg_table, values))
+                .collect(),
+            negated: *negated,
+        },
+        BoundExpr::IsNull { expr, negated } => BoundExpr::IsNull {
+            expr: Box::new(substitute_agg_markers(expr, agg_table, values)),
+            negated: *negated,
+        },
+        BoundExpr::Not(x) => {
+            BoundExpr::Not(Box::new(substitute_agg_markers(x, agg_table, values)))
+        }
+        BoundExpr::Neg(x) => {
+            BoundExpr::Neg(Box::new(substitute_agg_markers(x, agg_table, values)))
+        }
+    }
+}
+
+/// Computes one aggregate projection over a tuple group.
+fn aggregate_one(p: &Projection, tuples: &[Vec<Row>]) -> Result<Value> {
+    let row = aggregate_row(std::slice::from_ref(p), tuples)?;
+    Ok(row.into_iter().next().expect("one projection in, one value out"))
+}
+
+fn aggregate_row(projections: &[Projection], tuples: &[Vec<Row>]) -> Result<Vec<Value>> {
+    let mut row = Vec::with_capacity(projections.len());
+    for p in projections {
+        let Projection::Aggregate { func, arg, .. } = p else {
+            unreachable!("bind rejects mixed aggregates");
+        };
+        row.push(match func {
+            AggFunc::Count => match arg {
+                None => Value::Int(tuples.len() as i64),
+                Some(e) => {
+                    let mut n = 0i64;
+                    for t in tuples {
+                        if !eval_expr(e, t)?.is_null() {
+                            n += 1;
+                        }
+                    }
+                    Value::Int(n)
+                }
+            },
+            AggFunc::Sum | AggFunc::Avg => {
+                let e = arg.as_ref().expect("bind enforces an argument");
+                let mut sum = 0.0f64;
+                let mut n = 0u64;
+                let mut all_int = true;
+                let mut int_sum = 0i64;
+                for t in tuples {
+                    match eval_expr(e, t)? {
+                        Value::Null => {}
+                        Value::Int(i) => {
+                            int_sum = int_sum.wrapping_add(i);
+                            sum += i as f64;
+                            n += 1;
+                        }
+                        Value::Float(f) => {
+                            all_int = false;
+                            sum += f;
+                            n += 1;
+                        }
+                        other => {
+                            return Err(TracError::Type(format!(
+                                "cannot aggregate {}",
+                                other.type_name()
+                            )))
+                        }
+                    }
+                }
+                if n == 0 {
+                    Value::Null
+                } else if *func == AggFunc::Avg {
+                    Value::Float(sum / n as f64)
+                } else if all_int {
+                    Value::Int(int_sum)
+                } else {
+                    Value::Float(sum)
+                }
+            }
+            AggFunc::Min | AggFunc::Max => {
+                let e = arg.as_ref().expect("bind enforces an argument");
+                let mut best: Option<Value> = None;
+                for t in tuples {
+                    let v = eval_expr(e, t)?;
+                    if v.is_null() {
+                        continue;
+                    }
+                    best = Some(match best {
+                        None => v,
+                        Some(b) => {
+                            let keep_new = match v.sql_cmp(&b) {
+                                Some(o) => {
+                                    (*func == AggFunc::Min && o.is_lt())
+                                        || (*func == AggFunc::Max && o.is_gt())
+                                }
+                                None => false,
+                            };
+                            if keep_new {
+                                v
+                            } else {
+                                b
+                            }
+                        }
+                    });
+                }
+                best.unwrap_or(Value::Null)
+            }
+        });
+    }
+    Ok(row)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use trac_storage::{ColumnDef, Database, TableSchema};
+    use trac_types::{DataType, SourceId, Timestamp};
+
+    /// Loads the paper's Table 1 (Activity) and Table 2 (Routing).
+    fn paper_db() -> Database {
+        let db = Database::new();
+        db.create_table(
+            TableSchema::new(
+                "activity",
+                vec![
+                    ColumnDef::new("mach_id", DataType::Text),
+                    ColumnDef::new("value", DataType::Text),
+                    ColumnDef::new("event_time", DataType::Timestamp),
+                ],
+                Some("mach_id"),
+            )
+            .unwrap(),
+        )
+        .unwrap();
+        db.create_table(
+            TableSchema::new(
+                "routing",
+                vec![
+                    ColumnDef::new("mach_id", DataType::Text),
+                    ColumnDef::new("neighbor", DataType::Text),
+                    ColumnDef::new("event_time", DataType::Timestamp),
+                ],
+                Some("mach_id"),
+            )
+            .unwrap(),
+        )
+        .unwrap();
+        db.create_index("activity", "mach_id").unwrap();
+        db.create_index("routing", "mach_id").unwrap();
+        let a = db.begin_read().table_id("activity").unwrap();
+        let r = db.begin_read().table_id("routing").unwrap();
+        db.with_write(|w| {
+            for (m, v, t) in [
+                ("m1", "idle", "2006-03-11 20:37:46"),
+                ("m2", "busy", "2006-02-10 18:22:01"),
+                ("m3", "idle", "2006-03-12 10:23:05"),
+            ] {
+                let ts = Timestamp::parse(t).unwrap();
+                w.ingest(
+                    &SourceId::new(m),
+                    a,
+                    vec![Value::text(m), Value::text(v), Value::Timestamp(ts)],
+                    ts,
+                )?;
+            }
+            for (m, n, t) in [
+                ("m1", "m3", "2006-03-12 23:20:06"),
+                ("m2", "m3", "2006-02-10 03:34:21"),
+            ] {
+                let ts = Timestamp::parse(t).unwrap();
+                w.ingest(
+                    &SourceId::new(m),
+                    r,
+                    vec![Value::text(m), Value::text(n), Value::Timestamp(ts)],
+                    ts,
+                )?;
+            }
+            Ok(())
+        })
+        .unwrap();
+        db
+    }
+
+    fn run(db: &Database, sql: &str) -> QueryResult {
+        execute_sql(&db.begin_read(), sql).unwrap()
+    }
+
+    #[test]
+    fn paper_q1_single_relation() {
+        let db = paper_db();
+        let r = run(
+            &db,
+            "SELECT mach_id FROM Activity WHERE mach_id IN ('m1','m2') AND value = 'idle'",
+        );
+        assert_eq!(r.rows, vec![vec![Value::text("m1")]]);
+    }
+
+    #[test]
+    fn paper_q2_join_returns_m3() {
+        let db = paper_db();
+        // Which neighbors of m1 reported idle? Routing says m3; m3 is idle.
+        let r = run(
+            &db,
+            "SELECT A.mach_id FROM Routing R, Activity A \
+             WHERE R.mach_id = 'm1' AND A.value = 'idle' AND R.neighbor = A.mach_id",
+        );
+        assert_eq!(r.rows, vec![vec![Value::text("m3")]]);
+    }
+
+    #[test]
+    fn join_strategies_agree() {
+        let db = paper_db();
+        let sql = "SELECT A.mach_id FROM Routing R, Activity A \
+                   WHERE A.value = 'idle' AND R.neighbor = A.mach_id";
+        let stmt = parse_select(sql).unwrap();
+        let txn = db.begin_read();
+        let bound = bind_select(&txn, &stmt).unwrap();
+        let configs = [
+            ExecOptions::default(),
+            ExecOptions {
+                enable_index_scan: false,
+                enable_hash_join: true,
+            },
+            ExecOptions {
+                enable_index_scan: false,
+                enable_hash_join: false,
+            },
+            ExecOptions {
+                enable_index_scan: true,
+                enable_hash_join: false,
+            },
+        ];
+        let mut results: Vec<Vec<Vec<Value>>> = Vec::new();
+        for opts in configs {
+            let (mut r, _) = execute_select_with(&txn, &bound, opts).unwrap();
+            r.rows.sort();
+            results.push(r.rows);
+        }
+        for w in results.windows(2) {
+            assert_eq!(w[0], w[1]);
+        }
+        assert_eq!(results[0].len(), 2); // m1->m3 idle, m2->m3 idle
+    }
+
+    #[test]
+    fn index_plan_is_used_for_selective_probe() {
+        let db = paper_db();
+        let txn = db.begin_read();
+        let stmt =
+            parse_select("SELECT value FROM Activity WHERE mach_id = 'm1'").unwrap();
+        let bound = bind_select(&txn, &stmt).unwrap();
+        let (r, plan) = execute_select_with(&txn, &bound, ExecOptions::default()).unwrap();
+        assert_eq!(r.rows, vec![vec![Value::text("idle")]]);
+        assert!(
+            plan.steps[0].1.starts_with("IndexProbe"),
+            "plan: {plan:?}"
+        );
+    }
+
+    #[test]
+    fn count_star_and_empty_aggregates() {
+        let db = paper_db();
+        let r = run(&db, "SELECT COUNT(*) FROM Activity");
+        assert_eq!(r.scalar(), Some(&Value::Int(3)));
+        let r = run(&db, "SELECT COUNT(*) FROM Activity WHERE value = 'gone'");
+        assert_eq!(r.scalar(), Some(&Value::Int(0)));
+        let r = run(
+            &db,
+            "SELECT MIN(event_time), MAX(event_time) FROM Activity WHERE value = 'gone'",
+        );
+        assert_eq!(r.rows, vec![vec![Value::Null, Value::Null]]);
+    }
+
+    #[test]
+    fn min_max_over_timestamps() {
+        let db = paper_db();
+        let r = run(&db, "SELECT MIN(event_time), MAX(event_time) FROM Activity");
+        assert_eq!(
+            r.rows[0][0],
+            Value::Timestamp(Timestamp::parse("2006-02-10 18:22:01").unwrap())
+        );
+        assert_eq!(
+            r.rows[0][1],
+            Value::Timestamp(Timestamp::parse("2006-03-12 10:23:05").unwrap())
+        );
+    }
+
+    #[test]
+    fn distinct_order_limit() {
+        let db = paper_db();
+        let r = run(&db, "SELECT DISTINCT value FROM Activity ORDER BY value");
+        assert_eq!(
+            r.rows,
+            vec![vec![Value::text("busy")], vec![Value::text("idle")]]
+        );
+        let r = run(
+            &db,
+            "SELECT mach_id FROM Activity ORDER BY event_time DESC LIMIT 2",
+        );
+        assert_eq!(
+            r.rows,
+            vec![vec![Value::text("m3")], vec![Value::text("m1")]]
+        );
+    }
+
+    #[test]
+    fn or_predicates_are_not_mangled() {
+        let db = paper_db();
+        let r = run(
+            &db,
+            "SELECT mach_id FROM Activity WHERE value = 'busy' OR mach_id = 'm3' ORDER BY mach_id",
+        );
+        assert_eq!(
+            r.rows,
+            vec![vec![Value::text("m2")], vec![Value::text("m3")]]
+        );
+    }
+
+    #[test]
+    fn constant_false_prunes_everything() {
+        let db = paper_db();
+        let r = run(&db, "SELECT mach_id FROM Activity WHERE 1 = 2");
+        assert!(r.is_empty());
+        let r = run(&db, "SELECT COUNT(*) FROM Activity WHERE 1 = 2");
+        assert_eq!(r.scalar(), Some(&Value::Int(0)));
+        let r = run(
+            &db,
+            "SELECT COUNT(*) FROM Routing R, Activity A WHERE 1 = 2 AND R.neighbor = A.mach_id",
+        );
+        assert_eq!(r.scalar(), Some(&Value::Int(0)));
+    }
+
+    #[test]
+    fn cross_product_without_predicate() {
+        let db = paper_db();
+        let r = run(&db, "SELECT COUNT(*) FROM Routing R, Activity A");
+        assert_eq!(r.scalar(), Some(&Value::Int(6))); // 2 × 3
+    }
+
+    #[test]
+    fn sum_avg() {
+        let db = Database::new();
+        db.create_table(
+            TableSchema::new(
+                "nums",
+                vec![
+                    ColumnDef::new("sid", DataType::Text),
+                    ColumnDef::new("x", DataType::Int).nullable(),
+                ],
+                Some("sid"),
+            )
+            .unwrap(),
+        )
+        .unwrap();
+        let t = db.begin_read().table_id("nums").unwrap();
+        db.with_write(|w| {
+            w.insert(t, vec![Value::text("s"), Value::Int(1)])?;
+            w.insert(t, vec![Value::text("s"), Value::Int(2)])?;
+            w.insert(t, vec![Value::text("s"), Value::Null])?;
+            w.insert(t, vec![Value::text("s"), Value::Int(3)])
+        })
+        .unwrap();
+        let r = run(&db, "SELECT SUM(x), AVG(x), COUNT(x), COUNT(*) FROM nums");
+        assert_eq!(
+            r.rows[0],
+            vec![
+                Value::Int(6),
+                Value::Float(2.0),
+                Value::Int(3),
+                Value::Int(4)
+            ]
+        );
+    }
+
+    #[test]
+    fn group_by_counts_per_key() {
+        let db = paper_db();
+        let r = run(
+            &db,
+            "SELECT value, COUNT(*) AS n FROM Activity GROUP BY value ORDER BY value",
+        );
+        assert_eq!(
+            r.rows,
+            vec![
+                vec![Value::text("busy"), Value::Int(1)],
+                vec![Value::text("idle"), Value::Int(2)],
+            ]
+        );
+    }
+
+    #[test]
+    fn group_by_with_joins_and_multiple_aggregates() {
+        let db = paper_db();
+        // Per neighbor: how many routing rows point at it, and the latest
+        // routing event time.
+        let r = run(
+            &db,
+            "SELECT R.neighbor, COUNT(*) AS n, MAX(R.event_time) AS latest \
+             FROM Routing R, Activity A WHERE R.neighbor = A.mach_id \
+             GROUP BY R.neighbor ORDER BY R.neighbor",
+        );
+        assert_eq!(r.rows.len(), 1);
+        assert_eq!(r.rows[0][0], Value::text("m3"));
+        assert_eq!(r.rows[0][1], Value::Int(2));
+    }
+
+    #[test]
+    fn group_by_validation() {
+        let db = paper_db();
+        let txn = db.begin_read();
+        // Scalar projection not in GROUP BY is rejected.
+        let err = execute_sql(
+            &txn,
+            "SELECT mach_id, COUNT(*) FROM Activity GROUP BY value",
+        )
+        .unwrap_err();
+        assert!(err.message().contains("GROUP BY"), "{err}");
+        // Grouping key may be projected.
+        assert!(execute_sql(
+            &txn,
+            "SELECT value FROM Activity GROUP BY value ORDER BY value"
+        )
+        .is_ok());
+        // Empty input yields no groups (not one NULL-ish row).
+        let r = execute_sql(
+            &txn,
+            "SELECT value, COUNT(*) FROM Activity WHERE 1 = 2 GROUP BY value",
+        )
+        .unwrap();
+        assert!(r.is_empty());
+    }
+
+    #[test]
+    fn having_filters_groups() {
+        let db = paper_db();
+        // Only the state reported by at least two machines survives.
+        let r = run(
+            &db,
+            "SELECT value, COUNT(*) AS n FROM Activity GROUP BY value \
+             HAVING COUNT(*) >= 2 ORDER BY value",
+        );
+        assert_eq!(r.rows, vec![vec![Value::text("idle"), Value::Int(2)]]);
+        // HAVING may also reference grouping keys.
+        let r = run(
+            &db,
+            "SELECT value, COUNT(*) AS n FROM Activity GROUP BY value \
+             HAVING COUNT(*) >= 1 AND value = 'busy'",
+        );
+        assert_eq!(r.rows, vec![vec![Value::text("busy"), Value::Int(1)]]);
+        // Arithmetic over aggregates works.
+        let r = run(
+            &db,
+            "SELECT mach_id FROM Activity GROUP BY mach_id \
+             HAVING COUNT(*) * 2 > 1 ORDER BY mach_id",
+        );
+        assert_eq!(r.len(), 3);
+    }
+
+    #[test]
+    fn having_on_global_aggregate() {
+        let db = paper_db();
+        let r = run(&db, "SELECT COUNT(*) FROM Activity HAVING COUNT(*) > 2");
+        assert_eq!(r.rows, vec![vec![Value::Int(3)]]);
+        let r = run(&db, "SELECT COUNT(*) FROM Activity HAVING COUNT(*) > 5");
+        assert!(r.is_empty(), "HAVING suppresses the global row");
+        // Even over an empty input the aggregate is computed for HAVING.
+        let r = run(
+            &db,
+            "SELECT COUNT(*) FROM Activity WHERE 1 = 2 HAVING COUNT(*) = 0",
+        );
+        assert_eq!(r.rows, vec![vec![Value::Int(0)]]);
+    }
+
+    #[test]
+    fn having_validation() {
+        let db = paper_db();
+        let txn = db.begin_read();
+        // Non-grouped column in HAVING rejected.
+        let err = execute_sql(
+            &txn,
+            "SELECT value, COUNT(*) FROM Activity GROUP BY value HAVING mach_id = 'm1'",
+        )
+        .unwrap_err();
+        assert!(err.message().contains("GROUP BY keys"), "{err}");
+        // Pointless HAVING rejected.
+        let err = execute_sql(&txn, "SELECT mach_id FROM Activity HAVING mach_id = 'm1'")
+            .unwrap_err();
+        assert!(err.message().contains("just WHERE"), "{err}");
+    }
+
+    #[test]
+    fn group_by_order_and_limit_apply_to_groups() {
+        let db = paper_db();
+        let r = run(
+            &db,
+            "SELECT mach_id, COUNT(*) AS n FROM Activity GROUP BY mach_id \
+             ORDER BY mach_id DESC LIMIT 2",
+        );
+        assert_eq!(
+            r.column_values("mach_id").unwrap(),
+            vec![Value::text("m3"), Value::text("m2")]
+        );
+    }
+
+    #[test]
+    fn three_way_join() {
+        let db = paper_db();
+        // Neighbors-of-neighbors through two Routing hops.
+        let r = run(
+            &db,
+            "SELECT COUNT(*) FROM Routing R1, Routing R2, Activity A \
+             WHERE R1.neighbor = R2.mach_id AND R2.neighbor = A.mach_id",
+        );
+        // Routing: m1->m3, m2->m3; no routing rows for m3, so zero.
+        assert_eq!(r.scalar(), Some(&Value::Int(0)));
+        let r = run(
+            &db,
+            "SELECT R2.mach_id FROM Routing R1, Routing R2, Activity A \
+             WHERE R1.neighbor = A.mach_id AND R2.neighbor = A.mach_id AND R1.mach_id = 'm1' \
+             ORDER BY R2.mach_id",
+        );
+        assert_eq!(
+            r.rows,
+            vec![vec![Value::text("m1")], vec![Value::text("m2")]]
+        );
+    }
+}

@@ -1,0 +1,29 @@
+//! Query execution: access-path selection, joins, aggregation, DML.
+//!
+//! The paper's evaluation depends on the engine exploiting B-tree indexes
+//! on data source columns: the Focused recency query probes only the few
+//! relevant sources while a naive scan touches everything (Section 5.2).
+//! The planner here is deliberately simple but reproduces exactly that
+//! behaviour:
+//!
+//! * per-table **access paths** — an `IN`/`=` predicate on an indexed
+//!   column becomes an index probe; everything else is a sequential scan
+//!   with a pushed-down filter ([`access`]);
+//! * **joins** — index nested-loop when the inner side has an index on
+//!   the join column, hash join for other equi-joins, filtered
+//!   cross-product as a last resort ([`executor`]);
+//! * **aggregation / DISTINCT / ORDER BY / LIMIT** on top;
+//! * **DML/DDL interpretation** for `INSERT`/`UPDATE`/`DELETE`/`CREATE`
+//!   ([`dml`]).
+
+#![warn(missing_docs)]
+
+pub mod access;
+pub mod dml;
+pub mod executor;
+pub mod result;
+
+pub use access::{AccessPath, ExecOptions};
+pub use dml::{execute_statement, StatementResult};
+pub use executor::{execute_select, execute_select_with, execute_sql, PlanInfo};
+pub use result::QueryResult;

@@ -1,0 +1,141 @@
+//! Query results.
+
+use std::fmt;
+use trac_types::Value;
+
+/// A materialized query result: named columns and value rows.
+#[derive(Debug, Clone, PartialEq)]
+pub struct QueryResult {
+    /// Output column names.
+    pub columns: Vec<String>,
+    /// Rows, each `columns.len()` long.
+    pub rows: Vec<Vec<Value>>,
+}
+
+impl QueryResult {
+    /// An empty result with the given column names.
+    pub fn empty(columns: Vec<String>) -> QueryResult {
+        QueryResult {
+            columns,
+            rows: Vec::new(),
+        }
+    }
+
+    /// Number of rows.
+    pub fn len(&self) -> usize {
+        self.rows.len()
+    }
+
+    /// True when there are no rows.
+    pub fn is_empty(&self) -> bool {
+        self.rows.is_empty()
+    }
+
+    /// The single scalar of a one-row one-column result (e.g. `COUNT(*)`).
+    pub fn scalar(&self) -> Option<&Value> {
+        match (self.rows.len(), self.columns.len()) {
+            (1, 1) => Some(&self.rows[0][0]),
+            _ => None,
+        }
+    }
+
+    /// Convenience accessor: the values of one column.
+    pub fn column_values(&self, name: &str) -> Option<Vec<Value>> {
+        let i = self
+            .columns
+            .iter()
+            .position(|c| c.eq_ignore_ascii_case(name))?;
+        Some(self.rows.iter().map(|r| r[i].clone()).collect())
+    }
+}
+
+impl fmt::Display for QueryResult {
+    /// psql-flavoured rendering, matching the session transcripts in the
+    /// paper's Section 5.1.
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let mut widths: Vec<usize> = self.columns.iter().map(String::len).collect();
+        let rendered: Vec<Vec<String>> = self
+            .rows
+            .iter()
+            .map(|r| r.iter().map(Value::to_string).collect())
+            .collect();
+        for row in &rendered {
+            for (i, cell) in row.iter().enumerate() {
+                widths[i] = widths[i].max(cell.len());
+            }
+        }
+        for (i, c) in self.columns.iter().enumerate() {
+            if i > 0 {
+                write!(f, " | ")?;
+            }
+            write!(f, "{:w$}", c, w = widths[i])?;
+        }
+        writeln!(f)?;
+        let total: usize = widths.iter().sum::<usize>() + 3 * widths.len().saturating_sub(1);
+        writeln!(f, "{}", "-".repeat(total))?;
+        for row in &rendered {
+            for (i, cell) in row.iter().enumerate() {
+                if i > 0 {
+                    write!(f, " | ")?;
+                }
+                write!(f, "{:w$}", cell, w = widths[i])?;
+            }
+            writeln!(f)?;
+        }
+        write!(
+            f,
+            "({} row{})",
+            self.rows.len(),
+            if self.rows.len() == 1 { "" } else { "s" }
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn scalar_access() {
+        let r = QueryResult {
+            columns: vec!["count".into()],
+            rows: vec![vec![Value::Int(7)]],
+        };
+        assert_eq!(r.scalar(), Some(&Value::Int(7)));
+        let r2 = QueryResult::empty(vec!["count".into()]);
+        assert_eq!(r2.scalar(), None);
+        assert!(r2.is_empty());
+        assert_eq!(r.len(), 1);
+    }
+
+    #[test]
+    fn column_values() {
+        let r = QueryResult {
+            columns: vec!["mach_id".into(), "value".into()],
+            rows: vec![
+                vec![Value::text("m1"), Value::text("idle")],
+                vec![Value::text("m3"), Value::text("idle")],
+            ],
+        };
+        assert_eq!(
+            r.column_values("MACH_ID").unwrap(),
+            vec![Value::text("m1"), Value::text("m3")]
+        );
+        assert!(r.column_values("zz").is_none());
+    }
+
+    #[test]
+    fn display_looks_like_psql() {
+        let r = QueryResult {
+            columns: vec!["mach_id".into(), "activity".into()],
+            rows: vec![
+                vec![Value::text("m1"), Value::text("idle")],
+                vec![Value::text("m3"), Value::text("idle")],
+            ],
+        };
+        let s = r.to_string();
+        assert!(s.contains("mach_id | activity"));
+        assert!(s.contains("m1      | idle"));
+        assert!(s.ends_with("(2 rows)"));
+    }
+}

@@ -1,0 +1,221 @@
+//! CHECK constraints backed by bound expressions.
+//!
+//! [`BoundCheck`] implements [`trac_types::RowCheck`] so the storage
+//! layer can enforce it on every write, while the relevance analyzer
+//! downcasts to recover the underlying [`BoundExpr`] and conjoin it into
+//! the query predicate (the paper's `Q → Q'` rewriting of Section 3.4).
+
+use crate::bound::BoundExpr;
+use crate::eval::{eval_predicate, Truth};
+use crate::unbind::{unbind_expr, UnbindCtx};
+use std::any::Any;
+use std::sync::Arc;
+use trac_sql::Expr;
+use trac_storage::{Row, TableSchema};
+use trac_types::{Result, RowCheck, RowCheckRef, TracError, Value};
+
+/// A CHECK constraint whose body is a bound single-table expression
+/// (column refs use table position 0).
+#[derive(Debug, Clone)]
+pub struct BoundCheck {
+    name: String,
+    expr: BoundExpr,
+    sql: String,
+}
+
+impl BoundCheck {
+    /// Wraps a bound expression as a constraint. `schema` is used only to
+    /// render the SQL form.
+    pub fn new(name: impl Into<String>, expr: BoundExpr, schema: &TableSchema) -> BoundCheck {
+        let tables = [(schema.name.as_str(), schema)];
+        let ctx = UnbindCtx { tables: &tables };
+        let sql = unbind_expr(&expr, &ctx).to_string();
+        BoundCheck {
+            name: name.into(),
+            expr,
+            sql,
+        }
+    }
+
+    /// The constraint body.
+    pub fn expr(&self) -> &BoundExpr {
+        &self.expr
+    }
+}
+
+impl RowCheck for BoundCheck {
+    fn name(&self) -> &str {
+        &self.name
+    }
+
+    fn check(&self, row: &[Value]) -> Result<bool> {
+        let tuple: [Row; 1] = [Arc::from(row.to_vec().into_boxed_slice())];
+        // SQL CHECK semantics: only a definite FALSE rejects the row.
+        Ok(eval_predicate(&self.expr, &tuple)? != Truth::False)
+    }
+
+    fn as_any(&self) -> &dyn Any {
+        self
+    }
+
+    fn display_sql(&self) -> String {
+        self.sql.clone()
+    }
+}
+
+/// Binds an expression against a single table (used by CHECK bodies and
+/// single-table DML predicates). Column refs come out with table
+/// position 0. `binding` is the name references may be qualified with.
+pub fn bind_expr_for_table(schema: &TableSchema, binding: &str, e: &Expr) -> Result<BoundExpr> {
+    Ok(match e {
+        Expr::Column { qualifier, name } => {
+            if let Some(q) = qualifier {
+                if !binding.eq_ignore_ascii_case(q) && !schema.name.eq_ignore_ascii_case(q) {
+                    return Err(TracError::Resolution(format!(
+                        "unknown table {q} in single-table context"
+                    )));
+                }
+            }
+            let column = schema
+                .column_index(name)
+                .ok_or_else(|| TracError::Resolution(format!("no column {name}")))?;
+            BoundExpr::col(0, column)
+        }
+        Expr::Literal(v) => BoundExpr::Literal(v.clone()),
+        Expr::Binary { op, lhs, rhs } => BoundExpr::Binary {
+            op: *op,
+            lhs: Box::new(bind_expr_for_table(schema, binding, lhs)?),
+            rhs: Box::new(bind_expr_for_table(schema, binding, rhs)?),
+        },
+        Expr::InList {
+            expr,
+            list,
+            negated,
+        } => BoundExpr::InList {
+            expr: Box::new(bind_expr_for_table(schema, binding, expr)?),
+            list: list
+                .iter()
+                .map(|e| bind_expr_for_table(schema, binding, e))
+                .collect::<Result<_>>()?,
+            negated: *negated,
+        },
+        Expr::Between {
+            expr,
+            lo,
+            hi,
+            negated,
+        } => {
+            let x = bind_expr_for_table(schema, binding, expr)?;
+            let lo = bind_expr_for_table(schema, binding, lo)?;
+            let hi = bind_expr_for_table(schema, binding, hi)?;
+            let both = BoundExpr::binary(
+                trac_sql::BinaryOp::And,
+                BoundExpr::binary(trac_sql::BinaryOp::GtEq, x.clone(), lo),
+                BoundExpr::binary(trac_sql::BinaryOp::LtEq, x, hi),
+            );
+            if *negated {
+                BoundExpr::Not(Box::new(both))
+            } else {
+                both
+            }
+        }
+        Expr::IsNull { expr, negated } => BoundExpr::IsNull {
+            expr: Box::new(bind_expr_for_table(schema, binding, expr)?),
+            negated: *negated,
+        },
+        Expr::Not(x) => BoundExpr::Not(Box::new(bind_expr_for_table(schema, binding, x)?)),
+        Expr::Neg(x) => BoundExpr::Neg(Box::new(bind_expr_for_table(schema, binding, x)?)),
+        Expr::Func { name, .. } => {
+            return Err(TracError::Resolution(format!(
+                "function {name} not allowed in this context"
+            )))
+        }
+    })
+}
+
+/// Parses and binds a CHECK body from SQL text, returning an installable
+/// constraint.
+pub fn parse_check(
+    schema: &TableSchema,
+    name: impl Into<String>,
+    sql: &str,
+) -> Result<RowCheckRef> {
+    let expr = trac_sql::parse_expr(sql)?;
+    let bound = bind_expr_for_table(schema, &schema.name, &expr)?;
+    Ok(Arc::new(BoundCheck::new(name, bound, schema)))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use trac_storage::ColumnDef;
+    use trac_types::DataType;
+
+    fn routing_schema() -> TableSchema {
+        TableSchema::new(
+            "routing",
+            vec![
+                ColumnDef::new("mach_id", DataType::Text),
+                ColumnDef::new("neighbor", DataType::Text),
+            ],
+            Some("mach_id"),
+        )
+        .unwrap()
+    }
+
+    #[test]
+    fn no_self_neighbor_constraint() {
+        let schema = routing_schema();
+        let check = parse_check(&schema, "no_self_neighbor", "mach_id <> neighbor").unwrap();
+        assert!(check
+            .check(&[Value::text("m1"), Value::text("m2")])
+            .unwrap());
+        assert!(!check
+            .check(&[Value::text("m1"), Value::text("m1")])
+            .unwrap());
+        assert_eq!(check.display_sql(), "routing.mach_id <> routing.neighbor");
+        // Downcast recovers the bound expression.
+        let bc = check.as_any().downcast_ref::<BoundCheck>().unwrap();
+        assert_eq!(bc.expr().references().len(), 2);
+    }
+
+    #[test]
+    fn null_in_check_passes() {
+        let schema = TableSchema::new(
+            "t",
+            vec![
+                ColumnDef::new("sid", DataType::Text),
+                ColumnDef::new("n", DataType::Int).nullable(),
+            ],
+            Some("sid"),
+        )
+        .unwrap();
+        let check = parse_check(&schema, "pos", "n > 0").unwrap();
+        assert!(check.check(&[Value::text("s"), Value::Null]).unwrap());
+        assert!(check.check(&[Value::text("s"), Value::Int(1)]).unwrap());
+        assert!(!check.check(&[Value::text("s"), Value::Int(0)]).unwrap());
+    }
+
+    #[test]
+    fn check_installed_in_schema_rejects_rows() {
+        let schema = routing_schema();
+        let check = parse_check(&schema, "no_self_neighbor", "mach_id <> neighbor").unwrap();
+        let schema = schema.with_check(check);
+        assert!(schema
+            .check_row(vec![Value::text("m1"), Value::text("m3")])
+            .is_ok());
+        let err = schema
+            .check_row(vec![Value::text("m1"), Value::text("m1")])
+            .unwrap_err();
+        assert_eq!(err.kind(), "constraint");
+        assert!(err.message().contains("no_self_neighbor"));
+    }
+
+    #[test]
+    fn bad_check_bodies_rejected() {
+        let schema = routing_schema();
+        assert!(parse_check(&schema, "c", "nope > 1").is_err());
+        assert!(parse_check(&schema, "c", "COUNT(*) > 1").is_err());
+        assert!(parse_check(&schema, "c", "other.mach_id = 'x'").is_err());
+    }
+}

@@ -1,0 +1,37 @@
+//! Bound expressions and the paper's predicate machinery.
+//!
+//! Everything in Section 4 of the paper operates on query predicates:
+//!
+//! * [`bound`] — name-resolved expressions ([`BoundExpr`]) and queries
+//!   ([`BoundSelect`]), bound against the storage catalog.
+//! * [`eval`] — SQL three-valued evaluation of bound expressions against
+//!   composite tuples.
+//! * [`normalize`] — negation-normal-form and disjunctive-normal-form
+//!   conversion ("we first convert the predicate of a query to DNF",
+//!   Section 4.1), with a blow-up guard.
+//! * [`classify`] — basic-term classification into the paper's
+//!   `P_s / P_r / P_m / J_s / J_rm / P_o` parts (Notations 4 and 6).
+//! * [`sat`] — three-valued satisfiability of conjunctions over column
+//!   domains, deciding when Theorems 3 and 4 guarantee minimality and
+//!   when Corollaries 2 and 6 collapse the relevant set to ∅.
+//! * [`unbind`] — mapping bound expressions back to printable SQL ASTs.
+
+#![warn(missing_docs)]
+
+pub mod bound;
+pub mod check;
+pub mod classify;
+pub mod eval;
+pub mod normalize;
+pub mod sat;
+pub mod unbind;
+
+pub use bound::{
+    bind_select, AggFunc, BoundExpr, BoundSelect, BoundTable, ColRef, Projection,
+};
+pub use check::{bind_expr_for_table, parse_check, BoundCheck};
+pub use classify::{classify_conjunct, ClassifiedPredicates, TermClass};
+pub use eval::{eval_expr, eval_predicate, Truth};
+pub use normalize::{to_dnf, Conjunct, Dnf};
+pub use sat::{conjunct_satisfiable, Sat3};
+pub use unbind::unbind_expr;

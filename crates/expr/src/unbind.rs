@@ -1,0 +1,86 @@
+//! Mapping bound expressions back to printable SQL ASTs.
+//!
+//! The TRAC analyzer constructs recency queries as *bound* trees (so they
+//! can be executed directly without re-parsing), but users should be able
+//! to see the generated SQL — the paper's prototype prints its generated
+//! recency queries. `unbind_expr` renders a bound expression against a
+//! list of binding names (one per `FROM` entry).
+
+use crate::bound::BoundExpr;
+use trac_sql::Expr;
+use trac_storage::TableSchema;
+
+/// Context needed to print a bound expression: for each table position,
+/// its binding name and schema.
+pub struct UnbindCtx<'a> {
+    /// `(binding name, schema)` per table position.
+    pub tables: &'a [(&'a str, &'a TableSchema)],
+}
+
+/// Converts a bound expression back to a SQL AST using binding names.
+pub fn unbind_expr(expr: &BoundExpr, ctx: &UnbindCtx<'_>) -> Expr {
+    match expr {
+        BoundExpr::Column(c) => {
+            let (binding, schema) = ctx.tables[c.table];
+            Expr::qcol(binding, schema.columns[c.column].name.clone())
+        }
+        BoundExpr::Literal(v) => Expr::Literal(v.clone()),
+        BoundExpr::Binary { op, lhs, rhs } => Expr::binary(
+            *op,
+            unbind_expr(lhs, ctx),
+            unbind_expr(rhs, ctx),
+        ),
+        BoundExpr::InList {
+            expr,
+            list,
+            negated,
+        } => Expr::InList {
+            expr: Box::new(unbind_expr(expr, ctx)),
+            list: list.iter().map(|e| unbind_expr(e, ctx)).collect(),
+            negated: *negated,
+        },
+        BoundExpr::IsNull { expr, negated } => Expr::IsNull {
+            expr: Box::new(unbind_expr(expr, ctx)),
+            negated: *negated,
+        },
+        BoundExpr::Not(e) => Expr::Not(Box::new(unbind_expr(e, ctx))),
+        BoundExpr::Neg(e) => Expr::Neg(Box::new(unbind_expr(e, ctx))),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::bound::BoundExpr as E;
+    use trac_sql::BinaryOp;
+    use trac_storage::ColumnDef;
+    use trac_types::DataType;
+
+    #[test]
+    fn unbinds_to_qualified_sql() {
+        let schema = TableSchema::new(
+            "heartbeat",
+            vec![
+                ColumnDef::new("sid", DataType::Text),
+                ColumnDef::new("recency", DataType::Timestamp),
+            ],
+            Some("sid"),
+        )
+        .unwrap();
+        let ctx = UnbindCtx {
+            tables: &[("H", &schema)],
+        };
+        let e = E::InList {
+            expr: Box::new(E::col(0, 0)),
+            list: vec![E::lit("m1"), E::lit("m2")],
+            negated: false,
+        };
+        assert_eq!(unbind_expr(&e, &ctx).to_string(), "H.sid IN ('m1', 'm2')");
+        let e = E::Not(Box::new(E::binary(
+            BinaryOp::Lt,
+            E::col(0, 1),
+            E::lit("x"),
+        )));
+        assert_eq!(unbind_expr(&e, &ctx).to_string(), "NOT H.recency < 'x'");
+    }
+}

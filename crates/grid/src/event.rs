@@ -1,0 +1,93 @@
+//! Grid events and per-machine log records.
+
+use trac_types::{SourceId, Timestamp};
+
+/// Something a grid daemon records in its local log.
+///
+/// Events mirror the paper's examples: a scheduler receives a job and
+/// routes it elsewhere (Section 1's m1/m2 scenario; Section 4.2's `S`
+/// table), an execute machine runs it (the `R` table), machines announce
+/// their activity state (`Activity`) and neighbor links (`Routing`), and
+/// idle machines emit "nothing to report" heartbeats (Section 3.1).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum GridEvent {
+    /// A user submitted `job` to this (scheduler) machine.
+    JobSubmitted {
+        /// Job identifier.
+        job: u64,
+    },
+    /// This scheduler assigned `job` to `target` for execution.
+    JobRouted {
+        /// Job identifier.
+        job: u64,
+        /// The machine chosen to run the job.
+        target: SourceId,
+    },
+    /// This machine started running `job` (submitted at `scheduler`).
+    JobStarted {
+        /// Job identifier.
+        job: u64,
+    },
+    /// This machine finished `job`, using `cpu_secs` of CPU.
+    JobCompleted {
+        /// Job identifier.
+        job: u64,
+        /// CPU seconds consumed.
+        cpu_secs: i64,
+    },
+    /// This machine's activity state changed (`idle` / `busy`).
+    StateChanged {
+        /// New state string.
+        state: &'static str,
+    },
+    /// `neighbor` became a neighbor of this machine.
+    NeighborAdded {
+        /// The new neighbor.
+        neighbor: SourceId,
+    },
+    /// Nothing to report — keeps the source's recency honest.
+    Heartbeat,
+}
+
+impl GridEvent {
+    /// Short tag for logs and debugging.
+    pub fn kind(&self) -> &'static str {
+        match self {
+            GridEvent::JobSubmitted { .. } => "submitted",
+            GridEvent::JobRouted { .. } => "routed",
+            GridEvent::JobStarted { .. } => "started",
+            GridEvent::JobCompleted { .. } => "completed",
+            GridEvent::StateChanged { .. } => "state",
+            GridEvent::NeighborAdded { .. } => "neighbor",
+            GridEvent::Heartbeat => "heartbeat",
+        }
+    }
+}
+
+/// One timestamped entry of a machine's local log.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct LogRecord {
+    /// When the event happened (simulation time).
+    pub at: Timestamp,
+    /// What happened.
+    pub event: GridEvent,
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn kinds() {
+        assert_eq!(GridEvent::JobSubmitted { job: 1 }.kind(), "submitted");
+        assert_eq!(GridEvent::Heartbeat.kind(), "heartbeat");
+        assert_eq!(
+            GridEvent::JobRouted {
+                job: 1,
+                target: SourceId::new("m2")
+            }
+            .kind(),
+            "routed"
+        );
+    }
+}

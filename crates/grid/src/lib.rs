@@ -1,0 +1,40 @@
+//! A Condor-like grid simulator feeding a TRAC-enabled database.
+//!
+//! The paper's target deployment is a computational grid whose job
+//! scheduling and execution daemons log status records to files on the
+//! machines where they run; "sniffer" processes load those logs into a
+//! central DBMS at unpredictable rates (Section 1). We cannot run a real
+//! Condor pool here, so this crate simulates one — discrete-event,
+//! deterministic under a seed — reproducing exactly the behaviours TRAC
+//! exists to cope with:
+//!
+//! * per-machine **event logs** written as jobs are submitted, routed to
+//!   other machines, started and completed ([`event`], [`log`]);
+//! * the two-table **S/R job-state schema** of Section 4.2 plus
+//!   Activity/Routing-style state tables ([`schema`]);
+//! * per-machine **sniffers** with individual propagation lags that
+//!   ingest log records into the database, advancing each source's
+//!   `Heartbeat` recency as they go ([`sniffer`]);
+//! * **failures** — a failed machine's sniffer stops, its log backlog
+//!   accumulating until recovery, which is how a source gets to be
+//!   "extremely out of date" (Section 4.3's exceptional sources);
+//! * periodic **heartbeat records** so an idle machine still advances its
+//!   recency (Section 3.1's "nothing to report" beacon).
+//!
+//! [`sim::GridSim`] wires it all together, including the paper's
+//! introductory m1/m2 job-routing scenario where the central database
+//! passes through all four partially-reported states.
+
+#![warn(missing_docs)]
+
+pub mod event;
+pub mod log;
+pub mod schema;
+pub mod sim;
+pub mod sniffer;
+
+pub use event::{GridEvent, LogRecord};
+pub use log::MachineLog;
+pub use schema::GridSchema;
+pub use sim::{GridConfig, GridSim, MachineState};
+pub use sniffer::Sniffer;

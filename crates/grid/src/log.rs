@@ -1,0 +1,109 @@
+//! Per-machine append-only event logs.
+//!
+//! The log is the ground truth of the simulation — everything a daemon
+//! does lands here first, and only reaches the central database when the
+//! machine's sniffer gets around to it. The gap between a log's tail and
+//! what its sniffer has shipped is precisely the staleness TRAC reports.
+
+use crate::event::{GridEvent, LogRecord};
+use trac_types::Timestamp;
+
+/// An append-only log with a per-sniffer read cursor.
+#[derive(Debug, Default)]
+pub struct MachineLog {
+    records: Vec<LogRecord>,
+    /// Index of the first record not yet shipped by the sniffer.
+    cursor: usize,
+}
+
+impl MachineLog {
+    /// Creates an empty log.
+    pub fn new() -> MachineLog {
+        MachineLog::default()
+    }
+
+    /// Appends an event at time `at`. Event times must be non-decreasing
+    /// (updates "stream in from the source in the order of these
+    /// timestamps", Section 3.1).
+    pub fn append(&mut self, at: Timestamp, event: GridEvent) {
+        debug_assert!(
+            self.records.last().is_none_or(|r| r.at <= at),
+            "log timestamps must be monotone"
+        );
+        self.records.push(LogRecord { at, event });
+    }
+
+    /// Total records ever written.
+    pub fn len(&self) -> usize {
+        self.records.len()
+    }
+
+    /// True when nothing has been written.
+    pub fn is_empty(&self) -> bool {
+        self.records.is_empty()
+    }
+
+    /// Records not yet shipped.
+    pub fn backlog(&self) -> usize {
+        self.records.len() - self.cursor
+    }
+
+    /// Timestamp of the newest record, if any.
+    pub fn latest(&self) -> Option<Timestamp> {
+        self.records.last().map(|r| r.at)
+    }
+
+    /// Takes (clones and advances past) every unshipped record with
+    /// `at <= horizon`. The sniffer calls this with `now - lag`.
+    pub fn take_upto(&mut self, horizon: Timestamp) -> Vec<LogRecord> {
+        let start = self.cursor;
+        let mut end = start;
+        while end < self.records.len() && self.records[end].at <= horizon {
+            end += 1;
+        }
+        self.cursor = end;
+        self.records[start..end].to_vec()
+    }
+
+    /// All records (for inspection / tests).
+    pub fn records(&self) -> &[LogRecord] {
+        &self.records
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn t(s: i64) -> Timestamp {
+        Timestamp::from_secs(s)
+    }
+
+    #[test]
+    fn cursor_advances_by_horizon() {
+        let mut log = MachineLog::new();
+        log.append(t(1), GridEvent::Heartbeat);
+        log.append(t(5), GridEvent::Heartbeat);
+        log.append(t(9), GridEvent::Heartbeat);
+        assert_eq!(log.backlog(), 3);
+        let batch = log.take_upto(t(5));
+        assert_eq!(batch.len(), 2);
+        assert_eq!(log.backlog(), 1);
+        // Nothing new below the horizon: empty batch.
+        assert!(log.take_upto(t(5)).is_empty());
+        let batch = log.take_upto(t(100));
+        assert_eq!(batch.len(), 1);
+        assert_eq!(batch[0].at, t(9));
+        assert_eq!(log.backlog(), 0);
+        assert_eq!(log.len(), 3);
+        assert_eq!(log.latest(), Some(t(9)));
+    }
+
+    #[test]
+    fn empty_log() {
+        let mut log = MachineLog::new();
+        assert!(log.is_empty());
+        assert_eq!(log.latest(), None);
+        assert!(log.take_upto(t(10)).is_empty());
+    }
+}

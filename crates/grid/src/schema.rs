@@ -1,0 +1,170 @@
+//! The grid monitoring schema.
+//!
+//! Five tables, all tagged with a data source column per Section 3.3:
+//!
+//! * `sched(schedmachineid, jobid, remotemachineid)` — Section 4.2's `S`
+//!   table: what each scheduler thinks is happening. Current-state
+//!   semantics: the scheduler updates its tuple for a job when routing
+//!   changes.
+//! * `running(runningmachineid, jobid)` — Section 4.2's `R` table: what
+//!   each execute machine thinks it is running.
+//! * `activity(mach_id, value, event_time)` — Table 1's shape: the
+//!   current idle/busy state per machine.
+//! * `routing(mach_id, neighbor, event_time)` — Table 2's shape.
+//! * `job_events(mach_id, job_id, event, event_time)` — the full event
+//!   history (what an administrator would grep logs for).
+
+use trac_storage::{ColumnDef, Database, TableId, TableSchema};
+use trac_types::{ColumnDomain, DataType, Result, SourceId, Timestamp};
+
+/// Table ids of the installed grid schema.
+#[derive(Debug, Clone)]
+pub struct GridSchema {
+    /// `sched` (the paper's `S`).
+    pub sched: TableId,
+    /// `running` (the paper's `R`).
+    pub running: TableId,
+    /// `activity`.
+    pub activity: TableId,
+    /// `routing`.
+    pub routing: TableId,
+    /// `job_events`.
+    pub job_events: TableId,
+}
+
+impl GridSchema {
+    /// Creates the five tables (+ indexes on every source column and the
+    /// job-id columns) and registers a heartbeat for every machine at
+    /// `epoch` — "every contributing data source has an entry in the
+    /// Heartbeat table".
+    pub fn install(
+        db: &Database,
+        machines: &[SourceId],
+        epoch: Timestamp,
+    ) -> Result<GridSchema> {
+        let machine_domain =
+            ColumnDomain::text_set(machines.iter().map(|m| m.as_str().to_string()));
+        let sched = db.create_table(TableSchema::new(
+            "sched",
+            vec![
+                ColumnDef::new("schedmachineid", DataType::Text)
+                    .with_domain(machine_domain.clone()),
+                ColumnDef::new("jobid", DataType::Int),
+                ColumnDef::new("remotemachineid", DataType::Text)
+                    .with_domain(machine_domain.clone())
+                    .nullable(),
+            ],
+            Some("schedmachineid"),
+        )?)?;
+        let running = db.create_table(TableSchema::new(
+            "running",
+            vec![
+                ColumnDef::new("runningmachineid", DataType::Text)
+                    .with_domain(machine_domain.clone()),
+                ColumnDef::new("jobid", DataType::Int),
+            ],
+            Some("runningmachineid"),
+        )?)?;
+        let activity = db.create_table(TableSchema::new(
+            "activity",
+            vec![
+                ColumnDef::new("mach_id", DataType::Text).with_domain(machine_domain.clone()),
+                ColumnDef::new("value", DataType::Text)
+                    .with_domain(ColumnDomain::text_set(["idle", "busy"])),
+                ColumnDef::new("event_time", DataType::Timestamp),
+            ],
+            Some("mach_id"),
+        )?)?;
+        let routing = db.create_table(TableSchema::new(
+            "routing",
+            vec![
+                ColumnDef::new("mach_id", DataType::Text).with_domain(machine_domain.clone()),
+                ColumnDef::new("neighbor", DataType::Text).with_domain(machine_domain.clone()),
+                ColumnDef::new("event_time", DataType::Timestamp),
+            ],
+            Some("mach_id"),
+        )?)?;
+        let job_events = db.create_table(TableSchema::new(
+            "job_events",
+            vec![
+                ColumnDef::new("mach_id", DataType::Text).with_domain(machine_domain),
+                ColumnDef::new("job_id", DataType::Int),
+                ColumnDef::new("event", DataType::Text).with_domain(ColumnDomain::text_set([
+                    "submitted",
+                    "routed",
+                    "started",
+                    "completed",
+                ])),
+                ColumnDef::new("event_time", DataType::Timestamp),
+                // CPU seconds consumed; set on "completed" events only —
+                // what the intro's "how many CPU seconds have my jobs
+                // used" question aggregates.
+                ColumnDef::new("cpu_secs", DataType::Int).nullable(),
+            ],
+            Some("mach_id"),
+        )?)?;
+        for (table, col) in [
+            ("sched", "schedmachineid"),
+            ("sched", "jobid"),
+            ("running", "runningmachineid"),
+            ("running", "jobid"),
+            ("activity", "mach_id"),
+            ("routing", "mach_id"),
+            ("job_events", "mach_id"),
+            ("job_events", "job_id"),
+        ] {
+            db.create_index(table, col)?;
+        }
+        db.with_write(|w| {
+            for m in machines {
+                w.heartbeat(m, epoch)?;
+            }
+            Ok(())
+        })?;
+        Ok(GridSchema {
+            sched,
+            running,
+            activity,
+            routing,
+            job_events,
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use trac_storage::heartbeat;
+
+    #[test]
+    fn install_creates_tables_and_heartbeats() {
+        let db = Database::new();
+        let machines: Vec<SourceId> = (0..4).map(|i| SourceId::new(format!("m{i}"))).collect();
+        let schema = GridSchema::install(&db, &machines, Timestamp::from_secs(0)).unwrap();
+        let txn = db.begin_read();
+        for t in ["sched", "running", "activity", "routing", "job_events"] {
+            assert!(txn.table_id(t).is_ok(), "missing table {t}");
+        }
+        assert!(txn.has_index(schema.sched, 0));
+        assert!(txn.has_index(schema.sched, 1));
+        assert!(txn.has_index(schema.running, 1));
+        let beats = heartbeat::all_recencies(&txn).unwrap();
+        assert_eq!(beats.len(), 4);
+        assert!(beats.iter().all(|(_, t)| *t == Timestamp::from_secs(0)));
+    }
+
+    #[test]
+    fn machine_domain_constrains_columns() {
+        let db = Database::new();
+        let machines = vec![SourceId::new("m0")];
+        let schema = GridSchema::install(&db, &machines, Timestamp::from_secs(0)).unwrap();
+        let txn = db.begin_read();
+        let s = txn.schema(schema.activity).unwrap();
+        assert!(s.columns[0]
+            .domain
+            .contains(&trac_types::Value::text("m0")));
+        assert!(!s.columns[0]
+            .domain
+            .contains(&trac_types::Value::text("zz")));
+    }
+}

@@ -1,0 +1,609 @@
+//! The discrete-event grid simulator.
+//!
+//! Deterministic under a seed. Virtual time only — the simulator never
+//! reads a wall clock. Jobs arrive at scheduler machines, get routed to
+//! idle machines, run, and complete; every daemon action is written to
+//! the machine's local log, and per-machine sniffers ship those logs into
+//! the database on their own schedules. Machine failures pause both the
+//! daemon and its sniffer, producing the "extremely out of date" sources
+//! of Section 4.3.
+
+use crate::event::GridEvent;
+use crate::log::MachineLog;
+use crate::schema::GridSchema;
+use crate::sniffer::Sniffer;
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use std::cmp::Reverse;
+use std::collections::BinaryHeap;
+use trac_storage::Database;
+use trac_types::{Result, SourceId, Timestamp, TracError, TsDuration};
+
+/// A machine's simulated state.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum MachineState {
+    /// Willing to accept jobs.
+    Idle,
+    /// Running a job.
+    Busy,
+    /// Crashed: daemon and sniffer both silent.
+    Failed,
+}
+
+/// Simulator configuration.
+#[derive(Debug, Clone)]
+pub struct GridConfig {
+    /// Number of machines (`g0…g{n-1}`).
+    pub n_machines: usize,
+    /// The first `n_schedulers` machines accept job submissions.
+    pub n_schedulers: usize,
+    /// Mean seconds between job arrivals per scheduler.
+    pub arrival_secs: i64,
+    /// Uniform range of job service times, seconds.
+    pub service_secs: (i64, i64),
+    /// Uniform range of submit→start routing delays, seconds.
+    pub route_delay_secs: (i64, i64),
+    /// Neighbors per machine in the random routing graph.
+    pub neighbors_per_machine: usize,
+    /// Idle-machine heartbeat period, seconds (0 disables).
+    pub heartbeat_secs: i64,
+    /// Uniform range of per-machine sniffer lags, seconds.
+    pub sniffer_lag_secs: (i64, i64),
+    /// How often each sniffer pumps, seconds.
+    pub sniffer_period_secs: i64,
+    /// Mean time between failures per machine, seconds (0 disables).
+    pub mtbf_secs: i64,
+    /// Outage duration once failed, seconds.
+    pub outage_secs: i64,
+    /// RNG seed (the simulation is fully deterministic given this).
+    pub seed: u64,
+    /// Simulation epoch.
+    pub start: Timestamp,
+}
+
+impl Default for GridConfig {
+    fn default() -> GridConfig {
+        GridConfig {
+            n_machines: 8,
+            n_schedulers: 2,
+            arrival_secs: 30,
+            service_secs: (20, 120),
+            route_delay_secs: (1, 5),
+            neighbors_per_machine: 3,
+            heartbeat_secs: 60,
+            sniffer_lag_secs: (5, 90),
+            sniffer_period_secs: 15,
+            mtbf_secs: 0,
+            outage_secs: 600,
+            seed: 42,
+            start: Timestamp::parse("2006-03-15 12:00:00").expect("valid epoch"),
+        }
+    }
+}
+
+#[derive(Debug, Clone, PartialEq, Eq)]
+enum SimEvent {
+    JobArrival { scheduler: usize },
+    JobStart { machine: usize, job: u64 },
+    JobComplete { machine: usize, job: u64, started: Timestamp },
+    HeartbeatTick { machine: usize },
+    SnifferPump { machine: usize },
+    Fail { machine: usize },
+    Recover { machine: usize },
+}
+
+#[derive(Debug)]
+struct MachineSim {
+    id: SourceId,
+    state: MachineState,
+    log: MachineLog,
+    sniffer: Sniffer,
+    neighbors: Vec<usize>,
+}
+
+/// The simulator: owns the database, machines, and the event queue.
+pub struct GridSim {
+    db: Database,
+    schema: GridSchema,
+    machines: Vec<MachineSim>,
+    queue: BinaryHeap<Reverse<(Timestamp, u64, usize)>>,
+    events: Vec<SimEvent>,
+    clock: Timestamp,
+    rng: StdRng,
+    next_job: u64,
+    jobs_completed: u64,
+    config: GridConfig,
+}
+
+impl GridSim {
+    /// Builds a simulator (and its database, schema, machines, initial
+    /// neighbor links and schedules) from `config`.
+    pub fn new(config: GridConfig) -> Result<GridSim> {
+        if config.n_machines == 0 || config.n_schedulers > config.n_machines {
+            return Err(TracError::Config(
+                "need at least one machine and n_schedulers <= n_machines".into(),
+            ));
+        }
+        let db = Database::new();
+        let ids: Vec<SourceId> = (0..config.n_machines)
+            .map(|i| SourceId::new(format!("g{i}")))
+            .collect();
+        let schema = GridSchema::install(&db, &ids, config.start)?;
+        let mut rng = StdRng::seed_from_u64(config.seed);
+        let mut machines: Vec<MachineSim> = ids
+            .iter()
+            .map(|id| {
+                let lag = rng.random_range(config.sniffer_lag_secs.0..=config.sniffer_lag_secs.1);
+                MachineSim {
+                    id: id.clone(),
+                    state: MachineState::Idle,
+                    log: MachineLog::new(),
+                    sniffer: Sniffer::new(id.clone(), TsDuration::from_secs(lag)),
+                    neighbors: Vec::new(),
+                }
+            })
+            .collect();
+        // Random neighbor graph, logged by each machine at the epoch.
+        let n = machines.len();
+        for i in 0..n {
+            while machines[i].neighbors.len() < config.neighbors_per_machine.min(n - 1) {
+                let j = rng.random_range(0..n);
+                if j != i && !machines[i].neighbors.contains(&j) {
+                    machines[i].neighbors.push(j);
+                }
+            }
+            machines[i].neighbors.sort_unstable();
+            let neighbor_ids: Vec<SourceId> = machines[i]
+                .neighbors
+                .iter()
+                .map(|&j| machines[j].id.clone())
+                .collect();
+            machines[i]
+                .log
+                .append(config.start, GridEvent::StateChanged { state: "idle" });
+            for nid in neighbor_ids {
+                machines[i]
+                    .log
+                    .append(config.start, GridEvent::NeighborAdded { neighbor: nid });
+            }
+        }
+        let mut sim = GridSim {
+            db,
+            schema,
+            machines,
+            queue: BinaryHeap::new(),
+            events: Vec::new(),
+            clock: config.start,
+            rng,
+            next_job: 1,
+            jobs_completed: 0,
+            config: config.clone(),
+        };
+        // Initial schedules.
+        for s in 0..config.n_schedulers {
+            let dt = sim.rng.random_range(1..=config.arrival_secs.max(1));
+            sim.schedule(config.start + TsDuration::from_secs(dt), SimEvent::JobArrival {
+                scheduler: s,
+            });
+        }
+        for m in 0..n {
+            sim.schedule(
+                config.start + TsDuration::from_secs(config.sniffer_period_secs.max(1)),
+                SimEvent::SnifferPump { machine: m },
+            );
+            if config.heartbeat_secs > 0 {
+                sim.schedule(
+                    config.start + TsDuration::from_secs(config.heartbeat_secs),
+                    SimEvent::HeartbeatTick { machine: m },
+                );
+            }
+            if config.mtbf_secs > 0 {
+                let dt = sim.rng.random_range(1..=config.mtbf_secs * 2);
+                sim.schedule(
+                    config.start + TsDuration::from_secs(dt),
+                    SimEvent::Fail { machine: m },
+                );
+            }
+        }
+        Ok(sim)
+    }
+
+    /// The central database the sniffers feed.
+    pub fn db(&self) -> &Database {
+        &self.db
+    }
+
+    /// The installed grid schema.
+    pub fn schema(&self) -> &GridSchema {
+        &self.schema
+    }
+
+    /// Current simulation time.
+    pub fn clock(&self) -> Timestamp {
+        self.clock
+    }
+
+    /// Number of completed jobs so far.
+    pub fn jobs_completed(&self) -> u64 {
+        self.jobs_completed
+    }
+
+    /// Machine ids in index order.
+    pub fn machine_ids(&self) -> Vec<SourceId> {
+        self.machines.iter().map(|m| m.id.clone()).collect()
+    }
+
+    /// A machine's current state.
+    pub fn machine_state(&self, machine: usize) -> MachineState {
+        self.machines[machine].state
+    }
+
+    /// A machine's unshipped log backlog (records).
+    pub fn backlog(&self, machine: usize) -> usize {
+        self.machines[machine].log.backlog()
+    }
+
+    /// Read access to a machine's full local log (ground truth for
+    /// honesty checks).
+    pub fn log_records(&self, machine: usize) -> &[crate::event::LogRecord] {
+        self.machines[machine].log.records()
+    }
+
+    /// Appends an event to a machine's log directly — for constructing
+    /// deterministic scenarios (e.g. the paper's m1/m2 introduction)
+    /// without the random workload. `at` must not precede the log's tail.
+    pub fn append_log(
+        &mut self,
+        machine: usize,
+        at: Timestamp,
+        event: GridEvent,
+    ) -> Result<()> {
+        if self.machines[machine]
+            .log
+            .latest()
+            .is_some_and(|t| t > at)
+        {
+            return Err(TracError::Config(format!(
+                "log timestamps must be monotone; {at} precedes the tail"
+            )));
+        }
+        self.machines[machine].log.append(at, event);
+        Ok(())
+    }
+
+    /// Fails a machine immediately (daemon and sniffer go silent) with no
+    /// scheduled recovery — a "hard" outage for tests and demos.
+    pub fn fail_machine(&mut self, machine: usize) {
+        self.machines[machine].state = MachineState::Failed;
+    }
+
+    fn schedule(&mut self, at: Timestamp, ev: SimEvent) {
+        let seq = self.events.len() as u64;
+        self.events.push(ev);
+        self.queue.push(Reverse((at, seq, self.events.len() - 1)));
+    }
+
+    /// Runs the simulation until virtual time `until`.
+    pub fn run_until(&mut self, until: Timestamp) -> Result<()> {
+        while let Some(Reverse((at, _, idx))) = self.queue.peek().copied() {
+            if at > until {
+                break;
+            }
+            self.queue.pop();
+            self.clock = at;
+            let ev = self.events[idx].clone();
+            self.dispatch(at, ev)?;
+        }
+        self.clock = until;
+        Ok(())
+    }
+
+    /// Runs for `secs` of virtual time from the current clock.
+    pub fn run_for(&mut self, secs: i64) -> Result<()> {
+        self.run_until(self.clock + TsDuration::from_secs(secs))
+    }
+
+    /// Forces every live sniffer to pump immediately (e.g. before asking
+    /// the database questions in tests).
+    pub fn pump_all(&mut self) -> Result<usize> {
+        let now = self.clock;
+        let mut shipped = 0;
+        for i in 0..self.machines.len() {
+            if self.machines[i].state != MachineState::Failed {
+                let m = &mut self.machines[i];
+                shipped += m.sniffer.pump(&self.db, &self.schema, &mut m.log, now)?;
+            }
+        }
+        Ok(shipped)
+    }
+
+    /// Pumps one machine's sniffer with a custom horizon — handy for
+    /// constructing the paper's out-of-order visibility scenarios.
+    pub fn pump_machine(&mut self, machine: usize, now: Timestamp) -> Result<usize> {
+        let m = &mut self.machines[machine];
+        m.sniffer.pump(&self.db, &self.schema, &mut m.log, now)
+    }
+
+    fn dispatch(&mut self, at: Timestamp, ev: SimEvent) -> Result<()> {
+        match ev {
+            SimEvent::JobArrival { scheduler } => {
+                // Schedule the next arrival regardless.
+                let dt = self.rng.random_range(1..=self.config.arrival_secs.max(1) * 2);
+                self.schedule(at + TsDuration::from_secs(dt), SimEvent::JobArrival {
+                    scheduler,
+                });
+                if self.machines[scheduler].state == MachineState::Failed {
+                    return Ok(()); // submissions to a dead schedd are lost
+                }
+                let job = self.next_job;
+                self.next_job += 1;
+                self.machines[scheduler]
+                    .log
+                    .append(at, GridEvent::JobSubmitted { job });
+                // Pick an idle target: prefer neighbors, else any idle.
+                let target = self
+                    .machines[scheduler]
+                    .neighbors
+                    .iter()
+                    .copied()
+                    .find(|&j| self.machines[j].state == MachineState::Idle)
+                    .or_else(|| {
+                        (0..self.machines.len())
+                            .find(|&j| self.machines[j].state == MachineState::Idle)
+                    });
+                let Some(target) = target else {
+                    return Ok(()); // grid saturated; job stays queued at schedd
+                };
+                let target_id = self.machines[target].id.clone();
+                self.machines[scheduler]
+                    .log
+                    .append(at, GridEvent::JobRouted { job, target: target_id });
+                // Reserve the target now so later arrivals pick elsewhere.
+                self.machines[target].state = MachineState::Busy;
+                let delay = self
+                    .rng
+                    .random_range(self.config.route_delay_secs.0..=self.config.route_delay_secs.1);
+                self.schedule(
+                    at + TsDuration::from_secs(delay),
+                    SimEvent::JobStart {
+                        machine: target,
+                        job,
+                    },
+                );
+            }
+            SimEvent::JobStart { machine, job } => {
+                if self.machines[machine].state == MachineState::Failed {
+                    return Ok(()); // job lost to the failure; schedd would retry IRL
+                }
+                self.machines[machine]
+                    .log
+                    .append(at, GridEvent::JobStarted { job });
+                self.machines[machine]
+                    .log
+                    .append(at, GridEvent::StateChanged { state: "busy" });
+                let service = self
+                    .rng
+                    .random_range(self.config.service_secs.0..=self.config.service_secs.1);
+                self.schedule(
+                    at + TsDuration::from_secs(service),
+                    SimEvent::JobComplete {
+                        machine,
+                        job,
+                        started: at,
+                    },
+                );
+            }
+            SimEvent::JobComplete { machine, job, started } => {
+                if self.machines[machine].state == MachineState::Failed {
+                    return Ok(());
+                }
+                let cpu_secs = (at - started).secs();
+                self.machines[machine]
+                    .log
+                    .append(at, GridEvent::JobCompleted { job, cpu_secs });
+                self.machines[machine]
+                    .log
+                    .append(at, GridEvent::StateChanged { state: "idle" });
+                self.machines[machine].state = MachineState::Idle;
+                self.jobs_completed += 1;
+            }
+            SimEvent::HeartbeatTick { machine } => {
+                if self.machines[machine].state != MachineState::Failed {
+                    // Only beat when the log has been quiet (a busy daemon
+                    // already advances recency through its events).
+                    let quiet = self.machines[machine]
+                        .log
+                        .latest()
+                        .is_none_or(|t| at - t >= TsDuration::from_secs(self.config.heartbeat_secs));
+                    if quiet {
+                        self.machines[machine].log.append(at, GridEvent::Heartbeat);
+                    }
+                }
+                self.schedule(
+                    at + TsDuration::from_secs(self.config.heartbeat_secs),
+                    SimEvent::HeartbeatTick { machine },
+                );
+            }
+            SimEvent::SnifferPump { machine } => {
+                if self.machines[machine].state != MachineState::Failed {
+                    let m = &mut self.machines[machine];
+                    m.sniffer.pump(&self.db, &self.schema, &mut m.log, at)?;
+                }
+                self.schedule(
+                    at + TsDuration::from_secs(self.config.sniffer_period_secs.max(1)),
+                    SimEvent::SnifferPump { machine },
+                );
+            }
+            SimEvent::Fail { machine } => {
+                if self.machines[machine].state != MachineState::Failed {
+                    self.machines[machine].state = MachineState::Failed;
+                    self.schedule(
+                        at + TsDuration::from_secs(self.config.outage_secs),
+                        SimEvent::Recover { machine },
+                    );
+                }
+            }
+            SimEvent::Recover { machine } => {
+                if self.machines[machine].state == MachineState::Failed {
+                    self.machines[machine].state = MachineState::Idle;
+                    self.machines[machine]
+                        .log
+                        .append(at, GridEvent::StateChanged { state: "idle" });
+                }
+                // Next failure is drawn only after recovery, so outages
+                // never compound into a permanently-dead pool.
+                if self.config.mtbf_secs > 0 {
+                    let dt = self
+                        .rng
+                        .random_range(self.config.mtbf_secs..=self.config.mtbf_secs * 3);
+                    self.schedule(at + TsDuration::from_secs(dt), SimEvent::Fail { machine });
+                }
+            }
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use trac_storage::heartbeat;
+
+    #[test]
+    fn deterministic_under_seed() {
+        let mut a = GridSim::new(GridConfig::default()).unwrap();
+        let mut b = GridSim::new(GridConfig::default()).unwrap();
+        a.run_for(3600).unwrap();
+        b.run_for(3600).unwrap();
+        assert_eq!(a.jobs_completed(), b.jobs_completed());
+        assert!(a.jobs_completed() > 0, "jobs should flow");
+        let ra = a.db().begin_read();
+        let rb = b.db().begin_read();
+        assert_eq!(
+            ra.row_count(a.schema().job_events).unwrap(),
+            rb.row_count(b.schema().job_events).unwrap()
+        );
+    }
+
+    #[test]
+    fn different_seeds_differ() {
+        let mut a = GridSim::new(GridConfig::default()).unwrap();
+        let mut b = GridSim::new(GridConfig {
+            seed: 43,
+            ..Default::default()
+        })
+        .unwrap();
+        a.run_for(7200).unwrap();
+        b.run_for(7200).unwrap();
+        let ra = a.db().begin_read().row_count(a.schema().job_events).unwrap();
+        let rb = b.db().begin_read().row_count(b.schema().job_events).unwrap();
+        assert_ne!((a.jobs_completed(), ra), (b.jobs_completed(), rb));
+    }
+
+    #[test]
+    fn database_lags_the_logs() {
+        let mut sim = GridSim::new(GridConfig {
+            sniffer_lag_secs: (300, 600), // very laggy sniffers
+            ..Default::default()
+        })
+        .unwrap();
+        sim.run_for(900).unwrap();
+        // Logs have events the database hasn't seen yet.
+        let total_backlog: usize = (0..8).map(|i| sim.backlog(i)).sum();
+        assert!(total_backlog > 0, "laggy sniffers must leave a backlog");
+        // Recency timestamps trail the clock.
+        let txn = sim.db().begin_read();
+        let beats = heartbeat::all_recencies(&txn).unwrap();
+        assert_eq!(beats.len(), 8);
+        assert!(beats.iter().all(|(_, t)| *t < sim.clock()));
+    }
+
+    #[test]
+    fn heartbeats_keep_idle_machines_fresh() {
+        let mut sim = GridSim::new(GridConfig {
+            n_schedulers: 0, // no jobs at all
+            heartbeat_secs: 30,
+            sniffer_lag_secs: (1, 2),
+            sniffer_period_secs: 5,
+            ..Default::default()
+        })
+        .unwrap();
+        sim.run_for(3600).unwrap();
+        let txn = sim.db().begin_read();
+        let beats = heartbeat::all_recencies(&txn).unwrap();
+        for (s, t) in beats {
+            let staleness = sim.clock() - t;
+            assert!(
+                staleness <= TsDuration::from_secs(30 + 5 + 2 + 1),
+                "{s} is {staleness} stale despite heartbeats"
+            );
+        }
+    }
+
+    #[test]
+    fn failures_produce_stale_sources() {
+        let mut sim = GridSim::new(GridConfig {
+            n_machines: 4,
+            n_schedulers: 1,
+            mtbf_secs: 300,
+            outage_secs: 3000,
+            heartbeat_secs: 20,
+            sniffer_lag_secs: (1, 2),
+            sniffer_period_secs: 5,
+            ..Default::default()
+        })
+        .unwrap();
+        sim.run_for(2400).unwrap();
+        let failed: Vec<usize> = (0..4)
+            .filter(|&i| sim.machine_state(i) == MachineState::Failed)
+            .collect();
+        assert!(!failed.is_empty(), "with mtbf=300s someone must be down");
+        let txn = sim.db().begin_read();
+        let beats = heartbeat::all_recencies(&txn).unwrap();
+        let ids = sim.machine_ids();
+        // A failed machine's recency froze; a live one kept beating.
+        let live = (0..4).find(|&i| sim.machine_state(i) != MachineState::Failed);
+        if let Some(live) = live {
+            let failed_recency = beats
+                .iter()
+                .find(|(s, _)| s == &ids[failed[0]])
+                .unwrap()
+                .1;
+            let live_recency = beats.iter().find(|(s, _)| s == &ids[live]).unwrap().1;
+            assert!(live_recency > failed_recency);
+        }
+    }
+
+    #[test]
+    fn s_and_r_tables_populate() {
+        let mut sim = GridSim::new(GridConfig {
+            sniffer_lag_secs: (1, 3),
+            sniffer_period_secs: 5,
+            ..Default::default()
+        })
+        .unwrap();
+        sim.run_for(3600).unwrap();
+        sim.pump_all().unwrap();
+        let txn = sim.db().begin_read();
+        assert!(txn.row_count(sim.schema().sched).unwrap() > 0);
+        assert!(txn.row_count(sim.schema().job_events).unwrap() > 0);
+        assert_eq!(txn.row_count(sim.schema().activity).unwrap(), 8);
+        // Routing rows: 8 machines × 3 neighbors.
+        assert_eq!(txn.row_count(sim.schema().routing).unwrap(), 24);
+    }
+
+    #[test]
+    fn rejects_bad_config() {
+        assert!(GridSim::new(GridConfig {
+            n_machines: 0,
+            ..Default::default()
+        })
+        .is_err());
+        assert!(GridSim::new(GridConfig {
+            n_machines: 2,
+            n_schedulers: 5,
+            ..Default::default()
+        })
+        .is_err());
+    }
+}

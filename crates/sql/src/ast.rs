@@ -1,0 +1,703 @@
+//! Abstract syntax trees and SQL printing.
+//!
+//! `Display` implementations regenerate valid SQL; the TRAC analyzer uses
+//! this to expose its automatically generated recency queries to users in
+//! a readable form (the paper's prototype manipulated query *strings*; we
+//! manipulate trees and print on demand).
+
+use std::fmt;
+use trac_types::Value;
+
+/// A parsed SQL statement.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Statement {
+    /// `SELECT …`
+    Select(SelectStmt),
+    /// `INSERT INTO …`
+    Insert(InsertStmt),
+    /// `UPDATE …`
+    Update(UpdateStmt),
+    /// `DELETE FROM …`
+    Delete(DeleteStmt),
+    /// `CREATE TABLE …`
+    CreateTable(CreateTableStmt),
+    /// `CREATE INDEX …`
+    CreateIndex(CreateIndexStmt),
+    /// `DROP TABLE name`
+    DropTable(String),
+}
+
+/// One table mention in a `FROM` list.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct TableRef {
+    /// Table name.
+    pub table: String,
+    /// Optional alias (`FROM Routing R`).
+    pub alias: Option<String>,
+}
+
+impl TableRef {
+    /// The name this table is referenced by in expressions.
+    pub fn binding_name(&self) -> &str {
+        self.alias.as_deref().unwrap_or(&self.table)
+    }
+}
+
+/// One item of a `SELECT` projection list.
+#[derive(Debug, Clone, PartialEq)]
+pub enum SelectItem {
+    /// `*`
+    Wildcard,
+    /// An expression with an optional alias.
+    Expr {
+        /// The projected expression.
+        expr: Expr,
+        /// `AS alias`, if given.
+        alias: Option<String>,
+    },
+}
+
+/// An `ORDER BY` key.
+#[derive(Debug, Clone, PartialEq)]
+pub struct OrderKey {
+    /// The sort expression.
+    pub expr: Expr,
+    /// `true` for descending.
+    pub desc: bool,
+}
+
+/// A `SELECT` statement (single SPJ block, as the paper assumes, plus
+/// grouping for aggregate roll-ups like the intro's "CPU seconds used").
+#[derive(Debug, Clone, PartialEq)]
+pub struct SelectStmt {
+    /// `SELECT DISTINCT`?
+    pub distinct: bool,
+    /// Projection list.
+    pub items: Vec<SelectItem>,
+    /// Comma-joined `FROM` list.
+    pub from: Vec<TableRef>,
+    /// `WHERE` predicate.
+    pub where_clause: Option<Expr>,
+    /// `GROUP BY` keys.
+    pub group_by: Vec<Expr>,
+    /// `HAVING` predicate (may contain aggregates).
+    pub having: Option<Expr>,
+    /// `ORDER BY` keys.
+    pub order_by: Vec<OrderKey>,
+    /// `LIMIT n`.
+    pub limit: Option<u64>,
+}
+
+/// An `INSERT INTO t [(cols)] VALUES (…), (…)` statement.
+#[derive(Debug, Clone, PartialEq)]
+pub struct InsertStmt {
+    /// Target table.
+    pub table: String,
+    /// Optional explicit column list.
+    pub columns: Option<Vec<String>>,
+    /// Row literals.
+    pub rows: Vec<Vec<Expr>>,
+}
+
+/// An `UPDATE t SET c = e, … [WHERE p]` statement.
+#[derive(Debug, Clone, PartialEq)]
+pub struct UpdateStmt {
+    /// Target table.
+    pub table: String,
+    /// `SET` assignments.
+    pub assignments: Vec<(String, Expr)>,
+    /// Optional predicate.
+    pub where_clause: Option<Expr>,
+}
+
+/// A `DELETE FROM t [WHERE p]` statement.
+#[derive(Debug, Clone, PartialEq)]
+pub struct DeleteStmt {
+    /// Target table.
+    pub table: String,
+    /// Optional predicate.
+    pub where_clause: Option<Expr>,
+}
+
+/// A `CREATE TABLE` statement. The non-standard trailing
+/// `SOURCE COLUMN name` clause designates the data source column
+/// (Section 3.3's schema model, surfaced in the DDL); trailing
+/// `CHECK (expr)` clauses attach row constraints.
+#[derive(Debug, Clone, PartialEq)]
+pub struct CreateTableStmt {
+    /// Table name.
+    pub table: String,
+    /// `(name, type-name, nullable)` triples.
+    pub columns: Vec<(String, String, bool)>,
+    /// Optional data source column.
+    pub source_column: Option<String>,
+    /// `CHECK` constraint bodies, in declaration order.
+    pub checks: Vec<Expr>,
+}
+
+/// A `CREATE INDEX name ON table (column)` statement.
+#[derive(Debug, Clone, PartialEq)]
+pub struct CreateIndexStmt {
+    /// Index name (informational; the engine derives its own).
+    pub name: String,
+    /// Indexed table.
+    pub table: String,
+    /// Indexed column.
+    pub column: String,
+}
+
+/// Binary operators.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum BinaryOp {
+    /// `=`
+    Eq,
+    /// `<>`
+    NotEq,
+    /// `<`
+    Lt,
+    /// `<=`
+    LtEq,
+    /// `>`
+    Gt,
+    /// `>=`
+    GtEq,
+    /// `AND`
+    And,
+    /// `OR`
+    Or,
+    /// `+`
+    Add,
+    /// `-`
+    Sub,
+    /// `*`
+    Mul,
+    /// `/`
+    Div,
+}
+
+impl BinaryOp {
+    /// True for `=`, `<>`, `<`, `<=`, `>`, `>=`.
+    pub fn is_comparison(self) -> bool {
+        matches!(
+            self,
+            BinaryOp::Eq
+                | BinaryOp::NotEq
+                | BinaryOp::Lt
+                | BinaryOp::LtEq
+                | BinaryOp::Gt
+                | BinaryOp::GtEq
+        )
+    }
+
+    /// SQL spelling.
+    pub fn sql(self) -> &'static str {
+        match self {
+            BinaryOp::Eq => "=",
+            BinaryOp::NotEq => "<>",
+            BinaryOp::Lt => "<",
+            BinaryOp::LtEq => "<=",
+            BinaryOp::Gt => ">",
+            BinaryOp::GtEq => ">=",
+            BinaryOp::And => "AND",
+            BinaryOp::Or => "OR",
+            BinaryOp::Add => "+",
+            BinaryOp::Sub => "-",
+            BinaryOp::Mul => "*",
+            BinaryOp::Div => "/",
+        }
+    }
+
+    /// The comparison with its operands swapped (`a < b` ⇔ `b > a`).
+    pub fn flip(self) -> BinaryOp {
+        match self {
+            BinaryOp::Lt => BinaryOp::Gt,
+            BinaryOp::LtEq => BinaryOp::GtEq,
+            BinaryOp::Gt => BinaryOp::Lt,
+            BinaryOp::GtEq => BinaryOp::LtEq,
+            other => other,
+        }
+    }
+
+    /// The negated comparison (`NOT (a < b)` ⇔ `a >= b`).
+    pub fn negate_comparison(self) -> Option<BinaryOp> {
+        Some(match self {
+            BinaryOp::Eq => BinaryOp::NotEq,
+            BinaryOp::NotEq => BinaryOp::Eq,
+            BinaryOp::Lt => BinaryOp::GtEq,
+            BinaryOp::LtEq => BinaryOp::Gt,
+            BinaryOp::Gt => BinaryOp::LtEq,
+            BinaryOp::GtEq => BinaryOp::Lt,
+            _ => return None,
+        })
+    }
+}
+
+/// Scalar / boolean expressions.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Expr {
+    /// A column reference, optionally qualified (`A.mach_id`).
+    Column {
+        /// Table name or alias qualifier.
+        qualifier: Option<String>,
+        /// Column name.
+        name: String,
+    },
+    /// A literal value.
+    Literal(Value),
+    /// Binary operation.
+    Binary {
+        /// Operator.
+        op: BinaryOp,
+        /// Left operand.
+        lhs: Box<Expr>,
+        /// Right operand.
+        rhs: Box<Expr>,
+    },
+    /// `expr [NOT] IN (v1, v2, …)`.
+    InList {
+        /// Tested expression.
+        expr: Box<Expr>,
+        /// List members.
+        list: Vec<Expr>,
+        /// `NOT IN`?
+        negated: bool,
+    },
+    /// `expr [NOT] BETWEEN lo AND hi`.
+    Between {
+        /// Tested expression.
+        expr: Box<Expr>,
+        /// Lower bound (inclusive).
+        lo: Box<Expr>,
+        /// Upper bound (inclusive).
+        hi: Box<Expr>,
+        /// `NOT BETWEEN`?
+        negated: bool,
+    },
+    /// `expr IS [NOT] NULL`.
+    IsNull {
+        /// Tested expression.
+        expr: Box<Expr>,
+        /// `IS NOT NULL`?
+        negated: bool,
+    },
+    /// `NOT expr`.
+    Not(Box<Expr>),
+    /// Unary minus.
+    Neg(Box<Expr>),
+    /// Aggregate or scalar function call; `COUNT(*)` is
+    /// `Func { name: "COUNT", args: [], wildcard: true }`.
+    Func {
+        /// Upper-cased function name.
+        name: String,
+        /// Arguments.
+        args: Vec<Expr>,
+        /// `COUNT(*)`.
+        wildcard: bool,
+    },
+}
+
+impl Expr {
+    /// Builds `lhs op rhs`.
+    pub fn binary(op: BinaryOp, lhs: Expr, rhs: Expr) -> Expr {
+        Expr::Binary {
+            op,
+            lhs: Box::new(lhs),
+            rhs: Box::new(rhs),
+        }
+    }
+
+    /// Builds an unqualified column reference.
+    pub fn col(name: impl Into<String>) -> Expr {
+        Expr::Column {
+            qualifier: None,
+            name: name.into(),
+        }
+    }
+
+    /// Builds a qualified column reference.
+    pub fn qcol(qualifier: impl Into<String>, name: impl Into<String>) -> Expr {
+        Expr::Column {
+            qualifier: Some(qualifier.into()),
+            name: name.into(),
+        }
+    }
+
+    /// Builds a literal.
+    pub fn lit(v: impl Into<Value>) -> Expr {
+        Expr::Literal(v.into())
+    }
+
+    /// Conjunction of a list of expressions (`None` for empty input).
+    pub fn conjoin(exprs: impl IntoIterator<Item = Expr>) -> Option<Expr> {
+        exprs
+            .into_iter()
+            .reduce(|a, b| Expr::binary(BinaryOp::And, a, b))
+    }
+
+    /// Disjunction of a list of expressions (`None` for empty input).
+    pub fn disjoin(exprs: impl IntoIterator<Item = Expr>) -> Option<Expr> {
+        exprs
+            .into_iter()
+            .reduce(|a, b| Expr::binary(BinaryOp::Or, a, b))
+    }
+
+    /// True when the expression contains an aggregate function call.
+    pub fn contains_aggregate(&self) -> bool {
+        match self {
+            Expr::Func { name, args, .. } => {
+                matches!(name.as_str(), "COUNT" | "SUM" | "AVG" | "MIN" | "MAX")
+                    || args.iter().any(Expr::contains_aggregate)
+            }
+            Expr::Binary { lhs, rhs, .. } => {
+                lhs.contains_aggregate() || rhs.contains_aggregate()
+            }
+            Expr::InList { expr, list, .. } => {
+                expr.contains_aggregate() || list.iter().any(Expr::contains_aggregate)
+            }
+            Expr::Between { expr, lo, hi, .. } => {
+                expr.contains_aggregate()
+                    || lo.contains_aggregate()
+                    || hi.contains_aggregate()
+            }
+            Expr::IsNull { expr, .. } | Expr::Not(expr) | Expr::Neg(expr) => {
+                expr.contains_aggregate()
+            }
+            Expr::Column { .. } | Expr::Literal(_) => false,
+        }
+    }
+}
+
+fn prec(op: BinaryOp) -> u8 {
+    match op {
+        BinaryOp::Or => 1,
+        BinaryOp::And => 2,
+        BinaryOp::Eq
+        | BinaryOp::NotEq
+        | BinaryOp::Lt
+        | BinaryOp::LtEq
+        | BinaryOp::Gt
+        | BinaryOp::GtEq => 4,
+        BinaryOp::Add | BinaryOp::Sub => 5,
+        BinaryOp::Mul | BinaryOp::Div => 6,
+    }
+}
+
+fn fmt_operand(e: &Expr, parent: u8, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+    let own = match e {
+        Expr::Binary { op, .. } => prec(*op),
+        Expr::Not(_) => 3,
+        // Postfix predicates cannot chain (`a IN (1) = b` does not
+        // parse), so force parens anywhere a comparison operand or
+        // another postfix's subject would need them.
+        Expr::InList { .. } | Expr::Between { .. } | Expr::IsNull { .. } => 3,
+        _ => 7,
+    };
+    if own < parent {
+        write!(f, "({e})")
+    } else {
+        write!(f, "{e}")
+    }
+}
+
+impl fmt::Display for Expr {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Expr::Column { qualifier, name } => match qualifier {
+                Some(q) => write!(f, "{q}.{name}"),
+                None => write!(f, "{name}"),
+            },
+            Expr::Literal(v) => f.write_str(&v.to_sql_literal()),
+            Expr::Binary { op, lhs, rhs } => {
+                let p = prec(*op);
+                // Comparisons don't chain in the grammar (`a = b >= c`
+                // does not parse), so a comparison operand of a comparison
+                // needs parens on either side.
+                let lhs_parent = if op.is_comparison() { p + 1 } else { p };
+                fmt_operand(lhs, lhs_parent, f)?;
+                write!(f, " {} ", op.sql())?;
+                // Always parenthesize a right operand of equal precedence:
+                // required for non-associative ops (`a - (b - c)`,
+                // `a * (b / c)`), and it keeps parse(print(e)) == e
+                // structurally for the associative ones too.
+                fmt_operand(rhs, p + 1, f)
+            }
+            Expr::InList {
+                expr,
+                list,
+                negated,
+            } => {
+                fmt_operand(expr, 5, f)?;
+                write!(f, " {}IN (", if *negated { "NOT " } else { "" })?;
+                for (i, e) in list.iter().enumerate() {
+                    if i > 0 {
+                        write!(f, ", ")?;
+                    }
+                    write!(f, "{e}")?;
+                }
+                write!(f, ")")
+            }
+            Expr::Between {
+                expr,
+                lo,
+                hi,
+                negated,
+            } => {
+                fmt_operand(expr, 5, f)?;
+                write!(f, " {}BETWEEN ", if *negated { "NOT " } else { "" })?;
+                fmt_operand(lo, 5, f)?;
+                write!(f, " AND ")?;
+                fmt_operand(hi, 5, f)
+            }
+            Expr::IsNull { expr, negated } => {
+                fmt_operand(expr, 5, f)?;
+                write!(f, " IS {}NULL", if *negated { "NOT " } else { "" })
+            }
+            Expr::Not(e) => {
+                write!(f, "NOT ")?;
+                fmt_operand(e, 4, f)
+            }
+            Expr::Neg(e) => {
+                write!(f, "-")?;
+                fmt_operand(e, 7, f)
+            }
+            Expr::Func {
+                name,
+                args,
+                wildcard,
+            } => {
+                write!(f, "{name}(")?;
+                if *wildcard {
+                    write!(f, "*")?;
+                } else {
+                    for (i, a) in args.iter().enumerate() {
+                        if i > 0 {
+                            write!(f, ", ")?;
+                        }
+                        write!(f, "{a}")?;
+                    }
+                }
+                write!(f, ")")
+            }
+        }
+    }
+}
+
+impl fmt::Display for TableRef {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match &self.alias {
+            Some(a) => write!(f, "{} {a}", self.table),
+            None => write!(f, "{}", self.table),
+        }
+    }
+}
+
+impl fmt::Display for SelectStmt {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "SELECT ")?;
+        if self.distinct {
+            write!(f, "DISTINCT ")?;
+        }
+        for (i, item) in self.items.iter().enumerate() {
+            if i > 0 {
+                write!(f, ", ")?;
+            }
+            match item {
+                SelectItem::Wildcard => write!(f, "*")?,
+                SelectItem::Expr { expr, alias } => {
+                    write!(f, "{expr}")?;
+                    if let Some(a) = alias {
+                        write!(f, " AS {a}")?;
+                    }
+                }
+            }
+        }
+        write!(f, " FROM ")?;
+        for (i, t) in self.from.iter().enumerate() {
+            if i > 0 {
+                write!(f, ", ")?;
+            }
+            write!(f, "{t}")?;
+        }
+        if let Some(w) = &self.where_clause {
+            write!(f, " WHERE {w}")?;
+        }
+        if !self.group_by.is_empty() {
+            write!(f, " GROUP BY ")?;
+            for (i, g) in self.group_by.iter().enumerate() {
+                if i > 0 {
+                    write!(f, ", ")?;
+                }
+                write!(f, "{g}")?;
+            }
+        }
+        if let Some(h) = &self.having {
+            write!(f, " HAVING {h}")?;
+        }
+        if !self.order_by.is_empty() {
+            write!(f, " ORDER BY ")?;
+            for (i, k) in self.order_by.iter().enumerate() {
+                if i > 0 {
+                    write!(f, ", ")?;
+                }
+                write!(f, "{}{}", k.expr, if k.desc { " DESC" } else { "" })?;
+            }
+        }
+        if let Some(n) = self.limit {
+            write!(f, " LIMIT {n}")?;
+        }
+        Ok(())
+    }
+}
+
+impl fmt::Display for Statement {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Statement::Select(s) => write!(f, "{s}"),
+            Statement::Insert(s) => {
+                write!(f, "INSERT INTO {}", s.table)?;
+                if let Some(cols) = &s.columns {
+                    write!(f, " ({})", cols.join(", "))?;
+                }
+                write!(f, " VALUES ")?;
+                for (i, row) in s.rows.iter().enumerate() {
+                    if i > 0 {
+                        write!(f, ", ")?;
+                    }
+                    write!(f, "(")?;
+                    for (j, e) in row.iter().enumerate() {
+                        if j > 0 {
+                            write!(f, ", ")?;
+                        }
+                        write!(f, "{e}")?;
+                    }
+                    write!(f, ")")?;
+                }
+                Ok(())
+            }
+            Statement::Update(s) => {
+                write!(f, "UPDATE {} SET ", s.table)?;
+                for (i, (c, e)) in s.assignments.iter().enumerate() {
+                    if i > 0 {
+                        write!(f, ", ")?;
+                    }
+                    write!(f, "{c} = {e}")?;
+                }
+                if let Some(w) = &s.where_clause {
+                    write!(f, " WHERE {w}")?;
+                }
+                Ok(())
+            }
+            Statement::Delete(s) => {
+                write!(f, "DELETE FROM {}", s.table)?;
+                if let Some(w) = &s.where_clause {
+                    write!(f, " WHERE {w}")?;
+                }
+                Ok(())
+            }
+            Statement::CreateTable(s) => {
+                write!(f, "CREATE TABLE {} (", s.table)?;
+                for (i, (name, ty, nullable)) in s.columns.iter().enumerate() {
+                    if i > 0 {
+                        write!(f, ", ")?;
+                    }
+                    write!(f, "{name} {ty}{}", if *nullable { "" } else { " NOT NULL" })?;
+                }
+                write!(f, ")")?;
+                if let Some(sc) = &s.source_column {
+                    write!(f, " SOURCE COLUMN {sc}")?;
+                }
+                for c in &s.checks {
+                    write!(f, " CHECK ({c})")?;
+                }
+                Ok(())
+            }
+            Statement::CreateIndex(s) => {
+                write!(f, "CREATE INDEX {} ON {} ({})", s.name, s.table, s.column)
+            }
+            Statement::DropTable(t) => write!(f, "DROP TABLE {t}"),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_parenthesizes_by_precedence() {
+        // (a OR b) AND c must keep its parens.
+        let e = Expr::binary(
+            BinaryOp::And,
+            Expr::binary(BinaryOp::Or, Expr::col("a"), Expr::col("b")),
+            Expr::col("c"),
+        );
+        assert_eq!(e.to_string(), "(a OR b) AND c");
+        // a OR b AND c needs none.
+        let e = Expr::binary(
+            BinaryOp::Or,
+            Expr::col("a"),
+            Expr::binary(BinaryOp::And, Expr::col("b"), Expr::col("c")),
+        );
+        assert_eq!(e.to_string(), "a OR b AND c");
+    }
+
+    #[test]
+    fn display_subtraction_associativity() {
+        // (a - b) - c prints without parens; a - (b - c) keeps them.
+        let l = Expr::binary(
+            BinaryOp::Sub,
+            Expr::binary(BinaryOp::Sub, Expr::col("a"), Expr::col("b")),
+            Expr::col("c"),
+        );
+        assert_eq!(l.to_string(), "a - b - c");
+        let r = Expr::binary(
+            BinaryOp::Sub,
+            Expr::col("a"),
+            Expr::binary(BinaryOp::Sub, Expr::col("b"), Expr::col("c")),
+        );
+        assert_eq!(r.to_string(), "a - (b - c)");
+    }
+
+    #[test]
+    fn display_in_and_not() {
+        let e = Expr::Not(Box::new(Expr::InList {
+            expr: Box::new(Expr::qcol("A", "mach_id")),
+            list: vec![Expr::lit("m1"), Expr::lit("m2")],
+            negated: false,
+        }));
+        assert_eq!(e.to_string(), "NOT (A.mach_id IN ('m1', 'm2'))");
+    }
+
+    #[test]
+    fn op_helpers() {
+        assert_eq!(BinaryOp::Lt.flip(), BinaryOp::Gt);
+        assert_eq!(BinaryOp::Eq.flip(), BinaryOp::Eq);
+        assert_eq!(BinaryOp::LtEq.negate_comparison(), Some(BinaryOp::Gt));
+        assert_eq!(BinaryOp::And.negate_comparison(), None);
+        assert!(BinaryOp::Eq.is_comparison());
+        assert!(!BinaryOp::Add.is_comparison());
+    }
+
+    #[test]
+    fn aggregate_detection() {
+        let e = Expr::Func {
+            name: "COUNT".into(),
+            args: vec![],
+            wildcard: true,
+        };
+        assert!(e.contains_aggregate());
+        assert!(!Expr::col("x").contains_aggregate());
+        let nested = Expr::binary(BinaryOp::Add, e, Expr::lit(1i64));
+        assert!(nested.contains_aggregate());
+    }
+
+    #[test]
+    fn conjoin_disjoin() {
+        assert_eq!(Expr::conjoin([]), None);
+        assert_eq!(Expr::conjoin([Expr::col("a")]), Some(Expr::col("a")));
+        let e = Expr::conjoin([Expr::col("a"), Expr::col("b"), Expr::col("c")]).unwrap();
+        assert_eq!(e.to_string(), "a AND b AND c");
+        let d = Expr::disjoin([Expr::col("a"), Expr::col("b")]).unwrap();
+        assert_eq!(d.to_string(), "a OR b");
+    }
+}

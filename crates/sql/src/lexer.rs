@@ -1,0 +1,409 @@
+//! Hand-written SQL lexer.
+
+use trac_types::{Result, TracError};
+
+/// Kinds of lexical tokens.
+#[derive(Debug, Clone, PartialEq)]
+pub enum TokenKind {
+    /// Unquoted identifier or keyword (stored as written).
+    Ident(String),
+    /// Single-quoted string literal (quotes stripped, `''` unescaped).
+    StringLit(String),
+    /// Integer literal.
+    IntLit(i64),
+    /// Float literal.
+    FloatLit(f64),
+    /// `=`
+    Eq,
+    /// `<>` or `!=`
+    NotEq,
+    /// `<`
+    Lt,
+    /// `<=`
+    LtEq,
+    /// `>`
+    Gt,
+    /// `>=`
+    GtEq,
+    /// `(`
+    LParen,
+    /// `)`
+    RParen,
+    /// `,`
+    Comma,
+    /// `.`
+    Dot,
+    /// `;`
+    Semi,
+    /// `*`
+    Star,
+    /// `+`
+    Plus,
+    /// `-`
+    Minus,
+    /// `/`
+    Slash,
+    /// End of input.
+    Eof,
+}
+
+/// A token with its byte offset (for error messages).
+#[derive(Debug, Clone, PartialEq)]
+pub struct Token {
+    /// What was lexed.
+    pub kind: TokenKind,
+    /// Byte offset of the token start in the input.
+    pub offset: usize,
+}
+
+/// Tokenizes SQL text.
+pub struct Lexer<'a> {
+    src: &'a str,
+    bytes: &'a [u8],
+    pos: usize,
+}
+
+impl<'a> Lexer<'a> {
+    /// Creates a lexer over `src`.
+    pub fn new(src: &'a str) -> Lexer<'a> {
+        Lexer {
+            src,
+            bytes: src.as_bytes(),
+            pos: 0,
+        }
+    }
+
+    /// Lexes the whole input into tokens (with a trailing `Eof`).
+    pub fn tokenize(mut self) -> Result<Vec<Token>> {
+        let mut out = Vec::new();
+        loop {
+            let t = self.next_token()?;
+            let is_eof = t.kind == TokenKind::Eof;
+            out.push(t);
+            if is_eof {
+                return Ok(out);
+            }
+        }
+    }
+
+    fn peek(&self) -> Option<u8> {
+        self.bytes.get(self.pos).copied()
+    }
+
+    fn bump(&mut self) -> Option<u8> {
+        let b = self.peek()?;
+        self.pos += 1;
+        Some(b)
+    }
+
+    fn skip_trivia(&mut self) {
+        loop {
+            match self.peek() {
+                Some(b) if b.is_ascii_whitespace() => {
+                    self.pos += 1;
+                }
+                // `--` line comment
+                Some(b'-') if self.bytes.get(self.pos + 1) == Some(&b'-') => {
+                    while let Some(b) = self.peek() {
+                        self.pos += 1;
+                        if b == b'\n' {
+                            break;
+                        }
+                    }
+                }
+                _ => return,
+            }
+        }
+    }
+
+    fn next_token(&mut self) -> Result<Token> {
+        self.skip_trivia();
+        let offset = self.pos;
+        let tok = |kind| Token { kind, offset };
+        let Some(b) = self.peek() else {
+            return Ok(tok(TokenKind::Eof));
+        };
+        match b {
+            b'\'' => {
+                self.bump();
+                let mut s = String::new();
+                loop {
+                    match self.bump() {
+                        Some(b'\'') => {
+                            if self.peek() == Some(b'\'') {
+                                self.bump();
+                                s.push('\'');
+                            } else {
+                                return Ok(tok(TokenKind::StringLit(s)));
+                            }
+                        }
+                        Some(c) => s.push(c as char),
+                        None => {
+                            return Err(TracError::Parse(format!(
+                                "unterminated string literal at byte {offset}"
+                            )))
+                        }
+                    }
+                }
+            }
+            b'0'..=b'9' => self.lex_number(offset),
+            b'_' | b'a'..=b'z' | b'A'..=b'Z' => {
+                let start = self.pos;
+                while matches!(self.peek(), Some(c) if c == b'_' || c.is_ascii_alphanumeric())
+                {
+                    self.pos += 1;
+                }
+                Ok(tok(TokenKind::Ident(self.src[start..self.pos].to_string())))
+            }
+            b'=' => {
+                self.bump();
+                Ok(tok(TokenKind::Eq))
+            }
+            b'!' => {
+                self.bump();
+                if self.peek() == Some(b'=') {
+                    self.bump();
+                    Ok(tok(TokenKind::NotEq))
+                } else {
+                    Err(TracError::Parse(format!("stray `!` at byte {offset}")))
+                }
+            }
+            b'<' => {
+                self.bump();
+                match self.peek() {
+                    Some(b'=') => {
+                        self.bump();
+                        Ok(tok(TokenKind::LtEq))
+                    }
+                    Some(b'>') => {
+                        self.bump();
+                        Ok(tok(TokenKind::NotEq))
+                    }
+                    _ => Ok(tok(TokenKind::Lt)),
+                }
+            }
+            b'>' => {
+                self.bump();
+                if self.peek() == Some(b'=') {
+                    self.bump();
+                    Ok(tok(TokenKind::GtEq))
+                } else {
+                    Ok(tok(TokenKind::Gt))
+                }
+            }
+            b'(' => {
+                self.bump();
+                Ok(tok(TokenKind::LParen))
+            }
+            b')' => {
+                self.bump();
+                Ok(tok(TokenKind::RParen))
+            }
+            b',' => {
+                self.bump();
+                Ok(tok(TokenKind::Comma))
+            }
+            b'.' => {
+                self.bump();
+                Ok(tok(TokenKind::Dot))
+            }
+            b';' => {
+                self.bump();
+                Ok(tok(TokenKind::Semi))
+            }
+            b'*' => {
+                self.bump();
+                Ok(tok(TokenKind::Star))
+            }
+            b'+' => {
+                self.bump();
+                Ok(tok(TokenKind::Plus))
+            }
+            b'-' => {
+                self.bump();
+                Ok(tok(TokenKind::Minus))
+            }
+            b'/' => {
+                self.bump();
+                Ok(tok(TokenKind::Slash))
+            }
+            other => Err(TracError::Parse(format!(
+                "unexpected character {:?} at byte {offset}",
+                other as char
+            ))),
+        }
+    }
+
+    fn lex_number(&mut self, offset: usize) -> Result<Token> {
+        let start = self.pos;
+        while matches!(self.peek(), Some(c) if c.is_ascii_digit()) {
+            self.pos += 1;
+        }
+        let mut is_float = false;
+        // A fractional part: `.` followed by a digit (so `1.x` in a
+        // qualified name never lexes as a float).
+        if self.peek() == Some(b'.')
+            && matches!(self.bytes.get(self.pos + 1), Some(c) if c.is_ascii_digit())
+        {
+            is_float = true;
+            self.pos += 1;
+            while matches!(self.peek(), Some(c) if c.is_ascii_digit()) {
+                self.pos += 1;
+            }
+        }
+        if matches!(self.peek(), Some(b'e') | Some(b'E')) {
+            let mut j = self.pos + 1;
+            if matches!(self.bytes.get(j), Some(b'+') | Some(b'-')) {
+                j += 1;
+            }
+            if matches!(self.bytes.get(j), Some(c) if c.is_ascii_digit()) {
+                is_float = true;
+                self.pos = j;
+                while matches!(self.peek(), Some(c) if c.is_ascii_digit()) {
+                    self.pos += 1;
+                }
+            }
+        }
+        let text = &self.src[start..self.pos];
+        let kind = if is_float {
+            TokenKind::FloatLit(
+                text.parse()
+                    .map_err(|_| TracError::Parse(format!("bad float literal {text}")))?,
+            )
+        } else {
+            TokenKind::IntLit(
+                text.parse()
+                    .map_err(|_| TracError::Parse(format!("bad int literal {text}")))?,
+            )
+        };
+        Ok(Token { kind, offset })
+    }
+}
+
+impl Token {
+    /// If this token is an identifier, its text.
+    pub fn ident(&self) -> Option<&str> {
+        match &self.kind {
+            TokenKind::Ident(s) => Some(s),
+            _ => None,
+        }
+    }
+
+    /// True when the token is the given keyword (case-insensitive).
+    pub fn is_kw(&self, kw: &str) -> bool {
+        self.ident().is_some_and(|s| s.eq_ignore_ascii_case(kw))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn kinds(src: &str) -> Vec<TokenKind> {
+        Lexer::new(src)
+            .tokenize()
+            .unwrap()
+            .into_iter()
+            .map(|t| t.kind)
+            .collect()
+    }
+
+    #[test]
+    fn lexes_paper_query_q1() {
+        let ks = kinds("SELECT mach_id FROM Activity WHERE mach_id IN ('m1','m2') AND value = 'idle';");
+        assert_eq!(ks[0], TokenKind::Ident("SELECT".into()));
+        assert!(ks.contains(&TokenKind::StringLit("m1".into())));
+        assert!(ks.contains(&TokenKind::Eq));
+        assert_eq!(*ks.last().unwrap(), TokenKind::Eof);
+    }
+
+    #[test]
+    fn string_escapes() {
+        assert_eq!(
+            kinds("'o''brien'")[0],
+            TokenKind::StringLit("o'brien".into())
+        );
+        assert!(Lexer::new("'unterminated").tokenize().is_err());
+    }
+
+    #[test]
+    fn numbers() {
+        assert_eq!(kinds("42")[0], TokenKind::IntLit(42));
+        assert_eq!(kinds("3.5")[0], TokenKind::FloatLit(3.5));
+        assert_eq!(kinds("1e3")[0], TokenKind::FloatLit(1000.0));
+        assert_eq!(kinds("2.5e-1")[0], TokenKind::FloatLit(0.25));
+        // Qualified name after an integer stays separate.
+        assert_eq!(
+            kinds("1.x"),
+            vec![
+                TokenKind::IntLit(1),
+                TokenKind::Dot,
+                TokenKind::Ident("x".into()),
+                TokenKind::Eof
+            ]
+        );
+    }
+
+    #[test]
+    fn operators() {
+        assert_eq!(
+            kinds("a <> b != c <= d >= e < f > g"),
+            vec![
+                TokenKind::Ident("a".into()),
+                TokenKind::NotEq,
+                TokenKind::Ident("b".into()),
+                TokenKind::NotEq,
+                TokenKind::Ident("c".into()),
+                TokenKind::LtEq,
+                TokenKind::Ident("d".into()),
+                TokenKind::GtEq,
+                TokenKind::Ident("e".into()),
+                TokenKind::Lt,
+                TokenKind::Ident("f".into()),
+                TokenKind::Gt,
+                TokenKind::Ident("g".into()),
+                TokenKind::Eof
+            ]
+        );
+    }
+
+    #[test]
+    fn comments_and_whitespace() {
+        let ks = kinds("SELECT -- the projection\n  x");
+        assert_eq!(
+            ks,
+            vec![
+                TokenKind::Ident("SELECT".into()),
+                TokenKind::Ident("x".into()),
+                TokenKind::Eof
+            ]
+        );
+    }
+
+    #[test]
+    fn minus_vs_comment() {
+        // A single `-` is arithmetic, `--` is a comment.
+        assert_eq!(
+            kinds("1 - 2"),
+            vec![
+                TokenKind::IntLit(1),
+                TokenKind::Minus,
+                TokenKind::IntLit(2),
+                TokenKind::Eof
+            ]
+        );
+    }
+
+    #[test]
+    fn rejects_garbage() {
+        assert!(Lexer::new("SELECT @").tokenize().is_err());
+        assert!(Lexer::new("a ! b").tokenize().is_err());
+    }
+
+    #[test]
+    fn keyword_check_is_case_insensitive() {
+        let ts = Lexer::new("select").tokenize().unwrap();
+        assert!(ts[0].is_kw("SELECT"));
+        assert!(!ts[0].is_kw("FROM"));
+    }
+}

@@ -1,0 +1,24 @@
+//! SQL front end: lexer, AST, parser and SQL printing.
+//!
+//! The paper's prototype spent "more than 2/3" of its PL/pgSQL on parsing
+//! user query strings and generating new (recency) query strings —
+//! concluding that recency reporting belongs inside the database system.
+//! This crate is that "inside the database" front end: a hand-written
+//! lexer and recursive-descent parser for the SPJ dialect the paper's
+//! queries use (`SELECT`/`FROM`/`WHERE` with `AND`/`OR`/`NOT`, comparison
+//! operators, `IN`/`NOT IN` lists, `BETWEEN`, `IS NULL`, aggregates,
+//! plus the DML/DDL needed to feed the engine), and a printer that turns
+//! ASTs back into SQL so generated recency queries remain inspectable.
+
+#![warn(missing_docs)]
+
+pub mod ast;
+pub mod lexer;
+pub mod parser;
+
+pub use ast::{
+    BinaryOp, CreateIndexStmt, CreateTableStmt, DeleteStmt, Expr, InsertStmt, OrderKey,
+    SelectItem, SelectStmt, Statement, TableRef, UpdateStmt,
+};
+pub use lexer::{Lexer, Token, TokenKind};
+pub use parser::{parse_expr, parse_select, parse_statement};

@@ -1,0 +1,758 @@
+//! Recursive-descent SQL parser.
+
+use crate::ast::*;
+use crate::lexer::{Lexer, Token, TokenKind};
+use trac_types::{Result, Timestamp, TracError, Value};
+
+/// Words that terminate expressions / cannot be bare column names.
+const RESERVED: &[&str] = &[
+    "SELECT", "FROM", "WHERE", "AND", "OR", "NOT", "IN", "IS", "NULL", "BETWEEN", "ORDER",
+    "BY", "GROUP", "HAVING", "LIMIT", "AS", "DISTINCT", "VALUES", "SET", "INSERT", "INTO", "UPDATE", "DELETE",
+    "CREATE", "TABLE", "INDEX", "ON", "DROP", "TRUE", "FALSE", "DESC", "ASC",
+];
+
+fn is_reserved(word: &str) -> bool {
+    RESERVED.iter().any(|r| word.eq_ignore_ascii_case(r))
+}
+
+/// Parses one SQL statement (an optional trailing `;` is allowed).
+pub fn parse_statement(sql: &str) -> Result<Statement> {
+    let mut p = Parser::new(sql)?;
+    let stmt = p.statement()?;
+    p.finish()?;
+    Ok(stmt)
+}
+
+/// Parses a `SELECT` statement.
+pub fn parse_select(sql: &str) -> Result<SelectStmt> {
+    match parse_statement(sql)? {
+        Statement::Select(s) => Ok(s),
+        other => Err(TracError::Parse(format!(
+            "expected a SELECT statement, got {other}"
+        ))),
+    }
+}
+
+/// Parses a standalone expression (useful in tests and tools).
+pub fn parse_expr(src: &str) -> Result<Expr> {
+    let mut p = Parser::new(src)?;
+    let e = p.expr()?;
+    p.finish()?;
+    Ok(e)
+}
+
+struct Parser {
+    tokens: Vec<Token>,
+    pos: usize,
+}
+
+impl Parser {
+    fn new(src: &str) -> Result<Parser> {
+        Ok(Parser {
+            tokens: Lexer::new(src).tokenize()?,
+            pos: 0,
+        })
+    }
+
+    fn peek(&self) -> &Token {
+        &self.tokens[self.pos.min(self.tokens.len() - 1)]
+    }
+
+    fn bump(&mut self) -> Token {
+        let t = self.peek().clone();
+        if self.pos < self.tokens.len() - 1 {
+            self.pos += 1;
+        }
+        t
+    }
+
+    fn eat_kw(&mut self, kw: &str) -> bool {
+        if self.peek().is_kw(kw) {
+            self.bump();
+            true
+        } else {
+            false
+        }
+    }
+
+    fn expect_kw(&mut self, kw: &str) -> Result<()> {
+        if self.eat_kw(kw) {
+            Ok(())
+        } else {
+            Err(self.unexpected(&format!("`{kw}`")))
+        }
+    }
+
+    fn eat(&mut self, kind: &TokenKind) -> bool {
+        if &self.peek().kind == kind {
+            self.bump();
+            true
+        } else {
+            false
+        }
+    }
+
+    fn expect(&mut self, kind: &TokenKind, what: &str) -> Result<()> {
+        if self.eat(kind) {
+            Ok(())
+        } else {
+            Err(self.unexpected(what))
+        }
+    }
+
+    fn unexpected(&self, wanted: &str) -> TracError {
+        let t = self.peek();
+        TracError::Parse(format!(
+            "expected {wanted} at byte {}, found {:?}",
+            t.offset, t.kind
+        ))
+    }
+
+    fn ident(&mut self, what: &str) -> Result<String> {
+        match &self.peek().kind {
+            TokenKind::Ident(s) if !is_reserved(s) => {
+                let s = s.clone();
+                self.bump();
+                Ok(s)
+            }
+            _ => Err(self.unexpected(what)),
+        }
+    }
+
+    fn finish(&mut self) -> Result<()> {
+        self.eat(&TokenKind::Semi);
+        if self.peek().kind == TokenKind::Eof {
+            Ok(())
+        } else {
+            Err(self.unexpected("end of statement"))
+        }
+    }
+
+    fn statement(&mut self) -> Result<Statement> {
+        let t = self.peek();
+        if t.is_kw("SELECT") {
+            Ok(Statement::Select(self.select()?))
+        } else if t.is_kw("INSERT") {
+            self.insert()
+        } else if t.is_kw("UPDATE") {
+            self.update()
+        } else if t.is_kw("DELETE") {
+            self.delete()
+        } else if t.is_kw("CREATE") {
+            self.create()
+        } else if t.is_kw("DROP") {
+            self.bump();
+            self.expect_kw("TABLE")?;
+            Ok(Statement::DropTable(self.ident("table name")?))
+        } else {
+            Err(self.unexpected("a statement keyword"))
+        }
+    }
+
+    fn select(&mut self) -> Result<SelectStmt> {
+        self.expect_kw("SELECT")?;
+        let distinct = self.eat_kw("DISTINCT");
+        let mut items = Vec::new();
+        loop {
+            if self.eat(&TokenKind::Star) {
+                items.push(SelectItem::Wildcard);
+            } else {
+                let expr = self.expr()?;
+                let alias = if self.eat_kw("AS") {
+                    Some(self.ident("alias")?)
+                } else {
+                    match &self.peek().kind {
+                        TokenKind::Ident(s) if !is_reserved(s) => Some(self.ident("alias")?),
+                        _ => None,
+                    }
+                };
+                items.push(SelectItem::Expr { expr, alias });
+            }
+            if !self.eat(&TokenKind::Comma) {
+                break;
+            }
+        }
+        self.expect_kw("FROM")?;
+        let mut from = Vec::new();
+        loop {
+            let table = self.ident("table name")?;
+            let alias = match &self.peek().kind {
+                TokenKind::Ident(s) if !is_reserved(s) => Some(self.ident("alias")?),
+                _ => None,
+            };
+            from.push(TableRef { table, alias });
+            if !self.eat(&TokenKind::Comma) {
+                break;
+            }
+        }
+        let where_clause = if self.eat_kw("WHERE") {
+            Some(self.expr()?)
+        } else {
+            None
+        };
+        let mut group_by = Vec::new();
+        if self.eat_kw("GROUP") {
+            self.expect_kw("BY")?;
+            group_by.push(self.expr()?);
+            while self.eat(&TokenKind::Comma) {
+                group_by.push(self.expr()?);
+            }
+        }
+        let having = if self.eat_kw("HAVING") {
+            Some(self.expr()?)
+        } else {
+            None
+        };
+        let mut order_by = Vec::new();
+        if self.eat_kw("ORDER") {
+            self.expect_kw("BY")?;
+            loop {
+                let expr = self.expr()?;
+                let desc = if self.eat_kw("DESC") {
+                    true
+                } else {
+                    self.eat_kw("ASC");
+                    false
+                };
+                order_by.push(OrderKey { expr, desc });
+                if !self.eat(&TokenKind::Comma) {
+                    break;
+                }
+            }
+        }
+        let limit = if self.eat_kw("LIMIT") {
+            match self.bump().kind {
+                TokenKind::IntLit(n) if n >= 0 => Some(n as u64),
+                _ => return Err(self.unexpected("a non-negative LIMIT count")),
+            }
+        } else {
+            None
+        };
+        Ok(SelectStmt {
+            distinct,
+            items,
+            from,
+            where_clause,
+            group_by,
+            having,
+            order_by,
+            limit,
+        })
+    }
+
+    fn insert(&mut self) -> Result<Statement> {
+        self.expect_kw("INSERT")?;
+        self.expect_kw("INTO")?;
+        let table = self.ident("table name")?;
+        let columns = if self.peek().kind == TokenKind::LParen {
+            self.bump();
+            let mut cols = vec![self.ident("column name")?];
+            while self.eat(&TokenKind::Comma) {
+                cols.push(self.ident("column name")?);
+            }
+            self.expect(&TokenKind::RParen, "`)`")?;
+            Some(cols)
+        } else {
+            None
+        };
+        self.expect_kw("VALUES")?;
+        let mut rows = Vec::new();
+        loop {
+            self.expect(&TokenKind::LParen, "`(`")?;
+            let mut row = vec![self.expr()?];
+            while self.eat(&TokenKind::Comma) {
+                row.push(self.expr()?);
+            }
+            self.expect(&TokenKind::RParen, "`)`")?;
+            rows.push(row);
+            if !self.eat(&TokenKind::Comma) {
+                break;
+            }
+        }
+        Ok(Statement::Insert(InsertStmt {
+            table,
+            columns,
+            rows,
+        }))
+    }
+
+    fn update(&mut self) -> Result<Statement> {
+        self.expect_kw("UPDATE")?;
+        let table = self.ident("table name")?;
+        self.expect_kw("SET")?;
+        let mut assignments = Vec::new();
+        loop {
+            let col = self.ident("column name")?;
+            self.expect(&TokenKind::Eq, "`=`")?;
+            assignments.push((col, self.expr()?));
+            if !self.eat(&TokenKind::Comma) {
+                break;
+            }
+        }
+        let where_clause = if self.eat_kw("WHERE") {
+            Some(self.expr()?)
+        } else {
+            None
+        };
+        Ok(Statement::Update(UpdateStmt {
+            table,
+            assignments,
+            where_clause,
+        }))
+    }
+
+    fn delete(&mut self) -> Result<Statement> {
+        self.expect_kw("DELETE")?;
+        self.expect_kw("FROM")?;
+        let table = self.ident("table name")?;
+        let where_clause = if self.eat_kw("WHERE") {
+            Some(self.expr()?)
+        } else {
+            None
+        };
+        Ok(Statement::Delete(DeleteStmt {
+            table,
+            where_clause,
+        }))
+    }
+
+    fn create(&mut self) -> Result<Statement> {
+        self.expect_kw("CREATE")?;
+        if self.eat_kw("TABLE") {
+            let table = self.ident("table name")?;
+            self.expect(&TokenKind::LParen, "`(`")?;
+            let mut columns = Vec::new();
+            loop {
+                let name = self.ident("column name")?;
+                let ty = match &self.peek().kind {
+                    TokenKind::Ident(s) => {
+                        let s = s.clone();
+                        self.bump();
+                        s
+                    }
+                    _ => return Err(self.unexpected("a type name")),
+                };
+                let mut nullable = true;
+                if self.eat_kw("NOT") {
+                    self.expect_kw("NULL")?;
+                    nullable = false;
+                } else {
+                    self.eat_kw("NULL");
+                }
+                columns.push((name, ty, nullable));
+                if !self.eat(&TokenKind::Comma) {
+                    break;
+                }
+            }
+            self.expect(&TokenKind::RParen, "`)`")?;
+            // Non-standard clause designating the data source column.
+            let source_column = if self.peek().is_kw("SOURCE") {
+                self.bump();
+                self.expect_kw("COLUMN")?;
+                Some(self.ident("source column name")?)
+            } else {
+                None
+            };
+            // Row constraints: CHECK (expr), repeatable.
+            let mut checks = Vec::new();
+            while self.peek().is_kw("CHECK") {
+                self.bump();
+                self.expect(&TokenKind::LParen, "`(`")?;
+                checks.push(self.expr()?);
+                self.expect(&TokenKind::RParen, "`)`")?;
+            }
+            Ok(Statement::CreateTable(CreateTableStmt {
+                table,
+                columns,
+                source_column,
+                checks,
+            }))
+        } else if self.eat_kw("INDEX") {
+            let name = self.ident("index name")?;
+            self.expect_kw("ON")?;
+            let table = self.ident("table name")?;
+            self.expect(&TokenKind::LParen, "`(`")?;
+            let column = self.ident("column name")?;
+            self.expect(&TokenKind::RParen, "`)`")?;
+            Ok(Statement::CreateIndex(CreateIndexStmt {
+                name,
+                table,
+                column,
+            }))
+        } else {
+            Err(self.unexpected("`TABLE` or `INDEX`"))
+        }
+    }
+
+    /// Expression entry point: OR-level.
+    pub(crate) fn expr(&mut self) -> Result<Expr> {
+        let mut lhs = self.and_expr()?;
+        while self.peek().is_kw("OR") {
+            self.bump();
+            let rhs = self.and_expr()?;
+            lhs = Expr::binary(BinaryOp::Or, lhs, rhs);
+        }
+        Ok(lhs)
+    }
+
+    fn and_expr(&mut self) -> Result<Expr> {
+        let mut lhs = self.not_expr()?;
+        while self.peek().is_kw("AND") {
+            self.bump();
+            let rhs = self.not_expr()?;
+            lhs = Expr::binary(BinaryOp::And, lhs, rhs);
+        }
+        Ok(lhs)
+    }
+
+    fn not_expr(&mut self) -> Result<Expr> {
+        if self.peek().is_kw("NOT") {
+            self.bump();
+            Ok(Expr::Not(Box::new(self.not_expr()?)))
+        } else {
+            self.comparison()
+        }
+    }
+
+    fn comparison(&mut self) -> Result<Expr> {
+        let lhs = self.additive()?;
+        // Postfix predicates: IN, BETWEEN, IS [NOT] NULL (optionally
+        // preceded by NOT).
+        let negated = if self.peek().is_kw("NOT")
+            && (self.tokens[self.pos + 1].is_kw("IN")
+                || self.tokens[self.pos + 1].is_kw("BETWEEN"))
+        {
+            self.bump();
+            true
+        } else {
+            false
+        };
+        if self.eat_kw("IN") {
+            self.expect(&TokenKind::LParen, "`(`")?;
+            let mut list = vec![self.expr()?];
+            while self.eat(&TokenKind::Comma) {
+                list.push(self.expr()?);
+            }
+            self.expect(&TokenKind::RParen, "`)`")?;
+            return Ok(Expr::InList {
+                expr: Box::new(lhs),
+                list,
+                negated,
+            });
+        }
+        if self.eat_kw("BETWEEN") {
+            let lo = self.additive()?;
+            self.expect_kw("AND")?;
+            let hi = self.additive()?;
+            return Ok(Expr::Between {
+                expr: Box::new(lhs),
+                lo: Box::new(lo),
+                hi: Box::new(hi),
+                negated,
+            });
+        }
+        if negated {
+            return Err(self.unexpected("`IN` or `BETWEEN` after `NOT`"));
+        }
+        if self.eat_kw("IS") {
+            let negated = self.eat_kw("NOT");
+            self.expect_kw("NULL")?;
+            return Ok(Expr::IsNull {
+                expr: Box::new(lhs),
+                negated,
+            });
+        }
+        let op = match self.peek().kind {
+            TokenKind::Eq => BinaryOp::Eq,
+            TokenKind::NotEq => BinaryOp::NotEq,
+            TokenKind::Lt => BinaryOp::Lt,
+            TokenKind::LtEq => BinaryOp::LtEq,
+            TokenKind::Gt => BinaryOp::Gt,
+            TokenKind::GtEq => BinaryOp::GtEq,
+            _ => return Ok(lhs),
+        };
+        self.bump();
+        let rhs = self.additive()?;
+        Ok(Expr::binary(op, lhs, rhs))
+    }
+
+    fn additive(&mut self) -> Result<Expr> {
+        let mut lhs = self.multiplicative()?;
+        loop {
+            let op = match self.peek().kind {
+                TokenKind::Plus => BinaryOp::Add,
+                TokenKind::Minus => BinaryOp::Sub,
+                _ => return Ok(lhs),
+            };
+            self.bump();
+            let rhs = self.multiplicative()?;
+            lhs = Expr::binary(op, lhs, rhs);
+        }
+    }
+
+    fn multiplicative(&mut self) -> Result<Expr> {
+        let mut lhs = self.unary()?;
+        loop {
+            let op = match self.peek().kind {
+                TokenKind::Star => BinaryOp::Mul,
+                TokenKind::Slash => BinaryOp::Div,
+                _ => return Ok(lhs),
+            };
+            self.bump();
+            let rhs = self.unary()?;
+            lhs = Expr::binary(op, lhs, rhs);
+        }
+    }
+
+    fn unary(&mut self) -> Result<Expr> {
+        if self.eat(&TokenKind::Minus) {
+            return Ok(Expr::Neg(Box::new(self.unary()?)));
+        }
+        self.primary()
+    }
+
+    fn primary(&mut self) -> Result<Expr> {
+        match self.peek().kind.clone() {
+            TokenKind::IntLit(n) => {
+                self.bump();
+                Ok(Expr::lit(n))
+            }
+            TokenKind::FloatLit(x) => {
+                self.bump();
+                Ok(Expr::lit(x))
+            }
+            TokenKind::StringLit(s) => {
+                self.bump();
+                Ok(Expr::lit(s))
+            }
+            TokenKind::LParen => {
+                self.bump();
+                let e = self.expr()?;
+                self.expect(&TokenKind::RParen, "`)`")?;
+                Ok(e)
+            }
+            TokenKind::Ident(word) => {
+                if word.eq_ignore_ascii_case("TRUE") {
+                    self.bump();
+                    return Ok(Expr::lit(true));
+                }
+                if word.eq_ignore_ascii_case("FALSE") {
+                    self.bump();
+                    return Ok(Expr::lit(false));
+                }
+                if word.eq_ignore_ascii_case("NULL") {
+                    self.bump();
+                    return Ok(Expr::Literal(Value::Null));
+                }
+                if word.eq_ignore_ascii_case("TIMESTAMP") {
+                    // TIMESTAMP 'literal'
+                    self.bump();
+                    if let TokenKind::StringLit(s) = self.peek().kind.clone() {
+                        self.bump();
+                        return Ok(Expr::Literal(Value::Timestamp(Timestamp::parse(&s)?)));
+                    }
+                    return Err(self.unexpected("a timestamp string literal"));
+                }
+                if is_reserved(&word) {
+                    return Err(self.unexpected("an expression"));
+                }
+                // Function call?
+                if self.tokens[self.pos + 1].kind == TokenKind::LParen {
+                    self.bump(); // name
+                    self.bump(); // (
+                    if self.eat(&TokenKind::Star) {
+                        self.expect(&TokenKind::RParen, "`)`")?;
+                        return Ok(Expr::Func {
+                            name: word.to_ascii_uppercase(),
+                            args: vec![],
+                            wildcard: true,
+                        });
+                    }
+                    let mut args = Vec::new();
+                    if self.peek().kind != TokenKind::RParen {
+                        args.push(self.expr()?);
+                        while self.eat(&TokenKind::Comma) {
+                            args.push(self.expr()?);
+                        }
+                    }
+                    self.expect(&TokenKind::RParen, "`)`")?;
+                    return Ok(Expr::Func {
+                        name: word.to_ascii_uppercase(),
+                        args,
+                        wildcard: false,
+                    });
+                }
+                // Column reference: ident or ident.ident
+                self.bump();
+                if self.eat(&TokenKind::Dot) {
+                    let name = self.ident("column name")?;
+                    Ok(Expr::qcol(word, name))
+                } else {
+                    Ok(Expr::col(word))
+                }
+            }
+            _ => Err(self.unexpected("an expression")),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn parses_paper_q1() {
+        let q = parse_select(
+            "SELECT mach_id FROM Activity WHERE mach_id IN ('m1', 'm2') AND value = 'idle';",
+        )
+        .unwrap();
+        assert_eq!(q.from.len(), 1);
+        assert_eq!(q.from[0].table, "Activity");
+        let w = q.where_clause.unwrap();
+        assert_eq!(
+            w.to_string(),
+            "mach_id IN ('m1', 'm2') AND value = 'idle'"
+        );
+    }
+
+    #[test]
+    fn parses_paper_q2_join() {
+        let q = parse_select(
+            "SELECT A.mach_id FROM Routing R, Activity A \
+             WHERE R.mach_id = 'm1' AND A.value = 'idle' AND R.neighbor = A.mach_id;",
+        )
+        .unwrap();
+        assert_eq!(q.from.len(), 2);
+        assert_eq!(q.from[0].binding_name(), "R");
+        assert_eq!(q.from[1].binding_name(), "A");
+        assert_eq!(
+            q.to_string(),
+            "SELECT A.mach_id FROM Routing R, Activity A \
+             WHERE R.mach_id = 'm1' AND A.value = 'idle' AND R.neighbor = A.mach_id"
+        );
+    }
+
+    #[test]
+    fn parses_eval_q2_not_in_count() {
+        let q = parse_select(
+            "SELECT COUNT(*) FROM Activity A WHERE A.mach_id NOT IN \
+             ('Tao1','Tao10','Tao100','Tao1000','Tao10000','Tao100000') AND A.value = 'idle';",
+        )
+        .unwrap();
+        match &q.items[0] {
+            SelectItem::Expr { expr, .. } => {
+                assert!(matches!(expr, Expr::Func { wildcard: true, .. }))
+            }
+            _ => panic!("expected expr item"),
+        }
+        let w = q.where_clause.unwrap();
+        assert!(w.to_string().starts_with("A.mach_id NOT IN ("));
+    }
+
+    #[test]
+    fn roundtrip_printing_reparses() {
+        let cases = [
+            "SELECT DISTINCT a, b AS c FROM t1 x, t2 WHERE x.a = t2.b OR NOT x.c < 3 ORDER BY a DESC, b LIMIT 10",
+            "SELECT * FROM t WHERE a BETWEEN 1 AND 5 AND b IS NOT NULL",
+            "SELECT mach_id FROM Activity WHERE event_time >= TIMESTAMP '2006-03-15 14:20:05'",
+            "SELECT x FROM t WHERE a NOT BETWEEN 1 AND 2 OR b NOT IN (1, 2, 3)",
+            "SELECT COUNT(*) FROM t WHERE a / (b - c) * 2 > 1 + d",
+        ];
+        for sql in cases {
+            let q1 = parse_select(sql).unwrap();
+            let printed = q1.to_string();
+            let q2 = parse_select(&printed).unwrap();
+            assert_eq!(q1, q2, "roundtrip failed for {sql}\nprinted: {printed}");
+        }
+    }
+
+    #[test]
+    fn parses_dml_and_ddl() {
+        let s = parse_statement(
+            "INSERT INTO Activity (mach_id, value, event_time) VALUES \
+             ('m1', 'idle', TIMESTAMP '2006-03-11 20:37:46'), ('m2', 'busy', TIMESTAMP '2006-02-10 18:22:01')",
+        )
+        .unwrap();
+        match &s {
+            Statement::Insert(i) => {
+                assert_eq!(i.rows.len(), 2);
+                assert_eq!(i.columns.as_ref().unwrap().len(), 3);
+            }
+            _ => panic!(),
+        }
+        let s = parse_statement("UPDATE Activity SET value = 'busy' WHERE mach_id = 'm1'")
+            .unwrap();
+        assert!(matches!(s, Statement::Update(_)));
+        let s = parse_statement("DELETE FROM Activity WHERE mach_id = 'm1'").unwrap();
+        assert!(matches!(s, Statement::Delete(_)));
+        let s = parse_statement(
+            "CREATE TABLE Activity (mach_id TEXT NOT NULL, value TEXT, event_time TIMESTAMP) \
+             SOURCE COLUMN mach_id",
+        )
+        .unwrap();
+        match &s {
+            Statement::CreateTable(c) => {
+                assert_eq!(c.source_column.as_deref(), Some("mach_id"));
+                assert!(!c.columns[0].2); // NOT NULL
+                assert!(c.columns[1].2);
+            }
+            _ => panic!(),
+        }
+        let s =
+            parse_statement("CREATE INDEX activity_idx ON Activity (mach_id)").unwrap();
+        assert!(matches!(s, Statement::CreateIndex(_)));
+        let s = parse_statement("DROP TABLE Activity").unwrap();
+        assert_eq!(s, Statement::DropTable("Activity".into()));
+    }
+
+    #[test]
+    fn precedence() {
+        let e = parse_expr("a = 1 OR b = 2 AND c = 3").unwrap();
+        // AND binds tighter: a=1 OR (b=2 AND c=3)
+        match e {
+            Expr::Binary {
+                op: BinaryOp::Or, ..
+            } => {}
+            other => panic!("expected OR at top, got {other:?}"),
+        }
+        let e = parse_expr("NOT a = 1 AND b = 2").unwrap();
+        // NOT binds tighter than AND.
+        match e {
+            Expr::Binary {
+                op: BinaryOp::And,
+                lhs,
+                ..
+            } => assert!(matches!(*lhs, Expr::Not(_))),
+            other => panic!("{other:?}"),
+        }
+        let e = parse_expr("1 + 2 * 3").unwrap();
+        assert_eq!(e.to_string(), "1 + 2 * 3");
+    }
+
+    #[test]
+    fn unary_minus() {
+        let e = parse_expr("-x + 3").unwrap();
+        assert_eq!(e.to_string(), "-x + 3");
+        let e = parse_expr("a < -1").unwrap();
+        assert_eq!(e.to_string(), "a < -1");
+    }
+
+    #[test]
+    fn error_cases() {
+        assert!(parse_select("SELECT FROM t").is_err());
+        assert!(parse_select("SELECT a").is_err()); // no FROM
+        assert!(parse_select("SELECT a FROM t WHERE").is_err());
+        assert!(parse_select("SELECT a FROM t extra garbage +").is_err());
+        assert!(parse_expr("a NOT 5").is_err());
+        assert!(parse_expr("a IN 5").is_err());
+        assert!(parse_statement("FROB x").is_err());
+        assert!(parse_select("SELECT a FROM t LIMIT -1").is_err());
+        assert!(parse_expr("TIMESTAMP 42").is_err());
+    }
+
+    #[test]
+    fn select_trailing_semicolon_and_case() {
+        assert!(parse_select("select A from T;").is_ok());
+        assert!(parse_select("SeLeCt a FrOm t").is_ok());
+    }
+}

@@ -1,0 +1,223 @@
+//! Name resolution for tables and indexes, including session temp tables.
+//!
+//! The TRAC session machinery (paper Section 4.3) materializes recency
+//! information into automatically-created temporary tables
+//! (`sys_temp_a…`, `sys_temp_e…`) that live until the end of the user
+//! session unless copied. The catalog tracks which tables belong to which
+//! session so they can be dropped en masse.
+
+use std::collections::HashMap;
+use trac_types::{Result, TracError};
+
+/// Identifies a table in the database (index into the table vector).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct TableId(pub usize);
+
+/// Identifies a user session (owner of temp tables).
+pub type SessionId = u64;
+
+/// Metadata about one secondary index.
+#[derive(Debug, Clone)]
+pub struct IndexMeta {
+    /// Index name (e.g. `activity_mach_id_idx`).
+    pub name: String,
+    /// Table the index belongs to.
+    pub table: TableId,
+    /// Indexed column position.
+    pub column: usize,
+}
+
+#[derive(Debug, Clone)]
+struct TableEntry {
+    id: TableId,
+    /// Session owning this temp table, or `None` for permanent tables.
+    temp_owner: Option<SessionId>,
+}
+
+/// Maps names to table ids and tracks temp-table ownership.
+#[derive(Debug, Default)]
+pub struct Catalog {
+    tables: HashMap<String, TableEntry>,
+    indexes: Vec<IndexMeta>,
+}
+
+fn norm(name: &str) -> String {
+    name.to_ascii_lowercase()
+}
+
+impl Catalog {
+    /// Creates an empty catalog.
+    pub fn new() -> Catalog {
+        Catalog::default()
+    }
+
+    /// Registers a permanent table.
+    pub fn register_table(&mut self, name: &str, id: TableId) -> Result<()> {
+        self.register(name, id, None)
+    }
+
+    /// Registers a session temp table.
+    pub fn register_temp_table(
+        &mut self,
+        name: &str,
+        id: TableId,
+        session: SessionId,
+    ) -> Result<()> {
+        self.register(name, id, Some(session))
+    }
+
+    fn register(&mut self, name: &str, id: TableId, owner: Option<SessionId>) -> Result<()> {
+        let key = norm(name);
+        if self.tables.contains_key(&key) {
+            return Err(TracError::Catalog(format!("table {name} already exists")));
+        }
+        self.tables.insert(
+            key,
+            TableEntry {
+                id,
+                temp_owner: owner,
+            },
+        );
+        Ok(())
+    }
+
+    /// Resolves a table name.
+    pub fn lookup_table(&self, name: &str) -> Option<TableId> {
+        self.tables.get(&norm(name)).map(|e| e.id)
+    }
+
+    /// True when `name` refers to a temp table.
+    pub fn is_temp(&self, name: &str) -> bool {
+        self.tables
+            .get(&norm(name))
+            .is_some_and(|e| e.temp_owner.is_some())
+    }
+
+    /// Removes one table binding (and its index metadata); returns its id.
+    pub fn drop_table(&mut self, name: &str) -> Result<TableId> {
+        let id = self
+            .tables
+            .remove(&norm(name))
+            .map(|e| e.id)
+            .ok_or_else(|| TracError::Catalog(format!("no table named {name}")))?;
+        self.indexes.retain(|m| m.table != id);
+        Ok(id)
+    }
+
+    /// Drops every temp table belonging to `session`; returns their ids.
+    pub fn drop_session_temps(&mut self, session: SessionId) -> Vec<TableId> {
+        let doomed: Vec<String> = self
+            .tables
+            .iter()
+            .filter(|(_, e)| e.temp_owner == Some(session))
+            .map(|(k, _)| k.clone())
+            .collect();
+        let ids: Vec<TableId> = doomed
+            .iter()
+            .filter_map(|k| self.tables.remove(k).map(|e| e.id))
+            .collect();
+        self.indexes.retain(|m| !ids.contains(&m.table));
+        ids
+    }
+
+    /// Promotes a temp table to permanent (the paper's "copy to a
+    /// permanent table before the end of a session", done in place).
+    pub fn persist_temp(&mut self, name: &str) -> Result<()> {
+        let e = self
+            .tables
+            .get_mut(&norm(name))
+            .ok_or_else(|| TracError::Catalog(format!("no table named {name}")))?;
+        e.temp_owner = None;
+        Ok(())
+    }
+
+    /// Registers an index.
+    pub fn register_index(&mut self, meta: IndexMeta) -> Result<usize> {
+        if self.indexes.iter().any(|m| m.name == meta.name) {
+            return Err(TracError::Catalog(format!(
+                "index {} already exists",
+                meta.name
+            )));
+        }
+        self.indexes.push(meta);
+        Ok(self.indexes.len() - 1)
+    }
+
+    /// All indexes on `table`.
+    pub fn indexes_on(&self, table: TableId) -> impl Iterator<Item = &IndexMeta> {
+        self.indexes.iter().filter(move |m| m.table == table)
+    }
+
+    /// Finds the index on `(table, column)`, if any.
+    pub fn index_on_column(&self, table: TableId, column: usize) -> Option<&IndexMeta> {
+        self.indexes
+            .iter()
+            .find(|m| m.table == table && m.column == column)
+    }
+
+    /// Names of all registered tables (normalized), sorted.
+    pub fn table_names(&self) -> Vec<String> {
+        let mut v: Vec<String> = self.tables.keys().cloned().collect();
+        v.sort_unstable();
+        v
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn case_insensitive_lookup() {
+        let mut c = Catalog::new();
+        c.register_table("Activity", TableId(0)).unwrap();
+        assert_eq!(c.lookup_table("activity"), Some(TableId(0)));
+        assert_eq!(c.lookup_table("ACTIVITY"), Some(TableId(0)));
+        assert!(c.register_table("ACTIVITY", TableId(1)).is_err());
+    }
+
+    #[test]
+    fn temp_table_lifecycle() {
+        let mut c = Catalog::new();
+        c.register_temp_table("sys_temp_a1", TableId(1), 7).unwrap();
+        c.register_temp_table("sys_temp_e1", TableId(2), 7).unwrap();
+        c.register_temp_table("sys_temp_a2", TableId(3), 8).unwrap();
+        assert!(c.is_temp("sys_temp_a1"));
+        let dropped = c.drop_session_temps(7);
+        assert_eq!(dropped.len(), 2);
+        assert_eq!(c.lookup_table("sys_temp_a1"), None);
+        assert_eq!(c.lookup_table("sys_temp_a2"), Some(TableId(3)));
+    }
+
+    #[test]
+    fn persist_temp_survives_session_drop() {
+        let mut c = Catalog::new();
+        c.register_temp_table("keeper", TableId(1), 7).unwrap();
+        c.persist_temp("keeper").unwrap();
+        assert!(!c.is_temp("keeper"));
+        assert!(c.drop_session_temps(7).is_empty());
+        assert_eq!(c.lookup_table("keeper"), Some(TableId(1)));
+    }
+
+    #[test]
+    fn index_registry() {
+        let mut c = Catalog::new();
+        c.register_table("t", TableId(0)).unwrap();
+        c.register_index(IndexMeta {
+            name: "t_sid_idx".into(),
+            table: TableId(0),
+            column: 0,
+        })
+        .unwrap();
+        assert!(c
+            .register_index(IndexMeta {
+                name: "t_sid_idx".into(),
+                table: TableId(0),
+                column: 1,
+            })
+            .is_err());
+        assert!(c.index_on_column(TableId(0), 0).is_some());
+        assert!(c.index_on_column(TableId(0), 1).is_none());
+        assert_eq!(c.indexes_on(TableId(0)).count(), 1);
+    }
+}

@@ -1,0 +1,898 @@
+//! The [`Database`] facade: DDL, transactions, reads, writes, ingestion.
+//!
+//! A `Database` is cheaply cloneable (all clones share state). Reads go
+//! through [`ReadTxn`] — a snapshot view — and writes through [`WriteTxn`],
+//! which also exposes the *ingestion* path used by monitoring processes:
+//! [`WriteTxn::ingest`] tags a row with its data source, stores it, and
+//! advances the source's recency timestamp in the `Heartbeat` table in the
+//! same transaction (paper Sections 3.1 and 3.3).
+
+use crate::catalog::{Catalog, IndexMeta, SessionId, TableId};
+use crate::heartbeat::{self, HEARTBEAT_TABLE};
+use crate::index::Index;
+use crate::schema::TableSchema;
+use crate::table::{Row, RowSlot, Table};
+use crate::txn::{Snapshot, TxnId, TxnManager, TxnStatus};
+use parking_lot::{Mutex, RwLock};
+use std::ops::Bound;
+use std::sync::atomic::{AtomicU64, Ordering as AtomicOrdering};
+use std::sync::Arc;
+use trac_types::{Result, SourceId, Timestamp, TracError, Value};
+
+struct Stored {
+    table: Table,
+    indexes: Vec<Index>,
+}
+
+struct DbInner {
+    stores: Vec<Option<Stored>>,
+    catalog: Catalog,
+}
+
+struct DbState {
+    txns: Arc<TxnManager>,
+    data: RwLock<DbInner>,
+    next_session: AtomicU64,
+}
+
+/// An embedded multi-versioned database.
+#[derive(Clone)]
+pub struct Database {
+    state: Arc<DbState>,
+}
+
+impl Default for Database {
+    fn default() -> Database {
+        Database::new()
+    }
+}
+
+impl Database {
+    /// Creates a database with the system `Heartbeat` table (indexed on
+    /// its source column) already in place.
+    pub fn new() -> Database {
+        let db = Database {
+            state: Arc::new(DbState {
+                txns: TxnManager::new(),
+                data: RwLock::new(DbInner {
+                    stores: Vec::new(),
+                    catalog: Catalog::new(),
+                }),
+                next_session: AtomicU64::new(1),
+            }),
+        };
+        db.create_table(heartbeat::heartbeat_schema())
+            .expect("bootstrap heartbeat table");
+        db.create_index(HEARTBEAT_TABLE, heartbeat::HEARTBEAT_SID_COL)
+            .expect("bootstrap heartbeat index");
+        db
+    }
+
+    /// The shared transaction manager.
+    pub fn txn_manager(&self) -> &Arc<TxnManager> {
+        &self.state.txns
+    }
+
+    /// Creates a permanent table.
+    pub fn create_table(&self, schema: TableSchema) -> Result<TableId> {
+        let mut inner = self.state.data.write();
+        let id = TableId(inner.stores.len());
+        inner.catalog.register_table(&schema.name, id)?;
+        inner.stores.push(Some(Stored {
+            table: Table::new(schema),
+            indexes: Vec::new(),
+        }));
+        Ok(id)
+    }
+
+    /// Creates a session-scoped temp table.
+    pub fn create_temp_table(
+        &self,
+        schema: TableSchema,
+        session: SessionId,
+    ) -> Result<TableId> {
+        let mut inner = self.state.data.write();
+        let id = TableId(inner.stores.len());
+        inner
+            .catalog
+            .register_temp_table(&schema.name, id, session)?;
+        inner.stores.push(Some(Stored {
+            table: Table::new(schema),
+            indexes: Vec::new(),
+        }));
+        Ok(id)
+    }
+
+    /// Drops a table by name.
+    pub fn drop_table(&self, name: &str) -> Result<()> {
+        let mut inner = self.state.data.write();
+        let id = inner.catalog.drop_table(name)?;
+        inner.stores[id.0] = None;
+        Ok(())
+    }
+
+    /// Drops all temp tables owned by `session`.
+    pub fn drop_session_temps(&self, session: SessionId) {
+        let mut inner = self.state.data.write();
+        for id in inner.catalog.drop_session_temps(session) {
+            inner.stores[id.0] = None;
+        }
+    }
+
+    /// Promotes a session temp table to a permanent table.
+    pub fn persist_temp_table(&self, name: &str) -> Result<()> {
+        self.state.data.write().catalog.persist_temp(name)
+    }
+
+    /// Allocates a fresh session id.
+    pub fn new_session_id(&self) -> SessionId {
+        self.state.next_session.fetch_add(1, AtomicOrdering::Relaxed)
+    }
+
+    /// Builds an ordered index on `table.column`, backfilling existing
+    /// committed versions.
+    pub fn create_index(&self, table: &str, column: &str) -> Result<()> {
+        let mut inner = self.state.data.write();
+        let tid = inner
+            .catalog
+            .lookup_table(table)
+            .ok_or_else(|| TracError::Catalog(format!("no table named {table}")))?;
+        let store = inner.stores[tid.0]
+            .as_ref()
+            .ok_or_else(|| TracError::Catalog(format!("table {table} was dropped")))?;
+        let col = store.table.schema.column_index(column).ok_or_else(|| {
+            TracError::Catalog(format!("no column {column} in table {table}"))
+        })?;
+        if inner.catalog.index_on_column(tid, col).is_some() {
+            return Err(TracError::Catalog(format!(
+                "index on {table}.{column} already exists"
+            )));
+        }
+        inner.catalog.register_index(IndexMeta {
+            name: format!("{table}_{column}_idx"),
+            table: tid,
+            column: col,
+        })?;
+        let store = inner.stores[tid.0].as_mut().unwrap();
+        let mut index = Index::new(col);
+        for slot in 0..store.table.version_count() {
+            let v = store.table.version(RowSlot(slot)).unwrap();
+            index.insert(&v.values[col], RowSlot(slot));
+        }
+        store.indexes.push(index);
+        Ok(())
+    }
+
+    /// Opens a read-only snapshot transaction.
+    pub fn begin_read(&self) -> ReadTxn {
+        ReadTxn {
+            state: Arc::clone(&self.state),
+            snapshot: self.state.txns.snapshot(),
+            own: None,
+        }
+    }
+
+    /// Opens a read-write transaction.
+    pub fn begin_write(&self) -> WriteTxn {
+        let id = self.state.txns.begin();
+        WriteTxn {
+            read: ReadTxn {
+                state: Arc::clone(&self.state),
+                snapshot: self.state.txns.snapshot(),
+                own: Some(id),
+            },
+            id,
+            stamped: Mutex::new(Vec::new()),
+            finished: false,
+        }
+    }
+
+    /// Reclaims dead row versions: versions created by aborted
+    /// transactions, and versions whose deletion is visible to every
+    /// outstanding snapshot. Indexes are rebuilt over the survivors.
+    ///
+    /// Long-lived monitoring databases need this: every heartbeat upsert
+    /// supersedes a version, so without vacuum the `Heartbeat` table's
+    /// physical size grows with total update count rather than source
+    /// count.
+    ///
+    /// Preconditions: no transaction may be in progress (checked), and
+    /// callers must not hold `RowSlot`s across the call (slots are
+    /// renumbered). Open read snapshots are safe — versions they can
+    /// still see are retained.
+    pub fn vacuum(&self) -> Result<VacuumStats> {
+        if self.state.txns.any_in_progress() {
+            return Err(TracError::Storage(
+                "vacuum requires no in-progress transactions".into(),
+            ));
+        }
+        let txns = Arc::clone(&self.state.txns);
+        let mut inner = self.state.data.write();
+        let mut stats = VacuumStats::default();
+        for store in inner.stores.iter_mut().flatten() {
+            let removed = store.table.compact(|v| {
+                txns.status(v.xmin) == TxnStatus::Aborted
+                    || v
+                        .xmax
+                        .is_some_and(|x| txns.committed_before_all_snapshots(x))
+            });
+            if removed > 0 {
+                for idx in &mut store.indexes {
+                    let col = idx.column;
+                    let mut fresh = Index::new(col);
+                    for (slot, v) in store.table.all_versions() {
+                        fresh.insert(&v.values[col], slot);
+                    }
+                    *idx = fresh;
+                }
+            }
+            stats.tables += 1;
+            stats.versions_removed += removed;
+            stats.versions_kept += store.table.version_count();
+        }
+        Ok(stats)
+    }
+
+    /// Convenience: run `f` in a write transaction, committing on `Ok`.
+    pub fn with_write<T>(&self, f: impl FnOnce(&WriteTxn) -> Result<T>) -> Result<T> {
+        let txn = self.begin_write();
+        match f(&txn) {
+            Ok(v) => {
+                txn.commit();
+                Ok(v)
+            }
+            Err(e) => {
+                txn.abort();
+                Err(e)
+            }
+        }
+    }
+}
+
+/// Counters returned by [`Database::vacuum`].
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct VacuumStats {
+    /// Tables visited.
+    pub tables: usize,
+    /// Row versions reclaimed.
+    pub versions_removed: usize,
+    /// Row versions surviving.
+    pub versions_kept: usize,
+}
+
+/// A snapshot view of the database for reading.
+pub struct ReadTxn {
+    state: Arc<DbState>,
+    /// The MVCC snapshot this view reads through. Exposed so higher
+    /// layers can assert user query and recency query share one snapshot.
+    pub snapshot: Snapshot,
+    own: Option<TxnId>,
+}
+
+impl ReadTxn {
+    /// Resolves a table name.
+    pub fn table_id(&self, name: &str) -> Result<TableId> {
+        self.state
+            .data
+            .read()
+            .catalog
+            .lookup_table(name)
+            .ok_or_else(|| TracError::Catalog(format!("no table named {name}")))
+    }
+
+    /// Clones the schema of `tid`.
+    pub fn schema(&self, tid: TableId) -> Result<TableSchema> {
+        let inner = self.state.data.read();
+        Ok(store(&inner, tid)?.table.schema.clone())
+    }
+
+    /// All table names currently in the catalog.
+    pub fn table_names(&self) -> Vec<String> {
+        self.state.data.read().catalog.table_names()
+    }
+
+    /// True when `name` is a session temp table.
+    pub fn is_temp_table(&self, name: &str) -> bool {
+        self.state.data.read().catalog.is_temp(name)
+    }
+
+    /// Positions of the indexed columns of `tid`.
+    pub fn index_columns(&self, tid: TableId) -> Vec<usize> {
+        self.state
+            .data
+            .read()
+            .catalog
+            .indexes_on(tid)
+            .map(|m| m.column)
+            .collect()
+    }
+
+    /// True when `tid.column` has an ordered index.
+    pub fn has_index(&self, tid: TableId, column: usize) -> bool {
+        self.state
+            .data
+            .read()
+            .catalog
+            .index_on_column(tid, column)
+            .is_some()
+    }
+
+    /// Full scan of the rows visible in this snapshot.
+    pub fn scan(&self, tid: TableId) -> Result<Vec<Row>> {
+        let inner = self.state.data.read();
+        Ok(store(&inner, tid)?
+            .table
+            .scan_visible(&self.snapshot, self.own)
+            .map(|(_, r)| r)
+            .collect())
+    }
+
+    /// Full scan including physical slots (for updates/deletes).
+    pub fn scan_slots(&self, tid: TableId) -> Result<Vec<(RowSlot, Row)>> {
+        let inner = self.state.data.read();
+        Ok(store(&inner, tid)?
+            .table
+            .scan_visible(&self.snapshot, self.own)
+            .collect())
+    }
+
+    /// Streams visible rows to `pred` under the read latch, returning the
+    /// first row for which `pred` is true — an early-exit existence probe
+    /// that avoids materializing the scan.
+    pub fn scan_find(
+        &self,
+        tid: TableId,
+        mut pred: impl FnMut(&Row) -> Result<bool>,
+    ) -> Result<Option<Row>> {
+        let inner = self.state.data.read();
+        for (_, row) in store(&inner, tid)?.table.scan_visible(&self.snapshot, self.own) {
+            if pred(&row)? {
+                return Ok(Some(row));
+            }
+        }
+        Ok(None)
+    }
+
+    /// Number of visible rows.
+    pub fn row_count(&self, tid: TableId) -> Result<usize> {
+        let inner = self.state.data.read();
+        Ok(store(&inner, tid)?
+            .table
+            .scan_visible(&self.snapshot, self.own)
+            .count())
+    }
+
+    /// Index probe: visible rows whose `column` equals any of `keys`.
+    /// Returns `None` when no index exists on that column.
+    pub fn index_probe_in(
+        &self,
+        tid: TableId,
+        column: usize,
+        keys: &[Value],
+    ) -> Result<Option<Vec<Row>>> {
+        let inner = self.state.data.read();
+        let st = store(&inner, tid)?;
+        let Some(idx) = st.indexes.iter().find(|i| i.column == column) else {
+            return Ok(None);
+        };
+        let mut out = Vec::new();
+        for slot in idx.probe_in(keys) {
+            if let Some(row) = st.table.visible_at(slot, &self.snapshot, self.own) {
+                out.push(row);
+            }
+        }
+        Ok(Some(out))
+    }
+
+    /// Index probe returning `(slot, row)` pairs for updates/deletes;
+    /// `None` when no index exists on that column.
+    pub fn index_probe_in_slots(
+        &self,
+        tid: TableId,
+        column: usize,
+        keys: &[Value],
+    ) -> Result<Option<Vec<(RowSlot, Row)>>> {
+        let inner = self.state.data.read();
+        let st = store(&inner, tid)?;
+        let Some(idx) = st.indexes.iter().find(|i| i.column == column) else {
+            return Ok(None);
+        };
+        let mut out = Vec::new();
+        for slot in idx.probe_in(keys) {
+            if let Some(row) = st.table.visible_at(slot, &self.snapshot, self.own) {
+                out.push((slot, row));
+            }
+        }
+        Ok(Some(out))
+    }
+
+    /// Index probe over a key range; `None` when no index exists.
+    pub fn index_probe_range(
+        &self,
+        tid: TableId,
+        column: usize,
+        lo: Bound<&Value>,
+        hi: Bound<&Value>,
+    ) -> Result<Option<Vec<Row>>> {
+        let inner = self.state.data.read();
+        let st = store(&inner, tid)?;
+        let Some(idx) = st.indexes.iter().find(|i| i.column == column) else {
+            return Ok(None);
+        };
+        let mut out = Vec::new();
+        for slot in idx.probe_range(lo, hi) {
+            if let Some(row) = st.table.visible_at(slot, &self.snapshot, self.own) {
+                out.push(row);
+            }
+        }
+        Ok(Some(out))
+    }
+
+    /// Fetches the visible row at `slot`, if any.
+    pub fn row_at(&self, tid: TableId, slot: RowSlot) -> Result<Option<Row>> {
+        let inner = self.state.data.read();
+        Ok(store(&inner, tid)?
+            .table
+            .visible_at(slot, &self.snapshot, self.own))
+    }
+}
+
+fn store(inner: &DbInner, tid: TableId) -> Result<&Stored> {
+    inner
+        .stores
+        .get(tid.0)
+        .and_then(|s| s.as_ref())
+        .ok_or_else(|| TracError::Catalog(format!("table {tid:?} was dropped")))
+}
+
+fn store_mut(inner: &mut DbInner, tid: TableId) -> Result<&mut Stored> {
+    inner
+        .stores
+        .get_mut(tid.0)
+        .and_then(|s| s.as_mut())
+        .ok_or_else(|| TracError::Catalog(format!("table {tid:?} was dropped")))
+}
+
+/// A read-write transaction. Uncommitted effects are visible only to the
+/// transaction itself; dropping without committing aborts.
+pub struct WriteTxn {
+    read: ReadTxn,
+    id: TxnId,
+    /// Versions this txn stamped `xmax` on — unstamped again on abort.
+    stamped: Mutex<Vec<(TableId, RowSlot)>>,
+    finished: bool,
+}
+
+impl std::ops::Deref for WriteTxn {
+    type Target = ReadTxn;
+    fn deref(&self) -> &ReadTxn {
+        &self.read
+    }
+}
+
+impl WriteTxn {
+    /// This transaction's id.
+    pub fn id(&self) -> TxnId {
+        self.id
+    }
+
+    /// Inserts a row (schema-checked and coerced). Returns its slot.
+    pub fn insert(&self, tid: TableId, row: Vec<Value>) -> Result<RowSlot> {
+        let mut inner = self.read.state.data.write();
+        let st = store_mut(&mut inner, tid)?;
+        let row = st.table.schema.check_row(row)?;
+        let row: Row = Arc::from(row.into_boxed_slice());
+        let slot = st.table.append(Arc::clone(&row), self.id);
+        for idx in &mut st.indexes {
+            idx.insert(&row[idx.column], slot);
+        }
+        Ok(slot)
+    }
+
+    /// Deletes the row at `slot` (it must be visible to this txn).
+    pub fn delete(&self, tid: TableId, slot: RowSlot) -> Result<()> {
+        let txns = Arc::clone(&self.read.state.txns);
+        let mut inner = self.read.state.data.write();
+        let st = store_mut(&mut inner, tid)?;
+        if st
+            .table
+            .visible_at(slot, &self.read.snapshot, Some(self.id))
+            .is_none()
+        {
+            return Err(TracError::Storage(format!(
+                "delete target {slot:?} is not visible to {}",
+                self.id
+            )));
+        }
+        st.table
+            .delete_version(slot, self.id, |x| txns.status(x) != TxnStatus::Aborted)?;
+        self.stamped.lock().push((tid, slot));
+        Ok(())
+    }
+
+    /// Updates the row at `slot` to `new_row`; returns the new slot.
+    pub fn update(&self, tid: TableId, slot: RowSlot, new_row: Vec<Value>) -> Result<RowSlot> {
+        self.delete(tid, slot)?;
+        self.insert(tid, new_row)
+    }
+
+    /// Ingests one update from a data source (paper Section 3.1): the
+    /// row's source column must equal `source` (the tagging discipline of
+    /// Section 3.3), and the source's recency timestamp in `Heartbeat`
+    /// advances to at least `event_time`, all in this transaction.
+    pub fn ingest(
+        &self,
+        source: &SourceId,
+        tid: TableId,
+        row: Vec<Value>,
+        event_time: Timestamp,
+    ) -> Result<RowSlot> {
+        let schema = self.read.schema(tid)?;
+        let sc = schema.source_column.ok_or_else(|| {
+            TracError::Constraint(format!(
+                "table {} has no data source column; use insert()",
+                schema.name
+            ))
+        })?;
+        match row.get(sc) {
+            Some(v) if v.as_text() == Some(source.as_str()) => {}
+            _ => {
+                return Err(TracError::Constraint(format!(
+                    "update from source {source} must carry {source} in {}.{}",
+                    schema.name, schema.columns[sc].name
+                )))
+            }
+        }
+        let slot = self.insert(tid, row)?;
+        self.heartbeat(source, event_time)?;
+        Ok(slot)
+    }
+
+    /// Advances `source`'s recency timestamp monotonically (an explicit
+    /// "nothing to report" beacon, Section 3.1).
+    pub fn heartbeat(&self, source: &SourceId, ts: Timestamp) -> Result<()> {
+        heartbeat::upsert(self, source, ts)
+    }
+
+    /// Commits; all effects become visible to later snapshots.
+    pub fn commit(mut self) {
+        self.read.state.txns.commit(self.id);
+        self.finished = true;
+    }
+
+    /// Aborts; all effects vanish.
+    pub fn abort(mut self) {
+        self.do_abort();
+    }
+
+    fn do_abort(&mut self) {
+        if self.finished {
+            return;
+        }
+        self.read.state.txns.abort(self.id);
+        let mut inner = self.read.state.data.write();
+        for (tid, slot) in self.stamped.lock().drain(..) {
+            if let Ok(st) = store_mut(&mut inner, tid) {
+                st.table.unstamp(slot, self.id);
+            }
+        }
+        self.finished = true;
+    }
+}
+
+impl Drop for WriteTxn {
+    fn drop(&mut self) {
+        self.do_abort();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::schema::ColumnDef;
+    use trac_types::{ColumnDomain, DataType};
+
+    fn activity(db: &Database) -> TableId {
+        db.create_table(
+            TableSchema::new(
+                "activity",
+                vec![
+                    ColumnDef::new("mach_id", DataType::Text),
+                    ColumnDef::new("value", DataType::Text)
+                        .with_domain(ColumnDomain::text_set(["idle", "busy"])),
+                    ColumnDef::new("event_time", DataType::Timestamp),
+                ],
+                Some("mach_id"),
+            )
+            .unwrap(),
+        )
+        .unwrap()
+    }
+
+    fn act_row(m: &str, v: &str, secs: i64) -> Vec<Value> {
+        vec![
+            Value::text(m),
+            Value::text(v),
+            Value::Timestamp(Timestamp::from_secs(secs)),
+        ]
+    }
+
+    #[test]
+    fn bootstrap_creates_heartbeat() {
+        let db = Database::new();
+        let r = db.begin_read();
+        let hb = r.table_id(HEARTBEAT_TABLE).unwrap();
+        let schema = r.schema(hb).unwrap();
+        assert_eq!(schema.source_column, Some(0));
+        assert!(r.has_index(hb, 0));
+    }
+
+    #[test]
+    fn insert_commit_visibility() {
+        let db = Database::new();
+        let tid = activity(&db);
+        let before = db.begin_read();
+        let w = db.begin_write();
+        w.insert(tid, act_row("m1", "idle", 100)).unwrap();
+        // Visible to writer, not to pre-existing or concurrent snapshots.
+        assert_eq!(w.scan(tid).unwrap().len(), 1);
+        assert_eq!(before.scan(tid).unwrap().len(), 0);
+        assert_eq!(db.begin_read().scan(tid).unwrap().len(), 0);
+        w.commit();
+        assert_eq!(db.begin_read().scan(tid).unwrap().len(), 1);
+        assert_eq!(before.scan(tid).unwrap().len(), 0, "old snapshot stable");
+    }
+
+    #[test]
+    fn abort_discards_effects() {
+        let db = Database::new();
+        let tid = activity(&db);
+        let w = db.begin_write();
+        w.insert(tid, act_row("m1", "idle", 100)).unwrap();
+        w.abort();
+        assert_eq!(db.begin_read().scan(tid).unwrap().len(), 0);
+    }
+
+    #[test]
+    fn drop_aborts_unfinished_txn() {
+        let db = Database::new();
+        let tid = activity(&db);
+        {
+            let w = db.begin_write();
+            w.insert(tid, act_row("m1", "idle", 100)).unwrap();
+            // dropped without commit
+        }
+        assert_eq!(db.begin_read().scan(tid).unwrap().len(), 0);
+    }
+
+    #[test]
+    fn update_replaces_row() {
+        let db = Database::new();
+        let tid = activity(&db);
+        let slot = db
+            .with_write(|w| w.insert(tid, act_row("m1", "busy", 100)))
+            .unwrap();
+        db.with_write(|w| w.update(tid, slot, act_row("m1", "idle", 200)))
+            .unwrap();
+        let rows = db.begin_read().scan(tid).unwrap();
+        assert_eq!(rows.len(), 1);
+        assert_eq!(rows[0][1], Value::text("idle"));
+    }
+
+    #[test]
+    fn ingest_enforces_source_tagging_and_advances_heartbeat() {
+        let db = Database::new();
+        let tid = activity(&db);
+        let m1 = SourceId::new("m1");
+        // Wrong source tag is rejected.
+        let err = db
+            .with_write(|w| {
+                w.ingest(&m1, tid, act_row("m2", "idle", 50), Timestamp::from_secs(50))
+            })
+            .unwrap_err();
+        assert_eq!(err.kind(), "constraint");
+        // Correct ingest stores the row and the heartbeat.
+        db.with_write(|w| {
+            w.ingest(&m1, tid, act_row("m1", "idle", 100), Timestamp::from_secs(100))
+        })
+        .unwrap();
+        let r = db.begin_read();
+        assert_eq!(
+            heartbeat::recency_of(&r, &m1).unwrap(),
+            Some(Timestamp::from_secs(100))
+        );
+        // Heartbeat is monotone: an older event does not regress it.
+        db.with_write(|w| {
+            w.ingest(&m1, tid, act_row("m1", "busy", 80), Timestamp::from_secs(80))
+        })
+        .unwrap();
+        let r = db.begin_read();
+        assert_eq!(
+            heartbeat::recency_of(&r, &m1).unwrap(),
+            Some(Timestamp::from_secs(100))
+        );
+        assert_eq!(r.scan(tid).unwrap().len(), 2);
+    }
+
+    #[test]
+    fn index_probe_sees_only_visible_rows() {
+        let db = Database::new();
+        let tid = activity(&db);
+        db.create_index("activity", "mach_id").unwrap();
+        db.with_write(|w| {
+            w.insert(tid, act_row("m1", "idle", 1))?;
+            w.insert(tid, act_row("m2", "busy", 2))?;
+            w.insert(tid, act_row("m1", "busy", 3))
+        })
+        .unwrap();
+        let r = db.begin_read();
+        let hits = r
+            .index_probe_in(tid, 0, &[Value::text("m1")])
+            .unwrap()
+            .unwrap();
+        assert_eq!(hits.len(), 2);
+        // Probe on unindexed column reports no index.
+        assert!(r.index_probe_in(tid, 1, &[Value::text("idle")]).unwrap().is_none());
+        // Delete one m1 row; a fresh snapshot sees one hit, old sees two.
+        let (slot, _) = db
+            .begin_read()
+            .scan_slots(tid)
+            .unwrap()
+            .into_iter()
+            .find(|(_, row)| row[0] == Value::text("m1") && row[1] == Value::text("idle"))
+            .unwrap();
+        db.with_write(|w| w.delete(tid, slot)).unwrap();
+        let fresh = db.begin_read();
+        assert_eq!(
+            fresh
+                .index_probe_in(tid, 0, &[Value::text("m1")])
+                .unwrap()
+                .unwrap()
+                .len(),
+            1
+        );
+        assert_eq!(
+            r.index_probe_in(tid, 0, &[Value::text("m1")])
+                .unwrap()
+                .unwrap()
+                .len(),
+            2
+        );
+    }
+
+    #[test]
+    fn index_backfills_existing_rows() {
+        let db = Database::new();
+        let tid = activity(&db);
+        db.with_write(|w| w.insert(tid, act_row("m7", "idle", 1)))
+            .unwrap();
+        db.create_index("activity", "value").unwrap();
+        let r = db.begin_read();
+        let hits = r
+            .index_probe_in(tid, 1, &[Value::text("idle")])
+            .unwrap()
+            .unwrap();
+        assert_eq!(hits.len(), 1);
+        assert_eq!(hits[0][0], Value::text("m7"));
+    }
+
+    #[test]
+    fn temp_tables_dropped_with_session() {
+        let db = Database::new();
+        let session = db.new_session_id();
+        let schema = TableSchema::new(
+            "sys_temp_a1",
+            vec![ColumnDef::new("sid", DataType::Text)],
+            None,
+        )
+        .unwrap();
+        let tid = db.create_temp_table(schema, session).unwrap();
+        db.with_write(|w| w.insert(tid, vec![Value::text("m1")]))
+            .unwrap();
+        assert!(db.begin_read().table_id("sys_temp_a1").is_ok());
+        db.drop_session_temps(session);
+        assert!(db.begin_read().table_id("sys_temp_a1").is_err());
+    }
+
+    #[test]
+    fn range_probe() {
+        let db = Database::new();
+        let tid = activity(&db);
+        db.create_index("activity", "event_time").unwrap();
+        db.with_write(|w| {
+            for s in 0..10 {
+                w.insert(tid, act_row("m1", "idle", s))?;
+            }
+            Ok(())
+        })
+        .unwrap();
+        let r = db.begin_read();
+        let lo = Value::Timestamp(Timestamp::from_secs(3));
+        let hi = Value::Timestamp(Timestamp::from_secs(7));
+        let hits = r
+            .index_probe_range(tid, 2, Bound::Included(&lo), Bound::Excluded(&hi))
+            .unwrap()
+            .unwrap();
+        assert_eq!(hits.len(), 4);
+    }
+
+    #[test]
+    fn vacuum_reclaims_heartbeat_churn() {
+        let db = Database::new();
+        let s = SourceId::new("m1");
+        // 100 heartbeat upserts: 1 live version + 99 dead ones.
+        for i in 1..=100 {
+            db.with_write(|w| w.heartbeat(&s, Timestamp::from_secs(i)))
+                .unwrap();
+        }
+        let stats = db.vacuum().unwrap();
+        assert_eq!(stats.versions_removed, 99);
+        // The live row (and its index entry) survive and read correctly.
+        let r = db.begin_read();
+        assert_eq!(
+            heartbeat::recency_of(&r, &s).unwrap(),
+            Some(Timestamp::from_secs(100))
+        );
+        let hb = r.table_id(HEARTBEAT_TABLE).unwrap();
+        assert_eq!(
+            r.index_probe_in(hb, 0, &[Value::text("m1")])
+                .unwrap()
+                .unwrap()
+                .len(),
+            1
+        );
+        // A second vacuum finds nothing to do.
+        drop(r);
+        let stats = db.vacuum().unwrap();
+        assert_eq!(stats.versions_removed, 0);
+    }
+
+    #[test]
+    fn vacuum_respects_open_snapshots() {
+        let db = Database::new();
+        let tid = activity(&db);
+        let slot = db
+            .with_write(|w| w.insert(tid, act_row("m1", "idle", 1)))
+            .unwrap();
+        let old = db.begin_read(); // can still see the row after deletion
+        db.with_write(|w| w.delete(tid, slot)).unwrap();
+        let stats = db.vacuum().unwrap();
+        assert_eq!(
+            stats.versions_removed, 0,
+            "version visible to an open snapshot must survive"
+        );
+        assert_eq!(old.scan(tid).unwrap().len(), 1);
+        drop(old);
+        let stats = db.vacuum().unwrap();
+        assert_eq!(stats.versions_removed, 1);
+        assert_eq!(db.begin_read().scan(tid).unwrap().len(), 0);
+    }
+
+    #[test]
+    fn vacuum_drops_aborted_versions_and_blocks_on_open_txns() {
+        let db = Database::new();
+        let tid = activity(&db);
+        let w = db.begin_write();
+        w.insert(tid, act_row("m1", "idle", 1)).unwrap();
+        // In-progress txn blocks vacuum.
+        assert!(db.vacuum().is_err());
+        w.abort();
+        let stats = db.vacuum().unwrap();
+        assert_eq!(stats.versions_removed, 1, "aborted insert reclaimed");
+    }
+
+    #[test]
+    fn write_write_conflict_surfaces() {
+        let db = Database::new();
+        let tid = activity(&db);
+        let slot = db
+            .with_write(|w| w.insert(tid, act_row("m1", "idle", 1)))
+            .unwrap();
+        let w1 = db.begin_write();
+        let w2 = db.begin_write();
+        w1.delete(tid, slot).unwrap();
+        let err = w2.delete(tid, slot).unwrap_err();
+        assert_eq!(err.kind(), "txn_aborted");
+        w1.commit();
+    }
+}

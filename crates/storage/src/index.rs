@@ -1,0 +1,135 @@
+//! Ordered secondary indexes.
+//!
+//! The paper's evaluation builds B-tree indexes on the data source columns
+//! of `Heartbeat`, `Activity` and `Routing` (Section 5.2) — that is what
+//! lets the Focused recency query probe only the few relevant sources
+//! instead of scanning everything. We implement the moral equivalent with
+//! a `BTreeMap<Value, Vec<RowSlot>>`: entries are added on insert and
+//! never removed (versions stay in the heap); readers re-check MVCC
+//! visibility and, when necessary, the indexed predicate.
+
+use crate::table::RowSlot;
+use std::collections::BTreeMap;
+use std::ops::Bound;
+use trac_types::Value;
+
+/// An ordered index over one column of a table.
+#[derive(Debug, Default)]
+pub struct Index {
+    /// Indexed column position in the base table.
+    pub column: usize,
+    map: BTreeMap<Value, Vec<RowSlot>>,
+    entries: usize,
+}
+
+impl Index {
+    /// Creates an empty index on `column`.
+    pub fn new(column: usize) -> Index {
+        Index {
+            column,
+            map: BTreeMap::new(),
+            entries: 0,
+        }
+    }
+
+    /// Adds an entry. NULL keys are not indexed (SQL predicates on the
+    /// indexed column can never match NULL anyway).
+    pub fn insert(&mut self, key: &Value, slot: RowSlot) {
+        if key.is_null() {
+            return;
+        }
+        self.map.entry(key.clone()).or_default().push(slot);
+        self.entries += 1;
+    }
+
+    /// Number of (non-NULL) entries.
+    pub fn len(&self) -> usize {
+        self.entries
+    }
+
+    /// True when the index holds no entries.
+    pub fn is_empty(&self) -> bool {
+        self.entries == 0
+    }
+
+    /// Number of distinct keys.
+    pub fn distinct_keys(&self) -> usize {
+        self.map.len()
+    }
+
+    /// Slots whose key equals `key`.
+    pub fn probe_eq<'a>(&'a self, key: &Value) -> impl Iterator<Item = RowSlot> + 'a {
+        self.map.get(key).into_iter().flatten().copied()
+    }
+
+    /// Slots whose key is in any of `keys` (an `IN` list probe).
+    pub fn probe_in<'a>(
+        &'a self,
+        keys: &'a [Value],
+    ) -> impl Iterator<Item = RowSlot> + 'a {
+        keys.iter().flat_map(move |k| self.probe_eq(k))
+    }
+
+    /// Slots whose key lies within the given bounds.
+    pub fn probe_range<'a>(
+        &'a self,
+        lo: Bound<&'a Value>,
+        hi: Bound<&'a Value>,
+    ) -> impl Iterator<Item = RowSlot> + 'a {
+        self.map
+            .range::<Value, _>((lo, hi))
+            .flat_map(|(_, slots)| slots.iter().copied())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn idx() -> Index {
+        let mut i = Index::new(0);
+        i.insert(&Value::text("m1"), RowSlot(0));
+        i.insert(&Value::text("m2"), RowSlot(1));
+        i.insert(&Value::text("m1"), RowSlot(2));
+        i.insert(&Value::text("m3"), RowSlot(3));
+        i.insert(&Value::Null, RowSlot(4)); // dropped
+        i
+    }
+
+    #[test]
+    fn eq_probe() {
+        let i = idx();
+        assert_eq!(i.len(), 4);
+        assert_eq!(i.distinct_keys(), 3);
+        let hits: Vec<_> = i.probe_eq(&Value::text("m1")).collect();
+        assert_eq!(hits, vec![RowSlot(0), RowSlot(2)]);
+        assert_eq!(i.probe_eq(&Value::text("zz")).count(), 0);
+        assert_eq!(i.probe_eq(&Value::Null).count(), 0);
+    }
+
+    #[test]
+    fn in_probe() {
+        let i = idx();
+        let keys = [Value::text("m2"), Value::text("m3"), Value::text("nope")];
+        let hits: Vec<_> = i.probe_in(&keys).collect();
+        assert_eq!(hits, vec![RowSlot(1), RowSlot(3)]);
+    }
+
+    #[test]
+    fn range_probe() {
+        let mut i = Index::new(0);
+        for n in 0..10 {
+            i.insert(&Value::Int(n), RowSlot(n as usize));
+        }
+        let lo = Value::Int(3);
+        let hi = Value::Int(6);
+        let hits: Vec<_> = i
+            .probe_range(Bound::Included(&lo), Bound::Excluded(&hi))
+            .collect();
+        assert_eq!(hits, vec![RowSlot(3), RowSlot(4), RowSlot(5)]);
+        let unbounded: Vec<_> = i
+            .probe_range(Bound::Unbounded, Bound::Included(&Value::Int(1)))
+            .collect();
+        assert_eq!(unbounded, vec![RowSlot(0), RowSlot(1)]);
+    }
+}

@@ -1,0 +1,37 @@
+//! Embedded MVCC storage engine.
+//!
+//! The paper's prototype runs inside PostgreSQL and leans on two of its
+//! properties: every statement sees a **consistent snapshot** (so the user
+//! query and the generated recency query observe the same database state),
+//! and **B-tree indexes** on data source columns make recency queries
+//! cheap. This crate reproduces that substrate natively:
+//!
+//! * [`schema`] — table schemas with a designated *data source column*
+//!   and per-column [`trac_types::ColumnDomain`]s (Section 3.3).
+//! * [`txn`] — transaction ids, statuses and snapshots (a simplified
+//!   PostgreSQL-style MVCC visibility model).
+//! * [`table`] — versioned heap tables.
+//! * [`index`] — ordered secondary indexes (equality and range probes).
+//! * [`catalog`] — table/index name resolution, session temp tables.
+//! * [`heartbeat`] — the system `Heartbeat(sid, recency)` table and the
+//!   ingestion discipline that keeps it monotone (Section 3.1).
+//! * [`db`] — the [`Database`] facade tying it all together.
+
+#![warn(missing_docs)]
+
+pub mod catalog;
+pub mod db;
+pub mod heartbeat;
+pub mod index;
+pub mod persist;
+pub mod schema;
+pub mod table;
+pub mod txn;
+
+pub use catalog::{Catalog, IndexMeta, TableId};
+pub use db::{Database, ReadTxn, VacuumStats, WriteTxn};
+pub use persist::{load_snapshot, save_snapshot};
+pub use heartbeat::{HEARTBEAT_RECENCY_COL, HEARTBEAT_SID_COL, HEARTBEAT_TABLE};
+pub use schema::{ColumnDef, TableSchema};
+pub use table::{Row, RowSlot, Table};
+pub use txn::{Snapshot, TxnId, TxnManager, TxnStatus};

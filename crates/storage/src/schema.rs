@@ -1,0 +1,266 @@
+//! Table schemas with a designated data source column.
+//!
+//! Section 3.3 of the paper: every monitored relation carries a column
+//! identifying the data source of each tuple, used as a foreign key into
+//! the `Heartbeat` table. Only updates from source `s` may insert or
+//! change tuples whose source column holds `s` — [`crate::db::WriteTxn`]
+//! enforces that discipline for ingestion paths.
+
+use trac_types::{ColumnDomain, DataType, Result, RowCheckRef, TracError, Value};
+
+/// Definition of one column.
+#[derive(Debug, Clone)]
+pub struct ColumnDef {
+    /// Column name (matched case-insensitively by the resolver).
+    pub name: String,
+    /// Data type.
+    pub ty: DataType,
+    /// Value domain. Defaults to the full type domain; the evaluation
+    /// schema gives every column a finite domain so the brute-force
+    /// relevance oracle can enumerate potential tuples.
+    pub domain: ColumnDomain,
+    /// Whether NULLs may be stored.
+    pub nullable: bool,
+}
+
+impl ColumnDef {
+    /// A non-nullable column with the full type domain.
+    pub fn new(name: impl Into<String>, ty: DataType) -> ColumnDef {
+        ColumnDef {
+            name: name.into(),
+            ty,
+            domain: ColumnDomain::Any(ty),
+            nullable: false,
+        }
+    }
+
+    /// Replaces the domain (builder style).
+    pub fn with_domain(mut self, domain: ColumnDomain) -> ColumnDef {
+        debug_assert_eq!(domain.data_type(), self.ty, "domain type mismatch");
+        self.domain = domain;
+        self
+    }
+
+    /// Marks the column nullable (builder style).
+    pub fn nullable(mut self) -> ColumnDef {
+        self.nullable = true;
+        self
+    }
+}
+
+/// Schema of a relation.
+#[derive(Debug, Clone)]
+pub struct TableSchema {
+    /// Relation name.
+    pub name: String,
+    /// Ordered column definitions.
+    pub columns: Vec<ColumnDef>,
+    /// Index (into `columns`) of the data source column, if the relation
+    /// is fed by monitored sources. System/temp tables may have none.
+    pub source_column: Option<usize>,
+    /// Row-level CHECK constraints, enforced on every insert/update and
+    /// exploited by the relevance analyzer (paper Section 3.4's
+    /// constraint-aware precision, its stated future work).
+    pub checks: Vec<RowCheckRef>,
+}
+
+impl TableSchema {
+    /// Builds a schema; `source_column` names the data source column.
+    pub fn new(
+        name: impl Into<String>,
+        columns: Vec<ColumnDef>,
+        source_column: Option<&str>,
+    ) -> Result<TableSchema> {
+        let name = name.into();
+        if columns.is_empty() {
+            return Err(TracError::Catalog(format!("table {name} has no columns")));
+        }
+        for (i, c) in columns.iter().enumerate() {
+            if columns[..i]
+                .iter()
+                .any(|o| o.name.eq_ignore_ascii_case(&c.name))
+            {
+                return Err(TracError::Catalog(format!(
+                    "duplicate column {} in table {name}",
+                    c.name
+                )));
+            }
+        }
+        let source_column = match source_column {
+            None => None,
+            Some(sc) => {
+                let idx = columns
+                    .iter()
+                    .position(|c| c.name.eq_ignore_ascii_case(sc))
+                    .ok_or_else(|| {
+                        TracError::Catalog(format!(
+                            "source column {sc} not found in table {name}"
+                        ))
+                    })?;
+                if columns[idx].nullable {
+                    return Err(TracError::Catalog(format!(
+                        "source column {sc} of {name} must be non-nullable"
+                    )));
+                }
+                Some(idx)
+            }
+        };
+        Ok(TableSchema {
+            name,
+            columns,
+            source_column,
+            checks: Vec::new(),
+        })
+    }
+
+    /// Attaches a CHECK constraint (builder style).
+    pub fn with_check(mut self, check: RowCheckRef) -> TableSchema {
+        self.checks.push(check);
+        self
+    }
+
+    /// Number of columns.
+    pub fn arity(&self) -> usize {
+        self.columns.len()
+    }
+
+    /// Finds a column index by (case-insensitive) name.
+    pub fn column_index(&self, name: &str) -> Option<usize> {
+        self.columns
+            .iter()
+            .position(|c| c.name.eq_ignore_ascii_case(name))
+    }
+
+    /// The column definition at `idx`.
+    pub fn column(&self, idx: usize) -> &ColumnDef {
+        &self.columns[idx]
+    }
+
+    /// True if `idx` is the data source column.
+    pub fn is_source_column(&self, idx: usize) -> bool {
+        self.source_column == Some(idx)
+    }
+
+    /// Name of the data source column, if any.
+    pub fn source_column_name(&self) -> Option<&str> {
+        self.source_column.map(|i| self.columns[i].name.as_str())
+    }
+
+    /// Type-checks, coerces, and CHECK-validates a row against this
+    /// schema.
+    pub fn check_row(&self, row: Vec<Value>) -> Result<Vec<Value>> {
+        if row.len() != self.columns.len() {
+            return Err(TracError::Type(format!(
+                "table {} expects {} values, got {}",
+                self.name,
+                self.columns.len(),
+                row.len()
+            )));
+        }
+        let row: Vec<Value> = row
+            .into_iter()
+            .zip(&self.columns)
+            .map(|(v, c)| {
+                if v.is_null() && !c.nullable {
+                    return Err(TracError::Constraint(format!(
+                        "column {}.{} is not nullable",
+                        self.name, c.name
+                    )));
+                }
+                v.coerce_to(c.ty).map_err(|e| {
+                    TracError::Type(format!(
+                        "column {}.{}: {}",
+                        self.name,
+                        c.name,
+                        e.message()
+                    ))
+                })
+            })
+            .collect::<Result<_>>()?;
+        for check in &self.checks {
+            if !check.check(&row)? {
+                return Err(TracError::Constraint(format!(
+                    "row violates CHECK {} on {} ({})",
+                    check.name(),
+                    self.name,
+                    check.display_sql()
+                )));
+            }
+        }
+        Ok(row)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn activity_schema() -> TableSchema {
+        TableSchema::new(
+            "activity",
+            vec![
+                ColumnDef::new("mach_id", DataType::Text),
+                ColumnDef::new("value", DataType::Text)
+                    .with_domain(ColumnDomain::text_set(["idle", "busy"])),
+                ColumnDef::new("event_time", DataType::Timestamp),
+            ],
+            Some("mach_id"),
+        )
+        .unwrap()
+    }
+
+    #[test]
+    fn source_column_resolution() {
+        let s = activity_schema();
+        assert_eq!(s.source_column, Some(0));
+        assert!(s.is_source_column(0));
+        assert!(!s.is_source_column(1));
+        assert_eq!(s.source_column_name(), Some("mach_id"));
+        assert_eq!(s.column_index("VALUE"), Some(1));
+        assert_eq!(s.column_index("nope"), None);
+    }
+
+    #[test]
+    fn rejects_bad_schemas() {
+        assert!(TableSchema::new("t", vec![], None).is_err());
+        assert!(TableSchema::new(
+            "t",
+            vec![
+                ColumnDef::new("a", DataType::Int),
+                ColumnDef::new("A", DataType::Text),
+            ],
+            None
+        )
+        .is_err());
+        assert!(TableSchema::new(
+            "t",
+            vec![ColumnDef::new("a", DataType::Int)],
+            Some("b")
+        )
+        .is_err());
+        // Nullable source column is rejected.
+        assert!(TableSchema::new(
+            "t",
+            vec![ColumnDef::new("s", DataType::Text).nullable()],
+            Some("s")
+        )
+        .is_err());
+    }
+
+    #[test]
+    fn check_row_coerces_and_validates() {
+        let s = activity_schema();
+        let row = s
+            .check_row(vec![
+                Value::text("m1"),
+                Value::text("idle"),
+                Value::text("2006-03-15 14:20:05"),
+            ])
+            .unwrap();
+        assert!(matches!(row[2], Value::Timestamp(_)));
+        assert!(s.check_row(vec![Value::text("m1")]).is_err()); // arity
+        assert!(s
+            .check_row(vec![Value::Null, Value::text("idle"), Value::Int(0)])
+            .is_err()); // null in non-nullable + type error
+    }
+}

@@ -1,0 +1,307 @@
+//! Transactions, statuses and snapshots.
+//!
+//! A simplified PostgreSQL-style MVCC model. Transaction ids are allocated
+//! sequentially; a [`Snapshot`] captures the id horizon and the set of
+//! transactions in flight at snapshot time. A row version created by `x`
+//! is visible to a snapshot iff `x` committed before the snapshot was
+//! taken, and its deleting transaction (if any) did not.
+//!
+//! This is what gives the TRAC session its first guiding requirement
+//! (Section 3.2): the user query and the generated recency query run
+//! against the *same* [`Snapshot`], so the reported recency information is
+//! transactionally consistent with the query result.
+
+use parking_lot::RwLock;
+use std::collections::{HashMap, HashSet};
+use std::fmt;
+use std::sync::atomic::{AtomicU64, Ordering as AtomicOrdering};
+use std::sync::Arc;
+
+/// A transaction identifier. Ids are allocated densely from 1.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct TxnId(pub u64);
+
+impl fmt::Display for TxnId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "txn#{}", self.0)
+    }
+}
+
+/// Lifecycle state of a transaction.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum TxnStatus {
+    /// Started, not yet finished.
+    InProgress,
+    /// Committed; its effects are durable.
+    Committed,
+    /// Aborted; its effects must never be observed.
+    Aborted,
+}
+
+/// Allocates transaction ids and tracks their status, plus the registry
+/// of outstanding snapshots (used by vacuum to find a safe horizon).
+#[derive(Debug, Default)]
+pub struct TxnManager {
+    inner: RwLock<TxnTable>,
+    snapshots: RwLock<HashMap<u64, SnapshotInfo>>,
+    next_snapshot_serial: AtomicU64,
+}
+
+#[derive(Debug, Default)]
+struct TxnTable {
+    /// `status[i]` is the status of `TxnId(i + 1)`.
+    status: Vec<TxnStatus>,
+}
+
+#[derive(Debug, Clone)]
+struct SnapshotInfo {
+    xmax: TxnId,
+    in_flight: Arc<HashSet<TxnId>>,
+}
+
+impl TxnManager {
+    /// Creates an empty manager.
+    pub fn new() -> Arc<TxnManager> {
+        Arc::new(TxnManager::default())
+    }
+
+    /// Starts a transaction, returning its fresh id.
+    pub fn begin(&self) -> TxnId {
+        let mut t = self.inner.write();
+        t.status.push(TxnStatus::InProgress);
+        TxnId(t.status.len() as u64)
+    }
+
+    /// Marks `id` committed.
+    pub fn commit(&self, id: TxnId) {
+        self.set(id, TxnStatus::Committed);
+    }
+
+    /// Marks `id` aborted.
+    pub fn abort(&self, id: TxnId) {
+        self.set(id, TxnStatus::Aborted);
+    }
+
+    fn set(&self, id: TxnId, st: TxnStatus) {
+        let mut t = self.inner.write();
+        let slot = &mut t.status[(id.0 - 1) as usize];
+        debug_assert_eq!(*slot, TxnStatus::InProgress, "double finish of {id}");
+        *slot = st;
+    }
+
+    /// Current status of `id`.
+    pub fn status(&self, id: TxnId) -> TxnStatus {
+        let t = self.inner.read();
+        t.status
+            .get((id.0 - 1) as usize)
+            .copied()
+            .unwrap_or(TxnStatus::InProgress)
+    }
+
+    /// Takes a snapshot of the current commit state. The snapshot is
+    /// registered until dropped, which holds back the vacuum horizon.
+    pub fn snapshot(self: &Arc<TxnManager>) -> Snapshot {
+        let t = self.inner.read();
+        let xmax = TxnId(t.status.len() as u64 + 1);
+        let in_flight: Arc<HashSet<TxnId>> = Arc::new(
+            t.status
+                .iter()
+                .enumerate()
+                .filter(|(_, s)| **s == TxnStatus::InProgress)
+                .map(|(i, _)| TxnId(i as u64 + 1))
+                .collect(),
+        );
+        drop(t);
+        let serial = self.next_snapshot_serial.fetch_add(1, AtomicOrdering::Relaxed);
+        self.snapshots.write().insert(
+            serial,
+            SnapshotInfo {
+                xmax,
+                in_flight: Arc::clone(&in_flight),
+            },
+        );
+        Snapshot {
+            xmax,
+            in_flight,
+            serial,
+            mgr: Arc::clone(self),
+        }
+    }
+
+    /// True when `id`'s effects are visible to **every** outstanding
+    /// snapshot — i.e. `id` committed strictly before each of them. A
+    /// version deleted by such a transaction can never be read again.
+    pub fn committed_before_all_snapshots(&self, id: TxnId) -> bool {
+        if self.status(id) != TxnStatus::Committed {
+            return false;
+        }
+        let snaps = self.snapshots.read();
+        snaps
+            .values()
+            .all(|s| id < s.xmax && !s.in_flight.contains(&id))
+    }
+
+    /// Number of currently outstanding snapshots.
+    pub fn active_snapshots(&self) -> usize {
+        self.snapshots.read().len()
+    }
+
+    /// True when any transaction is still in progress.
+    pub fn any_in_progress(&self) -> bool {
+        self.inner.read().status.contains(&TxnStatus::InProgress)
+    }
+
+    fn unregister_snapshot(&self, serial: u64) {
+        self.snapshots.write().remove(&serial);
+    }
+}
+
+/// A point-in-time view of which transactions' effects are visible.
+///
+/// Cloning re-registers: every live clone holds back the vacuum horizon.
+pub struct Snapshot {
+    /// First transaction id *not* visible (ids `>= xmax` started after the
+    /// snapshot).
+    xmax: TxnId,
+    /// Transactions in flight when the snapshot was taken.
+    in_flight: Arc<HashSet<TxnId>>,
+    /// Registry key; removed on drop.
+    serial: u64,
+    mgr: Arc<TxnManager>,
+}
+
+impl Clone for Snapshot {
+    fn clone(&self) -> Snapshot {
+        let serial = self
+            .mgr
+            .next_snapshot_serial
+            .fetch_add(1, AtomicOrdering::Relaxed);
+        self.mgr.snapshots.write().insert(
+            serial,
+            SnapshotInfo {
+                xmax: self.xmax,
+                in_flight: Arc::clone(&self.in_flight),
+            },
+        );
+        Snapshot {
+            xmax: self.xmax,
+            in_flight: Arc::clone(&self.in_flight),
+            serial,
+            mgr: Arc::clone(&self.mgr),
+        }
+    }
+}
+
+impl Drop for Snapshot {
+    fn drop(&mut self) {
+        self.mgr.unregister_snapshot(self.serial);
+    }
+}
+
+impl fmt::Debug for Snapshot {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_struct("Snapshot")
+            .field("xmax", &self.xmax)
+            .field("in_flight", &self.in_flight)
+            .finish()
+    }
+}
+
+impl Snapshot {
+    /// True iff transaction `id` was committed when this snapshot was
+    /// taken (the definition of "its effects are visible here").
+    ///
+    /// `id == self_id` (the snapshot owner's own writes) is handled by the
+    /// caller, see [`Snapshot::sees_version`].
+    pub fn committed_before(&self, id: TxnId) -> bool {
+        id < self.xmax
+            && !self.in_flight.contains(&id)
+            && self.mgr.status(id) == TxnStatus::Committed
+    }
+
+    /// Visibility of a row version `(xmin, xmax)` to this snapshot, where
+    /// `own` is the id of the transaction reading through this snapshot
+    /// (its own uncommitted writes are visible to itself).
+    pub fn sees_version(&self, own: Option<TxnId>, xmin: TxnId, xmax: Option<TxnId>) -> bool {
+        let created = own == Some(xmin) || self.committed_before(xmin);
+        if !created {
+            return false;
+        }
+        match xmax {
+            None => true,
+            Some(x) => !(own == Some(x) || self.committed_before(x)),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn ids_are_sequential() {
+        let m = TxnManager::new();
+        assert_eq!(m.begin(), TxnId(1));
+        assert_eq!(m.begin(), TxnId(2));
+        assert_eq!(m.status(TxnId(1)), TxnStatus::InProgress);
+        m.commit(TxnId(1));
+        m.abort(TxnId(2));
+        assert_eq!(m.status(TxnId(1)), TxnStatus::Committed);
+        assert_eq!(m.status(TxnId(2)), TxnStatus::Aborted);
+    }
+
+    #[test]
+    fn snapshot_excludes_later_and_in_flight_txns() {
+        let m = TxnManager::new();
+        let t1 = m.begin();
+        m.commit(t1);
+        let t2 = m.begin(); // in flight at snapshot time
+        let snap = m.snapshot();
+        let t3 = m.begin(); // starts after snapshot
+        m.commit(t2);
+        m.commit(t3);
+        assert!(snap.committed_before(t1));
+        assert!(!snap.committed_before(t2), "committed after snapshot");
+        assert!(!snap.committed_before(t3), "started after snapshot");
+    }
+
+    #[test]
+    fn aborted_txns_are_never_visible() {
+        let m = TxnManager::new();
+        let t1 = m.begin();
+        m.abort(t1);
+        let snap = m.snapshot();
+        assert!(!snap.committed_before(t1));
+    }
+
+    #[test]
+    fn version_visibility() {
+        let m = TxnManager::new();
+        let t1 = m.begin();
+        m.commit(t1);
+        let t2 = m.begin();
+        let snap = m.snapshot();
+        // Row created by committed t1, not deleted: visible.
+        assert!(snap.sees_version(None, t1, None));
+        // Deleted by in-flight t2: still visible to the snapshot...
+        assert!(snap.sees_version(None, t1, Some(t2)));
+        // ...but not to t2 itself.
+        assert!(!snap.sees_version(Some(t2), t1, Some(t2)));
+        // Row created by t2: visible only to t2.
+        assert!(!snap.sees_version(None, t2, None));
+        assert!(snap.sees_version(Some(t2), t2, None));
+    }
+
+    #[test]
+    fn snapshot_is_stable_across_later_commits() {
+        let m = TxnManager::new();
+        let t1 = m.begin();
+        let snap = m.snapshot();
+        m.commit(t1);
+        // t1 was in flight at snapshot time; committing later must not
+        // change what the snapshot sees.
+        assert!(!snap.committed_before(t1));
+        let fresh = m.snapshot();
+        assert!(fresh.committed_before(t1));
+    }
+}

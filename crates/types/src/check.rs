@@ -1,0 +1,73 @@
+//! Row-level CHECK constraints (the hook half).
+//!
+//! The paper's Section 3.4 notes that schema constraints restrict the
+//! *potential tuples* relevance ranges over: "the definitions of
+//! 'relevant sources' would have to be augmented to restrict the tuples
+//! considered to be those that, when appended to the relation instance,
+//! give a legal instance … This will have the effect in some cases of
+//! further increasing the precision of the set of relevant sources" —
+//! and leaves it as future work. We implement it.
+//!
+//! Storage cannot depend on the expression machinery (that would be a
+//! dependency cycle), so constraints are installed behind this object-
+//! safe trait; `trac-expr` provides the concrete implementation backed by
+//! a bound expression, and the relevance analyzer downcasts through
+//! [`RowCheck::as_any`] to recover the expression for Q → Q' rewriting.
+
+use crate::error::Result;
+use crate::value::Value;
+use std::any::Any;
+use std::fmt;
+use std::sync::Arc;
+
+/// An object-safe row predicate enforced on every insert/update.
+pub trait RowCheck: Send + Sync + fmt::Debug {
+    /// Constraint name (for error messages: `CHECK no_self_neighbor`).
+    fn name(&self) -> &str;
+    /// True when `row` satisfies the constraint. NULL-valued checks
+    /// follow SQL CHECK semantics: unknown passes.
+    fn check(&self, row: &[Value]) -> Result<bool>;
+    /// Downcast support for layers that know the concrete type.
+    fn as_any(&self) -> &dyn Any;
+    /// SQL rendering of the constraint body (for display / catalogs).
+    fn display_sql(&self) -> String;
+}
+
+/// Shared handle to a constraint.
+pub type RowCheckRef = Arc<dyn RowCheck>;
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[derive(Debug)]
+    struct NonNegative(usize);
+
+    impl RowCheck for NonNegative {
+        fn name(&self) -> &str {
+            "non_negative"
+        }
+        fn check(&self, row: &[Value]) -> Result<bool> {
+            Ok(match row.get(self.0) {
+                Some(Value::Int(i)) => *i >= 0,
+                _ => true,
+            })
+        }
+        fn as_any(&self) -> &dyn Any {
+            self
+        }
+        fn display_sql(&self) -> String {
+            format!("col{} >= 0", self.0)
+        }
+    }
+
+    #[test]
+    fn trait_is_object_safe_and_downcasts() {
+        let c: RowCheckRef = Arc::new(NonNegative(1));
+        assert!(c.check(&[Value::Null, Value::Int(3)]).unwrap());
+        assert!(!c.check(&[Value::Null, Value::Int(-1)]).unwrap());
+        assert_eq!(c.name(), "non_negative");
+        assert!(c.as_any().downcast_ref::<NonNegative>().is_some());
+        assert_eq!(c.display_sql(), "col1 >= 0");
+    }
+}

@@ -1,0 +1,101 @@
+//! SQL data types.
+
+use std::fmt;
+
+/// The scalar data types supported by the engine.
+///
+/// This is deliberately the small set the paper's schemas need: machine
+/// ids and activity values are text, job ids and counters are integers,
+/// event/recency times are timestamps. `Float` and `Bool` round the set
+/// out for statistics and predicates.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum DataType {
+    /// 64-bit signed integer.
+    Int,
+    /// 64-bit IEEE-754 float.
+    Float,
+    /// UTF-8 string.
+    Text,
+    /// Boolean.
+    Bool,
+    /// Microsecond-precision timestamp.
+    Timestamp,
+}
+
+impl DataType {
+    /// True if values of `self` can be compared with values of `other`
+    /// without an explicit cast. Ints and floats are mutually comparable.
+    pub fn comparable_with(self, other: DataType) -> bool {
+        self == other || self.is_numeric() && other.is_numeric()
+    }
+
+    /// True for `Int` and `Float`.
+    pub fn is_numeric(self) -> bool {
+        matches!(self, DataType::Int | DataType::Float)
+    }
+
+    /// SQL spelling of the type, as accepted by `CREATE TABLE`.
+    pub fn sql_name(self) -> &'static str {
+        match self {
+            DataType::Int => "INT",
+            DataType::Float => "FLOAT",
+            DataType::Text => "TEXT",
+            DataType::Bool => "BOOL",
+            DataType::Timestamp => "TIMESTAMP",
+        }
+    }
+
+    /// Parses a SQL type name (case-insensitive, with common aliases).
+    pub fn parse_sql_name(name: &str) -> Option<DataType> {
+        match name.to_ascii_uppercase().as_str() {
+            "INT" | "INTEGER" | "BIGINT" | "INT8" | "INT4" => Some(DataType::Int),
+            "FLOAT" | "DOUBLE" | "REAL" | "FLOAT8" => Some(DataType::Float),
+            "TEXT" | "VARCHAR" | "CHAR" | "STRING" => Some(DataType::Text),
+            "BOOL" | "BOOLEAN" => Some(DataType::Bool),
+            "TIMESTAMP" | "TIMESTAMPTZ" | "DATETIME" => Some(DataType::Timestamp),
+            _ => None,
+        }
+    }
+}
+
+impl fmt::Display for DataType {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(self.sql_name())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn sql_name_roundtrip() {
+        for dt in [
+            DataType::Int,
+            DataType::Float,
+            DataType::Text,
+            DataType::Bool,
+            DataType::Timestamp,
+        ] {
+            assert_eq!(DataType::parse_sql_name(dt.sql_name()), Some(dt));
+        }
+    }
+
+    #[test]
+    fn aliases() {
+        assert_eq!(DataType::parse_sql_name("integer"), Some(DataType::Int));
+        assert_eq!(DataType::parse_sql_name("VarChar"), Some(DataType::Text));
+        assert_eq!(DataType::parse_sql_name("double"), Some(DataType::Float));
+        assert_eq!(DataType::parse_sql_name("datetime"), Some(DataType::Timestamp));
+        assert_eq!(DataType::parse_sql_name("blob"), None);
+    }
+
+    #[test]
+    fn comparability() {
+        assert!(DataType::Int.comparable_with(DataType::Float));
+        assert!(DataType::Float.comparable_with(DataType::Int));
+        assert!(DataType::Text.comparable_with(DataType::Text));
+        assert!(!DataType::Text.comparable_with(DataType::Int));
+        assert!(!DataType::Timestamp.comparable_with(DataType::Bool));
+    }
+}

@@ -1,0 +1,296 @@
+//! Column domains: the `D_1 × D_2 × … × D_k × D_s` model of Section 3.4.
+//!
+//! The paper defines relevance over *potential* tuples drawn from the cross
+//! product of column domains, and its evaluation "used a test schema
+//! specially designed so that a finite domain with a reasonable cardinality
+//! is associated with each column" so the brute-force oracle can compute
+//! the exact relevant source set. [`ColumnDomain`] captures exactly that:
+//! a column is either unconstrained ([`ColumnDomain::Any`]) or carries a
+//! finite/enumerable domain the oracle and satisfiability checker exploit.
+
+use crate::datatype::DataType;
+use crate::timestamp::Timestamp;
+use crate::value::Value;
+use std::collections::BTreeSet;
+use std::sync::Arc;
+
+/// The domain of values a column may take.
+///
+/// Cloning is cheap: large text sets are shared behind an [`Arc`], since
+/// schemas (and their domains) are cloned on every bind.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum ColumnDomain {
+    /// The full (conceptually infinite) domain of a data type.
+    Any(DataType),
+    /// All integers in `lo..=hi`.
+    IntRange {
+        /// Inclusive lower bound.
+        lo: i64,
+        /// Inclusive upper bound.
+        hi: i64,
+    },
+    /// An explicit finite set of strings (e.g. machine ids, activity values).
+    TextSet(Arc<BTreeSet<String>>),
+    /// All whole-second timestamps in `lo..=hi` (1-second granularity keeps
+    /// enumeration meaningful for the oracle while modelling event times).
+    TimestampRange {
+        /// Inclusive lower bound.
+        lo: Timestamp,
+        /// Inclusive upper bound.
+        hi: Timestamp,
+    },
+    /// `{false, true}`.
+    Bools,
+}
+
+impl ColumnDomain {
+    /// Builds a text-set domain from anything yielding string-likes.
+    pub fn text_set<I, S>(items: I) -> ColumnDomain
+    where
+        I: IntoIterator<Item = S>,
+        S: Into<String>,
+    {
+        ColumnDomain::TextSet(Arc::new(items.into_iter().map(Into::into).collect()))
+    }
+
+    /// The data type of values in this domain.
+    pub fn data_type(&self) -> DataType {
+        match self {
+            ColumnDomain::Any(t) => *t,
+            ColumnDomain::IntRange { .. } => DataType::Int,
+            ColumnDomain::TextSet(_) => DataType::Text,
+            ColumnDomain::TimestampRange { .. } => DataType::Timestamp,
+            ColumnDomain::Bools => DataType::Bool,
+        }
+    }
+
+    /// True when `v` is a member of this domain. `Null` is never a member:
+    /// the paper's potential tuples are drawn from the value domains.
+    pub fn contains(&self, v: &Value) -> bool {
+        match (self, v) {
+            (_, Value::Null) => false,
+            (ColumnDomain::Any(t), v) => v.data_type() == Some(*t)
+                || (*t == DataType::Float && matches!(v, Value::Int(_))),
+            (ColumnDomain::IntRange { lo, hi }, Value::Int(i)) => lo <= i && i <= hi,
+            (ColumnDomain::TextSet(s), Value::Text(t)) => s.contains(t),
+            (ColumnDomain::TimestampRange { lo, hi }, Value::Timestamp(t)) => {
+                lo <= t && t <= hi
+            }
+            (ColumnDomain::Bools, Value::Bool(_)) => true,
+            _ => false,
+        }
+    }
+
+    /// True when the domain has finitely many members.
+    pub fn is_finite(&self) -> bool {
+        !matches!(self, ColumnDomain::Any(_))
+    }
+
+    /// Number of members, if finite and representable.
+    pub fn cardinality(&self) -> Option<u64> {
+        match self {
+            ColumnDomain::Any(_) => None,
+            ColumnDomain::IntRange { lo, hi } => {
+                if lo > hi {
+                    Some(0)
+                } else {
+                    u64::try_from(hi.wrapping_sub(*lo)).ok()?.checked_add(1)
+                }
+            }
+            ColumnDomain::TextSet(s) => Some(s.len() as u64),
+            ColumnDomain::TimestampRange { lo, hi } => {
+                if lo > hi {
+                    Some(0)
+                } else {
+                    let span_secs = (hi.micros() - lo.micros()) / 1_000_000;
+                    u64::try_from(span_secs).ok()?.checked_add(1)
+                }
+            }
+            ColumnDomain::Bools => Some(2),
+        }
+    }
+
+    /// True when the domain is empty.
+    pub fn is_empty(&self) -> bool {
+        self.cardinality() == Some(0)
+    }
+
+    /// Enumerates all members, or `None` when infinite or larger than
+    /// `cap`. The brute-force relevance oracle iterates these.
+    pub fn enumerate(&self, cap: u64) -> Option<Vec<Value>> {
+        let n = self.cardinality()?;
+        if n > cap {
+            return None;
+        }
+        Some(match self {
+            ColumnDomain::Any(_) => unreachable!("cardinality was Some"),
+            ColumnDomain::IntRange { lo, hi } => {
+                (*lo..=*hi).map(Value::Int).collect()
+            }
+            ColumnDomain::TextSet(s) => {
+                s.iter().cloned().map(Value::Text).collect()
+            }
+            ColumnDomain::TimestampRange { lo, hi } => {
+                let mut out = Vec::with_capacity(n as usize);
+                let mut t = lo.micros();
+                while t <= hi.micros() {
+                    out.push(Value::Timestamp(Timestamp::from_micros(t)));
+                    t += 1_000_000;
+                }
+                out
+            }
+            ColumnDomain::Bools => vec![Value::Bool(false), Value::Bool(true)],
+        })
+    }
+
+    /// A sample member of the domain, if one exists. Used by the
+    /// satisfiability checker as a witness when a column is unconstrained
+    /// by a conjunction.
+    pub fn sample(&self) -> Option<Value> {
+        match self {
+            ColumnDomain::Any(DataType::Int) => Some(Value::Int(0)),
+            ColumnDomain::Any(DataType::Float) => Some(Value::Float(0.0)),
+            ColumnDomain::Any(DataType::Text) => Some(Value::text("")),
+            ColumnDomain::Any(DataType::Bool) => Some(Value::Bool(false)),
+            ColumnDomain::Any(DataType::Timestamp) => {
+                Some(Value::Timestamp(Timestamp(0)))
+            }
+            ColumnDomain::IntRange { lo, hi } => {
+                (lo <= hi).then_some(Value::Int(*lo))
+            }
+            ColumnDomain::TextSet(s) => s.iter().next().cloned().map(Value::Text),
+            ColumnDomain::TimestampRange { lo, hi } => {
+                (lo <= hi).then_some(Value::Timestamp(*lo))
+            }
+            ColumnDomain::Bools => Some(Value::Bool(false)),
+        }
+    }
+
+    /// True if the two domains share at least one member. Conservative:
+    /// returns `true` when membership cannot be decided cheaply.
+    ///
+    /// Used to reason about join predicates like
+    /// `Routing.neighbor = Activity.mach_id` — the paper's Section 4.1.2
+    /// counter-example notes that if the two domains do not intersect, the
+    /// join predicate is unsatisfiable and the relevant set collapses.
+    pub fn intersects(&self, other: &ColumnDomain) -> bool {
+        use ColumnDomain::*;
+        match (self, other) {
+            (Any(a), b) | (b, Any(a)) => b.data_type().comparable_with(*a),
+            (IntRange { lo: a, hi: b }, IntRange { lo: c, hi: d }) => {
+                a.max(c) <= b.min(d)
+            }
+            (TextSet(a), TextSet(b)) => {
+                // Iterate the smaller set.
+                let (small, big) = if a.len() <= b.len() { (a, b) } else { (b, a) };
+                small.iter().any(|s| big.contains(s))
+            }
+            (
+                TimestampRange { lo: a, hi: b },
+                TimestampRange { lo: c, hi: d },
+            ) => a.max(c) <= b.min(d),
+            (Bools, Bools) => true,
+            _ => false,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn int_range_membership_and_cardinality() {
+        let d = ColumnDomain::IntRange { lo: -2, hi: 3 };
+        assert!(d.contains(&Value::Int(0)));
+        assert!(d.contains(&Value::Int(-2)));
+        assert!(d.contains(&Value::Int(3)));
+        assert!(!d.contains(&Value::Int(4)));
+        assert!(!d.contains(&Value::text("0")));
+        assert!(!d.contains(&Value::Null));
+        assert_eq!(d.cardinality(), Some(6));
+        assert_eq!(d.enumerate(10).unwrap().len(), 6);
+        assert_eq!(d.enumerate(5), None); // over cap
+    }
+
+    #[test]
+    fn empty_ranges() {
+        let d = ColumnDomain::IntRange { lo: 5, hi: 4 };
+        assert_eq!(d.cardinality(), Some(0));
+        assert!(d.is_empty());
+        assert_eq!(d.sample(), None);
+        assert_eq!(d.enumerate(10).unwrap(), Vec::<Value>::new());
+    }
+
+    #[test]
+    fn text_set() {
+        let d = ColumnDomain::text_set(["m1", "m2", "m3"]);
+        assert!(d.contains(&Value::text("m2")));
+        assert!(!d.contains(&Value::text("m9")));
+        assert_eq!(d.cardinality(), Some(3));
+        let all = d.enumerate(10).unwrap();
+        assert_eq!(
+            all,
+            vec![Value::text("m1"), Value::text("m2"), Value::text("m3")]
+        );
+    }
+
+    #[test]
+    fn timestamp_range_enumeration_is_second_granular() {
+        let lo = Timestamp::from_secs(100);
+        let hi = Timestamp::from_secs(103);
+        let d = ColumnDomain::TimestampRange { lo, hi };
+        assert_eq!(d.cardinality(), Some(4));
+        let vals = d.enumerate(10).unwrap();
+        assert_eq!(vals.len(), 4);
+        assert_eq!(vals[0], Value::Timestamp(lo));
+        assert_eq!(vals[3], Value::Timestamp(hi));
+    }
+
+    #[test]
+    fn any_domain_is_infinite() {
+        let d = ColumnDomain::Any(DataType::Text);
+        assert!(!d.is_finite());
+        assert_eq!(d.cardinality(), None);
+        assert_eq!(d.enumerate(1_000_000), None);
+        assert!(d.contains(&Value::text("anything")));
+        assert!(!d.contains(&Value::Int(1)));
+        // Float domain accepts ints (numeric coercion).
+        assert!(ColumnDomain::Any(DataType::Float).contains(&Value::Int(1)));
+    }
+
+    #[test]
+    fn intersections() {
+        let a = ColumnDomain::text_set(["m1", "m2"]);
+        let b = ColumnDomain::text_set(["m2", "m3"]);
+        let c = ColumnDomain::text_set(["x"]);
+        assert!(a.intersects(&b));
+        assert!(!a.intersects(&c));
+        assert!(a.intersects(&ColumnDomain::Any(DataType::Text)));
+        assert!(!a.intersects(&ColumnDomain::Any(DataType::Int)));
+        let r1 = ColumnDomain::IntRange { lo: 0, hi: 10 };
+        let r2 = ColumnDomain::IntRange { lo: 10, hi: 20 };
+        let r3 = ColumnDomain::IntRange { lo: 11, hi: 20 };
+        assert!(r1.intersects(&r2));
+        assert!(!r1.intersects(&r3));
+    }
+
+    #[test]
+    fn samples_are_members() {
+        let doms = [
+            ColumnDomain::IntRange { lo: 3, hi: 9 },
+            ColumnDomain::text_set(["only"]),
+            ColumnDomain::Bools,
+            ColumnDomain::TimestampRange {
+                lo: Timestamp::from_secs(1),
+                hi: Timestamp::from_secs(2),
+            },
+            ColumnDomain::Any(DataType::Int),
+            ColumnDomain::Any(DataType::Text),
+        ];
+        for d in &doms {
+            let s = d.sample().expect("non-empty domain has a sample");
+            assert!(d.contains(&s), "sample {s:?} not in {d:?}");
+        }
+    }
+}

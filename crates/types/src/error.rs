@@ -1,0 +1,117 @@
+//! The shared error type for all TRAC crates.
+
+use std::fmt;
+
+/// Convenience alias used across the workspace.
+pub type Result<T> = std::result::Result<T, TracError>;
+
+/// The error type shared by every layer of the system.
+///
+/// Variants are grouped by the subsystem that typically raises them; all
+/// carry human-readable context because the primary consumer is a user at
+/// a SQL prompt (mirroring the PostgreSQL `NOTICE`/`ERROR` surface of the
+/// paper's prototype).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum TracError {
+    /// Lexing or parsing a SQL string failed.
+    Parse(String),
+    /// Name resolution failed: unknown table, column, ambiguous reference.
+    Resolution(String),
+    /// A value had the wrong type for an operation or column.
+    Type(String),
+    /// Catalog-level problem: duplicate table, missing index, etc.
+    Catalog(String),
+    /// Storage/transaction problem: write conflict, unknown row, etc.
+    Storage(String),
+    /// Transaction was aborted (e.g. first-updater-wins conflict).
+    TxnAborted(String),
+    /// Query execution failed.
+    Execution(String),
+    /// The recency/relevance analyzer rejected or could not handle a query.
+    Analysis(String),
+    /// A constraint (e.g. source-column tagging discipline) was violated.
+    Constraint(String),
+    /// Invalid configuration of a workload, sweep, or simulator.
+    Config(String),
+}
+
+impl TracError {
+    /// Short machine-friendly category tag, useful in logs and tests.
+    pub fn kind(&self) -> &'static str {
+        match self {
+            TracError::Parse(_) => "parse",
+            TracError::Resolution(_) => "resolution",
+            TracError::Type(_) => "type",
+            TracError::Catalog(_) => "catalog",
+            TracError::Storage(_) => "storage",
+            TracError::TxnAborted(_) => "txn_aborted",
+            TracError::Execution(_) => "execution",
+            TracError::Analysis(_) => "analysis",
+            TracError::Constraint(_) => "constraint",
+            TracError::Config(_) => "config",
+        }
+    }
+
+    /// The human-readable message carried by this error.
+    pub fn message(&self) -> &str {
+        match self {
+            TracError::Parse(m)
+            | TracError::Resolution(m)
+            | TracError::Type(m)
+            | TracError::Catalog(m)
+            | TracError::Storage(m)
+            | TracError::TxnAborted(m)
+            | TracError::Execution(m)
+            | TracError::Analysis(m)
+            | TracError::Constraint(m)
+            | TracError::Config(m) => m,
+        }
+    }
+}
+
+impl fmt::Display for TracError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{} error: {}", self.kind(), self.message())
+    }
+}
+
+impl std::error::Error for TracError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_includes_kind_and_message() {
+        let e = TracError::Parse("unexpected token `FROM`".into());
+        assert_eq!(e.to_string(), "parse error: unexpected token `FROM`");
+        assert_eq!(e.kind(), "parse");
+        assert_eq!(e.message(), "unexpected token `FROM`");
+    }
+
+    #[test]
+    fn kinds_are_distinct() {
+        let all = [
+            TracError::Parse(String::new()),
+            TracError::Resolution(String::new()),
+            TracError::Type(String::new()),
+            TracError::Catalog(String::new()),
+            TracError::Storage(String::new()),
+            TracError::TxnAborted(String::new()),
+            TracError::Execution(String::new()),
+            TracError::Analysis(String::new()),
+            TracError::Constraint(String::new()),
+            TracError::Config(String::new()),
+        ];
+        let mut kinds: Vec<_> = all.iter().map(|e| e.kind()).collect();
+        kinds.sort_unstable();
+        kinds.dedup();
+        assert_eq!(kinds.len(), all.len());
+    }
+
+    #[test]
+    fn error_is_std_error() {
+        fn takes_err(_e: &dyn std::error::Error) {}
+        takes_err(&TracError::Storage("x".into()));
+    }
+}

@@ -1,0 +1,74 @@
+//! Identifier newtypes.
+
+use crate::value::Value;
+use std::fmt;
+
+/// A data source identifier.
+///
+/// In the paper's deployments a data source is a machine (or the bundle of
+/// monitored process + sniffer on it); ids are strings such as `m1` or
+/// `Tao100`. Source ids live in the data source column of user relations
+/// and in the key column of the `Heartbeat` table.
+#[derive(Debug, Clone, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct SourceId(pub String);
+
+impl SourceId {
+    /// Builds a source id from any string-like.
+    pub fn new(s: impl Into<String>) -> SourceId {
+        SourceId(s.into())
+    }
+
+    /// The id as a string slice.
+    pub fn as_str(&self) -> &str {
+        &self.0
+    }
+
+    /// The id as a SQL [`Value`] (text).
+    pub fn to_value(&self) -> Value {
+        Value::Text(self.0.clone())
+    }
+
+    /// Extracts a source id from a [`Value`], if it is text.
+    pub fn from_value(v: &Value) -> Option<SourceId> {
+        v.as_text().map(SourceId::new)
+    }
+}
+
+impl fmt::Display for SourceId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(&self.0)
+    }
+}
+
+impl From<&str> for SourceId {
+    fn from(s: &str) -> SourceId {
+        SourceId::new(s)
+    }
+}
+
+impl From<String> for SourceId {
+    fn from(s: String) -> SourceId {
+        SourceId(s)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn roundtrip_through_value() {
+        let s = SourceId::new("m1");
+        let v = s.to_value();
+        assert_eq!(SourceId::from_value(&v), Some(s));
+        assert_eq!(SourceId::from_value(&Value::Int(1)), None);
+    }
+
+    #[test]
+    fn ordering_is_lexicographic() {
+        let mut ids = [SourceId::new("m2"), SourceId::new("m1")];
+        ids.sort();
+        assert_eq!(ids[0].as_str(), "m1");
+        assert_eq!(ids[0].to_string(), "m1");
+    }
+}

@@ -1,0 +1,32 @@
+//! Core value and type definitions shared by every TRAC crate.
+//!
+//! This crate is the foundation of the TRAC reproduction: SQL values and
+//! data types ([`Value`], [`DataType`]), event/recency timestamps
+//! ([`Timestamp`], [`TsDuration`]), the finite column-domain model used by
+//! the paper's relevance definitions ([`ColumnDomain`]), and the common
+//! error type ([`TracError`]).
+//!
+//! The paper (Section 3.4) models every relation column as having a domain
+//! `D_i`; the data source column has domain `D_s`, which is the set of
+//! source ids recorded in the `Heartbeat` table. Relevance of a data source
+//! is defined over *potential* tuples drawn from the cross product of these
+//! domains, so domains are a first-class concept here rather than an
+//! afterthought.
+
+#![warn(missing_docs)]
+
+pub mod check;
+pub mod datatype;
+pub mod domain;
+pub mod error;
+pub mod ids;
+pub mod timestamp;
+pub mod value;
+
+pub use check::{RowCheck, RowCheckRef};
+pub use datatype::DataType;
+pub use domain::ColumnDomain;
+pub use error::{Result, TracError};
+pub use ids::SourceId;
+pub use timestamp::{Timestamp, TsDuration};
+pub use value::Value;

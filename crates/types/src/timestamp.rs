@@ -1,0 +1,392 @@
+//! Event and recency timestamps.
+//!
+//! Every update streaming in from a data source is tagged with the time of
+//! the event it records (paper Section 3.1), and the `Heartbeat` table maps
+//! each source to its recency timestamp. We represent timestamps as
+//! microseconds since the Unix epoch and implement the small amount of
+//! civil-calendar arithmetic needed to parse and print
+//! `YYYY-MM-DD HH:MM:SS[.ffffff]` strings, so the crate has no external
+//! time dependency.
+
+use crate::error::{Result, TracError};
+use std::fmt;
+use std::ops::{Add, Sub};
+
+/// Microseconds in one second.
+pub const MICROS_PER_SEC: i64 = 1_000_000;
+/// Microseconds in one day.
+pub const MICROS_PER_DAY: i64 = 86_400 * MICROS_PER_SEC;
+
+/// An absolute point in time: microseconds since `1970-01-01 00:00:00`.
+///
+/// Ordering is the natural chronological ordering, which is what the
+/// recency statistics (min / max / range, Section 4.3) rely on.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default)]
+pub struct Timestamp(pub i64);
+
+/// A signed span between two [`Timestamp`]s, in microseconds.
+///
+/// Displayed in the `HH:MM:SS` form the paper's prototype uses for the
+/// "bound of inconsistency" (e.g. `00:20:00`).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default)]
+pub struct TsDuration(pub i64);
+
+impl Timestamp {
+    /// The earliest representable timestamp.
+    pub const MIN: Timestamp = Timestamp(i64::MIN);
+    /// The latest representable timestamp.
+    pub const MAX: Timestamp = Timestamp(i64::MAX);
+
+    /// Builds a timestamp from whole seconds since the epoch.
+    pub fn from_secs(secs: i64) -> Timestamp {
+        Timestamp(secs * MICROS_PER_SEC)
+    }
+
+    /// Builds a timestamp from microseconds since the epoch.
+    pub fn from_micros(micros: i64) -> Timestamp {
+        Timestamp(micros)
+    }
+
+    /// Microseconds since the epoch.
+    pub fn micros(self) -> i64 {
+        self.0
+    }
+
+    /// Whole seconds since the epoch (truncated toward negative infinity).
+    pub fn secs(self) -> i64 {
+        self.0.div_euclid(MICROS_PER_SEC)
+    }
+
+    /// Builds a timestamp from a civil date and time-of-day.
+    ///
+    /// Returns an error for out-of-range components (month 13, Feb 30, …).
+    pub fn from_ymd_hms(
+        year: i32,
+        month: u32,
+        day: u32,
+        hour: u32,
+        min: u32,
+        sec: u32,
+    ) -> Result<Timestamp> {
+        if !(1..=12).contains(&month) {
+            return Err(TracError::Type(format!("month out of range: {month}")));
+        }
+        if day < 1 || day > days_in_month(year, month) {
+            return Err(TracError::Type(format!(
+                "day out of range: {year:04}-{month:02}-{day:02}"
+            )));
+        }
+        if hour > 23 || min > 59 || sec > 59 {
+            return Err(TracError::Type(format!(
+                "time out of range: {hour:02}:{min:02}:{sec:02}"
+            )));
+        }
+        let days = days_from_civil(year, month, day);
+        let secs = days * 86_400 + i64::from(hour) * 3600 + i64::from(min) * 60 + i64::from(sec);
+        Ok(Timestamp(secs * MICROS_PER_SEC))
+    }
+
+    /// Parses `YYYY-MM-DD HH:MM:SS[.ffffff]`; the time part may be omitted
+    /// (midnight is assumed).
+    pub fn parse(s: &str) -> Result<Timestamp> {
+        let s = s.trim();
+        let bad = || TracError::Type(format!("invalid timestamp literal: {s:?}"));
+        let (date_part, time_part) = match s.split_once([' ', 'T']) {
+            Some((d, t)) => (d, Some(t)),
+            None => (s, None),
+        };
+        let mut dit = date_part.splitn(3, '-');
+        let year: i32 = dit.next().ok_or_else(bad)?.parse().map_err(|_| bad())?;
+        let month: u32 = dit.next().ok_or_else(bad)?.parse().map_err(|_| bad())?;
+        let day: u32 = dit.next().ok_or_else(bad)?.parse().map_err(|_| bad())?;
+        let (mut hour, mut min, mut sec, mut micros) = (0u32, 0u32, 0u32, 0i64);
+        if let Some(t) = time_part {
+            let (hms, frac) = match t.split_once('.') {
+                Some((h, f)) => (h, Some(f)),
+                None => (t, None),
+            };
+            let mut tit = hms.splitn(3, ':');
+            hour = tit.next().ok_or_else(bad)?.parse().map_err(|_| bad())?;
+            min = tit.next().ok_or_else(bad)?.parse().map_err(|_| bad())?;
+            sec = tit.next().ok_or_else(bad)?.parse().map_err(|_| bad())?;
+            if let Some(f) = frac {
+                if f.is_empty() || f.len() > 6 || !f.bytes().all(|b| b.is_ascii_digit()) {
+                    return Err(bad());
+                }
+                let scale = 10i64.pow(6 - f.len() as u32);
+                micros = f.parse::<i64>().map_err(|_| bad())? * scale;
+            }
+        }
+        let base = Timestamp::from_ymd_hms(year, month, day, hour, min, sec)?;
+        Ok(Timestamp(base.0 + micros))
+    }
+
+    /// Decomposes into `(year, month, day, hour, minute, second, micros)`.
+    pub fn to_civil(self) -> (i32, u32, u32, u32, u32, u32, u32) {
+        let days = self.0.div_euclid(MICROS_PER_DAY);
+        let rem = self.0.rem_euclid(MICROS_PER_DAY);
+        let (y, m, d) = civil_from_days(days);
+        let total_secs = rem / MICROS_PER_SEC;
+        let micros = (rem % MICROS_PER_SEC) as u32;
+        let hour = (total_secs / 3600) as u32;
+        let min = ((total_secs % 3600) / 60) as u32;
+        let sec = (total_secs % 60) as u32;
+        (y, m, d, hour, min, sec, micros)
+    }
+
+    /// Saturating addition of a duration.
+    pub fn saturating_add(self, d: TsDuration) -> Timestamp {
+        Timestamp(self.0.saturating_add(d.0))
+    }
+}
+
+impl Add<TsDuration> for Timestamp {
+    type Output = Timestamp;
+    fn add(self, rhs: TsDuration) -> Timestamp {
+        Timestamp(self.0 + rhs.0)
+    }
+}
+
+impl Sub<TsDuration> for Timestamp {
+    type Output = Timestamp;
+    fn sub(self, rhs: TsDuration) -> Timestamp {
+        Timestamp(self.0 - rhs.0)
+    }
+}
+
+impl Sub<Timestamp> for Timestamp {
+    type Output = TsDuration;
+    fn sub(self, rhs: Timestamp) -> TsDuration {
+        TsDuration(self.0 - rhs.0)
+    }
+}
+
+impl fmt::Display for Timestamp {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let (y, mo, d, h, mi, s, us) = self.to_civil();
+        if us == 0 {
+            write!(f, "{y:04}-{mo:02}-{d:02} {h:02}:{mi:02}:{s:02}")
+        } else {
+            write!(f, "{y:04}-{mo:02}-{d:02} {h:02}:{mi:02}:{s:02}.{us:06}")
+        }
+    }
+}
+
+impl TsDuration {
+    /// A duration of zero.
+    pub const ZERO: TsDuration = TsDuration(0);
+
+    /// Builds a duration from whole seconds.
+    pub fn from_secs(secs: i64) -> TsDuration {
+        TsDuration(secs * MICROS_PER_SEC)
+    }
+
+    /// Builds a duration from microseconds.
+    pub fn from_micros(micros: i64) -> TsDuration {
+        TsDuration(micros)
+    }
+
+    /// Builds a duration from whole minutes.
+    pub fn from_mins(mins: i64) -> TsDuration {
+        TsDuration::from_secs(mins * 60)
+    }
+
+    /// The duration in microseconds.
+    pub fn micros(self) -> i64 {
+        self.0
+    }
+
+    /// The duration in (truncated) whole seconds.
+    pub fn secs(self) -> i64 {
+        self.0 / MICROS_PER_SEC
+    }
+
+    /// The duration as seconds in floating point.
+    pub fn as_secs_f64(self) -> f64 {
+        self.0 as f64 / MICROS_PER_SEC as f64
+    }
+
+    /// Absolute value.
+    pub fn abs(self) -> TsDuration {
+        TsDuration(self.0.abs())
+    }
+}
+
+impl fmt::Display for TsDuration {
+    /// Formats as `[-]HH:MM:SS[.ffffff]` (hours may exceed two digits), the
+    /// shape of the prototype's "Bound of inconsistency: 00:20:00" notice.
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let neg = self.0 < 0;
+        let total = self.0.unsigned_abs();
+        let micros = total % MICROS_PER_SEC as u64;
+        let secs = total / MICROS_PER_SEC as u64;
+        let (h, m, s) = (secs / 3600, (secs % 3600) / 60, secs % 60);
+        if neg {
+            write!(f, "-")?;
+        }
+        if micros == 0 {
+            write!(f, "{h:02}:{m:02}:{s:02}")
+        } else {
+            write!(f, "{h:02}:{m:02}:{s:02}.{micros:06}")
+        }
+    }
+}
+
+/// True when `year` is a leap year in the proleptic Gregorian calendar.
+pub fn is_leap_year(year: i32) -> bool {
+    (year % 4 == 0 && year % 100 != 0) || year % 400 == 0
+}
+
+/// Number of days in `month` of `year`.
+pub fn days_in_month(year: i32, month: u32) -> u32 {
+    match month {
+        1 | 3 | 5 | 7 | 8 | 10 | 12 => 31,
+        4 | 6 | 9 | 11 => 30,
+        2 => {
+            if is_leap_year(year) {
+                29
+            } else {
+                28
+            }
+        }
+        _ => 0,
+    }
+}
+
+/// Days since the epoch for a civil date (Howard Hinnant's algorithm).
+fn days_from_civil(y: i32, m: u32, d: u32) -> i64 {
+    let y = i64::from(y) - i64::from(m <= 2);
+    let era = if y >= 0 { y } else { y - 399 } / 400;
+    let yoe = y - era * 400; // [0, 399]
+    let mp = i64::from((m + 9) % 12); // [0, 11], Mar=0
+    let doy = (153 * mp + 2) / 5 + i64::from(d) - 1; // [0, 365]
+    let doe = yoe * 365 + yoe / 4 - yoe / 100 + doy; // [0, 146096]
+    era * 146_097 + doe - 719_468
+}
+
+/// Civil date for days since the epoch (inverse of [`days_from_civil`]).
+fn civil_from_days(z: i64) -> (i32, u32, u32) {
+    let z = z + 719_468;
+    let era = if z >= 0 { z } else { z - 146_096 } / 146_097;
+    let doe = z - era * 146_097; // [0, 146096]
+    let yoe = (doe - doe / 1460 + doe / 36_524 - doe / 146_096) / 365; // [0, 399]
+    let y = yoe + era * 400;
+    let doy = doe - (365 * yoe + yoe / 4 - yoe / 100); // [0, 365]
+    let mp = (5 * doy + 2) / 153; // [0, 11]
+    let d = (doy - (153 * mp + 2) / 5 + 1) as u32; // [1, 31]
+    let m = if mp < 10 { mp + 3 } else { mp - 9 } as u32; // [1, 12]
+    ((y + i64::from(m <= 2)) as i32, m, d)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn epoch_roundtrip() {
+        let t = Timestamp::from_ymd_hms(1970, 1, 1, 0, 0, 0).unwrap();
+        assert_eq!(t, Timestamp(0));
+        assert_eq!(t.to_string(), "1970-01-01 00:00:00");
+    }
+
+    #[test]
+    fn paper_table1_timestamps_parse_and_display() {
+        // Table 1 uses timestamps like "03/11/2006 20:37:46"; we adopt the
+        // ISO form the prototype session output uses ("2006-03-15 14:20:05").
+        let t = Timestamp::parse("2006-03-15 14:20:05").unwrap();
+        assert_eq!(t.to_string(), "2006-03-15 14:20:05");
+        let (y, m, d, h, mi, s, us) = t.to_civil();
+        assert_eq!((y, m, d, h, mi, s, us), (2006, 3, 15, 14, 20, 5, 0));
+    }
+
+    #[test]
+    fn parse_with_fraction() {
+        let t = Timestamp::parse("2006-03-15 14:20:05.5").unwrap();
+        assert_eq!(t.micros() % MICROS_PER_SEC, 500_000);
+        assert_eq!(t.to_string(), "2006-03-15 14:20:05.500000");
+        let t2 = Timestamp::parse("2006-03-15 14:20:05.000001").unwrap();
+        assert_eq!(t2.micros() % MICROS_PER_SEC, 1);
+    }
+
+    #[test]
+    fn parse_date_only_is_midnight() {
+        let t = Timestamp::parse("2006-02-10").unwrap();
+        assert_eq!(t.to_string(), "2006-02-10 00:00:00");
+    }
+
+    #[test]
+    fn parse_rejects_garbage() {
+        for s in [
+            "",
+            "2006",
+            "2006-13-01",
+            "2006-02-30",
+            "2006-02-10 25:00:00",
+            "2006-02-10 10:61:00",
+            "2006-02-10 10:00:00.1234567",
+            "not a date",
+        ] {
+            assert!(Timestamp::parse(s).is_err(), "should reject {s:?}");
+        }
+    }
+
+    #[test]
+    fn leap_year_handling() {
+        assert!(is_leap_year(2000));
+        assert!(!is_leap_year(1900));
+        assert!(is_leap_year(2004));
+        assert!(!is_leap_year(2006));
+        assert!(Timestamp::parse("2004-02-29").is_ok());
+        assert!(Timestamp::parse("2006-02-29").is_err());
+    }
+
+    #[test]
+    fn civil_roundtrip_sweep() {
+        // Round-trip every 1000th day over ~55 years around the epoch.
+        for days in (-10_000..10_000).step_by(37) {
+            let t = Timestamp(days * MICROS_PER_DAY + 12_345);
+            let (y, m, d, h, mi, s, us) = t.to_civil();
+            let back = Timestamp::from_ymd_hms(y, m, d, h, mi, s).unwrap();
+            assert_eq!(back.0 + i64::from(us), t.0);
+        }
+    }
+
+    #[test]
+    fn ordering_is_chronological() {
+        let a = Timestamp::parse("2006-03-15 14:20:05").unwrap();
+        let b = Timestamp::parse("2006-03-15 14:40:05").unwrap();
+        assert!(a < b);
+        assert_eq!(b - a, TsDuration::from_mins(20));
+    }
+
+    #[test]
+    fn duration_display_matches_prototype_bound_of_inconsistency() {
+        // The paper's session shows "Bound of inconsistency: 00:20:00".
+        assert_eq!(TsDuration::from_mins(20).to_string(), "00:20:00");
+        assert_eq!(TsDuration::from_secs(3_661).to_string(), "01:01:01");
+        assert_eq!(TsDuration::from_secs(-90).to_string(), "-00:01:30");
+        assert_eq!(TsDuration::from_micros(1_500_000).to_string(), "00:00:01.500000");
+        // Multi-day ranges roll into hours rather than days.
+        assert_eq!(TsDuration::from_secs(90_000).to_string(), "25:00:00");
+    }
+
+    #[test]
+    fn arithmetic() {
+        let a = Timestamp::from_secs(100);
+        let d = TsDuration::from_secs(40);
+        assert_eq!(a + d, Timestamp::from_secs(140));
+        assert_eq!(a - d, Timestamp::from_secs(60));
+        assert_eq!((a + d) - a, d);
+        assert_eq!(d.abs(), d);
+        assert_eq!(TsDuration(-5).abs(), TsDuration(5));
+        assert_eq!(Timestamp::MAX.saturating_add(TsDuration::from_secs(1)), Timestamp::MAX);
+    }
+
+    #[test]
+    fn secs_truncation() {
+        assert_eq!(Timestamp(1_500_000).secs(), 1);
+        assert_eq!(Timestamp(-1_500_000).secs(), -2); // floor division
+        assert_eq!(TsDuration(1_500_000).secs(), 1);
+        assert!((TsDuration(1_500_000).as_secs_f64() - 1.5).abs() < 1e-12);
+    }
+}

@@ -1,0 +1,390 @@
+//! Runtime SQL values.
+
+use crate::datatype::DataType;
+use crate::error::{Result, TracError};
+use crate::timestamp::Timestamp;
+use std::cmp::Ordering;
+use std::fmt;
+use std::hash::{Hash, Hasher};
+
+/// A dynamically-typed SQL value.
+///
+/// Two comparison regimes coexist:
+///
+/// * **Storage order** ([`Ord`]/[`Eq`]/[`Hash`]): a total order used for
+///   B-tree index keys, sort operators and hash-join keys. `Null` sorts
+///   first, values of different types sort by type rank, floats use IEEE
+///   total ordering. Within a well-typed column only one type occurs, so
+///   the cross-type cases never surface to users.
+/// * **SQL order** ([`Value::sql_cmp`]): three-valued comparison used by
+///   predicate evaluation. Comparing with `Null` yields `None` (unknown),
+///   `Int` and `Float` compare numerically.
+#[derive(Debug, Clone)]
+pub enum Value {
+    /// SQL NULL.
+    Null,
+    /// Boolean.
+    Bool(bool),
+    /// 64-bit integer.
+    Int(i64),
+    /// 64-bit float.
+    Float(f64),
+    /// UTF-8 string.
+    Text(String),
+    /// Microsecond timestamp.
+    Timestamp(Timestamp),
+}
+
+impl Value {
+    /// The value's data type, or `None` for `Null`.
+    pub fn data_type(&self) -> Option<DataType> {
+        match self {
+            Value::Null => None,
+            Value::Bool(_) => Some(DataType::Bool),
+            Value::Int(_) => Some(DataType::Int),
+            Value::Float(_) => Some(DataType::Float),
+            Value::Text(_) => Some(DataType::Text),
+            Value::Timestamp(_) => Some(DataType::Timestamp),
+        }
+    }
+
+    /// True for `Value::Null`.
+    pub fn is_null(&self) -> bool {
+        matches!(self, Value::Null)
+    }
+
+    /// Builds a text value.
+    pub fn text(s: impl Into<String>) -> Value {
+        Value::Text(s.into())
+    }
+
+    /// Numeric view of the value, if it is `Int` or `Float`.
+    pub fn as_f64(&self) -> Option<f64> {
+        match self {
+            Value::Int(i) => Some(*i as f64),
+            Value::Float(f) => Some(*f),
+            _ => None,
+        }
+    }
+
+    /// Integer view, if the value is `Int`.
+    pub fn as_int(&self) -> Option<i64> {
+        match self {
+            Value::Int(i) => Some(*i),
+            _ => None,
+        }
+    }
+
+    /// String view, if the value is `Text`.
+    pub fn as_text(&self) -> Option<&str> {
+        match self {
+            Value::Text(s) => Some(s),
+            _ => None,
+        }
+    }
+
+    /// Timestamp view, if the value is `Timestamp`.
+    pub fn as_timestamp(&self) -> Option<Timestamp> {
+        match self {
+            Value::Timestamp(t) => Some(*t),
+            _ => None,
+        }
+    }
+
+    /// Boolean view, if the value is `Bool`.
+    pub fn as_bool(&self) -> Option<bool> {
+        match self {
+            Value::Bool(b) => Some(*b),
+            _ => None,
+        }
+    }
+
+    /// Checks that the value may be stored in a column of type `ty`
+    /// (NULL is storable in any column; `Int` is accepted by `Float`
+    /// columns and silently widened).
+    pub fn coerce_to(self, ty: DataType) -> Result<Value> {
+        match (self, ty) {
+            (Value::Null, _) => Ok(Value::Null),
+            (v @ Value::Bool(_), DataType::Bool)
+            | (v @ Value::Int(_), DataType::Int)
+            | (v @ Value::Float(_), DataType::Float)
+            | (v @ Value::Text(_), DataType::Text)
+            | (v @ Value::Timestamp(_), DataType::Timestamp) => Ok(v),
+            (Value::Int(i), DataType::Float) => Ok(Value::Float(i as f64)),
+            (Value::Text(s), DataType::Timestamp) => {
+                Ok(Value::Timestamp(Timestamp::parse(&s)?))
+            }
+            (v, ty) => Err(TracError::Type(format!(
+                "cannot store {} in a {ty} column",
+                v.type_name()
+            ))),
+        }
+    }
+
+    /// Human-readable name of the value's type (including "NULL").
+    pub fn type_name(&self) -> &'static str {
+        match self {
+            Value::Null => "NULL",
+            Value::Bool(_) => "BOOL",
+            Value::Int(_) => "INT",
+            Value::Float(_) => "FLOAT",
+            Value::Text(_) => "TEXT",
+            Value::Timestamp(_) => "TIMESTAMP",
+        }
+    }
+
+    /// SQL three-valued comparison: `None` when either side is NULL or the
+    /// types are not comparable.
+    pub fn sql_cmp(&self, other: &Value) -> Option<Ordering> {
+        match (self, other) {
+            (Value::Null, _) | (_, Value::Null) => None,
+            (Value::Bool(a), Value::Bool(b)) => Some(a.cmp(b)),
+            (Value::Int(a), Value::Int(b)) => Some(a.cmp(b)),
+            (Value::Text(a), Value::Text(b)) => Some(a.cmp(b)),
+            (Value::Timestamp(a), Value::Timestamp(b)) => Some(a.cmp(b)),
+            (a, b) => {
+                let (x, y) = (a.as_f64()?, b.as_f64()?);
+                x.partial_cmp(&y)
+            }
+        }
+    }
+
+    /// SQL equality under three-valued logic: `None` means unknown.
+    pub fn sql_eq(&self, other: &Value) -> Option<bool> {
+        self.sql_cmp(other).map(|o| o == Ordering::Equal)
+    }
+
+    /// Renders the value as a SQL literal (single quotes doubled inside
+    /// text), suitable for splicing into a generated recency query.
+    pub fn to_sql_literal(&self) -> String {
+        match self {
+            Value::Null => "NULL".to_string(),
+            Value::Bool(b) => if *b { "TRUE" } else { "FALSE" }.to_string(),
+            Value::Int(i) => i.to_string(),
+            Value::Float(f) => {
+                if f.fract() == 0.0 && f.is_finite() {
+                    format!("{f:.1}")
+                } else {
+                    format!("{f}")
+                }
+            }
+            Value::Text(s) => format!("'{}'", s.replace('\'', "''")),
+            Value::Timestamp(t) => format!("TIMESTAMP '{t}'"),
+        }
+    }
+
+    /// Rank used by the storage total order to separate types.
+    fn type_rank(&self) -> u8 {
+        match self {
+            Value::Null => 0,
+            Value::Bool(_) => 1,
+            Value::Int(_) => 2,
+            Value::Float(_) => 3,
+            Value::Text(_) => 4,
+            Value::Timestamp(_) => 5,
+        }
+    }
+}
+
+impl PartialEq for Value {
+    fn eq(&self, other: &Value) -> bool {
+        self.cmp(other) == Ordering::Equal
+    }
+}
+
+impl Eq for Value {}
+
+impl PartialOrd for Value {
+    fn partial_cmp(&self, other: &Value) -> Option<Ordering> {
+        Some(self.cmp(other))
+    }
+}
+
+impl Ord for Value {
+    fn cmp(&self, other: &Value) -> Ordering {
+        match (self, other) {
+            (Value::Null, Value::Null) => Ordering::Equal,
+            (Value::Bool(a), Value::Bool(b)) => a.cmp(b),
+            (Value::Int(a), Value::Int(b)) => a.cmp(b),
+            (Value::Float(a), Value::Float(b)) => a.total_cmp(b),
+            (Value::Text(a), Value::Text(b)) => a.cmp(b),
+            (Value::Timestamp(a), Value::Timestamp(b)) => a.cmp(b),
+            (a, b) => a.type_rank().cmp(&b.type_rank()),
+        }
+    }
+}
+
+impl Hash for Value {
+    fn hash<H: Hasher>(&self, state: &mut H) {
+        self.type_rank().hash(state);
+        match self {
+            Value::Null => {}
+            Value::Bool(b) => b.hash(state),
+            Value::Int(i) => i.hash(state),
+            Value::Float(f) => f.to_bits().hash(state),
+            Value::Text(s) => s.hash(state),
+            Value::Timestamp(t) => t.hash(state),
+        }
+    }
+}
+
+impl fmt::Display for Value {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Value::Null => f.write_str("NULL"),
+            Value::Bool(b) => write!(f, "{b}"),
+            Value::Int(i) => write!(f, "{i}"),
+            Value::Float(x) => write!(f, "{x}"),
+            Value::Text(s) => f.write_str(s),
+            Value::Timestamp(t) => write!(f, "{t}"),
+        }
+    }
+}
+
+impl From<i64> for Value {
+    fn from(v: i64) -> Value {
+        Value::Int(v)
+    }
+}
+
+impl From<f64> for Value {
+    fn from(v: f64) -> Value {
+        Value::Float(v)
+    }
+}
+
+impl From<bool> for Value {
+    fn from(v: bool) -> Value {
+        Value::Bool(v)
+    }
+}
+
+impl From<&str> for Value {
+    fn from(v: &str) -> Value {
+        Value::Text(v.to_string())
+    }
+}
+
+impl From<String> for Value {
+    fn from(v: String) -> Value {
+        Value::Text(v)
+    }
+}
+
+impl From<Timestamp> for Value {
+    fn from(v: Timestamp) -> Value {
+        Value::Timestamp(v)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn sql_cmp_nulls_are_unknown() {
+        assert_eq!(Value::Null.sql_cmp(&Value::Int(1)), None);
+        assert_eq!(Value::Int(1).sql_cmp(&Value::Null), None);
+        assert_eq!(Value::Null.sql_eq(&Value::Null), None);
+    }
+
+    #[test]
+    fn sql_cmp_numeric_coercion() {
+        assert_eq!(
+            Value::Int(2).sql_cmp(&Value::Float(2.0)),
+            Some(Ordering::Equal)
+        );
+        assert_eq!(
+            Value::Float(1.5).sql_cmp(&Value::Int(2)),
+            Some(Ordering::Less)
+        );
+        // Incomparable types are unknown, not an error.
+        assert_eq!(Value::text("a").sql_cmp(&Value::Int(1)), None);
+    }
+
+    #[test]
+    fn storage_order_is_total_and_consistent_with_eq() {
+        let vals = [
+            Value::Null,
+            Value::Bool(false),
+            Value::Bool(true),
+            Value::Int(-3),
+            Value::Int(7),
+            Value::Float(f64::NEG_INFINITY),
+            Value::Float(0.0),
+            Value::Float(f64::NAN),
+            Value::text(""),
+            Value::text("abc"),
+            Value::Timestamp(Timestamp::from_secs(5)),
+        ];
+        for a in &vals {
+            for b in &vals {
+                let o = a.cmp(b);
+                assert_eq!(o.reverse(), b.cmp(a));
+                assert_eq!(o == Ordering::Equal, a == b);
+            }
+        }
+    }
+
+    #[test]
+    fn nan_equals_itself_in_storage_order() {
+        let a = Value::Float(f64::NAN);
+        let b = Value::Float(f64::NAN);
+        assert_eq!(a, b); // total_cmp
+        assert_eq!(a.cmp(&b), Ordering::Equal);
+    }
+
+    #[test]
+    fn coercion() {
+        assert_eq!(
+            Value::Int(3).coerce_to(DataType::Float).unwrap(),
+            Value::Float(3.0)
+        );
+        assert_eq!(Value::Null.coerce_to(DataType::Int).unwrap(), Value::Null);
+        assert!(Value::text("x").coerce_to(DataType::Int).is_err());
+        let ts = Value::text("2006-03-15 14:20:05")
+            .coerce_to(DataType::Timestamp)
+            .unwrap();
+        assert_eq!(
+            ts,
+            Value::Timestamp(Timestamp::parse("2006-03-15 14:20:05").unwrap())
+        );
+    }
+
+    #[test]
+    fn sql_literals() {
+        assert_eq!(Value::text("m1").to_sql_literal(), "'m1'");
+        assert_eq!(Value::text("o'brien").to_sql_literal(), "'o''brien'");
+        assert_eq!(Value::Int(42).to_sql_literal(), "42");
+        assert_eq!(Value::Float(1.0).to_sql_literal(), "1.0");
+        assert_eq!(Value::Float(1.25).to_sql_literal(), "1.25");
+        assert_eq!(Value::Bool(true).to_sql_literal(), "TRUE");
+        assert_eq!(Value::Null.to_sql_literal(), "NULL");
+        let t = Timestamp::parse("2006-03-15 14:20:05").unwrap();
+        assert_eq!(
+            Value::Timestamp(t).to_sql_literal(),
+            "TIMESTAMP '2006-03-15 14:20:05'"
+        );
+    }
+
+    #[test]
+    fn hash_consistent_with_eq() {
+        use std::collections::hash_map::DefaultHasher;
+        fn h(v: &Value) -> u64 {
+            let mut s = DefaultHasher::new();
+            v.hash(&mut s);
+            s.finish()
+        }
+        assert_eq!(h(&Value::text("m1")), h(&Value::text("m1")));
+        assert_eq!(h(&Value::Float(f64::NAN)), h(&Value::Float(f64::NAN)));
+        assert_ne!(h(&Value::Int(1)), h(&Value::text("1")));
+    }
+
+    #[test]
+    fn conversions_from_rust_types() {
+        assert_eq!(Value::from(5i64), Value::Int(5));
+        assert_eq!(Value::from(true), Value::Bool(true));
+        assert_eq!(Value::from("x"), Value::text("x"));
+        assert_eq!(Value::from(2.5), Value::Float(2.5));
+    }
+}

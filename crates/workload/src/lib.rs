@@ -1,0 +1,21 @@
+//! Synthetic workloads reproducing the paper's evaluation setup
+//! (Section 5.2).
+//!
+//! The evaluation fixes the total number of `Activity` rows and sweeps
+//! the **data ratio** (rows per data source) against the **number of data
+//! sources** in inverse proportion: ratio 10 → 10^6 while sources
+//! 10^6 → 10, product constant. Source ids are `Tao1 … TaoN` (the paper's
+//! machines ran Tao Linux, and its queries name `'Tao1','Tao10',…`).
+//! `Heartbeat` holds every source; `Routing` maps each machine onto the
+//! ring successor (so, as the paper assumes for its fpr computation, the
+//! machine set maps onto itself); B-tree indexes sit on every data source
+//! column; all columns carry finite domains so the brute-force oracle can
+//! compute exact relevant sets.
+
+#![warn(missing_docs)]
+
+pub mod eval;
+pub mod samples;
+
+pub use eval::{load_eval_db, EvalConfig, EvalDb, SweepPoint, PAPER_QUERIES};
+pub use samples::{load_paper_tables, load_section_42_tables};

@@ -1,0 +1,180 @@
+//! The paper's worked-example data sets.
+//!
+//! [`load_paper_tables`] builds Tables 1 and 2 exactly as printed
+//! (Activity: m1 idle / m2 busy / m3 idle; Routing: m1→m3, m2→m3), and
+//! [`load_section_42_tables`] builds the `S`/`R` job-state schema of the
+//! query-semantics discussion in Section 4.2.
+
+use trac_storage::{ColumnDef, Database, TableId, TableSchema};
+use trac_types::{ColumnDomain, DataType, Result, SourceId, Timestamp, Value};
+
+/// Handle to the Tables-1-and-2 sample database.
+pub struct PaperTables {
+    /// The database.
+    pub db: Database,
+    /// `Activity` (Table 1).
+    pub activity: TableId,
+    /// `Routing` (Table 2).
+    pub routing: TableId,
+}
+
+/// Builds the paper's Table 1 + Table 2 sample instance with machine
+/// domain {m1, m2, m3}, indexes on the source columns, and heartbeats
+/// driven by the printed event timestamps.
+pub fn load_paper_tables() -> Result<PaperTables> {
+    let db = Database::new();
+    let machines = ColumnDomain::text_set(["m1", "m2", "m3"]);
+    let activity = db.create_table(TableSchema::new(
+        "activity",
+        vec![
+            ColumnDef::new("mach_id", DataType::Text).with_domain(machines.clone()),
+            ColumnDef::new("value", DataType::Text)
+                .with_domain(ColumnDomain::text_set(["idle", "busy"])),
+            ColumnDef::new("event_time", DataType::Timestamp),
+        ],
+        Some("mach_id"),
+    )?)?;
+    let routing = db.create_table(TableSchema::new(
+        "routing",
+        vec![
+            ColumnDef::new("mach_id", DataType::Text).with_domain(machines.clone()),
+            ColumnDef::new("neighbor", DataType::Text).with_domain(machines),
+            ColumnDef::new("event_time", DataType::Timestamp),
+        ],
+        Some("mach_id"),
+    )?)?;
+    db.create_index("activity", "mach_id")?;
+    db.create_index("routing", "mach_id")?;
+    db.with_write(|w| {
+        // Table 1 (the paper prints the dates as 03/11/2006 etc.).
+        for (m, v, t) in [
+            ("m1", "idle", "2006-03-11 20:37:46"),
+            ("m2", "busy", "2006-02-10 18:22:01"),
+            ("m3", "idle", "2006-03-12 10:23:05"),
+        ] {
+            let ts = Timestamp::parse(t)?;
+            w.ingest(
+                &SourceId::new(m),
+                activity,
+                vec![Value::text(m), Value::text(v), Value::Timestamp(ts)],
+                ts,
+            )?;
+        }
+        // Table 2.
+        for (m, n, t) in [
+            ("m1", "m3", "2006-03-12 23:20:06"),
+            ("m2", "m3", "2006-02-10 03:34:21"),
+        ] {
+            let ts = Timestamp::parse(t)?;
+            w.ingest(
+                &SourceId::new(m),
+                routing,
+                vec![Value::text(m), Value::text(n), Value::Timestamp(ts)],
+                ts,
+            )?;
+        }
+        Ok(())
+    })?;
+    Ok(PaperTables {
+        db,
+        activity,
+        routing,
+    })
+}
+
+/// Handle to the Section 4.2 `S`/`R` schema.
+pub struct Section42Tables {
+    /// The database.
+    pub db: Database,
+    /// `S(schedMachineId, jobId, remoteMachineId)`.
+    pub s: TableId,
+    /// `R(runningMachineId, jobId)`.
+    pub r: TableId,
+}
+
+/// Builds the Section 4.2 job-state schema (empty instances) over the
+/// machine domain given; heartbeats are registered for every machine.
+pub fn load_section_42_tables(machines: &[&str]) -> Result<Section42Tables> {
+    let db = Database::new();
+    let dom = ColumnDomain::text_set(machines.iter().copied());
+    let s = db.create_table(TableSchema::new(
+        "s",
+        vec![
+            ColumnDef::new("schedmachineid", DataType::Text).with_domain(dom.clone()),
+            ColumnDef::new("jobid", DataType::Int)
+                .with_domain(ColumnDomain::IntRange { lo: 1, hi: 1000 }),
+            ColumnDef::new("remotemachineid", DataType::Text)
+                .with_domain(dom.clone())
+                .nullable(),
+        ],
+        Some("schedmachineid"),
+    )?)?;
+    let r = db.create_table(TableSchema::new(
+        "r",
+        vec![
+            ColumnDef::new("runningmachineid", DataType::Text).with_domain(dom),
+            ColumnDef::new("jobid", DataType::Int)
+                .with_domain(ColumnDomain::IntRange { lo: 1, hi: 1000 }),
+        ],
+        Some("runningmachineid"),
+    )?)?;
+    db.create_index("s", "schedmachineid")?;
+    db.create_index("s", "jobid")?;
+    db.create_index("r", "runningmachineid")?;
+    db.create_index("r", "jobid")?;
+    db.with_write(|w| {
+        for m in machines {
+            w.heartbeat(&SourceId::new(*m), Timestamp::parse("2006-03-15 12:00:00")?)?;
+        }
+        Ok(())
+    })?;
+    Ok(Section42Tables { db, s, r })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use trac_exec::execute_sql;
+
+    #[test]
+    fn table1_contents_match_paper() {
+        let t = load_paper_tables().unwrap();
+        let txn = t.db.begin_read();
+        let rows = execute_sql(&txn, "SELECT mach_id, value FROM Activity ORDER BY mach_id")
+            .unwrap();
+        assert_eq!(
+            rows.rows,
+            vec![
+                vec![Value::text("m1"), Value::text("idle")],
+                vec![Value::text("m2"), Value::text("busy")],
+                vec![Value::text("m3"), Value::text("idle")],
+            ]
+        );
+    }
+
+    #[test]
+    fn table2_contents_match_paper() {
+        let t = load_paper_tables().unwrap();
+        let txn = t.db.begin_read();
+        let rows =
+            execute_sql(&txn, "SELECT mach_id, neighbor FROM Routing ORDER BY mach_id")
+                .unwrap();
+        assert_eq!(
+            rows.rows,
+            vec![
+                vec![Value::text("m1"), Value::text("m3")],
+                vec![Value::text("m2"), Value::text("m3")],
+            ]
+        );
+    }
+
+    #[test]
+    fn section42_schema_installs() {
+        let t = load_section_42_tables(&["myScheduler", "mx", "my"]).unwrap();
+        let txn = t.db.begin_read();
+        assert_eq!(txn.row_count(t.s).unwrap(), 0);
+        assert_eq!(txn.row_count(t.r).unwrap(), 0);
+        let beats = trac_storage::heartbeat::all_recencies(&txn).unwrap();
+        assert_eq!(beats.len(), 3);
+    }
+}

@@ -1,0 +1,61 @@
+//! TRAC umbrella crate: re-exports the public API of every subsystem and
+//! provides a few conveniences that need more than one layer at once.
+
+pub use trac_core as core;
+pub use trac_exec as exec;
+pub use trac_expr as expr;
+pub use trac_grid as grid;
+pub use trac_sql as sql;
+pub use trac_storage as storage;
+pub use trac_types as types;
+pub use trac_workload as workload;
+
+use std::path::Path;
+use trac_types::Result;
+
+/// Saves the database's committed state to a snapshot file.
+pub fn save_database(db: &storage::Database, path: impl AsRef<Path>) -> Result<()> {
+    storage::save_snapshot(db, path.as_ref())
+}
+
+/// Loads a snapshot file, re-binding any persisted CHECK constraints
+/// through the expression layer.
+pub fn load_database(path: impl AsRef<Path>) -> Result<storage::Database> {
+    storage::load_snapshot(path.as_ref(), &|schema, name, sql| {
+        let body = sql::parse_expr(sql)?;
+        let bound = expr::bind_expr_for_table(schema, &schema.name, &body)?;
+        Ok(std::sync::Arc::new(expr::BoundCheck::new(name, bound, schema)))
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use trac_exec::execute_statement;
+
+    #[test]
+    fn save_load_with_check_constraints() {
+        let db = storage::Database::new();
+        execute_statement(
+            &db,
+            "CREATE TABLE routing (mach_id TEXT NOT NULL, neighbor TEXT NOT NULL) \
+             SOURCE COLUMN mach_id CHECK (mach_id <> neighbor)",
+        )
+        .unwrap();
+        execute_statement(&db, "INSERT INTO routing VALUES ('m1', 'm2')").unwrap();
+        let path = std::env::temp_dir().join(format!(
+            "trac_umbrella_{}.snap",
+            std::process::id()
+        ));
+        save_database(&db, &path).unwrap();
+        let loaded = load_database(&path).unwrap();
+        std::fs::remove_file(&path).ok();
+        // Data survived…
+        let r = execute_statement(&loaded, "SELECT COUNT(*) FROM routing").unwrap();
+        assert_eq!(r.affected(), 1);
+        // …and so did the constraint, still enforced.
+        let err =
+            execute_statement(&loaded, "INSERT INTO routing VALUES ('m3', 'm3')").unwrap_err();
+        assert_eq!(err.kind(), "constraint");
+    }
+}

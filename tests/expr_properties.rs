@@ -1,0 +1,180 @@
+//! Property tests for the expression machinery itself.
+//!
+//! * **DNF preserves semantics**: for random predicates and random
+//!   tuples, the DNF (evaluated as OR-of-AND over its disjuncts) agrees
+//!   with the original expression under SQL three-valued logic whenever
+//!   the original is definite (DNF conversion may turn an `Unknown` into
+//!   a definite value only when NULLs interact with negation — it never
+//!   flips True to False or vice versa).
+//! * **Satisfiability is sound**: on small finite domains, `Sat` implies
+//!   a witness exists and `Unsat` implies none does (checked against
+//!   exhaustive enumeration).
+//! * **Printer round-trips**: parse(print(ast)) == ast for random ASTs.
+
+use proptest::prelude::*;
+use std::sync::Arc;
+use trac::expr::{conjunct_satisfiable, eval_predicate, to_dnf, BoundExpr, ColRef, Sat3, Truth};
+use trac::sql::{parse_expr, BinaryOp, Expr};
+use trac::storage::Row;
+use trac::types::{ColumnDomain, Value};
+
+// ---------- strategies ----------
+
+/// Random bound predicates over 3 int columns of one table.
+fn bound_pred() -> impl Strategy<Value = BoundExpr> {
+    let leaf = prop_oneof![
+        (0..3usize, 0..4i64, prop_oneof![
+            Just(BinaryOp::Eq), Just(BinaryOp::NotEq), Just(BinaryOp::Lt),
+            Just(BinaryOp::LtEq), Just(BinaryOp::Gt), Just(BinaryOp::GtEq)
+        ])
+            .prop_map(|(c, v, op)| BoundExpr::binary(op, BoundExpr::col(0, c), BoundExpr::lit(v))),
+        (0..3usize, proptest::collection::vec(0..4i64, 1..3), any::<bool>()).prop_map(
+            |(c, vs, neg)| BoundExpr::InList {
+                expr: Box::new(BoundExpr::col(0, c)),
+                list: vs.into_iter().map(BoundExpr::lit).collect(),
+                negated: neg,
+            }
+        ),
+        (0..3usize, 0..3usize).prop_map(|(a, b)| BoundExpr::binary(
+            BinaryOp::Eq,
+            BoundExpr::col(0, a),
+            BoundExpr::col(0, b)
+        )),
+        Just(BoundExpr::lit(true)),
+        Just(BoundExpr::lit(false)),
+    ];
+    leaf.prop_recursive(3, 16, 2, |inner| {
+        prop_oneof![
+            (inner.clone(), inner.clone())
+                .prop_map(|(a, b)| BoundExpr::binary(BinaryOp::And, a, b)),
+            (inner.clone(), inner.clone())
+                .prop_map(|(a, b)| BoundExpr::binary(BinaryOp::Or, a, b)),
+            inner.prop_map(|a| BoundExpr::Not(Box::new(a))),
+        ]
+    })
+}
+
+/// Random tuples over the same 3 columns (values 0..4, sometimes NULL).
+fn tuple3() -> impl Strategy<Value = Vec<Row>> {
+    proptest::collection::vec(
+        prop_oneof![4 => (0..4i64).prop_map(Value::Int), 1 => Just(Value::Null)],
+        3,
+    )
+    .prop_map(|vals| vec![Arc::from(vals.into_boxed_slice()) as Row])
+}
+
+/// Random printable SQL expression ASTs (NULL-free, so definite).
+fn sql_expr_ast() -> impl Strategy<Value = Expr> {
+    let leaf = prop_oneof![
+        "[a-c]".prop_map(Expr::col),
+        (0..100i64).prop_map(Expr::lit),
+        "[x-z]{1,3}".prop_map(Expr::lit),
+        (0i64..50).prop_map(|v| Expr::Neg(Box::new(Expr::lit(v)))),
+    ];
+    leaf.prop_recursive(3, 20, 2, |inner| {
+        prop_oneof![
+            (inner.clone(), inner.clone(), prop_oneof![
+                Just(BinaryOp::Eq), Just(BinaryOp::Lt), Just(BinaryOp::Add),
+                Just(BinaryOp::Sub), Just(BinaryOp::Mul), Just(BinaryOp::Div),
+                Just(BinaryOp::And), Just(BinaryOp::Or), Just(BinaryOp::GtEq),
+            ])
+                .prop_map(|(a, b, op)| Expr::binary(op, a, b)),
+            (inner.clone(), proptest::collection::vec(inner.clone(), 1..3), any::<bool>())
+                .prop_map(|(e, list, negated)| Expr::InList {
+                    expr: Box::new(e),
+                    list,
+                    negated
+                }),
+            (inner.clone(), inner.clone(), inner.clone(), any::<bool>()).prop_map(
+                |(e, lo, hi, negated)| Expr::Between {
+                    expr: Box::new(e),
+                    lo: Box::new(lo),
+                    hi: Box::new(hi),
+                    negated
+                }
+            ),
+            (inner.clone(), any::<bool>()).prop_map(|(e, negated)| Expr::IsNull {
+                expr: Box::new(e),
+                negated
+            }),
+            inner.prop_map(|e| Expr::Not(Box::new(e))),
+        ]
+    })
+}
+
+/// Evaluates a DNF (as disjunction of conjunctions) under 3VL.
+fn eval_dnf(disjuncts: &[Vec<BoundExpr>], tuple: &[Row]) -> Truth {
+    let mut out = Truth::False;
+    for conj in disjuncts {
+        let mut c = Truth::True;
+        for t in conj {
+            c = c.and(eval_predicate(t, tuple).unwrap_or(Truth::Unknown));
+        }
+        out = out.or(c);
+    }
+    out
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig { cases: 128, ..ProptestConfig::default() })]
+
+    #[test]
+    fn dnf_preserves_semantics(pred in bound_pred(), tuple in tuple3()) {
+        let dnf = to_dnf(&pred, 100_000);
+        prop_assume!(dnf.exact);
+        let orig = eval_predicate(&pred, &tuple).unwrap_or(Truth::Unknown);
+        let via_dnf = eval_dnf(&dnf.disjuncts, &tuple);
+        // Under 3VL, NNF/DNF rewriting is exact for definite inputs; with
+        // NULLs it can only refine Unknown (never flip True<->False).
+        match orig {
+            Truth::Unknown => {}
+            definite => prop_assert_eq!(
+                via_dnf, definite,
+                "DNF changed semantics of {:?}", pred
+            ),
+        }
+    }
+
+    #[test]
+    fn satisfiability_is_sound(pred in bound_pred()) {
+        // Domains: each column ranges over 0..=3. Enumerate all 64
+        // assignments as ground truth.
+        let dom = |_: ColRef| ColumnDomain::IntRange { lo: 0, hi: 3 };
+        let dnf = to_dnf(&pred, 100_000);
+        prop_assume!(dnf.exact);
+        for conj in &dnf.disjuncts {
+            let verdict = conjunct_satisfiable(conj, &dom);
+            let mut truth = false;
+            'outer: for a in 0..4i64 {
+                for b in 0..4i64 {
+                    for c in 0..4i64 {
+                        let tuple: Vec<Row> = vec![Arc::from(
+                            vec![Value::Int(a), Value::Int(b), Value::Int(c)]
+                                .into_boxed_slice(),
+                        )];
+                        if conj
+                            .iter()
+                            .all(|t| eval_predicate(t, &tuple) == Ok(Truth::True))
+                        {
+                            truth = true;
+                            break 'outer;
+                        }
+                    }
+                }
+            }
+            match verdict {
+                Sat3::Sat => prop_assert!(truth, "claimed Sat, no witness: {conj:?}"),
+                Sat3::Unsat => prop_assert!(!truth, "claimed Unsat, witness exists: {conj:?}"),
+                Sat3::Unknown => {} // always permissible
+            }
+        }
+    }
+
+    #[test]
+    fn printer_roundtrips(ast in sql_expr_ast()) {
+        let printed = ast.to_string();
+        let reparsed = parse_expr(&printed)
+            .map_err(|e| TestCaseError::fail(format!("{printed}: {e}")))?;
+        prop_assert_eq!(&reparsed, &ast, "printed form: {}", printed);
+    }
+}

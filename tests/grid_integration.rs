@@ -1,0 +1,169 @@
+//! Grid simulator ↔ TRAC integration: the whole pipeline from daemons
+//! writing logs, through sniffers, to recency-reported queries.
+
+use trac::core::Session;
+use trac::grid::{GridConfig, GridSim, MachineState};
+use trac::storage::heartbeat;
+use trac::types::{Result, TsDuration, Value};
+
+/// The recency guarantee of Section 3.1, end to end: for every source,
+/// every simulated event with timestamp `<=` that source's recency
+/// timestamp is visible in the database.
+#[test]
+fn recency_timestamps_are_honest() -> Result<()> {
+    let mut sim = GridSim::new(GridConfig {
+        n_machines: 6,
+        n_schedulers: 2,
+        arrival_secs: 15,
+        sniffer_lag_secs: (10, 240),
+        sniffer_period_secs: 20,
+        ..Default::default()
+    })?;
+    sim.run_for(3 * 3600)?;
+    let txn = sim.db().begin_read();
+    let beats = heartbeat::all_recencies(&txn)?;
+    assert_eq!(beats.len(), 6);
+    let job_events = txn.table_id("job_events")?;
+    let all_events = txn.scan(job_events)?;
+    for (machine, id) in sim.machine_ids().iter().enumerate() {
+        let recency = beats
+            .iter()
+            .find(|(s, _)| s == id)
+            .map(|(_, t)| *t)
+            .expect("every machine has a heartbeat");
+        // Count this machine's job events in the DB vs in its log, up to
+        // the recency horizon.
+        let in_db = all_events
+            .iter()
+            .filter(|r| r[0] == id.to_value())
+            .filter(|r| r[3].as_timestamp().unwrap() <= recency)
+            .count();
+        let in_log = sim_log_job_events_upto(&sim, machine, recency);
+        assert_eq!(
+            in_db, in_log,
+            "{id}: database missing events below its recency timestamp"
+        );
+    }
+    Ok(())
+}
+
+/// Counts job events in a machine's (complete) local log with `at <=`
+/// the horizon. The log is ground truth.
+fn sim_log_job_events_upto(
+    sim: &GridSim,
+    machine: usize,
+    horizon: trac::types::Timestamp,
+) -> usize {
+    sim.log_records(machine)
+        .iter()
+        .filter(|r| r.at <= horizon)
+        .filter(|r| {
+            matches!(
+                r.event.kind(),
+                "submitted" | "routed" | "started" | "completed"
+            )
+        })
+        .count()
+}
+
+/// The intro's m1/m2 scenario: a job submitted at one machine, routed to
+/// another; depending on which sniffer has reported, the central DB shows
+/// all four partially-consistent states — and the recency report lets a
+/// user tell them apart.
+#[test]
+fn four_visibility_states_of_a_routed_job() -> Result<()> {
+    // No random arrivals: we drive the logs by hand through the pumps.
+    let mut sim = GridSim::new(GridConfig {
+        n_machines: 2,
+        n_schedulers: 0,
+        heartbeat_secs: 0,
+        sniffer_lag_secs: (0, 0),
+        sniffer_period_secs: 1_000_000, // sniffers pump only when we say
+        ..Default::default()
+    })?;
+    let start = sim.clock();
+    let ids = sim.machine_ids();
+    let (m1, m2) = (&ids[0], &ids[1]);
+    // m1's daemon logs: job 7 submitted and routed to m2.
+    // m2's daemon logs: job 7 started.
+    let t1 = start + TsDuration::from_secs(10);
+    let t2 = start + TsDuration::from_secs(20);
+    sim.append_log(0, t1, trac::grid::GridEvent::JobSubmitted { job: 7 })?;
+    sim.append_log(
+        0,
+        t1,
+        trac::grid::GridEvent::JobRouted {
+            job: 7,
+            target: m2.clone(),
+        },
+    )?;
+    sim.append_log(1, t2, trac::grid::GridEvent::JobStarted { job: 7 })?;
+    let session = Session::new(sim.db().clone());
+    let sched_q = "SELECT jobid FROM sched WHERE schedmachineid = 'g0'";
+    let run_q = "SELECT jobid FROM running WHERE runningmachineid = 'g1'";
+
+    // State 1: neither m1 nor m2 reported in.
+    let s = session.recency_report(sched_q)?;
+    let r = session.recency_report(run_q)?;
+    assert!(s.result.is_empty() && r.result.is_empty());
+
+    // State 3 (paper's out-of-order case): only m2 reports. The DB shows
+    // job 7 running with no record of its submission — and the report
+    // shows g0's recency lagging g1's, explaining why.
+    sim.pump_machine(1, t2 + TsDuration::from_secs(1))?;
+    let s = session.recency_report(sched_q)?;
+    let r = session.recency_report(run_q)?;
+    assert!(s.result.is_empty());
+    assert_eq!(r.result.rows, vec![vec![Value::Int(7)]]);
+    let g0_recency = heartbeat::recency_of(&sim.db().begin_read(), m1)?.unwrap();
+    let g1_recency = heartbeat::recency_of(&sim.db().begin_read(), m2)?.unwrap();
+    assert!(
+        g0_recency < g1_recency,
+        "the report explains the anomaly: g0 ({g0_recency}) is staler than g1 ({g1_recency})"
+    );
+
+    // State 4: m1 reports too; the view becomes whole.
+    sim.pump_machine(0, t2 + TsDuration::from_secs(2))?;
+    let s = session.recency_report(sched_q)?;
+    assert_eq!(s.result.rows, vec![vec![Value::Int(7)]]);
+    Ok(())
+}
+
+/// Failed machines go quiet, and TRAC reports them as exceptional once
+/// they are far enough behind the pack.
+#[test]
+fn failed_machine_surfaces_as_exceptional() -> Result<()> {
+    // With N sources and one dead outlier, the outlier's |z| approaches
+    // √(N−1); it needs N ≥ 11 to be able to exceed the threshold of 3 at
+    // all, so use a pool comfortably above that.
+    let mut sim = GridSim::new(GridConfig {
+        n_machines: 20,
+        n_schedulers: 2,
+        heartbeat_secs: 30,
+        sniffer_lag_secs: (1, 5),
+        sniffer_period_secs: 10,
+        mtbf_secs: 0, // we fail one machine by hand instead
+        ..Default::default()
+    })?;
+    // Run the healthy pool, then freeze machine 3's sniffer by failing it.
+    sim.run_for(600)?;
+    sim.fail_machine(3);
+    sim.run_for(4 * 3600)?;
+    let session = Session::new(sim.db().clone());
+    let out = session.recency_report("SELECT mach_id FROM activity")?;
+    let exceptional: Vec<&str> = out
+        .report
+        .exceptional
+        .iter()
+        .map(|(s, _)| s.as_str())
+        .collect();
+    assert_eq!(exceptional, vec!["g3"], "the dead machine must stand out");
+    // The bound of inconsistency over *normal* sources stays small.
+    assert!(
+        out.report.inconsistency_bound.unwrap() < TsDuration::from_secs(300),
+        "normal sources are mutually close: {:?}",
+        out.report.inconsistency_bound
+    );
+    assert_eq!(sim.machine_state(3), MachineState::Failed);
+    Ok(())
+}

@@ -1,0 +1,254 @@
+//! Property-based validation of the paper's formal claims.
+//!
+//! For randomized small databases and randomized SPJ predicates:
+//!
+//! * **Completeness** (guiding requirement 2): the computed set `A(Q)`
+//!   always contains the brute-force `S(Q)`.
+//! * **Minimality** (Theorems 3 & 4): whenever the analyzer *claims*
+//!   `Minimum`, `A(Q) = S(Q)` exactly.
+//! * **Theorem 1**: inserting any single tuple from a source outside
+//!   `S(Q)` never changes the query result.
+
+use proptest::prelude::*;
+use std::collections::BTreeSet;
+use trac::core::oracle::relevant_sources_oracle;
+use trac::core::{Guarantee, RecencyPlan, RelevanceConfig};
+use trac::exec::execute_select;
+use trac::expr::bind_select;
+use trac::sql::parse_select;
+use trac::storage::{ColumnDef, Database, TableSchema};
+use trac::types::{ColumnDomain, DataType, SourceId, Timestamp, Value};
+
+const MACHINES: [&str; 3] = ["m1", "m2", "m3"];
+const STATES: [&str; 2] = ["idle", "busy"];
+
+/// Builds the two-table schema with fully finite domains (the oracle
+/// needs them) and the given instance data.
+fn build_db(activity: &[(usize, usize)], routing: &[(usize, usize)]) -> Database {
+    let db = Database::new();
+    let machines = ColumnDomain::text_set(MACHINES);
+    let t0 = Timestamp::from_secs(0);
+    db.create_table(
+        TableSchema::new(
+            "activity",
+            vec![
+                ColumnDef::new("mach_id", DataType::Text).with_domain(machines.clone()),
+                ColumnDef::new("value", DataType::Text)
+                    .with_domain(ColumnDomain::text_set(STATES)),
+            ],
+            Some("mach_id"),
+        )
+        .unwrap(),
+    )
+    .unwrap();
+    db.create_table(
+        TableSchema::new(
+            "routing",
+            vec![
+                ColumnDef::new("mach_id", DataType::Text).with_domain(machines.clone()),
+                ColumnDef::new("neighbor", DataType::Text).with_domain(machines),
+            ],
+            Some("mach_id"),
+        )
+        .unwrap(),
+    )
+    .unwrap();
+    db.create_index("activity", "mach_id").unwrap();
+    db.create_index("routing", "mach_id").unwrap();
+    let a = db.begin_read().table_id("activity").unwrap();
+    let r = db.begin_read().table_id("routing").unwrap();
+    db.with_write(|w| {
+        for m in MACHINES {
+            w.heartbeat(&SourceId::new(m), t0)?;
+        }
+        for &(m, v) in activity {
+            w.insert(a, vec![Value::text(MACHINES[m]), Value::text(STATES[v])])?;
+        }
+        for &(m, n) in routing {
+            w.insert(r, vec![Value::text(MACHINES[m]), Value::text(MACHINES[n])])?;
+        }
+        Ok(())
+    })
+    .unwrap();
+    db
+}
+
+/// A random basic term over the joined (A, R) schema.
+fn term_strategy() -> impl Strategy<Value = String> {
+    prop_oneof![
+        (0..3usize).prop_map(|m| format!("A.mach_id = '{}'", MACHINES[m])),
+        (0..2usize).prop_map(|v| format!("A.value = '{}'", STATES[v])),
+        (0..3usize).prop_map(|m| format!("R.mach_id = '{}'", MACHINES[m])),
+        (0..3usize).prop_map(|m| format!("R.neighbor = '{}'", MACHINES[m])),
+        Just("R.neighbor = A.mach_id".to_string()),
+        Just("R.mach_id = A.mach_id".to_string()),
+        proptest::sample::subsequence(vec!["m1", "m2", "m3"], 1..=3)
+            .prop_map(|ms| format!("A.mach_id IN ('{}')", ms.join("','"))),
+        (0..3usize).prop_map(|m| format!("A.mach_id <> '{}'", MACHINES[m])),
+    ]
+}
+
+/// Random predicates: conjunctions/disjunctions/negations of basic terms.
+fn predicate_strategy() -> impl Strategy<Value = String> {
+    let leaf = term_strategy();
+    leaf.prop_recursive(3, 12, 3, |inner| {
+        prop_oneof![
+            (inner.clone(), inner.clone()).prop_map(|(a, b)| format!("({a} AND {b})")),
+            (inner.clone(), inner.clone()).prop_map(|(a, b)| format!("({a} OR {b})")),
+            inner.prop_map(|a| format!("NOT ({a})")),
+        ]
+    })
+}
+
+/// Random single-relation predicates (no R references).
+fn single_predicate_strategy() -> impl Strategy<Value = String> {
+    let leaf = prop_oneof![
+        (0..3usize).prop_map(|m| format!("mach_id = '{}'", MACHINES[m])),
+        (0..2usize).prop_map(|v| format!("value = '{}'", STATES[v])),
+        proptest::sample::subsequence(vec!["m1", "m2", "m3"], 1..=3)
+            .prop_map(|ms| format!("mach_id NOT IN ('{}')", ms.join("','"))),
+        Just("mach_id = value".to_string()), // mixed predicate
+    ];
+    leaf.prop_recursive(2, 8, 2, |inner| {
+        prop_oneof![
+            (inner.clone(), inner.clone()).prop_map(|(a, b)| format!("({a} AND {b})")),
+            (inner.clone(), inner.clone()).prop_map(|(a, b)| format!("({a} OR {b})")),
+            inner.prop_map(|a| format!("NOT ({a})")),
+        ]
+    })
+}
+
+fn activity_rows(max: usize) -> impl Strategy<Value = Vec<(usize, usize)>> {
+    proptest::collection::vec((0..3usize, 0..2usize), 0..max)
+}
+
+fn routing_rows(max: usize) -> impl Strategy<Value = Vec<(usize, usize)>> {
+    proptest::collection::vec((0..3usize, 0..3usize), 0..max)
+}
+
+/// Runs all three checks for one (database, query) pair.
+fn check_all(db: &Database, sql: &str) -> std::result::Result<(), TestCaseError> {
+    let txn = db.begin_read();
+    let stmt = parse_select(sql).map_err(|e| TestCaseError::fail(e.to_string()))?;
+    let bound = bind_select(&txn, &stmt).map_err(|e| TestCaseError::fail(e.to_string()))?;
+    let truth = relevant_sources_oracle(&txn, &bound, 50_000_000)
+        .map_err(|e| TestCaseError::fail(e.to_string()))?;
+    let plan = RecencyPlan::build(&txn, &bound, RelevanceConfig::default())
+        .map_err(|e| TestCaseError::fail(e.to_string()))?;
+    let computed = plan
+        .execute(&txn)
+        .map_err(|e| TestCaseError::fail(e.to_string()))?;
+    // Completeness.
+    prop_assert!(
+        computed.is_superset(&truth),
+        "completeness violated for {sql}: computed {computed:?} truth {truth:?}"
+    );
+    // Minimality when claimed.
+    if plan.guarantee == Guarantee::Minimum {
+        prop_assert_eq!(
+            &computed, &truth,
+            "claimed minimum but imprecise for {}", sql
+        );
+    }
+    // Theorem 1: single updates from non-relevant sources don't change
+    // the result.
+    let baseline = {
+        let mut rows = execute_select(&txn, &bound)
+            .map_err(|e| TestCaseError::fail(e.to_string()))?
+            .rows;
+        rows.sort();
+        rows
+    };
+    let irrelevant: BTreeSet<&str> = MACHINES
+        .iter()
+        .copied()
+        .filter(|m| !truth.contains(&SourceId::new(*m)))
+        .collect();
+    for m in irrelevant {
+        for rel in 0..bound.tables.len() {
+            let bt = &bound.tables[rel];
+            let domains: Vec<Vec<Value>> = bt
+                .schema
+                .columns
+                .iter()
+                .enumerate()
+                .map(|(i, c)| {
+                    if bt.schema.source_column == Some(i) {
+                        vec![Value::text(m)]
+                    } else {
+                        c.domain.enumerate(16).expect("finite test domains")
+                    }
+                })
+                .collect();
+            // Cross product of the (tiny) domains.
+            let mut stack = vec![Vec::new()];
+            for d in &domains {
+                let mut next = Vec::with_capacity(stack.len() * d.len());
+                for partial in &stack {
+                    for v in d {
+                        let mut row: Vec<Value> = partial.clone();
+                        row.push(v.clone());
+                        next.push(row);
+                    }
+                }
+                stack = next;
+            }
+            for row in stack {
+                let w = db.begin_write();
+                w.insert(bt.id, row.clone())
+                    .map_err(|e| TestCaseError::fail(e.to_string()))?;
+                // Evaluate within the txn's own uncommitted view.
+                let mut rows = execute_select(&w, &bound)
+                    .map_err(|e| TestCaseError::fail(e.to_string()))?
+                    .rows;
+                rows.sort();
+                prop_assert_eq!(
+                    &rows, &baseline,
+                    "Theorem 1 violated for {}: tuple {:?} from irrelevant {} changed the result",
+                    sql, row, m
+                );
+                w.abort();
+            }
+        }
+    }
+    Ok(())
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig {
+        cases: 48,
+        ..ProptestConfig::default()
+    })]
+
+    #[test]
+    fn single_relation_properties(
+        activity in activity_rows(8),
+        pred in single_predicate_strategy(),
+    ) {
+        let db = build_db(&activity, &[]);
+        let sql = format!("SELECT mach_id FROM Activity WHERE {pred}");
+        check_all(&db, &sql)?;
+    }
+
+    #[test]
+    fn multi_relation_properties(
+        activity in activity_rows(6),
+        routing in routing_rows(5),
+        pred in predicate_strategy(),
+    ) {
+        let db = build_db(&activity, &routing);
+        let sql = format!(
+            "SELECT A.mach_id FROM Routing R, Activity A WHERE {pred}"
+        );
+        check_all(&db, &sql)?;
+    }
+
+    #[test]
+    fn no_predicate_multi_relation(
+        activity in activity_rows(4),
+        routing in routing_rows(4),
+    ) {
+        let db = build_db(&activity, &routing);
+        check_all(&db, "SELECT A.mach_id FROM Routing R, Activity A")?;
+    }
+}

@@ -1,0 +1,187 @@
+//! SQL end-to-end and differential-execution tests.
+//!
+//! Random SPJ queries over random instances must produce identical
+//! results under every planner configuration (index probes on/off, hash
+//! joins on/off) — the access path is an optimization, never a semantic
+//! change.
+
+use proptest::prelude::*;
+use trac::exec::{execute_select_with, execute_statement, ExecOptions, StatementResult};
+use trac::expr::bind_select;
+use trac::sql::parse_select;
+use trac::storage::Database;
+use trac::types::Value;
+
+fn setup(activity: &[(usize, usize)], routing: &[(usize, usize)]) -> Database {
+    const M: [&str; 4] = ["m1", "m2", "m3", "m4"];
+    const V: [&str; 2] = ["idle", "busy"];
+    let db = Database::new();
+    execute_statement(
+        &db,
+        "CREATE TABLE activity (mach_id TEXT NOT NULL, value TEXT NOT NULL) \
+         SOURCE COLUMN mach_id",
+    )
+    .unwrap();
+    execute_statement(
+        &db,
+        "CREATE TABLE routing (mach_id TEXT NOT NULL, neighbor TEXT NOT NULL) \
+         SOURCE COLUMN mach_id",
+    )
+    .unwrap();
+    execute_statement(&db, "CREATE INDEX ai ON activity (mach_id)").unwrap();
+    execute_statement(&db, "CREATE INDEX ri ON routing (mach_id)").unwrap();
+    for &(m, v) in activity {
+        execute_statement(
+            &db,
+            &format!("INSERT INTO activity VALUES ('{}', '{}')", M[m], V[v]),
+        )
+        .unwrap();
+    }
+    for &(m, n) in routing {
+        execute_statement(
+            &db,
+            &format!("INSERT INTO routing VALUES ('{}', '{}')", M[m], M[n]),
+        )
+        .unwrap();
+    }
+    db
+}
+
+fn query_strategy() -> impl Strategy<Value = String> {
+    let term = prop_oneof![
+        (0..4usize).prop_map(|m| format!("A.mach_id = 'm{}'", m + 1)),
+        (0..2usize).prop_map(|v| format!(
+            "A.value = '{}'",
+            if v == 0 { "idle" } else { "busy" }
+        )),
+        (0..4usize).prop_map(|m| format!("R.neighbor = 'm{}'", m + 1)),
+        Just("R.neighbor = A.mach_id".to_string()),
+        Just("R.mach_id = A.mach_id".to_string()),
+        (0..4usize).prop_map(|m| format!("A.mach_id <> 'm{}'", m + 1)),
+        Just("A.mach_id IN ('m1', 'm3')".to_string()),
+    ];
+    let pred = term.prop_recursive(3, 10, 2, |inner| {
+        prop_oneof![
+            (inner.clone(), inner.clone()).prop_map(|(a, b)| format!("({a} AND {b})")),
+            (inner.clone(), inner.clone()).prop_map(|(a, b)| format!("({a} OR {b})")),
+            inner.prop_map(|a| format!("NOT ({a})")),
+        ]
+    });
+    (pred, any::<bool>()).prop_map(|(p, agg)| {
+        if agg {
+            format!("SELECT COUNT(*) FROM routing R, activity A WHERE {p}")
+        } else {
+            format!("SELECT A.mach_id, R.neighbor FROM routing R, activity A WHERE {p}")
+        }
+    })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig { cases: 64, ..ProptestConfig::default() })]
+
+    #[test]
+    fn planner_configs_agree(
+        activity in proptest::collection::vec((0..4usize, 0..2usize), 0..7),
+        routing in proptest::collection::vec((0..4usize, 0..4usize), 0..6),
+        sql in query_strategy(),
+    ) {
+        let db = setup(&activity, &routing);
+        let txn = db.begin_read();
+        let bound = bind_select(&txn, &parse_select(&sql).unwrap()).unwrap();
+        let configs = [
+            ExecOptions { enable_index_scan: true, enable_hash_join: true },
+            ExecOptions { enable_index_scan: true, enable_hash_join: false },
+            ExecOptions { enable_index_scan: false, enable_hash_join: true },
+            ExecOptions { enable_index_scan: false, enable_hash_join: false },
+        ];
+        let mut last: Option<Vec<Vec<Value>>> = None;
+        for opts in configs {
+            let (mut r, _) = execute_select_with(&txn, &bound, opts).unwrap();
+            r.rows.sort();
+            if let Some(prev) = &last {
+                prop_assert_eq!(prev, &r.rows, "plans disagree for {}", &sql);
+            }
+            last = Some(r.rows);
+        }
+    }
+}
+
+#[test]
+fn dml_roundtrip_through_sql_only() {
+    let db = Database::new();
+    execute_statement(
+        &db,
+        "CREATE TABLE jobs (sid TEXT NOT NULL, job_id INT NOT NULL, state TEXT NOT NULL, \
+         cpu FLOAT) SOURCE COLUMN sid",
+    )
+    .unwrap();
+    execute_statement(&db, "CREATE INDEX ji ON jobs (job_id)").unwrap();
+    execute_statement(
+        &db,
+        "INSERT INTO jobs (sid, job_id, state, cpu) VALUES \
+         ('n1', 1, 'queued', NULL), ('n1', 2, 'queued', NULL), ('n2', 3, 'running', 0.5)",
+    )
+    .unwrap();
+    execute_statement(&db, "UPDATE jobs SET state = 'running', cpu = 1.5 WHERE job_id = 1")
+        .unwrap();
+    execute_statement(&db, "DELETE FROM jobs WHERE state = 'queued'").unwrap();
+    let r = execute_statement(
+        &db,
+        "SELECT job_id, state, cpu FROM jobs ORDER BY job_id",
+    )
+    .unwrap();
+    match r {
+        StatementResult::Rows(q) => {
+            assert_eq!(
+                q.rows,
+                vec![
+                    vec![Value::Int(1), Value::text("running"), Value::Float(1.5)],
+                    vec![Value::Int(3), Value::text("running"), Value::Float(0.5)],
+                ]
+            );
+        }
+        other => panic!("{other:?}"),
+    }
+    // Aggregates over the survivors.
+    let r = execute_statement(&db, "SELECT COUNT(*), SUM(cpu), MIN(job_id) FROM jobs").unwrap();
+    match r {
+        StatementResult::Rows(q) => {
+            assert_eq!(
+                q.rows[0],
+                vec![Value::Int(2), Value::Float(2.0), Value::Int(1)]
+            );
+        }
+        other => panic!("{other:?}"),
+    }
+}
+
+#[test]
+fn between_like_predicates_roundtrip() {
+    let db = Database::new();
+    execute_statement(
+        &db,
+        "CREATE TABLE t (sid TEXT NOT NULL, n INT NOT NULL) SOURCE COLUMN sid",
+    )
+    .unwrap();
+    for i in 0..10 {
+        execute_statement(&db, &format!("INSERT INTO t VALUES ('s', {i})")).unwrap();
+    }
+    let r = execute_statement(
+        &db,
+        "SELECT COUNT(*) FROM t WHERE n BETWEEN 2 AND 5 AND n NOT IN (3)",
+    )
+    .unwrap();
+    match r {
+        StatementResult::Rows(q) => assert_eq!(q.scalar(), Some(&Value::Int(3))),
+        other => panic!("{other:?}"),
+    }
+    let r = execute_statement(
+        &db,
+        "SELECT COUNT(*) FROM t WHERE n NOT BETWEEN 2 AND 5 OR n = 4",
+    )
+    .unwrap();
+    match r {
+        StatementResult::Rows(q) => assert_eq!(q.scalar(), Some(&Value::Int(7))),
+        other => panic!("{other:?}"),
+    }
+}
