@@ -1,0 +1,96 @@
+//! `trac-analyze` — audit recency plans for soundness violations.
+//!
+//! ```text
+//! trac-analyze [--explain] [--verbose] [--dnf-budget N]
+//! ```
+//!
+//! Runs the four analyzer passes over every sample workload (the paper
+//! fixture, the Section 4.2 fixture, and the Section 5.2 evaluation
+//! queries) and renders any findings in compiler style. Exits nonzero
+//! when any error-severity diagnostic is found, so CI can gate on it.
+
+use std::process::ExitCode;
+use trac_analyze::{analyze_samples, AnalyzerConfig, Severity, ALL_CODES};
+
+fn usage() -> ! {
+    eprintln!(
+        "usage: trac-analyze [--explain] [--verbose] [--dnf-budget N]\n\
+         \n\
+         --explain       list all diagnostic codes and exit\n\
+         --verbose       also print clean queries and non-error findings' renders\n\
+         --dnf-budget N  DNF term budget (default: the planner's)"
+    );
+    std::process::exit(2);
+}
+
+fn main() -> ExitCode {
+    let mut cfg = AnalyzerConfig::default();
+    let mut verbose = false;
+    let mut args = std::env::args().skip(1);
+    while let Some(arg) = args.next() {
+        match arg.as_str() {
+            "--explain" => {
+                for c in ALL_CODES {
+                    println!("{} [{}] {}", c.id, c.severity, c.summary);
+                }
+                return ExitCode::SUCCESS;
+            }
+            "--verbose" | "-v" => verbose = true,
+            "--dnf-budget" => match args.next().and_then(|v| v.parse().ok()) {
+                Some(n) => cfg.dnf_budget = n,
+                None => usage(),
+            },
+            "--help" | "-h" => usage(),
+            other => {
+                eprintln!("unknown argument: {other}");
+                usage();
+            }
+        }
+    }
+
+    let analyses = match analyze_samples(cfg) {
+        Ok(a) => a,
+        Err(e) => {
+            eprintln!("trac-analyze: failed to build sample workloads: {e}");
+            return ExitCode::FAILURE;
+        }
+    };
+
+    let mut errors = 0usize;
+    let mut warnings = 0usize;
+    let mut notes = 0usize;
+    for a in &analyses {
+        for d in &a.diagnostics {
+            match d.severity {
+                Severity::Error => errors += 1,
+                Severity::Warning => warnings += 1,
+                Severity::Note => notes += 1,
+            }
+            if d.is_error() || verbose {
+                println!("{}", d.render());
+            }
+        }
+        if verbose {
+            println!(
+                "{}: {} ({} finding{})",
+                a.name,
+                if a.has_errors() { "UNSOUND" } else { "ok" },
+                a.diagnostics.len(),
+                if a.diagnostics.len() == 1 { "" } else { "s" }
+            );
+        }
+    }
+    println!(
+        "trac-analyze: {} quer{} checked, {errors} error{}, {warnings} warning{}, {notes} note{}",
+        analyses.len(),
+        if analyses.len() == 1 { "y" } else { "ies" },
+        if errors == 1 { "" } else { "s" },
+        if warnings == 1 { "" } else { "s" },
+        if notes == 1 { "" } else { "s" },
+    );
+    if errors > 0 {
+        ExitCode::FAILURE
+    } else {
+        ExitCode::SUCCESS
+    }
+}

@@ -1,0 +1,213 @@
+//! `trac-analyze`: a static soundness analyzer for recency plans.
+//!
+//! The recency machinery makes three load-bearing formal claims — the
+//! Notation 4/6 term partition, the Theorem 3/4 minimality preconditions
+//! (with the Corollary 2/6 empty-set collapse), and the Notation 5/7
+//! subquery rewrite — plus it trusts the three-valued SAT oracle that
+//! feeds them. A bug in any of the four silently turns "minimum relevant
+//! set" into a lie without failing a single functional test, because the
+//! reported sources stay plausible. This crate re-derives each claim
+//! independently and diffs it against what the planner actually produced:
+//!
+//! * [`passes::partition`] — recomputes every basic term's class from the
+//!   raw column-touch sets and checks the conjunct partition is disjoint
+//!   and exhaustive (`TRAC001`);
+//! * [`passes::guarantee`] — recomputes the Theorem 3/4 status of every
+//!   subquery and audits the claimed [`Guarantee`] (`TRAC002`, `TRAC003`,
+//!   `TRAC007`, `TRAC008`);
+//! * [`passes::sanitize`] — re-parses each generated recency subquery and
+//!   checks it projects only `Heartbeat.sid` and never mentions the
+//!   relation under analysis (`TRAC004`, `TRAC005`);
+//! * [`passes::satcheck`] — re-decides every SAT verdict the planner
+//!   relied on by brute-force model enumeration over small finite domains
+//!   (`TRAC006`).
+//!
+//! Use [`analyze_sql`] for one query against a live database snapshot, or
+//! [`analyze_samples`] to sweep every sample workload (this is what the
+//! `trac-analyze` binary and CI run).
+
+#![warn(missing_docs)]
+
+pub mod diag;
+pub mod passes;
+
+pub use diag::{
+    Code, Diagnostic, Severity, Span, SpanFinder, ALL_CODES, ALL_SOURCES_FALLBACK, BAD_PROJECTION,
+    DEGRADED_GUARANTEE, PARTITION_VIOLATION, SAT_MISMATCH, UNSAT_NONEMPTY, UNSOUND_MINIMUM,
+};
+pub use passes::PassCtx;
+
+use trac_core::{Guarantee, RecencyPlan, RelevanceConfig};
+use trac_expr::{bind_select, to_dnf, BoundSelect, Dnf};
+use trac_storage::ReadTxn;
+use trac_types::Result;
+use trac_workload::{load_eval_db, load_paper_tables, load_section_42_tables, EvalConfig};
+
+/// Analyzer tunables.
+#[derive(Debug, Clone, Copy)]
+pub struct AnalyzerConfig {
+    /// DNF term budget; must match the planner's so both see the same
+    /// disjuncts (and the same all-sources fallback).
+    pub dnf_budget: usize,
+}
+
+impl Default for AnalyzerConfig {
+    fn default() -> AnalyzerConfig {
+        AnalyzerConfig {
+            dnf_budget: RelevanceConfig::default().dnf_budget,
+        }
+    }
+}
+
+/// The analyzer's verdict on one query.
+#[derive(Debug)]
+pub struct QueryAnalysis {
+    /// Query label (e.g. `Q1`).
+    pub name: String,
+    /// The analyzed SQL.
+    pub sql: String,
+    /// The guarantee the audited plan claimed.
+    pub guarantee: Guarantee,
+    /// All findings, in pass order.
+    pub diagnostics: Vec<Diagnostic>,
+}
+
+impl QueryAnalysis {
+    /// True when any finding is error-severity (a soundness violation).
+    pub fn has_errors(&self) -> bool {
+        self.diagnostics.iter().any(Diagnostic::is_error)
+    }
+
+    /// Number of error-severity findings.
+    pub fn error_count(&self) -> usize {
+        self.diagnostics.iter().filter(|d| d.is_error()).count()
+    }
+}
+
+/// Reconstructs the DNF the planner analyzed: a missing predicate is one
+/// empty conjunct (every potential tuple satisfies it), mirroring
+/// [`RecencyPlan::build`].
+fn plan_dnf(q: &BoundSelect, cfg: AnalyzerConfig) -> Dnf {
+    match &q.predicate {
+        Some(p) => to_dnf(p, cfg.dnf_budget),
+        None => Dnf {
+            disjuncts: vec![vec![]],
+            exact: true,
+        },
+    }
+}
+
+/// Runs all four passes over an already-bound query and its claimed plan.
+pub fn analyze_bound(
+    name: &str,
+    sql: &str,
+    q: &BoundSelect,
+    plan: &RecencyPlan,
+    cfg: AnalyzerConfig,
+) -> QueryAnalysis {
+    let dnf = plan_dnf(q, cfg);
+    let finder = SpanFinder::new(sql);
+    let ctx = PassCtx {
+        label: name,
+        sql,
+        finder: &finder,
+    };
+    let mut diagnostics = Vec::new();
+    diagnostics.extend(passes::partition::run(q, &dnf, &ctx));
+    diagnostics.extend(passes::guarantee::audit_plan(q, plan, &dnf, &ctx));
+    diagnostics.extend(passes::sanitize::run(q, plan, name));
+    diagnostics.extend(passes::satcheck::run(q, &dnf, &ctx));
+    QueryAnalysis {
+        name: name.to_string(),
+        sql: sql.to_string(),
+        guarantee: plan.guarantee,
+        diagnostics,
+    }
+}
+
+/// Parses, binds and plans `sql` in `txn`'s snapshot, then audits the
+/// resulting plan.
+pub fn analyze_sql(
+    txn: &ReadTxn,
+    name: &str,
+    sql: &str,
+    cfg: AnalyzerConfig,
+) -> Result<QueryAnalysis> {
+    let stmt = trac_sql::parse_select(sql)?;
+    let q = bind_select(txn, &stmt)?;
+    let plan = RecencyPlan::build(
+        txn,
+        &q,
+        RelevanceConfig {
+            dnf_budget: cfg.dnf_budget,
+        },
+    )?;
+    Ok(analyze_bound(name, sql, &q, &plan, cfg))
+}
+
+/// The worked-example queries of Section 4.1 plus the queries the
+/// shipped examples run against the paper fixture
+/// ([`load_paper_tables`]).
+pub const PAPER_SAMPLE_QUERIES: [(&str, &str); 5] = [
+    (
+        "paper/Q1",
+        "SELECT mach_id FROM Activity WHERE mach_id IN ('m1', 'm2') AND value = 'idle'",
+    ),
+    (
+        "paper/Q2",
+        "SELECT A.mach_id FROM Routing R, Activity A \
+         WHERE R.mach_id = 'm1' AND A.value = 'idle' AND R.neighbor = A.mach_id",
+    ),
+    (
+        "paper/quickstart",
+        "SELECT mach_id, value FROM Activity A WHERE value = 'idle'",
+    ),
+    (
+        "paper/ordered",
+        "SELECT mach_id FROM Activity WHERE value = 'idle' ORDER BY mach_id",
+    ),
+    ("paper/unfiltered", "SELECT mach_id FROM Activity"),
+];
+
+/// The Section 4.2 job-status queries against [`load_section_42_tables`].
+pub const SECTION42_SAMPLE_QUERIES: [(&str, &str); 2] = [
+    (
+        "section42/Q3",
+        "SELECT R.runningMachineId FROM R WHERE R.jobId = 1",
+    ),
+    (
+        "section42/Q4",
+        "SELECT R.runningMachineId FROM S, R \
+         WHERE S.schedMachineId = 'myScheduler' AND S.jobId = 1 AND R.jobId = 1 \
+         AND R.runningMachineId = S.remoteMachineId",
+    ),
+];
+
+/// Evaluation-database size for the sample sweep (small on purpose: the
+/// analyzer exercises planning, not scans).
+const EVAL_SAMPLE_ROWS: u64 = 200;
+/// Rows per source in the sample evaluation database.
+const EVAL_SAMPLE_RATIO: u64 = 20;
+
+/// Audits every sample workload: the paper fixture, the Section 4.2
+/// fixture, and the four Section 5.2 evaluation queries over a small
+/// evaluation database.
+pub fn analyze_samples(cfg: AnalyzerConfig) -> Result<Vec<QueryAnalysis>> {
+    let mut out = Vec::new();
+    let paper = load_paper_tables()?;
+    let txn = paper.db.begin_read();
+    for (name, sql) in PAPER_SAMPLE_QUERIES {
+        out.push(analyze_sql(&txn, name, sql, cfg)?);
+    }
+    let s42 = load_section_42_tables(&["myScheduler", "mx", "my"])?;
+    let txn = s42.db.begin_read();
+    for (name, sql) in SECTION42_SAMPLE_QUERIES {
+        out.push(analyze_sql(&txn, name, sql, cfg)?);
+    }
+    let eval = load_eval_db(&EvalConfig::new(EVAL_SAMPLE_ROWS, EVAL_SAMPLE_RATIO))?;
+    let txn = eval.db.begin_read();
+    for (name, sql) in trac_workload::PAPER_QUERIES {
+        out.push(analyze_sql(&txn, &format!("eval/{name}"), sql, cfg)?);
+    }
+    Ok(out)
+}

@@ -1,0 +1,294 @@
+//! Pass 2: the guarantee auditor.
+//!
+//! Theorems 3 and 4 allow the planner to stamp a recency plan as a
+//! *minimum* relevant-source set only when, for every conjunct and every
+//! relation: `P_m = ∅`, `J_rm = ∅`, and `P_r` is satisfiable; Corollaries
+//! 2 and 6 additionally force the relevant set of a conjunct whose
+//! selection predicates are unsatisfiable to be empty. This pass
+//! independently recomputes those preconditions from the bound query and
+//! audits the claimed plan against them — the planner's own logic is
+//! deliberately not reused beyond the shared classifier and SAT oracle.
+
+use super::PassCtx;
+use crate::diag::{
+    Diagnostic, ALL_SOURCES_FALLBACK, DEGRADED_GUARANTEE, UNSAT_NONEMPTY, UNSOUND_MINIMUM,
+};
+use trac_core::relevance::SubqueryStatus;
+use trac_core::{Guarantee, RecencyPlan};
+use trac_expr::normalize::Dnf;
+use trac_expr::{classify_conjunct, conjunct_satisfiable, BoundExpr, BoundSelect, ColRef, Sat3};
+use trac_types::ColumnDomain;
+
+/// Why a recomputed status came out the way it did.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum StatusReason {
+    /// The relation has no data source column.
+    NoSourceColumn,
+    /// `P_s ∧ P_r ∧ P_m` (with CHECK constraints) is unsatisfiable.
+    SelectionUnsat,
+    /// All Theorem 3/4 preconditions hold.
+    Minimal,
+    /// `P_m` is nonempty.
+    MixedSelection,
+    /// `J_rm` is nonempty.
+    MixedJoin,
+    /// `P_r`'s satisfiability could not be proven (`Sat3::Unknown`).
+    PrUndecided,
+    /// `P_r` is unsatisfiable but the full selection was not proven so
+    /// (conservative planners treat this as an upper bound).
+    PrUnsat,
+}
+
+/// The independently recomputed status of one (disjunct, relation)
+/// subquery, with the first reason that forced it.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ExpectedStatus {
+    /// What the subquery's status must be.
+    pub status: SubqueryStatus,
+    /// Why.
+    pub reason: StatusReason,
+}
+
+/// Recomputes the Theorem 3/4 / Corollary 2/6 status of the subquery for
+/// (`disjunct`, `rel`), conjoining `rel`'s CHECK constraints exactly as
+/// the constraint-aware rewrite of Section 3.4 does.
+pub fn expected_status(q: &BoundSelect, disjunct: &[BoundExpr], rel: usize) -> ExpectedStatus {
+    if q.tables[rel].schema.source_column.is_none() {
+        return ExpectedStatus {
+            status: SubqueryStatus::Empty,
+            reason: StatusReason::NoSourceColumn,
+        };
+    }
+    let mut terms: Vec<BoundExpr> = disjunct.to_vec();
+    for check in &q.tables[rel].schema.checks {
+        if let Some(bc) = check.as_any().downcast_ref::<trac_expr::BoundCheck>() {
+            terms.push(bc.expr().map_columns(&|c| ColRef {
+                table: rel,
+                column: c.column,
+            }));
+        }
+    }
+    let cls = classify_conjunct(&terms, &q.tables, rel);
+    let dom =
+        |c: ColRef| -> ColumnDomain { q.tables[c.table].schema.columns[c.column].domain.clone() };
+    let selection: Vec<BoundExpr> = cls
+        .ps
+        .iter()
+        .chain(&cls.pr)
+        .chain(&cls.pm)
+        .cloned()
+        .collect();
+    if conjunct_satisfiable(&selection, &dom) == Sat3::Unsat {
+        return ExpectedStatus {
+            status: SubqueryStatus::Empty,
+            reason: StatusReason::SelectionUnsat,
+        };
+    }
+    let reason = if !cls.pm.is_empty() {
+        StatusReason::MixedSelection
+    } else if !cls.jrm.is_empty() {
+        StatusReason::MixedJoin
+    } else {
+        match conjunct_satisfiable(&cls.pr, &dom) {
+            Sat3::Sat => StatusReason::Minimal,
+            Sat3::Unknown => StatusReason::PrUndecided,
+            Sat3::Unsat => StatusReason::PrUnsat,
+        }
+    };
+    ExpectedStatus {
+        status: if reason == StatusReason::Minimal {
+            SubqueryStatus::Minimum
+        } else {
+            SubqueryStatus::UpperBound
+        },
+        reason,
+    }
+}
+
+/// Audits a claimed plan for `q` against the recomputed preconditions.
+pub fn audit_plan(
+    q: &BoundSelect,
+    plan: &RecencyPlan,
+    dnf: &Dnf,
+    ctx: &PassCtx<'_>,
+) -> Vec<Diagnostic> {
+    let mut out = Vec::new();
+    if !dnf.exact {
+        // DNF blow-up: the only sound plan reports all sources as an
+        // upper bound.
+        if plan.guarantee == Guarantee::Minimum {
+            out.push(Diagnostic::new(
+                UNSOUND_MINIMUM,
+                ctx.label,
+                "DNF conversion was inexact, yet the plan claims a minimum \
+                 relevant-source set",
+            ));
+        }
+        if !plan.all_sources {
+            out.push(Diagnostic::new(
+                UNSOUND_MINIMUM,
+                ctx.label,
+                "DNF conversion was inexact, yet the plan does not fall back \
+                 to reporting all sources",
+            ));
+        } else {
+            out.push(Diagnostic::new(
+                ALL_SOURCES_FALLBACK,
+                ctx.label,
+                format!(
+                    "predicate exceeded the DNF budget; all sources will be \
+                     reported ({} subqueries skipped)",
+                    dnf.disjuncts.len() * q.tables.len()
+                ),
+            ));
+        }
+        return out;
+    }
+    if plan.all_sources {
+        // Sound but gratuitous when the DNF is exact; surface it.
+        out.push(Diagnostic::new(
+            ALL_SOURCES_FALLBACK,
+            ctx.label,
+            "plan reports all sources although the DNF was exact",
+        ));
+    }
+    let mut degrade_reasons: Vec<String> = Vec::new();
+    let mut expected_minimal = true;
+    for sub in &plan.subqueries {
+        let Some(rel) = q
+            .tables
+            .iter()
+            .position(|t| t.binding.eq_ignore_ascii_case(&sub.via_relation))
+        else {
+            out.push(Diagnostic::new(
+                UNSOUND_MINIMUM,
+                ctx.label,
+                format!(
+                    "subquery #{} targets `{}`, which is not a relation of the query",
+                    sub.disjunct, sub.via_relation
+                ),
+            ));
+            continue;
+        };
+        let Some(disjunct) = dnf.disjuncts.get(sub.disjunct) else {
+            out.push(Diagnostic::new(
+                UNSOUND_MINIMUM,
+                ctx.label,
+                format!(
+                    "subquery references disjunct #{} but the DNF has {}",
+                    sub.disjunct,
+                    dnf.disjuncts.len()
+                ),
+            ));
+            continue;
+        };
+        let expected = expected_status(q, disjunct, rel);
+        if expected.status != SubqueryStatus::Minimum {
+            expected_minimal = false;
+        }
+        let context = format!(
+            "{} disjunct #{} via {}",
+            ctx.label, sub.disjunct, sub.via_relation
+        );
+        match (&expected.reason, sub.status) {
+            // Corollary 2/6: proven-unsat selection ⇒ empty relevant set.
+            (StatusReason::SelectionUnsat, status) => {
+                if status != SubqueryStatus::Empty || sub.query.is_some() {
+                    out.push(
+                        Diagnostic::new(
+                            UNSAT_NONEMPTY,
+                            context,
+                            "selection predicates are unsatisfiable (Corollary 2/6) \
+                             but the subquery still contributes sources",
+                        )
+                        .with_span(ctx.sql, None),
+                    );
+                }
+            }
+            (StatusReason::NoSourceColumn, status) => {
+                if status != SubqueryStatus::Empty || sub.query.is_some() {
+                    out.push(Diagnostic::new(
+                        UNSOUND_MINIMUM,
+                        context,
+                        format!(
+                            "relation {} has no data source column, yet its \
+                             subquery contributes sources",
+                            sub.via_relation
+                        ),
+                    ));
+                }
+            }
+            // A subquery may never claim more than the recomputation
+            // proves: Minimum claimed where only UpperBound holds.
+            (reason, SubqueryStatus::Minimum) if expected.status != SubqueryStatus::Minimum => {
+                out.push(
+                    Diagnostic::new(
+                        UNSOUND_MINIMUM,
+                        context,
+                        format!(
+                            "subquery stamped Minimum, but Theorem 3/4 \
+                             preconditions fail: {}",
+                            describe_reason(reason)
+                        ),
+                    )
+                    .with_span(ctx.sql, None),
+                );
+            }
+            // Claiming Empty without proof drops sources: the report
+            // would no longer be a superset of the relevant set.
+            (reason, SubqueryStatus::Empty) => {
+                out.push(Diagnostic::new(
+                    UNSOUND_MINIMUM,
+                    context,
+                    format!(
+                        "subquery pruned to empty although the selection was \
+                         not proven unsatisfiable ({})",
+                        describe_reason(reason)
+                    ),
+                ));
+            }
+            (reason, _) => {
+                if expected.status == SubqueryStatus::UpperBound {
+                    degrade_reasons.push(format!(
+                        "disjunct #{} via {}: {}",
+                        sub.disjunct,
+                        sub.via_relation,
+                        describe_reason(reason)
+                    ));
+                }
+            }
+        }
+    }
+    // Overall guarantee: Minimum requires every part minimal or empty.
+    if plan.guarantee == Guarantee::Minimum && !expected_minimal {
+        out.push(Diagnostic::new(
+            UNSOUND_MINIMUM,
+            ctx.label,
+            "plan guarantee is Minimum, but at least one subquery only \
+             supports an upper bound",
+        ));
+    }
+    if plan.guarantee == Guarantee::UpperBound && !degrade_reasons.is_empty() {
+        out.push(Diagnostic::new(
+            DEGRADED_GUARANTEE,
+            ctx.label,
+            format!(
+                "guarantee degraded to upper bound: {}",
+                degrade_reasons.join("; ")
+            ),
+        ));
+    }
+    out
+}
+
+fn describe_reason(reason: &StatusReason) -> &'static str {
+    match reason {
+        StatusReason::NoSourceColumn => "relation has no data source column",
+        StatusReason::SelectionUnsat => "selection predicates unsatisfiable",
+        StatusReason::Minimal => "all preconditions hold",
+        StatusReason::MixedSelection => "P_m (mixed selection terms) is nonempty",
+        StatusReason::MixedJoin => "J_rm (regular/mixed join terms) is nonempty",
+        StatusReason::PrUndecided => "P_r satisfiability is undecided",
+        StatusReason::PrUnsat => "P_r alone is unsatisfiable",
+    }
+}

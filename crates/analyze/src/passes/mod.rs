@@ -1,0 +1,48 @@
+//! The analyzer's four passes.
+//!
+//! Each pass exposes fine-grained check functions that take the *claimed*
+//! artifact (a term class, a plan, a generated SQL string, a SAT verdict)
+//! as an argument, so tests can seed a single violation and assert the
+//! exact diagnostic; the coarse `run` entry points recompute the claims
+//! from the production code paths and feed them through the same checks.
+
+pub mod guarantee;
+pub mod partition;
+pub mod sanitize;
+pub mod satcheck;
+
+use crate::diag::{Span, SpanFinder};
+use trac_expr::{BoundExpr, BoundTable, ColRef};
+
+/// Shared context threaded through pass checks: what query we are
+/// analyzing and how to map bound artifacts back to source spans.
+pub struct PassCtx<'a> {
+    /// Query label, e.g. `Q1`.
+    pub label: &'a str,
+    /// The original SQL text.
+    pub sql: &'a str,
+    /// Token index over `sql`.
+    pub finder: &'a SpanFinder,
+}
+
+impl PassCtx<'_> {
+    /// Best-effort span for a bound term: the first column reference it
+    /// makes, located as `binding.column` or a bare column identifier.
+    pub fn term_span(&self, term: &BoundExpr, tables: &[BoundTable]) -> Option<Span> {
+        for c in term.references() {
+            if let Some(span) = self.col_span(c, tables) {
+                return Some(span);
+            }
+        }
+        None
+    }
+
+    /// Span of one column reference in the original SQL.
+    pub fn col_span(&self, c: ColRef, tables: &[BoundTable]) -> Option<Span> {
+        let bt = tables.get(c.table)?;
+        let col = bt.schema.columns.get(c.column)?;
+        self.finder
+            .qualified(&bt.binding, &col.name)
+            .or_else(|| self.finder.ident(&col.name))
+    }
+}

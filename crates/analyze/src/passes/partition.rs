@@ -1,0 +1,211 @@
+//! Pass 1: the partition checker.
+//!
+//! Notation 4 (single relation) and Notation 6 (joins) partition the
+//! basic terms of a DNF conjunct, per analyzed relation `R_i`, into
+//! `P_s` / `P_r` / `P_m` / `J_s` / `J_rm` / `P_o`. The whole recency
+//! analysis leans on that partition being *disjoint and exhaustive*: a
+//! term silently dropped from all classes would vanish from the generated
+//! subqueries, and a term landing in two classes would be double-counted.
+//!
+//! This pass recomputes each term's class directly from the definitions —
+//! which columns of `R_i` (source vs. regular) and which other relations
+//! the term touches — and cross-checks both the per-term classifier and
+//! the conjunct-level partition against it.
+
+use super::PassCtx;
+use crate::diag::{Diagnostic, PARTITION_VIOLATION};
+use trac_expr::classify::classify_term;
+use trac_expr::normalize::Dnf;
+use trac_expr::{classify_conjunct, BoundExpr, BoundSelect, BoundTable, TermClass};
+
+/// Recomputes the Notation 4/6 class of `term` w.r.t. relation `rel`
+/// from first principles.
+///
+/// Let `src` = the term references `R_i`'s data source column, `reg` = it
+/// references a regular (non-source) column of `R_i`, `other` = it
+/// references any other relation. The definitions give:
+///
+/// | src | reg | other | class  |
+/// |-----|-----|-------|--------|
+/// |  –  |  –  |   –   | `P_r`  | (constant term: a selection not involving `R_i.c_s`)
+/// |  –  |  –  |   ✓   | `P_o`  |
+/// |  ✓  |  –  |   –   | `P_s`  |
+/// |  –  |  ✓  |   –   | `P_r`  |
+/// |  ✓  |  ✓  |   –   | `P_m`  |
+/// |  ✓  |  –  |   ✓   | `J_s`  |
+/// |  *  |  ✓  |   ✓   | `J_rm` |
+pub fn expected_class(term: &BoundExpr, tables: &[BoundTable], rel: usize) -> TermClass {
+    let mut src = false;
+    let mut reg = false;
+    let mut other = false;
+    for c in term.references() {
+        if c.table == rel {
+            if tables[rel].is_source_column(c.column) {
+                src = true;
+            } else {
+                reg = true;
+            }
+        } else {
+            other = true;
+        }
+    }
+    match (src, reg, other) {
+        (false, false | true, false) => TermClass::RegularOnlySelection,
+        (false, false, true) => TermClass::Other,
+        (true, false, false) => TermClass::SourceOnlySelection,
+        (true, true, false) => TermClass::MixedSelection,
+        (true, false, true) => TermClass::SourceOnlyJoin,
+        (_, true, true) => TermClass::RegularOrMixedJoin,
+    }
+}
+
+/// Checks one claimed per-term classification against [`expected_class`].
+pub fn check_term_class(
+    term: &BoundExpr,
+    tables: &[BoundTable],
+    rel: usize,
+    claimed: TermClass,
+    ctx: &PassCtx<'_>,
+) -> Option<Diagnostic> {
+    let expected = expected_class(term, tables, rel);
+    if claimed == expected {
+        return None;
+    }
+    Some(
+        Diagnostic::new(
+            PARTITION_VIOLATION,
+            ctx.label,
+            format!(
+                "term classified as {claimed:?} w.r.t. relation {}, but Notation 4/6 \
+                 places it in {expected:?}",
+                tables[rel].binding
+            ),
+        )
+        .with_span(ctx.sql, ctx.term_span(term, tables)),
+    )
+}
+
+/// Checks a claimed conjunct partition for disjointness and
+/// exhaustiveness: every term of `conjunct` must appear in exactly one
+/// class, in the class [`expected_class`] prescribes, and the classes
+/// must contain nothing else.
+pub fn check_conjunct_partition(
+    conjunct: &[BoundExpr],
+    tables: &[BoundTable],
+    rel: usize,
+    claimed: &trac_expr::ClassifiedPredicates,
+    ctx: &PassCtx<'_>,
+) -> Vec<Diagnostic> {
+    let mut out = Vec::new();
+    let classes: [(&str, TermClass, &[BoundExpr]); 6] = [
+        ("P_s", TermClass::SourceOnlySelection, &claimed.ps),
+        ("P_r", TermClass::RegularOnlySelection, &claimed.pr),
+        ("P_m", TermClass::MixedSelection, &claimed.pm),
+        ("J_s", TermClass::SourceOnlyJoin, &claimed.js),
+        ("J_rm", TermClass::RegularOrMixedJoin, &claimed.jrm),
+        ("P_o", TermClass::Other, &claimed.po),
+    ];
+    let rel_name = &tables[rel].binding;
+    let count_in = |class: &[BoundExpr], t: &BoundExpr| class.iter().filter(|x| *x == t).count();
+    // Exhaustiveness + membership per distinct term.
+    let mut seen: Vec<&BoundExpr> = Vec::new();
+    for term in conjunct {
+        if seen.contains(&term) {
+            continue; // duplicate terms checked once, with counts
+        }
+        seen.push(term);
+        let expected = expected_class(term, tables, rel);
+        let n_conjunct = conjunct.iter().filter(|t| *t == term).count();
+        let mut n_total = 0usize;
+        let mut found_in: Vec<&str> = Vec::new();
+        for (name, class, members) in &classes {
+            let n = count_in(members, term);
+            n_total += n;
+            if n > 0 {
+                found_in.push(name);
+                if *class != expected {
+                    out.push(
+                        Diagnostic::new(
+                            PARTITION_VIOLATION,
+                            ctx.label,
+                            format!(
+                                "term placed in {name} w.r.t. {rel_name}, but \
+                                 Notation 4/6 places it in {expected:?}"
+                            ),
+                        )
+                        .with_span(ctx.sql, ctx.term_span(term, tables)),
+                    );
+                }
+            }
+        }
+        if n_total < n_conjunct {
+            out.push(
+                Diagnostic::new(
+                    PARTITION_VIOLATION,
+                    ctx.label,
+                    format!(
+                        "partition w.r.t. {rel_name} not exhaustive: term occurs \
+                         {n_conjunct}x in the conjunct but {n_total}x across classes"
+                    ),
+                )
+                .with_span(ctx.sql, ctx.term_span(term, tables)),
+            );
+        } else if n_total > n_conjunct {
+            out.push(
+                Diagnostic::new(
+                    PARTITION_VIOLATION,
+                    ctx.label,
+                    format!(
+                        "partition w.r.t. {rel_name} not disjoint: term occurs \
+                         {n_conjunct}x in the conjunct but {n_total}x across \
+                         classes ({})",
+                        found_in.join(", ")
+                    ),
+                )
+                .with_span(ctx.sql, ctx.term_span(term, tables)),
+            );
+        }
+    }
+    // No class may contain terms that are not in the conjunct at all.
+    let total: usize = classes.iter().map(|(_, _, m)| m.len()).sum();
+    if total != conjunct.len() {
+        let mut foreign = 0usize;
+        for (_, _, members) in &classes {
+            for m in *members {
+                if !conjunct.contains(m) {
+                    foreign += 1;
+                }
+            }
+        }
+        if foreign > 0 || total != conjunct.len() {
+            out.push(Diagnostic::new(
+                PARTITION_VIOLATION,
+                ctx.label,
+                format!(
+                    "partition w.r.t. {rel_name} has {total} class entries for a \
+                     {}-term conjunct ({foreign} not from the conjunct)",
+                    conjunct.len()
+                ),
+            ));
+        }
+    }
+    out
+}
+
+/// Runs the pass over every (disjunct, relation) pair of a bound query.
+pub fn run(q: &BoundSelect, dnf: &Dnf, ctx: &PassCtx<'_>) -> Vec<Diagnostic> {
+    let mut out = Vec::new();
+    for disjunct in &dnf.disjuncts {
+        for rel in 0..q.tables.len() {
+            for term in disjunct {
+                let claimed = classify_term(term, &q.tables, rel);
+                out.extend(check_term_class(term, &q.tables, rel, claimed, ctx));
+            }
+            let cls = classify_conjunct(disjunct, &q.tables, rel);
+            out.extend(check_conjunct_partition(
+                disjunct, &q.tables, rel, &cls, ctx,
+            ));
+        }
+    }
+    out
+}

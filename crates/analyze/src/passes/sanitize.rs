@@ -1,0 +1,241 @@
+//! Pass 3: the recency-subquery sanitizer.
+//!
+//! The Section 3.3 rewrite replaces `R_i.c_s` with `H.sid` and drops every
+//! term touching a regular column of `R_i`, so a generated recency
+//! subquery must (a) parse, (b) select from the Heartbeat table, (c)
+//! project exactly the Heartbeat source-id column, and (d) never mention
+//! the relation under analysis again — a surviving reference means the
+//! rewrite leaked a regular column into the source-set computation.
+
+use crate::diag::{Diagnostic, SpanFinder, BAD_PROJECTION, LEAKED_RELATION};
+use trac_sql::ast::{Expr, SelectItem, SelectStmt};
+use trac_storage::{HEARTBEAT_SID_COL, HEARTBEAT_TABLE};
+
+/// Checks one generated recency-subquery SQL string. `analyzed_binding`
+/// is the binding name of the relation the subquery computes sources for.
+/// Empty subqueries are emitted as `--`-prefixed comment markers and are
+/// vacuously clean.
+pub fn check_subquery_sql(context: &str, sql: &str, analyzed_binding: &str) -> Vec<Diagnostic> {
+    let trimmed = sql.trim_start();
+    if trimmed.is_empty() || trimmed.starts_with("--") {
+        return Vec::new();
+    }
+    let stmt = match trac_sql::parse_select(sql) {
+        Ok(stmt) => stmt,
+        Err(e) => {
+            return vec![Diagnostic::new(
+                BAD_PROJECTION,
+                context,
+                format!("generated recency SQL does not parse: {e}"),
+            )
+            .with_span(sql, None)];
+        }
+    };
+    let finder = SpanFinder::new(sql);
+    let mut out = Vec::new();
+    check_shape(context, sql, &stmt, &finder, &mut out);
+    check_leaks(context, sql, &stmt, analyzed_binding, &finder, &mut out);
+    out
+}
+
+/// (b) + (c): FROM leads with Heartbeat; the projection is exactly one
+/// column and it is the Heartbeat source-id column.
+fn check_shape(
+    context: &str,
+    sql: &str,
+    stmt: &SelectStmt,
+    finder: &SpanFinder,
+    out: &mut Vec<Diagnostic>,
+) {
+    let hb_binding = match stmt.from.first() {
+        Some(first) if first.table.eq_ignore_ascii_case(HEARTBEAT_TABLE) => {
+            first.binding_name().to_string()
+        }
+        Some(first) => {
+            out.push(
+                Diagnostic::new(
+                    BAD_PROJECTION,
+                    context,
+                    format!(
+                        "recency subquery selects from `{}` instead of the \
+                         Heartbeat table",
+                        first.table
+                    ),
+                )
+                .with_span(sql, finder.ident(&first.table)),
+            );
+            first.binding_name().to_string()
+        }
+        None => {
+            out.push(
+                Diagnostic::new(BAD_PROJECTION, context, "recency subquery has no FROM list")
+                    .with_span(sql, None),
+            );
+            return;
+        }
+    };
+    if stmt.items.len() != 1 {
+        out.push(
+            Diagnostic::new(
+                BAD_PROJECTION,
+                context,
+                format!(
+                    "recency subquery projects {} items; exactly one \
+                     ({hb_binding}.{HEARTBEAT_SID_COL}) is allowed",
+                    stmt.items.len()
+                ),
+            )
+            .with_span(sql, None),
+        );
+    }
+    for item in &stmt.items {
+        match item {
+            SelectItem::Expr {
+                expr: Expr::Column { qualifier, name },
+                ..
+            } if name.eq_ignore_ascii_case(HEARTBEAT_SID_COL)
+                && qualifier
+                    .as_deref()
+                    .is_none_or(|q| q.eq_ignore_ascii_case(&hb_binding)) => {}
+            SelectItem::Expr { expr, .. } => {
+                let span = match expr {
+                    Expr::Column {
+                        qualifier: Some(q),
+                        name,
+                    } => finder.qualified(q, name),
+                    Expr::Column {
+                        qualifier: None,
+                        name,
+                    } => finder.ident(name),
+                    _ => None,
+                };
+                out.push(
+                    Diagnostic::new(
+                        BAD_PROJECTION,
+                        context,
+                        format!(
+                            "recency subquery projects `{expr}`; only the Heartbeat \
+                             source column `{hb_binding}.{HEARTBEAT_SID_COL}` may be \
+                             projected"
+                        ),
+                    )
+                    .with_span(sql, span),
+                );
+            }
+            SelectItem::Wildcard => {
+                out.push(
+                    Diagnostic::new(
+                        BAD_PROJECTION,
+                        context,
+                        "recency subquery projects `*` instead of the Heartbeat \
+                         source column",
+                    )
+                    .with_span(sql, None),
+                );
+            }
+        }
+    }
+}
+
+/// (d): no FROM entry and no column reference may name the analyzed
+/// relation.
+fn check_leaks(
+    context: &str,
+    sql: &str,
+    stmt: &SelectStmt,
+    analyzed_binding: &str,
+    finder: &SpanFinder,
+    out: &mut Vec<Diagnostic>,
+) {
+    for t in &stmt.from {
+        if t.binding_name().eq_ignore_ascii_case(analyzed_binding) {
+            out.push(
+                Diagnostic::new(
+                    LEAKED_RELATION,
+                    context,
+                    format!(
+                        "recency subquery re-joins the relation under analysis \
+                         (`{}`); its terms must have been rewritten onto \
+                         Heartbeat or dropped",
+                        t.binding_name()
+                    ),
+                )
+                .with_span(sql, finder.ident(&t.table)),
+            );
+        }
+    }
+    let mut exprs: Vec<&Expr> = Vec::new();
+    for item in &stmt.items {
+        if let SelectItem::Expr { expr, .. } = item {
+            exprs.push(expr);
+        }
+    }
+    if let Some(w) = &stmt.where_clause {
+        exprs.push(w);
+    }
+    exprs.extend(stmt.group_by.iter());
+    if let Some(h) = &stmt.having {
+        exprs.push(h);
+    }
+    exprs.extend(stmt.order_by.iter().map(|k| &k.expr));
+    while let Some(e) = exprs.pop() {
+        match e {
+            Expr::Column {
+                qualifier: Some(q),
+                name,
+            } if q.eq_ignore_ascii_case(analyzed_binding) => {
+                out.push(
+                    Diagnostic::new(
+                        LEAKED_RELATION,
+                        context,
+                        format!(
+                            "recency subquery references `{q}.{name}`, a column of \
+                             the relation under analysis"
+                        ),
+                    )
+                    .with_span(sql, finder.qualified(q, name)),
+                );
+            }
+            Expr::Column { .. } | Expr::Literal(_) => {}
+            Expr::Binary { lhs, rhs, .. } => {
+                exprs.push(lhs);
+                exprs.push(rhs);
+            }
+            Expr::InList { expr, list, .. } => {
+                exprs.push(expr);
+                exprs.extend(list.iter());
+            }
+            Expr::Between { expr, lo, hi, .. } => {
+                exprs.push(expr);
+                exprs.push(lo);
+                exprs.push(hi);
+            }
+            Expr::IsNull { expr, .. } | Expr::Not(expr) | Expr::Neg(expr) => {
+                exprs.push(expr);
+            }
+            Expr::Func { args, .. } => exprs.extend(args.iter()),
+        }
+    }
+}
+
+/// Runs the pass over every generated subquery of a plan.
+pub fn run(
+    q: &trac_expr::BoundSelect,
+    plan: &trac_core::RecencyPlan,
+    label: &str,
+) -> Vec<Diagnostic> {
+    let mut out = Vec::new();
+    for sub in &plan.subqueries {
+        let analyzed = q
+            .tables
+            .iter()
+            .find(|t| t.binding.eq_ignore_ascii_case(&sub.via_relation))
+            .map_or(sub.via_relation.as_str(), |t| t.binding.as_str());
+        let context = format!(
+            "{label} subquery for disjunct #{} via {}",
+            sub.disjunct, sub.via_relation
+        );
+        out.extend(check_subquery_sql(&context, &sub.sql, analyzed));
+    }
+    out
+}

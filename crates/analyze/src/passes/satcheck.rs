@@ -1,0 +1,168 @@
+//! Pass 4: the SAT cross-check.
+//!
+//! `conjunct_satisfiable` layers constraint propagation over exhaustive
+//! enumeration; a bug in either engine silently corrupts every guarantee
+//! downstream (Theorem 3/4 minimality and the Corollary 2/6 empty-set
+//! collapse both hinge on its verdicts). This pass re-decides
+//! satisfiability by plain brute force — enumerate the cross product of
+//! the referenced columns' domains and evaluate every term with the
+//! ordinary expression evaluator — and reports any contradiction with the
+//! production verdict. Only small finite domains are decidable this way;
+//! everything else abstains rather than guesses.
+
+use super::PassCtx;
+use crate::diag::{Diagnostic, SAT_MISMATCH};
+use std::collections::BTreeSet;
+use std::sync::Arc;
+use trac_expr::normalize::Dnf;
+use trac_expr::{
+    classify_conjunct, conjunct_satisfiable, eval_predicate, BoundExpr, BoundSelect, BoundTable,
+    ColRef, Sat3, Truth,
+};
+use trac_storage::Row;
+use trac_types::{ColumnDomain, Value};
+
+/// Max assignments the brute-force oracle enumerates (matches the
+/// production engine's budget so the two decide the same fragment).
+const BRUTE_FORCE_BUDGET: u64 = trac_expr::sat::EXHAUSTIVE_BUDGET;
+
+/// Ground-truth satisfiability by model enumeration: `Some(true)` a
+/// model exists, `Some(false)` none does, `None` the domains are too
+/// large or infinite to enumerate.
+pub fn brute_force(conjunct: &[BoundExpr], tables: &[BoundTable]) -> Option<bool> {
+    if conjunct.is_empty() {
+        return Some(true);
+    }
+    let refs: BTreeSet<ColRef> = conjunct.iter().flat_map(BoundExpr::references).collect();
+    let cols: Vec<ColRef> = refs.into_iter().collect();
+    let mut values: Vec<Vec<Value>> = Vec::with_capacity(cols.len());
+    let mut product: u64 = 1;
+    for c in &cols {
+        let domain: &ColumnDomain = &tables.get(c.table)?.schema.columns.get(c.column)?.domain;
+        let vals = domain.enumerate(BRUTE_FORCE_BUDGET)?;
+        product = product.checked_mul(vals.len().max(1) as u64)?;
+        if product > BRUTE_FORCE_BUDGET {
+            return None;
+        }
+        if vals.is_empty() {
+            return Some(false);
+        }
+        values.push(vals);
+    }
+    let n_tables = cols.iter().map(|c| c.table + 1).max().unwrap_or(0);
+    let mut widths = vec![0usize; n_tables];
+    for c in &cols {
+        widths[c.table] = widths[c.table].max(c.column + 1);
+    }
+    let mut scratch: Vec<Vec<Value>> = widths.iter().map(|w| vec![Value::Null; *w]).collect();
+    let mut idx = vec![0usize; cols.len()];
+    loop {
+        for (k, c) in cols.iter().enumerate() {
+            scratch[c.table][c.column] = values[k][idx[k]].clone();
+        }
+        let tuple: Vec<Row> = scratch
+            .iter()
+            .map(|r| Arc::from(r.clone().into_boxed_slice()))
+            .collect();
+        let mut all_true = true;
+        for t in conjunct {
+            match eval_predicate(t, &tuple) {
+                Ok(Truth::True) => {}
+                Ok(_) => {
+                    all_true = false;
+                    break;
+                }
+                // An evaluation error means this oracle cannot speak for
+                // the conjunct at all.
+                Err(_) => return None,
+            }
+        }
+        if all_true {
+            return Some(true);
+        }
+        let mut k = 0;
+        loop {
+            if k == cols.len() {
+                return Some(false);
+            }
+            idx[k] += 1;
+            if idx[k] < values[k].len() {
+                break;
+            }
+            idx[k] = 0;
+            k += 1;
+        }
+    }
+}
+
+/// Compares a claimed three-valued verdict against the brute-force
+/// oracle. `Unknown` is always acceptable (it only costs precision);
+/// `Sat`/`Unsat` must agree with an oracle that reached a decision.
+pub fn cross_check(
+    context: &str,
+    conjunct: &[BoundExpr],
+    tables: &[BoundTable],
+    claimed: Sat3,
+    ctx: &PassCtx<'_>,
+) -> Option<Diagnostic> {
+    let truth = brute_force(conjunct, tables)?;
+    let contradiction = match claimed {
+        Sat3::Sat => !truth,
+        Sat3::Unsat => truth,
+        Sat3::Unknown => false,
+    };
+    if !contradiction {
+        return None;
+    }
+    let span = conjunct.iter().find_map(|t| ctx.term_span(t, tables));
+    Some(
+        Diagnostic::new(
+            SAT_MISMATCH,
+            context,
+            format!(
+                "SAT engine says {claimed:?}, but brute-force enumeration \
+                 proves the conjunct {}",
+                if truth {
+                    "satisfiable"
+                } else {
+                    "unsatisfiable"
+                }
+            ),
+        )
+        .with_span(ctx.sql, span),
+    )
+}
+
+/// Runs the pass: for every disjunct, cross-check the verdicts the
+/// planner actually relies on — the full conjunct, and per relation the
+/// selection set `P_s ∪ P_r ∪ P_m` and `P_r` alone.
+pub fn run(q: &BoundSelect, dnf: &Dnf, ctx: &PassCtx<'_>) -> Vec<Diagnostic> {
+    let dom =
+        |c: ColRef| -> ColumnDomain { q.tables[c.table].schema.columns[c.column].domain.clone() };
+    let mut out = Vec::new();
+    for (di, disjunct) in dnf.disjuncts.iter().enumerate() {
+        let claimed = conjunct_satisfiable(disjunct, &dom);
+        let context = format!("{} disjunct #{di}", ctx.label);
+        out.extend(cross_check(&context, disjunct, &q.tables, claimed, ctx));
+        for (rel, bt) in q.tables.iter().enumerate() {
+            let cls = classify_conjunct(disjunct, &q.tables, rel);
+            let selection: Vec<BoundExpr> = cls
+                .ps
+                .iter()
+                .chain(&cls.pr)
+                .chain(&cls.pm)
+                .cloned()
+                .collect();
+            let context = format!(
+                "{} disjunct #{di} selection w.r.t. {}",
+                ctx.label, bt.binding
+            );
+            let claimed = conjunct_satisfiable(&selection, &dom);
+            out.extend(cross_check(&context, &selection, &q.tables, claimed, ctx));
+            let context = format!("{} disjunct #{di} P_r w.r.t. {}", ctx.label, bt.binding);
+            let claimed = conjunct_satisfiable(&cls.pr, &dom);
+            out.extend(cross_check(&context, &cls.pr, &q.tables, claimed, ctx));
+        }
+    }
+    out
+}

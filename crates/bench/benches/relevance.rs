@@ -24,8 +24,7 @@ fn bench_relevance(c: &mut Criterion) {
         });
         let stmt = parse_select(sql).expect("parse");
         let bound = bind_select(&txn, &stmt).expect("bind");
-        let plan =
-            RecencyPlan::build(&txn, &bound, RelevanceConfig::default()).expect("plan");
+        let plan = RecencyPlan::build(&txn, &bound, RelevanceConfig::default()).expect("plan");
         group.bench_with_input(BenchmarkId::new("execute_plan", name), &plan, |b, plan| {
             b.iter(|| plan.execute(&txn).expect("execute"));
         });

@@ -40,7 +40,10 @@ fn main() {
     let txn = e.db.begin_read();
     let bound = bind_select(&txn, &parse_select(q1_sql).unwrap()).unwrap();
     let plan = RecencyPlan::build(&txn, &bound, RelevanceConfig::default()).unwrap();
-    let sub = plan.subqueries[0].query.clone().expect("non-empty subquery");
+    let sub = plan.subqueries[0]
+        .query
+        .clone()
+        .expect("non-empty subquery");
     for (label, opts) in [
         ("index probes ON ", ExecOptions::default()),
         (
@@ -115,9 +118,12 @@ fn main() {
     );
     let txn = e.db.begin_read();
     let bound = bind_select(&txn, &parse_select(&disjunctive).unwrap()).unwrap();
-    for (label, budget) in [("default budget", RelevanceConfig::default().dnf_budget), ("tight budget  ", 32)] {
-        let plan = RecencyPlan::build(&txn, &bound, RelevanceConfig { dnf_budget: budget })
-            .unwrap();
+    for (label, budget) in [
+        ("default budget", RelevanceConfig::default().dnf_budget),
+        ("tight budget  ", 32),
+    ] {
+        let plan =
+            RecencyPlan::build(&txn, &bound, RelevanceConfig { dnf_budget: budget }).unwrap();
         let sources = plan.execute(&txn).unwrap();
         println!(
             "D  {label}: all_sources={}, |A(Q)|={}, guarantee={}",

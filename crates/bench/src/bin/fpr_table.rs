@@ -45,8 +45,7 @@ fn main() {
         let stmt = parse_select(sql).expect("parse");
         let bound = bind_select(&txn, &stmt).expect("bind");
         let truth = relevant_sources_oracle(&txn, &bound, 200_000_000).expect("oracle");
-        let plan =
-            RecencyPlan::build(&txn, &bound, RelevanceConfig::default()).expect("plan");
+        let plan = RecencyPlan::build(&txn, &bound, RelevanceConfig::default()).expect("plan");
         let focused = plan.execute(&txn).expect("focused");
         let fpr_f = false_positive_rate(&focused, &truth);
         let fpr_n = false_positive_rate(&naive, &truth);
@@ -71,8 +70,20 @@ fn main() {
     println!("# Closed forms at the paper's 100,000-source configuration");
     println!("# (paper prints '(10000-6)/6 = 16665'; 10000 is a typo for 100000)");
     let n = 100_000.0;
-    println!("Q1: fpr(naive) = (100000-6)/6 = {:.2}, fpr(focused) = 0", (n - 6.0) / 6.0);
-    println!("Q2: fpr(naive) = 6/(100000-6) = {:.6}, fpr(focused) = 0", 6.0 / (n - 6.0));
-    println!("Q3: fpr(naive) = (100000-6)/6 = {:.2}, fpr(focused) = 0", (n - 6.0) / 6.0);
-    println!("Q4: fpr(naive) = 6/(100000-6) = {:.6}, fpr(focused) = 0", 6.0 / (n - 6.0));
+    println!(
+        "Q1: fpr(naive) = (100000-6)/6 = {:.2}, fpr(focused) = 0",
+        (n - 6.0) / 6.0
+    );
+    println!(
+        "Q2: fpr(naive) = 6/(100000-6) = {:.6}, fpr(focused) = 0",
+        6.0 / (n - 6.0)
+    );
+    println!(
+        "Q3: fpr(naive) = (100000-6)/6 = {:.2}, fpr(focused) = 0",
+        (n - 6.0) / 6.0
+    );
+    println!(
+        "Q4: fpr(naive) = 6/(100000-6) = {:.6}, fpr(focused) = 0",
+        6.0 / (n - 6.0)
+    );
 }

@@ -5,14 +5,13 @@
 //! to minimize fluctuation" — here the warmup count and timed-run count
 //! are configurable (`--runs`), with one warmup run discarded by default.
 
-use serde::Serialize;
 use std::time::{Duration, Instant};
 use trac_core::{Method, Session};
 use trac_types::Result;
 use trac_workload::{load_eval_db, EvalConfig, EvalDb, SweepPoint};
 
 /// Which reporting variant a measurement covers.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub enum Variant {
     /// No recency reporting: the `t1` baseline.
     Plain,
@@ -37,7 +36,7 @@ impl Variant {
 }
 
 /// One measured cell.
-#[derive(Debug, Clone, Serialize)]
+#[derive(Debug, Clone)]
 pub struct Measurement {
     /// Query label (Q1–Q4).
     pub query: String,
@@ -55,11 +54,7 @@ pub struct Measurement {
 
 /// Times one closure `warmup + runs` times; returns the mean of the timed
 /// runs.
-pub fn time_mean<T>(
-    warmup: u32,
-    runs: u32,
-    mut f: impl FnMut() -> Result<T>,
-) -> Result<Duration> {
+pub fn time_mean<T>(warmup: u32, runs: u32, mut f: impl FnMut() -> Result<T>) -> Result<Duration> {
     for _ in 0..warmup {
         f()?;
     }
@@ -89,9 +84,9 @@ pub fn measure(
             let plan = session.build_plan(sql)?;
             time_mean(warmup, runs, || session.recency_report_prebuilt(sql, &plan))?
         }
-        Variant::Naive => {
-            time_mean(warmup, runs, || session.recency_report_with(sql, Method::Naive))?
-        }
+        Variant::Naive => time_mean(warmup, runs, || {
+            session.recency_report_with(sql, Method::Naive)
+        })?,
     };
     Ok(Measurement {
         query: name.to_string(),
@@ -159,7 +154,15 @@ mod tests {
 
     #[test]
     fn measurement_cells_cover_all_variants() {
-        let e = load_point(200, SweepPoint { data_ratio: 20, n_sources: 10 }, 1).unwrap();
+        let e = load_point(
+            200,
+            SweepPoint {
+                data_ratio: 20,
+                n_sources: 10,
+            },
+            1,
+        )
+        .unwrap();
         let session = Session::new(e.db.clone());
         let sql = "SELECT COUNT(*) FROM Activity WHERE mach_id = 'Tao1' AND value = 'idle'";
         for v in [

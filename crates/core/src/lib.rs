@@ -24,13 +24,13 @@
 #![warn(missing_docs)]
 
 pub mod metrics;
-#[cfg(test)]
-pub(crate) mod testutil;
 pub mod oracle;
 pub mod relevance;
 pub mod report;
 pub(crate) mod semijoin;
 pub mod session;
+#[cfg(test)]
+pub(crate) mod testutil;
 pub mod zscore;
 
 pub use metrics::{false_positive_rate, overhead};

@@ -51,8 +51,9 @@ mod tests {
         // The paper (with the 10000→100000 typo corrected):
         // fpr(Q1, Naive) = (100000 − 6) / 6 ≈ 16665.67, where the 6
         // relevant sources are among the 100000 the Naive method reports.
-        let all: BTreeSet<SourceId> =
-            (0..100_000).map(|i| SourceId::new(format!("s{i}"))).collect();
+        let all: BTreeSet<SourceId> = (0..100_000)
+            .map(|i| SourceId::new(format!("s{i}")))
+            .collect();
         let truth: BTreeSet<SourceId> = all.iter().take(6).cloned().collect();
         let fpr = false_positive_rate(&all, &truth).unwrap();
         assert!((fpr - (100_000.0 - 6.0) / 6.0).abs() < 1e-9, "fpr = {fpr}");

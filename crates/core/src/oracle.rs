@@ -74,7 +74,7 @@ fn relevant_via(
     let referenced: BTreeSet<usize> = q
         .predicate
         .iter()
-        .flat_map(|p| p.references())
+        .flat_map(trac_expr::BoundExpr::references)
         .filter(|c| c.table == rel)
         .map(|c| c.column)
         .chain(check_refs)
@@ -214,7 +214,7 @@ mod tests {
     }
 
     fn names(s: &BTreeSet<SourceId>) -> Vec<&str> {
-        s.iter().map(|x| x.as_str()).collect()
+        s.iter().map(trac_types::SourceId::as_str).collect()
     }
 
     #[test]
@@ -248,10 +248,8 @@ mod tests {
         )
         .unwrap();
         let bound = bind_select(&txn, &stmt).unwrap();
-        let via_r =
-            relevant_sources_oracle_via(&txn, &bound, 0, DEFAULT_ORACLE_BUDGET).unwrap();
-        let via_a =
-            relevant_sources_oracle_via(&txn, &bound, 1, DEFAULT_ORACLE_BUDGET).unwrap();
+        let via_r = relevant_sources_oracle_via(&txn, &bound, 0, DEFAULT_ORACLE_BUDGET).unwrap();
+        let via_a = relevant_sources_oracle_via(&txn, &bound, 1, DEFAULT_ORACLE_BUDGET).unwrap();
         // Paper Section 4.1.2: S(Q2,R) = {m1}, S(Q2,A) = {m3}.
         assert_eq!(names(&via_r), vec!["m1"]);
         assert_eq!(names(&via_a), vec!["m3"]);
@@ -270,10 +268,8 @@ mod tests {
         )
         .unwrap();
         let bound = bind_select(&txn, &stmt).unwrap();
-        let via_r =
-            relevant_sources_oracle_via(&txn, &bound, 0, DEFAULT_ORACLE_BUDGET).unwrap();
-        let via_a =
-            relevant_sources_oracle_via(&txn, &bound, 1, DEFAULT_ORACLE_BUDGET).unwrap();
+        let via_r = relevant_sources_oracle_via(&txn, &bound, 0, DEFAULT_ORACLE_BUDGET).unwrap();
+        let via_a = relevant_sources_oracle_via(&txn, &bound, 1, DEFAULT_ORACLE_BUDGET).unwrap();
         assert!(via_r.is_empty());
         assert_eq!(names(&via_a), vec!["m3"]);
     }

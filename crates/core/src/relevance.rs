@@ -19,13 +19,13 @@
 //!    (Corollaries 3 & 5);
 //! 5. execute every subquery and union the source sets (Corollaries 1 & 4).
 
+use crate::semijoin;
 use std::collections::BTreeSet;
 use std::fmt;
 use trac_expr::{
-    classify_conjunct, conjunct_satisfiable, to_dnf, unbind::UnbindCtx, unbind_expr,
-    BoundExpr, BoundSelect, BoundTable, ColRef, Conjunct, Projection, Sat3,
+    classify_conjunct, conjunct_satisfiable, to_dnf, unbind::UnbindCtx, unbind_expr, BoundExpr,
+    BoundSelect, BoundTable, ColRef, Conjunct, Projection, Sat3,
 };
-use crate::semijoin;
 use trac_sql::{SelectItem, SelectStmt, TableRef};
 use trac_storage::{heartbeat, ReadTxn, HEARTBEAT_TABLE};
 use trac_types::{ColumnDomain, Result, SourceId, TracError};
@@ -136,15 +136,7 @@ impl RecencyPlan {
         let mut minimal = true;
         for (d_idx, disjunct) in dnf.disjuncts.iter().enumerate() {
             for rel in 0..q.tables.len() {
-                let sub = build_subquery(
-                    q,
-                    disjunct,
-                    d_idx,
-                    rel,
-                    hb_id,
-                    &hb_schema,
-                    &hb_binding,
-                )?;
+                let sub = build_subquery(q, disjunct, d_idx, rel, hb_id, &hb_schema, &hb_binding)?;
                 match sub.status {
                     SubqueryStatus::Minimum | SubqueryStatus::Empty => {}
                     SubqueryStatus::UpperBound => minimal = false,
@@ -288,17 +280,17 @@ fn build_subquery(
             new_tables.push(bt.clone());
         }
     }
-    let source_col = q.tables[rel]
-        .schema
-        .source_column
-        .expect("checked above");
+    let source_col = q.tables[rel].schema.source_column.expect("checked above");
     let map = |c: ColRef| -> ColRef {
         if c.table == rel {
             debug_assert_eq!(
                 c.column, source_col,
                 "P_s'/J_s' terms reference only R_i.c_s"
             );
-            ColRef { table: 0, column: 0 }
+            ColRef {
+                table: 0,
+                column: 0,
+            }
         } else {
             ColRef {
                 table: remap[c.table],
@@ -388,7 +380,7 @@ mod tests {
     use trac_sql::parse_select;
 
     fn names(s: &BTreeSet<SourceId>) -> Vec<&str> {
-        s.iter().map(|x| x.as_str()).collect()
+        s.iter().map(trac_types::SourceId::as_str).collect()
     }
 
     #[test]
@@ -449,10 +441,7 @@ mod tests {
         // 'value' domain is {idle, busy}: value = 'gone' is unsatisfiable,
         // so no source is relevant (Corollary 2).
         let db = paper_db();
-        let (plan, sources) = plan_for(
-            &db,
-            "SELECT mach_id FROM Activity WHERE value = 'gone'",
-        );
+        let (plan, sources) = plan_for(&db, "SELECT mach_id FROM Activity WHERE value = 'gone'");
         assert!(sources.is_empty());
         assert_eq!(plan.subqueries[0].status, SubqueryStatus::Empty);
         assert_eq!(plan.guarantee, Guarantee::Minimum);
@@ -464,10 +453,7 @@ mod tests {
         // mach_id <> value compares the source column to a regular column
         // (a mixed predicate, P_m) and is satisfiable, so the analysis
         // keeps the sound upper bound: all sources (Corollary 3).
-        let (plan, sources) = plan_for(
-            &db,
-            "SELECT mach_id FROM Activity WHERE mach_id <> value",
-        );
+        let (plan, sources) = plan_for(&db, "SELECT mach_id FROM Activity WHERE mach_id <> value");
         assert_eq!(plan.guarantee, Guarantee::UpperBound);
         assert_eq!(plan.subqueries[0].status, SubqueryStatus::UpperBound);
         assert_eq!(names(&sources), vec!["m1", "m2", "m3"]);
@@ -480,10 +466,7 @@ mod tests {
         // {m1,m2,m3} and the value domain {idle,busy} are disjoint, which
         // the exhaustive satisfiability engine proves. The correct answer
         // is ∅ — here we are *more* precise than Corollary 3's bound.
-        let (plan, sources) = plan_for(
-            &db,
-            "SELECT mach_id FROM Activity WHERE mach_id = value",
-        );
+        let (plan, sources) = plan_for(&db, "SELECT mach_id FROM Activity WHERE mach_id = value");
         assert_eq!(plan.guarantee, Guarantee::Minimum);
         assert_eq!(plan.subqueries[0].status, SubqueryStatus::Empty);
         assert!(sources.is_empty());
@@ -529,8 +512,7 @@ mod tests {
         );
         let stmt = parse_select(&sql).unwrap();
         let bound = bind_select(&txn, &stmt).unwrap();
-        let plan =
-            RecencyPlan::build(&txn, &bound, RelevanceConfig { dnf_budget: 64 }).unwrap();
+        let plan = RecencyPlan::build(&txn, &bound, RelevanceConfig { dnf_budget: 64 }).unwrap();
         assert!(plan.all_sources);
         assert_eq!(plan.guarantee, Guarantee::UpperBound);
         let sources = plan.execute(&txn).unwrap();

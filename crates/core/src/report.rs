@@ -57,10 +57,7 @@ impl RecencyReport {
     ) -> RecencyReport {
         sources.sort_by(|a, b| a.0.cmp(&b.0));
         let (normal, exceptional) = if config.detect_exceptional && sources.len() >= 2 {
-            let xs: Vec<f64> = sources
-                .iter()
-                .map(|(_, t)| t.micros() as f64)
-                .collect();
+            let xs: Vec<f64> = sources.iter().map(|(_, t)| t.micros() as f64).collect();
             let z = z_scores(&xs);
             let mut normal = Vec::with_capacity(sources.len());
             let mut exceptional = Vec::new();
@@ -75,14 +72,8 @@ impl RecencyReport {
         } else {
             (sources, Vec::new())
         };
-        let least_recent = normal
-            .iter()
-            .min_by_key(|(_, t)| *t)
-            .cloned();
-        let most_recent = normal
-            .iter()
-            .max_by_key(|(_, t)| *t)
-            .cloned();
+        let least_recent = normal.iter().min_by_key(|(_, t)| *t).cloned();
+        let most_recent = normal.iter().max_by_key(|(_, t)| *t).cloned();
         let inconsistency_bound = match (&least_recent, &most_recent) {
             (Some((_, lo)), Some((_, hi))) => Some(*hi - *lo),
             _ => None,
@@ -123,8 +114,9 @@ impl RecencyReport {
             let idx = ((q * n as f64).ceil() as usize).clamp(1, n) - 1;
             TsDuration::from_micros(stale[idx])
         };
-        let mean =
-            TsDuration::from_micros((stale.iter().map(|&x| x as i128).sum::<i128>() / n as i128) as i64);
+        let mean = TsDuration::from_micros(
+            (stale.iter().map(|&x| x as i128).sum::<i128>() / n as i128) as i64,
+        );
         Some(StalenessSummary {
             reference,
             mean,
@@ -301,7 +293,9 @@ mod tests {
 
     #[test]
     fn uniform_sources_have_no_exceptions() {
-        let sources: Vec<_> = (0..50).map(|i| src(&format!("s{i:02}"), 1000 + i)).collect();
+        let sources: Vec<_> = (0..50)
+            .map(|i| src(&format!("s{i:02}"), 1000 + i))
+            .collect();
         let r = RecencyReport::compute(sources, Guarantee::Minimum, ReportConfig::default());
         assert!(r.exceptional.is_empty());
         assert_eq!(r.normal.len(), 50);

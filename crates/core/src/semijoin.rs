@@ -65,7 +65,7 @@ pub(crate) fn execute_recency_subquery(
         // Witness columns: every non-H column the join terms mention.
         let witness_cols: Vec<ColRef> = cross_terms
             .iter()
-            .flat_map(|t| t.references())
+            .flat_map(trac_expr::BoundExpr::references)
             .filter(|c| c.table != 0)
             .collect::<BTreeSet<_>>()
             .into_iter()
@@ -92,8 +92,7 @@ pub(crate) fn execute_recency_subquery(
         // Pure existence probe (no join terms, single other relation):
         // stream the scan with early exit instead of materializing it.
         if witness_cols.is_empty() && q.tables.len() == 2 {
-            let terms: Vec<BoundExpr> =
-                other_terms.iter().map(|t| t.map_columns(&remap)).collect();
+            let terms: Vec<BoundExpr> = other_terms.iter().map(|t| t.map_columns(&remap)).collect();
             let found = txn.scan_find(q.tables[1].id, |row| {
                 let tuple = std::slice::from_ref(row);
                 for t in &terms {
@@ -116,7 +115,11 @@ pub(crate) fn execute_recency_subquery(
             having: None,
             distinct: !witness_cols.is_empty(),
             order_by: vec![],
-            limit: if witness_cols.is_empty() { Some(1) } else { None },
+            limit: if witness_cols.is_empty() {
+                Some(1)
+            } else {
+                None
+            },
         };
         let witnesses = execute_select(txn, &others_q)?;
         if witnesses.is_empty() {
@@ -167,8 +170,7 @@ pub(crate) fn execute_recency_subquery(
                 let h_row: trac_storage::Row = Arc::from(h.clone().into_boxed_slice());
                 let mut hit = false;
                 'search: for wrow in &witnesses.rows {
-                    let w_row: trac_storage::Row =
-                        Arc::from(wrow.clone().into_boxed_slice());
+                    let w_row: trac_storage::Row = Arc::from(wrow.clone().into_boxed_slice());
                     let tuple = [h_row.clone(), w_row];
                     for t in &cross_on_witness {
                         if eval_predicate(t, &tuple)? != Truth::True {
@@ -194,7 +196,10 @@ pub(crate) fn execute_recency_subquery(
 /// If every term is `H.sid = witness_col` (or flipped), the witness
 /// column indices; `None` otherwise.
 fn all_sid_equalities(terms: &[BoundExpr]) -> Option<Vec<usize>> {
-    let sid = ColRef { table: 0, column: 0 };
+    let sid = ColRef {
+        table: 0,
+        column: 0,
+    };
     let mut cols = Vec::with_capacity(terms.len());
     for t in terms {
         let BoundExpr::Binary {
@@ -207,10 +212,10 @@ fn all_sid_equalities(terms: &[BoundExpr]) -> Option<Vec<usize>> {
         };
         match (lhs.as_ref(), rhs.as_ref()) {
             (BoundExpr::Column(a), BoundExpr::Column(b)) if *a == sid && b.table == 1 => {
-                cols.push(b.column)
+                cols.push(b.column);
             }
             (BoundExpr::Column(b), BoundExpr::Column(a)) if *a == sid && b.table == 1 => {
-                cols.push(b.column)
+                cols.push(b.column);
             }
             _ => return None,
         }
@@ -386,7 +391,9 @@ mod tests {
         let mut out = BTreeSet::new();
         execute_recency_subquery(&txn, via_r.query.as_ref().unwrap(), &mut out).unwrap();
         assert_eq!(
-            out.iter().map(|s| s.as_str()).collect::<Vec<_>>(),
+            out.iter()
+                .map(trac_types::SourceId::as_str)
+                .collect::<Vec<_>>(),
             vec!["m1"]
         );
     }

@@ -150,11 +150,7 @@ impl Session {
 
     /// Runs `sql` reusing a prebuilt recency plan (the *Focused
     /// hardcoded* variant: no parse/generation cost inside the call).
-    pub fn recency_report_prebuilt(
-        &self,
-        sql: &str,
-        plan: &RecencyPlan,
-    ) -> Result<ReportOutput> {
+    pub fn recency_report_prebuilt(&self, sql: &str, plan: &RecencyPlan) -> Result<ReportOutput> {
         let txn = self.db.begin_read();
         self.report_inner(&txn, sql, Some(plan), Duration::ZERO)
     }
@@ -258,10 +254,7 @@ impl Drop for Session {
 
 /// Fetches `(source, recency)` for the given sids from `Heartbeat` in the
 /// same snapshot, preferring the sid index.
-fn fetch_recencies(
-    txn: &ReadTxn,
-    sids: &BTreeSet<SourceId>,
-) -> Result<Vec<(SourceId, Timestamp)>> {
+fn fetch_recencies(txn: &ReadTxn, sids: &BTreeSet<SourceId>) -> Result<Vec<(SourceId, Timestamp)>> {
     if sids.is_empty() {
         return Ok(Vec::new());
     }
@@ -347,9 +340,7 @@ mod tests {
             session.persist(&name).unwrap();
         }
         let session = Session::new(db);
-        let rows = session
-            .query(&format!("SELECT sid FROM {name}"))
-            .unwrap();
+        let rows = session.query(&format!("SELECT sid FROM {name}")).unwrap();
         assert_eq!(rows.rows[0][0], Value::text("m2"));
     }
 

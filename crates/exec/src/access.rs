@@ -198,7 +198,13 @@ mod tests {
         // No index on v.
         let term = E::binary(BinaryOp::Eq, E::col(0, 1), E::lit(3i64));
         assert_eq!(
-            choose_access_path(&txn, tid, 0, std::slice::from_ref(&term), ExecOptions::default()),
+            choose_access_path(
+                &txn,
+                tid,
+                0,
+                std::slice::from_ref(&term),
+                ExecOptions::default()
+            ),
             AccessPath::SeqScan
         );
         // NOT IN cannot probe.

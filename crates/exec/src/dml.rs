@@ -78,10 +78,7 @@ pub fn execute_statement(db: &Database, sql: &str) -> Result<StatementResult> {
             let schema = txn.schema(tid)?;
             let mut n = 0;
             for row_exprs in &ins.rows {
-                let values: Vec<Value> = row_exprs
-                    .iter()
-                    .map(eval_const)
-                    .collect::<Result<_>>()?;
+                let values: Vec<Value> = row_exprs.iter().map(eval_const).collect::<Result<_>>()?;
                 let full_row = match &ins.columns {
                     None => values,
                     Some(cols) => {
@@ -95,10 +92,7 @@ pub fn execute_statement(db: &Database, sql: &str) -> Result<StatementResult> {
                         let mut row = vec![Value::Null; schema.arity()];
                         for (c, v) in cols.iter().zip(values) {
                             let idx = schema.column_index(c).ok_or_else(|| {
-                                TracError::Resolution(format!(
-                                    "no column {c} in {}",
-                                    ins.table
-                                ))
+                                TracError::Resolution(format!("no column {c} in {}", ins.table))
                             })?;
                             row[idx] = v;
                         }
@@ -178,9 +172,8 @@ pub fn execute_statement(db: &Database, sql: &str) -> Result<StatementResult> {
                 .columns
                 .iter()
                 .map(|(name, ty, nullable)| {
-                    let dt = DataType::parse_sql_name(ty).ok_or_else(|| {
-                        TracError::Catalog(format!("unknown type {ty}"))
-                    })?;
+                    let dt = DataType::parse_sql_name(ty)
+                        .ok_or_else(|| TracError::Catalog(format!("unknown type {ty}")))?;
                     let mut c = ColumnDef::new(name.clone(), dt);
                     if *nullable
                         && ct.source_column.as_deref().map(str::to_ascii_lowercase)
@@ -241,7 +234,11 @@ mod tests {
         )
         .unwrap();
         assert_eq!(r, StatementResult::Affected(3));
-        let r = execute_statement(&db, "SELECT mach_id FROM Activity WHERE value = 'idle' ORDER BY mach_id").unwrap();
+        let r = execute_statement(
+            &db,
+            "SELECT mach_id FROM Activity WHERE value = 'idle' ORDER BY mach_id",
+        )
+        .unwrap();
         match r {
             StatementResult::Rows(q) => {
                 assert_eq!(
@@ -278,7 +275,7 @@ mod tests {
         let r = execute_statement(&db, "SELECT a, b FROM t").unwrap();
         match r {
             StatementResult::Rows(q) => {
-                assert_eq!(q.rows[0], vec![Value::Null, Value::Int(5)])
+                assert_eq!(q.rows[0], vec![Value::Null, Value::Int(5)]);
             }
             other => panic!("{other:?}"),
         }
@@ -305,13 +302,10 @@ mod tests {
         let db = setup();
         assert!(execute_statement(&db, "INSERT INTO nope VALUES (1)").is_err());
         assert!(execute_statement(&db, "INSERT INTO Activity (mach_id) VALUES (1, 2)").is_err());
-        assert!(
-            execute_statement(&db, "UPDATE Activity SET nope = 1").is_err()
-        );
+        assert!(execute_statement(&db, "UPDATE Activity SET nope = 1").is_err());
         assert!(execute_statement(&db, "CREATE TABLE bad (x BLOB)").is_err());
         // Subexpressions referencing columns in INSERT values are rejected.
-        assert!(execute_statement(&db, "INSERT INTO Activity VALUES (mach_id, 'x', 1)")
-            .is_err());
+        assert!(execute_statement(&db, "INSERT INTO Activity VALUES (mach_id, 'x', 1)").is_err());
     }
 
     #[test]

@@ -4,8 +4,8 @@ use crate::access::{choose_access_path, AccessPath, ExecOptions};
 use crate::result::QueryResult;
 use std::collections::{BTreeSet, HashMap};
 use trac_expr::{
-    bind_select, eval_expr, eval_predicate, AggFunc, BoundExpr, BoundSelect, ColRef,
-    Projection, Truth,
+    bind_select, eval_expr, eval_predicate, AggFunc, BoundExpr, BoundSelect, ColRef, Projection,
+    Truth,
 };
 use trac_sql::{parse_select, BinaryOp};
 use trac_storage::{ReadTxn, Row};
@@ -63,7 +63,8 @@ pub fn execute_select_with(
     for (pos, bt) in q.tables.iter().enumerate() {
         if tuples.is_empty() {
             // Still record a step for the plan, then keep the empty set.
-            plan.steps.push((bt.binding.clone(), "pruned (empty input)".into()));
+            plan.steps
+                .push((bt.binding.clone(), "pruned (empty input)".into()));
             joined.insert(pos);
             continue;
         }
@@ -77,15 +78,12 @@ pub fn execute_select_with(
         // Join conjuncts that become applicable once `pos` joins.
         let mut applicable: Vec<BoundExpr> = Vec::new();
         for slot in pending.iter_mut() {
-            if let Some(c) = slot {
-                let ts = c.tables();
-                if ts.contains(&pos) || ts.iter().all(|t| joined.contains(t)) {
-                    let ready = ts
-                        .iter()
-                        .all(|t| *t == pos || joined.contains(t));
-                    if ready {
-                        applicable.push(slot.take().unwrap());
-                    }
+            if let Some(c) = slot.take() {
+                let ready = c.tables().iter().all(|t| *t == pos || joined.contains(t));
+                if ready {
+                    applicable.push(c);
+                } else {
+                    *slot = Some(c);
                 }
             }
         }
@@ -102,18 +100,15 @@ pub fn execute_select_with(
             .collect();
         let n_tables = pos + 1;
         let mut next: Vec<Vec<Row>> = Vec::new();
-        let use_index_nl = opts.enable_index_scan
-            && matches!(access, AccessPath::SeqScan)
-            && equi
-                .as_ref()
-                .is_some_and(|(inner_col, _)| txn.has_index(bt.id, *inner_col));
-        if use_index_nl {
+        let index_nl = equi.filter(|(inner_col, _)| {
+            opts.enable_index_scan
+                && matches!(access, AccessPath::SeqScan)
+                && txn.has_index(bt.id, *inner_col)
+        });
+        if let Some((inner_col, outer)) = index_nl {
             // Index nested-loop: probe this table's index once per tuple.
-            let (inner_col, outer) = equi.unwrap();
-            plan.steps.push((
-                bt.binding.clone(),
-                format!("IndexNLJoin(col#{inner_col})"),
-            ));
+            plan.steps
+                .push((bt.binding.clone(), format!("IndexNLJoin(col#{inner_col})")));
             for tuple in &tuples {
                 let key = tuple_value(tuple, outer)?;
                 if key.is_null() {
@@ -121,7 +116,12 @@ pub fn execute_select_with(
                 }
                 let rows = txn
                     .index_probe_in(bt.id, inner_col, std::slice::from_ref(&key))?
-                    .expect("has_index checked");
+                    .ok_or_else(|| {
+                        TracError::Execution(format!(
+                            "index on {}.col#{inner_col} vanished mid-plan",
+                            bt.binding
+                        ))
+                    })?;
                 extend_tuples(
                     tuple,
                     rows,
@@ -134,9 +134,9 @@ pub fn execute_select_with(
         } else {
             // Fetch this table's (filtered) rows once.
             let rows = fetch_rows(txn, bt.id, pos, &access, &table_conjuncts)?;
-            if let Some((inner_col, outer)) = equi.filter(|_| {
-                opts.enable_hash_join && tuples.len() > 1 && !rows.is_empty()
-            }) {
+            if let Some((inner_col, outer)) =
+                equi.filter(|_| opts.enable_hash_join && tuples.len() > 1 && !rows.is_empty())
+            {
                 plan.steps.push((
                     bt.binding.clone(),
                     format!("HashJoin(col#{inner_col}) over {}", access.describe()),
@@ -164,8 +164,7 @@ pub fn execute_select_with(
                     )?;
                 }
             } else {
-                plan.steps
-                    .push((bt.binding.clone(), access.describe()));
+                plan.steps.push((bt.binding.clone(), access.describe()));
                 for tuple in &tuples {
                     extend_tuples(
                         tuple,
@@ -279,7 +278,11 @@ pub fn execute_select_with(
             for p in &q.projections {
                 match p {
                     Projection::Scalar { expr, .. } => row.push(eval_expr(expr, t)?),
-                    Projection::Aggregate { .. } => unreachable!("checked at bind"),
+                    Projection::Aggregate { name, .. } => {
+                        return Err(TracError::Execution(format!(
+                            "aggregate projection {name} in a non-aggregate query"
+                        )))
+                    }
                 }
             }
             rows.push(row);
@@ -399,11 +402,7 @@ fn extend_tuples(
 }
 
 /// Key comparison for ORDER BY (per-key DESC handling).
-fn order_cmp(
-    a: &[Value],
-    b: &[Value],
-    order_by: &[(BoundExpr, bool)],
-) -> std::cmp::Ordering {
+fn order_cmp(a: &[Value], b: &[Value], order_by: &[(BoundExpr, bool)]) -> std::cmp::Ordering {
     for (i, (_, desc)) in order_by.iter().enumerate() {
         let ord = a[i].cmp(&b[i]);
         let ord = if *desc { ord.reverse() } else { ord };
@@ -464,26 +463,27 @@ fn substitute_agg_markers(e: &BoundExpr, agg_table: usize, values: &[Value]) -> 
             expr: Box::new(substitute_agg_markers(expr, agg_table, values)),
             negated: *negated,
         },
-        BoundExpr::Not(x) => {
-            BoundExpr::Not(Box::new(substitute_agg_markers(x, agg_table, values)))
-        }
-        BoundExpr::Neg(x) => {
-            BoundExpr::Neg(Box::new(substitute_agg_markers(x, agg_table, values)))
-        }
+        BoundExpr::Not(x) => BoundExpr::Not(Box::new(substitute_agg_markers(x, agg_table, values))),
+        BoundExpr::Neg(x) => BoundExpr::Neg(Box::new(substitute_agg_markers(x, agg_table, values))),
     }
 }
 
 /// Computes one aggregate projection over a tuple group.
 fn aggregate_one(p: &Projection, tuples: &[Vec<Row>]) -> Result<Value> {
     let row = aggregate_row(std::slice::from_ref(p), tuples)?;
-    Ok(row.into_iter().next().expect("one projection in, one value out"))
+    row.into_iter()
+        .next()
+        .ok_or_else(|| TracError::Execution("aggregate computation produced no value".into()))
 }
 
 fn aggregate_row(projections: &[Projection], tuples: &[Vec<Row>]) -> Result<Vec<Value>> {
     let mut row = Vec::with_capacity(projections.len());
     for p in projections {
         let Projection::Aggregate { func, arg, .. } = p else {
-            unreachable!("bind rejects mixed aggregates");
+            return Err(TracError::Execution(format!(
+                "scalar projection {} in an aggregate-only context",
+                p.name()
+            )));
         };
         row.push(match func {
             AggFunc::Count => match arg {
@@ -499,7 +499,9 @@ fn aggregate_row(projections: &[Projection], tuples: &[Vec<Row>]) -> Result<Vec<
                 }
             },
             AggFunc::Sum | AggFunc::Avg => {
-                let e = arg.as_ref().expect("bind enforces an argument");
+                let e = arg.as_ref().ok_or_else(|| {
+                    TracError::Execution(format!("{func:?} requires an argument"))
+                })?;
                 let mut sum = 0.0f64;
                 let mut n = 0u64;
                 let mut all_int = true;
@@ -536,7 +538,9 @@ fn aggregate_row(projections: &[Projection], tuples: &[Vec<Row>]) -> Result<Vec<
                 }
             }
             AggFunc::Min | AggFunc::Max => {
-                let e = arg.as_ref().expect("bind enforces an argument");
+                let e = arg.as_ref().ok_or_else(|| {
+                    TracError::Execution(format!("{func:?} requires an argument"))
+                })?;
                 let mut best: Option<Value> = None;
                 for t in tuples {
                     let v = eval_expr(e, t)?;
@@ -701,18 +705,51 @@ mod tests {
     }
 
     #[test]
+    fn malformed_bound_selects_error_instead_of_panicking() {
+        // `BoundSelect` is a public type that callers (e.g. the recency
+        // planner) construct by hand, so invariants the binder enforces
+        // must degrade to typed errors here, not panics.
+        let db = paper_db();
+        let txn = db.begin_read();
+        let stmt = parse_select("SELECT COUNT(*) FROM Activity").unwrap();
+        let mut bound = bind_select(&txn, &stmt).unwrap();
+        // Mixed scalar + aggregate without GROUP BY (binder rejects this).
+        bound.projections.push(Projection::Scalar {
+            expr: BoundExpr::col(0, 0),
+            name: "mach_id".into(),
+        });
+        let err = execute_select_with(&txn, &bound, ExecOptions::default()).unwrap_err();
+        assert_eq!(err.kind(), "execution");
+        assert!(err.message().contains("mach_id"), "{err}");
+        // SUM with a missing argument (binder always supplies one).
+        let stmt = parse_select("SELECT SUM(event_time) FROM Activity").unwrap();
+        let mut bound = bind_select(&txn, &stmt).unwrap();
+        bound.projections = vec![Projection::Aggregate {
+            func: AggFunc::Sum,
+            arg: None,
+            name: "sum".into(),
+        }];
+        let err = execute_select_with(&txn, &bound, ExecOptions::default()).unwrap_err();
+        assert_eq!(err.kind(), "execution");
+        // MIN with a missing argument.
+        bound.projections = vec![Projection::Aggregate {
+            func: AggFunc::Min,
+            arg: None,
+            name: "min".into(),
+        }];
+        let err = execute_select_with(&txn, &bound, ExecOptions::default()).unwrap_err();
+        assert_eq!(err.kind(), "execution");
+    }
+
+    #[test]
     fn index_plan_is_used_for_selective_probe() {
         let db = paper_db();
         let txn = db.begin_read();
-        let stmt =
-            parse_select("SELECT value FROM Activity WHERE mach_id = 'm1'").unwrap();
+        let stmt = parse_select("SELECT value FROM Activity WHERE mach_id = 'm1'").unwrap();
         let bound = bind_select(&txn, &stmt).unwrap();
         let (r, plan) = execute_select_with(&txn, &bound, ExecOptions::default()).unwrap();
         assert_eq!(r.rows, vec![vec![Value::text("idle")]]);
-        assert!(
-            plan.steps[0].1.starts_with("IndexProbe"),
-            "plan: {plan:?}"
-        );
+        assert!(plan.steps[0].1.starts_with("IndexProbe"), "plan: {plan:?}");
     }
 
     #[test]
@@ -941,8 +978,8 @@ mod tests {
         .unwrap_err();
         assert!(err.message().contains("GROUP BY keys"), "{err}");
         // Pointless HAVING rejected.
-        let err = execute_sql(&txn, "SELECT mach_id FROM Activity HAVING mach_id = 'm1'")
-            .unwrap_err();
+        let err =
+            execute_sql(&txn, "SELECT mach_id FROM Activity HAVING mach_id = 'm1'").unwrap_err();
         assert!(err.message().contains("just WHERE"), "{err}");
     }
 

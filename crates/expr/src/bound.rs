@@ -191,9 +191,9 @@ impl BoundExpr {
                     e.collect_refs(out);
                 }
             }
-            BoundExpr::IsNull { expr, .. }
-            | BoundExpr::Not(expr)
-            | BoundExpr::Neg(expr) => expr.collect_refs(out),
+            BoundExpr::IsNull { expr, .. } | BoundExpr::Not(expr) | BoundExpr::Neg(expr) => {
+                expr.collect_refs(out);
+            }
         }
     }
 
@@ -263,7 +263,10 @@ impl BoundSelect {
 
     /// Output column names, in order.
     pub fn output_names(&self) -> Vec<String> {
-        self.projections.iter().map(|p| p.name().to_string()).collect()
+        self.projections
+            .iter()
+            .map(|p| p.name().to_string())
+            .collect()
     }
 }
 
@@ -294,14 +297,9 @@ impl Binder<'_> {
                     .tables
                     .iter()
                     .position(|bt| bt.binding.eq_ignore_ascii_case(q))
-                    .ok_or_else(|| {
-                        TracError::Resolution(format!("unknown table or alias {q}"))
-                    })?;
+                    .ok_or_else(|| TracError::Resolution(format!("unknown table or alias {q}")))?;
                 let column = self.tables[t].schema.column_index(name).ok_or_else(|| {
-                    TracError::Resolution(format!(
-                        "no column {name} in {}",
-                        self.tables[t].binding
-                    ))
+                    TracError::Resolution(format!("no column {name} in {}", self.tables[t].binding))
                 })?;
                 Ok(ColRef { table: t, column })
             }
@@ -310,9 +308,7 @@ impl Binder<'_> {
                 for (t, bt) in self.tables.iter().enumerate() {
                     if let Some(column) = bt.schema.column_index(name) {
                         if hit.is_some() {
-                            return Err(TracError::Resolution(format!(
-                                "ambiguous column {name}"
-                            )));
+                            return Err(TracError::Resolution(format!("ambiguous column {name}")));
                         }
                         hit = Some(ColRef { table: t, column });
                     }
@@ -464,9 +460,8 @@ impl Binder<'_> {
                 args,
                 wildcard,
             } => {
-                let func = AggFunc::parse(name).ok_or_else(|| {
-                    TracError::Resolution(format!("unknown function {name}"))
-                })?;
+                let func = AggFunc::parse(name)
+                    .ok_or_else(|| TracError::Resolution(format!("unknown function {name}")))?;
                 let arg = if *wildcard {
                     if func != AggFunc::Count {
                         return Err(TracError::Resolution(format!(
@@ -503,12 +498,8 @@ impl Binder<'_> {
                     .collect::<Result<_>>()?,
                 negated: *negated,
             },
-            Expr::Not(x) => {
-                BoundExpr::Not(Box::new(self.bind_having_expr(x, agg_table, aggs)?))
-            }
-            Expr::Neg(x) => {
-                BoundExpr::Neg(Box::new(self.bind_having_expr(x, agg_table, aggs)?))
-            }
+            Expr::Not(x) => BoundExpr::Not(Box::new(self.bind_having_expr(x, agg_table, aggs)?)),
+            Expr::Neg(x) => BoundExpr::Neg(Box::new(self.bind_having_expr(x, agg_table, aggs)?)),
             Expr::IsNull { expr, negated } => BoundExpr::IsNull {
                 expr: Box::new(self.bind_having_expr(expr, agg_table, aggs)?),
                 negated: *negated,
@@ -697,10 +688,22 @@ mod tests {
         let pred = q.predicate.unwrap();
         let refs = pred.references();
         // R.mach_id (0,0), A.value (1,1), R.neighbor (0,1), A.mach_id (1,0)
-        assert!(refs.contains(&ColRef { table: 0, column: 0 }));
-        assert!(refs.contains(&ColRef { table: 1, column: 1 }));
-        assert!(refs.contains(&ColRef { table: 0, column: 1 }));
-        assert!(refs.contains(&ColRef { table: 1, column: 0 }));
+        assert!(refs.contains(&ColRef {
+            table: 0,
+            column: 0
+        }));
+        assert!(refs.contains(&ColRef {
+            table: 1,
+            column: 1
+        }));
+        assert!(refs.contains(&ColRef {
+            table: 0,
+            column: 1
+        }));
+        assert!(refs.contains(&ColRef {
+            table: 1,
+            column: 0
+        }));
         assert_eq!(pred.tables(), BTreeSet::from([0, 1]));
     }
 
@@ -771,15 +774,14 @@ mod tests {
 
     #[test]
     fn map_columns_rewrites() {
-        let e = BoundExpr::binary(
-            BinaryOp::Eq,
-            BoundExpr::col(1, 0),
-            BoundExpr::lit("m1"),
-        );
+        let e = BoundExpr::binary(BinaryOp::Eq, BoundExpr::col(1, 0), BoundExpr::lit("m1"));
         let mapped = e.map_columns(&|c| ColRef {
             table: c.table + 10,
             column: c.column,
         });
-        assert!(mapped.references().contains(&ColRef { table: 11, column: 0 }));
+        assert!(mapped.references().contains(&ColRef {
+            table: 11,
+            column: 0
+        }));
     }
 }

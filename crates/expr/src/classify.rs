@@ -62,11 +62,7 @@ impl ClassifiedPredicates {
 }
 
 /// Classifies one basic term with respect to relation `rel`.
-pub fn classify_term(
-    term: &BoundExpr,
-    tables: &[BoundTable],
-    rel: usize,
-) -> TermClass {
+pub fn classify_term(term: &BoundExpr, tables: &[BoundTable], rel: usize) -> TermClass {
     let refs = term.references();
     let mut touches_rel_source = false;
     let mut touches_rel_regular = false;
@@ -221,7 +217,10 @@ mod tests {
     fn constants_are_pr() {
         let ts = tables();
         let term = E::binary(BinaryOp::Eq, E::lit(1i64), E::lit(1i64));
-        assert_eq!(classify_term(&term, &ts, 0), TermClass::RegularOnlySelection);
+        assert_eq!(
+            classify_term(&term, &ts, 0),
+            TermClass::RegularOnlySelection
+        );
     }
 
     #[test]

@@ -87,9 +87,9 @@ pub fn eval_expr(expr: &BoundExpr, tuple: &[Row]) -> Result<Value> {
             let row = tuple.get(c.table).ok_or_else(|| {
                 TracError::Execution(format!("tuple has no table slot {}", c.table))
             })?;
-            row.get(c.column).cloned().ok_or_else(|| {
-                TracError::Execution(format!("row has no column {}", c.column))
-            })
+            row.get(c.column)
+                .cloned()
+                .ok_or_else(|| TracError::Execution(format!("row has no column {}", c.column)))
         }
         BoundExpr::Literal(v) => Ok(v.clone()),
         BoundExpr::Binary { op, lhs, rhs } => {
@@ -180,16 +180,13 @@ fn arith(op: BinaryOp, l: &Value, r: &Value) -> Result<Value> {
             _ => unreachable!("arith called with {op:?}"),
         });
     }
-    let (a, b) = match (l.as_f64(), r.as_f64()) {
-        (Some(a), Some(b)) => (a, b),
-        _ => {
-            return Err(TracError::Type(format!(
-                "cannot apply {} to {} and {}",
-                op.sql(),
-                l.type_name(),
-                r.type_name()
-            )))
-        }
+    let (Some(a), Some(b)) = (l.as_f64(), r.as_f64()) else {
+        return Err(TracError::Type(format!(
+            "cannot apply {} to {} and {}",
+            op.sql(),
+            l.type_name(),
+            r.type_name()
+        )));
     };
     Ok(Value::Float(match op {
         BinaryOp::Add => a + b,

@@ -26,9 +26,7 @@ pub mod normalize;
 pub mod sat;
 pub mod unbind;
 
-pub use bound::{
-    bind_select, AggFunc, BoundExpr, BoundSelect, BoundTable, ColRef, Projection,
-};
+pub use bound::{bind_select, AggFunc, BoundExpr, BoundSelect, BoundTable, ColRef, Projection};
 pub use check::{bind_expr_for_table, parse_check, BoundCheck};
 pub use classify::{classify_conjunct, ClassifiedPredicates, TermClass};
 pub use eval::{eval_expr, eval_predicate, Truth};

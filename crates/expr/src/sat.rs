@@ -39,10 +39,7 @@ pub const EXHAUSTIVE_BUDGET: u64 = 4096;
 
 /// Decides satisfiability of `conjunct` (the AND of its terms) where each
 /// referenced column `c` ranges over `dom(c)`.
-pub fn conjunct_satisfiable(
-    conjunct: &[BoundExpr],
-    dom: &dyn Fn(ColRef) -> ColumnDomain,
-) -> Sat3 {
+pub fn conjunct_satisfiable(conjunct: &[BoundExpr], dom: &dyn Fn(ColRef) -> ColumnDomain) -> Sat3 {
     if conjunct.is_empty() {
         return Sat3::Sat;
     }
@@ -55,7 +52,7 @@ pub fn conjunct_satisfiable(
     }
     // Engine 2: exhaustive enumeration over small finite domains decides
     // the shapes propagation cannot (mixed/multi-column terms).
-    let refs: BTreeSet<ColRef> = conjunct.iter().flat_map(|t| t.references()).collect();
+    let refs: BTreeSet<ColRef> = conjunct.iter().flat_map(BoundExpr::references).collect();
     exhaustive(conjunct, &refs, dom).unwrap_or(Sat3::Unknown)
 }
 
@@ -86,10 +83,7 @@ fn exhaustive(
     for c in &cols {
         widths[c.table] = widths[c.table].max(c.column + 1);
     }
-    let mut scratch: Vec<Vec<Value>> = widths
-        .iter()
-        .map(|w| vec![Value::Null; *w])
-        .collect();
+    let mut scratch: Vec<Vec<Value>> = widths.iter().map(|w| vec![Value::Null; *w]).collect();
     let mut idx = vec![0usize; cols.len()];
     loop {
         for (k, c) in cols.iter().enumerate() {
@@ -99,9 +93,9 @@ fn exhaustive(
             .iter()
             .map(|r| Arc::from(r.clone().into_boxed_slice()))
             .collect();
-        let ok = conjunct.iter().all(|t| {
-            matches!(eval_predicate(t, &tuple), Ok(Truth::True))
-        });
+        let ok = conjunct
+            .iter()
+            .all(|t| matches!(eval_predicate(t, &tuple), Ok(Truth::True)));
         if ok {
             return Some(Sat3::Sat);
         }
@@ -211,10 +205,9 @@ impl Constraints {
             && match v {
                 // `excluded` uses storage equality; numeric cross-type
                 // exclusions (e.g. `<> 2` vs Float(2.0)) are re-checked.
-                Value::Int(_) | Value::Float(_) => !self
-                    .excluded
-                    .iter()
-                    .any(|e| v.sql_eq(e) == Some(true)),
+                Value::Int(_) | Value::Float(_) => {
+                    !self.excluded.iter().any(|e| v.sql_eq(e) == Some(true))
+                }
                 _ => true,
             }
     }
@@ -240,7 +233,7 @@ impl Constraints {
             return None;
         }
         // Case 3: infinite domain — reason about the interval by type.
-        let ty = self.domains.first().map(|d| d.data_type());
+        let ty = self.domains.first().map(ColumnDomain::data_type);
         match ty {
             Some(DataType::Int) => Some(self.int_interval_non_empty()),
             Some(DataType::Timestamp) => Some(self.ts_interval_non_empty()),
@@ -263,9 +256,11 @@ impl Constraints {
                     (Some(_), Some(_)) => None,
                 }
             }
-            Some(DataType::Bool) => {
-                Some([Value::Bool(false), Value::Bool(true)].iter().any(|v| self.passes(v)))
-            }
+            Some(DataType::Bool) => Some(
+                [Value::Bool(false), Value::Bool(true)]
+                    .iter()
+                    .any(|v| self.passes(v)),
+            ),
             None => Some(true), // no domain info at all
         }
     }
@@ -328,7 +323,7 @@ impl Constraints {
     }
 
     fn ts_interval_non_empty(&self) -> bool {
-        let extract = |b: &IntervalBound| b.value.as_timestamp().map(|t| t.micros());
+        let extract = |b: &IntervalBound| b.value.as_timestamp().map(trac_types::Timestamp::micros);
         let lo = match &self.lo {
             None => i64::MIN,
             Some(b) => match extract(b) {
@@ -487,17 +482,13 @@ fn shape_of(term: &BoundExpr) -> Shape {
                 Shape::Unsupported
             }
         }
-        BoundExpr::Literal(Value::Bool(b)) => Shape::Constant(if *b {
-            Truth::True
-        } else {
-            Truth::False
-        }),
-        term if term.references().is_empty() => {
-            match eval_predicate(term, &[]) {
-                Ok(t) => Shape::Constant(t),
-                Err(_) => Shape::Unsupported,
-            }
+        BoundExpr::Literal(Value::Bool(b)) => {
+            Shape::Constant(if *b { Truth::True } else { Truth::False })
         }
+        term if term.references().is_empty() => match eval_predicate(term, &[]) {
+            Ok(t) => Shape::Constant(t),
+            Err(_) => Shape::Unsupported,
+        },
         _ => Shape::Unsupported,
     }
 }
@@ -515,7 +506,7 @@ fn propagate(conjunct: &[BoundExpr], dom: &dyn Fn(ColRef) -> ColumnDomain) -> Sa
             Shape::Constant(Truth::True) => {}
             Shape::Constant(_) => return Sat3::Unsat, // false or unknown: never True
             Shape::ColIsNull(false) => return Sat3::Unsat, // domains exclude NULL
-            Shape::ColIsNull(true) => {}                   // always true here
+            Shape::ColIsNull(true) => {}              // always true here
             Shape::Unsupported => {}
         }
     }
@@ -765,7 +756,10 @@ mod tests {
         ]);
         // c0 < c1 over infinite domains: propagation can't decide.
         let t = E::binary(BinaryOp::Lt, E::col(0, 0), E::col(0, 1));
-        assert_eq!(conjunct_satisfiable(std::slice::from_ref(&t), &d), Sat3::Unknown);
+        assert_eq!(
+            conjunct_satisfiable(std::slice::from_ref(&t), &d),
+            Sat3::Unknown
+        );
         // But an Unsat from supported terms still wins.
         let contradiction = E::binary(BinaryOp::Eq, E::col(0, 0), E::lit(1i64));
         let contradiction2 = E::binary(BinaryOp::Eq, E::col(0, 0), E::lit(2i64));

@@ -25,11 +25,9 @@ pub fn unbind_expr(expr: &BoundExpr, ctx: &UnbindCtx<'_>) -> Expr {
             Expr::qcol(binding, schema.columns[c.column].name.clone())
         }
         BoundExpr::Literal(v) => Expr::Literal(v.clone()),
-        BoundExpr::Binary { op, lhs, rhs } => Expr::binary(
-            *op,
-            unbind_expr(lhs, ctx),
-            unbind_expr(rhs, ctx),
-        ),
+        BoundExpr::Binary { op, lhs, rhs } => {
+            Expr::binary(*op, unbind_expr(lhs, ctx), unbind_expr(rhs, ctx))
+        }
         BoundExpr::InList {
             expr,
             list,
@@ -76,11 +74,7 @@ mod tests {
             negated: false,
         };
         assert_eq!(unbind_expr(&e, &ctx).to_string(), "H.sid IN ('m1', 'm2')");
-        let e = E::Not(Box::new(E::binary(
-            BinaryOp::Lt,
-            E::col(0, 1),
-            E::lit("x"),
-        )));
+        let e = E::Not(Box::new(E::binary(BinaryOp::Lt, E::col(0, 1), E::lit("x"))));
         assert_eq!(unbind_expr(&e, &ctx).to_string(), "NOT H.recency < 'x'");
     }
 }

@@ -37,11 +37,7 @@ impl GridSchema {
     /// job-id columns) and registers a heartbeat for every machine at
     /// `epoch` — "every contributing data source has an entry in the
     /// Heartbeat table".
-    pub fn install(
-        db: &Database,
-        machines: &[SourceId],
-        epoch: Timestamp,
-    ) -> Result<GridSchema> {
+    pub fn install(db: &Database, machines: &[SourceId], epoch: Timestamp) -> Result<GridSchema> {
         let machine_domain =
             ColumnDomain::text_set(machines.iter().map(|m| m.as_str().to_string()));
         let sched = db.create_table(TableSchema::new(
@@ -160,11 +156,7 @@ mod tests {
         let schema = GridSchema::install(&db, &machines, Timestamp::from_secs(0)).unwrap();
         let txn = db.begin_read();
         let s = txn.schema(schema.activity).unwrap();
-        assert!(s.columns[0]
-            .domain
-            .contains(&trac_types::Value::text("m0")));
-        assert!(!s.columns[0]
-            .domain
-            .contains(&trac_types::Value::text("zz")));
+        assert!(s.columns[0].domain.contains(&trac_types::Value::text("m0")));
+        assert!(!s.columns[0].domain.contains(&trac_types::Value::text("zz")));
     }
 }

@@ -83,13 +83,30 @@ impl Default for GridConfig {
 
 #[derive(Debug, Clone, PartialEq, Eq)]
 enum SimEvent {
-    JobArrival { scheduler: usize },
-    JobStart { machine: usize, job: u64 },
-    JobComplete { machine: usize, job: u64, started: Timestamp },
-    HeartbeatTick { machine: usize },
-    SnifferPump { machine: usize },
-    Fail { machine: usize },
-    Recover { machine: usize },
+    JobArrival {
+        scheduler: usize,
+    },
+    JobStart {
+        machine: usize,
+        job: u64,
+    },
+    JobComplete {
+        machine: usize,
+        job: u64,
+        started: Timestamp,
+    },
+    HeartbeatTick {
+        machine: usize,
+    },
+    SnifferPump {
+        machine: usize,
+    },
+    Fail {
+        machine: usize,
+    },
+    Recover {
+        machine: usize,
+    },
 }
 
 #[derive(Debug)]
@@ -182,9 +199,10 @@ impl GridSim {
         // Initial schedules.
         for s in 0..config.n_schedulers {
             let dt = sim.rng.random_range(1..=config.arrival_secs.max(1));
-            sim.schedule(config.start + TsDuration::from_secs(dt), SimEvent::JobArrival {
-                scheduler: s,
-            });
+            sim.schedule(
+                config.start + TsDuration::from_secs(dt),
+                SimEvent::JobArrival { scheduler: s },
+            );
         }
         for m in 0..n {
             sim.schedule(
@@ -252,17 +270,8 @@ impl GridSim {
     /// Appends an event to a machine's log directly — for constructing
     /// deterministic scenarios (e.g. the paper's m1/m2 introduction)
     /// without the random workload. `at` must not precede the log's tail.
-    pub fn append_log(
-        &mut self,
-        machine: usize,
-        at: Timestamp,
-        event: GridEvent,
-    ) -> Result<()> {
-        if self.machines[machine]
-            .log
-            .latest()
-            .is_some_and(|t| t > at)
-        {
+    pub fn append_log(&mut self, machine: usize, at: Timestamp, event: GridEvent) -> Result<()> {
+        if self.machines[machine].log.latest().is_some_and(|t| t > at) {
             return Err(TracError::Config(format!(
                 "log timestamps must be monotone; {at} precedes the tail"
             )));
@@ -328,10 +337,13 @@ impl GridSim {
         match ev {
             SimEvent::JobArrival { scheduler } => {
                 // Schedule the next arrival regardless.
-                let dt = self.rng.random_range(1..=self.config.arrival_secs.max(1) * 2);
-                self.schedule(at + TsDuration::from_secs(dt), SimEvent::JobArrival {
-                    scheduler,
-                });
+                let dt = self
+                    .rng
+                    .random_range(1..=self.config.arrival_secs.max(1) * 2);
+                self.schedule(
+                    at + TsDuration::from_secs(dt),
+                    SimEvent::JobArrival { scheduler },
+                );
                 if self.machines[scheduler].state == MachineState::Failed {
                     return Ok(()); // submissions to a dead schedd are lost
                 }
@@ -341,8 +353,7 @@ impl GridSim {
                     .log
                     .append(at, GridEvent::JobSubmitted { job });
                 // Pick an idle target: prefer neighbors, else any idle.
-                let target = self
-                    .machines[scheduler]
+                let target = self.machines[scheduler]
                     .neighbors
                     .iter()
                     .copied()
@@ -355,9 +366,13 @@ impl GridSim {
                     return Ok(()); // grid saturated; job stays queued at schedd
                 };
                 let target_id = self.machines[target].id.clone();
-                self.machines[scheduler]
-                    .log
-                    .append(at, GridEvent::JobRouted { job, target: target_id });
+                self.machines[scheduler].log.append(
+                    at,
+                    GridEvent::JobRouted {
+                        job,
+                        target: target_id,
+                    },
+                );
                 // Reserve the target now so later arrivals pick elsewhere.
                 self.machines[target].state = MachineState::Busy;
                 let delay = self
@@ -393,7 +408,11 @@ impl GridSim {
                     },
                 );
             }
-            SimEvent::JobComplete { machine, job, started } => {
+            SimEvent::JobComplete {
+                machine,
+                job,
+                started,
+            } => {
                 if self.machines[machine].state == MachineState::Failed {
                     return Ok(());
                 }
@@ -411,10 +430,9 @@ impl GridSim {
                 if self.machines[machine].state != MachineState::Failed {
                     // Only beat when the log has been quiet (a busy daemon
                     // already advances recency through its events).
-                    let quiet = self.machines[machine]
-                        .log
-                        .latest()
-                        .is_none_or(|t| at - t >= TsDuration::from_secs(self.config.heartbeat_secs));
+                    let quiet = self.machines[machine].log.latest().is_none_or(|t| {
+                        at - t >= TsDuration::from_secs(self.config.heartbeat_secs)
+                    });
                     if quiet {
                         self.machines[machine].log.append(at, GridEvent::Heartbeat);
                     }
@@ -495,8 +513,16 @@ mod tests {
         .unwrap();
         a.run_for(7200).unwrap();
         b.run_for(7200).unwrap();
-        let ra = a.db().begin_read().row_count(a.schema().job_events).unwrap();
-        let rb = b.db().begin_read().row_count(b.schema().job_events).unwrap();
+        let ra = a
+            .db()
+            .begin_read()
+            .row_count(a.schema().job_events)
+            .unwrap();
+        let rb = b
+            .db()
+            .begin_read()
+            .row_count(b.schema().job_events)
+            .unwrap();
         assert_ne!((a.jobs_completed(), ra), (b.jobs_completed(), rb));
     }
 
@@ -564,11 +590,7 @@ mod tests {
         // A failed machine's recency froze; a live one kept beating.
         let live = (0..4).find(|&i| sim.machine_state(i) != MachineState::Failed);
         if let Some(live) = live {
-            let failed_recency = beats
-                .iter()
-                .find(|(s, _)| s == &ids[failed[0]])
-                .unwrap()
-                .1;
+            let failed_recency = beats.iter().find(|(s, _)| s == &ids[failed[0]]).unwrap().1;
             let live_recency = beats.iter().find(|(s, _)| s == &ids[live]).unwrap().1;
             assert!(live_recency > failed_recency);
         }

@@ -84,10 +84,7 @@ impl Sniffer {
                         )?;
                     }
                     None => {
-                        txn.insert(
-                            schema.sched,
-                            vec![me, jid, target.to_value()],
-                        )?;
+                        txn.insert(schema.sched, vec![me, jid, target.to_value()])?;
                     }
                 }
                 txn.heartbeat(&self.source, at)?;
@@ -247,7 +244,7 @@ mod tests {
         let rows = txn.scan(schema.sched).unwrap();
         assert_eq!(rows.len(), 1);
         assert_eq!(rows[0][2], Value::text("m2")); // remote filled in
-        // m2's side: start then complete.
+                                                   // m2's side: start then complete.
         let mut log2 = MachineLog::new();
         let sniffer2 = Sniffer::new(m2, TsDuration::from_secs(0));
         log2.append(t(20), GridEvent::JobStarted { job: 7 });
@@ -257,7 +254,13 @@ mod tests {
         let act = txn.scan(schema.activity).unwrap();
         assert_eq!(act.len(), 1);
         assert_eq!(act[0][1], Value::text("busy"));
-        log2.append(t(30), GridEvent::JobCompleted { job: 7, cpu_secs: 10 });
+        log2.append(
+            t(30),
+            GridEvent::JobCompleted {
+                job: 7,
+                cpu_secs: 10,
+            },
+        );
         sniffer2.pump(&db, &schema, &mut log2, t(30)).unwrap();
         let txn = db.begin_read();
         assert_eq!(txn.row_count(schema.running).unwrap(), 0);

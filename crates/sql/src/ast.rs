@@ -348,16 +348,12 @@ impl Expr {
                 matches!(name.as_str(), "COUNT" | "SUM" | "AVG" | "MIN" | "MAX")
                     || args.iter().any(Expr::contains_aggregate)
             }
-            Expr::Binary { lhs, rhs, .. } => {
-                lhs.contains_aggregate() || rhs.contains_aggregate()
-            }
+            Expr::Binary { lhs, rhs, .. } => lhs.contains_aggregate() || rhs.contains_aggregate(),
             Expr::InList { expr, list, .. } => {
                 expr.contains_aggregate() || list.iter().any(Expr::contains_aggregate)
             }
             Expr::Between { expr, lo, hi, .. } => {
-                expr.contains_aggregate()
-                    || lo.contains_aggregate()
-                    || hi.contains_aggregate()
+                expr.contains_aggregate() || lo.contains_aggregate() || hi.contains_aggregate()
             }
             Expr::IsNull { expr, .. } | Expr::Not(expr) | Expr::Neg(expr) => {
                 expr.contains_aggregate()

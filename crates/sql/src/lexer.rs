@@ -47,13 +47,28 @@ pub enum TokenKind {
     Eof,
 }
 
-/// A token with its byte offset (for error messages).
+/// A token with its byte span (for error messages and diagnostics).
 #[derive(Debug, Clone, PartialEq)]
 pub struct Token {
     /// What was lexed.
     pub kind: TokenKind,
     /// Byte offset of the token start in the input.
     pub offset: usize,
+    /// Byte offset one past the token end in the input (`offset == end`
+    /// only for `Eof`).
+    pub end: usize,
+}
+
+impl Token {
+    /// The token's length in bytes.
+    pub fn len(&self) -> usize {
+        self.end - self.offset
+    }
+
+    /// True for the zero-width `Eof` token.
+    pub fn is_empty(&self) -> bool {
+        self.end == self.offset
+    }
 }
 
 /// Tokenizes SQL text.
@@ -119,9 +134,17 @@ impl<'a> Lexer<'a> {
     fn next_token(&mut self) -> Result<Token> {
         self.skip_trivia();
         let offset = self.pos;
-        let tok = |kind| Token { kind, offset };
+        let kind = self.next_kind(offset)?;
+        Ok(Token {
+            kind,
+            offset,
+            end: self.pos,
+        })
+    }
+
+    fn next_kind(&mut self, offset: usize) -> Result<TokenKind> {
         let Some(b) = self.peek() else {
-            return Ok(tok(TokenKind::Eof));
+            return Ok(TokenKind::Eof);
         };
         match b {
             b'\'' => {
@@ -134,7 +157,7 @@ impl<'a> Lexer<'a> {
                                 self.bump();
                                 s.push('\'');
                             } else {
-                                return Ok(tok(TokenKind::StringLit(s)));
+                                return Ok(TokenKind::StringLit(s));
                             }
                         }
                         Some(c) => s.push(c as char),
@@ -146,24 +169,23 @@ impl<'a> Lexer<'a> {
                     }
                 }
             }
-            b'0'..=b'9' => self.lex_number(offset),
+            b'0'..=b'9' => self.lex_number(),
             b'_' | b'a'..=b'z' | b'A'..=b'Z' => {
                 let start = self.pos;
-                while matches!(self.peek(), Some(c) if c == b'_' || c.is_ascii_alphanumeric())
-                {
+                while matches!(self.peek(), Some(c) if c == b'_' || c.is_ascii_alphanumeric()) {
                     self.pos += 1;
                 }
-                Ok(tok(TokenKind::Ident(self.src[start..self.pos].to_string())))
+                Ok(TokenKind::Ident(self.src[start..self.pos].to_string()))
             }
             b'=' => {
                 self.bump();
-                Ok(tok(TokenKind::Eq))
+                Ok(TokenKind::Eq)
             }
             b'!' => {
                 self.bump();
                 if self.peek() == Some(b'=') {
                     self.bump();
-                    Ok(tok(TokenKind::NotEq))
+                    Ok(TokenKind::NotEq)
                 } else {
                     Err(TracError::Parse(format!("stray `!` at byte {offset}")))
                 }
@@ -173,59 +195,59 @@ impl<'a> Lexer<'a> {
                 match self.peek() {
                     Some(b'=') => {
                         self.bump();
-                        Ok(tok(TokenKind::LtEq))
+                        Ok(TokenKind::LtEq)
                     }
                     Some(b'>') => {
                         self.bump();
-                        Ok(tok(TokenKind::NotEq))
+                        Ok(TokenKind::NotEq)
                     }
-                    _ => Ok(tok(TokenKind::Lt)),
+                    _ => Ok(TokenKind::Lt),
                 }
             }
             b'>' => {
                 self.bump();
                 if self.peek() == Some(b'=') {
                     self.bump();
-                    Ok(tok(TokenKind::GtEq))
+                    Ok(TokenKind::GtEq)
                 } else {
-                    Ok(tok(TokenKind::Gt))
+                    Ok(TokenKind::Gt)
                 }
             }
             b'(' => {
                 self.bump();
-                Ok(tok(TokenKind::LParen))
+                Ok(TokenKind::LParen)
             }
             b')' => {
                 self.bump();
-                Ok(tok(TokenKind::RParen))
+                Ok(TokenKind::RParen)
             }
             b',' => {
                 self.bump();
-                Ok(tok(TokenKind::Comma))
+                Ok(TokenKind::Comma)
             }
             b'.' => {
                 self.bump();
-                Ok(tok(TokenKind::Dot))
+                Ok(TokenKind::Dot)
             }
             b';' => {
                 self.bump();
-                Ok(tok(TokenKind::Semi))
+                Ok(TokenKind::Semi)
             }
             b'*' => {
                 self.bump();
-                Ok(tok(TokenKind::Star))
+                Ok(TokenKind::Star)
             }
             b'+' => {
                 self.bump();
-                Ok(tok(TokenKind::Plus))
+                Ok(TokenKind::Plus)
             }
             b'-' => {
                 self.bump();
-                Ok(tok(TokenKind::Minus))
+                Ok(TokenKind::Minus)
             }
             b'/' => {
                 self.bump();
-                Ok(tok(TokenKind::Slash))
+                Ok(TokenKind::Slash)
             }
             other => Err(TracError::Parse(format!(
                 "unexpected character {:?} at byte {offset}",
@@ -234,7 +256,7 @@ impl<'a> Lexer<'a> {
         }
     }
 
-    fn lex_number(&mut self, offset: usize) -> Result<Token> {
+    fn lex_number(&mut self) -> Result<TokenKind> {
         let start = self.pos;
         while matches!(self.peek(), Some(c) if c.is_ascii_digit()) {
             self.pos += 1;
@@ -251,9 +273,9 @@ impl<'a> Lexer<'a> {
                 self.pos += 1;
             }
         }
-        if matches!(self.peek(), Some(b'e') | Some(b'E')) {
+        if matches!(self.peek(), Some(b'e' | b'E')) {
             let mut j = self.pos + 1;
-            if matches!(self.bytes.get(j), Some(b'+') | Some(b'-')) {
+            if matches!(self.bytes.get(j), Some(b'+' | b'-')) {
                 j += 1;
             }
             if matches!(self.bytes.get(j), Some(c) if c.is_ascii_digit()) {
@@ -265,18 +287,15 @@ impl<'a> Lexer<'a> {
             }
         }
         let text = &self.src[start..self.pos];
-        let kind = if is_float {
-            TokenKind::FloatLit(
-                text.parse()
-                    .map_err(|_| TracError::Parse(format!("bad float literal {text}")))?,
-            )
+        if is_float {
+            Ok(TokenKind::FloatLit(text.parse().map_err(|_| {
+                TracError::Parse(format!("bad float literal {text}"))
+            })?))
         } else {
-            TokenKind::IntLit(
-                text.parse()
-                    .map_err(|_| TracError::Parse(format!("bad int literal {text}")))?,
-            )
-        };
-        Ok(Token { kind, offset })
+            Ok(TokenKind::IntLit(text.parse().map_err(|_| {
+                TracError::Parse(format!("bad int literal {text}"))
+            })?))
+        }
     }
 }
 
@@ -310,7 +329,8 @@ mod tests {
 
     #[test]
     fn lexes_paper_query_q1() {
-        let ks = kinds("SELECT mach_id FROM Activity WHERE mach_id IN ('m1','m2') AND value = 'idle';");
+        let ks =
+            kinds("SELECT mach_id FROM Activity WHERE mach_id IN ('m1','m2') AND value = 'idle';");
         assert_eq!(ks[0], TokenKind::Ident("SELECT".into()));
         assert!(ks.contains(&TokenKind::StringLit("m1".into())));
         assert!(ks.contains(&TokenKind::Eq));
@@ -398,6 +418,33 @@ mod tests {
     fn rejects_garbage() {
         assert!(Lexer::new("SELECT @").tokenize().is_err());
         assert!(Lexer::new("a ! b").tokenize().is_err());
+    }
+
+    #[test]
+    fn spans_cover_token_text() {
+        let src = "SELECT mach_id FROM activity WHERE value = 'idle'";
+        let ts = Lexer::new(src).tokenize().unwrap();
+        for t in &ts {
+            match &t.kind {
+                TokenKind::Eof => {
+                    assert!(t.is_empty());
+                    assert_eq!(t.offset, src.len());
+                }
+                TokenKind::Ident(s) => {
+                    assert_eq!(&src[t.offset..t.end], s.as_str());
+                }
+                TokenKind::StringLit(s) => {
+                    // Span includes the quotes.
+                    assert_eq!(t.len(), s.len() + 2);
+                    assert_eq!(&src[t.offset..t.offset + 1], "'");
+                }
+                _ => assert!(!t.is_empty()),
+            }
+        }
+        // `<=` spans two bytes.
+        let ts = Lexer::new("a <= b").tokenize().unwrap();
+        assert_eq!(ts[1].kind, TokenKind::LtEq);
+        assert_eq!((ts[1].offset, ts[1].end), (2, 4));
     }
 
     #[test]

@@ -17,8 +17,8 @@ pub mod lexer;
 pub mod parser;
 
 pub use ast::{
-    BinaryOp, CreateIndexStmt, CreateTableStmt, DeleteStmt, Expr, InsertStmt, OrderKey,
-    SelectItem, SelectStmt, Statement, TableRef, UpdateStmt,
+    BinaryOp, CreateIndexStmt, CreateTableStmt, DeleteStmt, Expr, InsertStmt, OrderKey, SelectItem,
+    SelectStmt, Statement, TableRef, UpdateStmt,
 };
 pub use lexer::{Lexer, Token, TokenKind};
 pub use parser::{parse_expr, parse_select, parse_statement};

@@ -6,9 +6,9 @@ use trac_types::{Result, Timestamp, TracError, Value};
 
 /// Words that terminate expressions / cannot be bare column names.
 const RESERVED: &[&str] = &[
-    "SELECT", "FROM", "WHERE", "AND", "OR", "NOT", "IN", "IS", "NULL", "BETWEEN", "ORDER",
-    "BY", "GROUP", "HAVING", "LIMIT", "AS", "DISTINCT", "VALUES", "SET", "INSERT", "INTO", "UPDATE", "DELETE",
-    "CREATE", "TABLE", "INDEX", "ON", "DROP", "TRUE", "FALSE", "DESC", "ASC",
+    "SELECT", "FROM", "WHERE", "AND", "OR", "NOT", "IN", "IS", "NULL", "BETWEEN", "ORDER", "BY",
+    "GROUP", "HAVING", "LIMIT", "AS", "DISTINCT", "VALUES", "SET", "INSERT", "INTO", "UPDATE",
+    "DELETE", "CREATE", "TABLE", "INDEX", "ON", "DROP", "TRUE", "FALSE", "DESC", "ASC",
 ];
 
 fn is_reserved(word: &str) -> bool {
@@ -41,9 +41,16 @@ pub fn parse_expr(src: &str) -> Result<Expr> {
     Ok(e)
 }
 
+/// Maximum expression nesting depth. Each recursion level of the
+/// descent costs stack; unchecked input like `((((…1…))))` or
+/// `NOT NOT NOT … x` would otherwise overflow the thread stack instead
+/// of returning a parse error.
+const MAX_EXPR_DEPTH: usize = 128;
+
 struct Parser {
     tokens: Vec<Token>,
     pos: usize,
+    depth: usize,
 }
 
 impl Parser {
@@ -51,7 +58,22 @@ impl Parser {
         Ok(Parser {
             tokens: Lexer::new(src).tokenize()?,
             pos: 0,
+            depth: 0,
         })
+    }
+
+    fn enter(&mut self) -> Result<()> {
+        self.depth += 1;
+        if self.depth > MAX_EXPR_DEPTH {
+            return Err(TracError::Parse(format!(
+                "expression nesting exceeds {MAX_EXPR_DEPTH} levels"
+            )));
+        }
+        Ok(())
+    }
+
+    fn leave(&mut self) {
+        self.depth -= 1;
     }
 
     fn peek(&self) -> &Token {
@@ -386,6 +408,13 @@ impl Parser {
 
     /// Expression entry point: OR-level.
     pub(crate) fn expr(&mut self) -> Result<Expr> {
+        self.enter()?;
+        let out = self.expr_inner();
+        self.leave();
+        out
+    }
+
+    fn expr_inner(&mut self) -> Result<Expr> {
         let mut lhs = self.and_expr()?;
         while self.peek().is_kw("OR") {
             self.bump();
@@ -408,7 +437,10 @@ impl Parser {
     fn not_expr(&mut self) -> Result<Expr> {
         if self.peek().is_kw("NOT") {
             self.bump();
-            Ok(Expr::Not(Box::new(self.not_expr()?)))
+            self.enter()?;
+            let inner = self.not_expr();
+            self.leave();
+            Ok(Expr::Not(Box::new(inner?)))
         } else {
             self.comparison()
         }
@@ -419,8 +451,7 @@ impl Parser {
         // Postfix predicates: IN, BETWEEN, IS [NOT] NULL (optionally
         // preceded by NOT).
         let negated = if self.peek().is_kw("NOT")
-            && (self.tokens[self.pos + 1].is_kw("IN")
-                || self.tokens[self.pos + 1].is_kw("BETWEEN"))
+            && (self.tokens[self.pos + 1].is_kw("IN") || self.tokens[self.pos + 1].is_kw("BETWEEN"))
         {
             self.bump();
             true
@@ -506,7 +537,10 @@ impl Parser {
 
     fn unary(&mut self) -> Result<Expr> {
         if self.eat(&TokenKind::Minus) {
-            return Ok(Expr::Neg(Box::new(self.unary()?)));
+            self.enter()?;
+            let inner = self.unary();
+            self.leave();
+            return Ok(Expr::Neg(Box::new(inner?)));
         }
         self.primary()
     }
@@ -609,10 +643,7 @@ mod tests {
         assert_eq!(q.from.len(), 1);
         assert_eq!(q.from[0].table, "Activity");
         let w = q.where_clause.unwrap();
-        assert_eq!(
-            w.to_string(),
-            "mach_id IN ('m1', 'm2') AND value = 'idle'"
-        );
+        assert_eq!(w.to_string(), "mach_id IN ('m1', 'm2') AND value = 'idle'");
     }
 
     #[test]
@@ -641,7 +672,7 @@ mod tests {
         .unwrap();
         match &q.items[0] {
             SelectItem::Expr { expr, .. } => {
-                assert!(matches!(expr, Expr::Func { wildcard: true, .. }))
+                assert!(matches!(expr, Expr::Func { wildcard: true, .. }));
             }
             _ => panic!("expected expr item"),
         }
@@ -680,8 +711,7 @@ mod tests {
             }
             _ => panic!(),
         }
-        let s = parse_statement("UPDATE Activity SET value = 'busy' WHERE mach_id = 'm1'")
-            .unwrap();
+        let s = parse_statement("UPDATE Activity SET value = 'busy' WHERE mach_id = 'm1'").unwrap();
         assert!(matches!(s, Statement::Update(_)));
         let s = parse_statement("DELETE FROM Activity WHERE mach_id = 'm1'").unwrap();
         assert!(matches!(s, Statement::Delete(_)));
@@ -698,8 +728,7 @@ mod tests {
             }
             _ => panic!(),
         }
-        let s =
-            parse_statement("CREATE INDEX activity_idx ON Activity (mach_id)").unwrap();
+        let s = parse_statement("CREATE INDEX activity_idx ON Activity (mach_id)").unwrap();
         assert!(matches!(s, Statement::CreateIndex(_)));
         let s = parse_statement("DROP TABLE Activity").unwrap();
         assert_eq!(s, Statement::DropTable("Activity".into()));
@@ -754,5 +783,19 @@ mod tests {
     fn select_trailing_semicolon_and_case() {
         assert!(parse_select("select A from T;").is_ok());
         assert!(parse_select("SeLeCt a FrOm t").is_ok());
+    }
+
+    #[test]
+    fn deep_nesting_errors_instead_of_overflowing() {
+        let parens = format!("SELECT {}1{} FROM t", "(".repeat(5000), ")".repeat(5000));
+        let err = parse_statement(&parens).unwrap_err();
+        assert!(err.message().contains("nesting"), "{err}");
+        let nots = format!("SELECT a FROM t WHERE {}a = 1", "NOT ".repeat(5000));
+        assert!(parse_statement(&nots).is_err());
+        let negs = format!("SELECT {}1 FROM t", "- ".repeat(5000));
+        assert!(parse_statement(&negs).is_err());
+        // Plausible nesting still parses.
+        let ok = format!("SELECT {}1{} FROM t", "(".repeat(60), ")".repeat(60));
+        assert!(parse_statement(&ok).is_ok());
     }
 }

@@ -86,11 +86,7 @@ impl Database {
     }
 
     /// Creates a session-scoped temp table.
-    pub fn create_temp_table(
-        &self,
-        schema: TableSchema,
-        session: SessionId,
-    ) -> Result<TableId> {
+    pub fn create_temp_table(&self, schema: TableSchema, session: SessionId) -> Result<TableId> {
         let mut inner = self.state.data.write();
         let id = TableId(inner.stores.len());
         inner
@@ -126,7 +122,9 @@ impl Database {
 
     /// Allocates a fresh session id.
     pub fn new_session_id(&self) -> SessionId {
-        self.state.next_session.fetch_add(1, AtomicOrdering::Relaxed)
+        self.state
+            .next_session
+            .fetch_add(1, AtomicOrdering::Relaxed)
     }
 
     /// Builds an ordered index on `table.column`, backfilling existing
@@ -140,9 +138,10 @@ impl Database {
         let store = inner.stores[tid.0]
             .as_ref()
             .ok_or_else(|| TracError::Catalog(format!("table {table} was dropped")))?;
-        let col = store.table.schema.column_index(column).ok_or_else(|| {
-            TracError::Catalog(format!("no column {column} in table {table}"))
-        })?;
+        let col =
+            store.table.schema.column_index(column).ok_or_else(|| {
+                TracError::Catalog(format!("no column {column} in table {table}"))
+            })?;
         if inner.catalog.index_on_column(tid, col).is_some() {
             return Err(TracError::Catalog(format!(
                 "index on {table}.{column} already exists"
@@ -212,8 +211,7 @@ impl Database {
         for store in inner.stores.iter_mut().flatten() {
             let removed = store.table.compact(|v| {
                 txns.status(v.xmin) == TxnStatus::Aborted
-                    || v
-                        .xmax
+                    || v.xmax
                         .is_some_and(|x| txns.committed_before_all_snapshots(x))
             });
             if removed > 0 {
@@ -345,7 +343,10 @@ impl ReadTxn {
         mut pred: impl FnMut(&Row) -> Result<bool>,
     ) -> Result<Option<Row>> {
         let inner = self.state.data.read();
-        for (_, row) in store(&inner, tid)?.table.scan_visible(&self.snapshot, self.own) {
+        for (_, row) in store(&inner, tid)?
+            .table
+            .scan_visible(&self.snapshot, self.own)
+        {
             if pred(&row)? {
                 return Ok(Some(row));
             }
@@ -687,13 +688,23 @@ mod tests {
         // Wrong source tag is rejected.
         let err = db
             .with_write(|w| {
-                w.ingest(&m1, tid, act_row("m2", "idle", 50), Timestamp::from_secs(50))
+                w.ingest(
+                    &m1,
+                    tid,
+                    act_row("m2", "idle", 50),
+                    Timestamp::from_secs(50),
+                )
             })
             .unwrap_err();
         assert_eq!(err.kind(), "constraint");
         // Correct ingest stores the row and the heartbeat.
         db.with_write(|w| {
-            w.ingest(&m1, tid, act_row("m1", "idle", 100), Timestamp::from_secs(100))
+            w.ingest(
+                &m1,
+                tid,
+                act_row("m1", "idle", 100),
+                Timestamp::from_secs(100),
+            )
         })
         .unwrap();
         let r = db.begin_read();
@@ -703,7 +714,12 @@ mod tests {
         );
         // Heartbeat is monotone: an older event does not regress it.
         db.with_write(|w| {
-            w.ingest(&m1, tid, act_row("m1", "busy", 80), Timestamp::from_secs(80))
+            w.ingest(
+                &m1,
+                tid,
+                act_row("m1", "busy", 80),
+                Timestamp::from_secs(80),
+            )
         })
         .unwrap();
         let r = db.begin_read();
@@ -732,7 +748,10 @@ mod tests {
             .unwrap();
         assert_eq!(hits.len(), 2);
         // Probe on unindexed column reports no index.
-        assert!(r.index_probe_in(tid, 1, &[Value::text("idle")]).unwrap().is_none());
+        assert!(r
+            .index_probe_in(tid, 1, &[Value::text("idle")])
+            .unwrap()
+            .is_none());
         // Delete one m1 row; a fresh snapshot sees one hit, old sees two.
         let (slot, _) = db
             .begin_read()

@@ -63,10 +63,7 @@ impl Index {
     }
 
     /// Slots whose key is in any of `keys` (an `IN` list probe).
-    pub fn probe_in<'a>(
-        &'a self,
-        keys: &'a [Value],
-    ) -> impl Iterator<Item = RowSlot> + 'a {
+    pub fn probe_in<'a>(&'a self, keys: &'a [Value]) -> impl Iterator<Item = RowSlot> + 'a {
         keys.iter().flat_map(move |k| self.probe_eq(k))
     }
 

@@ -30,8 +30,8 @@ pub mod txn;
 
 pub use catalog::{Catalog, IndexMeta, TableId};
 pub use db::{Database, ReadTxn, VacuumStats, WriteTxn};
-pub use persist::{load_snapshot, save_snapshot};
 pub use heartbeat::{HEARTBEAT_RECENCY_COL, HEARTBEAT_SID_COL, HEARTBEAT_TABLE};
+pub use persist::{load_snapshot, save_snapshot};
 pub use schema::{ColumnDef, TableSchema};
 pub use table::{Row, RowSlot, Table};
 pub use txn::{Snapshot, TxnId, TxnManager, TxnStatus};

@@ -18,9 +18,7 @@ use crate::db::Database;
 use crate::schema::{ColumnDef, TableSchema};
 use bytes::{Buf, BufMut, Bytes, BytesMut};
 use std::path::Path;
-use trac_types::{
-    ColumnDomain, DataType, Result, RowCheckRef, Timestamp, TracError, Value,
-};
+use trac_types::{ColumnDomain, DataType, Result, RowCheckRef, Timestamp, TracError, Value};
 
 const MAGIC: &[u8; 4] = b"TRAC";
 const FORMAT_VERSION: u16 = 1;
@@ -79,18 +77,16 @@ pub fn save_snapshot(db: &Database, path: &Path) -> Result<()> {
             }
         }
     }
-    std::fs::write(path, &buf).map_err(|e| {
-        TracError::Storage(format!("cannot write snapshot {}: {e}", path.display()))
-    })
+    std::fs::write(path, &buf)
+        .map_err(|e| TracError::Storage(format!("cannot write snapshot {}: {e}", path.display())))
 }
 
 /// Loads a snapshot into a fresh [`Database`]. `bind_check` rebuilds each
 /// persisted CHECK constraint; pass a closure erroring out to refuse
 /// databases with constraints.
 pub fn load_snapshot(path: &Path, bind_check: CheckBinder<'_>) -> Result<Database> {
-    let data = std::fs::read(path).map_err(|e| {
-        TracError::Storage(format!("cannot read snapshot {}: {e}", path.display()))
-    })?;
+    let data = std::fs::read(path)
+        .map_err(|e| TracError::Storage(format!("cannot read snapshot {}: {e}", path.display())))?;
     let mut buf = Bytes::from(data);
     let corrupt = |what: &str| TracError::Storage(format!("corrupt snapshot: {what}"));
     if buf.remaining() < 6 || &buf.copy_to_bytes(4)[..] != MAGIC {
@@ -112,8 +108,7 @@ pub fn load_snapshot(path: &Path, bind_check: CheckBinder<'_>) -> Result<Databas
         let mut columns = Vec::with_capacity(n_cols as usize);
         for _ in 0..n_cols {
             let col_name = get_str(&mut buf)?;
-            let ty = type_from_tag(get_u8(&mut buf)?)
-                .ok_or_else(|| corrupt("bad type tag"))?;
+            let ty = type_from_tag(get_u8(&mut buf)?).ok_or_else(|| corrupt("bad type tag"))?;
             let nullable = get_u8(&mut buf)? != 0;
             let domain = get_domain(&mut buf)?;
             let mut def = ColumnDef::new(col_name, ty).with_domain(domain);
@@ -127,12 +122,8 @@ pub fn load_snapshot(path: &Path, bind_check: CheckBinder<'_>) -> Result<Databas
         } else {
             None
         };
-        let source_name = source_column.map(|i| {
-            columns
-                .get(i)
-                .map(|c| c.name.clone())
-                .unwrap_or_default()
-        });
+        let source_name =
+            source_column.map(|i| columns.get(i).map(|c| c.name.clone()).unwrap_or_default());
         let mut schema = TableSchema::new(name.clone(), columns, source_name.as_deref())?;
         let n_checks = checked_u16(&mut buf, "check count")?;
         for _ in 0..n_checks {
@@ -207,7 +198,9 @@ fn put_str(buf: &mut BytesMut, s: &str) {
 fn get_str(buf: &mut Bytes) -> Result<String> {
     let len = checked_u32(buf, "string length")? as usize;
     if buf.remaining() < len {
-        return Err(TracError::Storage("corrupt snapshot: truncated string".into()));
+        return Err(TracError::Storage(
+            "corrupt snapshot: truncated string".into(),
+        ));
     }
     String::from_utf8(buf.copy_to_bytes(len).to_vec())
         .map_err(|_| TracError::Storage("corrupt snapshot: invalid utf-8".into()))
@@ -222,14 +215,18 @@ fn get_u8(buf: &mut Bytes) -> Result<u8> {
 
 fn checked_u16(buf: &mut Bytes, what: &str) -> Result<u16> {
     if buf.remaining() < 2 {
-        return Err(TracError::Storage(format!("corrupt snapshot: truncated {what}")));
+        return Err(TracError::Storage(format!(
+            "corrupt snapshot: truncated {what}"
+        )));
     }
     Ok(buf.get_u16())
 }
 
 fn checked_u32(buf: &mut Bytes, what: &str) -> Result<u32> {
     if buf.remaining() < 4 {
-        return Err(TracError::Storage(format!("corrupt snapshot: truncated {what}")));
+        return Err(TracError::Storage(format!(
+            "corrupt snapshot: truncated {what}"
+        )));
     }
     Ok(buf.get_u32())
 }
@@ -291,7 +288,11 @@ fn get_domain(buf: &mut Bytes) -> Result<ColumnDomain> {
             hi: Timestamp::from_micros(get_i64(buf)?),
         },
         4 => ColumnDomain::Bools,
-        _ => return Err(TracError::Storage("corrupt snapshot: bad domain tag".into())),
+        _ => {
+            return Err(TracError::Storage(
+                "corrupt snapshot: bad domain tag".into(),
+            ))
+        }
     })
 }
 
@@ -448,8 +449,7 @@ mod tests {
         let db = Database::new();
         let session = db.new_session_id();
         let schema =
-            TableSchema::new("scratch", vec![ColumnDef::new("x", DataType::Int)], None)
-                .unwrap();
+            TableSchema::new("scratch", vec![ColumnDef::new("x", DataType::Int)], None).unwrap();
         db.create_temp_table(schema, session).unwrap();
         let path = tmp("temps");
         save_snapshot(&db, &path).unwrap();

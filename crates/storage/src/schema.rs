@@ -93,9 +93,7 @@ impl TableSchema {
                     .iter()
                     .position(|c| c.name.eq_ignore_ascii_case(sc))
                     .ok_or_else(|| {
-                        TracError::Catalog(format!(
-                            "source column {sc} not found in table {name}"
-                        ))
+                        TracError::Catalog(format!("source column {sc} not found in table {name}"))
                     })?;
                 if columns[idx].nullable {
                     return Err(TracError::Catalog(format!(
@@ -168,12 +166,7 @@ impl TableSchema {
                     )));
                 }
                 v.coerce_to(c.ty).map_err(|e| {
-                    TracError::Type(format!(
-                        "column {}.{}: {}",
-                        self.name,
-                        c.name,
-                        e.message()
-                    ))
+                    TracError::Type(format!("column {}.{}: {}", self.name, c.name, e.message()))
                 })
             })
             .collect::<Result<_>>()?;
@@ -232,12 +225,9 @@ mod tests {
             None
         )
         .is_err());
-        assert!(TableSchema::new(
-            "t",
-            vec![ColumnDef::new("a", DataType::Int)],
-            Some("b")
-        )
-        .is_err());
+        assert!(
+            TableSchema::new("t", vec![ColumnDef::new("a", DataType::Int)], Some("b")).is_err()
+        );
         // Nullable source column is rejected.
         assert!(TableSchema::new(
             "t",

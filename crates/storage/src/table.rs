@@ -7,8 +7,8 @@
 
 use crate::schema::TableSchema;
 use crate::txn::{Snapshot, TxnId};
-use trac_types::{Result, TracError, Value};
 use std::sync::Arc;
+use trac_types::{Result, TracError, Value};
 
 /// A shared, immutable row payload.
 pub type Row = Arc<[Value]>;
@@ -139,12 +139,7 @@ impl Table {
     }
 
     /// Visibility check + fetch for a single slot.
-    pub fn visible_at(
-        &self,
-        slot: RowSlot,
-        snap: &Snapshot,
-        own: Option<TxnId>,
-    ) -> Option<Row> {
+    pub fn visible_at(&self, slot: RowSlot, snap: &Snapshot, own: Option<TxnId>) -> Option<Row> {
         let v = self.versions.get(slot.0)?;
         snap.sees_version(own, v.xmin, v.xmax)
             .then(|| Arc::clone(&v.values))

@@ -112,7 +112,9 @@ impl TxnManager {
                 .collect(),
         );
         drop(t);
-        let serial = self.next_snapshot_serial.fetch_add(1, AtomicOrdering::Relaxed);
+        let serial = self
+            .next_snapshot_serial
+            .fetch_add(1, AtomicOrdering::Relaxed);
         self.snapshots.write().insert(
             serial,
             SnapshotInfo {

@@ -86,7 +86,10 @@ mod tests {
         assert_eq!(DataType::parse_sql_name("integer"), Some(DataType::Int));
         assert_eq!(DataType::parse_sql_name("VarChar"), Some(DataType::Text));
         assert_eq!(DataType::parse_sql_name("double"), Some(DataType::Float));
-        assert_eq!(DataType::parse_sql_name("datetime"), Some(DataType::Timestamp));
+        assert_eq!(
+            DataType::parse_sql_name("datetime"),
+            Some(DataType::Timestamp)
+        );
         assert_eq!(DataType::parse_sql_name("blob"), None);
     }
 

@@ -69,13 +69,12 @@ impl ColumnDomain {
     pub fn contains(&self, v: &Value) -> bool {
         match (self, v) {
             (_, Value::Null) => false,
-            (ColumnDomain::Any(t), v) => v.data_type() == Some(*t)
-                || (*t == DataType::Float && matches!(v, Value::Int(_))),
+            (ColumnDomain::Any(t), v) => {
+                v.data_type() == Some(*t) || (*t == DataType::Float && matches!(v, Value::Int(_)))
+            }
             (ColumnDomain::IntRange { lo, hi }, Value::Int(i)) => lo <= i && i <= hi,
             (ColumnDomain::TextSet(s), Value::Text(t)) => s.contains(t),
-            (ColumnDomain::TimestampRange { lo, hi }, Value::Timestamp(t)) => {
-                lo <= t && t <= hi
-            }
+            (ColumnDomain::TimestampRange { lo, hi }, Value::Timestamp(t)) => lo <= t && t <= hi,
             (ColumnDomain::Bools, Value::Bool(_)) => true,
             _ => false,
         }
@@ -124,12 +123,8 @@ impl ColumnDomain {
         }
         Some(match self {
             ColumnDomain::Any(_) => unreachable!("cardinality was Some"),
-            ColumnDomain::IntRange { lo, hi } => {
-                (*lo..=*hi).map(Value::Int).collect()
-            }
-            ColumnDomain::TextSet(s) => {
-                s.iter().cloned().map(Value::Text).collect()
-            }
+            ColumnDomain::IntRange { lo, hi } => (*lo..=*hi).map(Value::Int).collect(),
+            ColumnDomain::TextSet(s) => s.iter().cloned().map(Value::Text).collect(),
             ColumnDomain::TimestampRange { lo, hi } => {
                 let mut out = Vec::with_capacity(n as usize);
                 let mut t = lo.micros();
@@ -152,16 +147,10 @@ impl ColumnDomain {
             ColumnDomain::Any(DataType::Float) => Some(Value::Float(0.0)),
             ColumnDomain::Any(DataType::Text) => Some(Value::text("")),
             ColumnDomain::Any(DataType::Bool) => Some(Value::Bool(false)),
-            ColumnDomain::Any(DataType::Timestamp) => {
-                Some(Value::Timestamp(Timestamp(0)))
-            }
-            ColumnDomain::IntRange { lo, hi } => {
-                (lo <= hi).then_some(Value::Int(*lo))
-            }
+            ColumnDomain::Any(DataType::Timestamp) => Some(Value::Timestamp(Timestamp(0))),
+            ColumnDomain::IntRange { lo, hi } => (lo <= hi).then_some(Value::Int(*lo)),
             ColumnDomain::TextSet(s) => s.iter().next().cloned().map(Value::Text),
-            ColumnDomain::TimestampRange { lo, hi } => {
-                (lo <= hi).then_some(Value::Timestamp(*lo))
-            }
+            ColumnDomain::TimestampRange { lo, hi } => (lo <= hi).then_some(Value::Timestamp(*lo)),
             ColumnDomain::Bools => Some(Value::Bool(false)),
         }
     }
@@ -177,18 +166,15 @@ impl ColumnDomain {
         use ColumnDomain::*;
         match (self, other) {
             (Any(a), b) | (b, Any(a)) => b.data_type().comparable_with(*a),
-            (IntRange { lo: a, hi: b }, IntRange { lo: c, hi: d }) => {
-                a.max(c) <= b.min(d)
-            }
+            (IntRange { lo: a, hi: b }, IntRange { lo: c, hi: d }) => a.max(c) <= b.min(d),
             (TextSet(a), TextSet(b)) => {
                 // Iterate the smaller set.
                 let (small, big) = if a.len() <= b.len() { (a, b) } else { (b, a) };
                 small.iter().any(|s| big.contains(s))
             }
-            (
-                TimestampRange { lo: a, hi: b },
-                TimestampRange { lo: c, hi: d },
-            ) => a.max(c) <= b.min(d),
+            (TimestampRange { lo: a, hi: b }, TimestampRange { lo: c, hi: d }) => {
+                a.max(c) <= b.min(d)
+            }
             (Bools, Bools) => true,
             _ => false,
         }

@@ -103,7 +103,7 @@ mod tests {
             TracError::Constraint(String::new()),
             TracError::Config(String::new()),
         ];
-        let mut kinds: Vec<_> = all.iter().map(|e| e.kind()).collect();
+        let mut kinds: Vec<_> = all.iter().map(TracError::kind).collect();
         kinds.sort_unstable();
         kinds.dedup();
         assert_eq!(kinds.len(), all.len());

@@ -365,7 +365,10 @@ mod tests {
         assert_eq!(TsDuration::from_mins(20).to_string(), "00:20:00");
         assert_eq!(TsDuration::from_secs(3_661).to_string(), "01:01:01");
         assert_eq!(TsDuration::from_secs(-90).to_string(), "-00:01:30");
-        assert_eq!(TsDuration::from_micros(1_500_000).to_string(), "00:00:01.500000");
+        assert_eq!(
+            TsDuration::from_micros(1_500_000).to_string(),
+            "00:00:01.500000"
+        );
         // Multi-day ranges roll into hours rather than days.
         assert_eq!(TsDuration::from_secs(90_000).to_string(), "25:00:00");
     }
@@ -379,7 +382,10 @@ mod tests {
         assert_eq!((a + d) - a, d);
         assert_eq!(d.abs(), d);
         assert_eq!(TsDuration(-5).abs(), TsDuration(5));
-        assert_eq!(Timestamp::MAX.saturating_add(TsDuration::from_secs(1)), Timestamp::MAX);
+        assert_eq!(
+            Timestamp::MAX.saturating_add(TsDuration::from_secs(1)),
+            Timestamp::MAX
+        );
     }
 
     #[test]

@@ -111,9 +111,7 @@ impl Value {
             | (v @ Value::Text(_), DataType::Text)
             | (v @ Value::Timestamp(_), DataType::Timestamp) => Ok(v),
             (Value::Int(i), DataType::Float) => Ok(Value::Float(i as f64)),
-            (Value::Text(s), DataType::Timestamp) => {
-                Ok(Value::Timestamp(Timestamp::parse(&s)?))
-            }
+            (Value::Text(s), DataType::Timestamp) => Ok(Value::Timestamp(Timestamp::parse(&s)?)),
             (v, ty) => Err(TracError::Type(format!(
                 "cannot store {} in a {ty} column",
                 v.type_name()

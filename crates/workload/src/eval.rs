@@ -3,12 +3,8 @@
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
 use std::sync::Arc;
-use trac_storage::{
-    heartbeat, ColumnDef, Database, TableId, TableSchema, HEARTBEAT_TABLE,
-};
-use trac_types::{
-    ColumnDomain, DataType, Result, Timestamp, TracError, TsDuration, Value,
-};
+use trac_storage::{heartbeat, ColumnDef, Database, TableId, TableSchema, HEARTBEAT_TABLE};
+use trac_types::{ColumnDomain, DataType, Result, Timestamp, TracError, TsDuration, Value};
 
 /// One point of the paper's sweep: `data_ratio × n_sources = total_rows`.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -166,8 +162,7 @@ pub fn load_eval_db(config: &EvalConfig) -> Result<EvalDb> {
         let recency = if i <= config.n_stale_sources {
             config.base - TsDuration::from_secs(config.stale_secs)
         } else {
-            config.base
-                - TsDuration::from_secs(rng.random_range(0..=config.heartbeat_spread_secs))
+            config.base - TsDuration::from_secs(rng.random_range(0..=config.heartbeat_spread_secs))
         };
         txn.insert(hb, vec![Value::text(sid), Value::Timestamp(recency)])?;
     }
@@ -251,7 +246,13 @@ mod tests {
     fn generates_requested_shape() {
         let cfg = EvalConfig::new(1000, 100); // 10 sources × 100 rows
         let e = load_eval_db(&cfg).unwrap();
-        assert_eq!(e.point, SweepPoint { data_ratio: 100, n_sources: 10 });
+        assert_eq!(
+            e.point,
+            SweepPoint {
+                data_ratio: 100,
+                n_sources: 10
+            }
+        );
         let txn = e.db.begin_read();
         assert_eq!(txn.row_count(e.activity).unwrap(), 1000);
         assert_eq!(txn.row_count(e.routing).unwrap(), 10);
@@ -272,7 +273,7 @@ mod tests {
         .unwrap();
         match r {
             trac_exec::StatementResult::Rows(q) => {
-                assert_eq!(q.rows[0][0], Value::text("Tao1")) // ring wraps
+                assert_eq!(q.rows[0][0], Value::text("Tao1")); // ring wraps
             }
             other => panic!("{other:?}"),
         }
@@ -283,10 +284,10 @@ mod tests {
         let cfg = EvalConfig::new(500, 50);
         let a = load_eval_db(&cfg).unwrap();
         let b = load_eval_db(&cfg).unwrap();
-        let qa = execute_statement(&a.db, "SELECT COUNT(*) FROM Activity WHERE value = 'idle'")
-            .unwrap();
-        let qb = execute_statement(&b.db, "SELECT COUNT(*) FROM Activity WHERE value = 'idle'")
-            .unwrap();
+        let qa =
+            execute_statement(&a.db, "SELECT COUNT(*) FROM Activity WHERE value = 'idle'").unwrap();
+        let qb =
+            execute_statement(&b.db, "SELECT COUNT(*) FROM Activity WHERE value = 'idle'").unwrap();
         assert_eq!(format!("{qa:?}"), format!("{qb:?}"));
     }
 
@@ -313,7 +314,13 @@ mod tests {
     #[test]
     fn figure1_sweep_shape() {
         let sweep = figure1_sweep(1_000_000, 100_000);
-        assert_eq!(sweep[0], SweepPoint { data_ratio: 10, n_sources: 100_000 });
+        assert_eq!(
+            sweep[0],
+            SweepPoint {
+                data_ratio: 10,
+                n_sources: 100_000
+            }
+        );
         assert_eq!(
             *sweep.last().unwrap(),
             SweepPoint {
@@ -334,7 +341,7 @@ mod tests {
             let r = execute_statement(&e.db, sql).unwrap();
             match r {
                 trac_exec::StatementResult::Rows(q) => {
-                    assert!(q.scalar().is_some(), "{name} must return a count")
+                    assert!(q.scalar().is_some(), "{name} must return a count");
                 }
                 other => panic!("{name}: {other:?}"),
             }

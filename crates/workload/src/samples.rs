@@ -140,8 +140,8 @@ mod tests {
     fn table1_contents_match_paper() {
         let t = load_paper_tables().unwrap();
         let txn = t.db.begin_read();
-        let rows = execute_sql(&txn, "SELECT mach_id, value FROM Activity ORDER BY mach_id")
-            .unwrap();
+        let rows =
+            execute_sql(&txn, "SELECT mach_id, value FROM Activity ORDER BY mach_id").unwrap();
         assert_eq!(
             rows.rows,
             vec![
@@ -156,9 +156,11 @@ mod tests {
     fn table2_contents_match_paper() {
         let t = load_paper_tables().unwrap();
         let txn = t.db.begin_read();
-        let rows =
-            execute_sql(&txn, "SELECT mach_id, neighbor FROM Routing ORDER BY mach_id")
-                .unwrap();
+        let rows = execute_sql(
+            &txn,
+            "SELECT mach_id, neighbor FROM Routing ORDER BY mach_id",
+        )
+        .unwrap();
         assert_eq!(
             rows.rows,
             vec![

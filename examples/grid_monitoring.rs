@@ -105,9 +105,8 @@ fn main() -> Result<()> {
     // that the execute machine hasn't (visibly) started, and jobs running
     // with no visible routing record. Both are normal operation here.
     let txn = sim.db().clone();
-    let orphan_routed = session.query(
-        "SELECT COUNT(*) FROM sched S WHERE S.remotemachineid IS NOT NULL",
-    )?;
+    let orphan_routed =
+        session.query("SELECT COUNT(*) FROM sched S WHERE S.remotemachineid IS NOT NULL")?;
     let running = session.query("SELECT COUNT(*) FROM running")?;
     println!(
         "scheduler-side assignments visible: {}, execute-side running rows visible: {} \

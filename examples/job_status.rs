@@ -63,7 +63,11 @@ fn main() -> Result<()> {
 
     println!("--- case (a): nothing in S for job 1 ---");
     report(&session, "Q3 (R only): every machine could matter", Q3)?;
-    let r = report(&session, "Q4 (S join R): only myScheduler can change this", Q4)?;
+    let r = report(
+        &session,
+        "Q4 (S join R): only myScheduler can change this",
+        Q4,
+    )?;
     assert_eq!(r, vec!["myScheduler"]);
 
     println!("--- case (b): scheduler assigned job 1 to mx; mx hasn't reported ---");
@@ -74,8 +78,16 @@ fn main() -> Result<()> {
 
     println!("--- case (c): mx reports it is running job 1 ---");
     execute_statement(&t.db, "INSERT INTO R VALUES ('mx', 1)")?;
-    report(&session, "Q3: answer found, but all sources were relevant", Q3)?;
-    let r = report(&session, "Q4: answer found; relevant = {myScheduler, mx}", Q4)?;
+    report(
+        &session,
+        "Q3: answer found, but all sources were relevant",
+        Q3,
+    )?;
+    let r = report(
+        &session,
+        "Q4: answer found; relevant = {myScheduler, mx}",
+        Q4,
+    )?;
     assert_eq!(r, vec!["mx", "myScheduler"]);
 
     println!(

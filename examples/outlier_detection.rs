@@ -58,9 +58,8 @@ fn main() -> Result<()> {
     })?;
 
     let session = Session::new(db);
-    let out = session.recency_report(
-        "SELECT mach_id, value FROM Activity A WHERE value = 'idle'",
-    )?;
+    let out =
+        session.recency_report("SELECT mach_id, value FROM Activity A WHERE value = 'idle'")?;
 
     // The paper's transcript, reconstructed.
     println!("mydb=# SELECT * FROM recencyReport($$");

@@ -54,14 +54,18 @@ fn main() -> Result<()> {
     // 4. Ask a question through a TRAC session. The recency report comes
     //    back with the result, computed against the same snapshot.
     let session = Session::new(db);
-    let out = session.recency_report(
-        "SELECT mach_id, value FROM activity WHERE value = 'idle'",
-    )?;
+    let out = session.recency_report("SELECT mach_id, value FROM activity WHERE value = 'idle'")?;
 
     println!("{}", out.render());
     println!();
-    println!("generated recency quer{}:",
-        if out.generated_sql.len() == 1 { "y" } else { "ies" });
+    println!(
+        "generated recency quer{}:",
+        if out.generated_sql.len() == 1 {
+            "y"
+        } else {
+            "ies"
+        }
+    );
     for sql in &out.generated_sql {
         println!("  {sql}");
     }

@@ -38,12 +38,18 @@ fn show(db: &trac::storage::Database, label: &str, sql: &str) -> Result<()> {
     let truth = relevant_sources_oracle(&txn, &bound, 50_000_000)?;
     println!(
         "   relevant sources (generated queries): {:?}  guarantee: {}",
-        computed.iter().map(|s| s.as_str()).collect::<Vec<_>>(),
+        computed
+            .iter()
+            .map(trac::types::SourceId::as_str)
+            .collect::<Vec<_>>(),
         plan.guarantee
     );
     println!(
         "   relevant sources (brute-force truth): {:?}",
-        truth.iter().map(|s| s.as_str()).collect::<Vec<_>>()
+        truth
+            .iter()
+            .map(trac::types::SourceId::as_str)
+            .collect::<Vec<_>>()
     );
     assert!(computed.is_superset(&truth), "completeness must hold");
     println!();
@@ -55,9 +61,15 @@ fn main() -> Result<()> {
     let db = &tables.db;
 
     println!("Table 1 (Activity):");
-    println!("{}\n", execute_sql(&db.begin_read(), "SELECT * FROM Activity ORDER BY mach_id")?);
+    println!(
+        "{}\n",
+        execute_sql(&db.begin_read(), "SELECT * FROM Activity ORDER BY mach_id")?
+    );
     println!("Table 2 (Routing):");
-    println!("{}\n", execute_sql(&db.begin_read(), "SELECT * FROM Routing ORDER BY mach_id")?);
+    println!(
+        "{}\n",
+        execute_sql(&db.begin_read(), "SELECT * FROM Routing ORDER BY mach_id")?
+    );
 
     // Q1 of Section 4.1.1: which of m1, m2 reported idle?
     show(
@@ -87,7 +99,10 @@ fn main() -> Result<()> {
     // … but a *sequence* of updates from (irrelevant) m1 can: first m1
     // turns idle — which makes m1 relevant via Routing — then m1 adds
     // itself as its own neighbor, changing the query result.
-    execute_statement(db, "UPDATE Activity SET value = 'idle' WHERE mach_id = 'm1'")?;
+    execute_statement(
+        db,
+        "UPDATE Activity SET value = 'idle' WHERE mach_id = 'm1'",
+    )?;
     execute_statement(
         db,
         "INSERT INTO Routing VALUES ('m1', 'm1', TIMESTAMP '2006-03-13 00:00:00')",

@@ -1,0 +1,20 @@
+#!/usr/bin/env bash
+# The full CI gate, runnable locally (same sequence as .github/workflows/ci.yml):
+# formatting, the workspace lint wall, all tests, and the soundness
+# analyzer over every sample workload.
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+echo "==> cargo fmt --check"
+cargo fmt --all -- --check
+
+echo "==> cargo clippy (workspace lint wall)"
+cargo clippy --workspace --all-targets -- -D warnings
+
+echo "==> cargo test --workspace"
+cargo test --workspace -q
+
+echo "==> trac-analyze (soundness audit of sample workloads)"
+cargo run --release -p trac-analyze --bin trac-analyze
+
+echo "All checks passed."

@@ -63,11 +63,7 @@ fn main() {
 }
 
 /// Executes one input line; `Ok(true)` means quit.
-fn run_line(
-    db: &mut Database,
-    session: &mut Session,
-    line: &str,
-) -> Result<bool, TracError> {
+fn run_line(db: &mut Database, session: &mut Session, line: &str) -> Result<bool, TracError> {
     if let Some(rest) = line.strip_prefix('\\') {
         let (cmd, arg) = match rest.split_once(char::is_whitespace) {
             Some((c, a)) => (c, a.trim()),

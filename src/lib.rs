@@ -24,7 +24,9 @@ pub fn load_database(path: impl AsRef<Path>) -> Result<storage::Database> {
     storage::load_snapshot(path.as_ref(), &|schema, name, sql| {
         let body = sql::parse_expr(sql)?;
         let bound = expr::bind_expr_for_table(schema, &schema.name, &body)?;
-        Ok(std::sync::Arc::new(expr::BoundCheck::new(name, bound, schema)))
+        Ok(std::sync::Arc::new(expr::BoundCheck::new(
+            name, bound, schema,
+        )))
     })
 }
 
@@ -43,10 +45,7 @@ mod tests {
         )
         .unwrap();
         execute_statement(&db, "INSERT INTO routing VALUES ('m1', 'm2')").unwrap();
-        let path = std::env::temp_dir().join(format!(
-            "trac_umbrella_{}.snap",
-            std::process::id()
-        ));
+        let path = std::env::temp_dir().join(format!("trac_umbrella_{}.snap", std::process::id()));
         save_database(&db, &path).unwrap();
         let loaded = load_database(&path).unwrap();
         std::fs::remove_file(&path).ok();

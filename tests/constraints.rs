@@ -111,7 +111,10 @@ fn constraint_tightens_relevance() {
     let constrained = db_with_routing_constraint(true);
     let (computed, truth) = sources(&constrained, SELF_NEIGHBOR_QUERY);
     assert!(truth.is_empty(), "oracle with constraints: {truth:?}");
-    assert!(computed.is_empty(), "analyzer with constraints: {computed:?}");
+    assert!(
+        computed.is_empty(),
+        "analyzer with constraints: {computed:?}"
+    );
 }
 
 #[test]
@@ -142,9 +145,11 @@ fn check_via_sql_ddl() {
     let err = execute_statement(&db, "INSERT INTO routing VALUES ('m1', 'm1')").unwrap_err();
     assert_eq!(err.kind(), "constraint");
     // Updates are validated too.
-    let err =
-        execute_statement(&db, "UPDATE routing SET neighbor = 'm1' WHERE mach_id = 'm1'")
-            .unwrap_err();
+    let err = execute_statement(
+        &db,
+        "UPDATE routing SET neighbor = 'm1' WHERE mach_id = 'm1'",
+    )
+    .unwrap_err();
     assert_eq!(err.kind(), "constraint");
     // Multiple CHECK clauses parse and roundtrip through Display.
     let stmt = trac::sql::parse_statement(

@@ -23,18 +23,33 @@ use trac::types::{ColumnDomain, Value};
 /// Random bound predicates over 3 int columns of one table.
 fn bound_pred() -> impl Strategy<Value = BoundExpr> {
     let leaf = prop_oneof![
-        (0..3usize, 0..4i64, prop_oneof![
-            Just(BinaryOp::Eq), Just(BinaryOp::NotEq), Just(BinaryOp::Lt),
-            Just(BinaryOp::LtEq), Just(BinaryOp::Gt), Just(BinaryOp::GtEq)
-        ])
-            .prop_map(|(c, v, op)| BoundExpr::binary(op, BoundExpr::col(0, c), BoundExpr::lit(v))),
-        (0..3usize, proptest::collection::vec(0..4i64, 1..3), any::<bool>()).prop_map(
-            |(c, vs, neg)| BoundExpr::InList {
+        (
+            0..3usize,
+            0..4i64,
+            prop_oneof![
+                Just(BinaryOp::Eq),
+                Just(BinaryOp::NotEq),
+                Just(BinaryOp::Lt),
+                Just(BinaryOp::LtEq),
+                Just(BinaryOp::Gt),
+                Just(BinaryOp::GtEq)
+            ]
+        )
+            .prop_map(|(c, v, op)| BoundExpr::binary(
+                op,
+                BoundExpr::col(0, c),
+                BoundExpr::lit(v)
+            )),
+        (
+            0..3usize,
+            proptest::collection::vec(0..4i64, 1..3),
+            any::<bool>()
+        )
+            .prop_map(|(c, vs, neg)| BoundExpr::InList {
                 expr: Box::new(BoundExpr::col(0, c)),
                 list: vs.into_iter().map(BoundExpr::lit).collect(),
                 negated: neg,
-            }
-        ),
+            }),
         (0..3usize, 0..3usize).prop_map(|(a, b)| BoundExpr::binary(
             BinaryOp::Eq,
             BoundExpr::col(0, a),
@@ -45,10 +60,12 @@ fn bound_pred() -> impl Strategy<Value = BoundExpr> {
     ];
     leaf.prop_recursive(3, 16, 2, |inner| {
         prop_oneof![
-            (inner.clone(), inner.clone())
-                .prop_map(|(a, b)| BoundExpr::binary(BinaryOp::And, a, b)),
-            (inner.clone(), inner.clone())
-                .prop_map(|(a, b)| BoundExpr::binary(BinaryOp::Or, a, b)),
+            (inner.clone(), inner.clone()).prop_map(|(a, b)| BoundExpr::binary(
+                BinaryOp::And,
+                a,
+                b
+            )),
+            (inner.clone(), inner.clone()).prop_map(|(a, b)| BoundExpr::binary(BinaryOp::Or, a, b)),
             inner.prop_map(|a| BoundExpr::Not(Box::new(a))),
         ]
     })
@@ -73,13 +90,27 @@ fn sql_expr_ast() -> impl Strategy<Value = Expr> {
     ];
     leaf.prop_recursive(3, 20, 2, |inner| {
         prop_oneof![
-            (inner.clone(), inner.clone(), prop_oneof![
-                Just(BinaryOp::Eq), Just(BinaryOp::Lt), Just(BinaryOp::Add),
-                Just(BinaryOp::Sub), Just(BinaryOp::Mul), Just(BinaryOp::Div),
-                Just(BinaryOp::And), Just(BinaryOp::Or), Just(BinaryOp::GtEq),
-            ])
+            (
+                inner.clone(),
+                inner.clone(),
+                prop_oneof![
+                    Just(BinaryOp::Eq),
+                    Just(BinaryOp::Lt),
+                    Just(BinaryOp::Add),
+                    Just(BinaryOp::Sub),
+                    Just(BinaryOp::Mul),
+                    Just(BinaryOp::Div),
+                    Just(BinaryOp::And),
+                    Just(BinaryOp::Or),
+                    Just(BinaryOp::GtEq),
+                ]
+            )
                 .prop_map(|(a, b, op)| Expr::binary(op, a, b)),
-            (inner.clone(), proptest::collection::vec(inner.clone(), 1..3), any::<bool>())
+            (
+                inner.clone(),
+                proptest::collection::vec(inner.clone(), 1..3),
+                any::<bool>()
+            )
                 .prop_map(|(e, list, negated)| Expr::InList {
                     expr: Box::new(e),
                     list,

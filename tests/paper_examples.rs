@@ -43,8 +43,7 @@ const Q2: &str = "SELECT A.mach_id FROM Routing R, Activity A \
 #[test]
 fn section_411_q1_example() {
     let t = load_paper_tables().unwrap();
-    let sql =
-        "SELECT mach_id FROM Activity WHERE mach_id IN ('m1', 'm2') AND value = 'idle'";
+    let sql = "SELECT mach_id FROM Activity WHERE mach_id IN ('m1', 'm2') AND value = 'idle'";
     // The query result: only m1 (m2 is busy).
     let r = execute_sql(&t.db.begin_read(), sql).unwrap();
     assert_eq!(r.rows, vec![vec![Value::text("m1")]]);
@@ -65,11 +64,19 @@ fn section_412_q2_example() {
     // exactly these (the via-R upper bound happens to be exact here).
     let (plan, sources) = relevant(&t.db, Q2);
     assert_eq!(sources, vec!["m1", "m3"]);
-    let via_r = plan.subqueries.iter().find(|s| s.via_relation == "R").unwrap();
-    let via_a = plan.subqueries.iter().find(|s| s.via_relation == "A").unwrap();
+    let via_r = plan
+        .subqueries
+        .iter()
+        .find(|s| s.via_relation == "R")
+        .unwrap();
+    let via_a = plan
+        .subqueries
+        .iter()
+        .find(|s| s.via_relation == "A")
+        .unwrap();
     assert_eq!(via_r.status, SubqueryStatus::UpperBound); // J_rm present
     assert_eq!(via_a.status, SubqueryStatus::Minimum); // Theorem 4
-    // Ground truth decomposition matches the paper exactly.
+                                                       // Ground truth decomposition matches the paper exactly.
     let txn = t.db.begin_read();
     let bound = bind_select(&txn, &parse_select(Q2).unwrap()).unwrap();
     let via_r_truth = relevant_sources_oracle_via(&txn, &bound, 0, 50_000_000).unwrap();
@@ -95,10 +102,16 @@ fn section_412_sequence_of_updates_counterexample() {
     let before = execute_sql(&t.db.begin_read(), Q2).unwrap();
     assert!(before.is_empty());
     // First update: m1 reports idle — makes m1 relevant via Routing…
-    execute_statement(&t.db, "UPDATE Activity SET value = 'idle' WHERE mach_id = 'm1'")
-        .unwrap();
+    execute_statement(
+        &t.db,
+        "UPDATE Activity SET value = 'idle' WHERE mach_id = 'm1'",
+    )
+    .unwrap();
     let after_first = execute_sql(&t.db.begin_read(), Q2).unwrap();
-    assert!(after_first.is_empty(), "one update must not change the result");
+    assert!(
+        after_first.is_empty(),
+        "one update must not change the result"
+    );
     assert!(oracle_names(&t.db, Q2).contains(&"m1".to_string()));
     // …second update: m1 becomes its own neighbor — result changes.
     execute_statement(
@@ -166,7 +179,11 @@ fn section_51_prototype_session() {
         ingest("m2", "busy", Timestamp::parse("2006-02-12 17:23:00")?)?;
         ingest("m3", "idle", Timestamp::parse("2006-03-15 14:40:05")?)?;
         for i in 4..=11 {
-            ingest(&format!("m{i}"), "busy", base + TsDuration::from_mins(i - 3))?;
+            ingest(
+                &format!("m{i}"),
+                "busy",
+                base + TsDuration::from_mins(i - 3),
+            )?;
         }
         Ok(())
     })
@@ -183,10 +200,19 @@ fn section_51_prototype_session() {
     assert_eq!(out.report.exceptional[0].0.as_str(), "m2");
     assert_eq!(out.report.normal.len(), 10);
     let (ls, lt) = out.report.least_recent.clone().unwrap();
-    assert_eq!((ls.as_str(), lt.to_string().as_str()), ("m1", "2006-03-15 14:20:05"));
+    assert_eq!(
+        (ls.as_str(), lt.to_string().as_str()),
+        ("m1", "2006-03-15 14:20:05")
+    );
     let (ms, mt) = out.report.most_recent.clone().unwrap();
-    assert_eq!((ms.as_str(), mt.to_string().as_str()), ("m3", "2006-03-15 14:40:05"));
-    assert_eq!(out.report.inconsistency_bound.unwrap().to_string(), "00:20:00");
+    assert_eq!(
+        (ms.as_str(), mt.to_string().as_str()),
+        ("m3", "2006-03-15 14:40:05")
+    );
+    assert_eq!(
+        out.report.inconsistency_bound.unwrap().to_string(),
+        "00:20:00"
+    );
     // The temp tables hold the same split and are queryable.
     let e = session
         .query(&format!("SELECT sid FROM {}", out.exceptional_table))

@@ -33,8 +33,7 @@ fn build_db(activity: &[(usize, usize)], routing: &[(usize, usize)]) -> Database
             "activity",
             vec![
                 ColumnDef::new("mach_id", DataType::Text).with_domain(machines.clone()),
-                ColumnDef::new("value", DataType::Text)
-                    .with_domain(ColumnDomain::text_set(STATES)),
+                ColumnDef::new("value", DataType::Text).with_domain(ColumnDomain::text_set(STATES)),
             ],
             Some("mach_id"),
         )
@@ -146,8 +145,10 @@ fn check_all(db: &Database, sql: &str) -> std::result::Result<(), TestCaseError>
     // Minimality when claimed.
     if plan.guarantee == Guarantee::Minimum {
         prop_assert_eq!(
-            &computed, &truth,
-            "claimed minimum but imprecise for {}", sql
+            &computed,
+            &truth,
+            "claimed minimum but imprecise for {}",
+            sql
         );
     }
     // Theorem 1: single updates from non-relevant sources don't change
@@ -203,9 +204,12 @@ fn check_all(db: &Database, sql: &str) -> std::result::Result<(), TestCaseError>
                     .rows;
                 rows.sort();
                 prop_assert_eq!(
-                    &rows, &baseline,
+                    &rows,
+                    &baseline,
                     "Theorem 1 violated for {}: tuple {:?} from irrelevant {} changed the result",
-                    sql, row, m
+                    sql,
+                    row,
+                    m
                 );
                 w.abort();
             }

@@ -50,10 +50,7 @@ fn setup(activity: &[(usize, usize)], routing: &[(usize, usize)]) -> Database {
 fn query_strategy() -> impl Strategy<Value = String> {
     let term = prop_oneof![
         (0..4usize).prop_map(|m| format!("A.mach_id = 'm{}'", m + 1)),
-        (0..2usize).prop_map(|v| format!(
-            "A.value = '{}'",
-            if v == 0 { "idle" } else { "busy" }
-        )),
+        (0..2usize).prop_map(|v| format!("A.value = '{}'", if v == 0 { "idle" } else { "busy" })),
         (0..4usize).prop_map(|m| format!("R.neighbor = 'm{}'", m + 1)),
         Just("R.neighbor = A.mach_id".to_string()),
         Just("R.mach_id = A.mach_id".to_string()),
@@ -122,14 +119,13 @@ fn dml_roundtrip_through_sql_only() {
          ('n1', 1, 'queued', NULL), ('n1', 2, 'queued', NULL), ('n2', 3, 'running', 0.5)",
     )
     .unwrap();
-    execute_statement(&db, "UPDATE jobs SET state = 'running', cpu = 1.5 WHERE job_id = 1")
-        .unwrap();
-    execute_statement(&db, "DELETE FROM jobs WHERE state = 'queued'").unwrap();
-    let r = execute_statement(
+    execute_statement(
         &db,
-        "SELECT job_id, state, cpu FROM jobs ORDER BY job_id",
+        "UPDATE jobs SET state = 'running', cpu = 1.5 WHERE job_id = 1",
     )
     .unwrap();
+    execute_statement(&db, "DELETE FROM jobs WHERE state = 'queued'").unwrap();
+    let r = execute_statement(&db, "SELECT job_id, state, cpu FROM jobs ORDER BY job_id").unwrap();
     match r {
         StatementResult::Rows(q) => {
             assert_eq!(

@@ -1,0 +1,246 @@
+//! Offline stand-in for the `bytes` crate (see `vendor/README.md`).
+//!
+//! Backs [`Bytes`]/[`BytesMut`] with a plain `Vec<u8>` plus a cursor —
+//! no refcounted zero-copy slicing, which the snapshot reader/writer in
+//! `trac-storage` does not need. Integer accessors are big-endian, the
+//! real crate's default, so snapshot files keep their on-disk layout.
+
+use std::ops::Deref;
+
+/// Read side of a byte buffer.
+pub trait Buf {
+    /// Bytes left to consume.
+    fn remaining(&self) -> usize;
+    /// True when at least one byte is left.
+    fn has_remaining(&self) -> bool {
+        self.remaining() > 0
+    }
+    /// Consumes `n` bytes and returns them as an owned [`Bytes`].
+    ///
+    /// # Panics
+    /// Panics when fewer than `n` bytes remain (matches the real crate).
+    fn copy_to_bytes(&mut self, n: usize) -> Bytes;
+    /// Consumes one byte.
+    fn get_u8(&mut self) -> u8;
+    /// Consumes a big-endian `u16`.
+    fn get_u16(&mut self) -> u16;
+    /// Consumes a big-endian `u32`.
+    fn get_u32(&mut self) -> u32;
+    /// Consumes a big-endian `u64`.
+    fn get_u64(&mut self) -> u64;
+    /// Consumes a big-endian `i64`.
+    fn get_i64(&mut self) -> i64;
+    /// Consumes a big-endian `f64`.
+    fn get_f64(&mut self) -> f64;
+}
+
+/// Write side of a byte buffer.
+pub trait BufMut {
+    /// Appends raw bytes.
+    fn put_slice(&mut self, src: &[u8]);
+    /// Appends one byte.
+    fn put_u8(&mut self, v: u8);
+    /// Appends a big-endian `u16`.
+    fn put_u16(&mut self, v: u16);
+    /// Appends a big-endian `u32`.
+    fn put_u32(&mut self, v: u32);
+    /// Appends a big-endian `u64`.
+    fn put_u64(&mut self, v: u64);
+    /// Appends a big-endian `i64`.
+    fn put_i64(&mut self, v: i64);
+    /// Appends a big-endian `f64`.
+    fn put_f64(&mut self, v: f64);
+}
+
+/// An immutable byte buffer consumed front-to-back.
+#[derive(Debug, Clone, Default)]
+pub struct Bytes {
+    data: Vec<u8>,
+    pos: usize,
+}
+
+impl Bytes {
+    fn take(&mut self, n: usize) -> &[u8] {
+        assert!(
+            self.remaining() >= n,
+            "buffer underflow: need {n}, have {}",
+            self.remaining()
+        );
+        let s = &self.data[self.pos..self.pos + n];
+        self.pos += n;
+        s
+    }
+
+    fn get_array<const N: usize>(&mut self) -> [u8; N] {
+        let mut out = [0u8; N];
+        out.copy_from_slice(self.take(N));
+        out
+    }
+}
+
+impl From<Vec<u8>> for Bytes {
+    fn from(data: Vec<u8>) -> Bytes {
+        Bytes { data, pos: 0 }
+    }
+}
+
+impl Deref for Bytes {
+    type Target = [u8];
+    fn deref(&self) -> &[u8] {
+        &self.data[self.pos..]
+    }
+}
+
+impl AsRef<[u8]> for Bytes {
+    fn as_ref(&self) -> &[u8] {
+        self
+    }
+}
+
+impl Buf for Bytes {
+    fn remaining(&self) -> usize {
+        self.data.len() - self.pos
+    }
+
+    fn copy_to_bytes(&mut self, n: usize) -> Bytes {
+        Bytes::from(self.take(n).to_vec())
+    }
+
+    fn get_u8(&mut self) -> u8 {
+        self.take(1)[0]
+    }
+
+    fn get_u16(&mut self) -> u16 {
+        u16::from_be_bytes(self.get_array())
+    }
+
+    fn get_u32(&mut self) -> u32 {
+        u32::from_be_bytes(self.get_array())
+    }
+
+    fn get_u64(&mut self) -> u64 {
+        u64::from_be_bytes(self.get_array())
+    }
+
+    fn get_i64(&mut self) -> i64 {
+        i64::from_be_bytes(self.get_array())
+    }
+
+    fn get_f64(&mut self) -> f64 {
+        f64::from_be_bytes(self.get_array())
+    }
+}
+
+/// A growable, append-only byte buffer.
+#[derive(Debug, Clone, Default)]
+pub struct BytesMut {
+    data: Vec<u8>,
+}
+
+impl BytesMut {
+    /// Creates an empty buffer with the given capacity hint.
+    pub fn with_capacity(cap: usize) -> BytesMut {
+        BytesMut {
+            data: Vec::with_capacity(cap),
+        }
+    }
+
+    /// Number of bytes written so far.
+    pub fn len(&self) -> usize {
+        self.data.len()
+    }
+
+    /// True when nothing has been written.
+    pub fn is_empty(&self) -> bool {
+        self.data.is_empty()
+    }
+
+    /// Converts into an immutable [`Bytes`].
+    pub fn freeze(self) -> Bytes {
+        Bytes::from(self.data)
+    }
+}
+
+impl Deref for BytesMut {
+    type Target = [u8];
+    fn deref(&self) -> &[u8] {
+        &self.data
+    }
+}
+
+impl AsRef<[u8]> for BytesMut {
+    fn as_ref(&self) -> &[u8] {
+        &self.data
+    }
+}
+
+impl BufMut for BytesMut {
+    fn put_slice(&mut self, src: &[u8]) {
+        self.data.extend_from_slice(src);
+    }
+
+    fn put_u8(&mut self, v: u8) {
+        self.data.push(v);
+    }
+
+    fn put_u16(&mut self, v: u16) {
+        self.put_slice(&v.to_be_bytes());
+    }
+
+    fn put_u32(&mut self, v: u32) {
+        self.put_slice(&v.to_be_bytes());
+    }
+
+    fn put_u64(&mut self, v: u64) {
+        self.put_slice(&v.to_be_bytes());
+    }
+
+    fn put_i64(&mut self, v: i64) {
+        self.put_slice(&v.to_be_bytes());
+    }
+
+    fn put_f64(&mut self, v: f64) {
+        self.put_slice(&v.to_be_bytes());
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn write_read_roundtrip() {
+        let mut w = BytesMut::with_capacity(16);
+        w.put_u8(7);
+        w.put_u16(300);
+        w.put_u32(70_000);
+        w.put_u64(1 << 40);
+        w.put_i64(-5);
+        w.put_f64(2.5);
+        w.put_slice(b"tail");
+        let mut r = Bytes::from(w.as_ref().to_vec());
+        assert_eq!(r.get_u8(), 7);
+        assert_eq!(r.get_u16(), 300);
+        assert_eq!(r.get_u32(), 70_000);
+        assert_eq!(r.get_u64(), 1 << 40);
+        assert_eq!(r.get_i64(), -5);
+        assert_eq!(r.get_f64(), 2.5);
+        assert_eq!(r.remaining(), 4);
+        assert_eq!(&r.copy_to_bytes(4)[..], b"tail");
+        assert!(!r.has_remaining());
+    }
+
+    #[test]
+    fn big_endian_layout() {
+        let mut w = BytesMut::with_capacity(2);
+        w.put_u16(0x0102);
+        assert_eq!(w.as_ref(), &[1, 2]);
+    }
+
+    #[test]
+    #[should_panic(expected = "buffer underflow")]
+    fn underflow_panics() {
+        let mut r = Bytes::from(vec![1]);
+        r.get_u16();
+    }
+}

@@ -1,0 +1,776 @@
+//! Offline stand-in for the `proptest` crate (see `vendor/README.md`).
+//!
+//! Reimplements the subset of proptest's API that this workspace's
+//! property tests use: the [`strategy::Strategy`] trait with `prop_map` /
+//! `prop_recursive`, `prop_oneof!` (plain and weighted), `Just`,
+//! `any::<bool>()`, integer-range and string-pattern strategies,
+//! [`collection::vec`], [`sample::subsequence`], and the [`proptest!`] /
+//! `prop_assert*` / `prop_assume!` macros.
+//!
+//! Differences from the real crate, by design:
+//!
+//! * **No shrinking.** A failing case reports its seed and case index;
+//!   inputs are printed by the assertion messages the tests already carry.
+//! * **Deterministic seeding.** Each test function derives its RNG seed
+//!   from its own name (FNV-1a), so failures reproduce exactly across
+//!   runs — there is no persistence file because there is no need for one.
+//! * **String patterns** support character classes with optional bounded
+//!   repetition (`"[a-c]"`, `"[x-z]{1,3}"`), not full regex.
+
+pub mod test_runner {
+    use std::fmt;
+
+    /// Per-test configuration, selected with
+    /// `#![proptest_config(ProptestConfig { cases: N, ..Default::default() })]`.
+    #[derive(Debug, Clone)]
+    pub struct ProptestConfig {
+        /// Number of successful (non-rejected) cases each test must pass.
+        pub cases: u32,
+        /// Upper bound on `prop_assume!` rejections across the whole run.
+        pub max_global_rejects: u32,
+    }
+
+    impl Default for ProptestConfig {
+        fn default() -> ProptestConfig {
+            ProptestConfig {
+                cases: 256,
+                max_global_rejects: 65_536,
+            }
+        }
+    }
+
+    /// Why a single test case did not pass.
+    #[derive(Debug, Clone, PartialEq, Eq)]
+    pub enum TestCaseError {
+        /// The case was discarded by `prop_assume!`; it does not count
+        /// toward the `cases` quota and is not a failure.
+        Reject(String),
+        /// The case failed an assertion or returned an error.
+        Fail(String),
+    }
+
+    impl TestCaseError {
+        /// Builds a failure with the given message.
+        pub fn fail(reason: impl Into<String>) -> TestCaseError {
+            TestCaseError::Fail(reason.into())
+        }
+
+        /// Builds a rejection (assumption not met) with the given message.
+        pub fn reject(reason: impl Into<String>) -> TestCaseError {
+            TestCaseError::Reject(reason.into())
+        }
+    }
+
+    impl fmt::Display for TestCaseError {
+        fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+            match self {
+                TestCaseError::Reject(r) => write!(f, "input rejected: {r}"),
+                TestCaseError::Fail(r) => write!(f, "{r}"),
+            }
+        }
+    }
+
+    /// Deterministic RNG driving all value generation (SplitMix64).
+    #[derive(Debug, Clone)]
+    pub struct TestRng {
+        state: u64,
+    }
+
+    impl TestRng {
+        /// Creates a generator from a 64-bit seed.
+        pub fn from_seed(seed: u64) -> TestRng {
+            TestRng { state: seed }
+        }
+
+        /// Returns the next 64 random bits.
+        pub fn next_u64(&mut self) -> u64 {
+            self.state = self.state.wrapping_add(0x9E37_79B9_7F4A_7C15);
+            let mut z = self.state;
+            z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+            z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+            z ^ (z >> 31)
+        }
+
+        /// Uniform draw from `[0, n)`; `n` must be nonzero.
+        pub fn below(&mut self, n: u64) -> u64 {
+            debug_assert!(n > 0);
+            ((u128::from(self.next_u64()) * u128::from(n)) >> 64) as u64
+        }
+
+        /// Uniform boolean.
+        pub fn bool(&mut self) -> bool {
+            self.next_u64() & 1 == 1
+        }
+    }
+
+    /// FNV-1a over a test's name: the per-test seed.
+    pub fn seed_for(name: &str) -> u64 {
+        let mut h = 0xcbf2_9ce4_8422_2325u64;
+        for b in name.bytes() {
+            h ^= u64::from(b);
+            h = h.wrapping_mul(0x1000_0000_01b3);
+        }
+        h
+    }
+}
+
+pub mod strategy {
+    use crate::test_runner::TestRng;
+    use std::marker::PhantomData;
+    use std::ops::{Range, RangeInclusive};
+    use std::rc::Rc;
+
+    /// A recipe for generating random values of `Self::Value`.
+    pub trait Strategy {
+        /// The type of value this strategy produces.
+        type Value;
+
+        /// Draws one value.
+        fn generate(&self, rng: &mut TestRng) -> Self::Value;
+
+        /// Maps generated values through `f`.
+        fn prop_map<O, F>(self, f: F) -> Map<Self, F>
+        where
+            Self: Sized,
+            F: Fn(Self::Value) -> O,
+        {
+            Map { inner: self, f }
+        }
+
+        /// Builds a recursive strategy: `self` generates leaves, and
+        /// `recurse` wraps an inner strategy into composite nodes, applied
+        /// up to `depth` levels. The size/branch hints are accepted for
+        /// API compatibility and ignored.
+        fn prop_recursive<R, F>(
+            self,
+            depth: u32,
+            _desired_size: u32,
+            _expected_branch_size: u32,
+            recurse: F,
+        ) -> BoxedStrategy<Self::Value>
+        where
+            Self: Sized + 'static,
+            Self::Value: 'static,
+            R: Strategy<Value = Self::Value> + 'static,
+            F: Fn(BoxedStrategy<Self::Value>) -> R,
+        {
+            let leaf = self.boxed();
+            let mut current = leaf.clone();
+            for _ in 0..depth {
+                let next = recurse(current).boxed();
+                // Mix leaves back in so shallow values stay reachable at
+                // every level.
+                current = Union::new(vec![(1, leaf.clone()), (2, next)]).boxed();
+            }
+            current
+        }
+
+        /// Erases the concrete strategy type.
+        fn boxed(self) -> BoxedStrategy<Self::Value>
+        where
+            Self: Sized + 'static,
+        {
+            BoxedStrategy {
+                gen: Rc::new(move |rng| self.generate(rng)),
+            }
+        }
+    }
+
+    /// A clonable, type-erased strategy.
+    pub struct BoxedStrategy<T> {
+        gen: Rc<dyn Fn(&mut TestRng) -> T>,
+    }
+
+    impl<T> Clone for BoxedStrategy<T> {
+        fn clone(&self) -> Self {
+            BoxedStrategy {
+                gen: Rc::clone(&self.gen),
+            }
+        }
+    }
+
+    impl<T> Strategy for BoxedStrategy<T> {
+        type Value = T;
+        fn generate(&self, rng: &mut TestRng) -> T {
+            (self.gen)(rng)
+        }
+    }
+
+    /// Strategy produced by [`Strategy::prop_map`].
+    #[derive(Clone)]
+    pub struct Map<S, F> {
+        inner: S,
+        f: F,
+    }
+
+    impl<S, O, F> Strategy for Map<S, F>
+    where
+        S: Strategy,
+        F: Fn(S::Value) -> O,
+    {
+        type Value = O;
+        fn generate(&self, rng: &mut TestRng) -> O {
+            (self.f)(self.inner.generate(rng))
+        }
+    }
+
+    /// Always produces a clone of one value.
+    #[derive(Debug, Clone)]
+    pub struct Just<T: Clone>(pub T);
+
+    impl<T: Clone> Strategy for Just<T> {
+        type Value = T;
+        fn generate(&self, _rng: &mut TestRng) -> T {
+            self.0.clone()
+        }
+    }
+
+    /// Weighted choice among strategies of a common value type; what
+    /// `prop_oneof!` expands to.
+    pub struct Union<T> {
+        arms: Vec<(u32, BoxedStrategy<T>)>,
+        total: u64,
+    }
+
+    impl<T> Union<T> {
+        /// Builds a union from `(weight, strategy)` arms.
+        pub fn new(arms: Vec<(u32, BoxedStrategy<T>)>) -> Union<T> {
+            assert!(!arms.is_empty(), "prop_oneof! needs at least one arm");
+            let total = arms.iter().map(|(w, _)| u64::from(*w)).sum();
+            assert!(total > 0, "prop_oneof! weights sum to zero");
+            Union { arms, total }
+        }
+    }
+
+    impl<T> Strategy for Union<T> {
+        type Value = T;
+        fn generate(&self, rng: &mut TestRng) -> T {
+            let mut pick = rng.below(self.total);
+            for (w, s) in &self.arms {
+                if pick < u64::from(*w) {
+                    return s.generate(rng);
+                }
+                pick -= u64::from(*w);
+            }
+            unreachable!("weighted pick within total")
+        }
+    }
+
+    macro_rules! int_range_strategy {
+        ($($t:ty),*) => {$(
+            impl Strategy for Range<$t> {
+                type Value = $t;
+                fn generate(&self, rng: &mut TestRng) -> $t {
+                    assert!(self.start < self.end, "empty range strategy");
+                    let span = self.end.abs_diff(self.start);
+                    self.start.wrapping_add(rng.below(span as u64) as $t)
+                }
+            }
+            impl Strategy for RangeInclusive<$t> {
+                type Value = $t;
+                fn generate(&self, rng: &mut TestRng) -> $t {
+                    let (start, end) = (*self.start(), *self.end());
+                    assert!(start <= end, "empty range strategy");
+                    let span = end.abs_diff(start) as u64;
+                    let off = if span == u64::MAX {
+                        rng.next_u64()
+                    } else {
+                        rng.below(span + 1)
+                    };
+                    start.wrapping_add(off as $t)
+                }
+            }
+        )*};
+    }
+
+    int_range_strategy!(i32, i64, isize, u32, u64, usize);
+
+    macro_rules! tuple_strategy {
+        ($(($($s:ident . $idx:tt),+))*) => {$(
+            impl<$($s: Strategy),+> Strategy for ($($s,)+) {
+                type Value = ($($s::Value,)+);
+                fn generate(&self, rng: &mut TestRng) -> Self::Value {
+                    ($(self.$idx.generate(rng),)+)
+                }
+            }
+        )*};
+    }
+
+    tuple_strategy! {
+        (A.0)
+        (A.0, B.1)
+        (A.0, B.1, C.2)
+        (A.0, B.1, C.2, D.3)
+        (A.0, B.1, C.2, D.3, E.4)
+    }
+
+    /// One parsed element of a string pattern: a set of candidate chars
+    /// and a repetition count range.
+    struct PatternAtom {
+        choices: Vec<char>,
+        min: u32,
+        max: u32,
+    }
+
+    /// Parses the supported pattern subset: literal characters and
+    /// character classes `[a-z]`, either followed by `{n}` or `{m,n}`.
+    fn parse_pattern(pat: &str) -> Vec<PatternAtom> {
+        let mut atoms = Vec::new();
+        let mut chars = pat.chars().peekable();
+        while let Some(c) = chars.next() {
+            let choices = if c == '[' {
+                let mut set = Vec::new();
+                let mut prev: Option<char> = None;
+                loop {
+                    match chars.next() {
+                        None => panic!("unterminated character class in pattern {pat:?}"),
+                        Some(']') => break,
+                        Some('-') => {
+                            let lo = prev
+                                .take()
+                                .unwrap_or_else(|| panic!("dangling '-' in pattern {pat:?}"));
+                            let hi = chars
+                                .next()
+                                .unwrap_or_else(|| panic!("dangling '-' in pattern {pat:?}"));
+                            set.pop();
+                            for ch in lo..=hi {
+                                set.push(ch);
+                            }
+                        }
+                        Some(ch) => {
+                            set.push(ch);
+                            prev = Some(ch);
+                        }
+                    }
+                }
+                assert!(!set.is_empty(), "empty character class in pattern {pat:?}");
+                set
+            } else {
+                vec![c]
+            };
+            let (mut min, mut max) = (1u32, 1u32);
+            if chars.peek() == Some(&'{') {
+                chars.next();
+                let mut spec = String::new();
+                for ch in chars.by_ref() {
+                    if ch == '}' {
+                        break;
+                    }
+                    spec.push(ch);
+                }
+                let parse_u32 = |s: &str| {
+                    s.trim()
+                        .parse::<u32>()
+                        .unwrap_or_else(|_| panic!("bad repetition {spec:?} in pattern {pat:?}"))
+                };
+                match spec.split_once(',') {
+                    Some((lo, hi)) => {
+                        min = parse_u32(lo);
+                        max = parse_u32(hi);
+                    }
+                    None => {
+                        min = parse_u32(&spec);
+                        max = min;
+                    }
+                }
+                assert!(min <= max, "bad repetition bounds in pattern {pat:?}");
+            }
+            atoms.push(PatternAtom { choices, min, max });
+        }
+        atoms
+    }
+
+    impl Strategy for &'static str {
+        type Value = String;
+        fn generate(&self, rng: &mut TestRng) -> String {
+            let mut out = String::new();
+            for atom in parse_pattern(self) {
+                let count = atom.min + rng.below(u64::from(atom.max - atom.min) + 1) as u32;
+                for _ in 0..count {
+                    out.push(atom.choices[rng.below(atom.choices.len() as u64) as usize]);
+                }
+            }
+            out
+        }
+    }
+
+    /// Types with a canonical strategy, reachable through [`any`].
+    pub trait Arbitrary: Sized {
+        /// Draws one arbitrary value.
+        fn arbitrary(rng: &mut TestRng) -> Self;
+    }
+
+    impl Arbitrary for bool {
+        fn arbitrary(rng: &mut TestRng) -> bool {
+            rng.bool()
+        }
+    }
+
+    impl Arbitrary for u64 {
+        fn arbitrary(rng: &mut TestRng) -> u64 {
+            rng.next_u64()
+        }
+    }
+
+    impl Arbitrary for i64 {
+        fn arbitrary(rng: &mut TestRng) -> i64 {
+            rng.next_u64() as i64
+        }
+    }
+
+    /// Strategy returned by [`any`].
+    pub struct Any<T>(PhantomData<T>);
+
+    impl<T: Arbitrary> Strategy for Any<T> {
+        type Value = T;
+        fn generate(&self, rng: &mut TestRng) -> T {
+            T::arbitrary(rng)
+        }
+    }
+
+    /// The canonical strategy for `T`.
+    pub fn any<T: Arbitrary>() -> Any<T> {
+        Any(PhantomData)
+    }
+}
+
+pub mod collection {
+    use crate::strategy::Strategy;
+    use crate::test_runner::TestRng;
+    use std::ops::{Range, RangeInclusive};
+
+    /// A collection-size specification: an exact size or a size range.
+    #[derive(Debug, Clone, Copy)]
+    pub struct SizeRange {
+        min: usize,
+        /// Inclusive upper bound.
+        max: usize,
+    }
+
+    impl SizeRange {
+        /// Draws a size from the range.
+        pub fn pick(self, rng: &mut TestRng) -> usize {
+            self.min + rng.below((self.max - self.min + 1) as u64) as usize
+        }
+
+        /// The inclusive upper bound.
+        pub fn max(self) -> usize {
+            self.max
+        }
+
+        /// Clamps the bounds to `cap` (used by `sample::subsequence`).
+        pub fn clamp_to(self, cap: usize) -> SizeRange {
+            SizeRange {
+                min: self.min.min(cap),
+                max: self.max.min(cap),
+            }
+        }
+    }
+
+    impl From<usize> for SizeRange {
+        fn from(n: usize) -> SizeRange {
+            SizeRange { min: n, max: n }
+        }
+    }
+
+    impl From<Range<usize>> for SizeRange {
+        fn from(r: Range<usize>) -> SizeRange {
+            assert!(r.start < r.end, "empty size range");
+            SizeRange {
+                min: r.start,
+                max: r.end - 1,
+            }
+        }
+    }
+
+    impl From<RangeInclusive<usize>> for SizeRange {
+        fn from(r: RangeInclusive<usize>) -> SizeRange {
+            assert!(r.start() <= r.end(), "empty size range");
+            SizeRange {
+                min: *r.start(),
+                max: *r.end(),
+            }
+        }
+    }
+
+    /// Strategy for `Vec<S::Value>` with a size drawn from `size`.
+    pub struct VecStrategy<S> {
+        element: S,
+        size: SizeRange,
+    }
+
+    impl<S: Strategy> Strategy for VecStrategy<S> {
+        type Value = Vec<S::Value>;
+        fn generate(&self, rng: &mut TestRng) -> Vec<S::Value> {
+            let n = self.size.pick(rng);
+            (0..n).map(|_| self.element.generate(rng)).collect()
+        }
+    }
+
+    /// Generates vectors of values from `element` with length in `size`.
+    pub fn vec<S: Strategy>(element: S, size: impl Into<SizeRange>) -> VecStrategy<S> {
+        VecStrategy {
+            element,
+            size: size.into(),
+        }
+    }
+}
+
+pub mod sample {
+    use crate::collection::SizeRange;
+    use crate::strategy::Strategy;
+    use crate::test_runner::TestRng;
+
+    /// Strategy choosing a random subsequence of a fixed vector.
+    pub struct Subsequence<T: Clone> {
+        items: Vec<T>,
+        size: SizeRange,
+    }
+
+    impl<T: Clone> Strategy for Subsequence<T> {
+        type Value = Vec<T>;
+        fn generate(&self, rng: &mut TestRng) -> Vec<T> {
+            let n = self.size.clamp_to(self.items.len()).pick(rng);
+            // Reservoir-free selection: walk the items, keeping each with
+            // the probability needed to end at exactly `n` picks.
+            let mut out = Vec::with_capacity(n);
+            let mut needed = n;
+            for (i, item) in self.items.iter().enumerate() {
+                let left = self.items.len() - i;
+                if needed > 0 && rng.below(left as u64) < needed as u64 {
+                    out.push(item.clone());
+                    needed -= 1;
+                }
+            }
+            out
+        }
+    }
+
+    /// Generates in-order subsequences of `items` with length in `size`.
+    pub fn subsequence<T: Clone>(items: Vec<T>, size: impl Into<SizeRange>) -> Subsequence<T> {
+        Subsequence {
+            items,
+            size: size.into(),
+        }
+    }
+}
+
+/// Weighted or unweighted choice among strategies producing one value
+/// type: `prop_oneof![a, b]` or `prop_oneof![3 => a, 1 => b]`.
+#[macro_export]
+macro_rules! prop_oneof {
+    ($($weight:literal => $strat:expr),+ $(,)?) => {
+        $crate::strategy::Union::new(vec![
+            $(($weight as u32, $crate::strategy::Strategy::boxed($strat))),+
+        ])
+    };
+    ($($strat:expr),+ $(,)?) => {
+        $crate::strategy::Union::new(vec![
+            $((1u32, $crate::strategy::Strategy::boxed($strat))),+
+        ])
+    };
+}
+
+/// Discards the current case unless `cond` holds.
+#[macro_export]
+macro_rules! prop_assume {
+    ($cond:expr) => {
+        if !$cond {
+            return ::std::result::Result::Err($crate::test_runner::TestCaseError::reject(
+                concat!("assumption failed: ", stringify!($cond)),
+            ));
+        }
+    };
+}
+
+/// Fails the current case unless `cond` holds.
+#[macro_export]
+macro_rules! prop_assert {
+    ($cond:expr) => {
+        $crate::prop_assert!($cond, concat!("assertion failed: ", stringify!($cond)))
+    };
+    ($cond:expr, $($fmt:tt)+) => {
+        if !$cond {
+            return ::std::result::Result::Err($crate::test_runner::TestCaseError::fail(
+                format!($($fmt)+),
+            ));
+        }
+    };
+}
+
+/// Fails the current case unless `left == right`.
+#[macro_export]
+macro_rules! prop_assert_eq {
+    ($left:expr, $right:expr) => {{
+        let (l, r) = (&$left, &$right);
+        $crate::prop_assert!(
+            *l == *r,
+            "assertion failed: {} == {} (left: {:?}, right: {:?})",
+            stringify!($left), stringify!($right), l, r
+        );
+    }};
+    ($left:expr, $right:expr, $($fmt:tt)+) => {{
+        let (l, r) = (&$left, &$right);
+        if !(*l == *r) {
+            return ::std::result::Result::Err($crate::test_runner::TestCaseError::fail(
+                format!("{} (left: {:?}, right: {:?})", format!($($fmt)+), l, r),
+            ));
+        }
+    }};
+}
+
+/// Declares property tests. Each `fn name(arg in strategy, ...) { body }`
+/// becomes a `#[test]` running `cases` random cases.
+#[macro_export]
+macro_rules! proptest {
+    (#![proptest_config($config:expr)] $($rest:tt)*) => {
+        $crate::__proptest_tests!(($config) $($rest)*);
+    };
+    ($($rest:tt)*) => {
+        $crate::__proptest_tests!(
+            ($crate::test_runner::ProptestConfig::default()) $($rest)*
+        );
+    };
+}
+
+#[doc(hidden)]
+#[macro_export]
+macro_rules! __proptest_tests {
+    (($config:expr)) => {};
+    (($config:expr)
+        $(#[$meta:meta])*
+        fn $name:ident($($arg:ident in $strat:expr),+ $(,)?) $body:block
+        $($rest:tt)*
+    ) => {
+        $(#[$meta])*
+        fn $name() {
+            let config: $crate::test_runner::ProptestConfig = $config;
+            let seed = $crate::test_runner::seed_for(concat!(
+                ::std::module_path!(), "::", stringify!($name)
+            ));
+            $(let $arg = $strat;)+
+            let strategies = ($($arg,)+);
+            let ($($arg,)+) = &strategies;
+            let mut passed = 0u32;
+            let mut rejected = 0u32;
+            let mut case = 0u64;
+            while passed < config.cases {
+                case += 1;
+                let mut rng = $crate::test_runner::TestRng::from_seed(
+                    seed ^ case.wrapping_mul(0x9E37_79B9_7F4A_7C15),
+                );
+                $(
+                    let $arg = $crate::strategy::Strategy::generate($arg, &mut rng);
+                )+
+                let outcome = (|| -> ::std::result::Result<
+                    (),
+                    $crate::test_runner::TestCaseError,
+                > {
+                    $body
+                    ::std::result::Result::Ok(())
+                })();
+                match outcome {
+                    ::std::result::Result::Ok(()) => passed += 1,
+                    ::std::result::Result::Err(
+                        $crate::test_runner::TestCaseError::Reject(_),
+                    ) => {
+                        rejected += 1;
+                        assert!(
+                            rejected <= config.max_global_rejects,
+                            "{} rejected too many inputs ({rejected})",
+                            stringify!($name),
+                        );
+                    }
+                    ::std::result::Result::Err(
+                        $crate::test_runner::TestCaseError::Fail(msg),
+                    ) => {
+                        panic!(
+                            "property {} failed at case {case} (seed {seed:#x}): {msg}",
+                            stringify!($name),
+                        );
+                    }
+                }
+            }
+        }
+        $crate::__proptest_tests!(($config) $($rest)*);
+    };
+}
+
+pub mod prelude {
+    //! The glob-import surface: `use proptest::prelude::*;`.
+    pub use crate::strategy::{any, Arbitrary, BoxedStrategy, Just, Strategy};
+    pub use crate::test_runner::{ProptestConfig, TestCaseError};
+    pub use crate::{prop_assert, prop_assert_eq, prop_assume, prop_oneof, proptest};
+}
+
+#[cfg(test)]
+mod tests {
+    use crate::prelude::*;
+    use crate::test_runner::{seed_for, TestRng};
+
+    #[test]
+    fn string_patterns() {
+        let mut rng = TestRng::from_seed(3);
+        use crate::strategy::Strategy as _;
+        for _ in 0..100 {
+            let s = "[a-c]".generate(&mut rng);
+            assert_eq!(s.len(), 1);
+            assert!(("a"..="c").contains(&s.as_str()), "{s}");
+            let t = "[x-z]{1,3}".generate(&mut rng);
+            assert!((1..=3).contains(&t.len()), "{t}");
+            assert!(t.chars().all(|c| ('x'..='z').contains(&c)), "{t}");
+        }
+    }
+
+    #[test]
+    fn subsequence_sizes_and_order() {
+        let mut rng = TestRng::from_seed(9);
+        let strat = crate::sample::subsequence(vec![1, 2, 3], 1..=3);
+        for _ in 0..200 {
+            let s = strat.generate(&mut rng);
+            assert!((1..=3).contains(&s.len()));
+            let mut sorted = s.clone();
+            sorted.sort_unstable();
+            assert_eq!(s, sorted, "subsequence preserves order");
+        }
+    }
+
+    #[test]
+    fn union_respects_weights_roughly() {
+        let mut rng = TestRng::from_seed(11);
+        let strat = prop_oneof![9 => Just(true), 1 => Just(false)];
+        let hits = (0..1000).filter(|_| strat.generate(&mut rng)).count();
+        assert!(hits > 800, "expected ~900 true draws, got {hits}");
+    }
+
+    #[test]
+    fn seeds_differ_by_name() {
+        assert_ne!(seed_for("a::b"), seed_for("a::c"));
+    }
+
+    proptest! {
+        #![proptest_config(ProptestConfig { cases: 64, ..ProptestConfig::default() })]
+
+        #[test]
+        fn macro_end_to_end(
+            v in crate::collection::vec(0..10i64, 0..5),
+            flag in any::<bool>(),
+        ) {
+            prop_assume!(v.len() != 4);
+            prop_assert!(v.iter().all(|x| (0..10).contains(x)), "out of range {v:?}");
+            if flag {
+                prop_assert_eq!(v.len(), v.len());
+            }
+        }
+
+        #[test]
+        fn recursive_strategies_terminate(depth_probe in nested()) {
+            prop_assert!(depth_probe <= 4, "depth {} exceeds bound", depth_probe);
+        }
+    }
+
+    /// Nesting depth counter: leaves are 0, each recursion adds 1.
+    fn nested() -> impl Strategy<Value = u32> {
+        Just(0u32).prop_recursive(4, 8, 2, |inner| inner.prop_map(|d| d + 1))
+    }
+}

@@ -1,0 +1,166 @@
+//! Offline stand-in for the `rand` crate.
+//!
+//! The container this workspace builds in has no access to crates.io, so
+//! the handful of external dependencies are vendored as minimal
+//! API-compatible stubs (see `vendor/README.md`). This one covers exactly
+//! what the workspace uses: `rngs::StdRng`, `SeedableRng::seed_from_u64`,
+//! and `Rng::random_range` over integer ranges.
+//!
+//! The generator is SplitMix64 — a tiny, well-studied 64-bit mixer that is
+//! more than adequate for the deterministic workload/simulation seeding
+//! done here. It is **not** a drop-in statistical replacement for the real
+//! `StdRng` (ChaCha12): sequences differ, so anything asserting on exact
+//! sampled values would need re-blessing if the real crate returns.
+
+use std::ops::{Range, RangeInclusive};
+
+/// Core trait: a source of 64-bit randomness.
+pub trait RngCore {
+    /// Returns the next 64 random bits.
+    fn next_u64(&mut self) -> u64;
+}
+
+/// Construction of a generator from seed material.
+pub trait SeedableRng: Sized {
+    /// Builds a generator from a 64-bit seed.
+    fn seed_from_u64(seed: u64) -> Self;
+}
+
+/// Range sampling, the only high-level API the workspace uses.
+pub trait Rng: RngCore {
+    /// Samples uniformly from `range` (half-open or inclusive integer
+    /// ranges).
+    fn random_range<T, R: SampleRange<T>>(&mut self, range: R) -> T {
+        range.sample_from(self)
+    }
+}
+
+impl<R: RngCore + ?Sized> Rng for R {}
+
+/// A range that can be sampled to produce a `T`.
+pub trait SampleRange<T> {
+    /// Draws one sample from the range.
+    fn sample_from<R: RngCore + ?Sized>(self, rng: &mut R) -> T;
+}
+
+/// Integer types uniformly samplable from ranges. Mirrors the shape of
+/// rand's `SampleUniform` so that `Range<T>: SampleRange<T>` is a single
+/// blanket impl — which is what lets type inference flow from how the
+/// sampled value is *used* (e.g. as a slice index) back into unsuffixed
+/// range literals like `0..2`.
+pub trait SampleUniform: Copy + PartialOrd {
+    /// `hi - lo` as an unsigned width (`hi >= lo`).
+    fn span_to(self, hi: Self) -> u64;
+    /// `self + off`, where `off` is within a previously computed span.
+    fn offset(self, off: u64) -> Self;
+}
+
+macro_rules! impl_sample_uniform {
+    ($($t:ty),*) => {$(
+        impl SampleUniform for $t {
+            fn span_to(self, hi: $t) -> u64 {
+                hi.abs_diff(self) as u64
+            }
+            fn offset(self, off: u64) -> $t {
+                self.wrapping_add(off as $t)
+            }
+        }
+    )*};
+}
+
+impl_sample_uniform!(i32, i64, isize, u32, u64, usize);
+
+/// Uniform draw from `[0, n)` via Lemire-style widening multiply (the
+/// modulo bias at these range sizes is irrelevant for simulation seeding,
+/// but the multiply is just as cheap).
+fn below<R: RngCore + ?Sized>(rng: &mut R, n: u64) -> u64 {
+    debug_assert!(n > 0);
+    ((u128::from(rng.next_u64()) * u128::from(n)) >> 64) as u64
+}
+
+impl<T: SampleUniform> SampleRange<T> for Range<T> {
+    fn sample_from<R: RngCore + ?Sized>(self, rng: &mut R) -> T {
+        assert!(self.start < self.end, "empty range in random_range");
+        let span = self.start.span_to(self.end);
+        self.start.offset(below(rng, span))
+    }
+}
+
+impl<T: SampleUniform> SampleRange<T> for RangeInclusive<T> {
+    fn sample_from<R: RngCore + ?Sized>(self, rng: &mut R) -> T {
+        let (start, end) = self.into_inner();
+        assert!(start <= end, "empty range in random_range");
+        let span = start.span_to(end);
+        let off = if span == u64::MAX {
+            rng.next_u64()
+        } else {
+            below(rng, span + 1)
+        };
+        start.offset(off)
+    }
+}
+
+/// Named generators, mirroring `rand::rngs`.
+pub mod rngs {
+    use super::{RngCore, SeedableRng};
+
+    /// Deterministic 64-bit generator (SplitMix64).
+    #[derive(Debug, Clone)]
+    pub struct StdRng {
+        state: u64,
+    }
+
+    impl SeedableRng for StdRng {
+        fn seed_from_u64(seed: u64) -> StdRng {
+            StdRng { state: seed }
+        }
+    }
+
+    impl RngCore for StdRng {
+        fn next_u64(&mut self) -> u64 {
+            self.state = self.state.wrapping_add(0x9E37_79B9_7F4A_7C15);
+            let mut z = self.state;
+            z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+            z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+            z ^ (z >> 31)
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::rngs::StdRng;
+    use super::{Rng, SeedableRng};
+
+    #[test]
+    fn deterministic_for_fixed_seed() {
+        let mut a = StdRng::seed_from_u64(42);
+        let mut b = StdRng::seed_from_u64(42);
+        for _ in 0..100 {
+            assert_eq!(a.random_range(0..1000u64), b.random_range(0..1000u64));
+        }
+    }
+
+    #[test]
+    fn ranges_stay_in_bounds() {
+        let mut rng = StdRng::seed_from_u64(7);
+        for _ in 0..1000 {
+            let v = rng.random_range(3..17i64);
+            assert!((3..17).contains(&v));
+            let w = rng.random_range(0..=5usize);
+            assert!(w <= 5);
+            let neg = rng.random_range(-10..=-1i64);
+            assert!((-10..=-1).contains(&neg));
+        }
+    }
+
+    #[test]
+    fn both_endpoints_reachable() {
+        let mut rng = StdRng::seed_from_u64(1);
+        let mut seen = [false; 3];
+        for _ in 0..200 {
+            seen[rng.random_range(0..3usize)] = true;
+        }
+        assert_eq!(seen, [true, true, true]);
+    }
+}
