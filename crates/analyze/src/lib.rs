@@ -15,9 +15,10 @@
 //! * [`passes::guarantee`] — recomputes the Theorem 3/4 status of every
 //!   subquery and audits the claimed [`Guarantee`] (`TRAC002`, `TRAC003`,
 //!   `TRAC007`, `TRAC008`);
-//! * [`passes::sanitize`] — re-parses each generated recency subquery and
-//!   checks it projects only `Heartbeat.sid` and never mentions the
-//!   relation under analysis (`TRAC004`, `TRAC005`);
+//! * [`passes::sanitize`] — structurally audits each generated recency
+//!   subquery's bound form and lowered plan IR: it must project only
+//!   `Heartbeat.sid` and never mention (or scan) the relation under
+//!   analysis (`TRAC004`, `TRAC005`);
 //! * [`passes::satcheck`] — re-decides every SAT verdict the planner
 //!   relied on by brute-force model enumeration over small finite domains
 //!   (`TRAC006`).

@@ -13,7 +13,7 @@
 //!
 //! Usage: `ablation [--total-rows 100000] [--runs 3] [--warmup 1]`
 
-use trac_bench::harness::{measure, time_mean, Args, Variant};
+use trac_bench::harness::{measure, print_plan_summaries, time_mean, Args, Variant};
 use trac_core::{RecencyPlan, RelevanceConfig, ReportConfig, Session};
 use trac_exec::{execute_select_with, ExecOptions};
 use trac_expr::bind_select;
@@ -34,6 +34,7 @@ fn main() {
         n_sources: total_rows / ratio,
     };
     println!("# Ablations at {} sources, ratio {ratio}", point.n_sources);
+    print_plan_summaries(&e.db, &PAPER_QUERIES);
 
     // --- A: index probes on/off for the generated recency query. ---
     let (q1_name, q1_sql) = PAPER_QUERIES[0];
@@ -54,13 +55,15 @@ fn main() {
             },
         ),
     ] {
+        let sub_plan = trac_plan::plan_select(&txn, &sub, opts).unwrap();
         let mean = time_mean(warmup, runs, || {
             execute_select_with(&txn, &sub, opts).map(|(r, _)| r)
         })
         .unwrap();
         println!(
-            "A  {q1_name} recency query, {label}: {:>10.3} ms",
-            mean.as_secs_f64() * 1e3
+            "A  {q1_name} recency query, {label}: {:>10.3} ms  [{}]",
+            mean.as_secs_f64() * 1e3,
+            sub_plan.operator_summary()
         );
     }
     drop(txn);

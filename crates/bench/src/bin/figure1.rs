@@ -10,7 +10,7 @@
 //! Usage: `figure1 [--total-rows 1000000] [--runs 3] [--warmup 1]
 //!                 [--max-sources 100000]`
 
-use trac_bench::harness::{load_point, measure, pct, Args, Variant};
+use trac_bench::harness::{load_point, measure, pct, print_plan_summaries, Args, Variant};
 use trac_core::Session;
 use trac_workload::{eval::figure1_sweep, PAPER_QUERIES};
 
@@ -31,6 +31,7 @@ fn main() {
         "{:<6} {:>10} {:>10} {:>12} {:>12} {:>12} {:>12}",
         "query", "ratio", "sources", "t1(ms)", "naive", "focused", "hardcoded"
     );
+    let mut printed_plans = false;
     for point in sweep {
         let e = match load_point(total_rows, point, 7) {
             Ok(e) => e,
@@ -39,6 +40,10 @@ fn main() {
                 continue;
             }
         };
+        if !printed_plans {
+            print_plan_summaries(&e.db, &PAPER_QUERIES);
+            printed_plans = true;
+        }
         let session = Session::new(e.db.clone());
         for (name, sql) in PAPER_QUERIES {
             let t1 = measure(&session, point, name, sql, Variant::Plain, warmup, runs)

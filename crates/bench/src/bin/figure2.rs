@@ -7,7 +7,7 @@
 //! Usage: `figure2 [--total-rows 1000000] [--runs 3] [--warmup 1]
 //!                 [--max-sources 100000]`
 
-use trac_bench::harness::{load_point, measure, Args, Variant};
+use trac_bench::harness::{load_point, measure, print_plan_summaries, Args, Variant};
 use trac_core::Session;
 use trac_workload::{eval::figure1_sweep, PAPER_QUERIES};
 
@@ -25,6 +25,7 @@ fn main() {
         "{:<6} {:>10} {:>10} {:>16} {:>16}",
         "query", "ratio", "sources", "without(ms)", "with(ms)"
     );
+    let mut printed_plans = false;
     for point in sweep {
         let e = match load_point(total_rows, point, 7) {
             Ok(e) => e,
@@ -33,6 +34,15 @@ fn main() {
                 continue;
             }
         };
+        if !printed_plans {
+            print_plan_summaries(
+                &e.db,
+                PAPER_QUERIES
+                    .iter()
+                    .filter(|(name, _)| *name == "Q1" || *name == "Q3"),
+            );
+            printed_plans = true;
+        }
         let session = Session::new(e.db.clone());
         for (name, sql) in PAPER_QUERIES {
             if name != "Q1" && name != "Q3" {

@@ -15,7 +15,7 @@
 //!
 //! Usage: `fpr_table [--sources 100] [--ratio 10]`
 
-use trac_bench::harness::Args;
+use trac_bench::harness::{print_plan_summaries, Args};
 use trac_core::oracle::relevant_sources_oracle;
 use trac_core::{false_positive_rate, metrics::missed_count, RecencyPlan, RelevanceConfig};
 use trac_expr::bind_select;
@@ -31,6 +31,7 @@ fn main() {
     let total = n_sources * ratio;
     let e = load_eval_db(&EvalConfig::new(total, ratio)).expect("generate eval db");
     println!("# FPR table: exact measurement at {n_sources} sources, data ratio {ratio}");
+    print_plan_summaries(&e.db, &PAPER_QUERIES);
     println!(
         "{:<6} {:>8} {:>10} {:>9} {:>12} {:>12} {:>7} {:>7}",
         "query", "|S(Q)|", "|focused|", "|naive|", "fpr(focused)", "fpr(naive)", "missF", "missN"

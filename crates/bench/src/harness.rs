@@ -7,6 +7,7 @@
 
 use std::time::{Duration, Instant};
 use trac_core::{Method, Session};
+use trac_storage::Database;
 use trac_types::Result;
 use trac_workload::{load_eval_db, EvalConfig, EvalDb, SweepPoint};
 
@@ -98,6 +99,33 @@ pub fn measure(
     })
 }
 
+/// Operator counts of the physical plan chosen for `sql` in a fresh
+/// snapshot of `db` (e.g. `"IndexLookup=1 Project=1"`). Printed as
+/// `# plan` comment lines in experiment output so that a planner change
+/// that alters an access path or join strategy shows up as a diff in the
+/// recorded `results_*.txt`, not just as a timing shift.
+pub fn plan_summary(db: &Database, sql: &str) -> Result<String> {
+    let txn = db.begin_read();
+    let stmt = trac_sql::parse_select(sql)?;
+    let bound = trac_expr::bind_select(&txn, &stmt)?;
+    let plan = trac_plan::plan_select(&txn, &bound, trac_plan::ExecOptions::default())?;
+    Ok(plan.operator_summary())
+}
+
+/// Prints one `# plan` comment line per query, recording the operator
+/// counts each physical plan uses against `db`.
+pub fn print_plan_summaries<'a>(
+    db: &Database,
+    queries: impl IntoIterator<Item = &'a (&'a str, &'a str)>,
+) {
+    for (name, sql) in queries {
+        match plan_summary(db, sql) {
+            Ok(s) => println!("# plan {name}: {s}"),
+            Err(e) => println!("# plan {name}: error: {e}"),
+        }
+    }
+}
+
 /// Loads the evaluation database for one sweep point.
 pub fn load_point(total_rows: u64, point: SweepPoint, seed: u64) -> Result<EvalDb> {
     let mut cfg = EvalConfig::new(total_rows, point.data_ratio);
@@ -176,6 +204,26 @@ mod tests {
             assert_eq!(m.runs, 2);
             assert_eq!(m.n_sources, 10);
         }
+    }
+
+    #[test]
+    fn plan_summary_reports_operator_counts() {
+        let e = load_point(
+            200,
+            SweepPoint {
+                data_ratio: 20,
+                n_sources: 10,
+            },
+            1,
+        )
+        .unwrap();
+        let s = plan_summary(
+            &e.db,
+            "SELECT COUNT(*) FROM Activity WHERE mach_id = 'Tao1'",
+        )
+        .unwrap();
+        assert!(s.contains("Aggregate=1"), "{s}");
+        assert!(s.contains("IndexLookup=1"), "{s}");
     }
 
     #[test]

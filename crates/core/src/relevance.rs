@@ -88,6 +88,11 @@ pub struct RecencySubquery {
     pub status: SubqueryStatus,
     /// The executable query (absent when `status == Empty`).
     pub query: Option<BoundSelect>,
+    /// Physical plan lowered from `query` at build time (absent when
+    /// `status == Empty`). This is what EXPLAIN-style display and the
+    /// static analyzer inspect; execution re-plans against its own
+    /// snapshot so index choices never go stale.
+    pub plan: Option<trac_plan::PhysicalPlan>,
     /// Printable SQL for the generated query (`"-- empty"` when pruned).
     pub sql: String,
 }
@@ -136,7 +141,17 @@ impl RecencyPlan {
         let mut minimal = true;
         for (d_idx, disjunct) in dnf.disjuncts.iter().enumerate() {
             for rel in 0..q.tables.len() {
-                let sub = build_subquery(q, disjunct, d_idx, rel, hb_id, &hb_schema, &hb_binding)?;
+                let mut sub =
+                    build_subquery(q, disjunct, d_idx, rel, hb_id, &hb_schema, &hb_binding)?;
+                // Lower the generated query to plan IR right here — no SQL
+                // round-trip. The stored plan feeds EXPLAIN and analysis.
+                if let Some(query) = &sub.query {
+                    sub.plan = Some(trac_plan::plan_select(
+                        txn,
+                        query,
+                        trac_plan::ExecOptions::default(),
+                    )?);
+                }
                 match sub.status {
                     SubqueryStatus::Minimum | SubqueryStatus::Empty => {}
                     SubqueryStatus::UpperBound => minimal = false,
@@ -220,6 +235,7 @@ fn build_subquery(
             via_relation,
             status: SubqueryStatus::Empty,
             query: None,
+            plan: None,
             sql: "-- empty: relation has no data source column".into(),
         });
     }
@@ -256,6 +272,7 @@ fn build_subquery(
             via_relation,
             status: SubqueryStatus::Empty,
             query: None,
+            plan: None,
             sql: "-- empty: selection predicates unsatisfiable".into(),
         });
     }
@@ -326,6 +343,7 @@ fn build_subquery(
         via_relation,
         status,
         query: Some(query),
+        plan: None,
         sql,
     })
 }

@@ -20,7 +20,7 @@ use std::collections::BTreeSet;
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::time::{Duration, Instant};
 use trac_exec::QueryResult;
-use trac_expr::bind_select;
+use trac_expr::{bind_select, BoundSelect};
 use trac_sql::parse_select;
 use trac_storage::{heartbeat, ColumnDef, Database, ReadTxn, TableSchema, HEARTBEAT_TABLE};
 use trac_types::{DataType, Result, SourceId, Timestamp, TracError, Value};
@@ -133,6 +133,11 @@ impl Session {
     }
 
     /// Runs `sql` with the chosen reporting method.
+    ///
+    /// The Focused path parses and binds the user query exactly once:
+    /// the same [`BoundSelect`] feeds the recency analysis (which lowers
+    /// its generated subqueries straight to plan IR) and the user-query
+    /// execution. No SQL string is re-parsed anywhere downstream.
     pub fn recency_report_with(&self, sql: &str, method: Method) -> Result<ReportOutput> {
         let txn = self.db.begin_read();
         match method {
@@ -142,9 +147,13 @@ impl Session {
                 let bound = bind_select(&txn, &stmt)?;
                 let plan = RecencyPlan::build(&txn, &bound, self.relevance_config)?;
                 let analyze = t0.elapsed();
-                self.report_inner(&txn, sql, Some(&plan), analyze)
+                self.report_inner(&txn, &bound, Some(&plan), analyze)
             }
-            Method::Naive => self.report_inner(&txn, sql, None, Duration::ZERO),
+            Method::Naive => {
+                let stmt = parse_select(sql)?;
+                let bound = bind_select(&txn, &stmt)?;
+                self.report_inner(&txn, &bound, None, Duration::ZERO)
+            }
         }
     }
 
@@ -152,7 +161,9 @@ impl Session {
     /// hardcoded* variant: no parse/generation cost inside the call).
     pub fn recency_report_prebuilt(&self, sql: &str, plan: &RecencyPlan) -> Result<ReportOutput> {
         let txn = self.db.begin_read();
-        self.report_inner(&txn, sql, Some(plan), Duration::ZERO)
+        let stmt = parse_select(sql)?;
+        let bound = bind_select(&txn, &stmt)?;
+        self.report_inner(&txn, &bound, Some(plan), Duration::ZERO)
     }
 
     /// Builds a recency plan for later reuse (outside any timing).
@@ -166,13 +177,14 @@ impl Session {
     fn report_inner(
         &self,
         txn: &ReadTxn,
-        sql: &str,
+        bound: &BoundSelect,
         plan: Option<&RecencyPlan>,
         analyze: Duration,
     ) -> Result<ReportOutput> {
-        // 1. The user query, in the shared snapshot.
+        // 1. The user query, in the shared snapshot (already bound — the
+        // SQL text is never re-parsed past this point).
         let t0 = Instant::now();
-        let result = trac_exec::execute_sql(txn, sql)?;
+        let result = trac_exec::execute_select(txn, bound)?;
         let user_query = t0.elapsed();
         // 2. Relevant sources + their recency timestamps, same snapshot.
         let t0 = Instant::now();

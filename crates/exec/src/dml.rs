@@ -4,7 +4,8 @@
 //! run in their own write transaction. These exist so examples and tests
 //! can drive the engine entirely through SQL; the monitoring ingest path
 //! (which must also bump heartbeats) uses [`trac_storage::WriteTxn::ingest`]
-//! directly.
+//! directly. `EXPLAIN <select>` lowers the query through the planner and
+//! returns the rendered operator tree as a one-column result set.
 
 use crate::executor::execute_sql;
 use crate::result::QueryResult;
@@ -71,6 +72,19 @@ pub fn execute_statement(db: &Database, sql: &str) -> Result<StatementResult> {
         Statement::Select(_) => {
             let txn = db.begin_read();
             Ok(StatementResult::Rows(execute_sql(&txn, sql)?))
+        }
+        Statement::Explain(sel) => {
+            let txn = db.begin_read();
+            let bound = trac_expr::bind_select(&txn, &sel)?;
+            let plan = crate::executor::explain_select(&txn, &bound)?;
+            Ok(StatementResult::Rows(QueryResult {
+                columns: vec!["QUERY PLAN".to_string()],
+                rows: plan
+                    .render()
+                    .lines()
+                    .map(|l| vec![Value::text(l)])
+                    .collect(),
+            }))
         }
         Statement::Insert(ins) => {
             let txn = db.begin_write();
@@ -306,6 +320,37 @@ mod tests {
         assert!(execute_statement(&db, "CREATE TABLE bad (x BLOB)").is_err());
         // Subexpressions referencing columns in INSERT values are rejected.
         assert!(execute_statement(&db, "INSERT INTO Activity VALUES (mach_id, 'x', 1)").is_err());
+    }
+
+    #[test]
+    fn explain_renders_plan_rows() {
+        let db = setup();
+        execute_statement(
+            &db,
+            "INSERT INTO Activity VALUES ('m1', 'idle', TIMESTAMP '2006-03-11 20:37:46')",
+        )
+        .unwrap();
+        let r = execute_statement(
+            &db,
+            "EXPLAIN SELECT mach_id FROM Activity WHERE mach_id = 'm1'",
+        )
+        .unwrap();
+        match r {
+            StatementResult::Rows(q) => {
+                assert_eq!(q.columns, vec!["QUERY PLAN".to_string()]);
+                let text: Vec<String> = q
+                    .rows
+                    .iter()
+                    .map(|row| match &row[0] {
+                        Value::Text(t) => t.to_string(),
+                        other => panic!("{other:?}"),
+                    })
+                    .collect();
+                assert!(text[0].starts_with("Project"), "{text:?}");
+                assert!(text.iter().any(|l| l.contains("IndexLookup")), "{text:?}");
+            }
+            other => panic!("{other:?}"),
+        }
     }
 
     #[test]

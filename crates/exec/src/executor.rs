@@ -1,21 +1,33 @@
-//! The SELECT execution pipeline.
+//! The SELECT execution entry points.
+//!
+//! Execution is two-phase: [`trac_plan::plan_select`] lowers the bound
+//! query into a [`PhysicalPlan`] operator tree, and
+//! [`crate::operators::execute_plan`] interprets that tree as a
+//! streaming pipeline. [`PlanInfo`] is a per-table rendering of the
+//! same plan for EXPLAIN-style reporting.
 
-use crate::access::{choose_access_path, AccessPath, ExecOptions};
+use crate::operators::execute_plan;
 use crate::result::QueryResult;
-use std::collections::{BTreeSet, HashMap};
-use trac_expr::{
-    bind_select, eval_expr, eval_predicate, AggFunc, BoundExpr, BoundSelect, ColRef, Projection,
-    Truth,
-};
-use trac_sql::{parse_select, BinaryOp};
-use trac_storage::{ReadTxn, Row};
-use trac_types::{Result, TracError, Value};
+use trac_expr::{bind_select, BoundSelect};
+use trac_plan::{plan_select, ExecOptions, PhysicalPlan};
+use trac_sql::parse_select;
+use trac_storage::ReadTxn;
+use trac_types::Result;
 
 /// EXPLAIN-style description of how a query was executed.
 #[derive(Debug, Clone, Default)]
 pub struct PlanInfo {
     /// `(table binding, access path / join strategy)` in join order.
     pub steps: Vec<(String, String)>,
+}
+
+impl PlanInfo {
+    /// Summarizes a physical plan as per-table steps.
+    pub fn from_plan(plan: &PhysicalPlan) -> PlanInfo {
+        PlanInfo {
+            steps: plan.table_steps(),
+        }
+    }
 }
 
 /// Parses, binds and executes a `SELECT` string in `txn`'s snapshot.
@@ -27,7 +39,8 @@ pub fn execute_sql(txn: &ReadTxn, sql: &str) -> Result<QueryResult> {
 
 /// Executes a bound `SELECT` with default options.
 pub fn execute_select(txn: &ReadTxn, q: &BoundSelect) -> Result<QueryResult> {
-    execute_select_with(txn, q, ExecOptions::default()).map(|(r, _)| r)
+    let plan = plan_select(txn, q, ExecOptions::default())?;
+    execute_plan(txn, &plan)
 }
 
 /// Executes a bound `SELECT`, also reporting the plan taken.
@@ -36,547 +49,24 @@ pub fn execute_select_with(
     q: &BoundSelect,
     opts: ExecOptions,
 ) -> Result<(QueryResult, PlanInfo)> {
-    let mut plan = PlanInfo::default();
-    // 1. Split the predicate into top-level conjuncts.
-    let mut conjuncts: Vec<BoundExpr> = Vec::new();
-    if let Some(p) = &q.predicate {
-        split_and(p, &mut conjuncts);
-    }
-    // 2. Constant conjuncts decide emptiness up front.
-    let mut pending: Vec<Option<BoundExpr>> = Vec::new();
-    let mut trivially_empty = false;
-    for c in conjuncts {
-        if c.references().is_empty() {
-            if eval_predicate(&c, &[])? != Truth::True {
-                trivially_empty = true;
-            }
-        } else {
-            pending.push(Some(c));
-        }
-    }
-    // 3. Join tables left-to-right.
-    let mut tuples: Vec<Vec<Row>> = vec![vec![]];
-    if trivially_empty {
-        tuples.clear();
-    }
-    let mut joined: BTreeSet<usize> = BTreeSet::new();
-    for (pos, bt) in q.tables.iter().enumerate() {
-        if tuples.is_empty() {
-            // Still record a step for the plan, then keep the empty set.
-            plan.steps
-                .push((bt.binding.clone(), "pruned (empty input)".into()));
-            joined.insert(pos);
-            continue;
-        }
-        // Single-table conjuncts for this table.
-        let table_conjuncts: Vec<BoundExpr> = pending
-            .iter()
-            .flatten()
-            .filter(|c| c.tables() == BTreeSet::from([pos]))
-            .cloned()
-            .collect();
-        // Join conjuncts that become applicable once `pos` joins.
-        let mut applicable: Vec<BoundExpr> = Vec::new();
-        for slot in pending.iter_mut() {
-            if let Some(c) = slot.take() {
-                let ready = c.tables().iter().all(|t| *t == pos || joined.contains(t));
-                if ready {
-                    applicable.push(c);
-                } else {
-                    *slot = Some(c);
-                }
-            }
-        }
-        // Pick an equi-join conjunct usable as a key: pos.col = joined.col
-        let equi = applicable.iter().find_map(|c| equi_key(c, pos, &joined));
-        let access = choose_access_path(txn, bt.id, pos, &table_conjuncts, opts);
-        let single_filters: Vec<&BoundExpr> = applicable
-            .iter()
-            .filter(|c| c.tables() == BTreeSet::from([pos]))
-            .collect();
-        let cross_filters: Vec<&BoundExpr> = applicable
-            .iter()
-            .filter(|c| c.tables() != BTreeSet::from([pos]))
-            .collect();
-        let n_tables = pos + 1;
-        let mut next: Vec<Vec<Row>> = Vec::new();
-        let index_nl = equi.filter(|(inner_col, _)| {
-            opts.enable_index_scan
-                && matches!(access, AccessPath::SeqScan)
-                && txn.has_index(bt.id, *inner_col)
-        });
-        if let Some((inner_col, outer)) = index_nl {
-            // Index nested-loop: probe this table's index once per tuple.
-            plan.steps
-                .push((bt.binding.clone(), format!("IndexNLJoin(col#{inner_col})")));
-            for tuple in &tuples {
-                let key = tuple_value(tuple, outer)?;
-                if key.is_null() {
-                    continue;
-                }
-                let rows = txn
-                    .index_probe_in(bt.id, inner_col, std::slice::from_ref(&key))?
-                    .ok_or_else(|| {
-                        TracError::Execution(format!(
-                            "index on {}.col#{inner_col} vanished mid-plan",
-                            bt.binding
-                        ))
-                    })?;
-                extend_tuples(
-                    tuple,
-                    rows,
-                    n_tables,
-                    &single_filters,
-                    &cross_filters,
-                    &mut next,
-                )?;
-            }
-        } else {
-            // Fetch this table's (filtered) rows once.
-            let rows = fetch_rows(txn, bt.id, pos, &access, &table_conjuncts)?;
-            if let Some((inner_col, outer)) =
-                equi.filter(|_| opts.enable_hash_join && tuples.len() > 1 && !rows.is_empty())
-            {
-                plan.steps.push((
-                    bt.binding.clone(),
-                    format!("HashJoin(col#{inner_col}) over {}", access.describe()),
-                ));
-                let mut table: HashMap<Value, Vec<Row>> = HashMap::new();
-                for r in rows {
-                    let k = r[inner_col].clone();
-                    if !k.is_null() {
-                        table.entry(k).or_default().push(r);
-                    }
-                }
-                for tuple in &tuples {
-                    let key = tuple_value(tuple, outer)?;
-                    let matches = match table.get(&key) {
-                        Some(v) => v.clone(),
-                        None => continue,
-                    };
-                    extend_tuples(
-                        tuple,
-                        matches,
-                        n_tables,
-                        &single_filters,
-                        &cross_filters,
-                        &mut next,
-                    )?;
-                }
-            } else {
-                plan.steps.push((bt.binding.clone(), access.describe()));
-                for tuple in &tuples {
-                    extend_tuples(
-                        tuple,
-                        rows.clone(),
-                        n_tables,
-                        &single_filters,
-                        &cross_filters,
-                        &mut next,
-                    )?;
-                }
-            }
-        }
-        tuples = next;
-        joined.insert(pos);
-    }
-    // 4. Leftover conjuncts (defensive; all should have been applied).
-    for c in pending.iter().flatten() {
-        tuples.retain(|t| matches!(eval_predicate(c, t), Ok(Truth::True)));
-    }
-    // 5. Aggregate or project.
-    let columns = q.output_names();
-    let result = if !q.group_by.is_empty() {
-        // Grouped aggregation: partition tuples by their key vector, then
-        // evaluate each projection per group (scalars against a
-        // representative tuple — bind guarantees they are grouping keys).
-        let mut groups: Vec<(Vec<Value>, Vec<Vec<Row>>)> = Vec::new();
-        let mut index: HashMap<Vec<Value>, usize> = HashMap::new();
-        for t in tuples {
-            let mut key = Vec::with_capacity(q.group_by.len());
-            for g in &q.group_by {
-                key.push(eval_expr(g, &t)?);
-            }
-            match index.get(&key) {
-                Some(&i) => groups[i].1.push(t),
-                None => {
-                    index.insert(key.clone(), groups.len());
-                    groups.push((key, vec![t]));
-                }
-            }
-        }
-        let mut kept: Vec<(Vec<Value>, Vec<Row>)> = Vec::with_capacity(groups.len());
-        let mut rows = Vec::with_capacity(groups.len());
-        for (_, members) in groups {
-            let rep = members[0].clone();
-            if let Some(h) = &q.having {
-                if !having_passes(h, &members, &rep)? {
-                    continue;
-                }
-            }
-            let mut row = Vec::with_capacity(q.projections.len());
-            for p in &q.projections {
-                match p {
-                    Projection::Scalar { expr, .. } => row.push(eval_expr(expr, &rep)?),
-                    Projection::Aggregate { .. } => {
-                        row.push(aggregate_one(p, &members)?);
-                    }
-                }
-            }
-            rows.push(row);
-            kept.push((Vec::new(), rep));
-        }
-        // ORDER BY against group representatives; LIMIT on groups.
-        if !q.order_by.is_empty() {
-            let mut keyed: Vec<(Vec<Value>, Vec<Value>)> = Vec::with_capacity(rows.len());
-            for (row, (_, rep)) in rows.into_iter().zip(&kept) {
-                let mut keys = Vec::with_capacity(q.order_by.len());
-                for (e, _) in &q.order_by {
-                    keys.push(eval_expr(e, rep)?);
-                }
-                keyed.push((keys, row));
-            }
-            keyed.sort_by(|a, b| order_cmp(&a.0, &b.0, &q.order_by));
-            rows = keyed.into_iter().map(|(_, r)| r).collect();
-        }
-        if let Some(n) = q.limit {
-            rows.truncate(n as usize);
-        }
-        QueryResult { columns, rows }
-    } else if q.is_aggregate() {
-        // Global aggregate: one group of everything. A HAVING clause can
-        // suppress the single output row.
-        if let Some(h) = &q.having {
-            let rep: Vec<Row> = tuples.first().cloned().unwrap_or_default();
-            if !having_passes(h, &tuples, &rep)? {
-                return Ok((QueryResult::empty(columns), plan));
-            }
-        }
-        let row = aggregate_row(&q.projections, &tuples)?;
-        QueryResult {
-            columns,
-            rows: vec![row],
-        }
-    } else {
-        // ORDER BY evaluates against the pre-projection tuples.
-        let mut tuples = tuples;
-        if !q.order_by.is_empty() {
-            let mut keyed: Vec<(Vec<Value>, Vec<Row>)> = Vec::with_capacity(tuples.len());
-            for t in tuples {
-                let mut keys = Vec::with_capacity(q.order_by.len());
-                for (e, _) in &q.order_by {
-                    keys.push(eval_expr(e, &t)?);
-                }
-                keyed.push((keys, t));
-            }
-            keyed.sort_by(|a, b| order_cmp(&a.0, &b.0, &q.order_by));
-            tuples = keyed.into_iter().map(|(_, t)| t).collect();
-        }
-        let mut rows = Vec::with_capacity(tuples.len());
-        for t in &tuples {
-            let mut row = Vec::with_capacity(q.projections.len());
-            for p in &q.projections {
-                match p {
-                    Projection::Scalar { expr, .. } => row.push(eval_expr(expr, t)?),
-                    Projection::Aggregate { name, .. } => {
-                        return Err(TracError::Execution(format!(
-                            "aggregate projection {name} in a non-aggregate query"
-                        )))
-                    }
-                }
-            }
-            rows.push(row);
-        }
-        if q.distinct {
-            let mut seen = std::collections::HashSet::new();
-            rows.retain(|r| seen.insert(r.clone()));
-        }
-        if let Some(n) = q.limit {
-            rows.truncate(n as usize);
-        }
-        QueryResult { columns, rows }
-    };
-    Ok((result, plan))
+    let plan = plan_select(txn, q, opts)?;
+    let info = PlanInfo::from_plan(&plan);
+    let result = execute_plan(txn, &plan)?;
+    Ok((result, info))
 }
 
-/// Splits nested ANDs into a conjunct list.
-fn split_and(e: &BoundExpr, out: &mut Vec<BoundExpr>) {
-    match e {
-        BoundExpr::Binary {
-            op: BinaryOp::And,
-            lhs,
-            rhs,
-        } => {
-            split_and(lhs, out);
-            split_and(rhs, out);
-        }
-        other => out.push(other.clone()),
-    }
-}
-
-/// If `c` is `pos.col = other.col` with `other` already joined, returns
-/// `(pos column, outer column ref)`.
-fn equi_key(c: &BoundExpr, pos: usize, joined: &BTreeSet<usize>) -> Option<(usize, ColRef)> {
-    let BoundExpr::Binary {
-        op: BinaryOp::Eq,
-        lhs,
-        rhs,
-    } = c
-    else {
-        return None;
-    };
-    match (lhs.as_ref(), rhs.as_ref()) {
-        (BoundExpr::Column(a), BoundExpr::Column(b)) => {
-            if a.table == pos && joined.contains(&b.table) {
-                Some((a.column, *b))
-            } else if b.table == pos && joined.contains(&a.table) {
-                Some((b.column, *a))
-            } else {
-                None
-            }
-        }
-        _ => None,
-    }
-}
-
-fn tuple_value(tuple: &[Row], c: ColRef) -> Result<Value> {
-    tuple
-        .get(c.table)
-        .and_then(|r| r.get(c.column))
-        .cloned()
-        .ok_or_else(|| TracError::Execution(format!("bad column ref {c:?}")))
-}
-
-fn fetch_rows(
-    txn: &ReadTxn,
-    tid: trac_storage::TableId,
-    pos: usize,
-    access: &AccessPath,
-    table_conjuncts: &[BoundExpr],
-) -> Result<Vec<Row>> {
-    let raw = match access {
-        AccessPath::SeqScan => txn.scan(tid)?,
-        AccessPath::IndexProbe { column, keys } => txn
-            .index_probe_in(tid, *column, keys)?
-            .ok_or_else(|| TracError::Execution("index vanished mid-plan".into()))?,
-    };
-    if table_conjuncts.is_empty() {
-        return Ok(raw);
-    }
-    // Evaluate single-table conjuncts with the row in its own slot.
-    let mut scratch: Vec<Row> = vec![std::sync::Arc::from(Vec::new().into_boxed_slice()); pos + 1];
-    let mut out = Vec::with_capacity(raw.len());
-    for r in raw {
-        scratch[pos] = r.clone();
-        let ok = table_conjuncts
-            .iter()
-            .all(|c| matches!(eval_predicate(c, &scratch), Ok(Truth::True)));
-        if ok {
-            out.push(r);
-        }
-    }
-    Ok(out)
-}
-
-fn extend_tuples(
-    tuple: &[Row],
-    candidates: Vec<Row>,
-    n_tables: usize,
-    single_filters: &[&BoundExpr],
-    cross_filters: &[&BoundExpr],
-    out: &mut Vec<Vec<Row>>,
-) -> Result<()> {
-    for r in candidates {
-        let mut t = Vec::with_capacity(n_tables);
-        t.extend(tuple.iter().cloned());
-        t.push(r);
-        let ok = single_filters
-            .iter()
-            .chain(cross_filters.iter())
-            .all(|c| matches!(eval_predicate(c, &t), Ok(Truth::True)));
-        if ok {
-            out.push(t);
-        }
-    }
-    Ok(())
-}
-
-/// Key comparison for ORDER BY (per-key DESC handling).
-fn order_cmp(a: &[Value], b: &[Value], order_by: &[(BoundExpr, bool)]) -> std::cmp::Ordering {
-    for (i, (_, desc)) in order_by.iter().enumerate() {
-        let ord = a[i].cmp(&b[i]);
-        let ord = if *desc { ord.reverse() } else { ord };
-        if !ord.is_eq() {
-            return ord;
-        }
-    }
-    std::cmp::Ordering::Equal
-}
-
-/// Evaluates a HAVING clause for one group: compute the hoisted
-/// aggregates, substitute them for their markers, then evaluate the
-/// residual predicate against the group representative.
-fn having_passes(
-    h: &trac_expr::bound::BoundHaving,
-    members: &[Vec<Row>],
-    rep: &[Row],
-) -> Result<bool> {
-    let mut agg_values = Vec::with_capacity(h.aggregates.len());
-    for (func, arg) in &h.aggregates {
-        let p = Projection::Aggregate {
-            func: *func,
-            arg: arg.clone(),
-            name: String::new(),
-        };
-        agg_values.push(aggregate_one(&p, members)?);
-    }
-    let substituted = substitute_agg_markers(&h.predicate, h.agg_table, &agg_values);
-    Ok(eval_predicate(&substituted, rep)? == Truth::True)
-}
-
-/// Replaces `ColRef { table: agg_table, column: k }` with the computed
-/// aggregate literal `values[k]`.
-fn substitute_agg_markers(e: &BoundExpr, agg_table: usize, values: &[Value]) -> BoundExpr {
-    match e {
-        BoundExpr::Column(c) if c.table == agg_table => {
-            BoundExpr::Literal(values[c.column].clone())
-        }
-        BoundExpr::Column(_) | BoundExpr::Literal(_) => e.clone(),
-        BoundExpr::Binary { op, lhs, rhs } => BoundExpr::Binary {
-            op: *op,
-            lhs: Box::new(substitute_agg_markers(lhs, agg_table, values)),
-            rhs: Box::new(substitute_agg_markers(rhs, agg_table, values)),
-        },
-        BoundExpr::InList {
-            expr,
-            list,
-            negated,
-        } => BoundExpr::InList {
-            expr: Box::new(substitute_agg_markers(expr, agg_table, values)),
-            list: list
-                .iter()
-                .map(|e| substitute_agg_markers(e, agg_table, values))
-                .collect(),
-            negated: *negated,
-        },
-        BoundExpr::IsNull { expr, negated } => BoundExpr::IsNull {
-            expr: Box::new(substitute_agg_markers(expr, agg_table, values)),
-            negated: *negated,
-        },
-        BoundExpr::Not(x) => BoundExpr::Not(Box::new(substitute_agg_markers(x, agg_table, values))),
-        BoundExpr::Neg(x) => BoundExpr::Neg(Box::new(substitute_agg_markers(x, agg_table, values))),
-    }
-}
-
-/// Computes one aggregate projection over a tuple group.
-fn aggregate_one(p: &Projection, tuples: &[Vec<Row>]) -> Result<Value> {
-    let row = aggregate_row(std::slice::from_ref(p), tuples)?;
-    row.into_iter()
-        .next()
-        .ok_or_else(|| TracError::Execution("aggregate computation produced no value".into()))
-}
-
-fn aggregate_row(projections: &[Projection], tuples: &[Vec<Row>]) -> Result<Vec<Value>> {
-    let mut row = Vec::with_capacity(projections.len());
-    for p in projections {
-        let Projection::Aggregate { func, arg, .. } = p else {
-            return Err(TracError::Execution(format!(
-                "scalar projection {} in an aggregate-only context",
-                p.name()
-            )));
-        };
-        row.push(match func {
-            AggFunc::Count => match arg {
-                None => Value::Int(tuples.len() as i64),
-                Some(e) => {
-                    let mut n = 0i64;
-                    for t in tuples {
-                        if !eval_expr(e, t)?.is_null() {
-                            n += 1;
-                        }
-                    }
-                    Value::Int(n)
-                }
-            },
-            AggFunc::Sum | AggFunc::Avg => {
-                let e = arg.as_ref().ok_or_else(|| {
-                    TracError::Execution(format!("{func:?} requires an argument"))
-                })?;
-                let mut sum = 0.0f64;
-                let mut n = 0u64;
-                let mut all_int = true;
-                let mut int_sum = 0i64;
-                for t in tuples {
-                    match eval_expr(e, t)? {
-                        Value::Null => {}
-                        Value::Int(i) => {
-                            int_sum = int_sum.wrapping_add(i);
-                            sum += i as f64;
-                            n += 1;
-                        }
-                        Value::Float(f) => {
-                            all_int = false;
-                            sum += f;
-                            n += 1;
-                        }
-                        other => {
-                            return Err(TracError::Type(format!(
-                                "cannot aggregate {}",
-                                other.type_name()
-                            )))
-                        }
-                    }
-                }
-                if n == 0 {
-                    Value::Null
-                } else if *func == AggFunc::Avg {
-                    Value::Float(sum / n as f64)
-                } else if all_int {
-                    Value::Int(int_sum)
-                } else {
-                    Value::Float(sum)
-                }
-            }
-            AggFunc::Min | AggFunc::Max => {
-                let e = arg.as_ref().ok_or_else(|| {
-                    TracError::Execution(format!("{func:?} requires an argument"))
-                })?;
-                let mut best: Option<Value> = None;
-                for t in tuples {
-                    let v = eval_expr(e, t)?;
-                    if v.is_null() {
-                        continue;
-                    }
-                    best = Some(match best {
-                        None => v,
-                        Some(b) => {
-                            let keep_new = match v.sql_cmp(&b) {
-                                Some(o) => {
-                                    (*func == AggFunc::Min && o.is_lt())
-                                        || (*func == AggFunc::Max && o.is_gt())
-                                }
-                                None => false,
-                            };
-                            if keep_new {
-                                v
-                            } else {
-                                b
-                            }
-                        }
-                    });
-                }
-                best.unwrap_or(Value::Null)
-            }
-        });
-    }
-    Ok(row)
+/// Plans and executes an already-planned `SELECT`: the EXPLAIN path
+/// renders the same [`PhysicalPlan`] the executor interprets.
+pub fn explain_select(txn: &ReadTxn, q: &BoundSelect) -> Result<PhysicalPlan> {
+    plan_select(txn, q, ExecOptions::default())
 }
 
 #[cfg(test)]
 mod tests {
     use super::*;
+    use trac_expr::{AggFunc, BoundExpr, Projection};
     use trac_storage::{ColumnDef, Database, TableSchema};
-    use trac_types::{DataType, SourceId, Timestamp};
+    use trac_types::{DataType, SourceId, Timestamp, Value};
 
     /// Loads the paper's Table 1 (Activity) and Table 2 (Routing).
     fn paper_db() -> Database {
@@ -1018,5 +508,17 @@ mod tests {
             r.rows,
             vec![vec![Value::text("m1")], vec![Value::text("m2")]]
         );
+    }
+
+    #[test]
+    fn limit_stops_pulling_early() {
+        let db = paper_db();
+        let r = run(&db, "SELECT mach_id FROM Activity LIMIT 1");
+        assert_eq!(r.len(), 1);
+        let r = run(&db, "SELECT mach_id FROM Activity LIMIT 0");
+        assert!(r.is_empty());
+        // DISTINCT dedups before LIMIT counts.
+        let r = run(&db, "SELECT DISTINCT value FROM Activity LIMIT 2");
+        assert_eq!(r.len(), 2);
     }
 }

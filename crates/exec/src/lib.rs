@@ -1,29 +1,31 @@
-//! Query execution: access-path selection, joins, aggregation, DML.
+//! Query execution: streaming operators over physical plans, DML.
 //!
 //! The paper's evaluation depends on the engine exploiting B-tree indexes
 //! on data source columns: the Focused recency query probes only the few
 //! relevant sources while a naive scan touches everything (Section 5.2).
-//! The planner here is deliberately simple but reproduces exactly that
-//! behaviour:
+//! Planning lives in `trac-plan` ([`trac_plan::plan_select`] lowers a
+//! bound `SELECT` into a [`trac_plan::PhysicalPlan`]); this crate
+//! interprets those plans:
 //!
-//! * per-table **access paths** — an `IN`/`=` predicate on an indexed
-//!   column becomes an index probe; everything else is a sequential scan
-//!   with a pushed-down filter ([`access`]);
-//! * **joins** — index nested-loop when the inner side has an index on
-//!   the join column, hash join for other equi-joins, filtered
-//!   cross-product as a last resort ([`executor`]);
-//! * **aggregation / DISTINCT / ORDER BY / LIMIT** on top;
+//! * **streaming operators** — each plan node becomes a pull-based
+//!   tuple stream; joins keep their inner side lazy so empty inputs
+//!   never touch downstream tables ([`operators`]);
+//! * **entry points** — parse/bind/plan/execute glue plus the
+//!   [`PlanInfo`] plan summary ([`executor`]);
 //! * **DML/DDL interpretation** for `INSERT`/`UPDATE`/`DELETE`/`CREATE`
-//!   ([`dml`]).
+//!   and `EXPLAIN` ([`dml`]).
 
 #![warn(missing_docs)]
 
-pub mod access;
 pub mod dml;
 pub mod executor;
+pub mod operators;
 pub mod result;
 
-pub use access::{AccessPath, ExecOptions};
 pub use dml::{execute_statement, StatementResult};
-pub use executor::{execute_select, execute_select_with, execute_sql, PlanInfo};
+pub use executor::{execute_select, execute_select_with, execute_sql, explain_select, PlanInfo};
+pub use operators::execute_plan;
 pub use result::QueryResult;
+// Re-exported so downstream crates keep a single import path for the
+// execution-tuning types that moved into `trac-plan`.
+pub use trac_plan::{AccessPath, ExecOptions};

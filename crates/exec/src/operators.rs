@@ -1,0 +1,723 @@
+//! Streaming operator interpretation of a [`PhysicalPlan`].
+//!
+//! Each relational operator is a pull-based `TupleStream`: callers ask
+//! for the next tuple and the operator tree produces it on demand,
+//! without materializing `Vec<Vec<Row>>` stages between operators. A
+//! tuple is positional — slot `i` holds the [`Row`] (a cheap `Arc`
+//! handle) of the `i`-th FROM table — so bound expressions evaluate
+//! unchanged at any point in the pipeline.
+//!
+//! Inner join sides stay lazy: a join only fetches (or hash-builds) its
+//! inner table once the first outer tuple arrives, so an empty outer
+//! input never touches downstream tables — matching the old pipeline's
+//! pruning behaviour.
+
+use crate::result::QueryResult;
+use std::collections::{HashMap, VecDeque};
+use std::hash::{Hash, Hasher};
+use trac_expr::{bound::BoundHaving, eval_expr, eval_predicate, AggFunc, Projection, Truth};
+use trac_plan::{PhysicalPlan, PlanNode};
+use trac_storage::{ReadTxn, Row};
+use trac_types::{Result, TracError, Value};
+
+/// A partial result tuple: one [`Row`] per joined FROM table, indexed
+/// by FROM position.
+pub type Tuple = Vec<Row>;
+
+/// A pull-based tuple iterator over one operator subtree.
+trait TupleStream {
+    /// Produces the next tuple, or `None` when exhausted.
+    fn next_tuple(&mut self) -> Result<Option<Tuple>>;
+}
+
+/// True when every conjunct evaluates to `TRUE` for `tuple`.
+///
+/// Evaluation errors count as "not true" (the tuple is filtered out),
+/// matching the historic filter semantics of the monolithic executor.
+fn passes(filter: &[trac_expr::BoundExpr], tuple: &[Row]) -> bool {
+    filter
+        .iter()
+        .all(|c| matches!(eval_predicate(c, tuple), Ok(Truth::True)))
+}
+
+/// Reads the value `c` refers to out of a tuple.
+fn tuple_value(tuple: &[Row], c: trac_expr::ColRef) -> Result<Value> {
+    tuple
+        .get(c.table)
+        .and_then(|r| r.get(c.column))
+        .cloned()
+        .ok_or_else(|| TracError::Execution(format!("bad column ref {c:?}")))
+}
+
+/// Fetches the filtered rows of a leaf ([`PlanNode::Scan`] or
+/// [`PlanNode::IndexLookup`]) in one batch. Join operators use this for
+/// their inner side; [`LeafStream`] uses it for the base table.
+fn fetch_leaf_rows(txn: &ReadTxn, node: &PlanNode) -> Result<Vec<Row>> {
+    let (pos, filter, raw) = match node {
+        PlanNode::Scan {
+            table, pos, filter, ..
+        } => (*pos, filter, txn.scan(table.id)?),
+        PlanNode::IndexLookup {
+            table,
+            pos,
+            column,
+            keys,
+            filter,
+            ..
+        } => {
+            let rows = txn
+                .index_probe_in(table.id, *column, keys)?
+                .ok_or_else(|| TracError::Execution("index vanished mid-plan".into()))?;
+            (*pos, filter, rows)
+        }
+        other => {
+            return Err(TracError::Execution(format!(
+                "operator {} is not a leaf",
+                other.name()
+            )))
+        }
+    };
+    if filter.is_empty() {
+        return Ok(raw);
+    }
+    // Evaluate single-table conjuncts with the row in its own slot.
+    let mut scratch: Vec<Row> = vec![std::sync::Arc::from(Vec::new().into_boxed_slice()); pos + 1];
+    let mut out = Vec::with_capacity(raw.len());
+    for r in raw {
+        scratch[pos] = r.clone();
+        if passes(filter, &scratch) {
+            out.push(r);
+        }
+    }
+    Ok(out)
+}
+
+/// Produces no tuples (a statically pruned input).
+struct EmptyStream;
+
+impl TupleStream for EmptyStream {
+    fn next_tuple(&mut self) -> Result<Option<Tuple>> {
+        Ok(None)
+    }
+}
+
+/// Streams the base table of a join chain, one single-slot tuple per
+/// (filtered) row. Rows are fetched lazily on the first pull.
+struct LeafStream<'a> {
+    txn: &'a ReadTxn,
+    node: &'a PlanNode,
+    pos: usize,
+    rows: Option<std::vec::IntoIter<Row>>,
+}
+
+impl TupleStream for LeafStream<'_> {
+    fn next_tuple(&mut self) -> Result<Option<Tuple>> {
+        if self.rows.is_none() {
+            self.rows = Some(fetch_leaf_rows(self.txn, self.node)?.into_iter());
+        }
+        let Some(row) = self.rows.as_mut().and_then(Iterator::next) else {
+            return Ok(None);
+        };
+        // Slots before `pos` are placeholders (only meaningful when a
+        // hand-built plan roots a leaf at a later FROM position).
+        let mut t: Tuple = vec![std::sync::Arc::from(Vec::new().into_boxed_slice()); self.pos];
+        t.push(row);
+        Ok(Some(t))
+    }
+}
+
+/// Extends `tuple` with each candidate row, keeping combinations that
+/// pass `filter`.
+fn extend_into(
+    tuple: &[Row],
+    candidates: &[Row],
+    filter: &[trac_expr::BoundExpr],
+    out: &mut VecDeque<Tuple>,
+) {
+    for r in candidates {
+        let mut t = Vec::with_capacity(tuple.len() + 1);
+        t.extend(tuple.iter().cloned());
+        t.push(r.clone());
+        if passes(filter, &t) {
+            out.push_back(t);
+        }
+    }
+}
+
+/// Nested-loop join: every inner row against every outer tuple.
+struct NLJoinStream<'a> {
+    txn: &'a ReadTxn,
+    outer: Box<dyn TupleStream + 'a>,
+    inner_node: &'a PlanNode,
+    inner_rows: Option<Vec<Row>>,
+    filter: &'a [trac_expr::BoundExpr],
+    queue: VecDeque<Tuple>,
+}
+
+impl TupleStream for NLJoinStream<'_> {
+    fn next_tuple(&mut self) -> Result<Option<Tuple>> {
+        loop {
+            if let Some(t) = self.queue.pop_front() {
+                return Ok(Some(t));
+            }
+            let Some(outer_t) = self.outer.next_tuple()? else {
+                return Ok(None);
+            };
+            if self.inner_rows.is_none() {
+                self.inner_rows = Some(fetch_leaf_rows(self.txn, self.inner_node)?);
+            }
+            let rows = self.inner_rows.as_deref().unwrap_or_default();
+            extend_into(&outer_t, rows, self.filter, &mut self.queue);
+        }
+    }
+}
+
+/// Hash join: builds `inner_col → rows` buckets from the inner leaf on
+/// the first outer tuple, then probes per outer tuple. NULL keys never
+/// match. Bucket lookup uses `Value` equality; the original equi-join
+/// conjunct rides in `filter` and is re-applied with SQL comparison
+/// semantics.
+struct HashJoinStream<'a> {
+    txn: &'a ReadTxn,
+    outer: Box<dyn TupleStream + 'a>,
+    inner_node: &'a PlanNode,
+    inner_col: usize,
+    outer_key: trac_expr::ColRef,
+    filter: &'a [trac_expr::BoundExpr],
+    table: Option<HashMap<Value, Vec<Row>>>,
+    queue: VecDeque<Tuple>,
+}
+
+impl TupleStream for HashJoinStream<'_> {
+    fn next_tuple(&mut self) -> Result<Option<Tuple>> {
+        loop {
+            if let Some(t) = self.queue.pop_front() {
+                return Ok(Some(t));
+            }
+            let Some(outer_t) = self.outer.next_tuple()? else {
+                return Ok(None);
+            };
+            if self.table.is_none() {
+                let mut table: HashMap<Value, Vec<Row>> = HashMap::new();
+                for r in fetch_leaf_rows(self.txn, self.inner_node)? {
+                    let k = r[self.inner_col].clone();
+                    if !k.is_null() {
+                        table.entry(k).or_default().push(r);
+                    }
+                }
+                self.table = Some(table);
+            }
+            let key = tuple_value(&outer_t, self.outer_key)?;
+            let Some(matches) = self.table.as_ref().and_then(|t| t.get(&key)) else {
+                continue;
+            };
+            extend_into(&outer_t, matches, self.filter, &mut self.queue);
+        }
+    }
+}
+
+/// Index nested-loop join: probes the inner table's index once per
+/// outer tuple with the outer key value. NULL keys are skipped.
+struct IndexNLJoinStream<'a> {
+    txn: &'a ReadTxn,
+    outer: Box<dyn TupleStream + 'a>,
+    table: &'a trac_expr::BoundTable,
+    inner_col: usize,
+    outer_key: trac_expr::ColRef,
+    filter: &'a [trac_expr::BoundExpr],
+    queue: VecDeque<Tuple>,
+}
+
+impl TupleStream for IndexNLJoinStream<'_> {
+    fn next_tuple(&mut self) -> Result<Option<Tuple>> {
+        loop {
+            if let Some(t) = self.queue.pop_front() {
+                return Ok(Some(t));
+            }
+            let Some(outer_t) = self.outer.next_tuple()? else {
+                return Ok(None);
+            };
+            let key = tuple_value(&outer_t, self.outer_key)?;
+            if key.is_null() {
+                continue;
+            }
+            let rows = self
+                .txn
+                .index_probe_in(self.table.id, self.inner_col, std::slice::from_ref(&key))?
+                .ok_or_else(|| {
+                    TracError::Execution(format!(
+                        "index on {}.col#{} vanished mid-plan",
+                        self.table.binding, self.inner_col
+                    ))
+                })?;
+            extend_into(&outer_t, &rows, self.filter, &mut self.queue);
+        }
+    }
+}
+
+/// Residual predicate over full tuples.
+struct FilterStream<'a> {
+    input: Box<dyn TupleStream + 'a>,
+    predicate: &'a [trac_expr::BoundExpr],
+}
+
+impl TupleStream for FilterStream<'_> {
+    fn next_tuple(&mut self) -> Result<Option<Tuple>> {
+        loop {
+            let Some(t) = self.input.next_tuple()? else {
+                return Ok(None);
+            };
+            if passes(self.predicate, &t) {
+                return Ok(Some(t));
+            }
+        }
+    }
+}
+
+/// Pipeline breaker: drains its input on the first pull, sorts by the
+/// plan's keys, then replays in order.
+struct SortStream<'a> {
+    input: Box<dyn TupleStream + 'a>,
+    keys: &'a [(trac_expr::BoundExpr, bool)],
+    sorted: Option<std::vec::IntoIter<Tuple>>,
+}
+
+impl TupleStream for SortStream<'_> {
+    fn next_tuple(&mut self) -> Result<Option<Tuple>> {
+        if self.sorted.is_none() {
+            let mut keyed: Vec<(Vec<Value>, Tuple)> = Vec::new();
+            while let Some(t) = self.input.next_tuple()? {
+                let mut ks = Vec::with_capacity(self.keys.len());
+                for (e, _) in self.keys {
+                    ks.push(eval_expr(e, &t)?);
+                }
+                keyed.push((ks, t));
+            }
+            keyed.sort_by(|a, b| order_cmp(&a.0, &b.0, self.keys));
+            self.sorted = Some(
+                keyed
+                    .into_iter()
+                    .map(|(_, t)| t)
+                    .collect::<Vec<_>>()
+                    .into_iter(),
+            );
+        }
+        Ok(self.sorted.as_mut().and_then(Iterator::next))
+    }
+}
+
+/// Builds the stream tree for the relational part of a plan.
+fn build_stream<'a>(txn: &'a ReadTxn, node: &'a PlanNode) -> Result<Box<dyn TupleStream + 'a>> {
+    Ok(match node {
+        PlanNode::Empty { .. } => Box::new(EmptyStream),
+        PlanNode::Scan { pos, .. } | PlanNode::IndexLookup { pos, .. } => Box::new(LeafStream {
+            txn,
+            node,
+            pos: *pos,
+            rows: None,
+        }),
+        PlanNode::NLJoin {
+            outer,
+            inner,
+            filter,
+            ..
+        } => Box::new(NLJoinStream {
+            txn,
+            outer: build_stream(txn, outer)?,
+            inner_node: inner,
+            inner_rows: None,
+            filter,
+            queue: VecDeque::new(),
+        }),
+        PlanNode::HashJoin {
+            outer,
+            inner,
+            inner_col,
+            outer_key,
+            filter,
+            ..
+        } => Box::new(HashJoinStream {
+            txn,
+            outer: build_stream(txn, outer)?,
+            inner_node: inner,
+            inner_col: *inner_col,
+            outer_key: *outer_key,
+            filter,
+            table: None,
+            queue: VecDeque::new(),
+        }),
+        PlanNode::IndexNLJoin {
+            outer,
+            table,
+            inner_col,
+            outer_key,
+            filter,
+            ..
+        } => Box::new(IndexNLJoinStream {
+            txn,
+            outer: build_stream(txn, outer)?,
+            table,
+            inner_col: *inner_col,
+            outer_key: *outer_key,
+            filter,
+            queue: VecDeque::new(),
+        }),
+        PlanNode::Filter { input, predicate } => Box::new(FilterStream {
+            input: build_stream(txn, input)?,
+            predicate,
+        }),
+        PlanNode::Sort { input, keys } => Box::new(SortStream {
+            input: build_stream(txn, input)?,
+            keys,
+            sorted: None,
+        }),
+        other => {
+            return Err(TracError::Execution(format!(
+                "unexpected {} operator in the relational subtree",
+                other.name()
+            )))
+        }
+    })
+}
+
+/// Hash-bucketed duplicate filter over output rows. Candidate rows are
+/// compared against rows already in the output vector by index, so
+/// deduplication never clones a row.
+#[derive(Default)]
+struct RowDedup {
+    buckets: HashMap<u64, Vec<usize>>,
+}
+
+impl RowDedup {
+    /// Appends `row` to `rows` unless an equal row is already there.
+    fn push(&mut self, rows: &mut Vec<Vec<Value>>, row: Vec<Value>) {
+        let mut h = std::collections::hash_map::DefaultHasher::new();
+        row.hash(&mut h);
+        let bucket = self.buckets.entry(h.finish()).or_default();
+        if bucket.iter().any(|&i| rows[i] == row) {
+            return;
+        }
+        bucket.push(rows.len());
+        rows.push(row);
+    }
+}
+
+/// Interprets a physical plan against `txn`'s snapshot.
+///
+/// The plan's relational subtree streams; only the pipeline breakers
+/// the query semantics require ([`PlanNode::Sort`],
+/// [`PlanNode::Aggregate`]) buffer tuples. `DISTINCT` and `LIMIT`
+/// apply on the fly, so a limited scan stops pulling as soon as the
+/// result is full.
+pub fn execute_plan(txn: &ReadTxn, plan: &PhysicalPlan) -> Result<QueryResult> {
+    let columns = plan.columns.clone();
+    // Peel the canonical top-of-plan shapers.
+    let mut node = &plan.root;
+    let mut limit: Option<u64> = None;
+    let mut distinct = false;
+    if let PlanNode::Limit { input, n } = node {
+        limit = Some(*n);
+        node = input;
+    }
+    if let PlanNode::Distinct { input } = node {
+        distinct = true;
+        node = input;
+    }
+    match node {
+        PlanNode::Aggregate {
+            input,
+            group_by,
+            projections,
+            having,
+            order_by,
+            limit: group_limit,
+        } => {
+            // Aggregation is a full pipeline breaker: drain the input.
+            let mut stream = build_stream(txn, input)?;
+            let mut tuples: Vec<Tuple> = Vec::new();
+            while let Some(t) = stream.next_tuple()? {
+                tuples.push(t);
+            }
+            if group_by.is_empty() {
+                // Global aggregate: one group of everything. A HAVING
+                // clause can suppress the single output row.
+                if let Some(h) = having {
+                    let rep: Tuple = tuples.first().cloned().unwrap_or_default();
+                    if !having_passes(h, &tuples, &rep)? {
+                        return Ok(QueryResult::empty(columns));
+                    }
+                }
+                let row = aggregate_row(projections, &tuples)?;
+                return Ok(QueryResult {
+                    columns,
+                    rows: vec![row],
+                });
+            }
+            // Grouped aggregation: partition tuples by their key vector,
+            // then evaluate each projection per group (scalars against a
+            // representative tuple — bind guarantees they are keys).
+            let mut groups: Vec<(Vec<Value>, Vec<Tuple>)> = Vec::new();
+            let mut index: HashMap<Vec<Value>, usize> = HashMap::new();
+            for t in tuples {
+                let mut key = Vec::with_capacity(group_by.len());
+                for g in group_by {
+                    key.push(eval_expr(g, &t)?);
+                }
+                match index.get(&key) {
+                    Some(&i) => groups[i].1.push(t),
+                    None => {
+                        index.insert(key.clone(), groups.len());
+                        groups.push((key, vec![t]));
+                    }
+                }
+            }
+            let mut reps: Vec<Tuple> = Vec::with_capacity(groups.len());
+            let mut rows = Vec::with_capacity(groups.len());
+            for (_, members) in groups {
+                let rep = members[0].clone();
+                if let Some(h) = having {
+                    if !having_passes(h, &members, &rep)? {
+                        continue;
+                    }
+                }
+                let mut row = Vec::with_capacity(projections.len());
+                for p in projections {
+                    match p {
+                        Projection::Scalar { expr, .. } => row.push(eval_expr(expr, &rep)?),
+                        Projection::Aggregate { .. } => row.push(aggregate_one(p, &members)?),
+                    }
+                }
+                rows.push(row);
+                reps.push(rep);
+            }
+            // ORDER BY against group representatives; LIMIT on groups.
+            if !order_by.is_empty() {
+                let mut keyed: Vec<(Vec<Value>, Vec<Value>)> = Vec::with_capacity(rows.len());
+                for (row, rep) in rows.into_iter().zip(&reps) {
+                    let mut keys = Vec::with_capacity(order_by.len());
+                    for (e, _) in order_by {
+                        keys.push(eval_expr(e, rep)?);
+                    }
+                    keyed.push((keys, row));
+                }
+                keyed.sort_by(|a, b| order_cmp(&a.0, &b.0, order_by));
+                rows = keyed.into_iter().map(|(_, r)| r).collect();
+            }
+            if let Some(n) = group_limit {
+                rows.truncate(*n as usize);
+            }
+            Ok(QueryResult { columns, rows })
+        }
+        PlanNode::Project { input, projections } => {
+            let mut stream = build_stream(txn, input)?;
+            let mut rows: Vec<Vec<Value>> = Vec::new();
+            let mut dedup = RowDedup::default();
+            loop {
+                if limit.is_some_and(|n| rows.len() as u64 >= n) {
+                    break;
+                }
+                let Some(t) = stream.next_tuple()? else {
+                    break;
+                };
+                let mut row = Vec::with_capacity(projections.len());
+                for p in projections {
+                    match p {
+                        Projection::Scalar { expr, .. } => row.push(eval_expr(expr, &t)?),
+                        Projection::Aggregate { name, .. } => {
+                            return Err(TracError::Execution(format!(
+                                "aggregate projection {name} in a non-aggregate query"
+                            )))
+                        }
+                    }
+                }
+                if distinct {
+                    dedup.push(&mut rows, row);
+                } else {
+                    rows.push(row);
+                }
+            }
+            Ok(QueryResult { columns, rows })
+        }
+        other => Err(TracError::Execution(format!(
+            "malformed plan: unexpected top-level {} operator",
+            other.name()
+        ))),
+    }
+}
+
+/// Key comparison for ORDER BY (per-key DESC handling).
+fn order_cmp(
+    a: &[Value],
+    b: &[Value],
+    order_by: &[(trac_expr::BoundExpr, bool)],
+) -> std::cmp::Ordering {
+    for (i, (_, desc)) in order_by.iter().enumerate() {
+        let ord = a[i].cmp(&b[i]);
+        let ord = if *desc { ord.reverse() } else { ord };
+        if !ord.is_eq() {
+            return ord;
+        }
+    }
+    std::cmp::Ordering::Equal
+}
+
+/// Evaluates a HAVING clause for one group: compute the hoisted
+/// aggregates, substitute them for their markers, then evaluate the
+/// residual predicate against the group representative.
+fn having_passes(h: &BoundHaving, members: &[Tuple], rep: &[Row]) -> Result<bool> {
+    let mut agg_values = Vec::with_capacity(h.aggregates.len());
+    for (func, arg) in &h.aggregates {
+        let p = Projection::Aggregate {
+            func: *func,
+            arg: arg.clone(),
+            name: String::new(),
+        };
+        agg_values.push(aggregate_one(&p, members)?);
+    }
+    let substituted = substitute_agg_markers(&h.predicate, h.agg_table, &agg_values);
+    Ok(eval_predicate(&substituted, rep)? == Truth::True)
+}
+
+/// Replaces `ColRef { table: agg_table, column: k }` with the computed
+/// aggregate literal `values[k]`.
+fn substitute_agg_markers(
+    e: &trac_expr::BoundExpr,
+    agg_table: usize,
+    values: &[Value],
+) -> trac_expr::BoundExpr {
+    use trac_expr::BoundExpr;
+    match e {
+        BoundExpr::Column(c) if c.table == agg_table => {
+            BoundExpr::Literal(values[c.column].clone())
+        }
+        BoundExpr::Column(_) | BoundExpr::Literal(_) => e.clone(),
+        BoundExpr::Binary { op, lhs, rhs } => BoundExpr::Binary {
+            op: *op,
+            lhs: Box::new(substitute_agg_markers(lhs, agg_table, values)),
+            rhs: Box::new(substitute_agg_markers(rhs, agg_table, values)),
+        },
+        BoundExpr::InList {
+            expr,
+            list,
+            negated,
+        } => BoundExpr::InList {
+            expr: Box::new(substitute_agg_markers(expr, agg_table, values)),
+            list: list
+                .iter()
+                .map(|e| substitute_agg_markers(e, agg_table, values))
+                .collect(),
+            negated: *negated,
+        },
+        BoundExpr::IsNull { expr, negated } => BoundExpr::IsNull {
+            expr: Box::new(substitute_agg_markers(expr, agg_table, values)),
+            negated: *negated,
+        },
+        BoundExpr::Not(x) => BoundExpr::Not(Box::new(substitute_agg_markers(x, agg_table, values))),
+        BoundExpr::Neg(x) => BoundExpr::Neg(Box::new(substitute_agg_markers(x, agg_table, values))),
+    }
+}
+
+/// Computes one aggregate projection over a tuple group.
+fn aggregate_one(p: &Projection, tuples: &[Tuple]) -> Result<Value> {
+    let row = aggregate_row(std::slice::from_ref(p), tuples)?;
+    row.into_iter()
+        .next()
+        .ok_or_else(|| TracError::Execution("aggregate computation produced no value".into()))
+}
+
+/// Evaluates a row of aggregate projections over one tuple group.
+fn aggregate_row(projections: &[Projection], tuples: &[Tuple]) -> Result<Vec<Value>> {
+    let mut row = Vec::with_capacity(projections.len());
+    for p in projections {
+        let Projection::Aggregate { func, arg, .. } = p else {
+            return Err(TracError::Execution(format!(
+                "scalar projection {} in an aggregate-only context",
+                p.name()
+            )));
+        };
+        row.push(match func {
+            AggFunc::Count => match arg {
+                None => Value::Int(tuples.len() as i64),
+                Some(e) => {
+                    let mut n = 0i64;
+                    for t in tuples {
+                        if !eval_expr(e, t)?.is_null() {
+                            n += 1;
+                        }
+                    }
+                    Value::Int(n)
+                }
+            },
+            AggFunc::Sum | AggFunc::Avg => {
+                let e = arg.as_ref().ok_or_else(|| {
+                    TracError::Execution(format!("{func:?} requires an argument"))
+                })?;
+                let mut sum = 0.0f64;
+                let mut n = 0u64;
+                let mut all_int = true;
+                let mut int_sum = 0i64;
+                for t in tuples {
+                    match eval_expr(e, t)? {
+                        Value::Null => {}
+                        Value::Int(i) => {
+                            int_sum = int_sum.wrapping_add(i);
+                            sum += i as f64;
+                            n += 1;
+                        }
+                        Value::Float(f) => {
+                            all_int = false;
+                            sum += f;
+                            n += 1;
+                        }
+                        other => {
+                            return Err(TracError::Type(format!(
+                                "cannot aggregate {}",
+                                other.type_name()
+                            )))
+                        }
+                    }
+                }
+                if n == 0 {
+                    Value::Null
+                } else if *func == AggFunc::Avg {
+                    Value::Float(sum / n as f64)
+                } else if all_int {
+                    Value::Int(int_sum)
+                } else {
+                    Value::Float(sum)
+                }
+            }
+            AggFunc::Min | AggFunc::Max => {
+                let e = arg.as_ref().ok_or_else(|| {
+                    TracError::Execution(format!("{func:?} requires an argument"))
+                })?;
+                let mut best: Option<Value> = None;
+                for t in tuples {
+                    let v = eval_expr(e, t)?;
+                    if v.is_null() {
+                        continue;
+                    }
+                    best = Some(match best {
+                        None => v,
+                        Some(b) => {
+                            let keep_new = match v.sql_cmp(&b) {
+                                Some(o) => {
+                                    (*func == AggFunc::Min && o.is_lt())
+                                        || (*func == AggFunc::Max && o.is_gt())
+                                }
+                                None => false,
+                            };
+                            if keep_new {
+                                v
+                            } else {
+                                b
+                            }
+                        }
+                    });
+                }
+                best.unwrap_or(Value::Null)
+            }
+        });
+    }
+    Ok(row)
+}

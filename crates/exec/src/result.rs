@@ -39,13 +39,20 @@ impl QueryResult {
         }
     }
 
-    /// Convenience accessor: the values of one column.
-    pub fn column_values(&self, name: &str) -> Option<Vec<Value>> {
+    /// Borrowed view of one column's values (case-insensitive lookup).
+    /// Prefer this over [`QueryResult::column_values`] when the values
+    /// only need to be inspected: it clones nothing.
+    pub fn column(&self, name: &str) -> Option<impl Iterator<Item = &Value>> {
         let i = self
             .columns
             .iter()
             .position(|c| c.eq_ignore_ascii_case(name))?;
-        Some(self.rows.iter().map(|r| r[i].clone()).collect())
+        Some(self.rows.iter().map(move |r| &r[i]))
+    }
+
+    /// Convenience accessor: the values of one column, cloned.
+    pub fn column_values(&self, name: &str) -> Option<Vec<Value>> {
+        Some(self.column(name)?.cloned().collect())
     }
 }
 
@@ -122,6 +129,10 @@ mod tests {
             vec![Value::text("m1"), Value::text("m3")]
         );
         assert!(r.column_values("zz").is_none());
+        // Borrowed accessor sees the same values without cloning.
+        let borrowed: Vec<&Value> = r.column("mach_id").unwrap().collect();
+        assert_eq!(borrowed, vec![&Value::text("m1"), &Value::text("m3")]);
+        assert!(r.column("zz").is_none());
     }
 
     #[test]

@@ -56,7 +56,7 @@ impl AccessPath {
 
 /// Extracts `(column, keys)` when `term` pins `table`'s column to literal
 /// key(s): `col = lit`, `lit = col`, or `col IN (lit, …)`.
-fn probe_candidate(term: &BoundExpr, table: usize) -> Option<(usize, Vec<Value>)> {
+pub fn probe_candidate(term: &BoundExpr, table: usize) -> Option<(usize, Vec<Value>)> {
     match term {
         BoundExpr::Binary {
             op: trac_sql::BinaryOp::Eq,

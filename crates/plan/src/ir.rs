@@ -1,0 +1,447 @@
+//! The typed physical-plan IR.
+
+use crate::access::AccessPath;
+use std::collections::BTreeMap;
+use std::fmt::Write as _;
+use trac_expr::bound::BoundHaving;
+use trac_expr::{BoundExpr, BoundTable, ColRef, Projection};
+use trac_types::Value;
+
+/// One operator of a physical plan.
+///
+/// The relational part of a plan is a left-deep tree in FROM order:
+/// leaves read single tables, join nodes attach one further table to an
+/// already-joined outer subtree. Tuples flowing between operators are
+/// positional — slot `i` holds the row of the `i`-th FROM table — so
+/// every [`BoundExpr`] of the original query evaluates unchanged.
+#[derive(Debug, Clone)]
+pub enum PlanNode {
+    /// A statically pruned input (a constant-false conjunct): produces
+    /// no tuples and never touches the listed tables.
+    Empty {
+        /// Binding names of the tables that were pruned away.
+        bindings: Vec<String>,
+    },
+    /// Sequential scan of one table with residual single-table filters.
+    Scan {
+        /// The table being read.
+        table: BoundTable,
+        /// The table's FROM position (= its tuple slot).
+        pos: usize,
+        /// Single-table conjuncts applied while scanning.
+        filter: Vec<BoundExpr>,
+        /// Estimated output rows (EXPLAIN annotation only).
+        est_rows: u64,
+    },
+    /// Index point/IN probe of one table with residual filters.
+    IndexLookup {
+        /// The table being read.
+        table: BoundTable,
+        /// The table's FROM position (= its tuple slot).
+        pos: usize,
+        /// Indexed column being probed.
+        column: usize,
+        /// Literal probe keys (sorted, deduplicated).
+        keys: Vec<Value>,
+        /// Single-table conjuncts re-applied after the probe.
+        filter: Vec<BoundExpr>,
+        /// Estimated output rows (EXPLAIN annotation only).
+        est_rows: u64,
+    },
+    /// Nested-loop join: for every outer tuple, every inner row.
+    NLJoin {
+        /// Already-joined outer subtree.
+        outer: Box<PlanNode>,
+        /// Inner side; always a [`PlanNode::Scan`] or
+        /// [`PlanNode::IndexLookup`] leaf.
+        inner: Box<PlanNode>,
+        /// Join conjuncts applied to each combined tuple.
+        filter: Vec<BoundExpr>,
+        /// Estimated output rows (EXPLAIN annotation only).
+        est_rows: u64,
+    },
+    /// Hash join on one equi-key: build on the inner leaf, probe with
+    /// each outer tuple.
+    HashJoin {
+        /// Already-joined outer subtree (probe side).
+        outer: Box<PlanNode>,
+        /// Inner side (build side); always a leaf.
+        inner: Box<PlanNode>,
+        /// Inner column of the equi-key.
+        inner_col: usize,
+        /// Outer column the key is matched against.
+        outer_key: ColRef,
+        /// Join conjuncts (including the equi-key itself, re-applied
+        /// with SQL comparison semantics) applied to each match.
+        filter: Vec<BoundExpr>,
+        /// Estimated output rows (EXPLAIN annotation only).
+        est_rows: u64,
+    },
+    /// Index nested-loop join: probe the inner table's index once per
+    /// outer tuple with the outer key value.
+    IndexNLJoin {
+        /// Already-joined outer subtree.
+        outer: Box<PlanNode>,
+        /// Inner table (probed through its index, never scanned).
+        table: BoundTable,
+        /// The inner table's FROM position (= its tuple slot).
+        pos: usize,
+        /// Indexed inner column of the equi-key.
+        inner_col: usize,
+        /// Outer column supplying the probe key.
+        outer_key: ColRef,
+        /// Conjuncts (single-table and join) applied to each match.
+        filter: Vec<BoundExpr>,
+        /// Estimated output rows (EXPLAIN annotation only).
+        est_rows: u64,
+    },
+    /// Residual predicate over full tuples (defensive; the planner
+    /// pushes every conjunct into scans and joins when it can).
+    Filter {
+        /// Input operator.
+        input: Box<PlanNode>,
+        /// Conjuncts that must all evaluate to `TRUE`.
+        predicate: Vec<BoundExpr>,
+    },
+    /// Sorts the tuple stream by the given `(expression, descending)`
+    /// keys; evaluates against pre-projection tuples.
+    Sort {
+        /// Input operator.
+        input: Box<PlanNode>,
+        /// Sort keys in priority order.
+        keys: Vec<(BoundExpr, bool)>,
+    },
+    /// Evaluates the scalar projections, turning tuples into value rows.
+    Project {
+        /// Input operator.
+        input: Box<PlanNode>,
+        /// Output expressions (scalar; aggregates are an execution
+        /// error here — they belong in [`PlanNode::Aggregate`]).
+        projections: Vec<Projection>,
+    },
+    /// Grouped or global aggregation. Owns HAVING, group ordering and
+    /// the group limit because all three are defined over the groups
+    /// (representatives and members), which only this operator sees.
+    Aggregate {
+        /// Input operator.
+        input: Box<PlanNode>,
+        /// Grouping keys; empty means one global group.
+        group_by: Vec<BoundExpr>,
+        /// Output projections (aggregates and grouping-key scalars).
+        projections: Vec<Projection>,
+        /// Optional HAVING predicate with hoisted aggregates.
+        having: Option<BoundHaving>,
+        /// ORDER BY keys, evaluated against group representatives.
+        order_by: Vec<(BoundExpr, bool)>,
+        /// LIMIT applied to groups.
+        limit: Option<u64>,
+    },
+    /// Removes duplicate output rows (first occurrence wins).
+    Distinct {
+        /// Input operator.
+        input: Box<PlanNode>,
+    },
+    /// Truncates the output to the first `n` rows.
+    Limit {
+        /// Input operator.
+        input: Box<PlanNode>,
+        /// Maximum number of rows to emit.
+        n: u64,
+    },
+}
+
+impl PlanNode {
+    /// The operator's display name (used by EXPLAIN and the operator
+    /// counters).
+    pub fn name(&self) -> &'static str {
+        match self {
+            PlanNode::Empty { .. } => "Empty",
+            PlanNode::Scan { .. } => "Scan",
+            PlanNode::IndexLookup { .. } => "IndexLookup",
+            PlanNode::NLJoin { .. } => "NLJoin",
+            PlanNode::HashJoin { .. } => "HashJoin",
+            PlanNode::IndexNLJoin { .. } => "IndexNLJoin",
+            PlanNode::Filter { .. } => "Filter",
+            PlanNode::Sort { .. } => "Sort",
+            PlanNode::Project { .. } => "Project",
+            PlanNode::Aggregate { .. } => "Aggregate",
+            PlanNode::Distinct { .. } => "Distinct",
+            PlanNode::Limit { .. } => "Limit",
+        }
+    }
+
+    /// Child operators, outermost first.
+    pub fn children(&self) -> Vec<&PlanNode> {
+        match self {
+            PlanNode::Empty { .. } | PlanNode::Scan { .. } | PlanNode::IndexLookup { .. } => {
+                Vec::new()
+            }
+            PlanNode::NLJoin { outer, inner, .. } | PlanNode::HashJoin { outer, inner, .. } => {
+                vec![outer, inner]
+            }
+            PlanNode::IndexNLJoin { outer, .. } => vec![outer],
+            PlanNode::Filter { input, .. }
+            | PlanNode::Sort { input, .. }
+            | PlanNode::Project { input, .. }
+            | PlanNode::Aggregate { input, .. }
+            | PlanNode::Distinct { input }
+            | PlanNode::Limit { input, .. } => vec![input],
+        }
+    }
+
+    /// The access path a leaf reads its table through. `None` for
+    /// non-leaf operators.
+    pub fn access_path(&self) -> Option<AccessPath> {
+        match self {
+            PlanNode::Scan { .. } => Some(AccessPath::SeqScan),
+            PlanNode::IndexLookup { column, keys, .. } => Some(AccessPath::IndexProbe {
+                column: *column,
+                keys: keys.clone(),
+            }),
+            _ => None,
+        }
+    }
+
+    /// One EXPLAIN line for this operator (no children, no indent).
+    fn describe(&self) -> String {
+        match self {
+            PlanNode::Empty { bindings } => {
+                format!("Empty (pruned: {})", bindings.join(", "))
+            }
+            PlanNode::Scan {
+                table,
+                filter,
+                est_rows,
+                ..
+            } => format!(
+                "Scan {} [{}]{} (est {est_rows} rows)",
+                table.binding,
+                AccessPath::SeqScan.describe(),
+                filter_note(filter),
+            ),
+            PlanNode::IndexLookup {
+                table,
+                column,
+                keys,
+                filter,
+                est_rows,
+                ..
+            } => format!(
+                "IndexLookup {} [{}]{} (est {est_rows} rows)",
+                table.binding,
+                AccessPath::IndexProbe {
+                    column: *column,
+                    keys: keys.clone()
+                }
+                .describe(),
+                filter_note(filter),
+            ),
+            PlanNode::NLJoin {
+                filter, est_rows, ..
+            } => format!("NLJoin{} (est {est_rows} rows)", filter_note(filter)),
+            PlanNode::HashJoin {
+                inner_col,
+                filter,
+                est_rows,
+                ..
+            } => format!(
+                "HashJoin(col#{inner_col}){} (est {est_rows} rows)",
+                filter_note(filter)
+            ),
+            PlanNode::IndexNLJoin {
+                table,
+                inner_col,
+                filter,
+                est_rows,
+                ..
+            } => format!(
+                "IndexNLJoin {} (col#{inner_col}){} (est {est_rows} rows)",
+                table.binding,
+                filter_note(filter)
+            ),
+            PlanNode::Filter { predicate, .. } => {
+                format!("Filter ({} conjuncts)", predicate.len())
+            }
+            PlanNode::Sort { keys, .. } => format!("Sort ({} keys)", keys.len()),
+            PlanNode::Project { projections, .. } => {
+                let names: Vec<&str> = projections.iter().map(Projection::name).collect();
+                format!("Project ({})", names.join(", "))
+            }
+            PlanNode::Aggregate {
+                group_by,
+                projections,
+                having,
+                ..
+            } => format!(
+                "Aggregate ({} keys, {} projections{})",
+                group_by.len(),
+                projections.len(),
+                if having.is_some() { ", HAVING" } else { "" },
+            ),
+            PlanNode::Distinct { .. } => "Distinct".to_string(),
+            PlanNode::Limit { n, .. } => format!("Limit ({n})"),
+        }
+    }
+
+    /// Estimated output rows of the relational part, where known.
+    pub fn est_rows(&self) -> Option<u64> {
+        match self {
+            PlanNode::Empty { .. } => Some(0),
+            PlanNode::Scan { est_rows, .. }
+            | PlanNode::IndexLookup { est_rows, .. }
+            | PlanNode::NLJoin { est_rows, .. }
+            | PlanNode::HashJoin { est_rows, .. }
+            | PlanNode::IndexNLJoin { est_rows, .. } => Some(*est_rows),
+            _ => None,
+        }
+    }
+}
+
+/// Short `filter: N` suffix for EXPLAIN lines.
+fn filter_note(filter: &[BoundExpr]) -> String {
+    if filter.is_empty() {
+        String::new()
+    } else {
+        format!(" filter: {} conjuncts", filter.len())
+    }
+}
+
+/// A complete physical plan for one bound `SELECT`.
+#[derive(Debug, Clone)]
+pub struct PhysicalPlan {
+    /// The root operator.
+    pub root: PlanNode,
+    /// Output column names, in projection order.
+    pub columns: Vec<String>,
+}
+
+impl PhysicalPlan {
+    /// Renders the plan as an indented EXPLAIN tree, one operator per
+    /// line, with access-path and estimated-row annotations.
+    pub fn render(&self) -> String {
+        let mut out = String::new();
+        render_node(&self.root, 0, &mut out);
+        out.pop(); // trailing newline
+        out
+    }
+
+    /// Counts operators by [`PlanNode::name`], for plan-regression
+    /// tracking in the bench harness output.
+    pub fn operator_counts(&self) -> BTreeMap<&'static str, usize> {
+        let mut counts = BTreeMap::new();
+        let mut stack = vec![&self.root];
+        while let Some(node) = stack.pop() {
+            *counts.entry(node.name()).or_insert(0) += 1;
+            stack.extend(node.children());
+        }
+        counts
+    }
+
+    /// A compact one-line `name=count` summary of
+    /// [`PhysicalPlan::operator_counts`].
+    pub fn operator_summary(&self) -> String {
+        self.operator_counts()
+            .iter()
+            .map(|(name, n)| format!("{name}={n}"))
+            .collect::<Vec<_>>()
+            .join(" ")
+    }
+
+    /// Per-table `(binding, access/join strategy)` steps in FROM order —
+    /// the legacy `PlanInfo` rendering.
+    pub fn table_steps(&self) -> Vec<(String, String)> {
+        let mut steps = Vec::new();
+        collect_steps(&self.root, &mut steps);
+        steps
+    }
+}
+
+fn render_node(node: &PlanNode, depth: usize, out: &mut String) {
+    for _ in 0..depth {
+        out.push_str("  ");
+    }
+    let _ = writeln!(out, "{}", node.describe());
+    match node {
+        // Joins render the outer subtree first, then the inner side.
+        PlanNode::NLJoin { outer, inner, .. } | PlanNode::HashJoin { outer, inner, .. } => {
+            render_node(outer, depth + 1, out);
+            render_node(inner, depth + 1, out);
+        }
+        PlanNode::IndexNLJoin { outer, .. } => render_node(outer, depth + 1, out),
+        other => {
+            for child in other.children() {
+                render_node(child, depth + 1, out);
+            }
+        }
+    }
+}
+
+/// Walks the relational subtree, emitting one step per FROM table in
+/// join order (outer first).
+fn collect_steps(node: &PlanNode, out: &mut Vec<(String, String)>) {
+    match node {
+        PlanNode::Empty { bindings } => {
+            for b in bindings {
+                out.push((b.clone(), "pruned (empty input)".into()));
+            }
+        }
+        PlanNode::Scan { table, .. } => {
+            out.push((table.binding.clone(), AccessPath::SeqScan.describe()));
+        }
+        PlanNode::IndexLookup {
+            table,
+            column,
+            keys,
+            ..
+        } => {
+            out.push((
+                table.binding.clone(),
+                AccessPath::IndexProbe {
+                    column: *column,
+                    keys: keys.clone(),
+                }
+                .describe(),
+            ));
+        }
+        PlanNode::NLJoin { outer, inner, .. } => {
+            collect_steps(outer, out);
+            collect_steps(inner, out);
+        }
+        PlanNode::HashJoin {
+            outer,
+            inner,
+            inner_col,
+            ..
+        } => {
+            collect_steps(outer, out);
+            let access = inner
+                .access_path()
+                .map_or_else(|| "?".to_string(), |a| a.describe());
+            let binding = match inner.as_ref() {
+                PlanNode::Scan { table, .. } | PlanNode::IndexLookup { table, .. } => {
+                    table.binding.clone()
+                }
+                _ => String::new(),
+            };
+            out.push((binding, format!("HashJoin(col#{inner_col}) over {access}")));
+        }
+        PlanNode::IndexNLJoin {
+            outer,
+            table,
+            inner_col,
+            ..
+        } => {
+            collect_steps(outer, out);
+            out.push((
+                table.binding.clone(),
+                format!("IndexNLJoin(col#{inner_col})"),
+            ));
+        }
+        PlanNode::Filter { input, .. }
+        | PlanNode::Sort { input, .. }
+        | PlanNode::Project { input, .. }
+        | PlanNode::Aggregate { input, .. }
+        | PlanNode::Distinct { input }
+        | PlanNode::Limit { input, .. } => collect_steps(input, out),
+    }
+}

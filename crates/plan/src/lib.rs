@@ -1,0 +1,35 @@
+//! Physical query plans.
+//!
+//! This crate is the shared middle layer between binding
+//! (`trac-expr`) and execution (`trac-exec`): [`plan_select`] lowers a
+//! [`trac_expr::BoundSelect`] into a typed operator tree
+//! ([`PlanNode`]) that the streaming executor interprets, EXPLAIN
+//! renders, and the static analyzer inspects structurally.
+//!
+//! The IR deliberately mirrors the classic Volcano-style physical
+//! algebra:
+//!
+//! * **Leaves** — [`PlanNode::Scan`] and [`PlanNode::IndexLookup`]
+//!   read one table through an [`AccessPath`];
+//! * **Joins** — [`PlanNode::NLJoin`], [`PlanNode::HashJoin`] and
+//!   [`PlanNode::IndexNLJoin`] combine an outer subtree with one inner
+//!   table, left-deep in FROM order;
+//! * **Shapers** — [`PlanNode::Filter`], [`PlanNode::Sort`],
+//!   [`PlanNode::Project`], [`PlanNode::Distinct`],
+//!   [`PlanNode::Limit`] and [`PlanNode::Aggregate`] post-process the
+//!   joined tuple stream into the final result.
+//!
+//! Plans carry per-operator estimated row counts (taken from the
+//! snapshot the planner saw) purely as EXPLAIN annotations — they never
+//! influence correctness, only the join-strategy heuristics at plan
+//! time.
+
+#![warn(missing_docs)]
+
+mod access;
+mod ir;
+mod lower;
+
+pub use access::{choose_access_path, probe_candidate, AccessPath, ExecOptions};
+pub use ir::{PhysicalPlan, PlanNode};
+pub use lower::{equi_key, plan_select, split_and};

@@ -1,0 +1,406 @@
+//! Lowering a bound `SELECT` into a physical plan.
+//!
+//! The lowering mirrors the original monolithic executor pipeline so
+//! that results (and plan shapes) stay byte-identical: constant
+//! conjuncts prune up front, tables join left-to-right in FROM order
+//! with per-table access-path selection, and the query's shaping
+//! clauses (`GROUP BY`/`HAVING`/`ORDER BY`/`DISTINCT`/`LIMIT`) stack on
+//! top of the join tree.
+
+use crate::access::{choose_access_path, AccessPath, ExecOptions};
+use crate::ir::{PhysicalPlan, PlanNode};
+use std::collections::BTreeSet;
+use trac_expr::{eval_predicate, BoundExpr, BoundSelect, BoundTable, ColRef, Truth};
+use trac_sql::BinaryOp;
+use trac_storage::ReadTxn;
+use trac_types::Result;
+
+/// Splits nested `AND`s into a conjunct list.
+pub fn split_and(e: &BoundExpr, out: &mut Vec<BoundExpr>) {
+    match e {
+        BoundExpr::Binary {
+            op: BinaryOp::And,
+            lhs,
+            rhs,
+        } => {
+            split_and(lhs, out);
+            split_and(rhs, out);
+        }
+        other => out.push(other.clone()),
+    }
+}
+
+/// If `c` is `pos.col = other.col` with `other` already joined, returns
+/// `(pos column, outer column ref)`.
+pub fn equi_key(c: &BoundExpr, pos: usize, joined: &BTreeSet<usize>) -> Option<(usize, ColRef)> {
+    let BoundExpr::Binary {
+        op: BinaryOp::Eq,
+        lhs,
+        rhs,
+    } = c
+    else {
+        return None;
+    };
+    match (lhs.as_ref(), rhs.as_ref()) {
+        (BoundExpr::Column(a), BoundExpr::Column(b)) => {
+            if a.table == pos && joined.contains(&b.table) {
+                Some((a.column, *b))
+            } else if b.table == pos && joined.contains(&a.table) {
+                Some((b.column, *a))
+            } else {
+                None
+            }
+        }
+        _ => None,
+    }
+}
+
+/// Builds the access leaf for one table.
+fn make_leaf(
+    txn: &ReadTxn,
+    bt: &BoundTable,
+    pos: usize,
+    access: AccessPath,
+    filter: Vec<BoundExpr>,
+) -> PlanNode {
+    let total = txn.row_count(bt.id).unwrap_or(0) as u64;
+    match access {
+        AccessPath::SeqScan => PlanNode::Scan {
+            table: bt.clone(),
+            pos,
+            filter,
+            est_rows: total,
+        },
+        AccessPath::IndexProbe { column, keys } => {
+            let est_rows = total.min(keys.len() as u64);
+            PlanNode::IndexLookup {
+                table: bt.clone(),
+                pos,
+                column,
+                keys,
+                filter,
+                est_rows,
+            }
+        }
+    }
+}
+
+/// Lowers a bound `SELECT` into a physical plan against `txn`'s
+/// snapshot. The plan is deterministic given the query, the options and
+/// the catalog (which indexes exist); row-count estimates additionally
+/// reflect the snapshot's visible table sizes.
+pub fn plan_select(txn: &ReadTxn, q: &BoundSelect, opts: ExecOptions) -> Result<PhysicalPlan> {
+    // 1. Split the predicate into top-level conjuncts.
+    let mut conjuncts: Vec<BoundExpr> = Vec::new();
+    if let Some(p) = &q.predicate {
+        split_and(p, &mut conjuncts);
+    }
+    // 2. Constant conjuncts decide emptiness up front.
+    let mut pending: Vec<Option<BoundExpr>> = Vec::new();
+    let mut trivially_empty = false;
+    for c in conjuncts {
+        if c.references().is_empty() {
+            if eval_predicate(&c, &[])? != Truth::True {
+                trivially_empty = true;
+            }
+        } else {
+            pending.push(Some(c));
+        }
+    }
+    let mut root = if trivially_empty {
+        PlanNode::Empty {
+            bindings: q.tables.iter().map(|t| t.binding.clone()).collect(),
+        }
+    } else {
+        // 3. Join tables left-to-right, building a left-deep tree.
+        let mut joined: BTreeSet<usize> = BTreeSet::new();
+        let mut tree: Option<PlanNode> = None;
+        for (pos, bt) in q.tables.iter().enumerate() {
+            // Single-table conjuncts for this table.
+            let table_conjuncts: Vec<BoundExpr> = pending
+                .iter()
+                .flatten()
+                .filter(|c| c.tables() == BTreeSet::from([pos]))
+                .cloned()
+                .collect();
+            // Conjuncts that become applicable once `pos` joins.
+            let mut applicable: Vec<BoundExpr> = Vec::new();
+            for slot in &mut pending {
+                if let Some(c) = slot.take() {
+                    let ready = c.tables().iter().all(|t| *t == pos || joined.contains(t));
+                    if ready {
+                        applicable.push(c);
+                    } else {
+                        *slot = Some(c);
+                    }
+                }
+            }
+            // Pick an equi-join conjunct usable as a key: pos.col = joined.col.
+            let equi = applicable.iter().find_map(|c| equi_key(c, pos, &joined));
+            let access = choose_access_path(txn, bt.id, pos, &table_conjuncts, opts);
+            joined.insert(pos);
+            let Some(outer) = tree else {
+                // First table: the leaf is the tree. `applicable` here is
+                // exactly the single-table conjuncts, already in the leaf.
+                tree = Some(make_leaf(txn, bt, pos, access, table_conjuncts));
+                continue;
+            };
+            let outer_est = outer.est_rows().unwrap_or(0);
+            let join_filter = applicable;
+            let index_nl = equi.filter(|(inner_col, _)| {
+                opts.enable_index_scan
+                    && matches!(access, AccessPath::SeqScan)
+                    && txn.has_index(bt.id, *inner_col)
+            });
+            tree = Some(if let Some((inner_col, outer_key)) = index_nl {
+                PlanNode::IndexNLJoin {
+                    outer: Box::new(outer),
+                    table: bt.clone(),
+                    pos,
+                    inner_col,
+                    outer_key,
+                    filter: join_filter,
+                    est_rows: outer_est,
+                }
+            } else {
+                let inner = make_leaf(txn, bt, pos, access, table_conjuncts);
+                let inner_est = inner.est_rows().unwrap_or(0);
+                if let Some((inner_col, outer_key)) = equi.filter(|_| opts.enable_hash_join) {
+                    PlanNode::HashJoin {
+                        outer: Box::new(outer),
+                        inner: Box::new(inner),
+                        inner_col,
+                        outer_key,
+                        filter: join_filter,
+                        est_rows: outer_est.max(inner_est),
+                    }
+                } else {
+                    PlanNode::NLJoin {
+                        outer: Box::new(outer),
+                        inner: Box::new(inner),
+                        filter: join_filter,
+                        est_rows: outer_est.saturating_mul(inner_est),
+                    }
+                }
+            });
+        }
+        tree.unwrap_or(PlanNode::Empty {
+            bindings: Vec::new(),
+        })
+    };
+    // 4. Leftover conjuncts (defensive; all should have been applied).
+    let leftover: Vec<BoundExpr> = pending.into_iter().flatten().collect();
+    if !leftover.is_empty() {
+        root = PlanNode::Filter {
+            input: Box::new(root),
+            predicate: leftover,
+        };
+    }
+    // 5. Shape the output: aggregation absorbs HAVING/ORDER BY/LIMIT
+    // (they act on groups); the scalar stack applies them separately.
+    let columns = q.output_names();
+    let root = if q.is_aggregate() {
+        PlanNode::Aggregate {
+            input: Box::new(root),
+            group_by: q.group_by.clone(),
+            projections: q.projections.clone(),
+            having: q.having.clone(),
+            order_by: q.order_by.clone(),
+            limit: q.limit,
+        }
+    } else {
+        if !q.order_by.is_empty() {
+            root = PlanNode::Sort {
+                input: Box::new(root),
+                keys: q.order_by.clone(),
+            };
+        }
+        root = PlanNode::Project {
+            input: Box::new(root),
+            projections: q.projections.clone(),
+        };
+        if q.distinct {
+            root = PlanNode::Distinct {
+                input: Box::new(root),
+            };
+        }
+        if let Some(n) = q.limit {
+            root = PlanNode::Limit {
+                input: Box::new(root),
+                n,
+            };
+        }
+        root
+    };
+    Ok(PhysicalPlan { root, columns })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use trac_expr::bind_select;
+    use trac_sql::parse_select;
+    use trac_storage::{ColumnDef, Database, TableSchema};
+    use trac_types::{DataType, Value};
+
+    fn setup() -> Database {
+        let db = Database::new();
+        for (name, cols) in [
+            ("activity", vec!["mach_id", "value"]),
+            ("routing", vec!["mach_id", "neighbor"]),
+        ] {
+            db.create_table(
+                TableSchema::new(
+                    name,
+                    cols.iter()
+                        .map(|c| ColumnDef::new(*c, DataType::Text))
+                        .collect(),
+                    Some("mach_id"),
+                )
+                .unwrap(),
+            )
+            .unwrap();
+            db.create_index(name, "mach_id").unwrap();
+        }
+        let t = db.begin_read().table_id("activity").unwrap();
+        db.with_write(|w| {
+            w.insert(t, vec![Value::text("m1"), Value::text("idle")])?;
+            w.insert(t, vec![Value::text("m2"), Value::text("busy")])
+        })
+        .unwrap();
+        db
+    }
+
+    fn plan(db: &Database, sql: &str, opts: ExecOptions) -> PhysicalPlan {
+        let txn = db.begin_read();
+        let bound = bind_select(&txn, &parse_select(sql).unwrap()).unwrap();
+        plan_select(&txn, &bound, opts).unwrap()
+    }
+
+    #[test]
+    fn single_table_probe_plan() {
+        let db = setup();
+        let p = plan(
+            &db,
+            "SELECT value FROM activity WHERE mach_id = 'm1'",
+            ExecOptions::default(),
+        );
+        assert_eq!(p.columns, vec!["value".to_string()]);
+        let PlanNode::Project { input, .. } = &p.root else {
+            panic!("expected Project root: {:?}", p.root);
+        };
+        let PlanNode::IndexLookup { keys, est_rows, .. } = input.as_ref() else {
+            panic!("expected IndexLookup leaf: {input:?}");
+        };
+        assert_eq!(keys, &[Value::text("m1")]);
+        assert_eq!(*est_rows, 1);
+        assert_eq!(p.table_steps()[0].1, "IndexProbe(col#0, 1 keys)");
+    }
+
+    #[test]
+    fn equi_join_lowers_to_index_nl_join() {
+        let db = setup();
+        let p = plan(
+            &db,
+            "SELECT A.mach_id FROM Routing R, Activity A WHERE R.neighbor = A.mach_id",
+            ExecOptions::default(),
+        );
+        let PlanNode::Project { input, .. } = &p.root else {
+            panic!("expected Project root");
+        };
+        assert!(
+            matches!(input.as_ref(), PlanNode::IndexNLJoin { .. }),
+            "expected IndexNLJoin: {input:?}"
+        );
+        assert_eq!(p.table_steps()[1].1, "IndexNLJoin(col#0)");
+        assert_eq!(p.operator_counts()["IndexNLJoin"], 1);
+    }
+
+    #[test]
+    fn options_select_join_strategy() {
+        let db = setup();
+        let sql = "SELECT A.mach_id FROM Routing R, Activity A WHERE R.neighbor = A.mach_id";
+        let no_index = ExecOptions {
+            enable_index_scan: false,
+            enable_hash_join: true,
+        };
+        let p = plan(&db, sql, no_index);
+        assert_eq!(p.operator_counts()["HashJoin"], 1);
+        let nested_only = ExecOptions {
+            enable_index_scan: false,
+            enable_hash_join: false,
+        };
+        let p = plan(&db, sql, nested_only);
+        assert_eq!(p.operator_counts()["NLJoin"], 1);
+        // The join conjunct rides on the join node either way.
+        let PlanNode::Project { input, .. } = &p.root else {
+            panic!("expected Project root");
+        };
+        let PlanNode::NLJoin { filter, .. } = input.as_ref() else {
+            panic!("expected NLJoin: {input:?}");
+        };
+        assert_eq!(filter.len(), 1);
+    }
+
+    #[test]
+    fn constant_false_lowers_to_empty() {
+        let db = setup();
+        let p = plan(
+            &db,
+            "SELECT mach_id FROM activity WHERE 1 = 2",
+            ExecOptions::default(),
+        );
+        assert_eq!(
+            p.table_steps(),
+            vec![("activity".to_string(), "pruned (empty input)".to_string())]
+        );
+    }
+
+    #[test]
+    fn shaping_stack_order() {
+        let db = setup();
+        let p = plan(
+            &db,
+            "SELECT DISTINCT value FROM activity ORDER BY value LIMIT 3",
+            ExecOptions::default(),
+        );
+        // Limit(Distinct(Project(Sort(Scan)))) — DISTINCT before LIMIT.
+        let PlanNode::Limit { input, n: 3 } = &p.root else {
+            panic!("expected Limit root: {:?}", p.root);
+        };
+        let PlanNode::Distinct { input } = input.as_ref() else {
+            panic!("expected Distinct");
+        };
+        let PlanNode::Project { input, .. } = input.as_ref() else {
+            panic!("expected Project");
+        };
+        assert!(matches!(input.as_ref(), PlanNode::Sort { .. }));
+        let rendered = p.render();
+        assert!(rendered.starts_with("Limit (3)"), "{rendered}");
+        assert!(rendered.contains("est 2 rows"), "{rendered}");
+    }
+
+    #[test]
+    fn aggregates_absorb_group_shaping() {
+        let db = setup();
+        let p = plan(
+            &db,
+            "SELECT value, COUNT(*) AS n FROM activity GROUP BY value \
+             HAVING COUNT(*) > 0 ORDER BY value LIMIT 5",
+            ExecOptions::default(),
+        );
+        let PlanNode::Aggregate {
+            group_by,
+            having,
+            limit,
+            ..
+        } = &p.root
+        else {
+            panic!("expected Aggregate root: {:?}", p.root);
+        };
+        assert_eq!(group_by.len(), 1);
+        assert!(having.is_some());
+        assert_eq!(*limit, Some(5));
+        assert_eq!(p.operator_counts()["Aggregate"], 1);
+    }
+}

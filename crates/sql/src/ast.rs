@@ -25,6 +25,9 @@ pub enum Statement {
     CreateIndex(CreateIndexStmt),
     /// `DROP TABLE name`
     DropTable(String),
+    /// `EXPLAIN <select>` — render the physical plan instead of running
+    /// the query.
+    Explain(SelectStmt),
 }
 
 /// One table mention in a `FROM` list.
@@ -549,6 +552,7 @@ impl fmt::Display for Statement {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         match self {
             Statement::Select(s) => write!(f, "{s}"),
+            Statement::Explain(s) => write!(f, "EXPLAIN {s}"),
             Statement::Insert(s) => {
                 write!(f, "INSERT INTO {}", s.table)?;
                 if let Some(cols) = &s.columns {

@@ -8,7 +8,7 @@ use trac_types::{Result, Timestamp, TracError, Value};
 const RESERVED: &[&str] = &[
     "SELECT", "FROM", "WHERE", "AND", "OR", "NOT", "IN", "IS", "NULL", "BETWEEN", "ORDER", "BY",
     "GROUP", "HAVING", "LIMIT", "AS", "DISTINCT", "VALUES", "SET", "INSERT", "INTO", "UPDATE",
-    "DELETE", "CREATE", "TABLE", "INDEX", "ON", "DROP", "TRUE", "FALSE", "DESC", "ASC",
+    "DELETE", "CREATE", "TABLE", "INDEX", "ON", "DROP", "TRUE", "FALSE", "DESC", "ASC", "EXPLAIN",
 ];
 
 fn is_reserved(word: &str) -> bool {
@@ -154,6 +154,9 @@ impl Parser {
         let t = self.peek();
         if t.is_kw("SELECT") {
             Ok(Statement::Select(self.select()?))
+        } else if t.is_kw("EXPLAIN") {
+            self.bump();
+            Ok(Statement::Explain(self.select()?))
         } else if t.is_kw("INSERT") {
             self.insert()
         } else if t.is_kw("UPDATE") {
@@ -732,6 +735,21 @@ mod tests {
         assert!(matches!(s, Statement::CreateIndex(_)));
         let s = parse_statement("DROP TABLE Activity").unwrap();
         assert_eq!(s, Statement::DropTable("Activity".into()));
+    }
+
+    #[test]
+    fn parses_explain() {
+        let sql = "explain SELECT mach_id FROM Activity WHERE value = 'idle'";
+        let s = parse_statement(sql).unwrap();
+        match &s {
+            Statement::Explain(sel) => assert_eq!(sel.from[0].table, "Activity"),
+            other => panic!("expected EXPLAIN, got {other}"),
+        }
+        // Display round-trips through the parser.
+        let again = parse_statement(&s.to_string()).unwrap();
+        assert_eq!(s, again);
+        // EXPLAIN wraps SELECT only.
+        assert!(parse_statement("EXPLAIN DROP TABLE Activity").is_err());
     }
 
     #[test]

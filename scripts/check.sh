@@ -11,10 +11,13 @@ cargo fmt --all -- --check
 echo "==> cargo clippy (workspace lint wall)"
 cargo clippy --workspace --all-targets -- -D warnings
 
+echo "==> cargo doc (no warnings)"
+RUSTDOCFLAGS="-D warnings" cargo doc --no-deps --workspace
+
 echo "==> cargo test --workspace"
 cargo test --workspace -q
 
-echo "==> trac-analyze (soundness audit of sample workloads)"
+echo "==> trac-analyze (soundness audit of sample workloads, incl. planned recency subqueries)"
 cargo run --release -p trac-analyze --bin trac-analyze
 
 echo "All checks passed."

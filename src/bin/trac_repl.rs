@@ -20,6 +20,7 @@ use trac::workload::load_paper_tables;
 const HELP: &str = "\
 Commands:
   <sql>;            run a SQL statement (SELECT/INSERT/UPDATE/DELETE/CREATE/DROP)
+  EXPLAIN <select>  show the physical operator tree the planner chose
   \\report <select>  run a SELECT with Focused recency & consistency reporting
   \\naive <select>   run a SELECT with Naive (all-sources) reporting
   \\plan <select>    show the generated recency queries and their guarantee
