@@ -1,31 +1,56 @@
 //! `trac-analyze` — audit recency plans for soundness violations.
 //!
 //! ```text
-//! trac-analyze [--explain] [--verbose] [--dnf-budget N]
+//! trac-analyze [--explain] [--validate] [--verbose] [--format text|json]
+//!              [--dnf-budget N]
 //! ```
 //!
-//! Runs the four analyzer passes over every sample workload (the paper
+//! Runs the analyzer passes over every sample workload (the paper
 //! fixture, the Section 4.2 fixture, and the Section 5.2 evaluation
-//! queries) and renders any findings in compiler style. Exits nonzero
-//! when any error-severity diagnostic is found, so CI can gate on it.
+//! queries) and renders any findings in compiler style, or as a JSON
+//! report with `--format json`. Exits nonzero when any error-severity
+//! diagnostic is found, so CI can gate on it.
 
 use std::process::ExitCode;
-use trac_analyze::{analyze_samples, AnalyzerConfig, Severity, ALL_CODES};
+use trac_analyze::{analyze_samples, annotated_samples, AnalyzerConfig, Severity, ALL_CODES};
 
 fn usage() -> ! {
     eprintln!(
-        "usage: trac-analyze [--explain] [--verbose] [--dnf-budget N]\n\
+        "usage: trac-analyze [--explain] [--validate] [--verbose] \
+         [--format text|json] [--dnf-budget N]\n\
          \n\
-         --explain       list all diagnostic codes and exit\n\
+         --explain       list all diagnostic codes (TRAC001..TRAC015) and exit\n\
+         --validate      print every sample plan annotated with certified\n\
+         \u{20}                dataflow facts, then run the sweep\n\
          --verbose       also print clean queries and non-error findings' renders\n\
+         --format FMT    output format: text (default) or json\n\
          --dnf-budget N  DNF term budget (default: the planner's)"
     );
     std::process::exit(2);
 }
 
+/// Escapes a string for embedding in a JSON string literal.
+fn json_escape(s: &str) -> String {
+    let mut out = String::with_capacity(s.len() + 2);
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\t' => out.push_str("\\t"),
+            '\r' => out.push_str("\\r"),
+            c if (c as u32) < 0x20 => out.push_str(&format!("\\u{:04x}", c as u32)),
+            c => out.push(c),
+        }
+    }
+    out
+}
+
 fn main() -> ExitCode {
     let mut cfg = AnalyzerConfig::default();
     let mut verbose = false;
+    let mut validate = false;
+    let mut json = false;
     let mut args = std::env::args().skip(1);
     while let Some(arg) = args.next() {
         match arg.as_str() {
@@ -35,7 +60,13 @@ fn main() -> ExitCode {
                 }
                 return ExitCode::SUCCESS;
             }
+            "--validate" => validate = true,
             "--verbose" | "-v" => verbose = true,
+            "--format" => match args.next().as_deref() {
+                Some("text") => json = false,
+                Some("json") => json = true,
+                _ => usage(),
+            },
             "--dnf-budget" => match args.next().and_then(|v| v.parse().ok()) {
                 Some(n) => cfg.dnf_budget = n,
                 None => usage(),
@@ -44,6 +75,21 @@ fn main() -> ExitCode {
             other => {
                 eprintln!("unknown argument: {other}");
                 usage();
+            }
+        }
+    }
+
+    if validate && !json {
+        match annotated_samples() {
+            Ok(plans) => {
+                for (name, rendered) in plans {
+                    println!("== {name}");
+                    println!("{rendered}");
+                }
+            }
+            Err(e) => {
+                eprintln!("trac-analyze: failed to lower sample plans: {e}");
+                return ExitCode::FAILURE;
             }
         }
     }
@@ -66,11 +112,11 @@ fn main() -> ExitCode {
                 Severity::Warning => warnings += 1,
                 Severity::Note => notes += 1,
             }
-            if d.is_error() || verbose {
+            if !json && (d.is_error() || verbose) {
                 println!("{}", d.render());
             }
         }
-        if verbose {
+        if !json && verbose {
             println!(
                 "{}: {} ({} finding{})",
                 a.name,
@@ -80,14 +126,50 @@ fn main() -> ExitCode {
             );
         }
     }
-    println!(
-        "trac-analyze: {} quer{} checked, {errors} error{}, {warnings} warning{}, {notes} note{}",
-        analyses.len(),
-        if analyses.len() == 1 { "y" } else { "ies" },
-        if errors == 1 { "" } else { "s" },
-        if warnings == 1 { "" } else { "s" },
-        if notes == 1 { "" } else { "s" },
-    );
+    if json {
+        // Hand-rolled JSON (no serde in the offline dependency set):
+        // stable key order so CI can diff reports textually.
+        let mut out = String::from("{\n  \"queries\": [\n");
+        for (qi, a) in analyses.iter().enumerate() {
+            out.push_str(&format!(
+                "    {{\"name\": \"{}\", \"guarantee\": \"{}\", \"diagnostics\": [",
+                json_escape(&a.name),
+                json_escape(&a.guarantee.to_string())
+            ));
+            for (di, d) in a.diagnostics.iter().enumerate() {
+                out.push_str(&format!(
+                    "\n      {{\"code\": \"{}\", \"severity\": \"{}\", \
+                     \"context\": \"{}\", \"message\": \"{}\"}}{}",
+                    json_escape(d.code.id),
+                    json_escape(&d.severity.to_string()),
+                    json_escape(&d.context),
+                    json_escape(&d.message),
+                    if di + 1 == a.diagnostics.len() {
+                        "\n    "
+                    } else {
+                        ","
+                    }
+                ));
+            }
+            out.push_str(&format!(
+                "]}}{}\n",
+                if qi + 1 == analyses.len() { "" } else { "," }
+            ));
+        }
+        out.push_str(&format!(
+            "  ],\n  \"errors\": {errors},\n  \"warnings\": {warnings},\n  \"notes\": {notes}\n}}"
+        ));
+        println!("{out}");
+    } else {
+        println!(
+            "trac-analyze: {} quer{} checked, {errors} error{}, {warnings} warning{}, {notes} note{}",
+            analyses.len(),
+            if analyses.len() == 1 { "y" } else { "ies" },
+            if errors == 1 { "" } else { "s" },
+            if warnings == 1 { "" } else { "s" },
+            if notes == 1 { "" } else { "s" },
+        );
+    }
     if errors > 0 {
         ExitCode::FAILURE
     } else {

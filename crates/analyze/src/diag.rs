@@ -107,8 +107,74 @@ pub const DEGRADED_GUARANTEE: Code = Code {
     summary: "guarantee degraded to upper bound (mixed terms or SAT unknown)",
 };
 
+/// Translation validator (residue pass): a conjunct of the bound WHERE
+/// clause is enforced by no operator dominating all the leaves its
+/// columns come from — the plan could emit tuples the query excludes.
+pub const RESIDUE_DROPPED: Code = Code {
+    id: "TRAC009",
+    severity: Severity::Error,
+    summary: "WHERE conjunct not enforced by the physical plan",
+};
+
+/// Translation validator (residue pass): the plan enforces a predicate
+/// that is not a conjunct of the bound WHERE clause (and is not a
+/// planner-derived equi-key or index residual) — the plan could drop
+/// tuples the query keeps.
+pub const RESIDUE_PHANTOM: Code = Code {
+    id: "TRAC010",
+    severity: Severity::Error,
+    summary: "plan enforces a predicate absent from the WHERE clause",
+};
+
+/// Translation validator (property pass): a join's key contract is
+/// violated — the inner/outer key types do not unify, or the equi-key
+/// pair matches no equality conjunct of the bound WHERE clause.
+pub const JOIN_KEY_CONTRACT: Code = Code {
+    id: "TRAC011",
+    severity: Severity::Error,
+    summary: "join key contract violated (type mismatch or unjustified key)",
+};
+
+/// Translation validator (property pass): an operator's structural
+/// contract is violated — slot sets overlap or miss tables, a predicate
+/// references columns outside its input's scope, projection widths or
+/// grouping columns disagree with the bound query.
+pub const OPERATOR_CONTRACT: Code = Code {
+    id: "TRAC012",
+    severity: Severity::Error,
+    summary: "operator contract violated (schema, scope, width, or grouping)",
+};
+
+/// Translation validator (property pass): the shaping stack
+/// (Project/Aggregate/Distinct/Sort/Limit) is missing, duplicated, or
+/// ordered so that it computes a different result than the bound query.
+pub const SHAPE_MISMATCH: Code = Code {
+    id: "TRAC013",
+    severity: Severity::Error,
+    summary: "shaping operators disagree with the bound query",
+};
+
+/// Refinement checker: the relevance analysis upgraded a Corollary 3/5
+/// upper bound to an exact Theorem 3/4 minimum because every mixed term
+/// was proved vacuous under the residual column domains, and the checker
+/// independently confirmed the proof.
+pub const REFINED_MINIMUM: Code = Code {
+    id: "TRAC014",
+    severity: Severity::Note,
+    summary: "upper bound refined to exact minimum (mixed terms vacuous)",
+};
+
+/// Refinement checker: a subquery claims a refined minimum but the
+/// independent re-derivation could not confirm that every mixed term is
+/// vacuous — the claimed guarantee would be unsound.
+pub const UNCONFIRMED_REFINEMENT: Code = Code {
+    id: "TRAC015",
+    severity: Severity::Error,
+    summary: "claimed refined minimum not independently confirmable",
+};
+
 /// All codes, for `--explain` listings and the docs table.
-pub const ALL_CODES: [Code; 8] = [
+pub const ALL_CODES: [Code; 15] = [
     PARTITION_VIOLATION,
     UNSOUND_MINIMUM,
     UNSAT_NONEMPTY,
@@ -117,6 +183,13 @@ pub const ALL_CODES: [Code; 8] = [
     SAT_MISMATCH,
     ALL_SOURCES_FALLBACK,
     DEGRADED_GUARANTEE,
+    RESIDUE_DROPPED,
+    RESIDUE_PHANTOM,
+    JOIN_KEY_CONTRACT,
+    OPERATOR_CONTRACT,
+    SHAPE_MISMATCH,
+    REFINED_MINIMUM,
+    UNCONFIRMED_REFINEMENT,
 ];
 
 /// A byte range into the SQL text under analysis.
@@ -218,8 +291,17 @@ impl Diagnostic {
                     .find('\n')
                     .map_or(self.source.len(), |i| line_start + i);
                 let line = &self.source[line_start..line_end];
-                let col = span.offset.saturating_sub(line_start);
-                let width = span.len().clamp(1, line.len().saturating_sub(col).max(1));
+                // Clamp the effective span to this line: a span that
+                // crosses the newline (or starts on the newline byte
+                // itself) must not push the caret run past the end of
+                // the line it is rendered under.
+                let mut col = span.offset.saturating_sub(line_start).min(line.len());
+                let span_on_line = span.end.min(line_end).saturating_sub(line_start);
+                let mut width = span_on_line.saturating_sub(col).max(1);
+                if col >= line.len() && !line.is_empty() {
+                    col = line.len() - 1;
+                    width = 1;
+                }
                 let gutter = format!("{line_no}");
                 let pad = " ".repeat(gutter.len());
                 out.push_str(&format!("   {pad}|\n"));
@@ -350,6 +432,54 @@ mod tests {
             caret_line.find('^').unwrap(),
             code_line.find("A.value").unwrap()
         );
+    }
+
+    #[test]
+    fn render_clamps_carets_to_line_for_multiline_spans() {
+        let sql = "SELECT A.value FROM Activity A\nWHERE A.value = 'idle'";
+        // A span crossing the newline (from "Activity" through "WHERE")
+        // must stop its caret run at the end of the first line.
+        let off = sql.find("Activity").unwrap();
+        let end = sql.find("WHERE").unwrap() + "WHERE".len();
+        let d = Diagnostic::new(BAD_PROJECTION, "fixture", "crosses a line")
+            .with_span(sql, Some(Span { offset: off, end }));
+        let r = d.render();
+        let code_line = r.lines().nth(3).unwrap();
+        let caret_line = r.lines().nth(4).unwrap();
+        assert!(code_line.ends_with("Activity A"), "{r}");
+        assert!(caret_line.ends_with('^'), "{r}");
+        assert!(
+            caret_line.len() <= code_line.len(),
+            "caret run extends past the end of the line:\n{r}"
+        );
+        assert_eq!(
+            caret_line.find('^').unwrap(),
+            code_line.find("Activity").unwrap(),
+            "{r}"
+        );
+        // A span starting exactly on the newline byte stays within the
+        // first line instead of pointing one column past its end.
+        let nl = sql.find('\n').unwrap();
+        let d = Diagnostic::new(BAD_PROJECTION, "fixture", "starts on the newline").with_span(
+            sql,
+            Some(Span {
+                offset: nl,
+                end: nl + 6,
+            }),
+        );
+        let r = d.render();
+        let code_line = r.lines().nth(3).unwrap();
+        let caret_line = r.lines().nth(4).unwrap();
+        assert!(
+            caret_line.len() <= code_line.len(),
+            "caret rendered past the end of the line:\n{r}"
+        );
+        // Spans on the second line still render against that line.
+        let f = SpanFinder::new(sql);
+        let d = Diagnostic::new(BAD_PROJECTION, "fixture", "second line")
+            .with_span(sql, f.string_lit("idle"));
+        let r = d.render();
+        assert!(r.contains("2| WHERE A.value = 'idle'"), "{r}");
     }
 
     #[test]

@@ -21,22 +21,36 @@
 //!   analysis (`TRAC004`, `TRAC005`);
 //! * [`passes::satcheck`] — re-decides every SAT verdict the planner
 //!   relied on by brute-force model enumeration over small finite domains
-//!   (`TRAC006`).
+//!   (`TRAC006`);
+//! * [`passes::validate`] — the translation validator: an abstract-domain
+//!   dataflow walk ([`dataflow`]) over every lowered [`PhysicalPlan`]
+//!   certifying it against its bound query — predicates enforced exactly
+//!   (`TRAC009`, `TRAC010`), join keys and operator contracts respected
+//!   (`TRAC011`, `TRAC012`), shaping operators faithful (`TRAC013`);
+//! * [`passes::refine`] — independently re-derives every refined-minimum
+//!   upgrade the relevance analysis claimed (`TRAC014`, `TRAC015`).
 //!
 //! Use [`analyze_sql`] for one query against a live database snapshot, or
 //! [`analyze_samples`] to sweep every sample workload (this is what the
 //! `trac-analyze` binary and CI run).
 
 #![warn(missing_docs)]
+#![forbid(unsafe_code)]
 
+pub mod dataflow;
 pub mod diag;
 pub mod passes;
 
 pub use diag::{
     Code, Diagnostic, Severity, Span, SpanFinder, ALL_CODES, ALL_SOURCES_FALLBACK, BAD_PROJECTION,
-    DEGRADED_GUARANTEE, PARTITION_VIOLATION, SAT_MISMATCH, UNSAT_NONEMPTY, UNSOUND_MINIMUM,
+    DEGRADED_GUARANTEE, JOIN_KEY_CONTRACT, OPERATOR_CONTRACT, PARTITION_VIOLATION, REFINED_MINIMUM,
+    RESIDUE_DROPPED, RESIDUE_PHANTOM, SAT_MISMATCH, SHAPE_MISMATCH, UNCONFIRMED_REFINEMENT,
+    UNSAT_NONEMPTY, UNSOUND_MINIMUM,
 };
+pub use passes::validate::validate_plan;
 pub use passes::PassCtx;
+
+use trac_plan::PhysicalPlan;
 
 use trac_core::{Guarantee, RecencyPlan, RelevanceConfig};
 use trac_expr::{bind_select, to_dnf, BoundSelect, Dnf};
@@ -98,12 +112,16 @@ fn plan_dnf(q: &BoundSelect, cfg: AnalyzerConfig) -> Dnf {
     }
 }
 
-/// Runs all four passes over an already-bound query and its claimed plan.
+/// Runs all passes over an already-bound query and its claimed plan.
+/// `user_plan` is the lowered physical plan of the user query itself
+/// (the one the executor would run); when present, the translation
+/// validator certifies it alongside every recency subquery's plan.
 pub fn analyze_bound(
     name: &str,
     sql: &str,
     q: &BoundSelect,
     plan: &RecencyPlan,
+    user_plan: Option<&PhysicalPlan>,
     cfg: AnalyzerConfig,
 ) -> QueryAnalysis {
     let dnf = plan_dnf(q, cfg);
@@ -118,6 +136,8 @@ pub fn analyze_bound(
     diagnostics.extend(passes::guarantee::audit_plan(q, plan, &dnf, &ctx));
     diagnostics.extend(passes::sanitize::run(q, plan, name));
     diagnostics.extend(passes::satcheck::run(q, &dnf, &ctx));
+    diagnostics.extend(passes::validate::run(q, plan, user_plan, &ctx));
+    diagnostics.extend(passes::refine::run(q, plan, &dnf, &ctx));
     QueryAnalysis {
         name: name.to_string(),
         sql: sql.to_string(),
@@ -127,7 +147,7 @@ pub fn analyze_bound(
 }
 
 /// Parses, binds and plans `sql` in `txn`'s snapshot, then audits the
-/// resulting plan.
+/// resulting recency plan and the query's own lowered physical plan.
 pub fn analyze_sql(
     txn: &ReadTxn,
     name: &str,
@@ -143,13 +163,56 @@ pub fn analyze_sql(
             dnf_budget: cfg.dnf_budget,
         },
     )?;
-    Ok(analyze_bound(name, sql, &q, &plan, cfg))
+    let user_plan = trac_plan::plan_select(txn, &q, trac_plan::ExecOptions::default())?;
+    Ok(analyze_bound(name, sql, &q, &plan, Some(&user_plan), cfg))
+}
+
+/// Renders `plan` as an EXPLAIN tree with each operator annotated with
+/// the facts the dataflow engine certified for it (see
+/// [`dataflow::Facts::summary`]).
+pub fn annotated_plan(q: &BoundSelect, plan: &PhysicalPlan) -> String {
+    let map = dataflow::propagate(q, plan);
+    plan.render_annotated(&|node| {
+        map.get(node)
+            .map(|f| f.summary(q))
+            .filter(|s| !s.is_empty())
+    })
+}
+
+/// Lowers every sample workload query and renders its physical plan
+/// annotated with the certified dataflow facts — the `--validate`
+/// output of the `trac-analyze` binary.
+pub fn annotated_samples() -> Result<Vec<(String, String)>> {
+    let mut out = Vec::new();
+    let paper = load_paper_tables()?;
+    let txn = paper.db.begin_read();
+    for (name, sql) in PAPER_SAMPLE_QUERIES {
+        out.push((name.to_string(), annotate_one(&txn, sql)?));
+    }
+    let s42 = load_section_42_tables(&["myScheduler", "mx", "my"])?;
+    let txn = s42.db.begin_read();
+    for (name, sql) in SECTION42_SAMPLE_QUERIES {
+        out.push((name.to_string(), annotate_one(&txn, sql)?));
+    }
+    let eval = load_eval_db(&EvalConfig::new(EVAL_SAMPLE_ROWS, EVAL_SAMPLE_RATIO))?;
+    let txn = eval.db.begin_read();
+    for (name, sql) in trac_workload::PAPER_QUERIES {
+        out.push((format!("eval/{name}"), annotate_one(&txn, sql)?));
+    }
+    Ok(out)
+}
+
+fn annotate_one(txn: &ReadTxn, sql: &str) -> Result<String> {
+    let stmt = trac_sql::parse_select(sql)?;
+    let q = bind_select(txn, &stmt)?;
+    let plan = trac_plan::plan_select(txn, &q, trac_plan::ExecOptions::default())?;
+    Ok(annotated_plan(&q, &plan))
 }
 
 /// The worked-example queries of Section 4.1 plus the queries the
 /// shipped examples run against the paper fixture
 /// ([`load_paper_tables`]).
-pub const PAPER_SAMPLE_QUERIES: [(&str, &str); 5] = [
+pub const PAPER_SAMPLE_QUERIES: [(&str, &str); 6] = [
     (
         "paper/Q1",
         "SELECT mach_id FROM Activity WHERE mach_id IN ('m1', 'm2') AND value = 'idle'",
@@ -168,6 +231,13 @@ pub const PAPER_SAMPLE_QUERIES: [(&str, &str); 5] = [
         "SELECT mach_id FROM Activity WHERE value = 'idle' ORDER BY mach_id",
     ),
     ("paper/unfiltered", "SELECT mach_id FROM Activity"),
+    // `mach_id <> value` is a mixed term over disjoint domains: the
+    // refinement pass proves it vacuous and upgrades the Corollary 3
+    // upper bound to an exact Theorem 3 minimum (TRAC014).
+    (
+        "paper/refined",
+        "SELECT mach_id FROM Activity WHERE value = 'idle' AND mach_id <> value",
+    ),
 ];
 
 /// The Section 4.2 job-status queries against [`load_section_42_tables`].

@@ -28,6 +28,9 @@ pub enum StatusReason {
     SelectionUnsat,
     /// All Theorem 3/4 preconditions hold.
     Minimal,
+    /// Mixed terms exist, but every one is vacuous under the residual
+    /// column domains, so the refinement pass restores minimality.
+    RefinedMinimal,
     /// `P_m` is nonempty.
     MixedSelection,
     /// `J_rm` is nonempty.
@@ -84,10 +87,18 @@ pub fn expected_status(q: &BoundSelect, disjunct: &[BoundExpr], rel: usize) -> E
             reason: StatusReason::SelectionUnsat,
         };
     }
-    let reason = if !cls.pm.is_empty() {
-        StatusReason::MixedSelection
-    } else if !cls.jrm.is_empty() {
-        StatusReason::MixedJoin
+    let reason = if !cls.pm.is_empty() || !cls.jrm.is_empty() {
+        // Mirror the relevance refinement branch: mixed terms that are
+        // all vacuous under the residual domains restore minimality.
+        if conjunct_satisfiable(&cls.pr, &dom) == Sat3::Sat
+            && trac_expr::mixed_terms_vacuous(&cls, &dom)
+        {
+            StatusReason::RefinedMinimal
+        } else if !cls.pm.is_empty() {
+            StatusReason::MixedSelection
+        } else {
+            StatusReason::MixedJoin
+        }
     } else {
         match conjunct_satisfiable(&cls.pr, &dom) {
             Sat3::Sat => StatusReason::Minimal,
@@ -96,7 +107,7 @@ pub fn expected_status(q: &BoundSelect, disjunct: &[BoundExpr], rel: usize) -> E
         }
     };
     ExpectedStatus {
-        status: if reason == StatusReason::Minimal {
+        status: if matches!(reason, StatusReason::Minimal | StatusReason::RefinedMinimal) {
             SubqueryStatus::Minimum
         } else {
             SubqueryStatus::UpperBound
@@ -286,6 +297,7 @@ fn describe_reason(reason: &StatusReason) -> &'static str {
         StatusReason::NoSourceColumn => "relation has no data source column",
         StatusReason::SelectionUnsat => "selection predicates unsatisfiable",
         StatusReason::Minimal => "all preconditions hold",
+        StatusReason::RefinedMinimal => "mixed terms proved vacuous under residual domains",
         StatusReason::MixedSelection => "P_m (mixed selection terms) is nonempty",
         StatusReason::MixedJoin => "J_rm (regular/mixed join terms) is nonempty",
         StatusReason::PrUndecided => "P_r satisfiability is undecided",

@@ -1,4 +1,4 @@
-//! The analyzer's four passes.
+//! The analyzer's passes.
 //!
 //! Each pass exposes fine-grained check functions that take the *claimed*
 //! artifact (a term class, a plan, a generated SQL string, a SAT verdict)
@@ -8,8 +8,10 @@
 
 pub mod guarantee;
 pub mod partition;
+pub mod refine;
 pub mod sanitize;
 pub mod satcheck;
+pub mod validate;
 
 use crate::diag::{Span, SpanFinder};
 use trac_expr::{BoundExpr, BoundTable, ColRef};

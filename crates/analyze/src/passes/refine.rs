@@ -1,0 +1,167 @@
+//! Pass 6: the refinement checker.
+//!
+//! The relevance analysis may upgrade a Corollary 3/5 upper bound to an
+//! exact Theorem 3/4 minimum when every mixed term (`P_m`/`J_rm`) of a
+//! conjunct is **vacuous** — implied by the mixed-free remainder of the
+//! conjunct under the column domains, so the term restricts nothing
+//! (see `trac_expr::mixed_terms_vacuous`). That upgrade strengthens the
+//! user-visible guarantee, so a wrong upgrade is a soundness bug of the
+//! worst kind: the report claims exactness it does not have.
+//!
+//! This pass re-derives every claimed upgrade independently:
+//!
+//! 1. re-classify the disjunct (with the relation's CHECK constraints
+//!    conjoined, mirroring the Section 3.4 rewrite) and re-run the
+//!    implication check for each mixed term;
+//! 2. cross-check with the brute-force model enumerator of
+//!    [`super::satcheck`]: `context ∧ ¬term` must admit **no** model.
+//!
+//! A confirmed upgrade is surfaced as a `TRAC014` note (the paper's
+//! corollaries alone would have under-promised); an unconfirmable or
+//! contradicted one is a `TRAC015` error.
+
+use super::PassCtx;
+use crate::diag::{Diagnostic, REFINED_MINIMUM, UNCONFIRMED_REFINEMENT};
+use trac_core::relevance::SubqueryStatus;
+use trac_core::RecencyPlan;
+use trac_expr::normalize::Dnf;
+use trac_expr::{classify_conjunct, term_implied, BoundExpr, BoundSelect, ColRef};
+use trac_types::ColumnDomain;
+
+/// Audits every refined-minimum claim of `plan`'s subqueries.
+pub fn run(q: &BoundSelect, plan: &RecencyPlan, dnf: &Dnf, ctx: &PassCtx<'_>) -> Vec<Diagnostic> {
+    let mut out = Vec::new();
+    if !dnf.exact {
+        return out; // All-sources fallback: nothing was refined.
+    }
+    for sub in &plan.subqueries {
+        if !sub.refined {
+            continue;
+        }
+        let context = format!(
+            "{} disjunct #{} via {}",
+            ctx.label, sub.disjunct, sub.via_relation
+        );
+        let rel = q
+            .tables
+            .iter()
+            .position(|t| t.binding.eq_ignore_ascii_case(&sub.via_relation));
+        let disjunct = dnf.disjuncts.get(sub.disjunct);
+        let (Some(rel), Some(disjunct)) = (rel, disjunct) else {
+            // The guarantee pass already reports dangling references;
+            // here it just means the claim cannot be confirmed.
+            out.push(Diagnostic::new(
+                UNCONFIRMED_REFINEMENT,
+                context,
+                "refined subquery references a relation or disjunct the query \
+                 does not have",
+            ));
+            continue;
+        };
+        if sub.status != SubqueryStatus::Minimum {
+            out.push(Diagnostic::new(
+                UNCONFIRMED_REFINEMENT,
+                context,
+                format!(
+                    "subquery is flagged refined but its status is {:?}, not Minimum",
+                    sub.status
+                ),
+            ));
+            continue;
+        }
+        out.extend(check_refinement(q, disjunct, rel, &context, ctx));
+    }
+    out
+}
+
+/// Re-derives one refined-minimum claim from scratch.
+pub fn check_refinement(
+    q: &BoundSelect,
+    disjunct: &[BoundExpr],
+    rel: usize,
+    context: &str,
+    ctx: &PassCtx<'_>,
+) -> Vec<Diagnostic> {
+    let mut out = Vec::new();
+    // Mirror the constraint-aware rewrite: potential tuples of R_i are
+    // legal rows, so its CHECK constraints join the conjunct.
+    let mut terms: Vec<BoundExpr> = disjunct.to_vec();
+    for check in &q.tables[rel].schema.checks {
+        if let Some(bc) = check.as_any().downcast_ref::<trac_expr::BoundCheck>() {
+            terms.push(bc.expr().map_columns(&|c| ColRef {
+                table: rel,
+                column: c.column,
+            }));
+        }
+    }
+    let cls = classify_conjunct(&terms, &q.tables, rel);
+    let dom =
+        |c: ColRef| -> ColumnDomain { q.tables[c.table].schema.columns[c.column].domain.clone() };
+    let mixed: Vec<&BoundExpr> = cls.pm.iter().chain(&cls.jrm).collect();
+    if mixed.is_empty() {
+        out.push(Diagnostic::new(
+            UNCONFIRMED_REFINEMENT,
+            context,
+            "subquery claims a refined minimum, but the conjunct has no mixed \
+             terms to refine away",
+        ));
+        return out;
+    }
+    // The implication context is the mixed-free remainder — mixed terms
+    // must never justify each other (two copies of the same unproven
+    // term would otherwise vacuously "prove" one another).
+    let implication_ctx: Vec<BoundExpr> = cls
+        .ps
+        .iter()
+        .chain(&cls.pr)
+        .chain(&cls.js)
+        .chain(&cls.po)
+        .cloned()
+        .collect();
+    let mut confirmed = 0usize;
+    for term in &mixed {
+        let span = ctx.term_span(term, &q.tables);
+        if term_implied(&implication_ctx, term, &dom) != Some(true) {
+            out.push(
+                Diagnostic::new(
+                    UNCONFIRMED_REFINEMENT,
+                    context,
+                    "mixed term claimed vacuous, but the interval-propagation \
+                     re-derivation cannot prove the remainder implies it",
+                )
+                .with_span(ctx.sql, span),
+            );
+            continue;
+        }
+        // Independent oracle: enumerate models of context ∧ ¬term. Any
+        // model is a potential tuple the term actually excludes — a
+        // direct disproof. `None` (domains too large) leaves the
+        // interval-propagation verdict standing.
+        let mut negated = implication_ctx.clone();
+        negated.push(BoundExpr::Not(Box::new((*term).clone())));
+        if super::satcheck::brute_force(&negated, &q.tables) == Some(true) {
+            out.push(
+                Diagnostic::new(
+                    UNCONFIRMED_REFINEMENT,
+                    context,
+                    "brute-force enumeration found a potential tuple the \
+                     supposedly vacuous mixed term excludes",
+                )
+                .with_span(ctx.sql, span),
+            );
+            continue;
+        }
+        confirmed += 1;
+    }
+    if confirmed == mixed.len() {
+        out.push(Diagnostic::new(
+            REFINED_MINIMUM,
+            context,
+            format!(
+                "upper bound refined to exact minimum: {confirmed} mixed term(s) \
+                 proved vacuous under the residual column domains"
+            ),
+        ));
+    }
+    out
+}

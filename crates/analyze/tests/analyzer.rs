@@ -26,7 +26,7 @@ fn plan(txn: &ReadTxn, q: &BoundSelect) -> RecencyPlan {
 #[test]
 fn all_sample_queries_analyze_clean() {
     let analyses = analyze_samples(AnalyzerConfig::default()).unwrap();
-    assert_eq!(analyses.len(), 11, "paper(5) + section42(2) + eval(4)");
+    assert_eq!(analyses.len(), 12, "paper(6) + section42(2) + eval(4)");
     for a in &analyses {
         assert!(
             !a.has_errors(),
@@ -123,7 +123,7 @@ fn guarantee_pass_flags_unsound_minimum() {
         .expect("join plan must have an upper-bound subquery");
     sub.status = SubqueryStatus::Minimum;
     p.guarantee = Guarantee::Minimum;
-    let a = analyze_bound("neg", sql, &q, &p, AnalyzerConfig::default());
+    let a = analyze_bound("neg", sql, &q, &p, None, AnalyzerConfig::default());
     assert!(
         a.diagnostics.iter().any(|d| d.code.id == "TRAC002"),
         "{:?}",
@@ -150,7 +150,7 @@ fn guarantee_pass_flags_unsat_conjunct_with_sources() {
     // Corrupt the plan: pretend the pruned subquery still reports sources.
     p.subqueries[0].status = SubqueryStatus::UpperBound;
     p.guarantee = Guarantee::UpperBound;
-    let a = analyze_bound("neg", sql, &q, &p, AnalyzerConfig::default());
+    let a = analyze_bound("neg", sql, &q, &p, None, AnalyzerConfig::default());
     assert!(
         a.diagnostics.iter().any(|d| d.code.id == "TRAC003"),
         "{:?}",

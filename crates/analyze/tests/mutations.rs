@@ -1,0 +1,300 @@
+//! Mutation corpus for the translation validator.
+//!
+//! Each test lowers a real query through the production planner, checks
+//! the unmutated plan certifies cleanly, applies exactly one surgical
+//! mutation to the plan IR, and asserts the validator rejects it with
+//! the expected stable `TRAC009`–`TRAC015` code. Every mutation models a
+//! realistic lowering bug: a dropped predicate, a phantom predicate, a
+//! corrupted join key, a retargeted slot, a mangled shaping operator.
+
+use trac_analyze::validate_plan;
+use trac_expr::{bind_select, BoundExpr, BoundSelect};
+use trac_plan::{ExecOptions, PhysicalPlan, PlanNode};
+use trac_sql::BinaryOp;
+use trac_storage::ReadTxn;
+use trac_types::Value;
+use trac_workload::load_paper_tables;
+
+fn bind(txn: &ReadTxn, sql: &str) -> BoundSelect {
+    let stmt = trac_sql::parse_select(sql).unwrap();
+    bind_select(txn, &stmt).unwrap()
+}
+
+fn plan(txn: &ReadTxn, q: &BoundSelect, opts: ExecOptions) -> PhysicalPlan {
+    trac_plan::plan_select(txn, q, opts).unwrap()
+}
+
+/// Error-severity code ids the validator produced.
+fn error_codes(q: &BoundSelect, p: &PhysicalPlan) -> Vec<&'static str> {
+    validate_plan(q, p, "mut", None)
+        .iter()
+        .filter(|d| d.is_error())
+        .map(|d| d.code.id)
+        .collect()
+}
+
+/// Runs one mutation scenario: the pristine plan must certify clean,
+/// the mutated plan must trip `expected` (one of TRAC009..TRAC015).
+fn assert_mutation(
+    sql: &str,
+    opts: ExecOptions,
+    mutate: impl FnOnce(&mut PlanNode),
+    expected: &[&str],
+) {
+    let t = load_paper_tables().unwrap();
+    let txn = t.db.begin_read();
+    let q = bind(&txn, sql);
+    let mut p = plan(&txn, &q, opts);
+    assert!(
+        error_codes(&q, &p).is_empty(),
+        "pristine plan must certify: {:?}\n{}",
+        validate_plan(&q, &p, "pre", None),
+        p.render()
+    );
+    mutate(&mut p.root);
+    let codes = error_codes(&q, &p);
+    assert!(
+        codes.iter().any(|c| expected.contains(c)),
+        "mutation must trip one of {expected:?}, got {codes:?}\n{}",
+        p.render()
+    );
+}
+
+/// Digs through the shaping operators to the relational subtree root.
+fn relational_root(node: &mut PlanNode) -> &mut PlanNode {
+    match node {
+        PlanNode::Project { input, .. }
+        | PlanNode::Sort { input, .. }
+        | PlanNode::Aggregate { input, .. }
+        | PlanNode::Distinct { input }
+        | PlanNode::Limit { input, .. } => relational_root(input),
+        other => other,
+    }
+}
+
+#[test]
+fn dropping_a_scan_filter_conjunct_is_caught() {
+    // A lowering bug that silently loses a WHERE conjunct widens the
+    // result: RESIDUE_DROPPED.
+    assert_mutation(
+        "SELECT mach_id FROM Activity WHERE value = 'idle'",
+        ExecOptions::default(),
+        |root| {
+            let PlanNode::Scan { filter, .. } = relational_root(root) else {
+                panic!("expected Scan leaf");
+            };
+            filter.clear();
+        },
+        &["TRAC009"],
+    );
+}
+
+#[test]
+fn injecting_a_phantom_conjunct_is_caught() {
+    // The dual bug narrows the result with a predicate the user never
+    // wrote: RESIDUE_PHANTOM.
+    assert_mutation(
+        "SELECT mach_id FROM Activity WHERE value = 'idle'",
+        ExecOptions::default(),
+        |root| {
+            let PlanNode::Scan { filter, .. } = relational_root(root) else {
+                panic!("expected Scan leaf");
+            };
+            filter.push(BoundExpr::binary(
+                BinaryOp::Eq,
+                BoundExpr::col(0, 0),
+                BoundExpr::Literal(Value::text("m1")),
+            ));
+        },
+        &["TRAC010"],
+    );
+}
+
+#[test]
+fn dropping_the_join_conjunct_is_caught() {
+    // Losing the NLJoin filter turns the join into a cross product.
+    assert_mutation(
+        "SELECT A.mach_id FROM Routing R, Activity A \
+         WHERE A.value = 'idle' AND R.neighbor = A.mach_id",
+        ExecOptions {
+            enable_index_scan: false,
+            enable_hash_join: false,
+        },
+        |root| {
+            let PlanNode::NLJoin { filter, .. } = relational_root(root) else {
+                panic!("expected NLJoin root");
+            };
+            filter.retain(|c| {
+                !matches!(
+                    c,
+                    BoundExpr::Binary {
+                        op: BinaryOp::Eq,
+                        ..
+                    }
+                )
+            });
+        },
+        &["TRAC009"],
+    );
+}
+
+#[test]
+fn corrupting_the_hash_join_outer_key_is_caught() {
+    // The hash table is probed with R.mach_id although the query joins
+    // on R.neighbor: an equality no enforced predicate justifies.
+    assert_mutation(
+        "SELECT A.mach_id FROM Routing R, Activity A \
+         WHERE A.value = 'idle' AND R.neighbor = A.mach_id",
+        ExecOptions {
+            enable_index_scan: false,
+            enable_hash_join: true,
+        },
+        |root| {
+            let PlanNode::HashJoin { outer_key, .. } = relational_root(root) else {
+                panic!("expected HashJoin root");
+            };
+            outer_key.column = 0; // R.neighbor -> R.mach_id
+        },
+        &["TRAC011"],
+    );
+}
+
+#[test]
+fn corrupting_the_hash_join_inner_column_is_caught() {
+    assert_mutation(
+        "SELECT A.mach_id FROM Routing R, Activity A \
+         WHERE A.value = 'idle' AND R.neighbor = A.mach_id",
+        ExecOptions {
+            enable_index_scan: false,
+            enable_hash_join: true,
+        },
+        |root| {
+            let PlanNode::HashJoin { inner_col, .. } = relational_root(root) else {
+                panic!("expected HashJoin root");
+            };
+            *inner_col = 1; // A.mach_id -> A.value
+        },
+        &["TRAC011"],
+    );
+}
+
+#[test]
+fn swapping_index_join_keys_is_caught() {
+    // The default plan joins A through its mach_id index; probing a
+    // different column pair is an unjustified equality.
+    assert_mutation(
+        "SELECT A.mach_id FROM Routing R, Activity A \
+         WHERE A.value = 'idle' AND R.neighbor = A.mach_id",
+        ExecOptions::default(),
+        |root| {
+            let PlanNode::IndexNLJoin { outer_key, .. } = relational_root(root) else {
+                panic!("expected IndexNLJoin root");
+            };
+            outer_key.column = 2; // R.neighbor -> R.event_time
+        },
+        &["TRAC011"],
+    );
+}
+
+#[test]
+fn retargeting_a_scan_slot_is_caught() {
+    // The leaf claims to fill a tuple slot the query does not have.
+    assert_mutation(
+        "SELECT mach_id FROM Activity",
+        ExecOptions::default(),
+        |root| {
+            let PlanNode::Scan { pos, .. } = relational_root(root) else {
+                panic!("expected Scan leaf");
+            };
+            *pos = 1;
+        },
+        &["TRAC012"],
+    );
+}
+
+#[test]
+fn truncating_the_projection_list_is_caught() {
+    assert_mutation(
+        "SELECT mach_id, value FROM Activity",
+        ExecOptions::default(),
+        |root| {
+            let PlanNode::Project { projections, .. } = root else {
+                panic!("expected Project root");
+            };
+            projections.pop();
+        },
+        &["TRAC012"],
+    );
+}
+
+#[test]
+fn dropping_the_distinct_operator_is_caught() {
+    assert_mutation(
+        "SELECT DISTINCT value FROM Activity",
+        ExecOptions::default(),
+        |root| {
+            let placeholder = PlanNode::Empty { bindings: vec![] };
+            let PlanNode::Distinct { input } = std::mem::replace(root, placeholder) else {
+                panic!("expected Distinct root");
+            };
+            *root = *input;
+        },
+        &["TRAC013"],
+    );
+}
+
+#[test]
+fn flipping_the_sort_direction_is_caught() {
+    assert_mutation(
+        "SELECT mach_id FROM Activity ORDER BY mach_id",
+        ExecOptions::default(),
+        |root| {
+            let PlanNode::Project { input, .. } = root else {
+                panic!("expected Project root");
+            };
+            let PlanNode::Sort { keys, .. } = input.as_mut() else {
+                panic!("expected Sort under Project");
+            };
+            keys[0].1 = !keys[0].1;
+        },
+        &["TRAC013"],
+    );
+}
+
+#[test]
+fn changing_the_limit_is_caught() {
+    assert_mutation(
+        "SELECT mach_id FROM Activity LIMIT 2",
+        ExecOptions::default(),
+        |root| {
+            let PlanNode::Limit { n, .. } = root else {
+                panic!("expected Limit root");
+            };
+            *n += 1;
+        },
+        &["TRAC013"],
+    );
+}
+
+#[test]
+fn reordering_a_filter_above_the_shaping_stack_is_caught() {
+    // A relational operator floating above LIMIT changes semantics
+    // (it would filter *after* truncation).
+    assert_mutation(
+        "SELECT mach_id FROM Activity WHERE value = 'idle' LIMIT 2",
+        ExecOptions::default(),
+        |root| {
+            let placeholder = PlanNode::Empty { bindings: vec![] };
+            let old = std::mem::replace(root, placeholder);
+            *root = PlanNode::Filter {
+                input: Box::new(old),
+                predicate: vec![BoundExpr::binary(
+                    BinaryOp::Eq,
+                    BoundExpr::col(0, 1),
+                    BoundExpr::Literal(Value::text("idle")),
+                )],
+            };
+        },
+        &["TRAC013"],
+    );
+}

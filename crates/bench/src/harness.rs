@@ -104,11 +104,23 @@ pub fn measure(
 /// `# plan` comment lines in experiment output so that a planner change
 /// that alters an access path or join strategy shows up as a diff in the
 /// recorded `results_*.txt`, not just as a timing shift.
+///
+/// The plan is also certified by the translation validator before its
+/// summary is reported: a timing measured against an unsound plan would
+/// silently corrupt the experiment, so certification failure is an
+/// error, not a comment.
 pub fn plan_summary(db: &Database, sql: &str) -> Result<String> {
     let txn = db.begin_read();
     let stmt = trac_sql::parse_select(sql)?;
     let bound = trac_expr::bind_select(&txn, &stmt)?;
     let plan = trac_plan::plan_select(&txn, &bound, trac_plan::ExecOptions::default())?;
+    let findings = trac_analyze::validate_plan(&bound, &plan, "bench", None);
+    if let Some(first) = findings.iter().find(|d| d.is_error()) {
+        return Err(trac_types::TracError::Execution(format!(
+            "benchmark plan failed translation validation: {}",
+            first.render()
+        )));
+    }
     Ok(plan.operator_summary())
 }
 

@@ -95,6 +95,12 @@ pub struct RecencySubquery {
     pub plan: Option<trac_plan::PhysicalPlan>,
     /// Printable SQL for the generated query (`"-- empty"` when pruned).
     pub sql: String,
+    /// True when `status == Minimum` was obtained through the refinement
+    /// pass (the `P_m`/`J_rm` terms were proved vacuous under the
+    /// residual column domains) rather than through the structural
+    /// Theorem 3/4 conditions. The analyzer re-derives and certifies
+    /// refined claims independently (TRAC014/TRAC015).
+    pub refined: bool,
 }
 
 /// A compiled recency plan for one user query.
@@ -237,6 +243,7 @@ fn build_subquery(
             query: None,
             plan: None,
             sql: "-- empty: relation has no data source column".into(),
+            refined: false,
         });
     }
     // Section 3.4's constraint-aware rewrite Q → Q': potential tuples of
@@ -274,11 +281,21 @@ fn build_subquery(
             query: None,
             plan: None,
             sql: "-- empty: selection predicates unsatisfiable".into(),
+            refined: false,
         });
     }
-    // Theorem 3/4 minimality conditions.
+    // Theorem 3/4 minimality conditions, with a refinement fallback: when
+    // the structural conditions fail only because of mixed terms, try to
+    // prove every `P_m`/`J_rm` term vacuous under the residual domains
+    // implied by the mixed-free remainder of the conjunct. A vacuous
+    // mixed term restricts nothing, so Theorem 3/4 minimality is restored
+    // and the Corollary 3/5 upper bound upgrades to an exact minimum.
     let pr_sat = conjunct_satisfiable(&cls.pr, &dom);
+    let mut refined = false;
     let status = if cls.structurally_minimal() && pr_sat == Sat3::Sat {
+        SubqueryStatus::Minimum
+    } else if pr_sat == Sat3::Sat && trac_expr::mixed_terms_vacuous(&cls, &dom) {
+        refined = true;
         SubqueryStatus::Minimum
     } else {
         SubqueryStatus::UpperBound
@@ -345,6 +362,7 @@ fn build_subquery(
         query: Some(query),
         plan: None,
         sql,
+        refined,
     })
 }
 
@@ -466,14 +484,33 @@ mod tests {
     }
 
     #[test]
-    fn satisfiable_mixed_predicate_degrades_to_upper_bound() {
+    fn vacuous_mixed_predicate_refines_to_minimum() {
         let db = paper_db();
         // mach_id <> value compares the source column to a regular column
-        // (a mixed predicate, P_m) and is satisfiable, so the analysis
-        // keeps the sound upper bound: all sources (Corollary 3).
+        // (a mixed predicate, P_m). Corollary 3 alone would only give an
+        // upper bound, but the machine-id domain {m1,m2,m3} and the value
+        // domain {idle,busy} are disjoint, so the term can never be false
+        // over potential tuples — the refinement pass proves it vacuous
+        // and restores the Theorem 3 exact minimum.
         let (plan, sources) = plan_for(&db, "SELECT mach_id FROM Activity WHERE mach_id <> value");
+        assert_eq!(plan.guarantee, Guarantee::Minimum);
+        assert_eq!(plan.subqueries[0].status, SubqueryStatus::Minimum);
+        assert!(plan.subqueries[0].refined);
+        assert_eq!(names(&sources), vec!["m1", "m2", "m3"]);
+    }
+
+    #[test]
+    fn overlapping_mixed_predicate_stays_upper_bound() {
+        let db = paper_db();
+        // Routing.neighbor shares the machine-id domain with the source
+        // column, so mach_id <> neighbor genuinely restricts potential
+        // tuples: the refinement pass must abstain and the analysis keeps
+        // the sound Corollary 3 upper bound.
+        let (plan, sources) =
+            plan_for(&db, "SELECT mach_id FROM Routing WHERE mach_id <> neighbor");
         assert_eq!(plan.guarantee, Guarantee::UpperBound);
         assert_eq!(plan.subqueries[0].status, SubqueryStatus::UpperBound);
+        assert!(!plan.subqueries[0].refined);
         assert_eq!(names(&sources), vec!["m1", "m2", "m3"]);
     }
 

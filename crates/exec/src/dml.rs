@@ -77,13 +77,10 @@ pub fn execute_statement(db: &Database, sql: &str) -> Result<StatementResult> {
             let txn = db.begin_read();
             let bound = trac_expr::bind_select(&txn, &sel)?;
             let plan = crate::executor::explain_select(&txn, &bound)?;
+            let rendered = crate::executor::render_explain(&bound, &plan);
             Ok(StatementResult::Rows(QueryResult {
                 columns: vec!["QUERY PLAN".to_string()],
-                rows: plan
-                    .render()
-                    .lines()
-                    .map(|l| vec![Value::text(l)])
-                    .collect(),
+                rows: rendered.lines().map(|l| vec![Value::text(l)]).collect(),
             }))
         }
         Statement::Insert(ins) => {

@@ -8,11 +8,69 @@
 
 use crate::operators::execute_plan;
 use crate::result::QueryResult;
+use std::sync::OnceLock;
 use trac_expr::{bind_select, BoundSelect};
 use trac_plan::{plan_select, ExecOptions, PhysicalPlan};
 use trac_sql::parse_select;
 use trac_storage::ReadTxn;
 use trac_types::Result;
+
+/// Signature of an installable translation validator: given a bound
+/// query and the physical plan lowered for it, return one message per
+/// soundness violation (empty = the plan is certified).
+///
+/// This crate cannot depend on `trac-analyze` (the analyzer sits above
+/// the executor), so the validator is injected as a plain function
+/// pointer; the `trac` facade crate wires the analyzer-backed
+/// implementation in via [`install_plan_check`].
+pub type PlanCheck = fn(&BoundSelect, &PhysicalPlan) -> Vec<String>;
+
+/// Signature of an installable EXPLAIN annotator: renders a plan with
+/// extra per-operator detail (the analyzer's certified dataflow facts).
+pub type ExplainAnnotator = fn(&BoundSelect, &PhysicalPlan) -> String;
+
+static PLAN_CHECK: OnceLock<PlanCheck> = OnceLock::new();
+static EXPLAIN_ANNOTATOR: OnceLock<ExplainAnnotator> = OnceLock::new();
+
+/// Installs a process-wide plan validator, run (debug builds only)
+/// against every plan just before execution. Returns `false` when a
+/// validator was already installed (the first one wins).
+pub fn install_plan_check(check: PlanCheck) -> bool {
+    PLAN_CHECK.set(check).is_ok()
+}
+
+/// Installs a process-wide EXPLAIN annotator used by `EXPLAIN <select>`.
+/// Returns `false` when one was already installed (the first one wins).
+pub fn install_explain_annotator(annotate: ExplainAnnotator) -> bool {
+    EXPLAIN_ANNOTATOR.set(annotate).is_ok()
+}
+
+/// Pre-execution hook: in debug builds, an installed [`PlanCheck`]
+/// certifies every plan before the operators run; a violation aborts
+/// with the validator's findings. Release builds skip the check.
+fn debug_validate_plan(q: &BoundSelect, plan: &PhysicalPlan) {
+    #[cfg(debug_assertions)]
+    if let Some(check) = PLAN_CHECK.get() {
+        let findings = check(q, plan);
+        assert!(
+            findings.is_empty(),
+            "physical plan failed translation validation:\n{}\nplan:\n{}",
+            findings.join("\n"),
+            plan.render()
+        );
+    }
+    #[cfg(not(debug_assertions))]
+    let _ = (q, plan);
+}
+
+/// Renders a plan for EXPLAIN output: the installed annotator when
+/// present, the bare operator tree otherwise.
+pub fn render_explain(q: &BoundSelect, plan: &PhysicalPlan) -> String {
+    match EXPLAIN_ANNOTATOR.get() {
+        Some(annotate) => annotate(q, plan),
+        None => plan.render(),
+    }
+}
 
 /// EXPLAIN-style description of how a query was executed.
 #[derive(Debug, Clone, Default)]
@@ -40,6 +98,7 @@ pub fn execute_sql(txn: &ReadTxn, sql: &str) -> Result<QueryResult> {
 /// Executes a bound `SELECT` with default options.
 pub fn execute_select(txn: &ReadTxn, q: &BoundSelect) -> Result<QueryResult> {
     let plan = plan_select(txn, q, ExecOptions::default())?;
+    debug_validate_plan(q, &plan);
     execute_plan(txn, &plan)
 }
 
@@ -50,6 +109,7 @@ pub fn execute_select_with(
     opts: ExecOptions,
 ) -> Result<(QueryResult, PlanInfo)> {
     let plan = plan_select(txn, q, opts)?;
+    debug_validate_plan(q, &plan);
     let info = PlanInfo::from_plan(&plan);
     let result = execute_plan(txn, &plan)?;
     Ok((result, info))

@@ -23,7 +23,10 @@ pub mod operators;
 pub mod result;
 
 pub use dml::{execute_statement, StatementResult};
-pub use executor::{execute_select, execute_select_with, execute_sql, explain_select, PlanInfo};
+pub use executor::{
+    execute_select, execute_select_with, execute_sql, explain_select, install_explain_annotator,
+    install_plan_check, render_explain, ExplainAnnotator, PlanCheck, PlanInfo,
+};
 pub use operators::execute_plan;
 pub use result::QueryResult;
 // Re-exported so downstream crates keep a single import path for the

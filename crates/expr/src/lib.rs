@@ -31,5 +31,5 @@ pub use check::{bind_expr_for_table, parse_check, BoundCheck};
 pub use classify::{classify_conjunct, ClassifiedPredicates, TermClass};
 pub use eval::{eval_expr, eval_predicate, Truth};
 pub use normalize::{to_dnf, Conjunct, Dnf};
-pub use sat::{conjunct_satisfiable, Sat3};
+pub use sat::{conjunct_satisfiable, mixed_terms_vacuous, term_implied, Sat3};
 pub use unbind::unbind_expr;

@@ -56,6 +56,74 @@ pub fn conjunct_satisfiable(conjunct: &[BoundExpr], dom: &dyn Fn(ColRef) -> Colu
     exhaustive(conjunct, &refs, dom).unwrap_or(Sat3::Unknown)
 }
 
+/// DNF budget for negating a single term in [`term_implied`]. A basic
+/// term's negation normalizes to a handful of disjuncts (one comparison,
+/// an `IN` list, an `IS NULL`), so a small budget keeps implication
+/// checks cheap while still bailing out on opaque shapes.
+pub const IMPLICATION_DNF_BUDGET: usize = 64;
+
+/// Decides whether `context ⊨ term` over the column domains: does every
+/// potential tuple (non-NULL values drawn from `dom`) that satisfies the
+/// conjunction of `context` also satisfy `term`?
+///
+/// `Some(true)` proves the implication (the negation of `term` is
+/// unsatisfiable under `context` in every disjunct), `Some(false)`
+/// exhibits a refutation, and `None` abstains (negation DNF over budget,
+/// or a satisfiability verdict came back [`Sat3::Unknown`]). This is the
+/// residual-domain entry point the refinement pass uses to prove
+/// `P_m`/`J_rm` terms vacuous: an implied term never changes the
+/// potential-tuple set, so removing it preserves Theorem 3/4 exactness.
+pub fn term_implied(
+    context: &[BoundExpr],
+    term: &BoundExpr,
+    dom: &dyn Fn(ColRef) -> ColumnDomain,
+) -> Option<bool> {
+    let negated = crate::normalize::to_dnf(
+        &BoundExpr::Not(Box::new(term.clone())),
+        IMPLICATION_DNF_BUDGET,
+    );
+    if !negated.exact {
+        return None;
+    }
+    let mut decided = true;
+    for disjunct in &negated.disjuncts {
+        let mut conj: Vec<BoundExpr> = context.to_vec();
+        conj.extend(disjunct.iter().cloned());
+        match conjunct_satisfiable(&conj, dom) {
+            Sat3::Sat => return Some(false),
+            Sat3::Unsat => {}
+            Sat3::Unknown => decided = false,
+        }
+    }
+    decided.then_some(true)
+}
+
+/// The refinement question of Corollary 3/5 → Theorem 3/4 upgrades: are
+/// *all* mixed terms (`P_m` and `J_rm`) of a classified conjunct implied
+/// by its mixed-free remainder (`P_s ∧ P_r ∧ J_s ∧ P_o`)?
+///
+/// The context deliberately excludes the mixed terms themselves: two
+/// mixed terms must never justify each other's removal (dropping both of
+/// two identical mixed terms is unsound even though each is implied by a
+/// context containing the other).
+pub fn mixed_terms_vacuous(
+    cls: &crate::classify::ClassifiedPredicates,
+    dom: &dyn Fn(ColRef) -> ColumnDomain,
+) -> bool {
+    let context: Vec<BoundExpr> = cls
+        .ps
+        .iter()
+        .chain(&cls.pr)
+        .chain(&cls.js)
+        .chain(&cls.po)
+        .cloned()
+        .collect();
+    cls.pm
+        .iter()
+        .chain(&cls.jrm)
+        .all(|t| term_implied(&context, t, dom) == Some(true))
+}
+
 /// Exhaustive check; `None` when domains are infinite or over budget.
 fn exhaustive(
     conjunct: &[BoundExpr],
@@ -797,5 +865,54 @@ mod tests {
         let a = E::binary(BinaryOp::Eq, E::col(0, 0), E::lit(2i64));
         let b = E::binary(BinaryOp::NotEq, E::col(0, 0), E::lit(2.0f64));
         assert_eq!(conjunct_satisfiable(&[a, b], &d), Sat3::Unsat);
+    }
+
+    #[test]
+    fn term_implied_over_disjoint_domains() {
+        // c0 <> c1 where the domains never overlap: implied by the empty
+        // context (its negation c0 = c1 has no model).
+        let d = dom_fn(vec![text_dom(&["m1", "m2"]), text_dom(&["idle", "busy"])]);
+        let ne = E::binary(BinaryOp::NotEq, E::col(0, 0), E::col(0, 1));
+        assert_eq!(term_implied(&[], &ne, &d), Some(true));
+        // Overlapping domains refute the same implication.
+        let d = dom_fn(vec![text_dom(&["m1", "m2"]), text_dom(&["m2", "m3"])]);
+        assert_eq!(term_implied(&[], &ne, &d), Some(false));
+        // A context pinning c0 away from the overlap restores it.
+        let pin = eq(0, "m1");
+        assert_eq!(term_implied(&[pin], &ne, &d), Some(true));
+    }
+
+    #[test]
+    fn term_implied_abstains_when_undecidable() {
+        // c0 < c1 over infinite int domains: the negation c0 >= c1 is
+        // Unknown to both engines, so the implication must abstain.
+        let d = dom_fn(vec![
+            ColumnDomain::Any(DataType::Int),
+            ColumnDomain::Any(DataType::Int),
+        ]);
+        let lt = E::binary(BinaryOp::Lt, E::col(0, 0), E::col(0, 1));
+        assert_eq!(term_implied(&[], &lt, &d), None);
+    }
+
+    #[test]
+    fn mixed_terms_vacuous_excludes_mixed_context() {
+        use crate::classify::ClassifiedPredicates;
+        // Two identical mixed terms must NOT justify each other: with the
+        // mixed-free context empty and overlapping domains, neither is
+        // implied, so the conjunct is not vacuous.
+        let d = dom_fn(vec![text_dom(&["m1", "m2"]), text_dom(&["m2", "m3"])]);
+        let ne = E::binary(BinaryOp::NotEq, E::col(0, 0), E::col(0, 1));
+        let cls = ClassifiedPredicates {
+            pm: vec![ne.clone(), ne.clone()],
+            ..Default::default()
+        };
+        assert!(!mixed_terms_vacuous(&cls, &d));
+        // A genuine P_s context (c0 = 'm1') implies both copies.
+        let cls = ClassifiedPredicates {
+            ps: vec![eq(0, "m1")],
+            pm: vec![ne.clone(), ne],
+            ..Default::default()
+        };
+        assert!(mixed_terms_vacuous(&cls, &d));
     }
 }

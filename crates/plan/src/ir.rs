@@ -283,6 +283,17 @@ impl PlanNode {
         }
     }
 
+    /// Pre-order walk: calls `f` on this operator, then on every child
+    /// (outer before inner for joins). This is the traversal the
+    /// analyzer's dataflow engine and the fact-annotation renderer
+    /// share, so facts keyed per node line up with rendered lines.
+    pub fn visit(&self, f: &mut dyn FnMut(&PlanNode)) {
+        f(self);
+        for child in self.children() {
+            child.visit(f);
+        }
+    }
+
     /// Estimated output rows of the relational part, where known.
     pub fn est_rows(&self) -> Option<u64> {
         match self {
@@ -319,8 +330,18 @@ impl PhysicalPlan {
     /// Renders the plan as an indented EXPLAIN tree, one operator per
     /// line, with access-path and estimated-row annotations.
     pub fn render(&self) -> String {
+        self.render_annotated(&|_| None)
+    }
+
+    /// Renders the plan like [`PhysicalPlan::render`], appending
+    /// ` -- {note}` to every operator line for which `annotate` returns
+    /// a note. This is the fact-annotation hook: the analyzer's
+    /// validator keys certified per-operator facts by node identity and
+    /// EXPLAIN surfaces them without the plan crate depending on the
+    /// analyzer.
+    pub fn render_annotated(&self, annotate: &dyn Fn(&PlanNode) -> Option<String>) -> String {
         let mut out = String::new();
-        render_node(&self.root, 0, &mut out);
+        render_node(&self.root, 0, annotate, &mut out);
         out.pop(); // trailing newline
         out
     }
@@ -356,21 +377,33 @@ impl PhysicalPlan {
     }
 }
 
-fn render_node(node: &PlanNode, depth: usize, out: &mut String) {
+fn render_node(
+    node: &PlanNode,
+    depth: usize,
+    annotate: &dyn Fn(&PlanNode) -> Option<String>,
+    out: &mut String,
+) {
     for _ in 0..depth {
         out.push_str("  ");
     }
-    let _ = writeln!(out, "{}", node.describe());
+    match annotate(node) {
+        Some(note) => {
+            let _ = writeln!(out, "{} -- {note}", node.describe());
+        }
+        None => {
+            let _ = writeln!(out, "{}", node.describe());
+        }
+    }
     match node {
         // Joins render the outer subtree first, then the inner side.
         PlanNode::NLJoin { outer, inner, .. } | PlanNode::HashJoin { outer, inner, .. } => {
-            render_node(outer, depth + 1, out);
-            render_node(inner, depth + 1, out);
+            render_node(outer, depth + 1, annotate, out);
+            render_node(inner, depth + 1, annotate, out);
         }
-        PlanNode::IndexNLJoin { outer, .. } => render_node(outer, depth + 1, out),
+        PlanNode::IndexNLJoin { outer, .. } => render_node(outer, depth + 1, annotate, out),
         other => {
             for child in other.children() {
-                render_node(child, depth + 1, out);
+                render_node(child, depth + 1, annotate, out);
             }
         }
     }

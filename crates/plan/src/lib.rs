@@ -25,6 +25,7 @@
 //! time.
 
 #![warn(missing_docs)]
+#![forbid(unsafe_code)]
 
 mod access;
 mod ir;

@@ -20,4 +20,11 @@ cargo test --workspace -q
 echo "==> trac-analyze (soundness audit of sample workloads, incl. planned recency subqueries)"
 cargo run --release -p trac-analyze --bin trac-analyze
 
+echo "==> trac-analyze --format json (diagnostic sweep vs committed baseline)"
+# Any new diagnostic — even a note — must be acknowledged by updating the
+# baseline, so silent regressions in the certified sweep cannot land.
+cargo run --release -q -p trac-analyze --bin trac-analyze -- --format json \
+  | diff -u scripts/analyzer_baseline.json - \
+  || { echo "analyzer sweep diverged from scripts/analyzer_baseline.json"; exit 1; }
+
 echo "All checks passed."

@@ -20,7 +20,8 @@ use trac::workload::load_paper_tables;
 const HELP: &str = "\
 Commands:
   <sql>;            run a SQL statement (SELECT/INSERT/UPDATE/DELETE/CREATE/DROP)
-  EXPLAIN <select>  show the physical operator tree the planner chose
+  EXPLAIN <select>  show the physical operator tree, annotated with the
+                    dataflow facts the analyzer certified per operator
   \\report <select>  run a SELECT with Focused recency & consistency reporting
   \\naive <select>   run a SELECT with Naive (all-sources) reporting
   \\plan <select>    show the generated recency queries and their guarantee
@@ -33,6 +34,10 @@ Commands:
   \\quit             exit";
 
 fn main() {
+    // Analyzer-backed plan validation: EXPLAIN output gains per-operator
+    // fact annotations, and (debug builds) every plan is certified
+    // against its bound query before the operators run.
+    trac::install_plan_validation();
     let mut db = Database::new();
     let mut session = Session::new(db.clone());
     let interactive = std::io::stdin().is_terminal();
@@ -148,8 +153,12 @@ fn run_line(db: &mut Database, session: &mut Session, line: &str) -> Result<bool
                 );
                 for sub in &plan.subqueries {
                     println!(
-                        "  disjunct {} via {} [{:?}]: {}",
-                        sub.disjunct, sub.via_relation, sub.status, sub.sql
+                        "  disjunct {} via {} [{:?}{}]: {}",
+                        sub.disjunct,
+                        sub.via_relation,
+                        sub.status,
+                        if sub.refined { ", refined" } else { "" },
+                        sub.sql
                     );
                 }
             }

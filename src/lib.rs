@@ -1,10 +1,12 @@
 //! TRAC umbrella crate: re-exports the public API of every subsystem and
 //! provides a few conveniences that need more than one layer at once.
 
+pub use trac_analyze as analyze;
 pub use trac_core as core;
 pub use trac_exec as exec;
 pub use trac_expr as expr;
 pub use trac_grid as grid;
+pub use trac_plan as plan;
 pub use trac_sql as sql;
 pub use trac_storage as storage;
 pub use trac_types as types;
@@ -12,6 +14,27 @@ pub use trac_workload as workload;
 
 use std::path::Path;
 use trac_types::Result;
+
+/// Wires the analyzer into the executor: installs the translation
+/// validator (debug builds certify every physical plan just before
+/// execution) and the EXPLAIN annotator (operator trees render with the
+/// dataflow facts the analyzer certified). The executor cannot depend on
+/// the analyzer directly — this umbrella crate closes the loop. Safe to
+/// call more than once; the first installation wins process-wide.
+pub fn install_plan_validation() {
+    fn check(q: &expr::BoundSelect, p: &plan::PhysicalPlan) -> Vec<String> {
+        analyze::validate_plan(q, p, "pre-execution", None)
+            .into_iter()
+            .filter(analyze::Diagnostic::is_error)
+            .map(|d| d.render())
+            .collect()
+    }
+    fn annotate(q: &expr::BoundSelect, p: &plan::PhysicalPlan) -> String {
+        analyze::annotated_plan(q, p)
+    }
+    exec::install_plan_check(check);
+    exec::install_explain_annotator(annotate);
+}
 
 /// Saves the database's committed state to a snapshot file.
 pub fn save_database(db: &storage::Database, path: impl AsRef<Path>) -> Result<()> {
@@ -56,5 +79,26 @@ mod tests {
         let err =
             execute_statement(&loaded, "INSERT INTO routing VALUES ('m3', 'm3')").unwrap_err();
         assert_eq!(err.kind(), "constraint");
+    }
+
+    #[test]
+    fn installed_validation_certifies_executed_plans_and_annotates_explain() {
+        // Installing the analyzer-backed hooks must not disturb sound
+        // execution (the debug pre-execution check passes silently) and
+        // must annotate EXPLAIN output with dataflow facts.
+        install_plan_validation();
+        let t = workload::load_paper_tables().unwrap();
+        let r = execute_statement(
+            &t.db,
+            "SELECT mach_id FROM Activity WHERE value = 'idle' ORDER BY mach_id",
+        )
+        .unwrap();
+        assert_eq!(r.affected(), 2);
+        let r = execute_statement(&t.db, "EXPLAIN SELECT mach_id FROM Activity").unwrap();
+        let exec::StatementResult::Rows(q) = r else {
+            panic!("EXPLAIN must produce rows");
+        };
+        let text = format!("{q}");
+        assert!(text.contains("slots={Activity}"), "{text}");
     }
 }

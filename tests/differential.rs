@@ -8,6 +8,10 @@
 //! `DISTINCT`. Random SPJ/aggregate queries over random instances with
 //! NULLs must produce the identical result multiset through
 //! `plan_select` + `execute_plan`.
+//!
+//! Every generated plan is additionally certified by the translation
+//! validator: the planner must never emit a plan the abstract-domain
+//! dataflow walk cannot prove faithful to the bound query.
 
 use proptest::prelude::*;
 use trac::exec::{execute_select, execute_statement};
@@ -222,6 +226,22 @@ proptest! {
         let db = setup(&t_rows, &u_rows);
         let txn = db.begin_read();
         let bound = bind_select(&txn, &parse_select(&sql).unwrap()).unwrap();
+        // Translation validation: every plan the planner produces for a
+        // generated query must certify cleanly.
+        let plan = trac::plan::plan_select(&txn, &bound, trac::plan::ExecOptions::default())
+            .unwrap();
+        let findings = trac::analyze::validate_plan(&bound, &plan, "differential", None);
+        prop_assert!(
+            findings.is_empty(),
+            "planner plan failed validation for {}:\n{}\nplan:\n{}",
+            &sql,
+            findings
+                .iter()
+                .map(trac::analyze::Diagnostic::render)
+                .collect::<Vec<_>>()
+                .join("\n"),
+            plan.render()
+        );
         let mut expected = reference_eval(&txn, &bound);
         let mut got = execute_select(&txn, &bound).unwrap().rows;
         expected.sort();

@@ -1,4 +1,4 @@
-//! Pins the observable behaviour of the 11 sample workload queries:
+//! Pins the observable behaviour of the 12 sample workload queries:
 //! result columns, result rows, and the recency-analysis guarantee must
 //! stay byte-identical across executor refactors.
 //!
@@ -55,6 +55,7 @@ paper/Q2 | upper bound | mach_id | [[Text(\"m3\")]]
 paper/quickstart | minimum | mach_id,value | [[Text(\"m1\"), Text(\"idle\")], [Text(\"m3\"), Text(\"idle\")]]
 paper/ordered | minimum | mach_id | [[Text(\"m1\")], [Text(\"m3\")]]
 paper/unfiltered | minimum | mach_id | [[Text(\"m1\")], [Text(\"m2\")], [Text(\"m3\")]]
+paper/refined | minimum | mach_id | [[Text(\"m1\")], [Text(\"m3\")]]
 section42/Q3 | minimum | runningMachineId | []
 section42/Q4 | upper bound | runningMachineId | []
 eval/Q1 | minimum | count | [[Int(20)]]
@@ -65,4 +66,26 @@ eval/Q4 | upper bound | count | [[Int(74)]]";
 #[test]
 fn workload_queries_are_byte_identical_to_pre_refactor_snapshot() {
     assert_eq!(actual_snapshot().join("\n"), EXPECTED);
+}
+
+/// `paper/refined` reaches its Minimum guarantee (pinned above) through
+/// the refinement pass, not the plain Theorem 3 preconditions: its
+/// `mach_id <> value` term is mixed, and only the vacuity proof upgrades
+/// the Corollary 3 upper bound.
+#[test]
+fn refined_sample_minimum_comes_from_the_refinement_pass() {
+    let paper = load_paper_tables().expect("paper tables");
+    let txn = paper.db.begin_read();
+    let (name, sql) = PAPER_SAMPLE_QUERIES
+        .iter()
+        .find(|(n, _)| *n == "paper/refined")
+        .expect("refined sample present");
+    let stmt = parse_select(sql).expect(name);
+    let bound = bind_select(&txn, &stmt).expect(name);
+    let plan = RecencyPlan::build(&txn, &bound, RelevanceConfig::default()).expect(name);
+    assert_eq!(plan.subqueries.len(), 1);
+    assert!(
+        plan.subqueries[0].refined,
+        "upgrade must be flagged refined"
+    );
 }
