@@ -164,7 +164,25 @@ pub fn analyze_sql(
         },
     )?;
     let user_plan = trac_plan::plan_select(txn, &q, trac_plan::ExecOptions::default())?;
-    Ok(analyze_bound(name, sql, &q, &plan, Some(&user_plan), cfg))
+    let mut analysis = analyze_bound(name, sql, &q, &plan, Some(&user_plan), cfg);
+    // Also certify the morsel-driven lowering of the same query: the
+    // Exchange/Gather pair must pass dataflow facts through unchanged,
+    // so a sound parallel plan adds no diagnostics to the report.
+    let parallel_plan = trac_plan::plan_select(txn, &q, parallel_cert_options())?;
+    analysis.diagnostics.extend(validate_plan(
+        &q,
+        &parallel_plan,
+        &format!("{name} (parallel)"),
+        None,
+    ));
+    Ok(analysis)
+}
+
+/// Execution options used to lower the parallel twin of every sample
+/// plan for certification (thread count is arbitrary but fixed so
+/// reports stay stable).
+fn parallel_cert_options() -> trac_plan::ExecOptions {
+    trac_plan::ExecOptions::default().with_parallelism(4, trac_plan::DEFAULT_BATCH_SIZE)
 }
 
 /// Renders `plan` as an EXPLAIN tree with each operator annotated with
@@ -206,7 +224,19 @@ fn annotate_one(txn: &ReadTxn, sql: &str) -> Result<String> {
     let stmt = trac_sql::parse_select(sql)?;
     let q = bind_select(txn, &stmt)?;
     let plan = trac_plan::plan_select(txn, &q, trac_plan::ExecOptions::default())?;
-    Ok(annotated_plan(&q, &plan))
+    let parallel = trac_plan::plan_select(txn, &q, parallel_cert_options())?;
+    let mut out = annotated_plan(&q, &plan);
+    // Render the morsel-driven twin when it differs (single-table
+    // constant-false queries stay serial).
+    let par = annotated_plan(&q, &parallel);
+    if par != out {
+        if !out.ends_with('\n') {
+            out.push('\n');
+        }
+        out.push_str("-- parallel (threads=4) --\n");
+        out.push_str(&par);
+    }
+    Ok(out)
 }
 
 /// The worked-example queries of Section 4.1 plus the queries the

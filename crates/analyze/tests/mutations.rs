@@ -119,6 +119,7 @@ fn dropping_the_join_conjunct_is_caught() {
         ExecOptions {
             enable_index_scan: false,
             enable_hash_join: false,
+            ..Default::default()
         },
         |root| {
             let PlanNode::NLJoin { filter, .. } = relational_root(root) else {
@@ -148,6 +149,7 @@ fn corrupting_the_hash_join_outer_key_is_caught() {
         ExecOptions {
             enable_index_scan: false,
             enable_hash_join: true,
+            ..Default::default()
         },
         |root| {
             let PlanNode::HashJoin { outer_key, .. } = relational_root(root) else {
@@ -167,6 +169,7 @@ fn corrupting_the_hash_join_inner_column_is_caught() {
         ExecOptions {
             enable_index_scan: false,
             enable_hash_join: true,
+            ..Default::default()
         },
         |root| {
             let PlanNode::HashJoin { inner_col, .. } = relational_root(root) else {
@@ -296,5 +299,91 @@ fn reordering_a_filter_above_the_shaping_stack_is_caught() {
             };
         },
         &["TRAC013"],
+    );
+}
+
+#[test]
+fn parallel_plans_certify_cleanly() {
+    // The Exchange/Gather pair passes facts through unchanged, so every
+    // parallel lowering must certify exactly like its serial twin.
+    let t = load_paper_tables().unwrap();
+    let txn = t.db.begin_read();
+    let queries = [
+        "SELECT mach_id FROM Activity WHERE value = 'idle'",
+        "SELECT A.mach_id FROM Routing R, Activity A \
+         WHERE R.mach_id = 'm1' AND A.value = 'idle' AND R.neighbor = A.mach_id",
+        "SELECT value, COUNT(*) FROM Activity GROUP BY value ORDER BY value",
+    ];
+    for sql in queries {
+        let q = bind(&txn, sql);
+        let p = plan(&txn, &q, ExecOptions::default().with_parallelism(4, 256));
+        assert!(
+            error_codes(&q, &p).is_empty(),
+            "parallel plan must certify: {:?}\n{}",
+            validate_plan(&q, &p, "par", None),
+            p.render()
+        );
+    }
+}
+
+#[test]
+fn stripping_the_gather_is_caught() {
+    // An Exchange with no dominating Gather would emit morsel batches
+    // in nondeterministic completion order.
+    assert_mutation(
+        "SELECT mach_id FROM Activity WHERE value = 'idle'",
+        ExecOptions::default().with_parallelism(4, 256),
+        |root| {
+            let gather = relational_root(root);
+            let PlanNode::Gather { input } = gather else {
+                panic!(
+                    "expected Gather at the relational root, got {}",
+                    gather.name()
+                );
+            };
+            *gather = std::mem::replace(input, PlanNode::Empty { bindings: vec![] });
+        },
+        &["TRAC012"],
+    );
+}
+
+#[test]
+fn gather_without_an_exchange_is_caught() {
+    // The dual bug: a Gather whose region never splits into morsels.
+    assert_mutation(
+        "SELECT mach_id FROM Activity WHERE value = 'idle'",
+        ExecOptions::default(),
+        |root| {
+            let rel = relational_root(root);
+            let old = std::mem::replace(rel, PlanNode::Empty { bindings: vec![] });
+            *rel = PlanNode::Gather {
+                input: Box::new(old),
+            };
+        },
+        &["TRAC012"],
+    );
+}
+
+#[test]
+fn serial_exchange_is_caught() {
+    // threads < 2 means the planner inserted a parallel region that
+    // cannot actually fan out.
+    assert_mutation(
+        "SELECT mach_id FROM Activity WHERE value = 'idle'",
+        ExecOptions::default().with_parallelism(4, 256),
+        |root| {
+            fn find_exchange(node: &mut PlanNode) -> Option<&mut PlanNode> {
+                if matches!(node, PlanNode::Exchange { .. }) {
+                    return Some(node);
+                }
+                node.children_mut().into_iter().find_map(find_exchange)
+            }
+            let PlanNode::Exchange { threads, .. } = find_exchange(root).expect("parallel plan")
+            else {
+                unreachable!();
+            };
+            *threads = 1;
+        },
+        &["TRAC012"],
     );
 }

@@ -34,7 +34,7 @@ fn main() {
         n_sources: total_rows / ratio,
     };
     println!("# Ablations at {} sources, ratio {ratio}", point.n_sources);
-    print_plan_summaries(&e.db, &PAPER_QUERIES);
+    print_plan_summaries(&e.db, &PAPER_QUERIES, ExecOptions::default());
 
     // --- A: index probes on/off for the generated recency query. ---
     let (q1_name, q1_sql) = PAPER_QUERIES[0];
@@ -51,7 +51,7 @@ fn main() {
             "index probes OFF",
             ExecOptions {
                 enable_index_scan: false,
-                enable_hash_join: true,
+                ..Default::default()
             },
         ),
     ] {

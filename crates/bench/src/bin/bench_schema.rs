@@ -1,0 +1,47 @@
+//! Re-derives the key-path schema of emitted `BENCH_*.json` files.
+//!
+//! Prints one JSON object mapping each file's `experiment` name to its
+//! sorted `path: type` schema lines. CI diffs this output against the
+//! committed `scripts/bench_schema.json`, so adding, removing, or
+//! retyping a field in the bench output format is a reviewed change, not
+//! a silent drift of the perf trajectory.
+//!
+//! Usage: `bench_schema BENCH_figure1.json BENCH_figure2.json`
+
+use trac_bench::json::Json;
+
+fn main() {
+    let paths: Vec<String> = std::env::args().skip(1).collect();
+    if paths.is_empty() {
+        eprintln!("usage: bench_schema FILE.json [FILE.json ...]");
+        std::process::exit(2);
+    }
+    let mut entries = Vec::new();
+    for path in &paths {
+        let text = match std::fs::read_to_string(path) {
+            Ok(t) => t,
+            Err(e) => {
+                eprintln!("{path}: {e}");
+                std::process::exit(1);
+            }
+        };
+        let doc = match Json::parse(&text) {
+            Ok(d) => d,
+            Err(e) => {
+                eprintln!("{path}: invalid JSON: {e}");
+                std::process::exit(1);
+            }
+        };
+        let experiment = match doc.get("experiment") {
+            Some(Json::Str(s)) => s.clone(),
+            _ => {
+                eprintln!("{path}: missing string field `experiment`");
+                std::process::exit(1);
+            }
+        };
+        let lines = doc.schema().into_iter().map(Json::Str).collect();
+        entries.push((experiment, Json::Arr(lines)));
+    }
+    entries.sort_by(|a, b| a.0.cmp(&b.0));
+    print!("{}", Json::Obj(entries).render());
+}

@@ -5,12 +5,17 @@
 //! For each sweep point and each of Q1–Q4, prints the response-time
 //! overhead `(t2 − t1)/t1` of the Naive, Focused (auto-generated recency
 //! query) and Focused-hardcoded (prebuilt plan) methods — the three
-//! curves of each panel in the paper's Figure 1.
+//! curves of each panel in the paper's Figure 1 — and records the full
+//! measurement grid as stable-key-order JSON for the perf trajectory.
 //!
 //! Usage: `figure1 [--total-rows 1000000] [--runs 3] [--warmup 1]
-//!                 [--max-sources 100000]`
+//!                 [--max-sources 100000] [--threads 1] [--batch-size 1024]
+//!                 [--json-out BENCH_figure1.json]`
 
-use trac_bench::harness::{load_point, measure, pct, print_plan_summaries, Args, Variant};
+use trac_bench::harness::{
+    load_point, measure, pct, print_plan_summaries, rinse_point, Args, Variant,
+};
+use trac_bench::json::Json;
 use trac_core::Session;
 use trac_workload::{eval::figure1_sweep, PAPER_QUERIES};
 
@@ -20,11 +25,16 @@ fn main() {
     let runs = args.get_u32("runs", 3);
     let warmup = args.get_u32("warmup", 1);
     let max_sources = args.get_u64("max-sources", 100_000);
+    let opts = args.exec_options();
+    let json_out = args.get_str("json-out", "BENCH_figure1.json");
     let sweep = figure1_sweep(total_rows, max_sources);
 
     println!("# Figure 1: overhead of recency/consistency reporting");
     println!(
-        "# total_rows = {total_rows}, runs = {runs} (after {warmup} warmup), sweep points = {}",
+        "# total_rows = {total_rows}, runs = {runs} (after {warmup} warmup per variant), \
+         threads = {}, batch_size = {}, sweep points = {}",
+        opts.threads,
+        opts.batch_size,
         sweep.len()
     );
     println!(
@@ -32,6 +42,7 @@ fn main() {
         "query", "ratio", "sources", "t1(ms)", "naive", "focused", "hardcoded"
     );
     let mut printed_plans = false;
+    let mut json_points = Vec::new();
     for point in sweep {
         let e = match load_point(total_rows, point, 7) {
             Ok(e) => e,
@@ -41,10 +52,13 @@ fn main() {
             }
         };
         if !printed_plans {
-            print_plan_summaries(&e.db, &PAPER_QUERIES);
+            print_plan_summaries(&e.db, &PAPER_QUERIES, opts);
             printed_plans = true;
         }
-        let session = Session::new(e.db.clone());
+        let mut session = Session::new(e.db.clone());
+        session.exec_options = opts;
+        rinse_point(&session, &PAPER_QUERIES).expect("rinse");
+        let mut json_queries = Vec::new();
         for (name, sql) in PAPER_QUERIES {
             let t1 = measure(&session, point, name, sql, Variant::Plain, warmup, runs)
                 .expect("plain run");
@@ -55,14 +69,47 @@ fn main() {
                 point.n_sources,
                 t1.mean_secs * 1e3
             );
+            let mut json_variants = Vec::new();
             for variant in [Variant::Naive, Variant::Focused, Variant::FocusedHardcoded] {
                 let t2 = measure(&session, point, name, sql, variant, warmup, runs)
                     .expect("variant run");
                 let overhead = (t2.mean_secs - t1.mean_secs) / t1.mean_secs;
                 row.push_str(&format!(" {:>12}", pct(overhead)));
+                json_variants.push(Json::obj(vec![
+                    ("mean_ms", Json::Num(t2.mean_secs * 1e3)),
+                    ("name", Json::str(variant.label())),
+                    ("overhead", Json::Num(overhead)),
+                ]));
             }
             println!("{row}");
+            json_queries.push(Json::obj(vec![
+                ("name", Json::str(name)),
+                ("plain_ms", Json::Num(t1.mean_secs * 1e3)),
+                ("variants", Json::Arr(json_variants)),
+            ]));
         }
+        json_points.push(Json::obj(vec![
+            ("data_ratio", Json::Num(point.data_ratio as f64)),
+            ("n_sources", Json::Num(point.n_sources as f64)),
+            ("queries", Json::Arr(json_queries)),
+        ]));
     }
     println!("# overhead = (t2 - t1) / t1, per Section 5.2");
+    let doc = Json::obj(vec![
+        (
+            "config",
+            Json::obj(vec![
+                ("batch_size", Json::Num(opts.batch_size as f64)),
+                ("max_sources", Json::Num(max_sources as f64)),
+                ("runs", Json::Num(runs as f64)),
+                ("threads", Json::Num(opts.threads as f64)),
+                ("total_rows", Json::Num(total_rows as f64)),
+                ("warmup", Json::Num(warmup as f64)),
+            ]),
+        ),
+        ("experiment", Json::str("figure1")),
+        ("points", Json::Arr(json_points)),
+    ]);
+    std::fs::write(&json_out, doc.render()).expect("write bench json");
+    println!("# wrote {json_out}");
 }

@@ -4,10 +4,15 @@
 //! as in the paper. This zooms into the region where Figure 1's selective-
 //! query overheads look large: the user queries there are simply very fast.
 //!
+//! Also records the measurement grid as stable-key-order JSON for the
+//! perf trajectory.
+//!
 //! Usage: `figure2 [--total-rows 1000000] [--runs 3] [--warmup 1]
-//!                 [--max-sources 100000]`
+//!                 [--max-sources 100000] [--threads 1] [--batch-size 1024]
+//!                 [--json-out BENCH_figure2.json]`
 
-use trac_bench::harness::{load_point, measure, print_plan_summaries, Args, Variant};
+use trac_bench::harness::{load_point, measure, print_plan_summaries, rinse_point, Args, Variant};
+use trac_bench::json::Json;
 use trac_core::Session;
 use trac_workload::{eval::figure1_sweep, PAPER_QUERIES};
 
@@ -17,15 +22,27 @@ fn main() {
     let runs = args.get_u32("runs", 3);
     let warmup = args.get_u32("warmup", 1);
     let max_sources = args.get_u64("max-sources", 100_000);
+    let opts = args.exec_options();
+    let json_out = args.get_str("json-out", "BENCH_figure2.json");
     let sweep = figure1_sweep(total_rows, max_sources);
 
     println!("# Figure 2: response times for Q1 and Q3 with and without recency report");
-    println!("# total_rows = {total_rows}, runs = {runs} (after {warmup} warmup)");
+    println!(
+        "# total_rows = {total_rows}, runs = {runs} (after {warmup} warmup per variant), \
+         threads = {}, batch_size = {}",
+        opts.threads, opts.batch_size
+    );
     println!(
         "{:<6} {:>10} {:>10} {:>16} {:>16}",
         "query", "ratio", "sources", "without(ms)", "with(ms)"
     );
+    let fig2_queries: Vec<(&str, &str)> = PAPER_QUERIES
+        .iter()
+        .filter(|(name, _)| *name == "Q1" || *name == "Q3")
+        .copied()
+        .collect();
     let mut printed_plans = false;
+    let mut json_points = Vec::new();
     for point in sweep {
         let e = match load_point(total_rows, point, 7) {
             Ok(e) => e,
@@ -35,19 +52,14 @@ fn main() {
             }
         };
         if !printed_plans {
-            print_plan_summaries(
-                &e.db,
-                PAPER_QUERIES
-                    .iter()
-                    .filter(|(name, _)| *name == "Q1" || *name == "Q3"),
-            );
+            print_plan_summaries(&e.db, fig2_queries.iter(), opts);
             printed_plans = true;
         }
-        let session = Session::new(e.db.clone());
-        for (name, sql) in PAPER_QUERIES {
-            if name != "Q1" && name != "Q3" {
-                continue;
-            }
+        let mut session = Session::new(e.db.clone());
+        session.exec_options = opts;
+        rinse_point(&session, fig2_queries.iter()).expect("rinse");
+        let mut json_queries = Vec::new();
+        for (name, sql) in &fig2_queries {
             let without = measure(&session, point, name, sql, Variant::Plain, warmup, runs)
                 .expect("plain run");
             let with = measure(&session, point, name, sql, Variant::Focused, warmup, runs)
@@ -60,6 +72,33 @@ fn main() {
                 without.mean_secs * 1e3,
                 with.mean_secs * 1e3
             );
+            json_queries.push(Json::obj(vec![
+                ("name", Json::str(*name)),
+                ("with_ms", Json::Num(with.mean_secs * 1e3)),
+                ("without_ms", Json::Num(without.mean_secs * 1e3)),
+            ]));
         }
+        json_points.push(Json::obj(vec![
+            ("data_ratio", Json::Num(point.data_ratio as f64)),
+            ("n_sources", Json::Num(point.n_sources as f64)),
+            ("queries", Json::Arr(json_queries)),
+        ]));
     }
+    let doc = Json::obj(vec![
+        (
+            "config",
+            Json::obj(vec![
+                ("batch_size", Json::Num(opts.batch_size as f64)),
+                ("max_sources", Json::Num(max_sources as f64)),
+                ("runs", Json::Num(runs as f64)),
+                ("threads", Json::Num(opts.threads as f64)),
+                ("total_rows", Json::Num(total_rows as f64)),
+                ("warmup", Json::Num(warmup as f64)),
+            ]),
+        ),
+        ("experiment", Json::str("figure2")),
+        ("points", Json::Arr(json_points)),
+    ]);
+    std::fs::write(&json_out, doc.render()).expect("write bench json");
+    println!("# wrote {json_out}");
 }

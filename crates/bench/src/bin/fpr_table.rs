@@ -31,7 +31,7 @@ fn main() {
     let total = n_sources * ratio;
     let e = load_eval_db(&EvalConfig::new(total, ratio)).expect("generate eval db");
     println!("# FPR table: exact measurement at {n_sources} sources, data ratio {ratio}");
-    print_plan_summaries(&e.db, &PAPER_QUERIES);
+    print_plan_summaries(&e.db, &PAPER_QUERIES, trac_exec::ExecOptions::default());
     println!(
         "{:<6} {:>8} {:>10} {:>9} {:>12} {:>12} {:>7} {:>7}",
         "query", "|S(Q)|", "|focused|", "|naive|", "fpr(focused)", "fpr(naive)", "missF", "missN"

@@ -4,9 +4,19 @@
 //! run 11 times and the average response time of the last 10 runs is used
 //! to minimize fluctuation" — here the warmup count and timed-run count
 //! are configurable (`--runs`), with one warmup run discarded by default.
+//!
+//! Warmup accounting is **per (query, variant) cell**: every call to
+//! [`measure`] discards its own `warmup` runs before timing. On top of
+//! that, [`rinse_point`] runs each query once untimed right after a
+//! sweep point's database is loaded, so the one-off cold-cache cost of a
+//! fresh point lands on no variant at all — previously it was absorbed
+//! once per sweep point by whichever variant happened to be measured
+//! first (Plain, the `t1` denominator), skewing the reported
+//! Plain-vs-Focused overhead percentages.
 
 use std::time::{Duration, Instant};
 use trac_core::{Method, Session};
+use trac_exec::ExecOptions;
 use trac_storage::Database;
 use trac_types::Result;
 use trac_workload::{load_eval_db, EvalConfig, EvalDb, SweepPoint};
@@ -99,8 +109,23 @@ pub fn measure(
     })
 }
 
+/// Runs every query once, untimed, against a freshly loaded sweep
+/// point. This pins the point's one-off cold-cache cost (first touch of
+/// the MVCC slot vectors and indexes) to *no* measured variant; each
+/// variant then pays only its own per-cell warmup inside [`measure`].
+pub fn rinse_point<'a>(
+    session: &Session,
+    queries: impl IntoIterator<Item = &'a (&'a str, &'a str)>,
+) -> Result<()> {
+    for (_, sql) in queries {
+        session.query(sql)?;
+    }
+    Ok(())
+}
+
 /// Operator counts of the physical plan chosen for `sql` in a fresh
-/// snapshot of `db` (e.g. `"IndexLookup=1 Project=1"`). Printed as
+/// snapshot of `db` under `opts` (e.g. `"IndexLookup=1 Project=1"`, or
+/// `"Exchange=1 Gather=1 …"` when `opts.threads > 1`). Printed as
 /// `# plan` comment lines in experiment output so that a planner change
 /// that alters an access path or join strategy shows up as a diff in the
 /// recorded `results_*.txt`, not just as a timing shift.
@@ -109,11 +134,11 @@ pub fn measure(
 /// summary is reported: a timing measured against an unsound plan would
 /// silently corrupt the experiment, so certification failure is an
 /// error, not a comment.
-pub fn plan_summary(db: &Database, sql: &str) -> Result<String> {
+pub fn plan_summary(db: &Database, sql: &str, opts: ExecOptions) -> Result<String> {
     let txn = db.begin_read();
     let stmt = trac_sql::parse_select(sql)?;
     let bound = trac_expr::bind_select(&txn, &stmt)?;
-    let plan = trac_plan::plan_select(&txn, &bound, trac_plan::ExecOptions::default())?;
+    let plan = trac_plan::plan_select(&txn, &bound, opts)?;
     let findings = trac_analyze::validate_plan(&bound, &plan, "bench", None);
     if let Some(first) = findings.iter().find(|d| d.is_error()) {
         return Err(trac_types::TracError::Execution(format!(
@@ -125,13 +150,14 @@ pub fn plan_summary(db: &Database, sql: &str) -> Result<String> {
 }
 
 /// Prints one `# plan` comment line per query, recording the operator
-/// counts each physical plan uses against `db`.
+/// counts each physical plan uses against `db` under `opts`.
 pub fn print_plan_summaries<'a>(
     db: &Database,
     queries: impl IntoIterator<Item = &'a (&'a str, &'a str)>,
+    opts: ExecOptions,
 ) {
     for (name, sql) in queries {
-        match plan_summary(db, sql) {
+        match plan_summary(db, sql, opts) {
             Ok(s) => println!("# plan {name}: {s}"),
             Err(e) => println!("# plan {name}: error: {e}"),
         }
@@ -181,6 +207,23 @@ impl Args {
     pub fn get_u32(&self, key: &str, default: u32) -> u32 {
         self.get_u64(key, default as u64) as u32
     }
+
+    /// Fetches a string flag with a default.
+    pub fn get_str(&self, key: &str, default: &str) -> String {
+        self.pairs
+            .iter()
+            .find(|(k, _)| k == key)
+            .map_or_else(|| default.to_string(), |(_, v)| v.clone())
+    }
+
+    /// Builds [`ExecOptions`] from the `--threads` / `--batch-size`
+    /// knobs (defaults: serial, [`trac_plan::DEFAULT_BATCH_SIZE`]).
+    pub fn exec_options(&self) -> ExecOptions {
+        ExecOptions::default().with_parallelism(
+            self.get_u64("threads", 1) as usize,
+            self.get_u64("batch-size", trac_plan::DEFAULT_BATCH_SIZE as u64) as usize,
+        )
+    }
 }
 
 /// Formats a fraction as a percentage string.
@@ -229,13 +272,14 @@ mod tests {
             1,
         )
         .unwrap();
-        let s = plan_summary(
-            &e.db,
-            "SELECT COUNT(*) FROM Activity WHERE mach_id = 'Tao1'",
-        )
-        .unwrap();
+        let sql = "SELECT COUNT(*) FROM Activity WHERE mach_id = 'Tao1'";
+        let s = plan_summary(&e.db, sql, ExecOptions::default()).unwrap();
         assert!(s.contains("Aggregate=1"), "{s}");
         assert!(s.contains("IndexLookup=1"), "{s}");
+        // A parallel benchmark plan certifies too and shows its region.
+        let p = plan_summary(&e.db, sql, ExecOptions::default().with_parallelism(4, 256)).unwrap();
+        assert!(p.contains("Exchange=1"), "{p}");
+        assert!(p.contains("Gather=1"), "{p}");
     }
 
     #[test]

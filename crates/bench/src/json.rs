@@ -1,0 +1,355 @@
+//! Hand-rolled JSON value, writer, and reader for the machine-readable
+//! bench outputs (`BENCH_figure1.json`, `BENCH_figure2.json`).
+//!
+//! The workspace has no serde, and the bench files exist to be diffed
+//! across commits, so the writer guarantees a *stable* rendering: object
+//! keys are emitted in insertion order (the experiment code inserts them
+//! alphabetically), floats use Rust's shortest round-trip formatting,
+//! and indentation is fixed at two spaces. The reader is only as general
+//! as the files this crate writes (no `\uXXXX` escapes, no exponent
+//! tricks beyond what `f64` round-trips) and is used by the
+//! `bench_schema` binary to re-derive a file's key-path schema for the
+//! CI schema gate.
+
+use std::fmt::Write as _;
+
+/// A JSON value with insertion-ordered object keys.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Json {
+    /// `null`.
+    Null,
+    /// `true` / `false`.
+    Bool(bool),
+    /// Any number (integers render without a decimal point).
+    Num(f64),
+    /// A string.
+    Str(String),
+    /// An array.
+    Arr(Vec<Json>),
+    /// An object; keys keep insertion order when rendered.
+    Obj(Vec<(String, Json)>),
+}
+
+impl Json {
+    /// Convenience: an object from `(key, value)` pairs.
+    pub fn obj(pairs: Vec<(&str, Json)>) -> Json {
+        Json::Obj(pairs.into_iter().map(|(k, v)| (k.to_string(), v)).collect())
+    }
+
+    /// Convenience: a string value.
+    pub fn str(s: impl Into<String>) -> Json {
+        Json::Str(s.into())
+    }
+
+    /// Looks up a key in an object value.
+    pub fn get(&self, key: &str) -> Option<&Json> {
+        match self {
+            Json::Obj(pairs) => pairs.iter().find(|(k, _)| k == key).map(|(_, v)| v),
+            _ => None,
+        }
+    }
+
+    /// Renders with two-space indentation and a trailing newline.
+    pub fn render(&self) -> String {
+        let mut out = String::new();
+        self.render_into(&mut out, 0);
+        out.push('\n');
+        out
+    }
+
+    fn render_into(&self, out: &mut String, depth: usize) {
+        let pad = "  ".repeat(depth + 1);
+        let close = "  ".repeat(depth);
+        match self {
+            Json::Null => out.push_str("null"),
+            Json::Bool(b) => {
+                let _ = write!(out, "{b}");
+            }
+            Json::Num(x) => {
+                if x.fract() == 0.0 && x.abs() < 1e15 {
+                    let _ = write!(out, "{}", *x as i64);
+                } else {
+                    let _ = write!(out, "{x}");
+                }
+            }
+            Json::Str(s) => render_str(s, out),
+            Json::Arr(items) if items.is_empty() => out.push_str("[]"),
+            Json::Arr(items) => {
+                out.push_str("[\n");
+                for (i, item) in items.iter().enumerate() {
+                    out.push_str(&pad);
+                    item.render_into(out, depth + 1);
+                    out.push_str(if i + 1 < items.len() { ",\n" } else { "\n" });
+                }
+                out.push_str(&close);
+                out.push(']');
+            }
+            Json::Obj(pairs) if pairs.is_empty() => out.push_str("{}"),
+            Json::Obj(pairs) => {
+                out.push_str("{\n");
+                for (i, (k, v)) in pairs.iter().enumerate() {
+                    out.push_str(&pad);
+                    render_str(k, out);
+                    out.push_str(": ");
+                    v.render_into(out, depth + 1);
+                    out.push_str(if i + 1 < pairs.len() { ",\n" } else { "\n" });
+                }
+                out.push_str(&close);
+                out.push('}');
+            }
+        }
+    }
+
+    /// The sorted, deduplicated key-path schema of this value: one line
+    /// per `path: type`, e.g. `.points[].data_ratio: number`. Arrays
+    /// contribute the union of their elements' schemas, so a schema diff
+    /// catches added/removed/retyped fields but not cardinality.
+    pub fn schema(&self) -> Vec<String> {
+        let mut lines = Vec::new();
+        self.schema_into("", &mut lines);
+        lines.sort();
+        lines.dedup();
+        lines
+    }
+
+    fn schema_into(&self, path: &str, lines: &mut Vec<String>) {
+        let ty = match self {
+            Json::Null => "null",
+            Json::Bool(_) => "bool",
+            Json::Num(_) => "number",
+            Json::Str(_) => "string",
+            Json::Arr(_) => "array",
+            Json::Obj(_) => "object",
+        };
+        let shown = if path.is_empty() { "." } else { path };
+        lines.push(format!("{shown}: {ty}"));
+        match self {
+            Json::Arr(items) => {
+                for item in items {
+                    item.schema_into(&format!("{path}[]"), lines);
+                }
+            }
+            Json::Obj(pairs) => {
+                for (k, v) in pairs {
+                    v.schema_into(&format!("{path}.{k}"), lines);
+                }
+            }
+            _ => {}
+        }
+    }
+
+    /// Parses a JSON document (as general as this module writes).
+    pub fn parse(text: &str) -> Result<Json, String> {
+        let bytes = text.as_bytes();
+        let mut pos = 0;
+        let value = parse_value(bytes, &mut pos)?;
+        skip_ws(bytes, &mut pos);
+        if pos != bytes.len() {
+            return Err(format!("trailing garbage at byte {pos}"));
+        }
+        Ok(value)
+    }
+}
+
+fn render_str(s: &str, out: &mut String) {
+    out.push('"');
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\t' => out.push_str("\\t"),
+            '\r' => out.push_str("\\r"),
+            c if (c as u32) < 0x20 => {
+                let _ = write!(out, "\\u{:04x}", c as u32);
+            }
+            c => out.push(c),
+        }
+    }
+    out.push('"');
+}
+
+fn skip_ws(bytes: &[u8], pos: &mut usize) {
+    while *pos < bytes.len() && bytes[*pos].is_ascii_whitespace() {
+        *pos += 1;
+    }
+}
+
+fn expect(bytes: &[u8], pos: &mut usize, lit: &str) -> Result<(), String> {
+    if bytes[*pos..].starts_with(lit.as_bytes()) {
+        *pos += lit.len();
+        Ok(())
+    } else {
+        Err(format!("expected `{lit}` at byte {pos}"))
+    }
+}
+
+fn parse_value(bytes: &[u8], pos: &mut usize) -> Result<Json, String> {
+    skip_ws(bytes, pos);
+    match bytes.get(*pos) {
+        None => Err("unexpected end of input".into()),
+        Some(b'n') => expect(bytes, pos, "null").map(|()| Json::Null),
+        Some(b't') => expect(bytes, pos, "true").map(|()| Json::Bool(true)),
+        Some(b'f') => expect(bytes, pos, "false").map(|()| Json::Bool(false)),
+        Some(b'"') => parse_string(bytes, pos).map(Json::Str),
+        Some(b'[') => {
+            *pos += 1;
+            let mut items = Vec::new();
+            skip_ws(bytes, pos);
+            if bytes.get(*pos) == Some(&b']') {
+                *pos += 1;
+                return Ok(Json::Arr(items));
+            }
+            loop {
+                items.push(parse_value(bytes, pos)?);
+                skip_ws(bytes, pos);
+                match bytes.get(*pos) {
+                    Some(b',') => *pos += 1,
+                    Some(b']') => {
+                        *pos += 1;
+                        return Ok(Json::Arr(items));
+                    }
+                    _ => return Err(format!("expected `,` or `]` at byte {pos}")),
+                }
+            }
+        }
+        Some(b'{') => {
+            *pos += 1;
+            let mut pairs = Vec::new();
+            skip_ws(bytes, pos);
+            if bytes.get(*pos) == Some(&b'}') {
+                *pos += 1;
+                return Ok(Json::Obj(pairs));
+            }
+            loop {
+                skip_ws(bytes, pos);
+                let key = parse_string(bytes, pos)?;
+                skip_ws(bytes, pos);
+                expect(bytes, pos, ":")?;
+                let value = parse_value(bytes, pos)?;
+                pairs.push((key, value));
+                skip_ws(bytes, pos);
+                match bytes.get(*pos) {
+                    Some(b',') => *pos += 1,
+                    Some(b'}') => {
+                        *pos += 1;
+                        return Ok(Json::Obj(pairs));
+                    }
+                    _ => return Err(format!("expected `,` or `}}` at byte {pos}")),
+                }
+            }
+        }
+        Some(_) => parse_number(bytes, pos),
+    }
+}
+
+fn parse_string(bytes: &[u8], pos: &mut usize) -> Result<String, String> {
+    if bytes.get(*pos) != Some(&b'"') {
+        return Err(format!("expected string at byte {pos}"));
+    }
+    *pos += 1;
+    let mut out = String::new();
+    let text = std::str::from_utf8(bytes).map_err(|e| e.to_string())?;
+    let mut chars = text[*pos..].char_indices();
+    while let Some((i, c)) = chars.next() {
+        match c {
+            '"' => {
+                *pos += i + 1;
+                return Ok(out);
+            }
+            '\\' => match chars.next() {
+                Some((_, '"')) => out.push('"'),
+                Some((_, '\\')) => out.push('\\'),
+                Some((_, 'n')) => out.push('\n'),
+                Some((_, 't')) => out.push('\t'),
+                Some((_, 'r')) => out.push('\r'),
+                Some((_, '/')) => out.push('/'),
+                other => return Err(format!("unsupported escape {other:?}")),
+            },
+            c => out.push(c),
+        }
+    }
+    Err("unterminated string".into())
+}
+
+fn parse_number(bytes: &[u8], pos: &mut usize) -> Result<Json, String> {
+    let start = *pos;
+    while *pos < bytes.len()
+        && matches!(bytes[*pos], b'0'..=b'9' | b'-' | b'+' | b'.' | b'e' | b'E')
+    {
+        *pos += 1;
+    }
+    std::str::from_utf8(&bytes[start..*pos])
+        .ok()
+        .and_then(|s| s.parse::<f64>().ok())
+        .map(Json::Num)
+        .ok_or_else(|| format!("bad number at byte {start}"))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample() -> Json {
+        Json::obj(vec![
+            ("config", Json::obj(vec![("runs", Json::Num(3.0))])),
+            (
+                "points",
+                Json::Arr(vec![Json::obj(vec![
+                    ("mean_ms", Json::Num(1.5)),
+                    ("query", Json::str("Q1")),
+                ])]),
+            ),
+        ])
+    }
+
+    #[test]
+    fn render_is_stable_and_round_trips() {
+        let v = sample();
+        let text = v.render();
+        assert_eq!(Json::parse(&text).unwrap(), v);
+        // Key order is insertion order, not alphabetized by the writer.
+        let config_at = text.find("\"config\"").unwrap();
+        let points_at = text.find("\"points\"").unwrap();
+        assert!(config_at < points_at);
+        assert_eq!(text, Json::parse(&text).unwrap().render());
+    }
+
+    #[test]
+    fn integers_render_without_decimal_point() {
+        assert!(sample().render().contains("\"runs\": 3\n"));
+        assert!(sample().render().contains("\"mean_ms\": 1.5,\n"));
+    }
+
+    #[test]
+    fn schema_lists_sorted_key_paths() {
+        // Byte-lexicographic order: `.` sorts before `:`, so a nested
+        // key lands before its parent's own `path: type` line.
+        assert_eq!(
+            sample().schema(),
+            vec![
+                ".: object",
+                ".config.runs: number",
+                ".config: object",
+                ".points: array",
+                ".points[].mean_ms: number",
+                ".points[].query: string",
+                ".points[]: object",
+            ]
+        );
+    }
+
+    #[test]
+    fn strings_escape_controls() {
+        let v = Json::str("a\"b\\c\nd");
+        let text = v.render();
+        assert_eq!(text, "\"a\\\"b\\\\c\\nd\"\n");
+        assert_eq!(Json::parse(&text).unwrap(), v);
+    }
+
+    #[test]
+    fn rejects_trailing_garbage() {
+        assert!(Json::parse("{} x").is_err());
+        assert!(Json::parse("[1,]").is_err());
+    }
+}

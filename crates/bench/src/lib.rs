@@ -10,6 +10,15 @@
 //!   oracle at oracle-feasible scale, plus the corrected closed forms at
 //!   the paper's 100,000-source configuration);
 //! * `ablation` — design-choice ablations: index scans off, z-score off,
-//!   DNF budget, analysis-cost isolation.
+//!   DNF budget, analysis-cost isolation;
+//! * `bench_schema` — re-derives the key-path schema of emitted
+//!   `BENCH_*.json` files for the CI schema gate.
+//!
+//! `figure1` and `figure2` additionally accept `--threads N` and
+//! `--batch-size B` (morsel-driven parallel execution) and emit their
+//! full measurement grid as machine-readable JSON (`--json-out PATH`,
+//! default `BENCH_figure1.json` / `BENCH_figure2.json`) with stable key
+//! order so perf trajectories diff cleanly across commits.
 
 pub mod harness;
+pub mod json;

@@ -63,7 +63,7 @@ pub enum SubqueryStatus {
 }
 
 /// Tunables for the analysis.
-#[derive(Debug, Clone, Copy)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub struct RelevanceConfig {
     /// DNF term budget before falling back to the all-sources bound.
     pub dnf_budget: usize,
@@ -186,6 +186,18 @@ impl RecencyPlan {
     /// through `P_o`, so a naive cross product would materialize
     /// |H| × |R_j| tuples just to throw them away.
     pub fn execute(&self, txn: &ReadTxn) -> Result<BTreeSet<SourceId>> {
+        self.execute_with(txn, trac_exec::ExecOptions::default())
+    }
+
+    /// Like [`RecencyPlan::execute`], but evaluating every subquery's
+    /// witness and H-side selects through the general executor with
+    /// `opts` — the same batched morsel-driven path the user query
+    /// takes when `opts.threads > 1`.
+    pub fn execute_with(
+        &self,
+        txn: &ReadTxn,
+        opts: trac_exec::ExecOptions,
+    ) -> Result<BTreeSet<SourceId>> {
         if self.all_sources {
             return Ok(heartbeat::all_recencies(txn)?
                 .into_iter()
@@ -195,7 +207,7 @@ impl RecencyPlan {
         let mut out = BTreeSet::new();
         for sub in &self.subqueries {
             let Some(query) = &sub.query else { continue };
-            semijoin::execute_recency_subquery(txn, query, &mut out)?;
+            semijoin::execute_recency_subquery(txn, query, opts, &mut out)?;
         }
         Ok(out)
     }

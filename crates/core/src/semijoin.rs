@@ -24,18 +24,29 @@
 
 use std::collections::{BTreeSet, HashMap};
 use std::sync::Arc;
-use trac_exec::execute_select;
+use trac_exec::{execute_select_with, ExecOptions};
 use trac_expr::{eval_predicate, BoundExpr, BoundSelect, ColRef, Projection, Truth};
 use trac_sql::BinaryOp;
 use trac_storage::ReadTxn;
 use trac_types::{Result, SourceId, Value};
 
+/// Runs a bound `SELECT` through the general executor with the given
+/// options (the same morsel-driven batched path the user query takes
+/// when `opts.threads > 1`).
+fn run_select(txn: &ReadTxn, q: &BoundSelect, opts: ExecOptions) -> Result<trac_exec::QueryResult> {
+    Ok(execute_select_with(txn, q, opts)?.0)
+}
+
 /// Evaluates one generated recency subquery (shape: `SELECT DISTINCT
 /// H.sid FROM heartbeat H, others… WHERE conjunction`), adding relevant
-/// source ids to `out`.
+/// source ids to `out`. The witness and H-side parts run through the
+/// general executor with `opts` — a parallel session evaluates its
+/// recency subqueries through the same batched operators as its user
+/// queries.
 pub(crate) fn execute_recency_subquery(
     txn: &ReadTxn,
     q: &BoundSelect,
+    opts: ExecOptions,
     out: &mut BTreeSet<SourceId>,
 ) -> Result<()> {
     let mut conjuncts = Vec::new();
@@ -105,7 +116,7 @@ pub(crate) fn execute_recency_subquery(
             if found.is_none() {
                 return Ok(());
             }
-            return collect_h(txn, q, &h_terms, None, out);
+            return collect_h(txn, q, &h_terms, None, opts, out);
         }
         let others_q = BoundSelect {
             tables: q.tables[1..].to_vec(),
@@ -121,7 +132,7 @@ pub(crate) fn execute_recency_subquery(
                 None
             },
         };
-        let witnesses = execute_select(txn, &others_q)?;
+        let witnesses = run_select(txn, &others_q, opts)?;
         if witnesses.is_empty() {
             // Definition 2 needs existing tuples in every other relation.
             return Ok(());
@@ -162,10 +173,10 @@ pub(crate) fn execute_recency_subquery(
                     }
                     candidates.insert(v.clone());
                 }
-                return collect_h(txn, q, &h_terms, Some(candidates), out);
+                return collect_h(txn, q, &h_terms, Some(candidates), opts, out);
             }
             // General fallback: nested loop over filtered H × witnesses.
-            let h_rows = h_matches(txn, q, &h_terms, None)?;
+            let h_rows = h_matches(txn, q, &h_terms, None, opts)?;
             for h in h_rows {
                 let h_row: trac_storage::Row = Arc::from(h.clone().into_boxed_slice());
                 let mut hit = false;
@@ -190,7 +201,7 @@ pub(crate) fn execute_recency_subquery(
         }
         // No join terms: existence of witnesses is all P_o required.
     }
-    collect_h(txn, q, &h_terms, None, out)
+    collect_h(txn, q, &h_terms, None, opts, out)
 }
 
 /// If every term is `H.sid = witness_col` (or flipped), the witness
@@ -238,6 +249,7 @@ fn h_matches(
     q: &BoundSelect,
     h_terms: &[BoundExpr],
     candidates: Option<BTreeSet<Value>>,
+    opts: ExecOptions,
 ) -> Result<Vec<Vec<Value>>> {
     let hb = q.tables[0].id;
     let rows: Vec<trac_storage::Row> = match candidates {
@@ -271,7 +283,7 @@ fn h_matches(
                 order_by: vec![],
                 limit: None,
             };
-            return Ok(execute_select(txn, &h_q)?.rows);
+            return Ok(run_select(txn, &h_q, opts)?.rows);
         }
     };
     // Apply P_s' and deduplicate.
@@ -296,9 +308,10 @@ fn collect_h(
     q: &BoundSelect,
     h_terms: &[BoundExpr],
     candidates: Option<BTreeSet<Value>>,
+    opts: ExecOptions,
     out: &mut BTreeSet<SourceId>,
 ) -> Result<()> {
-    for row in h_matches(txn, q, h_terms, candidates)? {
+    for row in h_matches(txn, q, h_terms, candidates, opts)? {
         if let Some(s) = SourceId::from_value(&row[0]) {
             out.insert(s);
         }
@@ -352,14 +365,14 @@ mod tests {
             for sub in &plan.subqueries {
                 let Some(query) = &sub.query else { continue };
                 // Literal evaluation through the general executor.
-                let literal: BTreeSet<SourceId> = execute_select(&txn, query)
+                let literal: BTreeSet<SourceId> = trac_exec::execute_select(&txn, query)
                     .unwrap()
                     .rows
                     .into_iter()
                     .filter_map(|r| SourceId::from_value(&r[0]))
                     .collect();
                 let mut semi = BTreeSet::new();
-                execute_recency_subquery(&txn, query, &mut semi).unwrap();
+                execute_recency_subquery(&txn, query, ExecOptions::default(), &mut semi).unwrap();
                 assert_eq!(
                     semi, literal,
                     "semijoin disagrees for {sql} via {} ({})",
@@ -389,7 +402,13 @@ mod tests {
             .find(|s| s.via_relation == "R")
             .unwrap();
         let mut out = BTreeSet::new();
-        execute_recency_subquery(&txn, via_r.query.as_ref().unwrap(), &mut out).unwrap();
+        execute_recency_subquery(
+            &txn,
+            via_r.query.as_ref().unwrap(),
+            ExecOptions::default(),
+            &mut out,
+        )
+        .unwrap();
         assert_eq!(
             out.iter()
                 .map(trac_types::SourceId::as_str)

@@ -16,10 +16,11 @@
 
 use crate::relevance::{Guarantee, RecencyPlan, RelevanceConfig};
 use crate::report::{RecencyReport, ReportConfig};
-use std::collections::BTreeSet;
+use std::collections::{BTreeSet, HashMap};
 use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Mutex;
 use std::time::{Duration, Instant};
-use trac_exec::QueryResult;
+use trac_exec::{ExecOptions, QueryResult};
 use trac_expr::{bind_select, BoundSelect};
 use trac_sql::parse_select;
 use trac_storage::{heartbeat, ColumnDef, Database, ReadTxn, TableSchema, HEARTBEAT_TABLE};
@@ -91,6 +92,14 @@ impl ReportOutput {
     }
 }
 
+/// A cached prepared recency plan, tagged with the heartbeat epoch and
+/// relevance config it was built under.
+struct CachedPlan {
+    epoch: u64,
+    config: RelevanceConfig,
+    plan: RecencyPlan,
+}
+
 /// A user session against a TRAC-enabled database.
 pub struct Session {
     db: Database,
@@ -100,6 +109,19 @@ pub struct Session {
     pub relevance_config: RelevanceConfig,
     /// Report tunables (z-threshold etc.).
     pub report_config: ReportConfig,
+    /// Execution options for both the user query and the generated
+    /// recency subqueries. Defaults to serial; set
+    /// [`ExecOptions::with_parallelism`] to run both through the batched
+    /// morsel-driven path.
+    pub exec_options: ExecOptions,
+    /// Prepared recency plans keyed by the query shape (the raw SQL
+    /// text), invalidated by the heartbeat epoch: any heartbeat upsert
+    /// bumps the database epoch, and a mismatched epoch forces a
+    /// rebuild. This is conservative — plans only depend on schema and
+    /// predicates, not on heartbeat *values* — but heartbeat traffic is
+    /// the natural staleness clock TRAC already maintains, and a rebuild
+    /// is cheap relative to a wrong cached plan after DDL-ish change.
+    plan_cache: Mutex<HashMap<String, CachedPlan>>,
 }
 
 impl Session {
@@ -112,6 +134,8 @@ impl Session {
             seq: AtomicU64::new(1),
             relevance_config: RelevanceConfig::default(),
             report_config: ReportConfig::default(),
+            exec_options: ExecOptions::default(),
+            plan_cache: Mutex::new(HashMap::new()),
         }
     }
 
@@ -121,10 +145,12 @@ impl Session {
     }
 
     /// Runs a plain query (no recency reporting) — the `t1` baseline of
-    /// the evaluation's overhead metric.
+    /// the evaluation's overhead metric. Honors [`Self::exec_options`],
+    /// so a parallel session runs its baseline through the same batched
+    /// path as its reports.
     pub fn query(&self, sql: &str) -> Result<QueryResult> {
         let txn = self.db.begin_read();
-        trac_exec::execute_sql(&txn, sql)
+        trac_exec::execute_sql_with(&txn, sql, self.exec_options)
     }
 
     /// Runs `sql` with Focused recency reporting.
@@ -145,7 +171,7 @@ impl Session {
                 let t0 = Instant::now();
                 let stmt = parse_select(sql)?;
                 let bound = bind_select(&txn, &stmt)?;
-                let plan = RecencyPlan::build(&txn, &bound, self.relevance_config)?;
+                let plan = self.cached_or_build_plan(&txn, sql, &bound)?;
                 let analyze = t0.elapsed();
                 self.report_inner(&txn, &bound, Some(&plan), analyze)
             }
@@ -174,6 +200,45 @@ impl Session {
         RecencyPlan::build(&txn, &bound, self.relevance_config)
     }
 
+    /// Returns the prepared recency plan for `sql` from the session
+    /// cache when it was built under the snapshot's heartbeat epoch and
+    /// the current relevance config; otherwise builds and caches it.
+    fn cached_or_build_plan(
+        &self,
+        txn: &ReadTxn,
+        sql: &str,
+        bound: &BoundSelect,
+    ) -> Result<RecencyPlan> {
+        let epoch = txn.heartbeat_epoch();
+        if let Some(hit) = self
+            .plan_cache
+            .lock()
+            .expect("plan cache poisoned")
+            .get(sql)
+        {
+            if hit.epoch == epoch && hit.config == self.relevance_config {
+                return Ok(hit.plan.clone());
+            }
+        }
+        let plan = RecencyPlan::build(txn, bound, self.relevance_config)?;
+        self.plan_cache.lock().expect("plan cache poisoned").insert(
+            sql.to_string(),
+            CachedPlan {
+                epoch,
+                config: self.relevance_config,
+                plan: plan.clone(),
+            },
+        );
+        Ok(plan)
+    }
+
+    /// Drops every cached prepared recency plan. Plans also age out on
+    /// their own whenever the heartbeat epoch or [`Self::relevance_config`]
+    /// changes; this is only needed to reclaim memory eagerly.
+    pub fn clear_plan_cache(&self) {
+        self.plan_cache.lock().expect("plan cache poisoned").clear();
+    }
+
     fn report_inner(
         &self,
         txn: &ReadTxn,
@@ -184,13 +249,13 @@ impl Session {
         // 1. The user query, in the shared snapshot (already bound — the
         // SQL text is never re-parsed past this point).
         let t0 = Instant::now();
-        let result = trac_exec::execute_select(txn, bound)?;
+        let result = trac_exec::execute_select_with(txn, bound, self.exec_options)?.0;
         let user_query = t0.elapsed();
         // 2. Relevant sources + their recency timestamps, same snapshot.
         let t0 = Instant::now();
         let (pairs, guarantee, generated_sql) = match plan {
             Some(plan) => {
-                let sids = plan.execute(txn)?;
+                let sids = plan.execute_with(txn, self.exec_options)?;
                 (
                     fetch_recencies(txn, &sids)?,
                     plan.guarantee,
@@ -448,6 +513,96 @@ mod tests {
         assert!(text.contains("The least recent data source:"));
         assert!(text.contains("Bound of inconsistency:"));
         assert!(text.contains("(2 rows)"));
+    }
+
+    #[test]
+    fn plan_cache_reuses_until_heartbeat_epoch_moves() {
+        let db = paper_db();
+        let session = Session::new(db.clone());
+        let sql = "SELECT mach_id FROM Activity WHERE value = 'idle'";
+        let first = session.recency_report(sql).unwrap();
+        assert_eq!(first.report.guarantee, Guarantee::Minimum);
+        assert_eq!(session.plan_cache.lock().unwrap().len(), 1);
+        // Poison the cached plan's guarantee: only a cache hit can
+        // surface the poisoned value in the next report.
+        session
+            .plan_cache
+            .lock()
+            .unwrap()
+            .get_mut(sql)
+            .unwrap()
+            .plan
+            .guarantee = Guarantee::UpperBound;
+        let hit = session.recency_report(sql).unwrap();
+        assert_eq!(
+            hit.report.guarantee,
+            Guarantee::UpperBound,
+            "same shape + same epoch must reuse the cached plan"
+        );
+        // Any heartbeat upsert bumps the database epoch; the stale entry
+        // must be rebuilt (and the poison washed out).
+        db.with_write(|w| {
+            w.heartbeat(
+                &SourceId::new("m1"),
+                Timestamp::parse("2006-02-10 00:01:00").unwrap(),
+            )
+        })
+        .unwrap();
+        let rebuilt = session.recency_report(sql).unwrap();
+        assert_eq!(
+            rebuilt.report.guarantee,
+            Guarantee::Minimum,
+            "heartbeat epoch bump must invalidate the cached plan"
+        );
+    }
+
+    #[test]
+    fn plan_cache_respects_relevance_config() {
+        let db = paper_db();
+        let mut session = Session::new(db);
+        let sql = "SELECT mach_id FROM Activity WHERE value = 'idle'";
+        session.recency_report(sql).unwrap();
+        // Poison the cached plan, then change the config: the mismatch
+        // must force a rebuild that washes the poison out, even though
+        // the heartbeat epoch has not moved.
+        session
+            .plan_cache
+            .lock()
+            .unwrap()
+            .get_mut(sql)
+            .unwrap()
+            .plan
+            .guarantee = Guarantee::UpperBound;
+        session.relevance_config.dnf_budget += 1;
+        let out = session.recency_report(sql).unwrap();
+        assert_eq!(
+            out.report.guarantee,
+            Guarantee::Minimum,
+            "config change must bypass the cached plan"
+        );
+    }
+
+    #[test]
+    fn parallel_session_report_matches_serial() {
+        let db = paper_db();
+        let serial = Session::new(db.clone());
+        let mut parallel = Session::new(db);
+        parallel.exec_options = ExecOptions::default().with_parallelism(4, 2);
+        for sql in [
+            "SELECT mach_id, value FROM Activity WHERE value = 'idle'",
+            "SELECT A.mach_id FROM Routing R, Activity A \
+             WHERE R.mach_id = A.mach_id AND A.value = 'idle'",
+        ] {
+            let s = serial.recency_report(sql).unwrap();
+            let p = parallel.recency_report(sql).unwrap();
+            assert_eq!(s.result.rows, p.result.rows, "user query rows for {sql}");
+            assert_eq!(s.report.normal, p.report.normal, "normal sources for {sql}");
+            assert_eq!(
+                s.report.exceptional, p.report.exceptional,
+                "exceptional sources for {sql}"
+            );
+            assert_eq!(s.report.guarantee, p.report.guarantee);
+        }
     }
 
     #[test]

@@ -90,9 +90,17 @@ impl PlanInfo {
 
 /// Parses, binds and executes a `SELECT` string in `txn`'s snapshot.
 pub fn execute_sql(txn: &ReadTxn, sql: &str) -> Result<QueryResult> {
+    execute_sql_with(txn, sql, ExecOptions::default())
+}
+
+/// Parses, binds and executes a `SELECT` string with explicit execution
+/// options (e.g. a parallel morsel-driven pipeline when
+/// `opts.threads > 1`).
+pub fn execute_sql_with(txn: &ReadTxn, sql: &str, opts: ExecOptions) -> Result<QueryResult> {
     let stmt = parse_select(sql)?;
     let bound = bind_select(txn, &stmt)?;
-    execute_select(txn, &bound)
+    let (result, _) = execute_select_with(txn, &bound, opts)?;
+    Ok(result)
 }
 
 /// Executes a bound `SELECT` with default options.
@@ -232,15 +240,38 @@ mod tests {
             ExecOptions {
                 enable_index_scan: false,
                 enable_hash_join: true,
+                ..Default::default()
             },
             ExecOptions {
                 enable_index_scan: false,
                 enable_hash_join: false,
+                ..Default::default()
             },
             ExecOptions {
                 enable_index_scan: true,
                 enable_hash_join: false,
+                ..Default::default()
             },
+            // Every strategy again, morsel-driven with 3 workers.
+            ExecOptions::default().with_parallelism(3, 2),
+            ExecOptions {
+                enable_index_scan: false,
+                enable_hash_join: true,
+                ..Default::default()
+            }
+            .with_parallelism(3, 2),
+            ExecOptions {
+                enable_index_scan: false,
+                enable_hash_join: false,
+                ..Default::default()
+            }
+            .with_parallelism(3, 2),
+            ExecOptions {
+                enable_index_scan: true,
+                enable_hash_join: false,
+                ..Default::default()
+            }
+            .with_parallelism(3, 2),
         ];
         let mut results: Vec<Vec<Vec<Value>>> = Vec::new();
         for opts in configs {
@@ -568,6 +599,42 @@ mod tests {
             r.rows,
             vec![vec![Value::text("m1")], vec![Value::text("m2")]]
         );
+    }
+
+    #[test]
+    fn parallel_execution_is_byte_identical_to_serial() {
+        let db = paper_db();
+        let txn = db.begin_read();
+        // Every query shape the serial suite exercises, unsorted on
+        // purpose: the morsel-ordered gather must reproduce the serial
+        // row order exactly, not just the same multiset.
+        let queries = [
+            "SELECT mach_id, value FROM Activity",
+            "SELECT mach_id FROM Activity WHERE mach_id IN ('m1','m2') AND value = 'idle'",
+            "SELECT A.mach_id FROM Routing R, Activity A \
+             WHERE R.mach_id = 'm1' AND A.value = 'idle' AND R.neighbor = A.mach_id",
+            "SELECT R2.mach_id FROM Routing R1, Routing R2, Activity A \
+             WHERE R1.neighbor = A.mach_id AND R2.neighbor = A.mach_id AND R1.mach_id = 'm1'",
+            "SELECT COUNT(*) FROM Routing R, Activity A",
+            "SELECT value, COUNT(*) AS n FROM Activity GROUP BY value ORDER BY value",
+            "SELECT DISTINCT value FROM Activity",
+            "SELECT mach_id FROM Activity ORDER BY event_time DESC LIMIT 2",
+            "SELECT mach_id FROM Activity WHERE 1 = 2",
+            "SELECT mach_id FROM Activity LIMIT 0",
+        ];
+        for sql in queries {
+            let serial = execute_sql(&txn, sql).unwrap();
+            for threads in [2, 8] {
+                for batch in [1, 2, 1024] {
+                    let opts = ExecOptions::default().with_parallelism(threads, batch);
+                    let parallel = execute_sql_with(&txn, sql, opts).unwrap();
+                    assert_eq!(
+                        serial.rows, parallel.rows,
+                        "{sql} diverged at threads={threads} batch={batch}"
+                    );
+                }
+            }
+        }
     }
 
     #[test]

@@ -10,6 +10,11 @@
 //! * **streaming operators** — each plan node becomes a pull-based
 //!   tuple stream; joins keep their inner side lazy so empty inputs
 //!   never touch downstream tables ([`operators`]);
+//! * **morsel-driven parallelism** — an `Exchange .. Gather` region
+//!   (present when [`ExecOptions::threads`] > 1) splits the driving
+//!   leaf into morsels for a scoped-thread worker pool and merges the
+//!   per-morsel batches back in morsel order, so parallel results are
+//!   byte-identical to serial ones;
 //! * **entry points** — parse/bind/plan/execute glue plus the
 //!   [`PlanInfo`] plan summary ([`executor`]);
 //! * **DML/DDL interpretation** for `INSERT`/`UPDATE`/`DELETE`/`CREATE`
@@ -20,12 +25,14 @@
 pub mod dml;
 pub mod executor;
 pub mod operators;
+mod parallel;
 pub mod result;
 
 pub use dml::{execute_statement, StatementResult};
 pub use executor::{
-    execute_select, execute_select_with, execute_sql, explain_select, install_explain_annotator,
-    install_plan_check, render_explain, ExplainAnnotator, PlanCheck, PlanInfo,
+    execute_select, execute_select_with, execute_sql, execute_sql_with, explain_select,
+    install_explain_annotator, install_plan_check, render_explain, ExplainAnnotator, PlanCheck,
+    PlanInfo,
 };
 pub use operators::execute_plan;
 pub use result::QueryResult;

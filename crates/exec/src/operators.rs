@@ -34,14 +34,14 @@ trait TupleStream {
 ///
 /// Evaluation errors count as "not true" (the tuple is filtered out),
 /// matching the historic filter semantics of the monolithic executor.
-fn passes(filter: &[trac_expr::BoundExpr], tuple: &[Row]) -> bool {
+pub(crate) fn passes(filter: &[trac_expr::BoundExpr], tuple: &[Row]) -> bool {
     filter
         .iter()
         .all(|c| matches!(eval_predicate(c, tuple), Ok(Truth::True)))
 }
 
 /// Reads the value `c` refers to out of a tuple.
-fn tuple_value(tuple: &[Row], c: trac_expr::ColRef) -> Result<Value> {
+pub(crate) fn tuple_value(tuple: &[Row], c: trac_expr::ColRef) -> Result<Value> {
     tuple
         .get(c.table)
         .and_then(|r| r.get(c.column))
@@ -52,7 +52,7 @@ fn tuple_value(tuple: &[Row], c: trac_expr::ColRef) -> Result<Value> {
 /// Fetches the filtered rows of a leaf ([`PlanNode::Scan`] or
 /// [`PlanNode::IndexLookup`]) in one batch. Join operators use this for
 /// their inner side; [`LeafStream`] uses it for the base table.
-fn fetch_leaf_rows(txn: &ReadTxn, node: &PlanNode) -> Result<Vec<Row>> {
+pub(crate) fn fetch_leaf_rows(txn: &ReadTxn, node: &PlanNode) -> Result<Vec<Row>> {
     let (pos, filter, raw) = match node {
         PlanNode::Scan {
             table, pos, filter, ..
@@ -306,6 +306,26 @@ impl TupleStream for SortStream<'_> {
     }
 }
 
+/// Top of a parallel region: runs the morsel-driven worker pool under
+/// its [`PlanNode::Gather`] on the first pull (so `LIMIT 0` and other
+/// never-pulled plans do no parallel work), then replays the gathered
+/// tuples in deterministic morsel order.
+struct GatherStream<'a> {
+    txn: &'a ReadTxn,
+    input: &'a PlanNode,
+    gathered: Option<std::vec::IntoIter<Tuple>>,
+}
+
+impl TupleStream for GatherStream<'_> {
+    fn next_tuple(&mut self) -> Result<Option<Tuple>> {
+        if self.gathered.is_none() {
+            self.gathered =
+                Some(crate::parallel::execute_gather(self.txn, self.input)?.into_iter());
+        }
+        Ok(self.gathered.as_mut().and_then(Iterator::next))
+    }
+}
+
 /// Builds the stream tree for the relational part of a plan.
 fn build_stream<'a>(txn: &'a ReadTxn, node: &'a PlanNode) -> Result<Box<dyn TupleStream + 'a>> {
     Ok(match node {
@@ -370,6 +390,11 @@ fn build_stream<'a>(txn: &'a ReadTxn, node: &'a PlanNode) -> Result<Box<dyn Tupl
             input: build_stream(txn, input)?,
             keys,
             sorted: None,
+        }),
+        PlanNode::Gather { input } => Box::new(GatherStream {
+            txn,
+            input,
+            gathered: None,
         }),
         other => {
             return Err(TracError::Execution(format!(

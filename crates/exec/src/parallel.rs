@@ -1,0 +1,436 @@
+//! Morsel-driven parallel execution of an `Exchange .. Gather` region.
+//!
+//! The planner brackets the relational tree of a parallel plan with
+//! [`PlanNode::Exchange`] (directly above the driving leaf) and
+//! [`PlanNode::Gather`] (directly above the last join/filter). This
+//! module interprets that region with a worker pool:
+//!
+//! 1. **Morselize** the driving leaf. A `Scan` splits the physical
+//!    version-slot space into fixed-size ranges
+//!    ([`ReadTxn::version_slot_count`] / [`ReadTxn::scan_slot_range`]);
+//!    an `IndexLookup` splits its posting lists into slot chunks
+//!    ([`ReadTxn::index_probe_in_chunks`] /
+//!    [`ReadTxn::rows_for_slots`]). Either way the flat concatenation
+//!    of morsels reproduces the serial leaf order exactly.
+//! 2. **Prebuild** shared join state once: a nested-loop inner side is
+//!    materialized up front, and a hash join's build side is
+//!    partitioned by `hash(key) % threads` with one build task per
+//!    partition — each task scans the full inner row list but inserts
+//!    only its own partition, so per-key row order matches the serial
+//!    single-threaded build.
+//! 3. **Fan out**: `threads` scoped workers pull morsel indexes from an
+//!    atomic counter, evaluate the whole operator spine over their
+//!    batch (leaf filter, joins, residual filters — in the same
+//!    outer-major expansion order as the serial streams), and park the
+//!    result in a per-morsel slot.
+//! 4. **Gather deterministically**: results concatenate in morsel index
+//!    order, which makes parallel output byte-identical to serial
+//!    output for every plan shape (ordered or not).
+//!
+//! One deliberate divergence from the serial operators: serial joins
+//! fetch their inner side lazily on the first outer tuple, while the
+//! parallel region prebuilds inner sides whenever the driving leaf has
+//! at least one morsel (an empty leaf still skips them).
+
+use crate::operators::{fetch_leaf_rows, passes, tuple_value, Tuple};
+use parking_lot::Mutex;
+use std::collections::HashMap;
+use std::hash::{Hash, Hasher};
+use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
+use trac_plan::PlanNode;
+use trac_storage::{ReadTxn, Row, RowSlot};
+use trac_types::{Result, TracError, Value};
+
+/// One unit of leaf work handed to a worker.
+enum Morsel {
+    /// A physical version-slot range of a `Scan` leaf.
+    SlotRange { lo: usize, hi: usize },
+    /// One chunk of an `IndexLookup` posting list.
+    IndexChunk(Vec<RowSlot>),
+}
+
+/// A spine operator with its shared (prebuilt) state.
+enum SpineOp<'a> {
+    /// Residual predicate over full tuples.
+    Filter {
+        predicate: &'a [trac_expr::BoundExpr],
+    },
+    /// Nested-loop join against a materialized inner side.
+    NL {
+        rows: Vec<Row>,
+        filter: &'a [trac_expr::BoundExpr],
+    },
+    /// Hash join against a partitioned build side.
+    Hash {
+        parts: Vec<HashMap<Value, Vec<Row>>>,
+        outer_key: trac_expr::ColRef,
+        filter: &'a [trac_expr::BoundExpr],
+    },
+    /// Index nested-loop join probing the inner index per outer tuple.
+    IndexNL {
+        table: &'a trac_expr::BoundTable,
+        inner_col: usize,
+        outer_key: trac_expr::ColRef,
+        filter: &'a [trac_expr::BoundExpr],
+    },
+}
+
+/// Which build-side partition a join key hashes into.
+fn partition_of(key: &Value, nparts: usize) -> usize {
+    let mut h = std::collections::hash_map::DefaultHasher::new();
+    key.hash(&mut h);
+    (h.finish() % nparts as u64) as usize
+}
+
+/// Executes the subtree under a [`PlanNode::Gather`] and returns the
+/// gathered tuples in deterministic (serial-identical) order.
+pub(crate) fn execute_gather(txn: &ReadTxn, input: &PlanNode) -> Result<Vec<Tuple>> {
+    // Walk the spine from the Gather input down to the Exchange,
+    // collecting the operators we must replay per morsel.
+    let mut spine: Vec<&PlanNode> = Vec::new();
+    let mut cur = input;
+    let (leaf, threads, batch) = loop {
+        match cur {
+            PlanNode::Filter { input, .. } => {
+                spine.push(cur);
+                cur = input;
+            }
+            PlanNode::NLJoin { outer, .. }
+            | PlanNode::HashJoin { outer, .. }
+            | PlanNode::IndexNLJoin { outer, .. } => {
+                spine.push(cur);
+                cur = outer;
+            }
+            PlanNode::Exchange {
+                input,
+                threads,
+                batch,
+            } => break (input.as_ref(), (*threads).max(1), (*batch).max(1)),
+            other => {
+                return Err(TracError::Execution(format!(
+                    "unexpected {} operator between Gather and Exchange",
+                    other.name()
+                )))
+            }
+        }
+    };
+    // Apply bottom-up: the operator nearest the Exchange runs first.
+    spine.reverse();
+
+    let morsels = morselize(txn, leaf, batch)?;
+    if morsels.is_empty() {
+        // An empty driving leaf produces nothing and — like the lazy
+        // serial streams — never touches inner join sides.
+        return Ok(Vec::new());
+    }
+
+    let ops = prebuild_spine(txn, &spine, threads)?;
+
+    // Worker pool: morsel indexes are claimed from a shared counter and
+    // results parked per-index so the gather can run in morsel order.
+    let next = AtomicUsize::new(0);
+    let abort = AtomicBool::new(false);
+    let slots: Vec<Mutex<Option<Result<Vec<Tuple>>>>> =
+        (0..morsels.len()).map(|_| Mutex::new(None)).collect();
+    let workers = threads.min(morsels.len());
+    std::thread::scope(|s| {
+        for _ in 0..workers {
+            s.spawn(|| loop {
+                if abort.load(Ordering::Relaxed) {
+                    return;
+                }
+                let i = next.fetch_add(1, Ordering::Relaxed);
+                let Some(morsel) = morsels.get(i) else {
+                    return;
+                };
+                let out = run_morsel(txn, leaf, morsel, &ops);
+                if out.is_err() {
+                    abort.store(true, Ordering::Relaxed);
+                }
+                *slots[i].lock() = Some(out);
+            });
+        }
+    });
+
+    // Deterministic merge: concatenate per-morsel batches in morsel
+    // index order; the lowest-index error (if any) wins.
+    let mut results: Vec<Option<Result<Vec<Tuple>>>> =
+        slots.into_iter().map(Mutex::into_inner).collect();
+    if let Some(err_at) = results.iter().position(|r| matches!(r, Some(Err(_)))) {
+        let Some(Err(e)) = results.swap_remove(err_at) else {
+            unreachable!("position() found an Err slot");
+        };
+        return Err(e);
+    }
+    let mut tuples = Vec::new();
+    for r in results {
+        match r {
+            Some(Ok(mut batch)) => tuples.append(&mut batch),
+            Some(Err(_)) => unreachable!("errors are returned above"),
+            None => {
+                return Err(TracError::Execution(
+                    "parallel worker aborted without reporting an error".into(),
+                ))
+            }
+        }
+    }
+    Ok(tuples)
+}
+
+/// Splits the driving leaf into morsels whose concatenation reproduces
+/// the serial leaf row order.
+fn morselize(txn: &ReadTxn, leaf: &PlanNode, batch: usize) -> Result<Vec<Morsel>> {
+    match leaf {
+        PlanNode::Scan { table, .. } => {
+            let total = txn.version_slot_count(table.id)?;
+            Ok((0..total)
+                .step_by(batch)
+                .map(|lo| Morsel::SlotRange {
+                    lo,
+                    hi: (lo + batch).min(total),
+                })
+                .collect())
+        }
+        PlanNode::IndexLookup {
+            table,
+            column,
+            keys,
+            ..
+        } => {
+            let chunks = txn
+                .index_probe_in_chunks(table.id, *column, keys, batch)?
+                .ok_or_else(|| TracError::Execution("index vanished mid-plan".into()))?;
+            Ok(chunks.into_iter().map(Morsel::IndexChunk).collect())
+        }
+        other => Err(TracError::Execution(format!(
+            "operator {} cannot drive an Exchange",
+            other.name()
+        ))),
+    }
+}
+
+/// Builds the shared per-operator state for the parallel region.
+fn prebuild_spine<'a>(
+    txn: &ReadTxn,
+    spine: &[&'a PlanNode],
+    threads: usize,
+) -> Result<Vec<SpineOp<'a>>> {
+    let mut ops = Vec::with_capacity(spine.len());
+    for node in spine {
+        ops.push(match node {
+            PlanNode::Filter { predicate, .. } => SpineOp::Filter { predicate },
+            PlanNode::NLJoin { inner, filter, .. } => SpineOp::NL {
+                rows: fetch_leaf_rows(txn, inner)?,
+                filter,
+            },
+            PlanNode::HashJoin {
+                inner,
+                inner_col,
+                outer_key,
+                filter,
+                ..
+            } => SpineOp::Hash {
+                parts: build_hash_partitions(fetch_leaf_rows(txn, inner)?, *inner_col, threads),
+                outer_key: *outer_key,
+                filter,
+            },
+            PlanNode::IndexNLJoin {
+                table,
+                inner_col,
+                outer_key,
+                filter,
+                ..
+            } => SpineOp::IndexNL {
+                table,
+                inner_col: *inner_col,
+                outer_key: *outer_key,
+                filter,
+            },
+            other => {
+                return Err(TracError::Execution(format!(
+                    "unexpected {} operator between Gather and Exchange",
+                    other.name()
+                )))
+            }
+        });
+    }
+    Ok(ops)
+}
+
+/// Partitioned parallel hash build: one task per partition, each
+/// scanning the full inner row list in order but inserting only rows
+/// whose key hashes into its partition. Per-key row order therefore
+/// matches a serial single-map build. NULL keys are never inserted
+/// (they can never match).
+fn build_hash_partitions(
+    rows: Vec<Row>,
+    inner_col: usize,
+    nparts: usize,
+) -> Vec<HashMap<Value, Vec<Row>>> {
+    let nparts = nparts.max(1);
+    if nparts == 1 {
+        let mut table: HashMap<Value, Vec<Row>> = HashMap::new();
+        for r in rows {
+            let k = r[inner_col].clone();
+            if !k.is_null() {
+                table.entry(k).or_default().push(r);
+            }
+        }
+        return vec![table];
+    }
+    let rows = &rows;
+    std::thread::scope(|s| {
+        let handles: Vec<_> = (0..nparts)
+            .map(|p| {
+                s.spawn(move || {
+                    let mut part: HashMap<Value, Vec<Row>> = HashMap::new();
+                    for r in rows {
+                        let k = &r[inner_col];
+                        if !k.is_null() && partition_of(k, nparts) == p {
+                            part.entry(k.clone()).or_default().push(r.clone());
+                        }
+                    }
+                    part
+                })
+            })
+            .collect();
+        handles
+            .into_iter()
+            .map(|h| h.join().expect("hash build worker panicked"))
+            .collect()
+    })
+}
+
+/// Evaluates one morsel through the whole spine, producing its ordered
+/// slice of the gathered output.
+fn run_morsel(
+    txn: &ReadTxn,
+    leaf: &PlanNode,
+    morsel: &Morsel,
+    ops: &[SpineOp<'_>],
+) -> Result<Vec<Tuple>> {
+    let (table_id, pos, filter) = match leaf {
+        PlanNode::Scan {
+            table, pos, filter, ..
+        }
+        | PlanNode::IndexLookup {
+            table, pos, filter, ..
+        } => (table.id, *pos, filter),
+        other => {
+            return Err(TracError::Execution(format!(
+                "operator {} cannot drive an Exchange",
+                other.name()
+            )))
+        }
+    };
+    let rows = match morsel {
+        Morsel::SlotRange { lo, hi } => txn.scan_slot_range(table_id, *lo, *hi)?,
+        Morsel::IndexChunk(slots) => txn.rows_for_slots(table_id, slots)?,
+    };
+    let mut batch: Vec<Tuple> = Vec::with_capacity(rows.len());
+    if filter.is_empty() {
+        for r in rows {
+            batch.push(leaf_tuple(pos, r));
+        }
+    } else {
+        let mut scratch: Vec<Row> =
+            vec![std::sync::Arc::from(Vec::new().into_boxed_slice()); pos + 1];
+        for r in rows {
+            scratch[pos] = r.clone();
+            if passes(filter, &scratch) {
+                batch.push(leaf_tuple(pos, r));
+            }
+        }
+    }
+    for op in ops {
+        if batch.is_empty() {
+            break;
+        }
+        batch = apply_op(txn, op, batch)?;
+    }
+    Ok(batch)
+}
+
+/// A single-slot leaf tuple with placeholder rows before `pos`.
+fn leaf_tuple(pos: usize, row: Row) -> Tuple {
+    let mut t: Tuple = vec![std::sync::Arc::from(Vec::new().into_boxed_slice()); pos];
+    t.push(row);
+    t
+}
+
+/// Extends `tuple` with each candidate row, keeping combinations that
+/// pass `filter` (the batch analogue of the serial join expansion).
+fn extend_tuples(
+    tuple: &[Row],
+    candidates: &[Row],
+    filter: &[trac_expr::BoundExpr],
+    out: &mut Vec<Tuple>,
+) {
+    for r in candidates {
+        let mut t = Vec::with_capacity(tuple.len() + 1);
+        t.extend(tuple.iter().cloned());
+        t.push(r.clone());
+        if passes(filter, &t) {
+            out.push(t);
+        }
+    }
+}
+
+/// Applies one spine operator to a whole morsel batch. Because every
+/// operator here is a flat-map in outer order, batch composition yields
+/// exactly the serial streaming order.
+fn apply_op(txn: &ReadTxn, op: &SpineOp<'_>, input: Vec<Tuple>) -> Result<Vec<Tuple>> {
+    Ok(match op {
+        SpineOp::Filter { predicate } => {
+            input.into_iter().filter(|t| passes(predicate, t)).collect()
+        }
+        SpineOp::NL { rows, filter } => {
+            let mut out = Vec::new();
+            for t in &input {
+                extend_tuples(t, rows, filter, &mut out);
+            }
+            out
+        }
+        SpineOp::Hash {
+            parts,
+            outer_key,
+            filter,
+        } => {
+            let mut out = Vec::new();
+            for t in &input {
+                let key = tuple_value(t, *outer_key)?;
+                if key.is_null() {
+                    continue;
+                }
+                if let Some(matches) = parts[partition_of(&key, parts.len())].get(&key) {
+                    extend_tuples(t, matches, filter, &mut out);
+                }
+            }
+            out
+        }
+        SpineOp::IndexNL {
+            table,
+            inner_col,
+            outer_key,
+            filter,
+        } => {
+            let mut out = Vec::new();
+            for t in &input {
+                let key = tuple_value(t, *outer_key)?;
+                if key.is_null() {
+                    continue;
+                }
+                let rows = txn
+                    .index_probe_in(table.id, *inner_col, std::slice::from_ref(&key))?
+                    .ok_or_else(|| {
+                        TracError::Execution(format!(
+                            "index on {}.col#{} vanished mid-plan",
+                            table.binding, inner_col
+                        ))
+                    })?;
+                extend_tuples(t, &rows, filter, &mut out);
+            }
+            out
+        }
+    })
+}

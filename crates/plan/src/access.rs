@@ -17,14 +17,36 @@ pub struct ExecOptions {
     pub enable_index_scan: bool,
     /// Allow hash joins (off ⇒ nested loops only).
     pub enable_hash_join: bool,
+    /// Worker threads for morsel-driven execution. `1` keeps plans and
+    /// execution strictly serial (no Exchange/Gather operators are
+    /// inserted); `> 1` parallelizes the relational tree.
+    pub threads: usize,
+    /// Morsel size in driving-leaf rows for parallel plans.
+    pub batch_size: usize,
 }
+
+/// Default morsel size: large enough to amortize per-morsel dispatch,
+/// small enough to load-balance skewed filters.
+pub const DEFAULT_BATCH_SIZE: usize = 1024;
 
 impl Default for ExecOptions {
     fn default() -> ExecOptions {
         ExecOptions {
             enable_index_scan: true,
             enable_hash_join: true,
+            threads: 1,
+            batch_size: DEFAULT_BATCH_SIZE,
         }
+    }
+}
+
+impl ExecOptions {
+    /// Returns a copy with the given parallelism knobs.
+    #[must_use]
+    pub fn with_parallelism(mut self, threads: usize, batch_size: usize) -> ExecOptions {
+        self.threads = threads.max(1);
+        self.batch_size = batch_size.max(1);
+        self
     }
 }
 

@@ -136,6 +136,29 @@ pub enum PlanNode {
         /// LIMIT applied to groups.
         limit: Option<u64>,
     },
+    /// Splits its input leaf into fixed-size morsels handed out to a
+    /// pool of worker threads. Always sits directly above the driving
+    /// leaf of the relational tree (the FROM-position-0 access) and is
+    /// always dominated by a matching [`PlanNode::Gather`].
+    Exchange {
+        /// The driving leaf whose rows are split into morsels; always a
+        /// [`PlanNode::Scan`] or [`PlanNode::IndexLookup`].
+        input: Box<PlanNode>,
+        /// Worker threads consuming morsels (> 1, or the planner would
+        /// not have inserted the operator).
+        threads: usize,
+        /// Morsel size in driving-leaf rows.
+        batch: usize,
+    },
+    /// Collects per-morsel result batches from the workers spawned by
+    /// the [`PlanNode::Exchange`] below and concatenates them in morsel
+    /// index order, so the output tuple order is byte-identical to the
+    /// serial plan's.
+    Gather {
+        /// Root of the parallel region (joins/filters over the
+        /// exchange-driven leaf).
+        input: Box<PlanNode>,
+    },
     /// Removes duplicate output rows (first occurrence wins).
     Distinct {
         /// Input operator.
@@ -161,6 +184,8 @@ impl PlanNode {
             PlanNode::NLJoin { .. } => "NLJoin",
             PlanNode::HashJoin { .. } => "HashJoin",
             PlanNode::IndexNLJoin { .. } => "IndexNLJoin",
+            PlanNode::Exchange { .. } => "Exchange",
+            PlanNode::Gather { .. } => "Gather",
             PlanNode::Filter { .. } => "Filter",
             PlanNode::Sort { .. } => "Sort",
             PlanNode::Project { .. } => "Project",
@@ -180,7 +205,31 @@ impl PlanNode {
                 vec![outer, inner]
             }
             PlanNode::IndexNLJoin { outer, .. } => vec![outer],
-            PlanNode::Filter { input, .. }
+            PlanNode::Exchange { input, .. }
+            | PlanNode::Gather { input }
+            | PlanNode::Filter { input, .. }
+            | PlanNode::Sort { input, .. }
+            | PlanNode::Project { input, .. }
+            | PlanNode::Aggregate { input, .. }
+            | PlanNode::Distinct { input }
+            | PlanNode::Limit { input, .. } => vec![input],
+        }
+    }
+
+    /// Child operators, outermost first, mutably (used by test
+    /// harnesses that apply surgical plan mutations).
+    pub fn children_mut(&mut self) -> Vec<&mut PlanNode> {
+        match self {
+            PlanNode::Empty { .. } | PlanNode::Scan { .. } | PlanNode::IndexLookup { .. } => {
+                Vec::new()
+            }
+            PlanNode::NLJoin { outer, inner, .. } | PlanNode::HashJoin { outer, inner, .. } => {
+                vec![outer, inner]
+            }
+            PlanNode::IndexNLJoin { outer, .. } => vec![outer],
+            PlanNode::Exchange { input, .. }
+            | PlanNode::Gather { input }
+            | PlanNode::Filter { input, .. }
             | PlanNode::Sort { input, .. }
             | PlanNode::Project { input, .. }
             | PlanNode::Aggregate { input, .. }
@@ -259,6 +308,10 @@ impl PlanNode {
                 table.binding,
                 filter_note(filter)
             ),
+            PlanNode::Exchange { threads, batch, .. } => {
+                format!("Exchange (threads={threads}, morsel={batch} rows)")
+            }
+            PlanNode::Gather { .. } => "Gather (morsel-ordered merge)".to_string(),
             PlanNode::Filter { predicate, .. } => {
                 format!("Filter ({} conjuncts)", predicate.len())
             }
@@ -303,6 +356,9 @@ impl PlanNode {
             | PlanNode::NLJoin { est_rows, .. }
             | PlanNode::HashJoin { est_rows, .. }
             | PlanNode::IndexNLJoin { est_rows, .. } => Some(*est_rows),
+            // Parallel decoration is row-preserving: the estimate of the
+            // region below passes through unchanged.
+            PlanNode::Exchange { input, .. } | PlanNode::Gather { input } => input.est_rows(),
             _ => None,
         }
     }
@@ -470,7 +526,9 @@ fn collect_steps(node: &PlanNode, out: &mut Vec<(String, String)>) {
                 format!("IndexNLJoin(col#{inner_col})"),
             ));
         }
-        PlanNode::Filter { input, .. }
+        PlanNode::Exchange { input, .. }
+        | PlanNode::Gather { input }
+        | PlanNode::Filter { input, .. }
         | PlanNode::Sort { input, .. }
         | PlanNode::Project { input, .. }
         | PlanNode::Aggregate { input, .. }

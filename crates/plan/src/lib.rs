@@ -17,7 +17,12 @@
 //! * **Shapers** — [`PlanNode::Filter`], [`PlanNode::Sort`],
 //!   [`PlanNode::Project`], [`PlanNode::Distinct`],
 //!   [`PlanNode::Limit`] and [`PlanNode::Aggregate`] post-process the
-//!   joined tuple stream into the final result.
+//!   joined tuple stream into the final result;
+//! * **Parallelism** — [`PlanNode::Exchange`] splits the driving leaf
+//!   into morsels for a worker pool and [`PlanNode::Gather`] merges the
+//!   per-morsel outputs back in morsel order. The pair is inserted only
+//!   when [`ExecOptions::threads`] > 1, so serial plans are
+//!   byte-identical to previous releases.
 //!
 //! Plans carry per-operator estimated row counts (taken from the
 //! snapshot the planner saw) purely as EXPLAIN annotations — they never
@@ -31,6 +36,8 @@ mod access;
 mod ir;
 mod lower;
 
-pub use access::{choose_access_path, probe_candidate, AccessPath, ExecOptions};
+pub use access::{
+    choose_access_path, probe_candidate, AccessPath, ExecOptions, DEFAULT_BATCH_SIZE,
+};
 pub use ir::{PhysicalPlan, PlanNode};
 pub use lower::{equi_key, plan_select, split_and};

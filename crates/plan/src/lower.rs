@@ -107,6 +107,12 @@ pub fn plan_select(txn: &ReadTxn, q: &BoundSelect, opts: ExecOptions) -> Result<
             pending.push(Some(c));
         }
     }
+    // Parallel lowering: with `threads > 1` the driving leaf is wrapped
+    // in an Exchange (morsel distribution) and the finished relational
+    // tree in a Gather (morsel-ordered merge), keeping results
+    // byte-identical to the serial plan. Statically-empty plans have
+    // nothing to parallelize.
+    let parallel = opts.threads > 1 && !q.tables.is_empty() && !trivially_empty;
     let mut root = if trivially_empty {
         PlanNode::Empty {
             bindings: q.tables.iter().map(|t| t.binding.clone()).collect(),
@@ -142,7 +148,15 @@ pub fn plan_select(txn: &ReadTxn, q: &BoundSelect, opts: ExecOptions) -> Result<
             let Some(outer) = tree else {
                 // First table: the leaf is the tree. `applicable` here is
                 // exactly the single-table conjuncts, already in the leaf.
-                tree = Some(make_leaf(txn, bt, pos, access, table_conjuncts));
+                let mut leaf = make_leaf(txn, bt, pos, access, table_conjuncts);
+                if parallel {
+                    leaf = PlanNode::Exchange {
+                        input: Box::new(leaf),
+                        threads: opts.threads,
+                        batch: opts.batch_size.max(1),
+                    };
+                }
+                tree = Some(leaf);
                 continue;
             };
             let outer_est = outer.est_rows().unwrap_or(0);
@@ -194,6 +208,11 @@ pub fn plan_select(txn: &ReadTxn, q: &BoundSelect, opts: ExecOptions) -> Result<
         root = PlanNode::Filter {
             input: Box::new(root),
             predicate: leftover,
+        };
+    }
+    if parallel {
+        root = PlanNode::Gather {
+            input: Box::new(root),
         };
     }
     // 5. Shape the output: aggregation absorbs HAVING/ORDER BY/LIMIT
@@ -323,12 +342,14 @@ mod tests {
         let no_index = ExecOptions {
             enable_index_scan: false,
             enable_hash_join: true,
+            ..Default::default()
         };
         let p = plan(&db, sql, no_index);
         assert_eq!(p.operator_counts()["HashJoin"], 1);
         let nested_only = ExecOptions {
             enable_index_scan: false,
             enable_hash_join: false,
+            ..Default::default()
         };
         let p = plan(&db, sql, nested_only);
         assert_eq!(p.operator_counts()["NLJoin"], 1);
@@ -378,6 +399,66 @@ mod tests {
         let rendered = p.render();
         assert!(rendered.starts_with("Limit (3)"), "{rendered}");
         assert!(rendered.contains("est 2 rows"), "{rendered}");
+    }
+
+    #[test]
+    fn parallel_lowering_wraps_exchange_and_gather() {
+        let db = setup();
+        let sql = "SELECT value FROM activity WHERE mach_id = 'm1'";
+        let p = plan(&db, sql, ExecOptions::default().with_parallelism(4, 256));
+        let PlanNode::Project { input, .. } = &p.root else {
+            panic!("expected Project root: {:?}", p.root);
+        };
+        let PlanNode::Gather { input } = input.as_ref() else {
+            panic!("expected Gather below Project: {input:?}");
+        };
+        let PlanNode::Exchange {
+            input,
+            threads: 4,
+            batch: 256,
+        } = input.as_ref()
+        else {
+            panic!("expected Exchange(threads=4, batch=256): {input:?}");
+        };
+        assert!(matches!(input.as_ref(), PlanNode::IndexLookup { .. }));
+        // Serial options keep serial plan shapes byte-identical.
+        let p = plan(&db, sql, ExecOptions::default());
+        assert!(!p.operator_counts().contains_key("Gather"));
+        assert!(!p.operator_counts().contains_key("Exchange"));
+    }
+
+    #[test]
+    fn parallel_join_keeps_inner_leaves_outside_exchange() {
+        let db = setup();
+        let p = plan(
+            &db,
+            "SELECT A.mach_id FROM Routing R, Activity A WHERE R.neighbor = A.mach_id",
+            ExecOptions::default().with_parallelism(2, 128),
+        );
+        let PlanNode::Project { input, .. } = &p.root else {
+            panic!("expected Project root");
+        };
+        let PlanNode::Gather { input } = input.as_ref() else {
+            panic!("expected Gather below Project: {input:?}");
+        };
+        // The join sits inside the parallel region; only the driving
+        // leaf is exchange-wrapped.
+        let PlanNode::IndexNLJoin { outer, .. } = input.as_ref() else {
+            panic!("expected IndexNLJoin region root: {input:?}");
+        };
+        assert!(matches!(outer.as_ref(), PlanNode::Exchange { .. }));
+    }
+
+    #[test]
+    fn constant_false_parallel_plan_stays_empty() {
+        let db = setup();
+        let p = plan(
+            &db,
+            "SELECT mach_id FROM activity WHERE 1 = 2",
+            ExecOptions::default().with_parallelism(8, 64),
+        );
+        assert!(!p.operator_counts().contains_key("Gather"));
+        assert_eq!(p.operator_counts()["Empty"], 1);
     }
 
     #[test]

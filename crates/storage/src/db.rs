@@ -33,6 +33,12 @@ struct DbState {
     txns: Arc<TxnManager>,
     data: RwLock<DbInner>,
     next_session: AtomicU64,
+    /// Bumped on every heartbeat upsert (including the one inside
+    /// `ingest`). Cached recency analyses are invalidated when this
+    /// moves; bumping at upsert time rather than commit time is
+    /// conservative (an aborted heartbeat still invalidates), which is
+    /// the sound direction for a cache.
+    heartbeat_epoch: AtomicU64,
 }
 
 /// An embedded multi-versioned database.
@@ -59,6 +65,7 @@ impl Database {
                     catalog: Catalog::new(),
                 }),
                 next_session: AtomicU64::new(1),
+                heartbeat_epoch: AtomicU64::new(0),
             }),
         };
         db.create_table(heartbeat::heartbeat_schema())
@@ -71,6 +78,13 @@ impl Database {
     /// The shared transaction manager.
     pub fn txn_manager(&self) -> &Arc<TxnManager> {
         &self.state.txns
+    }
+
+    /// Current heartbeat epoch: a counter bumped on every heartbeat
+    /// upsert. Callers caching heartbeat-derived state (e.g. prepared
+    /// recency plans) compare epochs to decide whether to invalidate.
+    pub fn heartbeat_epoch(&self) -> u64 {
+        self.state.heartbeat_epoch.load(AtomicOrdering::Acquire)
     }
 
     /// Creates a permanent table.
@@ -436,6 +450,85 @@ impl ReadTxn {
             .table
             .visible_at(slot, &self.snapshot, self.own))
     }
+
+    /// Heartbeat epoch observed through this transaction's database.
+    /// See [`Database::heartbeat_epoch`].
+    pub fn heartbeat_epoch(&self) -> u64 {
+        self.state.heartbeat_epoch.load(AtomicOrdering::Acquire)
+    }
+
+    /// Number of physical version slots in `tid` (an upper bound on the
+    /// slot space, not the visible row count). Morsel-driven scans
+    /// partition `0..version_slot_count` into ranges; each worker then
+    /// applies MVCC visibility per slot via [`ReadTxn::scan_slot_range`].
+    pub fn version_slot_count(&self, tid: TableId) -> Result<usize> {
+        let inner = self.state.data.read();
+        Ok(store(&inner, tid)?.table.version_count())
+    }
+
+    /// Visible rows among the physical slots `lo..hi`, in slot order.
+    /// Concatenating consecutive ranges reproduces [`ReadTxn::scan`]
+    /// exactly, so morsel-ordered merges stay byte-identical to a
+    /// serial scan. Each call takes its own shared read latch, so
+    /// parallel workers never serialize on the table.
+    pub fn scan_slot_range(&self, tid: TableId, lo: usize, hi: usize) -> Result<Vec<Row>> {
+        let inner = self.state.data.read();
+        let st = store(&inner, tid)?;
+        let hi = hi.min(st.table.version_count());
+        let mut out = Vec::new();
+        for slot in lo..hi {
+            if let Some(row) = st.table.visible_at(RowSlot(slot), &self.snapshot, self.own) {
+                out.push(row);
+            }
+        }
+        Ok(out)
+    }
+
+    /// Resolves the visible rows for an explicit slot list (one index
+    /// morsel), preserving slot-list order.
+    pub fn rows_for_slots(&self, tid: TableId, slots: &[RowSlot]) -> Result<Vec<Row>> {
+        let inner = self.state.data.read();
+        let st = store(&inner, tid)?;
+        let mut out = Vec::with_capacity(slots.len());
+        for &slot in slots {
+            if let Some(row) = st.table.visible_at(slot, &self.snapshot, self.own) {
+                out.push(row);
+            }
+        }
+        Ok(out)
+    }
+
+    /// Index `IN` probe split into morsel-sized slot chunks: the flat
+    /// chunk concatenation equals the slot order of
+    /// [`ReadTxn::index_probe_in`] (keys in the given order, each key's
+    /// postings in index order). Chunks never span a key boundary —
+    /// they come from the per-key range cursor
+    /// ([`crate::index::Index::probe_range_chunks`]) so the full posting list
+    /// is never materialized in one allocation. Returns `None` when no
+    /// index exists on `column`. Visibility is *not* checked here;
+    /// workers resolve each chunk via [`ReadTxn::rows_for_slots`].
+    pub fn index_probe_in_chunks(
+        &self,
+        tid: TableId,
+        column: usize,
+        keys: &[Value],
+        chunk: usize,
+    ) -> Result<Option<Vec<Vec<RowSlot>>>> {
+        let inner = self.state.data.read();
+        let st = store(&inner, tid)?;
+        let Some(idx) = st.indexes.iter().find(|i| i.column == column) else {
+            return Ok(None);
+        };
+        let mut chunks = Vec::new();
+        for key in keys {
+            chunks.extend(idx.probe_range_chunks(
+                Bound::Included(key),
+                Bound::Included(key),
+                chunk,
+            ));
+        }
+        Ok(Some(chunks))
+    }
 }
 
 fn store(inner: &DbInner, tid: TableId) -> Result<&Stored> {
@@ -552,7 +645,12 @@ impl WriteTxn {
     /// Advances `source`'s recency timestamp monotonically (an explicit
     /// "nothing to report" beacon, Section 3.1).
     pub fn heartbeat(&self, source: &SourceId, ts: Timestamp) -> Result<()> {
-        heartbeat::upsert(self, source, ts)
+        heartbeat::upsert(self, source, ts)?;
+        self.read
+            .state
+            .heartbeat_epoch
+            .fetch_add(1, AtomicOrdering::Release);
+        Ok(())
     }
 
     /// Commits; all effects become visible to later snapshots.
@@ -898,6 +996,78 @@ mod tests {
         w.abort();
         let stats = db.vacuum().unwrap();
         assert_eq!(stats.versions_removed, 1, "aborted insert reclaimed");
+    }
+
+    #[test]
+    fn scan_slot_ranges_concatenate_to_full_scan() {
+        let db = Database::new();
+        let tid = activity(&db);
+        db.with_write(|w| {
+            for s in 0..25 {
+                w.insert(tid, act_row(&format!("m{}", s % 3 + 1), "idle", s))?;
+            }
+            Ok(())
+        })
+        .unwrap();
+        // Delete a few rows so some slots are invisible.
+        let slots: Vec<_> = db.begin_read().scan_slots(tid).unwrap();
+        db.with_write(|w| {
+            w.delete(tid, slots[3].0)?;
+            w.delete(tid, slots[17].0)
+        })
+        .unwrap();
+        let r = db.begin_read();
+        let total = r.version_slot_count(tid).unwrap();
+        assert_eq!(total, 25);
+        let mut pieces = Vec::new();
+        for lo in (0..total + 7).step_by(7) {
+            pieces.extend(r.scan_slot_range(tid, lo, lo + 7).unwrap());
+        }
+        assert_eq!(pieces, r.scan(tid).unwrap());
+    }
+
+    #[test]
+    fn index_probe_chunks_match_flat_probe() {
+        let db = Database::new();
+        let tid = activity(&db);
+        db.create_index("activity", "mach_id").unwrap();
+        db.with_write(|w| {
+            for s in 0..30 {
+                w.insert(tid, act_row(&format!("m{}", s % 3 + 1), "idle", s))?;
+            }
+            Ok(())
+        })
+        .unwrap();
+        let r = db.begin_read();
+        let keys = [Value::text("m3"), Value::text("m1")];
+        let chunks = r.index_probe_in_chunks(tid, 0, &keys, 4).unwrap().unwrap();
+        assert!(chunks.iter().all(|c| c.len() <= 4 && !c.is_empty()));
+        let mut rows = Vec::new();
+        for chunk in &chunks {
+            rows.extend(r.rows_for_slots(tid, chunk).unwrap());
+        }
+        assert_eq!(rows, r.index_probe_in(tid, 0, &keys).unwrap().unwrap());
+        // Unindexed column reports no index, same as the flat probe.
+        assert!(r.index_probe_in_chunks(tid, 1, &keys, 4).unwrap().is_none());
+    }
+
+    #[test]
+    fn heartbeat_epoch_advances_on_upserts_only() {
+        let db = Database::new();
+        let tid = activity(&db);
+        let e0 = db.heartbeat_epoch();
+        db.with_write(|w| w.insert(tid, act_row("m1", "idle", 1)))
+            .unwrap();
+        assert_eq!(db.heartbeat_epoch(), e0, "plain insert leaves epoch");
+        let m1 = SourceId::new("m1");
+        db.with_write(|w| w.heartbeat(&m1, Timestamp::from_secs(5)))
+            .unwrap();
+        assert!(db.heartbeat_epoch() > e0);
+        let e1 = db.heartbeat_epoch();
+        db.with_write(|w| w.ingest(&m1, tid, act_row("m1", "busy", 9), Timestamp::from_secs(9)))
+            .unwrap();
+        assert!(db.heartbeat_epoch() > e1, "ingest heartbeats too");
+        assert_eq!(db.begin_read().heartbeat_epoch(), db.heartbeat_epoch());
     }
 
     #[test]

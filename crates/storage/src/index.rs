@@ -77,6 +77,25 @@ impl Index {
             .range::<Value, _>((lo, hi))
             .flat_map(|(_, slots)| slots.iter().copied())
     }
+
+    /// Range probe in morsel-sized chunks: like [`Index::probe_range`]
+    /// but grouped into `Vec`s of at most `chunk` slots, produced
+    /// lazily from the underlying B-tree cursor. Parallel `IndexLookup`
+    /// uses this to hand out work units without first materializing the
+    /// full posting list.
+    pub fn probe_range_chunks<'a>(
+        &'a self,
+        lo: Bound<&'a Value>,
+        hi: Bound<&'a Value>,
+        chunk: usize,
+    ) -> impl Iterator<Item = Vec<RowSlot>> + 'a {
+        let chunk = chunk.max(1);
+        let mut slots = self.probe_range(lo, hi).peekable();
+        std::iter::from_fn(move || {
+            slots.peek()?;
+            Some(slots.by_ref().take(chunk).collect())
+        })
+    }
 }
 
 #[cfg(test)]
@@ -128,5 +147,36 @@ mod tests {
             .probe_range(Bound::Unbounded, Bound::Included(&Value::Int(1)))
             .collect();
         assert_eq!(unbounded, vec![RowSlot(0), RowSlot(1)]);
+    }
+
+    #[test]
+    fn range_probe_chunks() {
+        let mut i = Index::new(0);
+        for n in 0..10 {
+            i.insert(&Value::Int(n), RowSlot(n as usize));
+        }
+        let chunks: Vec<_> = i
+            .probe_range_chunks(Bound::Unbounded, Bound::Unbounded, 4)
+            .collect();
+        assert_eq!(chunks.len(), 3);
+        assert_eq!(chunks[0], (0..4).map(RowSlot).collect::<Vec<_>>());
+        assert_eq!(chunks[1], (4..8).map(RowSlot).collect::<Vec<_>>());
+        assert_eq!(chunks[2], (8..10).map(RowSlot).collect::<Vec<_>>());
+        // Chunk order concatenates back to the flat probe order.
+        let flat: Vec<_> = i.probe_range(Bound::Unbounded, Bound::Unbounded).collect();
+        assert_eq!(chunks.concat(), flat);
+        // A zero chunk size is clamped rather than looping forever.
+        assert_eq!(
+            i.probe_range_chunks(Bound::Unbounded, Bound::Unbounded, 0)
+                .count(),
+            10
+        );
+        // Empty ranges produce no chunks.
+        let lo = Value::Int(50);
+        assert_eq!(
+            i.probe_range_chunks(Bound::Included(&lo), Bound::Unbounded, 4)
+                .count(),
+            0
+        );
     }
 }

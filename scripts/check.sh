@@ -17,6 +17,32 @@ RUSTDOCFLAGS="-D warnings" cargo doc --no-deps --workspace
 echo "==> cargo test --workspace"
 cargo test --workspace -q
 
+echo "==> differential suite, single-threaded test runner (ordering flakes)"
+# The parallel-vs-serial differential asserts byte-identical rows; run it
+# once with a serialized test runner so a scheduling-dependent flake
+# cannot hide behind concurrent test execution.
+cargo test -q --test differential -- --test-threads=1
+
+echo "==> figure1 smoke at --threads 4 (tiny config)"
+# Exercises the morsel-driven parallel path end to end (Exchange/Gather
+# lowering, plan certification, JSON emission) at a scale CI can afford.
+BENCH_SMOKE_DIR="$(mktemp -d)"
+cargo run --release -q -p trac-bench --bin figure1 -- \
+  --total-rows 2000 --max-sources 100 --runs 2 --warmup 1 \
+  --threads 4 --batch-size 64 --json-out "$BENCH_SMOKE_DIR/BENCH_figure1.json"
+cargo run --release -q -p trac-bench --bin figure2 -- \
+  --total-rows 2000 --max-sources 100 --runs 2 --warmup 1 \
+  --threads 4 --batch-size 64 --json-out "$BENCH_SMOKE_DIR/BENCH_figure2.json"
+
+echo "==> BENCH_*.json schema vs committed scripts/bench_schema.json"
+# The perf-trajectory files are diffed across commits; their key-path
+# schema is a reviewed contract, not an implementation detail.
+cargo run --release -q -p trac-bench --bin bench_schema -- \
+  "$BENCH_SMOKE_DIR/BENCH_figure1.json" "$BENCH_SMOKE_DIR/BENCH_figure2.json" \
+  | diff -u scripts/bench_schema.json - \
+  || { echo "bench JSON schema diverged from scripts/bench_schema.json"; exit 1; }
+rm -rf "$BENCH_SMOKE_DIR"
+
 echo "==> trac-analyze (soundness audit of sample workloads, incl. planned recency subqueries)"
 cargo run --release -p trac-analyze --bin trac-analyze
 

@@ -6,14 +6,19 @@
 #   - fpr table                -> results_fpr.txt
 #   - ablations                -> results_ablation.txt
 #
-# Usage: scripts/reproduce.sh [TOTAL_ROWS] [RUNS]
+# Usage: scripts/reproduce.sh [TOTAL_ROWS] [RUNS] [THREADS]
 #   TOTAL_ROWS defaults to 1000000 (paper scale: 10000000)
 #   RUNS       defaults to 3       (paper: 10 after 1 warmup)
+#   THREADS    defaults to 1       (serial; see DESIGN.md §4d)
+#
+# figure1/figure2 additionally refresh the committed perf trajectory
+# (BENCH_figure1.json / BENCH_figure2.json at the repo root).
 set -euo pipefail
 cd "$(dirname "$0")/.."
 
 TOTAL_ROWS="${1:-1000000}"
 RUNS="${2:-3}"
+THREADS="${3:-1}"
 
 echo "== tests"
 cargo test --workspace 2>&1 | tee test_output.txt | tail -3
@@ -21,13 +26,15 @@ cargo test --workspace 2>&1 | tee test_output.txt | tail -3
 echo "== criterion benches"
 cargo bench --workspace 2>&1 | tee bench_output.txt | grep -c 'time:' || true
 
-echo "== figure 1 (total_rows=$TOTAL_ROWS, runs=$RUNS)"
+echo "== figure 1 (total_rows=$TOTAL_ROWS, runs=$RUNS, threads=$THREADS)"
 cargo run --release -p trac-bench --bin figure1 -- \
-  --total-rows "$TOTAL_ROWS" --runs "$RUNS" | tee results_figure1.txt
+  --total-rows "$TOTAL_ROWS" --runs "$RUNS" --threads "$THREADS" \
+  | tee results_figure1.txt
 
 echo "== figure 2"
 cargo run --release -p trac-bench --bin figure2 -- \
-  --total-rows "$TOTAL_ROWS" --runs "$RUNS" | tee results_figure2.txt
+  --total-rows "$TOTAL_ROWS" --runs "$RUNS" --threads "$THREADS" \
+  | tee results_figure2.txt
 
 echo "== fpr table (exact, oracle-feasible scale)"
 cargo run --release -p trac-bench --bin fpr_table -- \

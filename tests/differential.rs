@@ -12,9 +12,18 @@
 //! Every generated plan is additionally certified by the translation
 //! validator: the planner must never emit a plan the abstract-domain
 //! dataflow walk cannot prove faithful to the bound query.
+//!
+//! On top of the serial differential, every generated query re-runs
+//! under the morsel-driven parallel path at `threads ∈ {2, 8}` (the
+//! serial `threads = 1` result being the baseline) with a morsel size
+//! small enough to split even these tiny tables. The parallel rows must
+//! be **byte-identical** to the serial rows — not merely multiset-equal
+//! — because `Gather` merges morsel outputs in morsel-index order; this
+//! covers ordered plans (where byte-identity is semantically required)
+//! and exceeds the multiset requirement for unordered ones.
 
 use proptest::prelude::*;
-use trac::exec::{execute_select, execute_statement};
+use trac::exec::{execute_select, execute_select_with, execute_statement};
 use trac::expr::{bind_select, eval_expr, eval_predicate, BoundSelect, Projection, Truth};
 use trac::sql::parse_select;
 use trac::storage::{Database, ReadTxn, Row};
@@ -242,10 +251,27 @@ proptest! {
                 .join("\n"),
             plan.render()
         );
+        let serial = execute_select(&txn, &bound).unwrap().rows;
         let mut expected = reference_eval(&txn, &bound);
-        let mut got = execute_select(&txn, &bound).unwrap().rows;
+        let mut got = serial.clone();
         expected.sort();
         got.sort();
         prop_assert_eq!(expected, got, "reference and streaming executor disagree for {}", &sql);
+        // Parallel differential: byte-identical to the serial rows under
+        // every thread count, for both a splitting and a default morsel.
+        for threads in [2usize, 8] {
+            for batch in [2usize, 1024] {
+                let opts = trac::plan::ExecOptions::default().with_parallelism(threads, batch);
+                let parallel = execute_select_with(&txn, &bound, opts).unwrap().0.rows;
+                prop_assert_eq!(
+                    &serial,
+                    &parallel,
+                    "parallel (threads={}, batch={}) diverges from serial for {}",
+                    threads,
+                    batch,
+                    &sql
+                );
+            }
+        }
     }
 }

@@ -86,10 +86,16 @@ proptest! {
         let txn = db.begin_read();
         let bound = bind_select(&txn, &parse_select(&sql).unwrap()).unwrap();
         let configs = [
-            ExecOptions { enable_index_scan: true, enable_hash_join: true },
-            ExecOptions { enable_index_scan: true, enable_hash_join: false },
-            ExecOptions { enable_index_scan: false, enable_hash_join: true },
-            ExecOptions { enable_index_scan: false, enable_hash_join: false },
+            ExecOptions { enable_index_scan: true, enable_hash_join: true, ..Default::default() },
+            ExecOptions { enable_index_scan: true, enable_hash_join: false, ..Default::default() },
+            ExecOptions { enable_index_scan: false, enable_hash_join: true, ..Default::default() },
+            ExecOptions { enable_index_scan: false, enable_hash_join: false, ..Default::default() },
+            // The same four join/access configs again, parallelized: the
+            // morsel-driven path must agree with every serial plan shape.
+            ExecOptions { enable_index_scan: true, enable_hash_join: true, ..Default::default() }
+                .with_parallelism(4, 2),
+            ExecOptions { enable_index_scan: false, enable_hash_join: false, ..Default::default() }
+                .with_parallelism(4, 2),
         ];
         let mut last: Option<Vec<Vec<Value>>> = None;
         for opts in configs {

@@ -16,12 +16,14 @@ use trac::workload::{
 use trac_analyze::{PAPER_SAMPLE_QUERIES, SECTION42_SAMPLE_QUERIES};
 
 /// One line per query: `name | guarantee | columns | rows`.
-fn snapshot_line(db: &Database, name: &str, sql: &str) -> String {
+fn snapshot_line(db: &Database, name: &str, sql: &str, opts: trac::plan::ExecOptions) -> String {
     let txn = db.begin_read();
     let stmt = parse_select(sql).expect(name);
     let bound = bind_select(&txn, &stmt).expect(name);
     let plan = RecencyPlan::build(&txn, &bound, RelevanceConfig::default()).expect(name);
-    let result = trac::exec::execute_select(&txn, &bound).expect(name);
+    let result = trac::exec::execute_select_with(&txn, &bound, opts)
+        .expect(name)
+        .0;
     format!(
         "{name} | {} | {} | {:?}",
         plan.guarantee,
@@ -30,20 +32,20 @@ fn snapshot_line(db: &Database, name: &str, sql: &str) -> String {
     )
 }
 
-fn actual_snapshot() -> Vec<String> {
+fn actual_snapshot(opts: trac::plan::ExecOptions) -> Vec<String> {
     let mut lines = Vec::new();
     let paper = load_paper_tables().expect("paper tables");
     for (name, sql) in PAPER_SAMPLE_QUERIES {
-        lines.push(snapshot_line(&paper.db, name, sql));
+        lines.push(snapshot_line(&paper.db, name, sql, opts));
     }
     let s42 = load_section_42_tables(&["myScheduler", "mx", "my"]).expect("section 4.2 tables");
     for (name, sql) in SECTION42_SAMPLE_QUERIES {
-        lines.push(snapshot_line(&s42.db, name, sql));
+        lines.push(snapshot_line(&s42.db, name, sql, opts));
     }
     // Same fixture scale the analyzer sweep uses.
     let eval = load_eval_db(&EvalConfig::new(200, 20)).expect("eval db");
     for (name, sql) in PAPER_QUERIES {
-        lines.push(snapshot_line(&eval.db, &format!("eval/{name}"), sql));
+        lines.push(snapshot_line(&eval.db, &format!("eval/{name}"), sql, opts));
     }
     lines
 }
@@ -65,7 +67,21 @@ eval/Q4 | upper bound | count | [[Int(74)]]";
 
 #[test]
 fn workload_queries_are_byte_identical_to_pre_refactor_snapshot() {
-    assert_eq!(actual_snapshot().join("\n"), EXPECTED);
+    assert_eq!(
+        actual_snapshot(trac::plan::ExecOptions::default()).join("\n"),
+        EXPECTED
+    );
+}
+
+/// The morsel-driven parallel path must reproduce the identical
+/// snapshot: `Gather`'s deterministic morsel-order merge makes parallel
+/// execution byte-identical to serial, even at 8 workers over these
+/// small fixtures (every query then runs with more workers than
+/// morsels, exercising the worker-clamping path too).
+#[test]
+fn workload_snapshot_is_byte_identical_at_threads_8() {
+    let opts = trac::plan::ExecOptions::default().with_parallelism(8, 16);
+    assert_eq!(actual_snapshot(opts).join("\n"), EXPECTED);
 }
 
 /// `paper/refined` reaches its Minimum guarantee (pinned above) through
