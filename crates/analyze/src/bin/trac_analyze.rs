@@ -1,30 +1,45 @@
 //! `trac-analyze` — audit recency plans for soundness violations.
 //!
 //! ```text
-//! trac-analyze [--explain] [--validate] [--verbose] [--format text|json]
-//!              [--dnf-budget N]
+//! trac-analyze [--explain] [--validate] [--concurrency] [--verbose]
+//!              [--format text|json] [--dnf-budget N]
 //! ```
 //!
 //! Runs the analyzer passes over every sample workload (the paper
 //! fixture, the Section 4.2 fixture, and the Section 5.2 evaluation
-//! queries) and renders any findings in compiler style, or as a JSON
-//! report with `--format json`. Exits nonzero when any error-severity
-//! diagnostic is found, so CI can gate on it.
+//! queries) plus the crate-level concurrency certification
+//! (`TRAC016`..`TRAC020`), and renders any findings in compiler style,
+//! or as a JSON report with `--format json`. `--concurrency` restricts
+//! the run to the concurrency certification alone.
+//!
+//! Exit codes: `0` — sound; `1` — at least one error-severity
+//! diagnostic (an unsound plan or audit); `2` — usage error; `3` — the
+//! analyzer itself failed (could not build the sample workloads).
 
 use std::process::ExitCode;
-use trac_analyze::{analyze_samples, annotated_samples, AnalyzerConfig, Severity, ALL_CODES};
+use trac_analyze::{
+    analyze_concurrency, analyze_samples, annotated_samples, AnalyzerConfig, Severity, ALL_CODES,
+};
+
+/// The analyzer found at least one error-severity diagnostic.
+const EXIT_UNSOUND: u8 = 1;
+/// The analyzer itself failed (workload construction, planning).
+const EXIT_INTERNAL: u8 = 3;
 
 fn usage() -> ! {
     eprintln!(
-        "usage: trac-analyze [--explain] [--validate] [--verbose] \
+        "usage: trac-analyze [--explain] [--validate] [--concurrency] [--verbose] \
          [--format text|json] [--dnf-budget N]\n\
          \n\
-         --explain       list all diagnostic codes (TRAC001..TRAC015) and exit\n\
+         --explain       list all diagnostic codes (TRAC001..TRAC020) and exit\n\
          --validate      print every sample plan annotated with certified\n\
          \u{20}                dataflow facts, then run the sweep\n\
+         --concurrency   run only the concurrency certification (TRAC016..TRAC020)\n\
          --verbose       also print clean queries and non-error findings' renders\n\
          --format FMT    output format: text (default) or json\n\
-         --dnf-budget N  DNF term budget (default: the planner's)"
+         --dnf-budget N  DNF term budget (default: the planner's)\n\
+         \n\
+         exit codes: 0 sound, 1 unsound plan/audit, 2 usage, 3 internal error"
     );
     std::process::exit(2);
 }
@@ -50,6 +65,7 @@ fn main() -> ExitCode {
     let mut cfg = AnalyzerConfig::default();
     let mut verbose = false;
     let mut validate = false;
+    let mut concurrency_only = false;
     let mut json = false;
     let mut args = std::env::args().skip(1);
     while let Some(arg) = args.next() {
@@ -61,6 +77,7 @@ fn main() -> ExitCode {
                 return ExitCode::SUCCESS;
             }
             "--validate" => validate = true,
+            "--concurrency" => concurrency_only = true,
             "--verbose" | "-v" => verbose = true,
             "--format" => match args.next().as_deref() {
                 Some("text") => json = false,
@@ -89,29 +106,41 @@ fn main() -> ExitCode {
             }
             Err(e) => {
                 eprintln!("trac-analyze: failed to lower sample plans: {e}");
-                return ExitCode::FAILURE;
+                return ExitCode::from(EXIT_INTERNAL);
             }
         }
     }
 
-    let analyses = match analyze_samples(cfg) {
-        Ok(a) => a,
+    let analyses = if concurrency_only {
+        Vec::new()
+    } else {
+        match analyze_samples(cfg) {
+            Ok(a) => a,
+            Err(e) => {
+                eprintln!("trac-analyze: failed to build sample workloads: {e}");
+                return ExitCode::from(EXIT_INTERNAL);
+            }
+        }
+    };
+    let concurrency = match analyze_concurrency() {
+        Ok(d) => d,
         Err(e) => {
-            eprintln!("trac-analyze: failed to build sample workloads: {e}");
-            return ExitCode::FAILURE;
+            eprintln!("trac-analyze: concurrency certification failed: {e}");
+            return ExitCode::from(EXIT_INTERNAL);
         }
     };
 
     let mut errors = 0usize;
     let mut warnings = 0usize;
     let mut notes = 0usize;
+    let mut count = |d: &trac_analyze::Diagnostic| match d.severity {
+        Severity::Error => errors += 1,
+        Severity::Warning => warnings += 1,
+        Severity::Note => notes += 1,
+    };
     for a in &analyses {
         for d in &a.diagnostics {
-            match d.severity {
-                Severity::Error => errors += 1,
-                Severity::Warning => warnings += 1,
-                Severity::Note => notes += 1,
-            }
+            count(d);
             if !json && (d.is_error() || verbose) {
                 println!("{}", d.render());
             }
@@ -124,6 +153,12 @@ fn main() -> ExitCode {
                 a.diagnostics.len(),
                 if a.diagnostics.len() == 1 { "" } else { "s" }
             );
+        }
+    }
+    for d in &concurrency {
+        count(d);
+        if !json && (d.is_error() || verbose) {
+            println!("{}", d.render());
         }
     }
     if json {
@@ -156,22 +191,44 @@ fn main() -> ExitCode {
                 if qi + 1 == analyses.len() { "" } else { "," }
             ));
         }
+        // Crate-level concurrency certification, in the same stable
+        // diagnostic shape (code, severity, context, message — always in
+        // that key order) so CI can diff the whole report textually.
+        out.push_str("  ],\n  \"concurrency\": [");
+        for (di, d) in concurrency.iter().enumerate() {
+            out.push_str(&format!(
+                "\n    {{\"code\": \"{}\", \"severity\": \"{}\", \
+                 \"context\": \"{}\", \"message\": \"{}\"}}{}",
+                json_escape(d.code.id),
+                json_escape(&d.severity.to_string()),
+                json_escape(&d.context),
+                json_escape(&d.message),
+                if di + 1 == concurrency.len() {
+                    "\n  "
+                } else {
+                    ","
+                }
+            ));
+        }
         out.push_str(&format!(
-            "  ],\n  \"errors\": {errors},\n  \"warnings\": {warnings},\n  \"notes\": {notes}\n}}"
+            "],\n  \"errors\": {errors},\n  \"warnings\": {warnings},\n  \"notes\": {notes}\n}}"
         ));
         println!("{out}");
     } else {
         println!(
-            "trac-analyze: {} quer{} checked, {errors} error{}, {warnings} warning{}, {notes} note{}",
+            "trac-analyze: {} quer{} checked, {} concurrency finding{}, \
+             {errors} error{}, {warnings} warning{}, {notes} note{}",
             analyses.len(),
             if analyses.len() == 1 { "y" } else { "ies" },
+            concurrency.len(),
+            if concurrency.len() == 1 { "" } else { "s" },
             if errors == 1 { "" } else { "s" },
             if warnings == 1 { "" } else { "s" },
             if notes == 1 { "" } else { "s" },
         );
     }
     if errors > 0 {
-        ExitCode::FAILURE
+        ExitCode::from(EXIT_UNSOUND)
     } else {
         ExitCode::SUCCESS
     }

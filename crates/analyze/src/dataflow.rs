@@ -740,7 +740,7 @@ fn transfer(q: &BoundSelect, node: &PlanNode, map: &mut FactMap) -> Facts {
             }
             facts
         }
-        PlanNode::Gather { input } => {
+        PlanNode::Gather { input, .. } => {
             // Gather merges per-morsel batches in morsel order; the
             // merged stream enforces exactly what the parallel region
             // below enforces, so facts pass through unchanged.

@@ -173,8 +173,54 @@ pub const UNCONFIRMED_REFINEMENT: Code = Code {
     summary: "claimed refined minimum not independently confirmable",
 };
 
+/// Concurrency certifier: an `Exchange` sits somewhere other than
+/// directly above a morsel-partitionable leaf, or an order-sensitive
+/// operator runs inside the parallel region without a dominating
+/// `Gather` merge.
+pub const EXCHANGE_PLACEMENT: Code = Code {
+    id: "TRAC016",
+    severity: Severity::Error,
+    summary: "Exchange placed off a morsel-partitionable leaf or across order-sensitive operators",
+};
+
+/// Concurrency certifier: a parallel region is not closed by a
+/// morsel-order-preserving `Gather` merge, so parallel output is not
+/// provably byte-identical to the serial plan.
+pub const GATHER_DETERMINISM: Code = Code {
+    id: "TRAC017",
+    severity: Severity::Error,
+    summary: "parallel region not closed by a morsel-order-preserving Gather merge",
+};
+
+/// Concurrency certifier: a partitioned hash-join build partitions on a
+/// key pair outside the certified join-key equivalence class (the
+/// TRAC011 facts), so co-partitioning of build and probe is unproven.
+pub const PARTITION_KEY_UNSOUND: Code = Code {
+    id: "TRAC018",
+    severity: Severity::Error,
+    summary: "hash-join partition key outside the certified join-key equivalence class",
+};
+
+/// Concurrency certifier (crate audit): a storage mutation path that can
+/// change recency-relevant state does not bump the heartbeat epoch that
+/// keys the prepared-plan cache — a stale cached plan could be served.
+pub const EPOCH_COVERAGE: Code = Code {
+    id: "TRAC019",
+    severity: Severity::Error,
+    summary: "recency-relevant mutation path does not bump the heartbeat epoch",
+};
+
+/// Concurrency certifier (crate audit): an instrumented lock acquisition
+/// violates the declared storage/exec lock order, so two threads taking
+/// the same pair in opposite orders could deadlock.
+pub const LOCK_ORDER: Code = Code {
+    id: "TRAC020",
+    severity: Severity::Error,
+    summary: "lock acquisition violates the declared partial order",
+};
+
 /// All codes, for `--explain` listings and the docs table.
-pub const ALL_CODES: [Code; 15] = [
+pub const ALL_CODES: [Code; 20] = [
     PARTITION_VIOLATION,
     UNSOUND_MINIMUM,
     UNSAT_NONEMPTY,
@@ -190,6 +236,11 @@ pub const ALL_CODES: [Code; 15] = [
     SHAPE_MISMATCH,
     REFINED_MINIMUM,
     UNCONFIRMED_REFINEMENT,
+    EXCHANGE_PLACEMENT,
+    GATHER_DETERMINISM,
+    PARTITION_KEY_UNSOUND,
+    EPOCH_COVERAGE,
+    LOCK_ORDER,
 ];
 
 /// A byte range into the SQL text under analysis.

@@ -6,6 +6,7 @@
 //! exact diagnostic; the coarse `run` entry points recompute the claims
 //! from the production code paths and feed them through the same checks.
 
+pub mod concurrency;
 pub mod guarantee;
 pub mod partition;
 pub mod refine;

@@ -1,12 +1,16 @@
-//! Mutation corpus for the translation validator.
+//! Mutation corpus for the translation validator and the concurrency
+//! certifier.
 //!
 //! Each test lowers a real query through the production planner, checks
 //! the unmutated plan certifies cleanly, applies exactly one surgical
 //! mutation to the plan IR, and asserts the validator rejects it with
-//! the expected stable `TRAC009`–`TRAC015` code. Every mutation models a
-//! realistic lowering bug: a dropped predicate, a phantom predicate, a
-//! corrupted join key, a retargeted slot, a mangled shaping operator.
+//! the expected stable `TRAC009`–`TRAC015` code (or, for parallel-plan
+//! mutations, that the concurrency certifier trips `TRAC016`–`TRAC020`).
+//! Every mutation models a realistic lowering bug: a dropped predicate,
+//! a phantom predicate, a corrupted join key, a retargeted slot, a
+//! mangled shaping operator, a misplaced Exchange, an unordered merge.
 
+use trac_analyze::passes::concurrency;
 use trac_analyze::validate_plan;
 use trac_expr::{bind_select, BoundExpr, BoundSelect};
 use trac_plan::{ExecOptions, PhysicalPlan, PlanNode};
@@ -335,7 +339,7 @@ fn stripping_the_gather_is_caught() {
         ExecOptions::default().with_parallelism(4, 256),
         |root| {
             let gather = relational_root(root);
-            let PlanNode::Gather { input } = gather else {
+            let PlanNode::Gather { input, .. } = gather else {
                 panic!(
                     "expected Gather at the relational root, got {}",
                     gather.name()
@@ -358,6 +362,7 @@ fn gather_without_an_exchange_is_caught() {
             let old = std::mem::replace(rel, PlanNode::Empty { bindings: vec![] });
             *rel = PlanNode::Gather {
                 input: Box::new(old),
+                morsel_ordered: true,
             };
         },
         &["TRAC012"],
@@ -386,4 +391,151 @@ fn serial_exchange_is_caught() {
         },
         &["TRAC012"],
     );
+}
+
+/// Error-severity code ids the concurrency certifier produced for a
+/// (serial, parallel) plan pair.
+fn concurrency_codes(
+    q: &BoundSelect,
+    serial: &PhysicalPlan,
+    p: &PhysicalPlan,
+) -> Vec<&'static str> {
+    concurrency::run(q, serial, p, "mut")
+        .iter()
+        .filter(|d| d.is_error())
+        .map(|d| d.code.id)
+        .collect()
+}
+
+/// Runs one concurrency-mutation scenario: the pristine parallel twin
+/// must certify clean against its serial plan, the mutated twin must
+/// trip `expected` (one of TRAC016..TRAC018).
+fn assert_concurrency_mutation(
+    sql: &str,
+    opts: ExecOptions,
+    mutate: impl FnOnce(&mut PlanNode),
+    expected: &[&str],
+) {
+    let t = load_paper_tables().unwrap();
+    let txn = t.db.begin_read();
+    let q = bind(&txn, sql);
+    let serial = plan(&txn, &q, opts);
+    let mut p = plan(&txn, &q, opts.with_parallelism(4, 256));
+    assert!(
+        concurrency_codes(&q, &serial, &p).is_empty(),
+        "pristine parallel plan must certify: {:?}\n{}",
+        concurrency::run(&q, &serial, &p, "pre"),
+        p.render()
+    );
+    mutate(&mut p.root);
+    let codes = concurrency_codes(&q, &serial, &p);
+    assert!(
+        codes.iter().any(|c| expected.contains(c)),
+        "mutation must trip one of {expected:?}, got {codes:?}\n{}",
+        p.render()
+    );
+}
+
+#[test]
+fn sort_spliced_into_the_parallel_region_is_caught() {
+    // An order-sensitive operator between Gather and Exchange would see
+    // morsel boundaries: each worker would sort its own morsel instead
+    // of the whole stream (TRAC016).
+    assert_concurrency_mutation(
+        "SELECT mach_id FROM Activity WHERE value = 'idle'",
+        ExecOptions::default(),
+        |root| {
+            let PlanNode::Gather { input, .. } = relational_root(root) else {
+                panic!("expected Gather at the relational root");
+            };
+            let old = std::mem::replace(input.as_mut(), PlanNode::Empty { bindings: vec![] });
+            *input.as_mut() = PlanNode::Sort {
+                input: Box::new(old),
+                keys: vec![(BoundExpr::col(0, 0), false)],
+            };
+        },
+        &["TRAC016"],
+    );
+}
+
+#[test]
+fn completion_order_gather_is_caught() {
+    // Flipping the merge to completion order makes parallel output
+    // depend on worker scheduling (TRAC017) — exactly the seeded bug
+    // the interleaving explorer detects dynamically.
+    assert_concurrency_mutation(
+        "SELECT mach_id FROM Activity WHERE value = 'idle'",
+        ExecOptions::default(),
+        |root| {
+            let PlanNode::Gather { morsel_ordered, .. } = relational_root(root) else {
+                panic!("expected Gather at the relational root");
+            };
+            *morsel_ordered = false;
+        },
+        &["TRAC017"],
+    );
+}
+
+#[test]
+fn corrupting_a_parallel_hash_join_partition_key_is_caught() {
+    // Probing the partitioned hash table with R.mach_id although the
+    // build partitions on the R.neighbor equivalence class breaks
+    // co-partitioning (TRAC018).
+    assert_concurrency_mutation(
+        "SELECT A.mach_id FROM Routing R, Activity A \
+         WHERE A.value = 'idle' AND R.neighbor = A.mach_id",
+        ExecOptions {
+            enable_index_scan: false,
+            enable_hash_join: true,
+            ..Default::default()
+        },
+        |root| {
+            fn find_hash_join(node: &mut PlanNode) -> Option<&mut PlanNode> {
+                if matches!(node, PlanNode::HashJoin { .. }) {
+                    return Some(node);
+                }
+                node.children_mut().into_iter().find_map(find_hash_join)
+            }
+            let PlanNode::HashJoin { outer_key, .. } =
+                find_hash_join(root).expect("parallel hash-join plan")
+            else {
+                unreachable!();
+            };
+            outer_key.column = 0; // R.neighbor -> R.mach_id
+        },
+        &["TRAC018"],
+    );
+}
+
+#[test]
+fn uncovered_epoch_path_is_caught() {
+    // A storage mutation path that changes recency-relevant state but
+    // never bumps the heartbeat epoch would let the plan cache serve a
+    // stale prepared plan (TRAC019).
+    let obs = [trac_storage::Observation {
+        name: "seeded: heartbeat write skips the epoch bump",
+        affects_recency: true,
+        bumped: false,
+    }];
+    let codes: Vec<_> = concurrency::check_epoch_observations(&obs)
+        .iter()
+        .filter(|d| d.is_error())
+        .map(|d| d.code.id)
+        .collect();
+    assert_eq!(codes, ["TRAC019"]);
+}
+
+#[test]
+fn inverted_lock_acquisition_is_caught() {
+    // Taking the data map while holding the stamped-slot list inverts
+    // the declared order; paired with the legal order elsewhere this is
+    // a deadlock (TRAC020).
+    use trac_storage::LockId;
+    let edges = [(LockId::TxnStamped, LockId::DbData)];
+    let codes: Vec<_> = concurrency::check_lock_edges(&edges)
+        .iter()
+        .filter(|d| d.is_error())
+        .map(|d| d.code.id)
+        .collect();
+    assert_eq!(codes, ["TRAC020"]);
 }

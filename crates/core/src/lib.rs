@@ -36,5 +36,5 @@ pub mod zscore;
 pub use metrics::{false_positive_rate, overhead};
 pub use relevance::{Guarantee, RecencyPlan, RecencySubquery, RelevanceConfig};
 pub use report::{RecencyReport, ReportConfig, StalenessSummary};
-pub use session::{Method, ReportOutput, Session};
+pub use session::{Method, PlanCacheStats, ReportOutput, Session};
 pub use zscore::{mean, population_std_dev, z_scores};

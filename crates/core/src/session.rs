@@ -23,6 +23,7 @@ use std::time::{Duration, Instant};
 use trac_exec::{ExecOptions, QueryResult};
 use trac_expr::{bind_select, BoundSelect};
 use trac_sql::parse_select;
+use trac_storage::lockorder::{self, LockId};
 use trac_storage::{heartbeat, ColumnDef, Database, ReadTxn, TableSchema, HEARTBEAT_TABLE};
 use trac_types::{DataType, Result, SourceId, Timestamp, TracError, Value};
 
@@ -122,6 +123,17 @@ pub struct Session {
     /// the natural staleness clock TRAC already maintains, and a rebuild
     /// is cheap relative to a wrong cached plan after DDL-ish change.
     plan_cache: Mutex<HashMap<String, CachedPlan>>,
+    cache_hits: AtomicU64,
+    cache_misses: AtomicU64,
+}
+
+/// Plan-cache hit/miss counters (see [`Session::plan_cache_stats`]).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct PlanCacheStats {
+    /// Reports served from a cached prepared plan.
+    pub hits: u64,
+    /// Reports that (re)built their plan.
+    pub misses: u64,
 }
 
 impl Session {
@@ -136,6 +148,8 @@ impl Session {
             report_config: ReportConfig::default(),
             exec_options: ExecOptions::default(),
             plan_cache: Mutex::new(HashMap::new()),
+            cache_hits: AtomicU64::new(0),
+            cache_misses: AtomicU64::new(0),
         }
     }
 
@@ -209,18 +223,31 @@ impl Session {
         sql: &str,
         bound: &BoundSelect,
     ) -> Result<RecencyPlan> {
+        // Schedule point: the epoch read plus cache probe is where a
+        // racing heartbeat write can make a cached plan stale. The
+        // interleaving explorer switches threads here to prove the
+        // epoch check rejects entries cached before an invalidating
+        // write (yields no-op outside an exploration).
+        trac_exec::schedule::yield_point(trac_exec::schedule::Site::CacheRead);
         let epoch = txn.heartbeat_epoch();
-        if let Some(hit) = self
-            .plan_cache
-            .lock()
-            .expect("plan cache poisoned")
-            .get(sql)
         {
-            if hit.epoch == epoch && hit.config == self.relevance_config {
-                return Ok(hit.plan.clone());
+            let _cache_order = lockorder::acquire(LockId::PlanCache);
+            if let Some(hit) = self
+                .plan_cache
+                .lock()
+                .expect("plan cache poisoned")
+                .get(sql)
+            {
+                if hit.epoch == epoch && hit.config == self.relevance_config {
+                    self.cache_hits.fetch_add(1, Ordering::Relaxed);
+                    return Ok(hit.plan.clone());
+                }
             }
         }
+        self.cache_misses.fetch_add(1, Ordering::Relaxed);
         let plan = RecencyPlan::build(txn, bound, self.relevance_config)?;
+        trac_exec::schedule::yield_point(trac_exec::schedule::Site::CacheWrite);
+        let _cache_order = lockorder::acquire(LockId::PlanCache);
         self.plan_cache.lock().expect("plan cache poisoned").insert(
             sql.to_string(),
             CachedPlan {
@@ -232,10 +259,22 @@ impl Session {
         Ok(plan)
     }
 
+    /// Plan-cache hit/miss counters since the session opened. The
+    /// interleaving explorer asserts on these: after an invalidating
+    /// heartbeat write, a report must *miss* (a hit would mean a stale
+    /// plan was served).
+    pub fn plan_cache_stats(&self) -> PlanCacheStats {
+        PlanCacheStats {
+            hits: self.cache_hits.load(Ordering::Relaxed),
+            misses: self.cache_misses.load(Ordering::Relaxed),
+        }
+    }
+
     /// Drops every cached prepared recency plan. Plans also age out on
     /// their own whenever the heartbeat epoch or [`Self::relevance_config`]
     /// changes; this is only needed to reclaim memory eagerly.
     pub fn clear_plan_cache(&self) {
+        let _cache_order = lockorder::acquire(LockId::PlanCache);
         self.plan_cache.lock().expect("plan cache poisoned").clear();
     }
 

@@ -18,7 +18,11 @@
 //! * **entry points** — parse/bind/plan/execute glue plus the
 //!   [`PlanInfo`] plan summary ([`executor`]);
 //! * **DML/DDL interpretation** for `INSERT`/`UPDATE`/`DELETE`/`CREATE`
-//!   and `EXPLAIN` ([`dml`]).
+//!   and `EXPLAIN` ([`dml`]);
+//! * **interleaving exploration** — a deterministic schedule controller
+//!   that serializes the worker pool onto explicit yield points and
+//!   explores bounded interleavings, proving the determinism and
+//!   cache-soundness claims dynamically ([`schedule`]).
 
 #![warn(missing_docs)]
 
@@ -27,6 +31,7 @@ pub mod executor;
 pub mod operators;
 mod parallel;
 pub mod result;
+pub mod schedule;
 
 pub use dml::{execute_statement, StatementResult};
 pub use executor::{

@@ -313,14 +313,17 @@ impl TupleStream for SortStream<'_> {
 struct GatherStream<'a> {
     txn: &'a ReadTxn,
     input: &'a PlanNode,
+    morsel_ordered: bool,
     gathered: Option<std::vec::IntoIter<Tuple>>,
 }
 
 impl TupleStream for GatherStream<'_> {
     fn next_tuple(&mut self) -> Result<Option<Tuple>> {
         if self.gathered.is_none() {
-            self.gathered =
-                Some(crate::parallel::execute_gather(self.txn, self.input)?.into_iter());
+            self.gathered = Some(
+                crate::parallel::execute_gather(self.txn, self.input, self.morsel_ordered)?
+                    .into_iter(),
+            );
         }
         Ok(self.gathered.as_mut().and_then(Iterator::next))
     }
@@ -391,9 +394,13 @@ fn build_stream<'a>(txn: &'a ReadTxn, node: &'a PlanNode) -> Result<Box<dyn Tupl
             keys,
             sorted: None,
         }),
-        PlanNode::Gather { input } => Box::new(GatherStream {
+        PlanNode::Gather {
+            input,
+            morsel_ordered,
+        } => Box::new(GatherStream {
             txn,
             input,
+            morsel_ordered: *morsel_ordered,
             gathered: None,
         }),
         other => {

@@ -33,11 +33,14 @@
 //! at least one morsel (an empty leaf still skips them).
 
 use crate::operators::{fetch_leaf_rows, passes, tuple_value, Tuple};
+use crate::schedule;
 use parking_lot::Mutex;
 use std::collections::HashMap;
 use std::hash::{Hash, Hasher};
 use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
+use std::sync::Arc;
 use trac_plan::PlanNode;
+use trac_storage::lockorder::{self, LockId};
 use trac_storage::{ReadTxn, Row, RowSlot};
 use trac_types::{Result, TracError, Value};
 
@@ -83,8 +86,13 @@ fn partition_of(key: &Value, nparts: usize) -> usize {
 }
 
 /// Executes the subtree under a [`PlanNode::Gather`] and returns the
-/// gathered tuples in deterministic (serial-identical) order.
-pub(crate) fn execute_gather(txn: &ReadTxn, input: &PlanNode) -> Result<Vec<Tuple>> {
+/// gathered tuples. `ordered` selects the merge rule: `true` — the only
+/// value the planner ever emits — concatenates per-morsel batches in
+/// morsel index order, making parallel output byte-identical to serial.
+/// `false` models the completion-order-merge bug (concatenation in slot
+/// deposit order); it exists so both the static certifier (TRAC017) and
+/// the interleaving explorer can be shown to catch that bug.
+pub(crate) fn execute_gather(txn: &ReadTxn, input: &PlanNode, ordered: bool) -> Result<Vec<Tuple>> {
     // Walk the spine from the Gather input down to the Exchange,
     // collecting the operators we must replay per morsel.
     let mut spine: Vec<&PlanNode> = Vec::new();
@@ -128,32 +136,61 @@ pub(crate) fn execute_gather(txn: &ReadTxn, input: &PlanNode) -> Result<Vec<Tupl
 
     // Worker pool: morsel indexes are claimed from a shared counter and
     // results parked per-index so the gather can run in morsel order.
+    // The two `yield_point`s bracket the morsel handoff — claim and
+    // deposit — and no-op outside an interleaving exploration.
     let next = AtomicUsize::new(0);
     let abort = AtomicBool::new(false);
     let slots: Vec<Mutex<Option<Result<Vec<Tuple>>>>> =
         (0..morsels.len()).map(|_| Mutex::new(None)).collect();
+    // Order in which slots were deposited — the (unsound)
+    // completion-order merge reads this instead of the index order.
+    let deposits: Mutex<Vec<usize>> = Mutex::new(Vec::with_capacity(morsels.len()));
     let workers = threads.min(morsels.len());
-    std::thread::scope(|s| {
-        for _ in 0..workers {
-            s.spawn(|| loop {
-                if abort.load(Ordering::Relaxed) {
-                    return;
-                }
-                let i = next.fetch_add(1, Ordering::Relaxed);
-                let Some(morsel) = morsels.get(i) else {
-                    return;
-                };
-                let out = run_morsel(txn, leaf, morsel, &ops);
-                if out.is_err() {
-                    abort.store(true, Ordering::Relaxed);
-                }
-                *slots[i].lock() = Some(out);
-            });
+    let work = || loop {
+        if abort.load(Ordering::Relaxed) {
+            return;
         }
-    });
+        schedule::yield_point(schedule::Site::MorselClaim);
+        let i = next.fetch_add(1, Ordering::Relaxed);
+        let Some(morsel) = morsels.get(i) else {
+            return;
+        };
+        let out = run_morsel(txn, leaf, morsel, &ops);
+        if out.is_err() {
+            abort.store(true, Ordering::Relaxed);
+        }
+        schedule::yield_point(schedule::Site::MorselPark);
+        let _slot_order = lockorder::acquire(LockId::MorselSlot);
+        *slots[i].lock() = Some(out);
+        deposits.lock().push(i);
+    };
+    match schedule::active() {
+        // Under an active exploration, workers join the schedule: the
+        // coordinator announces them first (so no scheduling decision
+        // fires before all have registered) and releases its token
+        // while blocked in the scope join.
+        Some(ctl) => {
+            let base = ctl.expect_workers(workers);
+            std::thread::scope(|s| {
+                for w in 0..workers {
+                    let ctl = Arc::clone(&ctl);
+                    let work = &work;
+                    s.spawn(move || schedule::participate(&ctl, base + w, work));
+                }
+                ctl.suspend();
+            });
+            ctl.resume();
+        }
+        None => std::thread::scope(|s| {
+            for _ in 0..workers {
+                s.spawn(work);
+            }
+        }),
+    }
 
-    // Deterministic merge: concatenate per-morsel batches in morsel
-    // index order; the lowest-index error (if any) wins.
+    // Merge: the lowest-index error (if any) wins, then concatenate
+    // per-morsel batches — in morsel index order when `ordered`, in
+    // deposit order otherwise.
     let mut results: Vec<Option<Result<Vec<Tuple>>>> =
         slots.into_iter().map(Mutex::into_inner).collect();
     if let Some(err_at) = results.iter().position(|r| matches!(r, Some(Err(_)))) {
@@ -162,9 +199,19 @@ pub(crate) fn execute_gather(txn: &ReadTxn, input: &PlanNode) -> Result<Vec<Tupl
         };
         return Err(e);
     }
+    let merge_order: Vec<usize> = if ordered {
+        (0..results.len()).collect()
+    } else {
+        deposits.into_inner()
+    };
+    if merge_order.len() != results.len() {
+        return Err(TracError::Execution(
+            "parallel worker aborted without reporting an error".into(),
+        ));
+    }
     let mut tuples = Vec::new();
-    for r in results {
-        match r {
+    for i in merge_order {
+        match results[i].take() {
             Some(Ok(mut batch)) => tuples.append(&mut batch),
             Some(Err(_)) => unreachable!("errors are returned above"),
             None => {

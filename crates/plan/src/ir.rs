@@ -158,6 +158,12 @@ pub enum PlanNode {
         /// Root of the parallel region (joins/filters over the
         /// exchange-driven leaf).
         input: Box<PlanNode>,
+        /// True when the merge concatenates per-morsel batches in morsel
+        /// index order (the only deterministic merge). The planner always
+        /// sets this; `false` models the completion-order-merge bug the
+        /// concurrency certifier (TRAC017) and the interleaving explorer
+        /// must both catch.
+        morsel_ordered: bool,
     },
     /// Removes duplicate output rows (first occurrence wins).
     Distinct {
@@ -206,7 +212,7 @@ impl PlanNode {
             }
             PlanNode::IndexNLJoin { outer, .. } => vec![outer],
             PlanNode::Exchange { input, .. }
-            | PlanNode::Gather { input }
+            | PlanNode::Gather { input, .. }
             | PlanNode::Filter { input, .. }
             | PlanNode::Sort { input, .. }
             | PlanNode::Project { input, .. }
@@ -228,7 +234,7 @@ impl PlanNode {
             }
             PlanNode::IndexNLJoin { outer, .. } => vec![outer],
             PlanNode::Exchange { input, .. }
-            | PlanNode::Gather { input }
+            | PlanNode::Gather { input, .. }
             | PlanNode::Filter { input, .. }
             | PlanNode::Sort { input, .. }
             | PlanNode::Project { input, .. }
@@ -311,7 +317,12 @@ impl PlanNode {
             PlanNode::Exchange { threads, batch, .. } => {
                 format!("Exchange (threads={threads}, morsel={batch} rows)")
             }
-            PlanNode::Gather { .. } => "Gather (morsel-ordered merge)".to_string(),
+            PlanNode::Gather { morsel_ordered, .. } => if *morsel_ordered {
+                "Gather (morsel-ordered merge)"
+            } else {
+                "Gather (completion-order merge — NONDETERMINISTIC)"
+            }
+            .to_string(),
             PlanNode::Filter { predicate, .. } => {
                 format!("Filter ({} conjuncts)", predicate.len())
             }
@@ -358,7 +369,7 @@ impl PlanNode {
             | PlanNode::IndexNLJoin { est_rows, .. } => Some(*est_rows),
             // Parallel decoration is row-preserving: the estimate of the
             // region below passes through unchanged.
-            PlanNode::Exchange { input, .. } | PlanNode::Gather { input } => input.est_rows(),
+            PlanNode::Exchange { input, .. } | PlanNode::Gather { input, .. } => input.est_rows(),
             _ => None,
         }
     }
@@ -527,7 +538,7 @@ fn collect_steps(node: &PlanNode, out: &mut Vec<(String, String)>) {
             ));
         }
         PlanNode::Exchange { input, .. }
-        | PlanNode::Gather { input }
+        | PlanNode::Gather { input, .. }
         | PlanNode::Filter { input, .. }
         | PlanNode::Sort { input, .. }
         | PlanNode::Project { input, .. }

@@ -213,6 +213,7 @@ pub fn plan_select(txn: &ReadTxn, q: &BoundSelect, opts: ExecOptions) -> Result<
     if parallel {
         root = PlanNode::Gather {
             input: Box::new(root),
+            morsel_ordered: true,
         };
     }
     // 5. Shape the output: aggregation absorbs HAVING/ORDER BY/LIMIT
@@ -409,8 +410,12 @@ mod tests {
         let PlanNode::Project { input, .. } = &p.root else {
             panic!("expected Project root: {:?}", p.root);
         };
-        let PlanNode::Gather { input } = input.as_ref() else {
-            panic!("expected Gather below Project: {input:?}");
+        let PlanNode::Gather {
+            input,
+            morsel_ordered: true,
+        } = input.as_ref()
+        else {
+            panic!("expected morsel-ordered Gather below Project: {input:?}");
         };
         let PlanNode::Exchange {
             input,
@@ -438,7 +443,7 @@ mod tests {
         let PlanNode::Project { input, .. } = &p.root else {
             panic!("expected Project root");
         };
-        let PlanNode::Gather { input } = input.as_ref() else {
+        let PlanNode::Gather { input, .. } = input.as_ref() else {
             panic!("expected Gather below Project: {input:?}");
         };
         // The join sits inside the parallel region; only the driving

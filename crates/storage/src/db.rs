@@ -10,6 +10,7 @@
 use crate::catalog::{Catalog, IndexMeta, SessionId, TableId};
 use crate::heartbeat::{self, HEARTBEAT_TABLE};
 use crate::index::Index;
+use crate::lockorder::{self, LockId};
 use crate::schema::TableSchema;
 use crate::table::{Row, RowSlot, Table};
 use crate::txn::{Snapshot, TxnId, TxnManager, TxnStatus};
@@ -33,12 +34,30 @@ struct DbState {
     txns: Arc<TxnManager>,
     data: RwLock<DbInner>,
     next_session: AtomicU64,
-    /// Bumped on every heartbeat upsert (including the one inside
-    /// `ingest`). Cached recency analyses are invalidated when this
-    /// moves; bumping at upsert time rather than commit time is
-    /// conservative (an aborted heartbeat still invalidates), which is
-    /// the sound direction for a cache.
+    /// Bumped on every mutation that can change recency-relevant state:
+    /// heartbeat upserts (including the one inside `ingest`) *and* any
+    /// raw transactional write that touches the heartbeat table (SQL DML
+    /// reaches the table through `WriteTxn::insert`/`delete` without
+    /// going through `heartbeat()`). Cached recency analyses are
+    /// invalidated when this moves; bumping at write time rather than
+    /// commit time is conservative (an aborted heartbeat still
+    /// invalidates), which is the sound direction for a cache. Coverage
+    /// of the bump is audited by [`crate::epoch::audit`].
     heartbeat_epoch: AtomicU64,
+}
+
+/// Advances the heartbeat epoch. Must be called with no storage lock
+/// held: the epoch yield hook may park the thread (the interleaving
+/// explorer treats the bump as a schedule point).
+fn bump_heartbeat_epoch(state: &DbState) {
+    crate::epoch::epoch_yield();
+    state.heartbeat_epoch.fetch_add(1, AtomicOrdering::Release);
+}
+
+/// True when `tid` is the system heartbeat table, i.e. a raw write to it
+/// changes recency-relevant state and must bump the epoch.
+fn is_heartbeat_table(inner: &DbInner, tid: TableId) -> bool {
+    inner.catalog.lookup_table(HEARTBEAT_TABLE) == Some(tid)
 }
 
 /// An embedded multi-versioned database.
@@ -220,6 +239,7 @@ impl Database {
             ));
         }
         let txns = Arc::clone(&self.state.txns);
+        let _order = lockorder::acquire(LockId::DbData);
         let mut inner = self.state.data.write();
         let mut stats = VacuumStats::default();
         for store in inner.stores.iter_mut().flatten() {
@@ -571,8 +591,14 @@ impl WriteTxn {
     }
 
     /// Inserts a row (schema-checked and coerced). Returns its slot.
+    /// Writes landing in the heartbeat table bump the heartbeat epoch —
+    /// SQL DML reaches recency state through this entry point, bypassing
+    /// [`WriteTxn::heartbeat`], and a cached recency plan must not
+    /// survive it.
     pub fn insert(&self, tid: TableId, row: Vec<Value>) -> Result<RowSlot> {
+        let _order = lockorder::acquire(LockId::DbData);
         let mut inner = self.read.state.data.write();
+        let touches_heartbeat = is_heartbeat_table(&inner, tid);
         let st = store_mut(&mut inner, tid)?;
         let row = st.table.schema.check_row(row)?;
         let row: Row = Arc::from(row.into_boxed_slice());
@@ -580,13 +606,21 @@ impl WriteTxn {
         for idx in &mut st.indexes {
             idx.insert(&row[idx.column], slot);
         }
+        drop(inner);
+        if touches_heartbeat {
+            bump_heartbeat_epoch(&self.read.state);
+        }
         Ok(slot)
     }
 
     /// Deletes the row at `slot` (it must be visible to this txn).
+    /// Deletes from the heartbeat table bump the heartbeat epoch (see
+    /// [`WriteTxn::insert`]; updates route through delete + insert).
     pub fn delete(&self, tid: TableId, slot: RowSlot) -> Result<()> {
         let txns = Arc::clone(&self.read.state.txns);
+        let _order = lockorder::acquire(LockId::DbData);
         let mut inner = self.read.state.data.write();
+        let touches_heartbeat = is_heartbeat_table(&inner, tid);
         let st = store_mut(&mut inner, tid)?;
         if st
             .table
@@ -600,7 +634,14 @@ impl WriteTxn {
         }
         st.table
             .delete_version(slot, self.id, |x| txns.status(x) != TxnStatus::Aborted)?;
-        self.stamped.lock().push((tid, slot));
+        {
+            let _stamped_order = lockorder::acquire(LockId::TxnStamped);
+            self.stamped.lock().push((tid, slot));
+        }
+        drop(inner);
+        if touches_heartbeat {
+            bump_heartbeat_epoch(&self.read.state);
+        }
         Ok(())
     }
 
@@ -637,19 +678,29 @@ impl WriteTxn {
                 )))
             }
         }
+        let epoch_before = self.read.heartbeat_epoch();
         let slot = self.insert(tid, row)?;
         self.heartbeat(source, event_time)?;
+        debug_assert!(
+            self.read.heartbeat_epoch() > epoch_before,
+            "ingest must advance the heartbeat epoch"
+        );
         Ok(slot)
     }
 
     /// Advances `source`'s recency timestamp monotonically (an explicit
     /// "nothing to report" beacon, Section 3.1).
     pub fn heartbeat(&self, source: &SourceId, ts: Timestamp) -> Result<()> {
+        let epoch_before = self.read.heartbeat_epoch();
         heartbeat::upsert(self, source, ts)?;
-        self.read
-            .state
-            .heartbeat_epoch
-            .fetch_add(1, AtomicOrdering::Release);
+        // The upsert's own heartbeat-table write already bumped when it
+        // stored anything; this explicit bump also covers the no-op case
+        // (ts older than current), staying conservative.
+        bump_heartbeat_epoch(&self.read.state);
+        debug_assert!(
+            self.read.heartbeat_epoch() > epoch_before,
+            "heartbeat must advance the heartbeat epoch"
+        );
         Ok(())
     }
 
@@ -669,7 +720,9 @@ impl WriteTxn {
             return;
         }
         self.read.state.txns.abort(self.id);
+        let _order = lockorder::acquire(LockId::DbData);
         let mut inner = self.read.state.data.write();
+        let _stamped_order = lockorder::acquire(LockId::TxnStamped);
         for (tid, slot) in self.stamped.lock().drain(..) {
             if let Ok(st) = store_mut(&mut inner, tid) {
                 st.table.unstamp(slot, self.id);
@@ -1068,6 +1121,34 @@ mod tests {
             .unwrap();
         assert!(db.heartbeat_epoch() > e1, "ingest heartbeats too");
         assert_eq!(db.begin_read().heartbeat_epoch(), db.heartbeat_epoch());
+    }
+
+    #[test]
+    fn raw_heartbeat_table_dml_advances_epoch() {
+        // SQL DML reaches the heartbeat table through plain
+        // insert/update/delete, bypassing `WriteTxn::heartbeat`. Each
+        // such write must still advance the epoch, or a prepared plan
+        // cached against the old recency state would be served stale
+        // (the coverage hole diagnostic TRAC019 certifies against).
+        let db = Database::new();
+        let hb = db.begin_read().table_id(HEARTBEAT_TABLE).unwrap();
+        let hb_row = |secs: i64| {
+            vec![
+                Value::text("m9"),
+                Value::Timestamp(Timestamp::from_secs(secs)),
+            ]
+        };
+        let e0 = db.heartbeat_epoch();
+        db.with_write(|w| w.insert(hb, hb_row(1))).unwrap();
+        assert!(db.heartbeat_epoch() > e0, "raw insert must bump");
+        let (slot, _) = db.begin_read().scan_slots(hb).unwrap().pop().unwrap();
+        let e1 = db.heartbeat_epoch();
+        db.with_write(|w| w.update(hb, slot, hb_row(2))).unwrap();
+        assert!(db.heartbeat_epoch() > e1, "raw update must bump");
+        let (slot, _) = db.begin_read().scan_slots(hb).unwrap().pop().unwrap();
+        let e2 = db.heartbeat_epoch();
+        db.with_write(|w| w.delete(hb, slot)).unwrap();
+        assert!(db.heartbeat_epoch() > e2, "raw delete must bump");
     }
 
     #[test]

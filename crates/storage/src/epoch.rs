@@ -1,0 +1,209 @@
+//! Heartbeat-epoch coverage: an auditable registry of mutation paths.
+//!
+//! The prepared-plan cache in `trac-core` is keyed by the heartbeat
+//! epoch: a cached recency analysis stays valid exactly as long as no
+//! mutation has changed recency-relevant state (the `Heartbeat` table).
+//! That invariant is only as strong as the *coverage* of the epoch bump:
+//! every mutation path that can change recency-relevant state must
+//! advance the epoch, or a stale plan can be served after the state it
+//! certified has moved.
+//!
+//! This module makes the coverage claim checkable instead of folklore.
+//! [`audit`] drives every mutation entry point of the storage crate
+//! against a scratch database and reports, per path, whether the path
+//! is recency-relevant and whether it actually bumped the epoch. The
+//! `trac-analyze` concurrency pass (diagnostic `TRAC019`) consumes the
+//! observations and flags any relevant-but-unbumped path.
+//!
+//! The module also hosts the *epoch yield hook*: an optional callback
+//! invoked immediately before each bump so the deterministic
+//! interleaving explorer (`trac-exec::schedule`) can treat the bump as
+//! a schedule point without this crate depending on the executor.
+
+use crate::db::Database;
+use crate::heartbeat::HEARTBEAT_TABLE;
+use crate::schema::{ColumnDef, TableSchema};
+use crate::table::RowSlot;
+use std::sync::OnceLock;
+use trac_types::{ColumnDomain, DataType, Result, SourceId, Timestamp, TracError, Value};
+
+/// Optional callback run right before every heartbeat-epoch bump.
+static EPOCH_YIELD: OnceLock<fn()> = OnceLock::new();
+
+/// Installs the process-wide epoch yield hook. The first installation
+/// wins; later calls are ignored (the hook itself is expected to no-op
+/// outside an active exploration, so a single installation is enough).
+pub fn set_epoch_yield_hook(hook: fn()) {
+    let _ = EPOCH_YIELD.set(hook);
+}
+
+/// Runs the installed epoch yield hook, if any. Called by the database
+/// with no storage locks held, so the hook may block (the interleaving
+/// explorer parks the thread here).
+pub(crate) fn epoch_yield() {
+    if let Some(hook) = EPOCH_YIELD.get() {
+        hook();
+    }
+}
+
+/// One audited mutation path: does it affect recency-relevant state,
+/// and did exercising it advance the heartbeat epoch?
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Observation {
+    /// Stable name of the mutation path (used in diagnostics).
+    pub name: &'static str,
+    /// True when the path can change recency-relevant state (the
+    /// heartbeat table), so a cached recency plan keyed on the epoch
+    /// would be invalidated by it.
+    pub affects_recency: bool,
+    /// True when exercising the path advanced the epoch.
+    pub bumped: bool,
+}
+
+impl Observation {
+    /// True when this path violates cache-invalidation coverage: it
+    /// changes recency-relevant state without advancing the epoch.
+    pub fn violates_coverage(&self) -> bool {
+        self.affects_recency && !self.bumped
+    }
+}
+
+fn probe(
+    name: &'static str,
+    affects_recency: bool,
+    exercise: impl FnOnce(&Database) -> Result<()>,
+) -> Result<Observation> {
+    let db = Database::new();
+    let before = db.heartbeat_epoch();
+    exercise(&db)?;
+    Ok(Observation {
+        name,
+        affects_recency,
+        bumped: db.heartbeat_epoch() > before,
+    })
+}
+
+fn scratch_user_table(db: &Database) -> Result<crate::catalog::TableId> {
+    db.create_table(TableSchema::new(
+        "epoch_audit_t",
+        vec![
+            ColumnDef::new("sid", DataType::Text).with_domain(ColumnDomain::Any(DataType::Text)),
+            ColumnDef::new("v", DataType::Int),
+        ],
+        Some("sid"),
+    )?)
+}
+
+fn heartbeat_row(source: &str, secs: i64) -> Vec<Value> {
+    vec![
+        Value::text(source),
+        Value::Timestamp(Timestamp::from_secs(secs)),
+    ]
+}
+
+fn visible_heartbeat_slot(db: &Database, source: &str) -> Result<RowSlot> {
+    let r = db.begin_read();
+    let hb = r.table_id(HEARTBEAT_TABLE)?;
+    r.scan_slots(hb)?
+        .into_iter()
+        .find(|(_, row)| row[0] == Value::text(source))
+        .map(|(slot, _)| slot)
+        .ok_or_else(|| TracError::Storage(format!("no heartbeat row for {source}")))
+}
+
+/// Exercises every mutation entry point of this crate against scratch
+/// databases and reports epoch coverage per path. The list is the
+/// crate's mutation-path registry: a new mutation entry point must be
+/// added here, and the `TRAC019` pass fails the build (via its corpus
+/// test) when a recency-relevant path does not bump the epoch.
+pub fn audit() -> Result<Vec<Observation>> {
+    let mut out = Vec::new();
+    out.push(probe("user-table insert", false, |db| {
+        let tid = scratch_user_table(db)?;
+        db.with_write(|w| w.insert(tid, vec![Value::text("m1"), Value::Int(1)]))?;
+        Ok(())
+    })?);
+    out.push(probe("user-table delete", false, |db| {
+        let tid = scratch_user_table(db)?;
+        let slot = db.with_write(|w| w.insert(tid, vec![Value::text("m1"), Value::Int(1)]))?;
+        db.with_write(|w| w.delete(tid, slot))?;
+        Ok(())
+    })?);
+    out.push(probe("heartbeat-table insert (raw txn)", true, |db| {
+        let hb = db.begin_read().table_id(HEARTBEAT_TABLE)?;
+        db.with_write(|w| w.insert(hb, heartbeat_row("m1", 10)))?;
+        Ok(())
+    })?);
+    out.push(probe("heartbeat-table update (raw txn)", true, |db| {
+        let hb = db.begin_read().table_id(HEARTBEAT_TABLE)?;
+        db.with_write(|w| w.insert(hb, heartbeat_row("m1", 10)))?;
+        let slot = visible_heartbeat_slot(db, "m1")?;
+        db.with_write(|w| w.update(hb, slot, heartbeat_row("m1", 20)))?;
+        Ok(())
+    })?);
+    out.push(probe("heartbeat-table delete (raw txn)", true, |db| {
+        let hb = db.begin_read().table_id(HEARTBEAT_TABLE)?;
+        db.with_write(|w| w.insert(hb, heartbeat_row("m1", 10)))?;
+        let slot = visible_heartbeat_slot(db, "m1")?;
+        db.with_write(|w| w.delete(hb, slot))?;
+        Ok(())
+    })?);
+    out.push(probe("heartbeat upsert", true, |db| {
+        db.with_write(|w| w.heartbeat(&SourceId::new("m1"), Timestamp::from_secs(10)))?;
+        Ok(())
+    })?);
+    out.push(probe("ingest", true, |db| {
+        let tid = scratch_user_table(db)?;
+        db.with_write(|w| {
+            w.ingest(
+                &SourceId::new("m1"),
+                tid,
+                vec![Value::text("m1"), Value::Int(1)],
+                Timestamp::from_secs(10),
+            )
+        })?;
+        Ok(())
+    })?);
+    out.push(probe("vacuum", false, |db| {
+        let tid = scratch_user_table(db)?;
+        let slot = db.with_write(|w| w.insert(tid, vec![Value::text("m1"), Value::Int(1)]))?;
+        db.with_write(|w| w.delete(tid, slot))?;
+        db.vacuum()?;
+        Ok(())
+    })?);
+    Ok(out)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn audit_finds_full_coverage() {
+        let obs = audit().unwrap();
+        assert_eq!(obs.len(), 8);
+        for o in &obs {
+            assert!(
+                !o.violates_coverage(),
+                "mutation path {:?} changes recency state without bumping the epoch",
+                o.name
+            );
+        }
+        // Relevance split is as declared: exactly the five heartbeat
+        // paths are recency-relevant, and all of them bump.
+        assert_eq!(obs.iter().filter(|o| o.affects_recency).count(), 5);
+        assert!(obs.iter().filter(|o| o.affects_recency).all(|o| o.bumped));
+    }
+
+    #[test]
+    fn non_relevant_paths_leave_the_epoch_alone() {
+        let obs = audit().unwrap();
+        for o in obs.iter().filter(|o| !o.affects_recency) {
+            assert!(
+                !o.bumped,
+                "path {:?} is declared recency-irrelevant but bumped the epoch",
+                o.name
+            );
+        }
+    }
+}

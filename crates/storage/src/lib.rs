@@ -15,14 +15,20 @@
 //! * [`catalog`] — table/index name resolution, session temp tables.
 //! * [`heartbeat`] — the system `Heartbeat(sid, recency)` table and the
 //!   ingestion discipline that keeps it monotone (Section 3.1).
+//! * [`epoch`] — the heartbeat-epoch mutation-path registry auditing
+//!   cache-invalidation coverage (diagnostic `TRAC019`).
+//! * [`lockorder`] — the declared lock-acquisition order and the
+//!   instrumented acquisition graph (diagnostic `TRAC020`).
 //! * [`db`] — the [`Database`] facade tying it all together.
 
 #![warn(missing_docs)]
 
 pub mod catalog;
 pub mod db;
+pub mod epoch;
 pub mod heartbeat;
 pub mod index;
+pub mod lockorder;
 pub mod persist;
 pub mod schema;
 pub mod table;
@@ -30,7 +36,9 @@ pub mod txn;
 
 pub use catalog::{Catalog, IndexMeta, TableId};
 pub use db::{Database, ReadTxn, VacuumStats, WriteTxn};
+pub use epoch::{set_epoch_yield_hook, Observation};
 pub use heartbeat::{HEARTBEAT_RECENCY_COL, HEARTBEAT_SID_COL, HEARTBEAT_TABLE};
+pub use lockorder::{LockId, LockToken};
 pub use persist::{load_snapshot, save_snapshot};
 pub use schema::{ColumnDef, TableSchema};
 pub use table::{Row, RowSlot, Table};

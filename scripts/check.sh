@@ -23,6 +23,13 @@ echo "==> differential suite, single-threaded test runner (ordering flakes)"
 # cannot hide behind concurrent test execution.
 cargo test -q --test differential -- --test-threads=1
 
+echo "==> interleaving explorer, single-threaded test runner (bounded budget)"
+# The deterministic schedule explorer proves parallel output byte-identical
+# to serial and cache soundness across bounded interleavings at threads
+# {2,4} (fixed seeds + capped exhaustive enumeration, so the job is
+# time-bounded and reproducible on a 1-CPU host).
+timeout 600 cargo test -q --test interleavings -- --test-threads=1
+
 echo "==> figure1 smoke at --threads 4 (tiny config)"
 # Exercises the morsel-driven parallel path end to end (Exchange/Gather
 # lowering, plan certification, JSON emission) at a scale CI can afford.

@@ -275,3 +275,61 @@ proptest! {
         }
     }
 }
+
+proptest! {
+    #![proptest_config(ProptestConfig { cases: 16, ..ProptestConfig::default() })]
+
+    /// Explorer-based differential: generated workloads run under the
+    /// deterministic interleaving explorer at `threads ∈ {2, 4}` over a
+    /// small seed set. Every explored schedule must produce rows
+    /// byte-identical to the serial baseline, and the session plan
+    /// cache must agree with the uncached path: a report served from a
+    /// cached prepared plan returns the same rows as a cold report and
+    /// as a direct (never-cached) execution.
+    #[test]
+    fn explored_interleavings_agree_with_serial(
+        t_rows in proptest::collection::vec((0..4usize, 0..5usize), 1..8),
+        u_rows in proptest::collection::vec((0..4usize, 0..5usize), 0..6),
+        sql in query_strategy(),
+    ) {
+        let db = setup(&t_rows, &u_rows);
+        let txn = db.begin_read();
+        let bound = bind_select(&txn, &parse_select(&sql).unwrap()).unwrap();
+        let serial = execute_select(&txn, &bound).unwrap().rows;
+        for threads in [2usize, 4] {
+            for seed in [1u64, 2] {
+                let opts = trac::plan::ExecOptions::default().with_parallelism(threads, 2);
+                let report = trac::exec::schedule::explore(
+                    trac::exec::schedule::Strategy::Random { seed, schedules: 2 },
+                    |_ctl| {
+                        let rows = execute_select_with(&txn, &bound, opts)
+                            .map_err(|e| e.to_string())?
+                            .0
+                            .rows;
+                        if rows == serial {
+                            Ok(())
+                        } else {
+                            Err(format!(
+                                "threads={threads} seed={seed}: explored schedule \
+                                 diverges from serial for {sql}"
+                            ))
+                        }
+                    },
+                );
+                prop_assert!(report.is_clean(), "{:?}", report.failure);
+            }
+        }
+        drop(txn);
+        // Cache on/off agreement: cold report (miss), cached report
+        // (hit), and the uncached direct path must return identical rows.
+        let session = trac::core::Session::new(db.clone());
+        let cold = session.recency_report(&sql).unwrap().result.rows;
+        let cached = session.recency_report(&sql).unwrap().result.rows;
+        let uncached = session.query(&sql).unwrap().rows;
+        prop_assert_eq!(&cold, &serial, "cold report diverges for {}", &sql);
+        prop_assert_eq!(&cached, &serial, "cached report diverges for {}", &sql);
+        prop_assert_eq!(&uncached, &serial, "uncached path diverges for {}", &sql);
+        let stats = session.plan_cache_stats();
+        prop_assert!(stats.hits >= 1, "second report must hit the plan cache");
+    }
+}

@@ -1,0 +1,235 @@
+//! Dynamic determinism certification: the interleaving explorer run
+//! against the real storage/exec/core stack.
+//!
+//! The `trac-analyze` concurrency pass proves TRAC016–TRAC020
+//! statically; these tests re-prove the two dynamic claims by
+//! exhaustively or randomly exploring bounded interleavings of the
+//! morsel-driven worker pool on a single core:
+//!
+//! * **determinism** — parallel output is byte-identical to serial
+//!   under *every* explored schedule at `threads ∈ {2, 4}`, and the
+//!   explorer *does* detect the seeded dual bug (a Gather merging in
+//!   completion order instead of morsel order);
+//! * **cache soundness** — no schedule exists in which the prepared-plan
+//!   cache serves a plan built before an invalidating heartbeat write
+//!   (the write bumps the epoch the cache is keyed on, so the
+//!   post-write report must rebuild).
+
+use std::sync::Mutex;
+
+use trac::core::Session;
+use trac::exec::schedule::{self, participate, Strategy};
+use trac::exec::{execute_plan, ExecOptions};
+use trac::expr::bind_select;
+use trac::plan::{plan_select, PlanNode};
+use trac::sql::parse_select;
+use trac::storage::ReadTxn;
+use trac::types::{SourceId, Timestamp};
+use trac::workload::load_paper_tables;
+
+const JOIN_SQL: &str = "SELECT A.mach_id FROM Routing R, Activity A \
+     WHERE R.mach_id = 'm1' AND A.value = 'idle' AND R.neighbor = A.mach_id";
+const SCAN_SQL: &str = "SELECT mach_id FROM Activity";
+
+fn bound_plan(txn: &ReadTxn, sql: &str, opts: ExecOptions) -> trac::plan::PhysicalPlan {
+    let stmt = parse_select(sql).unwrap();
+    let q = bind_select(txn, &stmt).unwrap();
+    plan_select(txn, &q, opts).unwrap()
+}
+
+/// Every explored schedule of a parallel session report must produce
+/// rows byte-identical to the serial baseline, at 2 and at 4 workers.
+#[test]
+fn parallel_session_reports_are_deterministic_under_exploration() {
+    let t = load_paper_tables().unwrap();
+    let baseline = Session::new(t.db.clone())
+        .recency_report(JOIN_SQL)
+        .unwrap()
+        .result
+        .rows;
+    for threads in [2usize, 4] {
+        let mut session = Session::new(t.db.clone());
+        session.exec_options = ExecOptions::default().with_parallelism(threads, 2);
+        let session = &session;
+        let baseline = &baseline;
+        let report = schedule::explore(
+            Strategy::Random {
+                seed: 0x7ac0 + threads as u64,
+                schedules: 6,
+            },
+            |_ctl| {
+                let rows = session
+                    .recency_report(JOIN_SQL)
+                    .map_err(|e| e.to_string())?
+                    .result
+                    .rows;
+                if rows == *baseline {
+                    Ok(())
+                } else {
+                    Err(format!(
+                        "threads={threads}: parallel rows diverge from serial under exploration"
+                    ))
+                }
+            },
+        );
+        assert!(report.is_clean(), "threads={threads}: {:?}", report.failure);
+        assert_eq!(report.schedules, 6);
+    }
+}
+
+/// The stock (morsel-ordered) executor survives bounded *exhaustive*
+/// enumeration of worker interleavings on a plain parallel scan.
+#[test]
+fn stock_parallel_scan_is_clean_under_exhaustive_exploration() {
+    let t = load_paper_tables().unwrap();
+    let txn = t.db.begin_read();
+    let serial = execute_plan(&txn, &bound_plan(&txn, SCAN_SQL, ExecOptions::default()))
+        .unwrap()
+        .rows;
+    for threads in [2usize, 4] {
+        let parallel = bound_plan(
+            &txn,
+            SCAN_SQL,
+            ExecOptions::default().with_parallelism(threads, 1),
+        );
+        let report = schedule::explore(Strategy::Exhaustive { max_schedules: 48 }, |_ctl| {
+            let rows = execute_plan(&txn, &parallel)
+                .map_err(|e| e.to_string())?
+                .rows;
+            if rows == serial {
+                Ok(())
+            } else {
+                Err(format!("threads={threads}: morsel-ordered Gather diverged"))
+            }
+        });
+        assert!(report.is_clean(), "threads={threads}: {:?}", report.failure);
+        assert!(report.schedules >= 2, "exploration must actually branch");
+    }
+}
+
+/// Seeded determinism bug: flipping the Gather to completion-order
+/// merging (exactly mutation `TRAC017` of the static corpus) must be
+/// *detected* by the explorer — some interleaving reorders the output.
+#[test]
+fn explorer_detects_a_completion_order_merge() {
+    let t = load_paper_tables().unwrap();
+    let txn = t.db.begin_read();
+    let serial = execute_plan(&txn, &bound_plan(&txn, SCAN_SQL, ExecOptions::default()))
+        .unwrap()
+        .rows;
+    let mut buggy = bound_plan(
+        &txn,
+        SCAN_SQL,
+        ExecOptions::default().with_parallelism(2, 1),
+    );
+    fn strip_merge_order(node: &mut PlanNode) {
+        if let PlanNode::Gather { morsel_ordered, .. } = node {
+            *morsel_ordered = false;
+        }
+        for child in node.children_mut() {
+            strip_merge_order(child);
+        }
+    }
+    strip_merge_order(&mut buggy.root);
+    let report = schedule::explore(Strategy::Exhaustive { max_schedules: 200 }, |_ctl| {
+        let rows = execute_plan(&txn, &buggy).map_err(|e| e.to_string())?.rows;
+        if rows == serial {
+            Ok(())
+        } else {
+            Err("completion-order merge produced schedule-dependent rows".into())
+        }
+    });
+    let failure = report
+        .failure
+        .expect("the explorer must find an interleaving that reorders the merge");
+    assert!(failure.message.contains("schedule-dependent"));
+    assert!(
+        !failure.choices.is_empty(),
+        "the failing schedule must be replayable from its decision trace"
+    );
+}
+
+/// Cache soundness: across every explored interleaving of a reader
+/// session and an invalidating heartbeat writer, the post-write report
+/// must rebuild its plan (epoch key moved), never serve the pre-write
+/// one. The reader's rows stay byte-identical throughout — the write
+/// only touches recency metadata.
+#[test]
+fn no_stale_cache_serve_after_an_invalidating_write() {
+    let t = load_paper_tables().unwrap();
+    let baseline = Session::new(t.db.clone())
+        .recency_report(JOIN_SQL)
+        .unwrap()
+        .result
+        .rows;
+    let db = &t.db;
+    let baseline = &baseline;
+    let report = schedule::explore(
+        Strategy::Random {
+            seed: 11,
+            schedules: 8,
+        },
+        |ctl| {
+            let mut session = Session::new(db.clone());
+            session.exec_options = ExecOptions::default().with_parallelism(2, 2);
+            let session = &session;
+            // R1 fills the cache at the pre-write epoch.
+            let r1 = session
+                .recency_report(JOIN_SQL)
+                .map_err(|e| e.to_string())?
+                .result
+                .rows;
+            // R2 races the invalidating write.
+            let r2_rows: Mutex<Option<Vec<Vec<trac::types::Value>>>> = Mutex::new(None);
+            let base = ctl.expect_workers(2);
+            std::thread::scope(|s| {
+                let ctl_r = ctl.clone();
+                let r2_rows = &r2_rows;
+                s.spawn(move || {
+                    participate(&ctl_r, base, || {
+                        let rows = session.recency_report(JOIN_SQL).unwrap().result.rows;
+                        *r2_rows.lock().unwrap() = Some(rows);
+                    });
+                });
+                let ctl_w = ctl.clone();
+                s.spawn(move || {
+                    participate(&ctl_w, base + 1, || {
+                        let txn = db.begin_write();
+                        txn.heartbeat(&SourceId::new("m1"), Timestamp(i64::MAX / 2))
+                            .unwrap();
+                        txn.commit();
+                    });
+                });
+                ctl.suspend();
+            });
+            ctl.resume();
+            // R3 runs strictly after the write: its epoch differs from
+            // R1's, so a cache hit here would be a stale serve.
+            let r3 = session
+                .recency_report(JOIN_SQL)
+                .map_err(|e| e.to_string())?
+                .result
+                .rows;
+            let r2 = r2_rows.lock().unwrap().take().expect("reader ran");
+            for (label, rows) in [("R1", &r1), ("R2", &r2), ("R3", &r3)] {
+                if rows != baseline {
+                    return Err(format!("{label} rows diverged from the serial baseline"));
+                }
+            }
+            let stats = session.plan_cache_stats();
+            // R1 always misses; R3 must miss again because the write
+            // moved the epoch (R2 may land on either side). A single
+            // miss would mean R3 was served the stale pre-write plan.
+            if stats.misses < 2 {
+                return Err(format!(
+                    "stale cache serve: only {} plan-cache miss(es) across an \
+                     invalidating write (hits={})",
+                    stats.misses, stats.hits
+                ));
+            }
+            Ok(())
+        },
+    );
+    assert!(report.is_clean(), "{:?}", report.failure);
+    assert_eq!(report.schedules, 8);
+}
