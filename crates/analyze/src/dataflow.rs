@@ -542,6 +542,66 @@ fn transfer(q: &BoundSelect, node: &PlanNode, map: &mut FactMap) -> Facts {
             );
             facts
         }
+        PlanNode::CountStar { table, .. } => {
+            check_single_table(q, "CountStar", table, out);
+            // The fast path emits one already-shaped row: the count.
+            Facts {
+                slots: BTreeSet::from([0]),
+                shaped: Some(1),
+                row_bound: Some(1),
+                ..Facts::default()
+            }
+        }
+        PlanNode::IndexMinMax { table, column, .. } => {
+            check_single_table(q, "IndexMinMax", table, out);
+            if q.tables
+                .first()
+                .is_some_and(|t| t.schema.columns.get(*column).is_none())
+            {
+                out.push(Finding::new(
+                    OPERATOR_CONTRACT,
+                    format!("IndexMinMax aggregates column #{column}, which does not exist"),
+                ));
+            }
+            // One already-shaped row: the extreme (or NULL).
+            Facts {
+                slots: BTreeSet::from([0]),
+                shaped: Some(1),
+                row_bound: Some(1),
+                ..Facts::default()
+            }
+        }
+        PlanNode::TopNIndex {
+            table,
+            pos,
+            column,
+            desc,
+            n,
+            filter,
+            ..
+        } => {
+            // A leaf with extra output-shape facts: the ordered index
+            // walk emits tuples sorted by `column` and stops at `n`.
+            let mut facts = leaf_facts(q, "TopNIndex", table, *pos, filter, out);
+            if q.tables
+                .get(*pos)
+                .is_some_and(|t| t.schema.columns.get(*column).is_none())
+            {
+                out.push(Finding::new(
+                    OPERATOR_CONTRACT,
+                    format!("TopNIndex walks column #{column}, which does not exist"),
+                ));
+            }
+            facts.sort = vec![(
+                BoundExpr::Column(ColRef {
+                    table: *pos,
+                    column: *column,
+                }),
+                *desc,
+            )];
+            facts.row_bound = Some(*n);
+            facts
+        }
         PlanNode::Filter { input, predicate } => {
             let mut facts = transfer(q, input, map);
             if facts.shaped.is_some() {
@@ -767,6 +827,33 @@ fn transfer(q: &BoundSelect, node: &PlanNode, map: &mut FactMap) -> Facts {
     };
     map.facts.insert(node_key(node), facts.clone());
     facts
+}
+
+/// Aggregate fast-path roots answer a single-table query from storage;
+/// they must read the one (and only) bound table.
+fn check_single_table(
+    q: &BoundSelect,
+    name: &str,
+    table: &trac_expr::BoundTable,
+    out: &mut Vec<Finding>,
+) {
+    if q.tables.len() != 1 {
+        out.push(Finding::new(
+            OPERATOR_CONTRACT,
+            format!(
+                "{name} answers a single-table query, but the query binds {} tables",
+                q.tables.len()
+            ),
+        ));
+    } else if q.tables.first().is_some_and(|bt| bt.id != table.id) {
+        out.push(Finding::new(
+            OPERATOR_CONTRACT,
+            format!(
+                "{name} reads `{}`, but the query binds a different table",
+                table.binding
+            ),
+        ));
+    }
 }
 
 /// Join inner sides must be access leaves.

@@ -219,8 +219,27 @@ pub const LOCK_ORDER: Code = Code {
     summary: "lock acquisition violates the declared partial order",
 };
 
+/// Fast-path certifier: a fast-path operator (`CountStar`,
+/// `IndexMinMax`, `TopNIndex`, or a multi-key IN-list probe) was emitted
+/// although re-deriving its side conditions from the bound query and the
+/// catalog fails — the storage shortcut could compute a different result
+/// than the general pipeline.
+pub const FASTPATH_UNSOUND: Code = Code {
+    id: "TRAC021",
+    severity: Severity::Error,
+    summary: "fast-path operator emitted without its re-derivable side conditions",
+};
+
+/// Fast-path certifier: every fast-path operator in the plan had its
+/// side conditions independently re-derived and confirmed.
+pub const FASTPATH_CERTIFIED: Code = Code {
+    id: "TRAC022",
+    severity: Severity::Note,
+    summary: "fast-path side conditions independently re-derived and confirmed",
+};
+
 /// All codes, for `--explain` listings and the docs table.
-pub const ALL_CODES: [Code; 20] = [
+pub const ALL_CODES: [Code; 22] = [
     PARTITION_VIOLATION,
     UNSOUND_MINIMUM,
     UNSAT_NONEMPTY,
@@ -241,6 +260,8 @@ pub const ALL_CODES: [Code; 20] = [
     PARTITION_KEY_UNSOUND,
     EPOCH_COVERAGE,
     LOCK_ORDER,
+    FASTPATH_UNSOUND,
+    FASTPATH_CERTIFIED,
 ];
 
 /// A byte range into the SQL text under analysis.

@@ -34,7 +34,12 @@
 //!   `TRAC016`, Gather determinism `TRAC017`, partition-key soundness
 //!   `TRAC018`) and audits two crate-wide disciplines dynamically:
 //!   heartbeat-epoch cache-invalidation coverage (`TRAC019`) and the
-//!   declared lock-acquisition order (`TRAC020`).
+//!   declared lock-acquisition order (`TRAC020`);
+//! * [`passes::fastpath`] — re-derives the side conditions of every
+//!   statistics-driven fast-path operator the lowering emitted
+//!   (`CountStar`, `IndexMinMax`, `TopNIndex`, multi-key IN-list
+//!   probes) from the bound query and the catalog (`TRAC021`) and
+//!   records a positive certification when they all hold (`TRAC022`).
 //!
 //! Use [`analyze_sql`] for one query against a live database snapshot,
 //! [`analyze_samples`] to sweep every sample workload, and
@@ -50,10 +55,10 @@ pub mod passes;
 
 pub use diag::{
     Code, Diagnostic, Severity, Span, SpanFinder, ALL_CODES, ALL_SOURCES_FALLBACK, BAD_PROJECTION,
-    DEGRADED_GUARANTEE, EPOCH_COVERAGE, EXCHANGE_PLACEMENT, GATHER_DETERMINISM, JOIN_KEY_CONTRACT,
-    LOCK_ORDER, OPERATOR_CONTRACT, PARTITION_KEY_UNSOUND, PARTITION_VIOLATION, REFINED_MINIMUM,
-    RESIDUE_DROPPED, RESIDUE_PHANTOM, SAT_MISMATCH, SHAPE_MISMATCH, UNCONFIRMED_REFINEMENT,
-    UNSAT_NONEMPTY, UNSOUND_MINIMUM,
+    DEGRADED_GUARANTEE, EPOCH_COVERAGE, EXCHANGE_PLACEMENT, FASTPATH_CERTIFIED, FASTPATH_UNSOUND,
+    GATHER_DETERMINISM, JOIN_KEY_CONTRACT, LOCK_ORDER, OPERATOR_CONTRACT, PARTITION_KEY_UNSOUND,
+    PARTITION_VIOLATION, REFINED_MINIMUM, RESIDUE_DROPPED, RESIDUE_PHANTOM, SAT_MISMATCH,
+    SHAPE_MISMATCH, UNCONFIRMED_REFINEMENT, UNSAT_NONEMPTY, UNSOUND_MINIMUM,
 };
 pub use passes::validate::validate_plan;
 pub use passes::PassCtx;
@@ -173,6 +178,13 @@ pub fn analyze_sql(
     )?;
     let user_plan = trac_plan::plan_select(txn, &q, trac_plan::ExecOptions::default())?;
     let mut analysis = analyze_bound(name, sql, &q, &plan, Some(&user_plan), cfg);
+    // Certify every statistics-driven fast path the lowering emitted —
+    // in the user plan and in every recency subquery plan — by
+    // re-deriving its side conditions from the bound query and the
+    // catalog snapshot (TRAC021/TRAC022).
+    analysis
+        .diagnostics
+        .extend(passes::fastpath::run(txn, &q, &user_plan, &plan, name));
     // Also certify the morsel-driven lowering of the same query: the
     // Exchange/Gather pair must pass dataflow facts through unchanged,
     // so a sound parallel plan adds no diagnostics to the report.

@@ -7,6 +7,7 @@
 //! from the production code paths and feed them through the same checks.
 
 pub mod concurrency;
+pub mod fastpath;
 pub mod guarantee;
 pub mod partition;
 pub mod refine;

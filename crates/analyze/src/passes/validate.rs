@@ -32,7 +32,8 @@ use crate::diag::{
     Diagnostic, SpanFinder, OPERATOR_CONTRACT, RESIDUE_DROPPED, RESIDUE_PHANTOM, SHAPE_MISMATCH,
 };
 use trac_core::RecencyPlan;
-use trac_expr::{eval_predicate, BoundExpr, BoundSelect, Projection, Truth};
+use trac_expr::bound::AggFunc;
+use trac_expr::{eval_predicate, BoundExpr, BoundSelect, ColRef, Projection, Truth};
 use trac_plan::{split_and, PhysicalPlan, PlanNode};
 
 /// Certifies one `(query, plan)` pair, labeling findings with `context`
@@ -206,6 +207,37 @@ fn check_shape<'p>(
                 }
                 node = input;
             }
+            // Fast-path aggregate roots answer the whole query in one
+            // operator; structurally they must match a single bare
+            // aggregate projection with no group shaping left over (a
+            // LIMIT of one or more on a one-row result is a no-op; the
+            // side conditions proper are re-derived by the fast-path
+            // soundness pass, TRAC021).
+            PlanNode::CountStar { name, .. } => {
+                check_fastpath_agg_shape(q, "CountStar", context, out);
+                let want = Projection::Aggregate {
+                    func: AggFunc::Count,
+                    arg: None,
+                    name: name.clone(),
+                };
+                check_projections(std::slice::from_ref(&want), q, context, out);
+                return node;
+            }
+            PlanNode::IndexMinMax {
+                column, func, name, ..
+            } => {
+                check_fastpath_agg_shape(q, "IndexMinMax", context, out);
+                let want = Projection::Aggregate {
+                    func: *func,
+                    arg: Some(BoundExpr::Column(ColRef {
+                        table: 0,
+                        column: *column,
+                    })),
+                    name: name.clone(),
+                };
+                check_projections(std::slice::from_ref(&want), q, context, out);
+                return node;
+            }
             other => {
                 out.push(Diagnostic::new(
                     SHAPE_MISMATCH,
@@ -300,6 +332,41 @@ fn check_shape<'p>(
                 }
                 node = input;
             }
+            // The ordered index walk supplies the order itself: its key
+            // must be the query's single ORDER BY key (same direction)
+            // and its early stop must equal the query's LIMIT.
+            PlanNode::TopNIndex {
+                pos,
+                column,
+                desc,
+                n,
+                ..
+            } => {
+                let want = [(
+                    BoundExpr::Column(ColRef {
+                        table: *pos,
+                        column: *column,
+                    }),
+                    *desc,
+                )];
+                if q.order_by != want {
+                    out.push(Diagnostic::new(
+                        SHAPE_MISMATCH,
+                        context,
+                        "TopNIndex walk order differs from the query's ORDER BY",
+                    ));
+                }
+                if q.limit != Some(*n) {
+                    out.push(Diagnostic::new(
+                        SHAPE_MISMATCH,
+                        context,
+                        format!(
+                            "TopNIndex stops after {n} rows, the query's LIMIT says {:?}",
+                            q.limit
+                        ),
+                    ));
+                }
+            }
             _ => out.push(Diagnostic::new(
                 SHAPE_MISMATCH,
                 context,
@@ -308,6 +375,24 @@ fn check_shape<'p>(
         }
     }
     skip_extra_shaping(node, context, out)
+}
+
+/// A fast-path aggregate root (`CountStar`/`IndexMinMax`) produces a
+/// single unshaped row; any surviving shaping clause it would have to
+/// honor (except a no-op `LIMIT n >= 1`) is a shape mismatch.
+fn check_fastpath_agg_shape(q: &BoundSelect, op: &str, context: &str, out: &mut Vec<Diagnostic>) {
+    let unshaped = q.group_by.is_empty()
+        && q.having.is_none()
+        && !q.distinct
+        && q.order_by.is_empty()
+        && q.limit != Some(0);
+    if !unshaped {
+        out.push(Diagnostic::new(
+            SHAPE_MISMATCH,
+            context,
+            format!("{op} root ignores the query's group-shaping clauses"),
+        ));
+    }
 }
 
 /// Any shaping operator below the expected stack is misplaced; flag and

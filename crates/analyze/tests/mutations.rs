@@ -10,7 +10,7 @@
 //! a phantom predicate, a corrupted join key, a retargeted slot, a
 //! mangled shaping operator, a misplaced Exchange, an unordered merge.
 
-use trac_analyze::passes::concurrency;
+use trac_analyze::passes::{concurrency, fastpath};
 use trac_analyze::validate_plan;
 use trac_expr::{bind_select, BoundExpr, BoundSelect};
 use trac_plan::{ExecOptions, PhysicalPlan, PlanNode};
@@ -303,6 +303,135 @@ fn reordering_a_filter_above_the_shaping_stack_is_caught() {
             };
         },
         &["TRAC013"],
+    );
+}
+
+/// Error-severity code ids the fast-path certifier produced.
+fn fastpath_codes(txn: &ReadTxn, q: &BoundSelect, p: &PhysicalPlan) -> Vec<&'static str> {
+    fastpath::check_plan(txn, q, p, "mut")
+        .iter()
+        .filter(|d| d.is_error())
+        .map(|d| d.code.id)
+        .collect()
+}
+
+/// Runs one fast-path-mutation scenario: the pristine plan must certify
+/// clean (a `TRAC022` note at most), the mutated plan must trip
+/// `TRAC021`.
+fn assert_fastpath_mutation(sql: &str, opts: ExecOptions, mutate: impl FnOnce(&mut PlanNode)) {
+    let t = load_paper_tables().unwrap();
+    let txn = t.db.begin_read();
+    let q = bind(&txn, sql);
+    let mut p = plan(&txn, &q, opts);
+    assert!(
+        fastpath_codes(&txn, &q, &p).is_empty(),
+        "pristine plan must certify: {:?}\n{}",
+        fastpath::check_plan(&txn, &q, &p, "pre"),
+        p.render()
+    );
+    mutate(&mut p.root);
+    let codes = fastpath_codes(&txn, &q, &p);
+    assert!(
+        codes.contains(&"TRAC021"),
+        "expected TRAC021, got {codes:?}"
+    );
+}
+
+#[test]
+fn count_star_shortcut_with_a_live_where_is_caught() {
+    // Fast-pathing COUNT(*) although a WHERE conjunct still needs
+    // enforcing would count *unfiltered* rows — the exact bug the
+    // planner's `pending.is_empty()` guard prevents (TRAC021).
+    let t = load_paper_tables().unwrap();
+    let txn = t.db.begin_read();
+    let q = bind(
+        &txn,
+        "SELECT COUNT(*) AS n FROM Activity WHERE value = 'idle'",
+    );
+    let mut p = plan(&txn, &q, ExecOptions::default());
+    assert!(
+        matches!(p.root, PlanNode::Aggregate { .. }),
+        "a filtered COUNT(*) must not fast-path: {}",
+        p.render()
+    );
+    p.root = PlanNode::CountStar {
+        table: q.tables[0].clone(),
+        name: "n".to_string(),
+        est_rows: 0,
+        cost: 1,
+    };
+    let codes = fastpath_codes(&txn, &q, &p);
+    assert!(
+        codes.contains(&"TRAC021"),
+        "expected TRAC021, got {codes:?}"
+    );
+}
+
+#[test]
+fn min_max_walk_of_an_unindexed_column_is_caught() {
+    // Retargeting the extreme walk onto `value` (no index) makes the
+    // "first index entry" answer meaningless (TRAC021).
+    assert_fastpath_mutation(
+        "SELECT MIN(mach_id) AS lo FROM Activity",
+        ExecOptions::default(),
+        |root| {
+            let PlanNode::IndexMinMax { column, .. } = root else {
+                panic!("expected IndexMinMax root");
+            };
+            *column = 1; // mach_id -> value
+        },
+    );
+}
+
+#[test]
+fn flipping_the_top_n_walk_direction_is_caught() {
+    // A descending walk answering an ascending ORDER BY returns the
+    // wrong end of the index. Caught twice, independently: the
+    // fast-path certifier re-derives the walk order (TRAC021) and the
+    // shape check compares it against the query's sort (TRAC013).
+    let sql = "SELECT mach_id FROM Activity ORDER BY mach_id LIMIT 2";
+    fn flip(root: &mut PlanNode) {
+        let PlanNode::TopNIndex { desc, .. } = relational_root(root) else {
+            panic!("expected TopNIndex leaf");
+        };
+        *desc = !*desc;
+    }
+    assert_fastpath_mutation(sql, ExecOptions::default(), flip);
+    assert_mutation(sql, ExecOptions::default(), flip, &["TRAC013"]);
+}
+
+#[test]
+fn top_n_walk_of_a_missing_column_is_caught() {
+    // The dataflow contract arm for the new leaf: a walked column the
+    // schema does not have (TRAC012).
+    assert_mutation(
+        "SELECT mach_id FROM Activity ORDER BY mach_id LIMIT 2",
+        ExecOptions::default(),
+        |root| {
+            let PlanNode::TopNIndex { column, .. } = relational_root(root) else {
+                panic!("expected TopNIndex leaf");
+            };
+            *column = 99;
+        },
+        &["TRAC012"],
+    );
+}
+
+#[test]
+fn widening_the_in_list_probe_keys_is_caught() {
+    // Probe keys must re-derive from a WHERE conjunct; an extra key
+    // would surface rows the query excludes — and the residue check
+    // alone cannot see it, because the re-applied filter still hides
+    // the phantom rows (TRAC021).
+    assert_fastpath_mutation(
+        "SELECT mach_id FROM Activity WHERE mach_id IN ('m1', 'm2')",
+        ExecOptions::default(),
+        |root| {
+            let PlanNode::IndexLookup { keys, .. } = relational_root(root) else {
+                panic!("expected IndexLookup leaf");
+            };
+            keys.push(Value::text("m3"));
+        },
     );
 }
 

@@ -152,10 +152,19 @@ impl RecencyPlan {
                 // Lower the generated query to plan IR right here — no SQL
                 // round-trip. The stored plan feeds EXPLAIN and analysis.
                 if let Some(query) = &sub.query {
+                    // Generated subqueries opt into the cost-based join
+                    // order: their output is consumed as a *set* of
+                    // source ids (the semijoin unions into a BTreeSet),
+                    // so the row-order pin that keeps user queries in
+                    // FROM order does not apply, and the statistics can
+                    // start the join from the smallest filtered table.
                     sub.plan = Some(trac_plan::plan_select(
                         txn,
                         query,
-                        trac_plan::ExecOptions::default(),
+                        trac_plan::ExecOptions {
+                            cost_based_join_order: true,
+                            ..Default::default()
+                        },
                     )?);
                 }
                 match sub.status {

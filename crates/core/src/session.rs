@@ -101,6 +101,30 @@ struct CachedPlan {
     plan: RecencyPlan,
 }
 
+/// Prepared-plan cache key: the query shape plus the execution
+/// configuration the subqueries will run under. Threads and morsel size
+/// shape the lowered subquery twins (Exchange/Gather placement and
+/// morsel boundaries), so a plan prepared for one configuration must
+/// never be served to another — a session that flips
+/// [`Session::exec_options`] mid-flight gets a fresh build, not a
+/// configuration mismatch.
+#[derive(Clone, PartialEq, Eq, Hash)]
+struct PlanKey {
+    sql: String,
+    threads: usize,
+    batch_size: usize,
+}
+
+impl PlanKey {
+    fn new(sql: &str, opts: ExecOptions) -> PlanKey {
+        PlanKey {
+            sql: sql.to_string(),
+            threads: opts.threads,
+            batch_size: opts.batch_size,
+        }
+    }
+}
+
 /// A user session against a TRAC-enabled database.
 pub struct Session {
     db: Database,
@@ -115,14 +139,15 @@ pub struct Session {
     /// [`ExecOptions::with_parallelism`] to run both through the batched
     /// morsel-driven path.
     pub exec_options: ExecOptions,
-    /// Prepared recency plans keyed by the query shape (the raw SQL
-    /// text), invalidated by the heartbeat epoch: any heartbeat upsert
-    /// bumps the database epoch, and a mismatched epoch forces a
-    /// rebuild. This is conservative — plans only depend on schema and
+    /// Prepared recency plans keyed by [`PlanKey`] (the raw SQL text
+    /// plus the thread count and morsel size they were prepared for),
+    /// invalidated by the heartbeat epoch: any heartbeat upsert bumps
+    /// the database epoch, and a mismatched epoch forces a rebuild.
+    /// This is conservative — plans only depend on schema and
     /// predicates, not on heartbeat *values* — but heartbeat traffic is
     /// the natural staleness clock TRAC already maintains, and a rebuild
     /// is cheap relative to a wrong cached plan after DDL-ish change.
-    plan_cache: Mutex<HashMap<String, CachedPlan>>,
+    plan_cache: Mutex<HashMap<PlanKey, CachedPlan>>,
     cache_hits: AtomicU64,
     cache_misses: AtomicU64,
 }
@@ -230,13 +255,14 @@ impl Session {
         // write (yields no-op outside an exploration).
         trac_exec::schedule::yield_point(trac_exec::schedule::Site::CacheRead);
         let epoch = txn.heartbeat_epoch();
+        let key = PlanKey::new(sql, self.exec_options);
         {
             let _cache_order = lockorder::acquire(LockId::PlanCache);
             if let Some(hit) = self
                 .plan_cache
                 .lock()
                 .expect("plan cache poisoned")
-                .get(sql)
+                .get(&key)
             {
                 if hit.epoch == epoch && hit.config == self.relevance_config {
                     self.cache_hits.fetch_add(1, Ordering::Relaxed);
@@ -249,7 +275,7 @@ impl Session {
         trac_exec::schedule::yield_point(trac_exec::schedule::Site::CacheWrite);
         let _cache_order = lockorder::acquire(LockId::PlanCache);
         self.plan_cache.lock().expect("plan cache poisoned").insert(
-            sql.to_string(),
+            key,
             CachedPlan {
                 epoch,
                 config: self.relevance_config,
@@ -568,7 +594,7 @@ mod tests {
             .plan_cache
             .lock()
             .unwrap()
-            .get_mut(sql)
+            .get_mut(&PlanKey::new(sql, session.exec_options))
             .unwrap()
             .plan
             .guarantee = Guarantee::UpperBound;
@@ -608,7 +634,7 @@ mod tests {
             .plan_cache
             .lock()
             .unwrap()
-            .get_mut(sql)
+            .get_mut(&PlanKey::new(sql, session.exec_options))
             .unwrap()
             .plan
             .guarantee = Guarantee::UpperBound;
@@ -619,6 +645,37 @@ mod tests {
             Guarantee::Minimum,
             "config change must bypass the cached plan"
         );
+    }
+
+    #[test]
+    fn plan_cache_keys_on_threads_and_batch_size() {
+        let db = paper_db();
+        let mut session = Session::new(db);
+        let sql = "SELECT mach_id FROM Activity WHERE value = 'idle'";
+        session.recency_report(sql).unwrap();
+        assert_eq!(
+            session.plan_cache_stats(),
+            PlanCacheStats { hits: 0, misses: 1 }
+        );
+        // Same SQL, same epoch, new execution configuration: the plan
+        // prepared for the serial configuration must not be served.
+        session.exec_options = ExecOptions::default().with_parallelism(4, 2);
+        session.recency_report(sql).unwrap();
+        assert_eq!(
+            session.plan_cache_stats(),
+            PlanCacheStats { hits: 0, misses: 2 },
+            "threads/batch_size change must miss the cache"
+        );
+        // Both configurations now coexist; re-running either hits.
+        session.recency_report(sql).unwrap();
+        session.exec_options = ExecOptions::default();
+        session.recency_report(sql).unwrap();
+        assert_eq!(
+            session.plan_cache_stats(),
+            PlanCacheStats { hits: 2, misses: 2 },
+            "each configuration keeps its own cached plan"
+        );
+        assert_eq!(session.plan_cache.lock().unwrap().len(), 2);
     }
 
     #[test]

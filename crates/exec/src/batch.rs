@@ -1,0 +1,568 @@
+//! Columnar (vectorized) interpretation of a [`PhysicalPlan`].
+//!
+//! This is the default engine. Instead of pulling one tuple at a time,
+//! each operator produces a [`ColumnarBatch`] — per-slot row vectors
+//! plus a selection vector of live lanes — and predicates, join keys
+//! and projections evaluate over whole batches through
+//! [`trac_expr::eval_vec`]. The row-at-a-time operators in
+//! [`crate::operators`] are retained unchanged as the differential
+//! reference: both engines produce byte-identical results for every
+//! plan (the differential suite executes both and compares).
+//!
+//! Semantics deliberately mirrored from the scalar engine:
+//!
+//! * Inner join sides stay lazy — a join fetches (or hash-builds) its
+//!   inner table only when the first **non-empty** outer batch arrives,
+//!   so an empty outer input never touches downstream tables.
+//! * `LIMIT` is checked before each output lane is materialized, so an
+//!   evaluation error past the limit never surfaces — exactly like the
+//!   scalar engine checking the limit before pulling the next tuple.
+//! * Joins expand outer-major ([`ColumnarBatch::join_extend`]), so lane
+//!   order equals the serial streaming order.
+//! * Aggregates drain their input and finish through the shared
+//!   [`finish_global`]/[`finish_groups`] helpers, keeping
+//!   HAVING/projection error ordering identical.
+
+use crate::operators::{
+    finish_global, finish_groups, leaf_parts, leaf_pos, order_cmp, RowDedup, Tuple,
+};
+use crate::result::QueryResult;
+use std::collections::HashMap;
+use trac_expr::{eval_expr, eval_vec, AggFunc, ColumnarBatch, Projection};
+use trac_plan::{PhysicalPlan, PlanNode};
+use trac_storage::{ReadTxn, Row};
+use trac_types::{Result, TracError, Value};
+
+/// A pull-based batch iterator over one operator subtree. Batches may
+/// have zero live lanes after filtering; consumers skip those without
+/// treating them as end-of-stream.
+trait BatchSource {
+    /// Produces the next batch, or `None` when exhausted.
+    fn next_batch(&mut self) -> Result<Option<ColumnarBatch>>;
+}
+
+/// Produces no batches (a statically pruned input).
+struct EmptySource;
+
+impl BatchSource for EmptySource {
+    fn next_batch(&mut self) -> Result<Option<ColumnarBatch>> {
+        Ok(None)
+    }
+}
+
+/// Streams the base table of a join chain in `batch_size` chunks, with
+/// the leaf's residual filter applied vectorized per chunk. Rows are
+/// fetched lazily on the first pull.
+struct LeafSource<'a> {
+    txn: &'a ReadTxn,
+    node: &'a PlanNode,
+    batch_size: usize,
+    state: Option<(usize, &'a [trac_expr::BoundExpr], std::vec::IntoIter<Row>)>,
+}
+
+impl BatchSource for LeafSource<'_> {
+    fn next_batch(&mut self) -> Result<Option<ColumnarBatch>> {
+        if self.state.is_none() {
+            let (pos, filter, rows) = leaf_parts(self.txn, self.node)?;
+            self.state = Some((pos, filter, rows.into_iter()));
+        }
+        let Some((pos, filter, rows)) = self.state.as_mut() else {
+            unreachable!("state initialized above");
+        };
+        let chunk: Vec<Row> = rows.by_ref().take(self.batch_size).collect();
+        if chunk.is_empty() {
+            return Ok(None);
+        }
+        let mut batch = ColumnarBatch::from_rows(*pos + 1, *pos, chunk);
+        batch.apply_filter(filter);
+        Ok(Some(batch))
+    }
+}
+
+/// Fetches a join's inner leaf with its residual filter applied through
+/// the vectorized evaluator, returning the surviving rows.
+fn fetch_inner_rows(txn: &ReadTxn, node: &PlanNode) -> Result<Vec<Row>> {
+    let (pos, filter, raw) = leaf_parts(txn, node)?;
+    if filter.is_empty() {
+        return Ok(raw);
+    }
+    let mut batch = ColumnarBatch::from_rows(pos + 1, pos, raw);
+    batch.apply_filter(filter);
+    Ok(batch
+        .to_tuples()
+        .into_iter()
+        .map(|mut t| t.swap_remove(pos))
+        .collect())
+}
+
+/// Nested-loop join: every inner row against every live outer lane.
+struct NLJoinSource<'a> {
+    txn: &'a ReadTxn,
+    outer: Box<dyn BatchSource + 'a>,
+    inner_node: &'a PlanNode,
+    inner_pos: usize,
+    inner_rows: Option<Vec<Row>>,
+    filter: &'a [trac_expr::BoundExpr],
+}
+
+impl BatchSource for NLJoinSource<'_> {
+    fn next_batch(&mut self) -> Result<Option<ColumnarBatch>> {
+        loop {
+            let Some(batch) = self.outer.next_batch()? else {
+                return Ok(None);
+            };
+            if batch.is_empty() {
+                continue;
+            }
+            if self.inner_rows.is_none() {
+                self.inner_rows = Some(fetch_inner_rows(self.txn, self.inner_node)?);
+            }
+            let rows = self.inner_rows.as_deref().unwrap_or_default();
+            let matches: Vec<Vec<Row>> = vec![rows.to_vec(); batch.len()];
+            let mut joined = batch.join_extend(self.inner_pos, &matches);
+            joined.apply_filter(self.filter);
+            return Ok(Some(joined));
+        }
+    }
+}
+
+/// Hash join: builds `inner_col → rows` buckets from the inner leaf on
+/// the first non-empty outer batch, then matches whole batches through
+/// the vectorized key column. NULL keys never match.
+struct HashJoinSource<'a> {
+    txn: &'a ReadTxn,
+    outer: Box<dyn BatchSource + 'a>,
+    inner_node: &'a PlanNode,
+    inner_pos: usize,
+    inner_col: usize,
+    outer_key: trac_expr::ColRef,
+    filter: &'a [trac_expr::BoundExpr],
+    table: Option<HashMap<Value, Vec<Row>>>,
+}
+
+impl BatchSource for HashJoinSource<'_> {
+    fn next_batch(&mut self) -> Result<Option<ColumnarBatch>> {
+        loop {
+            let Some(batch) = self.outer.next_batch()? else {
+                return Ok(None);
+            };
+            if batch.is_empty() {
+                continue;
+            }
+            if self.table.is_none() {
+                let mut table: HashMap<Value, Vec<Row>> = HashMap::new();
+                for r in fetch_inner_rows(self.txn, self.inner_node)? {
+                    let k = r[self.inner_col].clone();
+                    if !k.is_null() {
+                        table.entry(k).or_default().push(r);
+                    }
+                }
+                self.table = Some(table);
+            }
+            let Some(table) = self.table.as_ref() else {
+                unreachable!("build side constructed above");
+            };
+            let keys = batch.column(self.outer_key)?;
+            let matches: Vec<Vec<Row>> = keys
+                .iter()
+                .map(|k| table.get(k).cloned().unwrap_or_default())
+                .collect();
+            let mut joined = batch.join_extend(self.inner_pos, &matches);
+            joined.apply_filter(self.filter);
+            return Ok(Some(joined));
+        }
+    }
+}
+
+/// Index nested-loop join: probes the inner table's index once per live
+/// outer lane with the vectorized key column. NULL keys are skipped.
+struct IndexNLJoinSource<'a> {
+    txn: &'a ReadTxn,
+    outer: Box<dyn BatchSource + 'a>,
+    table: &'a trac_expr::BoundTable,
+    pos: usize,
+    inner_col: usize,
+    outer_key: trac_expr::ColRef,
+    filter: &'a [trac_expr::BoundExpr],
+}
+
+impl BatchSource for IndexNLJoinSource<'_> {
+    fn next_batch(&mut self) -> Result<Option<ColumnarBatch>> {
+        loop {
+            let Some(batch) = self.outer.next_batch()? else {
+                return Ok(None);
+            };
+            if batch.is_empty() {
+                continue;
+            }
+            let keys = batch.column(self.outer_key)?;
+            let mut matches: Vec<Vec<Row>> = Vec::with_capacity(keys.len());
+            for k in &keys {
+                if k.is_null() {
+                    matches.push(Vec::new());
+                    continue;
+                }
+                let rows = self
+                    .txn
+                    .index_probe_in(self.table.id, self.inner_col, std::slice::from_ref(k))?
+                    .ok_or_else(|| {
+                        TracError::Execution(format!(
+                            "index on {}.col#{} vanished mid-plan",
+                            self.table.binding, self.inner_col
+                        ))
+                    })?;
+                matches.push(rows);
+            }
+            let mut joined = batch.join_extend(self.pos, &matches);
+            joined.apply_filter(self.filter);
+            return Ok(Some(joined));
+        }
+    }
+}
+
+/// Residual predicate over full batches.
+struct FilterSource<'a> {
+    input: Box<dyn BatchSource + 'a>,
+    predicate: &'a [trac_expr::BoundExpr],
+}
+
+impl BatchSource for FilterSource<'_> {
+    fn next_batch(&mut self) -> Result<Option<ColumnarBatch>> {
+        let Some(mut batch) = self.input.next_batch()? else {
+            return Ok(None);
+        };
+        batch.apply_filter(self.predicate);
+        Ok(Some(batch))
+    }
+}
+
+/// Pipeline breaker: drains its input on the first pull, sorts by the
+/// plan's keys (evaluated vectorized), then replays as one batch.
+struct SortSource<'a> {
+    input: Box<dyn BatchSource + 'a>,
+    keys: &'a [(trac_expr::BoundExpr, bool)],
+    done: bool,
+}
+
+impl BatchSource for SortSource<'_> {
+    fn next_batch(&mut self) -> Result<Option<ColumnarBatch>> {
+        if self.done {
+            return Ok(None);
+        }
+        self.done = true;
+        let mut keyed: Vec<(Vec<Value>, Tuple)> = Vec::new();
+        while let Some(batch) = self.input.next_batch()? {
+            if batch.is_empty() {
+                continue;
+            }
+            let cols: Vec<Vec<Value>> = self
+                .keys
+                .iter()
+                .map(|(e, _)| eval_vec(e, &batch))
+                .collect::<Result<_>>()?;
+            for (lane, t) in batch.to_tuples().into_iter().enumerate() {
+                keyed.push((cols.iter().map(|c| c[lane].clone()).collect(), t));
+            }
+        }
+        keyed.sort_by(|a, b| order_cmp(&a.0, &b.0, self.keys));
+        let tuples: Vec<Tuple> = keyed.into_iter().map(|(_, t)| t).collect();
+        Ok(Some(ColumnarBatch::from_tuples(0, &tuples)))
+    }
+}
+
+/// Top of a parallel region: runs the morsel-driven worker pool (with
+/// the columnar per-morsel driver) on the first pull, then replays the
+/// gathered tuples as one batch.
+struct GatherSource<'a> {
+    txn: &'a ReadTxn,
+    input: &'a PlanNode,
+    morsel_ordered: bool,
+    done: bool,
+}
+
+impl BatchSource for GatherSource<'_> {
+    fn next_batch(&mut self) -> Result<Option<ColumnarBatch>> {
+        if self.done {
+            return Ok(None);
+        }
+        self.done = true;
+        let tuples =
+            crate::parallel::execute_gather(self.txn, self.input, self.morsel_ordered, true)?;
+        Ok(Some(ColumnarBatch::from_tuples(0, &tuples)))
+    }
+}
+
+/// Builds the batch-source tree for the relational part of a plan.
+fn build_source<'a>(
+    txn: &'a ReadTxn,
+    node: &'a PlanNode,
+    batch_size: usize,
+) -> Result<Box<dyn BatchSource + 'a>> {
+    Ok(match node {
+        PlanNode::Empty { .. } => Box::new(EmptySource),
+        PlanNode::Scan { .. } | PlanNode::IndexLookup { .. } | PlanNode::TopNIndex { .. } => {
+            Box::new(LeafSource {
+                txn,
+                node,
+                batch_size,
+                state: None,
+            })
+        }
+        PlanNode::NLJoin {
+            outer,
+            inner,
+            filter,
+            ..
+        } => Box::new(NLJoinSource {
+            txn,
+            outer: build_source(txn, outer, batch_size)?,
+            inner_node: inner,
+            inner_pos: leaf_pos(inner)?,
+            inner_rows: None,
+            filter,
+        }),
+        PlanNode::HashJoin {
+            outer,
+            inner,
+            inner_col,
+            outer_key,
+            filter,
+            ..
+        } => Box::new(HashJoinSource {
+            txn,
+            outer: build_source(txn, outer, batch_size)?,
+            inner_node: inner,
+            inner_pos: leaf_pos(inner)?,
+            inner_col: *inner_col,
+            outer_key: *outer_key,
+            filter,
+            table: None,
+        }),
+        PlanNode::IndexNLJoin {
+            outer,
+            table,
+            pos,
+            inner_col,
+            outer_key,
+            filter,
+            ..
+        } => Box::new(IndexNLJoinSource {
+            txn,
+            outer: build_source(txn, outer, batch_size)?,
+            table,
+            pos: *pos,
+            inner_col: *inner_col,
+            outer_key: *outer_key,
+            filter,
+        }),
+        PlanNode::Filter { input, predicate } => Box::new(FilterSource {
+            input: build_source(txn, input, batch_size)?,
+            predicate,
+        }),
+        PlanNode::Sort { input, keys } => Box::new(SortSource {
+            input: build_source(txn, input, batch_size)?,
+            keys,
+            done: false,
+        }),
+        PlanNode::Gather {
+            input,
+            morsel_ordered,
+        } => Box::new(GatherSource {
+            txn,
+            input,
+            morsel_ordered: *morsel_ordered,
+            done: false,
+        }),
+        other => {
+            return Err(TracError::Execution(format!(
+                "unexpected {} operator in the relational subtree",
+                other.name()
+            )))
+        }
+    })
+}
+
+/// Evaluates every projection vectorized over a batch. Any failure (an
+/// evaluation error on some lane, or an aggregate projection) makes the
+/// caller fall back to per-lane scalar evaluation, which reproduces the
+/// scalar engine's error and its interaction with LIMIT exactly.
+fn project_columns(projections: &[Projection], batch: &ColumnarBatch) -> Result<Vec<Vec<Value>>> {
+    projections
+        .iter()
+        .map(|p| match p {
+            Projection::Scalar { expr, .. } => eval_vec(expr, batch),
+            Projection::Aggregate { name, .. } => Err(TracError::Execution(format!(
+                "aggregate projection {name} in a non-aggregate query"
+            ))),
+        })
+        .collect()
+}
+
+/// Scalar projection of one tuple, in projection order — the fallback
+/// (and error-ordering reference) for [`project_columns`].
+fn project_tuple_scalar(projections: &[Projection], tuple: &[Row]) -> Result<Vec<Value>> {
+    let mut row = Vec::with_capacity(projections.len());
+    for p in projections {
+        match p {
+            Projection::Scalar { expr, .. } => row.push(eval_expr(expr, tuple)?),
+            Projection::Aggregate { name, .. } => {
+                return Err(TracError::Execution(format!(
+                    "aggregate projection {name} in a non-aggregate query"
+                )))
+            }
+        }
+    }
+    Ok(row)
+}
+
+/// Interprets a physical plan against `txn`'s snapshot through the
+/// columnar engine. Byte-identical to
+/// [`crate::operators::execute_plan`] for every plan the planner emits
+/// (and for the malformed-plan error cases the tests pin).
+pub(crate) fn execute_plan_columnar(
+    txn: &ReadTxn,
+    plan: &PhysicalPlan,
+    batch_size: usize,
+) -> Result<QueryResult> {
+    let columns = plan.columns.clone();
+    // Peel the canonical top-of-plan shapers.
+    let mut node = &plan.root;
+    let mut limit: Option<u64> = None;
+    let mut distinct = false;
+    if let PlanNode::Limit { input, n } = node {
+        limit = Some(*n);
+        node = input;
+    }
+    if let PlanNode::Distinct { input } = node {
+        distinct = true;
+        node = input;
+    }
+    match node {
+        PlanNode::CountStar { table, .. } => {
+            // Fast path: the storage layer's visible-row count is the
+            // answer; no batch is ever materialized.
+            let n = txn.row_count(table.id)?;
+            Ok(QueryResult {
+                columns,
+                rows: vec![vec![Value::Int(n as i64)]],
+            })
+        }
+        PlanNode::IndexMinMax {
+            table,
+            column,
+            func,
+            ..
+        } => {
+            // Fast path: the extreme visible index entry is the answer.
+            let v = txn.index_extreme(table.id, *column, *func == AggFunc::Max)?;
+            Ok(QueryResult {
+                columns,
+                rows: vec![vec![v.unwrap_or(Value::Null)]],
+            })
+        }
+        PlanNode::Aggregate {
+            input,
+            group_by,
+            projections,
+            having,
+            order_by,
+            limit: group_limit,
+        } => {
+            // Aggregation is a full pipeline breaker: drain the input.
+            let mut src = build_source(txn, input, batch_size)?;
+            if group_by.is_empty() {
+                let mut tuples: Vec<Tuple> = Vec::new();
+                while let Some(batch) = src.next_batch()? {
+                    tuples.extend(batch.to_tuples());
+                }
+                return finish_global(columns, &tuples, projections, having.as_ref());
+            }
+            // Grouped aggregation: vectorized key evaluation per batch,
+            // groups kept in first-seen lane order.
+            let mut groups: Vec<Vec<Tuple>> = Vec::new();
+            let mut index: HashMap<Vec<Value>, usize> = HashMap::new();
+            while let Some(batch) = src.next_batch()? {
+                if batch.is_empty() {
+                    continue;
+                }
+                let key_cols: Vec<Vec<Value>> = group_by
+                    .iter()
+                    .map(|g| eval_vec(g, &batch))
+                    .collect::<Result<_>>()?;
+                for (lane, t) in batch.to_tuples().into_iter().enumerate() {
+                    let key: Vec<Value> = key_cols.iter().map(|c| c[lane].clone()).collect();
+                    match index.get(&key) {
+                        Some(&g) => groups[g].push(t),
+                        None => {
+                            index.insert(key, groups.len());
+                            groups.push(vec![t]);
+                        }
+                    }
+                }
+            }
+            finish_groups(
+                columns,
+                groups,
+                projections,
+                having.as_ref(),
+                order_by,
+                *group_limit,
+            )
+        }
+        PlanNode::Project { input, projections } => {
+            let mut src = build_source(txn, input, batch_size)?;
+            let mut rows: Vec<Vec<Value>> = Vec::new();
+            let mut dedup = RowDedup::default();
+            let full = |n_rows: usize| limit.is_some_and(|n| n_rows as u64 >= n);
+            'drain: loop {
+                if full(rows.len()) {
+                    break;
+                }
+                let Some(batch) = src.next_batch()? else {
+                    break;
+                };
+                if batch.is_empty() {
+                    continue;
+                }
+                match project_columns(projections, &batch) {
+                    Ok(cols) => {
+                        for lane in 0..batch.len() {
+                            if full(rows.len()) {
+                                break 'drain;
+                            }
+                            let row: Vec<Value> = cols.iter().map(|c| c[lane].clone()).collect();
+                            if distinct {
+                                dedup.push(&mut rows, row);
+                            } else {
+                                rows.push(row);
+                            }
+                        }
+                    }
+                    Err(_) => {
+                        // Some lane fails to evaluate (or a projection
+                        // is an aggregate): replay the batch through
+                        // scalar projection so the error surfaces — or
+                        // is masked by LIMIT — exactly as in the scalar
+                        // engine.
+                        for t in batch.to_tuples() {
+                            if full(rows.len()) {
+                                break 'drain;
+                            }
+                            let row = project_tuple_scalar(projections, &t)?;
+                            if distinct {
+                                dedup.push(&mut rows, row);
+                            } else {
+                                rows.push(row);
+                            }
+                        }
+                    }
+                }
+            }
+            Ok(QueryResult { columns, rows })
+        }
+        other => Err(TracError::Execution(format!(
+            "malformed plan: unexpected top-level {} operator",
+            other.name()
+        ))),
+    }
+}

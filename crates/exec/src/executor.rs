@@ -10,7 +10,7 @@ use crate::operators::execute_plan;
 use crate::result::QueryResult;
 use std::sync::OnceLock;
 use trac_expr::{bind_select, BoundSelect};
-use trac_plan::{plan_select, ExecOptions, PhysicalPlan};
+use trac_plan::{plan_select, ExecOptions, PhysicalPlan, PlanNode};
 use trac_sql::parse_select;
 use trac_storage::ReadTxn;
 use trac_types::Result;
@@ -105,9 +105,10 @@ pub fn execute_sql_with(txn: &ReadTxn, sql: &str, opts: ExecOptions) -> Result<Q
 
 /// Executes a bound `SELECT` with default options.
 pub fn execute_select(txn: &ReadTxn, q: &BoundSelect) -> Result<QueryResult> {
-    let plan = plan_select(txn, q, ExecOptions::default())?;
+    let opts = ExecOptions::default();
+    let plan = plan_select(txn, q, opts)?;
     debug_validate_plan(q, &plan);
-    execute_plan(txn, &plan)
+    execute_plan_with(txn, &plan, opts)
 }
 
 /// Executes a bound `SELECT`, also reporting the plan taken.
@@ -119,8 +120,62 @@ pub fn execute_select_with(
     let plan = plan_select(txn, q, opts)?;
     debug_validate_plan(q, &plan);
     let info = PlanInfo::from_plan(&plan);
-    let result = execute_plan(txn, &plan)?;
+    let result = execute_plan_with(txn, &plan, opts)?;
     Ok((result, info))
+}
+
+/// Executes a physical plan through the engine `opts` selects: the
+/// columnar (vectorized) engine when `opts.columnar` — the default —
+/// and the row-at-a-time reference operators otherwise.
+///
+/// Plans whose join order differs from FROM order always run columnar:
+/// the scalar streams append each inner row at the *next* tuple slot,
+/// which is only correct when leaves sit at consecutive ascending FROM
+/// positions, while the columnar engine writes every row into its
+/// plan-declared slot.
+pub fn execute_plan_with(
+    txn: &ReadTxn,
+    plan: &PhysicalPlan,
+    opts: ExecOptions,
+) -> Result<QueryResult> {
+    if opts.columnar || !scalar_plan_safe(&plan.root) {
+        crate::batch::execute_plan_columnar(txn, plan, opts.batch_size.max(1))
+    } else {
+        execute_plan(txn, plan)
+    }
+}
+
+/// True when the scalar engine's append-based joins place every row in
+/// its correct tuple slot: the plan's leaves, in join order, must sit at
+/// FROM positions `0, 1, 2, …`.
+fn scalar_plan_safe(root: &PlanNode) -> bool {
+    fn leaf_positions(node: &PlanNode, out: &mut Vec<usize>) {
+        match node {
+            PlanNode::Scan { pos, .. }
+            | PlanNode::IndexLookup { pos, .. }
+            | PlanNode::TopNIndex { pos, .. } => out.push(*pos),
+            PlanNode::NLJoin { outer, inner, .. } | PlanNode::HashJoin { outer, inner, .. } => {
+                leaf_positions(outer, out);
+                leaf_positions(inner, out);
+            }
+            PlanNode::IndexNLJoin { outer, pos, .. } => {
+                leaf_positions(outer, out);
+                out.push(*pos);
+            }
+            PlanNode::Filter { input, .. }
+            | PlanNode::Sort { input, .. }
+            | PlanNode::Project { input, .. }
+            | PlanNode::Distinct { input }
+            | PlanNode::Limit { input, .. }
+            | PlanNode::Aggregate { input, .. }
+            | PlanNode::Exchange { input, .. }
+            | PlanNode::Gather { input, .. } => leaf_positions(input, out),
+            PlanNode::Empty { .. } | PlanNode::CountStar { .. } | PlanNode::IndexMinMax { .. } => {}
+        }
+    }
+    let mut positions = Vec::new();
+    leaf_positions(root, &mut positions);
+    positions.iter().enumerate().all(|(i, &p)| i == p)
 }
 
 /// Plans and executes an already-planned `SELECT`: the EXPLAIN path

@@ -7,9 +7,15 @@
 //! bound `SELECT` into a [`trac_plan::PhysicalPlan`]); this crate
 //! interprets those plans:
 //!
-//! * **streaming operators** — each plan node becomes a pull-based
-//!   tuple stream; joins keep their inner side lazy so empty inputs
-//!   never touch downstream tables ([`operators`]);
+//! * **columnar engine (default)** — each operator produces a
+//!   [`trac_expr::ColumnarBatch`] and predicates, join keys and
+//!   projections evaluate vectorized over whole batches; selected by
+//!   [`ExecOptions::columnar`] (`batch`, private);
+//! * **streaming operators** — the row-at-a-time reference engine:
+//!   each plan node becomes a pull-based tuple stream; joins keep
+//!   their inner side lazy so empty inputs never touch downstream
+//!   tables ([`operators`]). Retained as the differential baseline the
+//!   columnar engine is checked against, byte for byte;
 //! * **morsel-driven parallelism** — an `Exchange .. Gather` region
 //!   (present when [`ExecOptions::threads`] > 1) splits the driving
 //!   leaf into morsels for a scoped-thread worker pool and merges the
@@ -26,6 +32,7 @@
 
 #![warn(missing_docs)]
 
+mod batch;
 pub mod dml;
 pub mod executor;
 pub mod operators;
@@ -35,9 +42,9 @@ pub mod schedule;
 
 pub use dml::{execute_statement, StatementResult};
 pub use executor::{
-    execute_select, execute_select_with, execute_sql, execute_sql_with, explain_select,
-    install_explain_annotator, install_plan_check, render_explain, ExplainAnnotator, PlanCheck,
-    PlanInfo,
+    execute_plan_with, execute_select, execute_select_with, execute_sql, execute_sql_with,
+    explain_select, install_explain_annotator, install_plan_check, render_explain,
+    ExplainAnnotator, PlanCheck, PlanInfo,
 };
 pub use operators::execute_plan;
 pub use result::QueryResult;

@@ -49,14 +49,26 @@ pub(crate) fn tuple_value(tuple: &[Row], c: trac_expr::ColRef) -> Result<Value> 
         .ok_or_else(|| TracError::Execution(format!("bad column ref {c:?}")))
 }
 
-/// Fetches the filtered rows of a leaf ([`PlanNode::Scan`] or
-/// [`PlanNode::IndexLookup`]) in one batch. Join operators use this for
-/// their inner side; [`LeafStream`] uses it for the base table.
-pub(crate) fn fetch_leaf_rows(txn: &ReadTxn, node: &PlanNode) -> Result<Vec<Row>> {
-    let (pos, filter, raw) = match node {
+/// Empty residual filter for leaves that apply their predicate while
+/// fetching (currently only [`PlanNode::TopNIndex`]).
+const NO_FILTER: &[trac_expr::BoundExpr] = &[];
+
+/// Fetches the raw rows of a leaf plus the residual filter still to be
+/// applied to them. Both engines build on this: the scalar engine
+/// filters row-at-a-time ([`fetch_leaf_rows`]), the columnar engine
+/// filters whole batches through the vectorized evaluator.
+///
+/// [`PlanNode::TopNIndex`] must filter *during* its ordered index walk
+/// (the early stop depends on it), so its rows come back with an empty
+/// residual filter.
+pub(crate) fn leaf_parts<'a>(
+    txn: &ReadTxn,
+    node: &'a PlanNode,
+) -> Result<(usize, &'a [trac_expr::BoundExpr], Vec<Row>)> {
+    match node {
         PlanNode::Scan {
             table, pos, filter, ..
-        } => (*pos, filter, txn.scan(table.id)?),
+        } => Ok((*pos, filter, txn.scan(table.id)?)),
         PlanNode::IndexLookup {
             table,
             pos,
@@ -68,15 +80,73 @@ pub(crate) fn fetch_leaf_rows(txn: &ReadTxn, node: &PlanNode) -> Result<Vec<Row>
             let rows = txn
                 .index_probe_in(table.id, *column, keys)?
                 .ok_or_else(|| TracError::Execution("index vanished mid-plan".into()))?;
-            (*pos, filter, rows)
+            Ok((*pos, filter, rows))
         }
-        other => {
-            return Err(TracError::Execution(format!(
-                "operator {} is not a leaf",
-                other.name()
-            )))
+        PlanNode::TopNIndex {
+            table,
+            pos,
+            column,
+            desc,
+            n,
+            filter,
+            ..
+        } => {
+            let rows = fetch_top_n(txn, table, *pos, *column, *desc, *n, filter)?;
+            Ok((*pos, NO_FILTER, rows))
         }
-    };
+        other => Err(TracError::Execution(format!(
+            "operator {} is not a leaf",
+            other.name()
+        ))),
+    }
+}
+
+/// The FROM position (= tuple slot) of a leaf operator.
+pub(crate) fn leaf_pos(node: &PlanNode) -> Result<usize> {
+    match node {
+        PlanNode::Scan { pos, .. }
+        | PlanNode::IndexLookup { pos, .. }
+        | PlanNode::TopNIndex { pos, .. } => Ok(*pos),
+        other => Err(TracError::Execution(format!(
+            "operator {} is not a leaf",
+            other.name()
+        ))),
+    }
+}
+
+/// Walks `table`'s ordered index on `column` (descending when `desc`),
+/// keeping rows whose residual `filter` passes, and stops as soon as
+/// `n` rows are kept — the [`PlanNode::TopNIndex`] fast path.
+fn fetch_top_n(
+    txn: &ReadTxn,
+    table: &trac_expr::BoundTable,
+    pos: usize,
+    column: usize,
+    desc: bool,
+    n: u64,
+    filter: &[trac_expr::BoundExpr],
+) -> Result<Vec<Row>> {
+    let mut out: Vec<Row> = Vec::new();
+    if n == 0 {
+        return Ok(out);
+    }
+    let mut scratch: Vec<Row> = vec![std::sync::Arc::from(Vec::new().into_boxed_slice()); pos + 1];
+    txn.index_ordered_scan(table.id, column, desc, |row| {
+        scratch[pos] = row.clone();
+        if passes(filter, &scratch) {
+            out.push(row);
+        }
+        Ok((out.len() as u64) < n)
+    })?;
+    Ok(out)
+}
+
+/// Fetches the filtered rows of a leaf ([`PlanNode::Scan`],
+/// [`PlanNode::IndexLookup`] or [`PlanNode::TopNIndex`]) in one batch.
+/// Join operators use this for their inner side; [`LeafStream`] uses it
+/// for the base table.
+pub(crate) fn fetch_leaf_rows(txn: &ReadTxn, node: &PlanNode) -> Result<Vec<Row>> {
+    let (pos, filter, raw) = leaf_parts(txn, node)?;
     if filter.is_empty() {
         return Ok(raw);
     }
@@ -321,7 +391,7 @@ impl TupleStream for GatherStream<'_> {
     fn next_tuple(&mut self) -> Result<Option<Tuple>> {
         if self.gathered.is_none() {
             self.gathered = Some(
-                crate::parallel::execute_gather(self.txn, self.input, self.morsel_ordered)?
+                crate::parallel::execute_gather(self.txn, self.input, self.morsel_ordered, false)?
                     .into_iter(),
             );
         }
@@ -333,7 +403,9 @@ impl TupleStream for GatherStream<'_> {
 fn build_stream<'a>(txn: &'a ReadTxn, node: &'a PlanNode) -> Result<Box<dyn TupleStream + 'a>> {
     Ok(match node {
         PlanNode::Empty { .. } => Box::new(EmptyStream),
-        PlanNode::Scan { pos, .. } | PlanNode::IndexLookup { pos, .. } => Box::new(LeafStream {
+        PlanNode::Scan { pos, .. }
+        | PlanNode::IndexLookup { pos, .. }
+        | PlanNode::TopNIndex { pos, .. } => Box::new(LeafStream {
             txn,
             node,
             pos: *pos,
@@ -414,15 +486,15 @@ fn build_stream<'a>(txn: &'a ReadTxn, node: &'a PlanNode) -> Result<Box<dyn Tupl
 
 /// Hash-bucketed duplicate filter over output rows. Candidate rows are
 /// compared against rows already in the output vector by index, so
-/// deduplication never clones a row.
+/// deduplication never clones a row. Shared by both engines.
 #[derive(Default)]
-struct RowDedup {
+pub(crate) struct RowDedup {
     buckets: HashMap<u64, Vec<usize>>,
 }
 
 impl RowDedup {
     /// Appends `row` to `rows` unless an equal row is already there.
-    fn push(&mut self, rows: &mut Vec<Vec<Value>>, row: Vec<Value>) {
+    pub(crate) fn push(&mut self, rows: &mut Vec<Vec<Value>>, row: Vec<Value>) {
         let mut h = std::collections::hash_map::DefaultHasher::new();
         row.hash(&mut h);
         let bucket = self.buckets.entry(h.finish()).or_default();
@@ -456,6 +528,28 @@ pub fn execute_plan(txn: &ReadTxn, plan: &PhysicalPlan) -> Result<QueryResult> {
         node = input;
     }
     match node {
+        PlanNode::CountStar { table, .. } => {
+            // Fast path: the storage layer's visible-row count is the
+            // answer; no tuple is ever materialized.
+            let n = txn.row_count(table.id)?;
+            Ok(QueryResult {
+                columns,
+                rows: vec![vec![Value::Int(n as i64)]],
+            })
+        }
+        PlanNode::IndexMinMax {
+            table,
+            column,
+            func,
+            ..
+        } => {
+            // Fast path: the extreme visible index entry is the answer.
+            let v = txn.index_extreme(table.id, *column, *func == AggFunc::Max)?;
+            Ok(QueryResult {
+                columns,
+                rows: vec![vec![v.unwrap_or(Value::Null)]],
+            })
+        }
         PlanNode::Aggregate {
             input,
             group_by,
@@ -471,23 +565,10 @@ pub fn execute_plan(txn: &ReadTxn, plan: &PhysicalPlan) -> Result<QueryResult> {
                 tuples.push(t);
             }
             if group_by.is_empty() {
-                // Global aggregate: one group of everything. A HAVING
-                // clause can suppress the single output row.
-                if let Some(h) = having {
-                    let rep: Tuple = tuples.first().cloned().unwrap_or_default();
-                    if !having_passes(h, &tuples, &rep)? {
-                        return Ok(QueryResult::empty(columns));
-                    }
-                }
-                let row = aggregate_row(projections, &tuples)?;
-                return Ok(QueryResult {
-                    columns,
-                    rows: vec![row],
-                });
+                return finish_global(columns, &tuples, projections, having.as_ref());
             }
-            // Grouped aggregation: partition tuples by their key vector,
-            // then evaluate each projection per group (scalars against a
-            // representative tuple — bind guarantees they are keys).
+            // Grouped aggregation: partition tuples by their key vector
+            // in first-seen order, then finish each group.
             let mut groups: Vec<(Vec<Value>, Vec<Tuple>)> = Vec::new();
             let mut index: HashMap<Vec<Value>, usize> = HashMap::new();
             for t in tuples {
@@ -503,42 +584,14 @@ pub fn execute_plan(txn: &ReadTxn, plan: &PhysicalPlan) -> Result<QueryResult> {
                     }
                 }
             }
-            let mut reps: Vec<Tuple> = Vec::with_capacity(groups.len());
-            let mut rows = Vec::with_capacity(groups.len());
-            for (_, members) in groups {
-                let rep = members[0].clone();
-                if let Some(h) = having {
-                    if !having_passes(h, &members, &rep)? {
-                        continue;
-                    }
-                }
-                let mut row = Vec::with_capacity(projections.len());
-                for p in projections {
-                    match p {
-                        Projection::Scalar { expr, .. } => row.push(eval_expr(expr, &rep)?),
-                        Projection::Aggregate { .. } => row.push(aggregate_one(p, &members)?),
-                    }
-                }
-                rows.push(row);
-                reps.push(rep);
-            }
-            // ORDER BY against group representatives; LIMIT on groups.
-            if !order_by.is_empty() {
-                let mut keyed: Vec<(Vec<Value>, Vec<Value>)> = Vec::with_capacity(rows.len());
-                for (row, rep) in rows.into_iter().zip(&reps) {
-                    let mut keys = Vec::with_capacity(order_by.len());
-                    for (e, _) in order_by {
-                        keys.push(eval_expr(e, rep)?);
-                    }
-                    keyed.push((keys, row));
-                }
-                keyed.sort_by(|a, b| order_cmp(&a.0, &b.0, order_by));
-                rows = keyed.into_iter().map(|(_, r)| r).collect();
-            }
-            if let Some(n) = group_limit {
-                rows.truncate(*n as usize);
-            }
-            Ok(QueryResult { columns, rows })
+            finish_groups(
+                columns,
+                groups.into_iter().map(|(_, m)| m).collect(),
+                projections,
+                having.as_ref(),
+                order_by,
+                *group_limit,
+            )
         }
         PlanNode::Project { input, projections } => {
             let mut stream = build_stream(txn, input)?;
@@ -577,8 +630,81 @@ pub fn execute_plan(txn: &ReadTxn, plan: &PhysicalPlan) -> Result<QueryResult> {
     }
 }
 
+/// Finishes a global (ungrouped) aggregate over the drained input
+/// tuples: one group of everything, with a HAVING clause able to
+/// suppress the single output row. Shared by both engines so the
+/// HAVING-before-projection error ordering is identical.
+pub(crate) fn finish_global(
+    columns: Vec<String>,
+    tuples: &[Tuple],
+    projections: &[Projection],
+    having: Option<&BoundHaving>,
+) -> Result<QueryResult> {
+    if let Some(h) = having {
+        let rep: Tuple = tuples.first().cloned().unwrap_or_default();
+        if !having_passes(h, tuples, &rep)? {
+            return Ok(QueryResult::empty(columns));
+        }
+    }
+    let row = aggregate_row(projections, tuples)?;
+    Ok(QueryResult {
+        columns,
+        rows: vec![row],
+    })
+}
+
+/// Finishes a grouped aggregate given the groups in first-seen order:
+/// HAVING per group, projections for surviving groups (scalars against
+/// the group representative), ORDER BY over representatives, LIMIT on
+/// groups. Shared by both engines.
+pub(crate) fn finish_groups(
+    columns: Vec<String>,
+    groups: Vec<Vec<Tuple>>,
+    projections: &[Projection],
+    having: Option<&BoundHaving>,
+    order_by: &[(trac_expr::BoundExpr, bool)],
+    limit: Option<u64>,
+) -> Result<QueryResult> {
+    let mut reps: Vec<Tuple> = Vec::with_capacity(groups.len());
+    let mut rows = Vec::with_capacity(groups.len());
+    for members in groups {
+        let rep = members[0].clone();
+        if let Some(h) = having {
+            if !having_passes(h, &members, &rep)? {
+                continue;
+            }
+        }
+        let mut row = Vec::with_capacity(projections.len());
+        for p in projections {
+            match p {
+                Projection::Scalar { expr, .. } => row.push(eval_expr(expr, &rep)?),
+                Projection::Aggregate { .. } => row.push(aggregate_one(p, &members)?),
+            }
+        }
+        rows.push(row);
+        reps.push(rep);
+    }
+    // ORDER BY against group representatives; LIMIT on groups.
+    if !order_by.is_empty() {
+        let mut keyed: Vec<(Vec<Value>, Vec<Value>)> = Vec::with_capacity(rows.len());
+        for (row, rep) in rows.into_iter().zip(&reps) {
+            let mut keys = Vec::with_capacity(order_by.len());
+            for (e, _) in order_by {
+                keys.push(eval_expr(e, rep)?);
+            }
+            keyed.push((keys, row));
+        }
+        keyed.sort_by(|a, b| order_cmp(&a.0, &b.0, order_by));
+        rows = keyed.into_iter().map(|(_, r)| r).collect();
+    }
+    if let Some(n) = limit {
+        rows.truncate(n as usize);
+    }
+    Ok(QueryResult { columns, rows })
+}
+
 /// Key comparison for ORDER BY (per-key DESC handling).
-fn order_cmp(
+pub(crate) fn order_cmp(
     a: &[Value],
     b: &[Value],
     order_by: &[(trac_expr::BoundExpr, bool)],

@@ -32,13 +32,14 @@
 //! parallel region prebuilds inner sides whenever the driving leaf has
 //! at least one morsel (an empty leaf still skips them).
 
-use crate::operators::{fetch_leaf_rows, passes, tuple_value, Tuple};
+use crate::operators::{fetch_leaf_rows, leaf_pos, passes, tuple_value, Tuple};
 use crate::schedule;
 use parking_lot::Mutex;
 use std::collections::HashMap;
 use std::hash::{Hash, Hasher};
 use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
 use std::sync::Arc;
+use trac_expr::ColumnarBatch;
 use trac_plan::PlanNode;
 use trac_storage::lockorder::{self, LockId};
 use trac_storage::{ReadTxn, Row, RowSlot};
@@ -61,17 +62,20 @@ enum SpineOp<'a> {
     /// Nested-loop join against a materialized inner side.
     NL {
         rows: Vec<Row>,
+        pos: usize,
         filter: &'a [trac_expr::BoundExpr],
     },
     /// Hash join against a partitioned build side.
     Hash {
         parts: Vec<HashMap<Value, Vec<Row>>>,
+        pos: usize,
         outer_key: trac_expr::ColRef,
         filter: &'a [trac_expr::BoundExpr],
     },
     /// Index nested-loop join probing the inner index per outer tuple.
     IndexNL {
         table: &'a trac_expr::BoundTable,
+        pos: usize,
         inner_col: usize,
         outer_key: trac_expr::ColRef,
         filter: &'a [trac_expr::BoundExpr],
@@ -92,7 +96,18 @@ fn partition_of(key: &Value, nparts: usize) -> usize {
 /// `false` models the completion-order-merge bug (concatenation in slot
 /// deposit order); it exists so both the static certifier (TRAC017) and
 /// the interleaving explorer can be shown to catch that bug.
-pub(crate) fn execute_gather(txn: &ReadTxn, input: &PlanNode, ordered: bool) -> Result<Vec<Tuple>> {
+///
+/// `columnar` selects the per-morsel engine: the columnar driver runs
+/// each morsel as a [`ColumnarBatch`] through vectorized filters and
+/// batch joins, the scalar driver replays the tuple-at-a-time spine.
+/// Both deposit the same `Vec<Tuple>` per morsel slot, so the merge is
+/// engine-agnostic.
+pub(crate) fn execute_gather(
+    txn: &ReadTxn,
+    input: &PlanNode,
+    ordered: bool,
+    columnar: bool,
+) -> Result<Vec<Tuple>> {
     // Walk the spine from the Gather input down to the Exchange,
     // collecting the operators we must replay per morsel.
     let mut spine: Vec<&PlanNode> = Vec::new();
@@ -155,7 +170,11 @@ pub(crate) fn execute_gather(txn: &ReadTxn, input: &PlanNode, ordered: bool) -> 
         let Some(morsel) = morsels.get(i) else {
             return;
         };
-        let out = run_morsel(txn, leaf, morsel, &ops);
+        let out = if columnar {
+            run_morsel_columnar(txn, leaf, morsel, &ops)
+        } else {
+            run_morsel(txn, leaf, morsel, &ops)
+        };
         if out.is_err() {
             abort.store(true, Ordering::Relaxed);
         }
@@ -268,6 +287,7 @@ fn prebuild_spine<'a>(
             PlanNode::Filter { predicate, .. } => SpineOp::Filter { predicate },
             PlanNode::NLJoin { inner, filter, .. } => SpineOp::NL {
                 rows: fetch_leaf_rows(txn, inner)?,
+                pos: leaf_pos(inner)?,
                 filter,
             },
             PlanNode::HashJoin {
@@ -278,17 +298,20 @@ fn prebuild_spine<'a>(
                 ..
             } => SpineOp::Hash {
                 parts: build_hash_partitions(fetch_leaf_rows(txn, inner)?, *inner_col, threads),
+                pos: leaf_pos(inner)?,
                 outer_key: *outer_key,
                 filter,
             },
             PlanNode::IndexNLJoin {
                 table,
+                pos,
                 inner_col,
                 outer_key,
                 filter,
                 ..
             } => SpineOp::IndexNL {
                 table,
+                pos: *pos,
                 inner_col: *inner_col,
                 outer_key: *outer_key,
                 filter,
@@ -431,7 +454,7 @@ fn apply_op(txn: &ReadTxn, op: &SpineOp<'_>, input: Vec<Tuple>) -> Result<Vec<Tu
         SpineOp::Filter { predicate } => {
             input.into_iter().filter(|t| passes(predicate, t)).collect()
         }
-        SpineOp::NL { rows, filter } => {
+        SpineOp::NL { rows, filter, .. } => {
             let mut out = Vec::new();
             for t in &input {
                 extend_tuples(t, rows, filter, &mut out);
@@ -442,6 +465,7 @@ fn apply_op(txn: &ReadTxn, op: &SpineOp<'_>, input: Vec<Tuple>) -> Result<Vec<Tu
             parts,
             outer_key,
             filter,
+            ..
         } => {
             let mut out = Vec::new();
             for t in &input {
@@ -460,6 +484,7 @@ fn apply_op(txn: &ReadTxn, op: &SpineOp<'_>, input: Vec<Tuple>) -> Result<Vec<Tu
             inner_col,
             outer_key,
             filter,
+            ..
         } => {
             let mut out = Vec::new();
             for t in &input {
@@ -478,6 +503,119 @@ fn apply_op(txn: &ReadTxn, op: &SpineOp<'_>, input: Vec<Tuple>) -> Result<Vec<Tu
                 extend_tuples(t, &rows, filter, &mut out);
             }
             out
+        }
+    })
+}
+
+/// Evaluates one morsel through the spine as a [`ColumnarBatch`]:
+/// vectorized leaf filter, then batch joins in the same outer-major
+/// expansion order as [`run_morsel`], so the deposited tuples are
+/// byte-identical to the scalar driver's.
+fn run_morsel_columnar(
+    txn: &ReadTxn,
+    leaf: &PlanNode,
+    morsel: &Morsel,
+    ops: &[SpineOp<'_>],
+) -> Result<Vec<Tuple>> {
+    let (table_id, pos, filter) = match leaf {
+        PlanNode::Scan {
+            table, pos, filter, ..
+        }
+        | PlanNode::IndexLookup {
+            table, pos, filter, ..
+        } => (table.id, *pos, filter),
+        other => {
+            return Err(TracError::Execution(format!(
+                "operator {} cannot drive an Exchange",
+                other.name()
+            )))
+        }
+    };
+    let rows = match morsel {
+        Morsel::SlotRange { lo, hi } => txn.scan_slot_range(table_id, *lo, *hi)?,
+        Morsel::IndexChunk(slots) => txn.rows_for_slots(table_id, slots)?,
+    };
+    let mut batch = ColumnarBatch::from_rows(pos + 1, pos, rows);
+    batch.apply_filter(filter);
+    for op in ops {
+        if batch.is_empty() {
+            break;
+        }
+        batch = apply_op_columnar(txn, op, batch)?;
+    }
+    Ok(batch.to_tuples())
+}
+
+/// Applies one spine operator to a whole columnar batch. Joins expand
+/// outer-major through [`ColumnarBatch::join_extend`] and re-filter the
+/// joined batch through the vectorized evaluator.
+fn apply_op_columnar(
+    txn: &ReadTxn,
+    op: &SpineOp<'_>,
+    mut batch: ColumnarBatch,
+) -> Result<ColumnarBatch> {
+    Ok(match op {
+        SpineOp::Filter { predicate } => {
+            batch.apply_filter(predicate);
+            batch
+        }
+        SpineOp::NL { rows, pos, filter } => {
+            let matches: Vec<Vec<Row>> = vec![rows.clone(); batch.len()];
+            let mut joined = batch.join_extend(*pos, &matches);
+            joined.apply_filter(filter);
+            joined
+        }
+        SpineOp::Hash {
+            parts,
+            pos,
+            outer_key,
+            filter,
+        } => {
+            let keys = batch.column(*outer_key)?;
+            let matches: Vec<Vec<Row>> = keys
+                .iter()
+                .map(|k| {
+                    if k.is_null() {
+                        Vec::new()
+                    } else {
+                        parts[partition_of(k, parts.len())]
+                            .get(k)
+                            .cloned()
+                            .unwrap_or_default()
+                    }
+                })
+                .collect();
+            let mut joined = batch.join_extend(*pos, &matches);
+            joined.apply_filter(filter);
+            joined
+        }
+        SpineOp::IndexNL {
+            table,
+            pos,
+            inner_col,
+            outer_key,
+            filter,
+        } => {
+            let keys = batch.column(*outer_key)?;
+            let mut matches: Vec<Vec<Row>> = Vec::with_capacity(keys.len());
+            for k in &keys {
+                if k.is_null() {
+                    matches.push(Vec::new());
+                    continue;
+                }
+                let rows = txn
+                    .index_probe_in(table.id, *inner_col, std::slice::from_ref(k))?
+                    .ok_or_else(|| {
+                        TracError::Execution(format!(
+                            "index on {}.col#{} vanished mid-plan",
+                            table.binding, inner_col
+                        ))
+                    })?;
+                matches.push(rows);
+            }
+            let mut joined = batch.join_extend(*pos, &matches);
+            joined.apply_filter(filter);
+            joined
         }
     })
 }

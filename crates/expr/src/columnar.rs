@@ -1,0 +1,451 @@
+//! Columnar batches and vectorized expression evaluation.
+//!
+//! A [`ColumnarBatch`] is the unit of data flow in the vectorized
+//! executor: up to a morsel's worth of tuples stored column-major — one
+//! `Vec<Row>` per FROM slot (a *column of row handles*) plus a
+//! selection vector of live lanes. Filters never move data: they shrink
+//! the selection vector. Expression evaluation ([`eval_vec`]) gathers
+//! the referenced columns into dense `Vec<Value>` vectors and applies
+//! the same scalar kernels as [`crate::eval::eval_expr`], so both paths
+//! agree bit-for-bit on every value they produce.
+//!
+//! Error semantics: `eval_vec` is strict — if any live lane errors, the
+//! batch errors (matching the scalar evaluator, which errors on the
+//! first bad row). When one expression tree contains several failing
+//! subexpressions the *identity* of the reported error can differ from
+//! the scalar order (vectorized evaluation finishes each subexpression
+//! across all lanes before combining), but presence of an error never
+//! does. Predicate lanes keep the historic filter contract exactly:
+//! a lane passes iff the conjunct evaluates to `TRUE`, and evaluation
+//! errors count as "not true" ([`ColumnarBatch::apply_filter`] falls
+//! back to per-lane scalar evaluation whenever a conjunct errors).
+
+use crate::bound::BoundExpr;
+use crate::eval::{arith, compare, eval_predicate, Truth};
+use crate::ColRef;
+use std::sync::Arc;
+use trac_sql::BinaryOp;
+use trac_storage::Row;
+use trac_types::{Result, TracError, Value};
+
+/// A column-major batch of composite tuples with a selection vector.
+#[derive(Debug, Clone)]
+pub struct ColumnarBatch {
+    /// Number of FROM slots a full tuple has.
+    width: usize,
+    /// One column of row handles per FROM slot; `None` until a leaf or
+    /// join populates the slot.
+    slots: Vec<Option<Vec<Row>>>,
+    /// Live lane ids, ascending. Filters shrink this instead of moving
+    /// rows.
+    sel: Vec<u32>,
+}
+
+fn placeholder_row() -> Row {
+    Arc::from(Vec::new().into_boxed_slice())
+}
+
+impl ColumnarBatch {
+    /// An empty batch of the given tuple width.
+    pub fn empty(width: usize) -> ColumnarBatch {
+        ColumnarBatch {
+            width,
+            slots: vec![None; width],
+            sel: Vec::new(),
+        }
+    }
+
+    /// A leaf batch: `rows` fill FROM slot `pos`, one lane per row, all
+    /// lanes live.
+    pub fn from_rows(width: usize, pos: usize, rows: Vec<Row>) -> ColumnarBatch {
+        let lanes = rows.len();
+        let mut slots = vec![None; width.max(pos + 1)];
+        slots[pos] = Some(rows);
+        ColumnarBatch {
+            width: width.max(pos + 1),
+            slots,
+            sel: (0..lanes as u32).collect(),
+        }
+    }
+
+    /// Builds a batch from row-major tuples (shorter tuples are padded
+    /// with placeholder rows). All lanes are live.
+    pub fn from_tuples(width: usize, tuples: &[Vec<Row>]) -> ColumnarBatch {
+        let lanes = tuples.len();
+        let width = width.max(tuples.iter().map(Vec::len).max().unwrap_or(0));
+        let mut slots: Vec<Option<Vec<Row>>> = vec![None; width];
+        for (s, slot) in slots.iter_mut().enumerate() {
+            if tuples.iter().any(|t| t.len() > s) {
+                let empty = placeholder_row();
+                *slot = Some(
+                    tuples
+                        .iter()
+                        .map(|t| t.get(s).cloned().unwrap_or_else(|| empty.clone()))
+                        .collect(),
+                );
+            }
+        }
+        ColumnarBatch {
+            width,
+            slots,
+            sel: (0..lanes as u32).collect(),
+        }
+    }
+
+    /// Number of live lanes.
+    pub fn len(&self) -> usize {
+        self.sel.len()
+    }
+
+    /// True when no lane is live.
+    pub fn is_empty(&self) -> bool {
+        self.sel.is_empty()
+    }
+
+    /// Tuple width (number of FROM slots).
+    pub fn width(&self) -> usize {
+        self.width
+    }
+
+    /// Gathers the column `c` refers to as a dense vector over the live
+    /// lanes, in selection order.
+    pub fn column(&self, c: ColRef) -> Result<Vec<Value>> {
+        let col = self
+            .slots
+            .get(c.table)
+            .and_then(|s| s.as_ref())
+            .ok_or_else(|| TracError::Execution(format!("tuple has no table slot {}", c.table)))?;
+        self.sel
+            .iter()
+            .map(|&l| {
+                col[l as usize]
+                    .get(c.column)
+                    .cloned()
+                    .ok_or_else(|| TracError::Execution(format!("row has no column {}", c.column)))
+            })
+            .collect()
+    }
+
+    /// Materializes one lane as a full-width row-major tuple.
+    pub fn lane_tuple(&self, lane: u32) -> Vec<Row> {
+        self.slots
+            .iter()
+            .map(|s| match s {
+                Some(col) => col[lane as usize].clone(),
+                None => placeholder_row(),
+            })
+            .collect()
+    }
+
+    /// Materializes the live lanes as row-major tuples, in selection
+    /// order.
+    pub fn to_tuples(&self) -> Vec<Vec<Row>> {
+        self.sel.iter().map(|&l| self.lane_tuple(l)).collect()
+    }
+
+    /// Keeps only the live lanes whose entry in `keep` (dense, selection
+    /// order) is true.
+    pub fn retain_lanes(&mut self, keep: &[bool]) {
+        debug_assert_eq!(keep.len(), self.sel.len());
+        let mut i = 0;
+        self.sel.retain(|_| {
+            let k = keep[i];
+            i += 1;
+            k
+        });
+    }
+
+    /// Joins this batch against per-lane match lists: the output batch
+    /// has one lane per (live lane, match) pair in outer-major order —
+    /// the serial nested-loop expansion order — with the match row
+    /// placed in FROM slot `pos`. `matches` is dense over the live
+    /// lanes.
+    pub fn join_extend(&self, pos: usize, matches: &[Vec<Row>]) -> ColumnarBatch {
+        debug_assert_eq!(matches.len(), self.sel.len());
+        let width = self.width.max(pos + 1);
+        let lanes: usize = matches.iter().map(Vec::len).sum();
+        let mut slots: Vec<Option<Vec<Row>>> = vec![None; width];
+        for (s, out) in slots.iter_mut().enumerate().take(self.width) {
+            if s == pos {
+                continue;
+            }
+            if let Some(col) = &self.slots[s] {
+                let mut v = Vec::with_capacity(lanes);
+                for (i, &l) in self.sel.iter().enumerate() {
+                    for _ in 0..matches[i].len() {
+                        v.push(col[l as usize].clone());
+                    }
+                }
+                *out = Some(v);
+            }
+        }
+        slots[pos] = Some(matches.iter().flatten().cloned().collect());
+        ColumnarBatch {
+            width,
+            slots,
+            sel: (0..lanes as u32).collect(),
+        }
+    }
+
+    /// Applies conjunctive filters by shrinking the selection vector: a
+    /// lane survives iff every conjunct evaluates to `TRUE` on it
+    /// (errors count as "not true", the historic filter contract). In
+    /// debug builds every mask is cross-checked against the scalar
+    /// evaluator lane by lane.
+    pub fn apply_filter(&mut self, conjuncts: &[BoundExpr]) {
+        for c in conjuncts {
+            if self.sel.is_empty() {
+                return;
+            }
+            let mask = self.filter_mask(c);
+            #[cfg(debug_assertions)]
+            for (i, &l) in self.sel.iter().enumerate() {
+                let scalar = matches!(eval_predicate(c, &self.lane_tuple(l)), Ok(Truth::True));
+                debug_assert_eq!(
+                    mask[i], scalar,
+                    "vectorized filter diverged from scalar eval on lane {l}"
+                );
+            }
+            self.retain_lanes(&mask);
+        }
+    }
+
+    /// One conjunct's pass/fail mask over the live lanes. Vectorized
+    /// evaluation first; if any lane errors, falls back to per-lane
+    /// scalar evaluation so error lanes (and only those) fail.
+    fn filter_mask(&self, conjunct: &BoundExpr) -> Vec<bool> {
+        match eval_vec(conjunct, self) {
+            Ok(vals) => vals
+                .iter()
+                .map(|v| matches!(Truth::of_value(v), Ok(Truth::True)))
+                .collect(),
+            Err(_) => self
+                .sel
+                .iter()
+                .map(|&l| {
+                    matches!(
+                        eval_predicate(conjunct, &self.lane_tuple(l)),
+                        Ok(Truth::True)
+                    )
+                })
+                .collect(),
+        }
+    }
+}
+
+/// Vectorized expression evaluation: one output [`Value`] per live lane
+/// of `batch`, in selection order. The vectorized twin of
+/// [`crate::eval::eval_expr`], built from the same scalar kernels.
+pub fn eval_vec(expr: &BoundExpr, batch: &ColumnarBatch) -> Result<Vec<Value>> {
+    let n = batch.len();
+    match expr {
+        BoundExpr::Column(c) => batch.column(*c),
+        BoundExpr::Literal(v) => Ok(vec![v.clone(); n]),
+        BoundExpr::Binary { op, lhs, rhs } => {
+            let l = eval_vec(lhs, batch)?;
+            let r = eval_vec(rhs, batch)?;
+            if matches!(op, BinaryOp::And | BinaryOp::Or) {
+                return l
+                    .iter()
+                    .zip(&r)
+                    .map(|(a, b)| {
+                        let (ta, tb) = (Truth::of_value(a)?, Truth::of_value(b)?);
+                        Ok(match op {
+                            BinaryOp::And => ta.and(tb),
+                            _ => ta.or(tb),
+                        }
+                        .to_value())
+                    })
+                    .collect();
+            }
+            if op.is_comparison() {
+                return Ok(l.iter().zip(&r).map(|(a, b)| compare(*op, a, b)).collect());
+            }
+            l.iter().zip(&r).map(|(a, b)| arith(*op, a, b)).collect()
+        }
+        BoundExpr::InList {
+            expr,
+            list,
+            negated,
+        } => {
+            let needles = eval_vec(expr, batch)?;
+            let items: Vec<Vec<Value>> = list
+                .iter()
+                .map(|e| eval_vec(e, batch))
+                .collect::<Result<_>>()?;
+            Ok(needles
+                .iter()
+                .enumerate()
+                .map(|(i, needle)| {
+                    let mut truth = Truth::False;
+                    for item in &items {
+                        match needle.sql_eq(&item[i]) {
+                            Some(true) => {
+                                truth = Truth::True;
+                                break;
+                            }
+                            Some(false) => {}
+                            None => truth = Truth::Unknown,
+                        }
+                    }
+                    if *negated {
+                        truth = truth.not();
+                    }
+                    truth.to_value()
+                })
+                .collect())
+        }
+        BoundExpr::IsNull { expr, negated } => Ok(eval_vec(expr, batch)?
+            .iter()
+            .map(|v| Value::Bool(v.is_null() != *negated))
+            .collect()),
+        BoundExpr::Not(e) => eval_vec(e, batch)?
+            .iter()
+            .map(|v| Ok(Truth::of_value(v)?.not().to_value()))
+            .collect(),
+        BoundExpr::Neg(e) => eval_vec(e, batch)?
+            .iter()
+            .map(|v| match v {
+                Value::Null => Ok(Value::Null),
+                Value::Int(i) => Ok(Value::Int(-i)),
+                Value::Float(f) => Ok(Value::Float(-f)),
+                other => Err(TracError::Type(format!(
+                    "cannot negate {}",
+                    other.type_name()
+                ))),
+            })
+            .collect(),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::bound::BoundExpr as E;
+    use crate::eval::eval_expr;
+
+    fn row(vals: Vec<Value>) -> Row {
+        Arc::from(vals.into_boxed_slice())
+    }
+
+    fn batch() -> ColumnarBatch {
+        ColumnarBatch::from_rows(
+            1,
+            0,
+            vec![
+                row(vec![Value::Int(1), Value::text("idle")]),
+                row(vec![Value::Int(2), Value::text("busy")]),
+                row(vec![Value::Null, Value::text("idle")]),
+                row(vec![Value::Int(4), Value::Null]),
+            ],
+        )
+    }
+
+    #[test]
+    fn eval_vec_matches_scalar_eval() {
+        let b = batch();
+        let exprs = [
+            E::binary(BinaryOp::Lt, E::col(0, 0), E::lit(3i64)),
+            E::binary(BinaryOp::Eq, E::col(0, 1), E::lit("idle")),
+            E::binary(BinaryOp::Add, E::col(0, 0), E::lit(10i64)),
+            E::InList {
+                expr: Box::new(E::col(0, 1)),
+                list: vec![E::lit("idle"), E::lit("gone")],
+                negated: false,
+            },
+            E::IsNull {
+                expr: Box::new(E::col(0, 0)),
+                negated: false,
+            },
+            E::Neg(Box::new(E::col(0, 0))),
+            E::binary(
+                BinaryOp::And,
+                E::binary(BinaryOp::Gt, E::col(0, 0), E::lit(1i64)),
+                E::binary(BinaryOp::Eq, E::col(0, 1), E::lit("busy")),
+            ),
+        ];
+        for e in &exprs {
+            let vec_vals = eval_vec(e, &b).unwrap();
+            for (i, t) in b.to_tuples().iter().enumerate() {
+                assert_eq!(vec_vals[i], eval_expr(e, t).unwrap(), "expr {e:?} lane {i}");
+            }
+        }
+    }
+
+    #[test]
+    fn filter_shrinks_selection_only() {
+        let mut b = batch();
+        let p = E::binary(BinaryOp::Lt, E::col(0, 0), E::lit(4i64));
+        b.apply_filter(std::slice::from_ref(&p));
+        // NULL lane is unknown (dropped), 4 fails, 1 and 2 survive.
+        assert_eq!(b.len(), 2);
+        let col = b
+            .column(ColRef {
+                table: 0,
+                column: 0,
+            })
+            .unwrap();
+        assert_eq!(col, vec![Value::Int(1), Value::Int(2)]);
+    }
+
+    #[test]
+    fn erroring_conjunct_drops_only_error_lanes() {
+        // col0 + 'x' errors on non-null lanes; scalar filter semantics
+        // say those lanes are "not true". The text lane makes the whole
+        // vector eval fail, exercising the per-lane fallback.
+        let mut b = ColumnarBatch::from_rows(
+            1,
+            0,
+            vec![
+                row(vec![Value::Int(1)]),
+                row(vec![Value::text("boom")]),
+                row(vec![Value::Int(3)]),
+            ],
+        );
+        let p = E::binary(
+            BinaryOp::Gt,
+            E::binary(BinaryOp::Add, E::col(0, 0), E::col(0, 0)),
+            E::lit(2i64),
+        );
+        b.apply_filter(std::slice::from_ref(&p));
+        assert_eq!(b.len(), 1);
+        assert_eq!(
+            b.column(ColRef {
+                table: 0,
+                column: 0
+            })
+            .unwrap(),
+            vec![Value::Int(3)]
+        );
+    }
+
+    #[test]
+    fn join_extend_expands_outer_major() {
+        let outer = ColumnarBatch::from_rows(
+            2,
+            0,
+            vec![row(vec![Value::Int(1)]), row(vec![Value::Int(2)])],
+        );
+        let m1 = row(vec![Value::text("a")]);
+        let m2 = row(vec![Value::text("b")]);
+        let joined = outer.join_extend(1, &[vec![m1.clone(), m2.clone()], vec![m2.clone()]]);
+        assert_eq!(joined.len(), 3);
+        let outer_col = joined
+            .column(ColRef {
+                table: 0,
+                column: 0,
+            })
+            .unwrap();
+        assert_eq!(outer_col, vec![Value::Int(1), Value::Int(1), Value::Int(2)]);
+        let inner_col = joined
+            .column(ColRef {
+                table: 1,
+                column: 0,
+            })
+            .unwrap();
+        assert_eq!(
+            inner_col,
+            vec![Value::text("a"), Value::text("b"), Value::text("b")]
+        );
+    }
+}

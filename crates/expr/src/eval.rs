@@ -106,18 +106,7 @@ pub fn eval_expr(expr: &BoundExpr, tuple: &[Row]) -> Result<Value> {
             let l = eval_expr(lhs, tuple)?;
             let r = eval_expr(rhs, tuple)?;
             if op.is_comparison() {
-                return Ok(match l.sql_cmp(&r) {
-                    None => Value::Null,
-                    Some(ord) => Value::Bool(match op {
-                        BinaryOp::Eq => ord.is_eq(),
-                        BinaryOp::NotEq => !ord.is_eq(),
-                        BinaryOp::Lt => ord.is_lt(),
-                        BinaryOp::LtEq => ord.is_le(),
-                        BinaryOp::Gt => ord.is_gt(),
-                        BinaryOp::GtEq => ord.is_ge(),
-                        _ => unreachable!(),
-                    }),
-                });
+                return Ok(compare(*op, &l, &r));
             }
             arith(*op, &l, &r)
         }
@@ -162,7 +151,28 @@ pub fn eval_expr(expr: &BoundExpr, tuple: &[Row]) -> Result<Value> {
     }
 }
 
-fn arith(op: BinaryOp, l: &Value, r: &Value) -> Result<Value> {
+/// SQL comparison kernel: `NULL` when either side is `NULL` or the
+/// types are incomparable, a boolean otherwise. Shared by the scalar
+/// evaluator and the vectorized [`crate::columnar`] path so both agree
+/// bit-for-bit.
+pub(crate) fn compare(op: BinaryOp, l: &Value, r: &Value) -> Value {
+    match l.sql_cmp(r) {
+        None => Value::Null,
+        Some(ord) => Value::Bool(match op {
+            BinaryOp::Eq => ord.is_eq(),
+            BinaryOp::NotEq => !ord.is_eq(),
+            BinaryOp::Lt => ord.is_lt(),
+            BinaryOp::LtEq => ord.is_le(),
+            BinaryOp::Gt => ord.is_gt(),
+            BinaryOp::GtEq => ord.is_ge(),
+            _ => unreachable!("compare called with {op:?}"),
+        }),
+    }
+}
+
+/// Arithmetic kernel shared by the scalar evaluator and the vectorized
+/// [`crate::columnar`] path.
+pub(crate) fn arith(op: BinaryOp, l: &Value, r: &Value) -> Result<Value> {
     if l.is_null() || r.is_null() {
         return Ok(Value::Null);
     }

@@ -6,6 +6,8 @@
 //!   ([`BoundSelect`]), bound against the storage catalog.
 //! * [`eval`] — SQL three-valued evaluation of bound expressions against
 //!   composite tuples.
+//! * [`columnar`] — column-major tuple batches with selection vectors
+//!   and the vectorized `eval_vec` twin of the scalar evaluator.
 //! * [`normalize`] — negation-normal-form and disjunctive-normal-form
 //!   conversion ("we first convert the predicate of a query to DNF",
 //!   Section 4.1), with a blow-up guard.
@@ -21,6 +23,7 @@
 pub mod bound;
 pub mod check;
 pub mod classify;
+pub mod columnar;
 pub mod eval;
 pub mod normalize;
 pub mod sat;
@@ -29,6 +32,7 @@ pub mod unbind;
 pub use bound::{bind_select, AggFunc, BoundExpr, BoundSelect, BoundTable, ColRef, Projection};
 pub use check::{bind_expr_for_table, parse_check, BoundCheck};
 pub use classify::{classify_conjunct, ClassifiedPredicates, TermClass};
+pub use columnar::{eval_vec, ColumnarBatch};
 pub use eval::{eval_expr, eval_predicate, Truth};
 pub use normalize::{to_dnf, Conjunct, Dnf};
 pub use sat::{conjunct_satisfiable, mixed_terms_vacuous, term_implied, Sat3};

@@ -6,6 +6,7 @@
 //! re-applied after the probe — the probe is an optimization, never a
 //! semantic change.
 
+use crate::cost::TableCost;
 use trac_expr::{BoundExpr, ColRef};
 use trac_storage::{ReadTxn, TableId};
 use trac_types::Value;
@@ -23,6 +24,22 @@ pub struct ExecOptions {
     pub threads: usize,
     /// Morsel size in driving-leaf rows for parallel plans.
     pub batch_size: usize,
+    /// Execute through the columnar (vectorized) engine instead of the
+    /// row-at-a-time reference operators. Both produce byte-identical
+    /// results; the scalar engine is retained as the differential
+    /// reference.
+    pub columnar: bool,
+    /// Allow the planner to emit certified fast-path operators
+    /// (`CountStar`, `IndexMinMax`, `TopNIndex`, multi-key IN-list
+    /// probes). Off ⇒ every query takes the general operator pipeline.
+    pub fast_paths: bool,
+    /// Let the catalog-statistics cost model pick the join order instead
+    /// of joining in FROM order. Off by default: user-facing queries
+    /// keep the FROM-order plans (and exact row order) the workload
+    /// snapshot pins; the recency planner turns this on for its
+    /// generated subqueries, where output order is defined by an
+    /// explicit sort.
+    pub cost_based_join_order: bool,
 }
 
 /// Default morsel size: large enough to amortize per-morsel dispatch,
@@ -36,6 +53,9 @@ impl Default for ExecOptions {
             enable_hash_join: true,
             threads: 1,
             batch_size: DEFAULT_BATCH_SIZE,
+            columnar: true,
+            fast_paths: true,
+            cost_based_join_order: false,
         }
     }
 }
@@ -121,7 +141,11 @@ pub fn probe_candidate(term: &BoundExpr, table: usize) -> Option<(usize, Vec<Val
 }
 
 /// Chooses the access path for `table` given the conjuncts that reference
-/// only that table. Prefers the probe with the fewest keys.
+/// only that table. Probe candidates are costed against the sequential
+/// scan with the catalog statistics: a probe is kept only when its
+/// estimated row touches don't exceed the scan's (ties go to the probe),
+/// and among surviving probes the cheapest wins, with fewer keys as the
+/// tie-break.
 pub fn choose_access_path(
     txn: &ReadTxn,
     tid: TableId,
@@ -132,22 +156,28 @@ pub fn choose_access_path(
     if !opts.enable_index_scan {
         return AccessPath::SeqScan;
     }
-    let mut best: Option<(usize, Vec<Value>)> = None;
+    let tc = TableCost::new(txn, tid);
+    let seq_cost = tc.seq_cost();
+    let mut best: Option<(u64, usize, Vec<Value>)> = None;
     for term in table_conjuncts {
         if let Some((column, keys)) = probe_candidate(term, table_pos) {
             if txn.has_index(tid, column) {
+                let cost = tc.probe_cost(column, keys.len());
+                if cost > seq_cost {
+                    continue;
+                }
                 let better = match &best {
                     None => true,
-                    Some((_, cur)) => keys.len() < cur.len(),
+                    Some((bc, _, cur)) => (cost, keys.len()) < (*bc, cur.len()),
                 };
                 if better {
-                    best = Some((column, keys));
+                    best = Some((cost, column, keys));
                 }
             }
         }
     }
     match best {
-        Some((column, keys)) => AccessPath::IndexProbe { column, keys },
+        Some((_, column, keys)) => AccessPath::IndexProbe { column, keys },
         None => AccessPath::SeqScan,
     }
 }

@@ -3,7 +3,7 @@
 use crate::access::AccessPath;
 use std::collections::BTreeMap;
 use std::fmt::Write as _;
-use trac_expr::bound::BoundHaving;
+use trac_expr::bound::{AggFunc, BoundHaving};
 use trac_expr::{BoundExpr, BoundTable, ColRef, Projection};
 use trac_types::Value;
 
@@ -32,6 +32,8 @@ pub enum PlanNode {
         filter: Vec<BoundExpr>,
         /// Estimated output rows (EXPLAIN annotation only).
         est_rows: u64,
+        /// Estimated cost in abstract row-touch units (EXPLAIN only).
+        cost: u64,
     },
     /// Index point/IN probe of one table with residual filters.
     IndexLookup {
@@ -47,6 +49,8 @@ pub enum PlanNode {
         filter: Vec<BoundExpr>,
         /// Estimated output rows (EXPLAIN annotation only).
         est_rows: u64,
+        /// Estimated cost in abstract row-touch units (EXPLAIN only).
+        cost: u64,
     },
     /// Nested-loop join: for every outer tuple, every inner row.
     NLJoin {
@@ -59,6 +63,8 @@ pub enum PlanNode {
         filter: Vec<BoundExpr>,
         /// Estimated output rows (EXPLAIN annotation only).
         est_rows: u64,
+        /// Estimated cost in abstract row-touch units (EXPLAIN only).
+        cost: u64,
     },
     /// Hash join on one equi-key: build on the inner leaf, probe with
     /// each outer tuple.
@@ -76,6 +82,8 @@ pub enum PlanNode {
         filter: Vec<BoundExpr>,
         /// Estimated output rows (EXPLAIN annotation only).
         est_rows: u64,
+        /// Estimated cost in abstract row-touch units (EXPLAIN only).
+        cost: u64,
     },
     /// Index nested-loop join: probe the inner table's index once per
     /// outer tuple with the outer key value.
@@ -94,6 +102,66 @@ pub enum PlanNode {
         filter: Vec<BoundExpr>,
         /// Estimated output rows (EXPLAIN annotation only).
         est_rows: u64,
+        /// Estimated cost in abstract row-touch units (EXPLAIN only).
+        cost: u64,
+    },
+    /// Fast path: `SELECT COUNT(*) FROM t` with no predicate, grouping
+    /// or HAVING is answered from the storage layer's visible-row
+    /// counter without materializing a single tuple. Always a plan
+    /// root.
+    CountStar {
+        /// The counted table.
+        table: BoundTable,
+        /// Output column name of the single projection.
+        name: String,
+        /// Estimated count (EXPLAIN annotation only).
+        est_rows: u64,
+        /// Estimated cost in abstract row-touch units (EXPLAIN only).
+        cost: u64,
+    },
+    /// Fast path: a single `MIN(col)`/`MAX(col)` over one unfiltered
+    /// table, answered by walking the ordered index on `col` to its
+    /// first visible entry. Only emitted when `Value` order and SQL
+    /// comparison agree on the column type (non-float) — the analyzer's
+    /// fast-path pass re-derives that proof. Always a plan root.
+    IndexMinMax {
+        /// The aggregated table.
+        table: BoundTable,
+        /// Indexed column the extreme is taken over.
+        column: usize,
+        /// [`AggFunc::Min`] or [`AggFunc::Max`].
+        func: AggFunc,
+        /// Output column name of the single projection.
+        name: String,
+        /// Estimated output rows (always 1; EXPLAIN annotation only).
+        est_rows: u64,
+        /// Estimated cost in abstract row-touch units (EXPLAIN only).
+        cost: u64,
+    },
+    /// Fast path: `ORDER BY col [DESC] LIMIT n` over one table served
+    /// by walking the ordered index on `col` (ascending or descending)
+    /// and stopping after `n` rows pass the residual filter. Replaces
+    /// the `Sort` under the plan's `Limit(Project(..))` stack; only
+    /// emitted when `col` is declared `NOT NULL` (the index never
+    /// stores NULL keys, so a nullable column would drop rows a real
+    /// sort would keep).
+    TopNIndex {
+        /// The table being read.
+        table: BoundTable,
+        /// The table's FROM position (= its tuple slot).
+        pos: usize,
+        /// Indexed, non-nullable ORDER BY column.
+        column: usize,
+        /// True for `ORDER BY col DESC`.
+        desc: bool,
+        /// The LIMIT: rows to produce after filtering.
+        n: u64,
+        /// Residual single-table conjuncts applied during the walk.
+        filter: Vec<BoundExpr>,
+        /// Estimated output rows (EXPLAIN annotation only).
+        est_rows: u64,
+        /// Estimated cost in abstract row-touch units (EXPLAIN only).
+        cost: u64,
     },
     /// Residual predicate over full tuples (defensive; the planner
     /// pushes every conjunct into scans and joins when it can).
@@ -190,6 +258,9 @@ impl PlanNode {
             PlanNode::NLJoin { .. } => "NLJoin",
             PlanNode::HashJoin { .. } => "HashJoin",
             PlanNode::IndexNLJoin { .. } => "IndexNLJoin",
+            PlanNode::CountStar { .. } => "CountStar",
+            PlanNode::IndexMinMax { .. } => "IndexMinMax",
+            PlanNode::TopNIndex { .. } => "TopNIndex",
             PlanNode::Exchange { .. } => "Exchange",
             PlanNode::Gather { .. } => "Gather",
             PlanNode::Filter { .. } => "Filter",
@@ -204,9 +275,12 @@ impl PlanNode {
     /// Child operators, outermost first.
     pub fn children(&self) -> Vec<&PlanNode> {
         match self {
-            PlanNode::Empty { .. } | PlanNode::Scan { .. } | PlanNode::IndexLookup { .. } => {
-                Vec::new()
-            }
+            PlanNode::Empty { .. }
+            | PlanNode::Scan { .. }
+            | PlanNode::IndexLookup { .. }
+            | PlanNode::CountStar { .. }
+            | PlanNode::IndexMinMax { .. }
+            | PlanNode::TopNIndex { .. } => Vec::new(),
             PlanNode::NLJoin { outer, inner, .. } | PlanNode::HashJoin { outer, inner, .. } => {
                 vec![outer, inner]
             }
@@ -226,9 +300,12 @@ impl PlanNode {
     /// harnesses that apply surgical plan mutations).
     pub fn children_mut(&mut self) -> Vec<&mut PlanNode> {
         match self {
-            PlanNode::Empty { .. } | PlanNode::Scan { .. } | PlanNode::IndexLookup { .. } => {
-                Vec::new()
-            }
+            PlanNode::Empty { .. }
+            | PlanNode::Scan { .. }
+            | PlanNode::IndexLookup { .. }
+            | PlanNode::CountStar { .. }
+            | PlanNode::IndexMinMax { .. }
+            | PlanNode::TopNIndex { .. } => Vec::new(),
             PlanNode::NLJoin { outer, inner, .. } | PlanNode::HashJoin { outer, inner, .. } => {
                 vec![outer, inner]
             }
@@ -267,9 +344,10 @@ impl PlanNode {
                 table,
                 filter,
                 est_rows,
+                cost,
                 ..
             } => format!(
-                "Scan {} [{}]{} (est {est_rows} rows)",
+                "Scan {} [{}]{} (est {est_rows} rows, cost {cost})",
                 table.binding,
                 AccessPath::SeqScan.describe(),
                 filter_note(filter),
@@ -280,27 +358,40 @@ impl PlanNode {
                 keys,
                 filter,
                 est_rows,
+                cost,
                 ..
             } => format!(
-                "IndexLookup {} [{}]{} (est {est_rows} rows)",
+                "IndexLookup {} [{}]{}{} (est {est_rows} rows, cost {cost})",
                 table.binding,
                 AccessPath::IndexProbe {
                     column: *column,
                     keys: keys.clone()
                 }
                 .describe(),
+                if keys.len() > 1 {
+                    " [fast-path: in-list probe]"
+                } else {
+                    ""
+                },
                 filter_note(filter),
             ),
             PlanNode::NLJoin {
-                filter, est_rows, ..
-            } => format!("NLJoin{} (est {est_rows} rows)", filter_note(filter)),
+                filter,
+                est_rows,
+                cost,
+                ..
+            } => format!(
+                "NLJoin{} (est {est_rows} rows, cost {cost})",
+                filter_note(filter)
+            ),
             PlanNode::HashJoin {
                 inner_col,
                 filter,
                 est_rows,
+                cost,
                 ..
             } => format!(
-                "HashJoin(col#{inner_col}){} (est {est_rows} rows)",
+                "HashJoin(col#{inner_col}){} (est {est_rows} rows, cost {cost})",
                 filter_note(filter)
             ),
             PlanNode::IndexNLJoin {
@@ -308,11 +399,50 @@ impl PlanNode {
                 inner_col,
                 filter,
                 est_rows,
+                cost,
                 ..
             } => format!(
-                "IndexNLJoin {} (col#{inner_col}){} (est {est_rows} rows)",
+                "IndexNLJoin {} (col#{inner_col}){} (est {est_rows} rows, cost {cost})",
                 table.binding,
                 filter_note(filter)
+            ),
+            PlanNode::CountStar {
+                table,
+                name,
+                est_rows,
+                cost,
+            } => format!(
+                "CountStar {} AS {name} [fast-path: storage row count] \
+                 (est {est_rows} rows, cost {cost})",
+                table.binding,
+            ),
+            PlanNode::IndexMinMax {
+                table,
+                column,
+                func,
+                name,
+                est_rows,
+                cost,
+            } => format!(
+                "IndexMinMax {}.col#{column} ({func:?}) AS {name} \
+                 [fast-path: ordered index probe] (est {est_rows} rows, cost {cost})",
+                table.binding,
+            ),
+            PlanNode::TopNIndex {
+                table,
+                column,
+                desc,
+                n,
+                filter,
+                est_rows,
+                cost,
+                ..
+            } => format!(
+                "TopNIndex {} (col#{column}{}, first {n}) \
+                 [fast-path: ordered index walk]{} (est {est_rows} rows, cost {cost})",
+                table.binding,
+                if *desc { " desc" } else { "" },
+                filter_note(filter),
             ),
             PlanNode::Exchange { threads, batch, .. } => {
                 format!("Exchange (threads={threads}, morsel={batch} rows)")
@@ -366,10 +496,31 @@ impl PlanNode {
             | PlanNode::IndexLookup { est_rows, .. }
             | PlanNode::NLJoin { est_rows, .. }
             | PlanNode::HashJoin { est_rows, .. }
-            | PlanNode::IndexNLJoin { est_rows, .. } => Some(*est_rows),
+            | PlanNode::IndexNLJoin { est_rows, .. }
+            | PlanNode::CountStar { est_rows, .. }
+            | PlanNode::IndexMinMax { est_rows, .. }
+            | PlanNode::TopNIndex { est_rows, .. } => Some(*est_rows),
             // Parallel decoration is row-preserving: the estimate of the
             // region below passes through unchanged.
             PlanNode::Exchange { input, .. } | PlanNode::Gather { input, .. } => input.est_rows(),
+            _ => None,
+        }
+    }
+
+    /// Estimated cost (abstract row-touch units) of the relational
+    /// part, where known.
+    pub fn est_cost(&self) -> Option<u64> {
+        match self {
+            PlanNode::Empty { .. } => Some(0),
+            PlanNode::Scan { cost, .. }
+            | PlanNode::IndexLookup { cost, .. }
+            | PlanNode::NLJoin { cost, .. }
+            | PlanNode::HashJoin { cost, .. }
+            | PlanNode::IndexNLJoin { cost, .. }
+            | PlanNode::CountStar { cost, .. }
+            | PlanNode::IndexMinMax { cost, .. }
+            | PlanNode::TopNIndex { cost, .. } => Some(*cost),
+            PlanNode::Exchange { input, .. } | PlanNode::Gather { input, .. } => input.est_cost(),
             _ => None,
         }
     }
@@ -535,6 +686,21 @@ fn collect_steps(node: &PlanNode, out: &mut Vec<(String, String)>) {
             out.push((
                 table.binding.clone(),
                 format!("IndexNLJoin(col#{inner_col})"),
+            ));
+        }
+        PlanNode::CountStar { table, .. } => {
+            out.push((table.binding.clone(), "CountStar fast path".to_string()));
+        }
+        PlanNode::IndexMinMax { table, column, .. } => {
+            out.push((
+                table.binding.clone(),
+                format!("IndexMinMax(col#{column}) fast path"),
+            ));
+        }
+        PlanNode::TopNIndex { table, column, .. } => {
+            out.push((
+                table.binding.clone(),
+                format!("TopNIndex(col#{column}) fast path"),
             ));
         }
         PlanNode::Exchange { input, .. }

@@ -24,15 +24,24 @@
 //!   when [`ExecOptions::threads`] > 1, so serial plans are
 //!   byte-identical to previous releases.
 //!
-//! Plans carry per-operator estimated row counts (taken from the
-//! snapshot the planner saw) purely as EXPLAIN annotations — they never
-//! influence correctness, only the join-strategy heuristics at plan
-//! time.
+//! * **Fast paths** — [`PlanNode::CountStar`],
+//!   [`PlanNode::IndexMinMax`] and [`PlanNode::TopNIndex`] answer
+//!   narrow single-table query shapes straight from the storage layer;
+//!   each carries side conditions the analyzer re-derives and
+//!   certifies.
+//!
+//! Plans carry per-operator estimated row counts and costs, computed by
+//! the catalog-statistics cost model (`cost` module). Estimates drive
+//! access-path choice, the optional cost-based join order and EXPLAIN
+//! annotations — they never influence correctness: however wrong the
+//! statistics are, every plan the lowering can emit computes the same
+//! result.
 
 #![warn(missing_docs)]
 #![forbid(unsafe_code)]
 
 mod access;
+mod cost;
 mod ir;
 mod lower;
 

@@ -6,14 +6,32 @@
 //! with per-table access-path selection, and the query's shaping
 //! clauses (`GROUP BY`/`HAVING`/`ORDER BY`/`DISTINCT`/`LIMIT`) stack on
 //! top of the join tree.
+//!
+//! Two statistics-driven refinements sit on top of that skeleton:
+//!
+//! * **Fast paths** (`opts.fast_paths`, on by default): single-table
+//!   query shapes with a provably equivalent shortcut lower to
+//!   dedicated operators — [`PlanNode::CountStar`],
+//!   [`PlanNode::IndexMinMax`] and [`PlanNode::TopNIndex`] — instead of
+//!   the general pipeline. Each shortcut's side conditions are checked
+//!   here and re-derived independently by the analyzer's fast-path
+//!   soundness pass.
+//! * **Cost-based join order** (`opts.cost_based_join_order`, off by
+//!   default): a greedy order by estimated intermediate size replaces
+//!   FROM order. Off by default because FROM-order plans also pin the
+//!   output *row order* of unsorted queries; the recency planner opts
+//!   in for its generated subqueries, whose output order is defined by
+//!   an explicit sort.
 
 use crate::access::{choose_access_path, AccessPath, ExecOptions};
+use crate::cost::{join_rows, TableCost};
 use crate::ir::{PhysicalPlan, PlanNode};
 use std::collections::BTreeSet;
-use trac_expr::{eval_predicate, BoundExpr, BoundSelect, BoundTable, ColRef, Truth};
+use trac_expr::bound::AggFunc;
+use trac_expr::{eval_predicate, BoundExpr, BoundSelect, BoundTable, ColRef, Projection, Truth};
 use trac_sql::BinaryOp;
 use trac_storage::ReadTxn;
-use trac_types::Result;
+use trac_types::{DataType, Result};
 
 /// Splits nested `AND`s into a conjunct list.
 pub fn split_and(e: &BoundExpr, out: &mut Vec<BoundExpr>) {
@@ -55,40 +73,193 @@ pub fn equi_key(c: &BoundExpr, pos: usize, joined: &BTreeSet<usize>) -> Option<(
     }
 }
 
-/// Builds the access leaf for one table.
+/// Builds the access leaf for one table, with statistics-based row and
+/// cost estimates.
 fn make_leaf(
-    txn: &ReadTxn,
     bt: &BoundTable,
     pos: usize,
     access: AccessPath,
     filter: Vec<BoundExpr>,
+    tc: &TableCost,
 ) -> PlanNode {
-    let total = txn.row_count(bt.id).unwrap_or(0) as u64;
+    let filtered = tc.filtered_rows(&filter, pos);
     match access {
         AccessPath::SeqScan => PlanNode::Scan {
             table: bt.clone(),
             pos,
             filter,
-            est_rows: total,
+            est_rows: filtered,
+            cost: tc.seq_cost(),
         },
         AccessPath::IndexProbe { column, keys } => {
-            let est_rows = total.min(keys.len() as u64);
+            let matched = tc.probe_rows(column, keys.len());
             PlanNode::IndexLookup {
                 table: bt.clone(),
                 pos,
                 column,
                 keys,
                 filter,
-                est_rows,
+                est_rows: filtered.min(matched),
+                cost: matched.max(1),
             }
         }
     }
 }
 
+/// Tries to lower `q` to a certified fast-path plan. Only single-table
+/// queries qualify; every side condition checked here is re-derived by
+/// the analyzer's fast-path soundness pass (TRAC021/TRAC022).
+fn try_fast_path(
+    txn: &ReadTxn,
+    q: &BoundSelect,
+    pending: &[BoundExpr],
+    tc: &TableCost,
+) -> Option<PhysicalPlan> {
+    let [bt] = q.tables.as_slice() else {
+        return None;
+    };
+    let columns = q.output_names();
+    // Aggregate shortcuts: one global group, nothing filtered, nothing
+    // shaped — the storage layer can answer directly.
+    let unshaped = q.group_by.is_empty()
+        && q.having.is_none()
+        && !q.distinct
+        && q.order_by.is_empty()
+        && q.limit != Some(0);
+    if unshaped && pending.is_empty() {
+        if let [Projection::Aggregate { func, arg, name }] = q.projections.as_slice() {
+            match (func, arg) {
+                // COUNT(*): the MVCC-visible row counter is the answer.
+                (AggFunc::Count, None) => {
+                    return Some(PhysicalPlan {
+                        root: PlanNode::CountStar {
+                            table: bt.clone(),
+                            name: name.clone(),
+                            est_rows: tc.rows,
+                            cost: 1,
+                        },
+                        columns,
+                    });
+                }
+                // MIN/MAX(col) over an indexed non-float column: the
+                // first visible entry of the ordered index walk. Float
+                // is excluded because SQL comparison and the index's
+                // `Value` order may disagree on it; both orders skip
+                // NULLs, so nullable columns are fine here.
+                (AggFunc::Min | AggFunc::Max, Some(BoundExpr::Column(cr)))
+                    if cr.table == 0
+                        && txn.has_index(bt.id, cr.column)
+                        && bt.schema.column(cr.column).ty != DataType::Float =>
+                {
+                    return Some(PhysicalPlan {
+                        root: PlanNode::IndexMinMax {
+                            table: bt.clone(),
+                            column: cr.column,
+                            func: *func,
+                            name: name.clone(),
+                            est_rows: 1,
+                            cost: 1,
+                        },
+                        columns,
+                    });
+                }
+                _ => {}
+            }
+        }
+    }
+    // Top-N shortcut: `ORDER BY col [DESC] LIMIT n` over an indexed
+    // column replaces the full Sort with an early-stopping ordered
+    // index walk. The column must be declared NOT NULL — the index
+    // never stores NULL keys, so a nullable column would drop rows the
+    // real sort keeps. (The guarantee comes from the schema, never from
+    // the mutable statistics.)
+    if !q.is_aggregate() && !q.distinct {
+        if let (Some(n), [(BoundExpr::Column(cr), desc)]) = (q.limit, q.order_by.as_slice()) {
+            if n >= 1
+                && cr.table == 0
+                && txn.has_index(bt.id, cr.column)
+                && !bt.schema.column(cr.column).nullable
+            {
+                let filter = pending.to_vec();
+                let filtered = tc.filtered_rows(&filter, 0);
+                let est_rows = filtered.min(n);
+                // Expected walk depth: n survivors at the filter's
+                // selectivity, capped by the table size.
+                let cost = n
+                    .saturating_mul(tc.rows)
+                    .checked_div(filtered)
+                    .map_or(tc.seq_cost(), |c| c.clamp(1, tc.seq_cost()));
+                let root = PlanNode::TopNIndex {
+                    table: bt.clone(),
+                    pos: 0,
+                    column: cr.column,
+                    desc: *desc,
+                    n,
+                    filter,
+                    est_rows,
+                    cost,
+                };
+                let root = PlanNode::Project {
+                    input: Box::new(root),
+                    projections: q.projections.clone(),
+                };
+                return Some(PhysicalPlan {
+                    root: PlanNode::Limit {
+                        input: Box::new(root),
+                        n,
+                    },
+                    columns,
+                });
+            }
+        }
+    }
+    None
+}
+
+/// Greedy cost-based join order: start from the smallest estimated
+/// filtered table, then repeatedly attach the table minimizing the
+/// estimated intermediate result (equi-joins divide by key NDV, cross
+/// joins multiply). Ties break toward FROM order.
+fn greedy_order(
+    pending: &[BoundExpr],
+    costs: &[TableCost],
+    table_conjuncts: &[Vec<BoundExpr>],
+) -> Vec<usize> {
+    let n = costs.len();
+    let filtered: Vec<u64> = (0..n)
+        .map(|pos| costs[pos].filtered_rows(&table_conjuncts[pos], pos))
+        .collect();
+    let first = (0..n).min_by_key(|&pos| filtered[pos]).unwrap_or(0);
+    let mut order = vec![first];
+    let mut joined = BTreeSet::from([first]);
+    let mut cur_est = filtered[first];
+    while order.len() < n {
+        let mut best: Option<(u64, usize)> = None;
+        for pos in (0..n).filter(|pos| !joined.contains(pos)) {
+            let key_ndv = pending.iter().find_map(|c| equi_key(c, pos, &joined)).map(
+                |(inner_col, outer_key)| {
+                    costs[pos]
+                        .ndv(inner_col)
+                        .max(costs[outer_key.table].ndv(outer_key.column))
+                },
+            );
+            let est = join_rows(cur_est, filtered[pos], key_ndv);
+            if best.is_none_or(|(b, _)| est < b) {
+                best = Some((est, pos));
+            }
+        }
+        let (est, pos) = best.expect("candidate remains");
+        cur_est = est;
+        joined.insert(pos);
+        order.push(pos);
+    }
+    order
+}
+
 /// Lowers a bound `SELECT` into a physical plan against `txn`'s
 /// snapshot. The plan is deterministic given the query, the options and
-/// the catalog (which indexes exist); row-count estimates additionally
-/// reflect the snapshot's visible table sizes.
+/// the catalog (which indexes exist); row-count and cost estimates
+/// additionally reflect the catalog's write-time statistics.
 pub fn plan_select(txn: &ReadTxn, q: &BoundSelect, opts: ExecOptions) -> Result<PhysicalPlan> {
     // 1. Split the predicate into top-level conjuncts.
     let mut conjuncts: Vec<BoundExpr> = Vec::new();
@@ -96,7 +267,7 @@ pub fn plan_select(txn: &ReadTxn, q: &BoundSelect, opts: ExecOptions) -> Result<
         split_and(p, &mut conjuncts);
     }
     // 2. Constant conjuncts decide emptiness up front.
-    let mut pending: Vec<Option<BoundExpr>> = Vec::new();
+    let mut remaining: Vec<BoundExpr> = Vec::new();
     let mut trivially_empty = false;
     for c in conjuncts {
         if c.references().is_empty() {
@@ -104,31 +275,64 @@ pub fn plan_select(txn: &ReadTxn, q: &BoundSelect, opts: ExecOptions) -> Result<
                 trivially_empty = true;
             }
         } else {
-            pending.push(Some(c));
+            remaining.push(c);
         }
     }
+    // Per-table statistics snapshots drive every estimate below.
+    let costs: Vec<TableCost> = q
+        .tables
+        .iter()
+        .map(|bt| TableCost::new(txn, bt.id))
+        .collect();
+    // 3. Fast paths: single-table shapes with a certified shortcut skip
+    // the general pipeline (and its parallel decoration) entirely.
+    if opts.fast_paths && !trivially_empty {
+        if let Some(first) = costs.first() {
+            if let Some(plan) = try_fast_path(txn, q, &remaining, first) {
+                return Ok(plan);
+            }
+        }
+    }
+    // 4. Join order: FROM order by default; greedy by estimated
+    // intermediate size when the cost-based knob is on. Reordered plans
+    // stay serial — the morsel pipeline assumes the FROM-order driving
+    // leaf — and are flagged for the columnar engine, whose joins write
+    // each table's rows at that table's own tuple slot.
+    let table_conjuncts: Vec<Vec<BoundExpr>> = (0..q.tables.len())
+        .map(|pos| {
+            remaining
+                .iter()
+                .filter(|c| c.tables() == BTreeSet::from([pos]))
+                .cloned()
+                .collect()
+        })
+        .collect();
+    let order: Vec<usize> = if opts.cost_based_join_order && q.tables.len() > 1 && !trivially_empty
+    {
+        greedy_order(&remaining, &costs, &table_conjuncts)
+    } else {
+        (0..q.tables.len()).collect()
+    };
+    let reordered = order.iter().enumerate().any(|(i, &pos)| i != pos);
     // Parallel lowering: with `threads > 1` the driving leaf is wrapped
     // in an Exchange (morsel distribution) and the finished relational
     // tree in a Gather (morsel-ordered merge), keeping results
     // byte-identical to the serial plan. Statically-empty plans have
     // nothing to parallelize.
-    let parallel = opts.threads > 1 && !q.tables.is_empty() && !trivially_empty;
+    let parallel = opts.threads > 1 && !q.tables.is_empty() && !trivially_empty && !reordered;
+    let mut pending: Vec<Option<BoundExpr>> = remaining.into_iter().map(Some).collect();
     let mut root = if trivially_empty {
         PlanNode::Empty {
             bindings: q.tables.iter().map(|t| t.binding.clone()).collect(),
         }
     } else {
-        // 3. Join tables left-to-right, building a left-deep tree.
+        // 5. Join tables in the chosen order, building a left-deep tree.
         let mut joined: BTreeSet<usize> = BTreeSet::new();
         let mut tree: Option<PlanNode> = None;
-        for (pos, bt) in q.tables.iter().enumerate() {
-            // Single-table conjuncts for this table.
-            let table_conjuncts: Vec<BoundExpr> = pending
-                .iter()
-                .flatten()
-                .filter(|c| c.tables() == BTreeSet::from([pos]))
-                .cloned()
-                .collect();
+        let mut tree_cost: u64 = 0;
+        for &pos in &order {
+            let bt = &q.tables[pos];
+            let tc = &costs[pos];
             // Conjuncts that become applicable once `pos` joins.
             let mut applicable: Vec<BoundExpr> = Vec::new();
             for slot in &mut pending {
@@ -143,12 +347,13 @@ pub fn plan_select(txn: &ReadTxn, q: &BoundSelect, opts: ExecOptions) -> Result<
             }
             // Pick an equi-join conjunct usable as a key: pos.col = joined.col.
             let equi = applicable.iter().find_map(|c| equi_key(c, pos, &joined));
-            let access = choose_access_path(txn, bt.id, pos, &table_conjuncts, opts);
+            let access = choose_access_path(txn, bt.id, pos, &table_conjuncts[pos], opts);
             joined.insert(pos);
             let Some(outer) = tree else {
                 // First table: the leaf is the tree. `applicable` here is
                 // exactly the single-table conjuncts, already in the leaf.
-                let mut leaf = make_leaf(txn, bt, pos, access, table_conjuncts);
+                let mut leaf = make_leaf(bt, pos, access, table_conjuncts[pos].clone(), tc);
+                tree_cost = leaf.est_cost().unwrap_or(1);
                 if parallel {
                     leaf = PlanNode::Exchange {
                         input: Box::new(leaf),
@@ -167,6 +372,9 @@ pub fn plan_select(txn: &ReadTxn, q: &BoundSelect, opts: ExecOptions) -> Result<
                     && txn.has_index(bt.id, *inner_col)
             });
             tree = Some(if let Some((inner_col, outer_key)) = index_nl {
+                let est_rows = join_rows(outer_est, tc.rows, Some(tc.ndv(inner_col)));
+                let cost = tree_cost.saturating_add(outer_est).saturating_add(est_rows);
+                tree_cost = cost;
                 PlanNode::IndexNLJoin {
                     outer: Box::new(outer),
                     table: bt.clone(),
@@ -174,26 +382,44 @@ pub fn plan_select(txn: &ReadTxn, q: &BoundSelect, opts: ExecOptions) -> Result<
                     inner_col,
                     outer_key,
                     filter: join_filter,
-                    est_rows: outer_est,
+                    est_rows,
+                    cost,
                 }
             } else {
-                let inner = make_leaf(txn, bt, pos, access, table_conjuncts);
+                let inner = make_leaf(bt, pos, access, table_conjuncts[pos].clone(), tc);
                 let inner_est = inner.est_rows().unwrap_or(0);
+                let inner_cost = inner.est_cost().unwrap_or(1);
                 if let Some((inner_col, outer_key)) = equi.filter(|_| opts.enable_hash_join) {
+                    let key_ndv = tc
+                        .ndv(inner_col)
+                        .max(costs[outer_key.table].ndv(outer_key.column));
+                    let est_rows = join_rows(outer_est, inner_est, Some(key_ndv));
+                    let cost = tree_cost
+                        .saturating_add(inner_cost)
+                        .saturating_add(outer_est)
+                        .saturating_add(est_rows);
+                    tree_cost = cost;
                     PlanNode::HashJoin {
                         outer: Box::new(outer),
                         inner: Box::new(inner),
                         inner_col,
                         outer_key,
                         filter: join_filter,
-                        est_rows: outer_est.max(inner_est),
+                        est_rows,
+                        cost,
                     }
                 } else {
+                    let est_rows = join_rows(outer_est, inner_est, None);
+                    let cost = tree_cost
+                        .saturating_add(inner_cost)
+                        .saturating_add(est_rows);
+                    tree_cost = cost;
                     PlanNode::NLJoin {
                         outer: Box::new(outer),
                         inner: Box::new(inner),
                         filter: join_filter,
-                        est_rows: outer_est.saturating_mul(inner_est),
+                        est_rows,
+                        cost,
                     }
                 }
             });
@@ -202,7 +428,7 @@ pub fn plan_select(txn: &ReadTxn, q: &BoundSelect, opts: ExecOptions) -> Result<
             bindings: Vec::new(),
         })
     };
-    // 4. Leftover conjuncts (defensive; all should have been applied).
+    // 6. Leftover conjuncts (defensive; all should have been applied).
     let leftover: Vec<BoundExpr> = pending.into_iter().flatten().collect();
     if !leftover.is_empty() {
         root = PlanNode::Filter {
@@ -216,7 +442,7 @@ pub fn plan_select(txn: &ReadTxn, q: &BoundSelect, opts: ExecOptions) -> Result<
             morsel_ordered: true,
         };
     }
-    // 5. Shape the output: aggregation absorbs HAVING/ORDER BY/LIMIT
+    // 7. Shape the output: aggregation absorbs HAVING/ORDER BY/LIMIT
     // (they act on groups); the scalar stack applies them separately.
     let columns = q.output_names();
     let root = if q.is_aggregate() {
@@ -488,5 +714,142 @@ mod tests {
         assert!(having.is_some());
         assert_eq!(*limit, Some(5));
         assert_eq!(p.operator_counts()["Aggregate"], 1);
+    }
+
+    #[test]
+    fn count_star_takes_the_fast_path() {
+        let db = setup();
+        let p = plan(
+            &db,
+            "SELECT COUNT(*) AS n FROM activity",
+            ExecOptions::default(),
+        );
+        let PlanNode::CountStar { name, est_rows, .. } = &p.root else {
+            panic!("expected CountStar root: {:?}", p.root);
+        };
+        assert_eq!(name, "n");
+        assert_eq!(*est_rows, 2);
+        assert_eq!(p.table_steps()[0].1, "CountStar fast path");
+        assert!(p.render().contains("[fast-path: storage row count]"));
+        // Any disqualifier falls back to the general Aggregate pipeline:
+        // a predicate, a second table, or the knob being off.
+        let p = plan(
+            &db,
+            "SELECT COUNT(*) AS n FROM activity WHERE value = 'idle'",
+            ExecOptions::default(),
+        );
+        assert!(matches!(p.root, PlanNode::Aggregate { .. }));
+        let p = plan(
+            &db,
+            "SELECT COUNT(*) AS n FROM activity, routing",
+            ExecOptions::default(),
+        );
+        assert!(matches!(p.root, PlanNode::Aggregate { .. }));
+        let off = ExecOptions {
+            fast_paths: false,
+            ..Default::default()
+        };
+        let p = plan(&db, "SELECT COUNT(*) AS n FROM activity", off);
+        assert!(matches!(p.root, PlanNode::Aggregate { .. }));
+    }
+
+    #[test]
+    fn min_max_fast_path_requires_an_index() {
+        let db = setup();
+        let p = plan(
+            &db,
+            "SELECT MIN(mach_id) AS lo FROM activity",
+            ExecOptions::default(),
+        );
+        let PlanNode::IndexMinMax {
+            column: 0, func, ..
+        } = &p.root
+        else {
+            panic!("expected IndexMinMax root: {:?}", p.root);
+        };
+        assert_eq!(*func, AggFunc::Min);
+        assert!(p.render().contains("[fast-path: ordered index probe]"));
+        // `value` has no index: general pipeline.
+        let p = plan(
+            &db,
+            "SELECT MAX(value) AS hi FROM activity",
+            ExecOptions::default(),
+        );
+        assert!(matches!(p.root, PlanNode::Aggregate { .. }));
+    }
+
+    #[test]
+    fn order_by_limit_takes_the_top_n_index_path() {
+        let db = setup();
+        let p = plan(
+            &db,
+            "SELECT value FROM activity WHERE value = 'idle' ORDER BY mach_id DESC LIMIT 1",
+            ExecOptions::default(),
+        );
+        let PlanNode::Limit { input, n: 1 } = &p.root else {
+            panic!("expected Limit root: {:?}", p.root);
+        };
+        let PlanNode::Project { input, .. } = input.as_ref() else {
+            panic!("expected Project under Limit");
+        };
+        let PlanNode::TopNIndex {
+            column: 0,
+            desc: true,
+            n: 1,
+            filter,
+            ..
+        } = input.as_ref()
+        else {
+            panic!("expected TopNIndex leaf: {input:?}");
+        };
+        assert_eq!(filter.len(), 1);
+        assert!(p.render().contains("[fast-path: ordered index walk]"));
+        // Without a LIMIT (or on an unindexed key) the Sort stays.
+        let p = plan(
+            &db,
+            "SELECT value FROM activity ORDER BY mach_id",
+            ExecOptions::default(),
+        );
+        assert_eq!(p.operator_counts()["Sort"], 1);
+        let p = plan(
+            &db,
+            "SELECT value FROM activity ORDER BY value LIMIT 1",
+            ExecOptions::default(),
+        );
+        assert_eq!(p.operator_counts()["Sort"], 1);
+    }
+
+    #[test]
+    fn cost_based_ordering_starts_from_the_smallest_table() {
+        let db = setup();
+        // routing is empty, activity has 2 rows; FROM order says
+        // activity first, the cost model says routing first.
+        let sql = "SELECT A.value FROM Activity A, Routing R WHERE A.mach_id = R.mach_id";
+        let p = plan(&db, sql, ExecOptions::default());
+        assert_eq!(p.table_steps()[0].0, "A");
+        let opts = ExecOptions {
+            cost_based_join_order: true,
+            ..Default::default()
+        };
+        let p = plan(&db, sql, opts);
+        assert_eq!(p.table_steps()[0].0, "R", "{:?}", p.table_steps());
+        // Reordered plans never get parallel decoration.
+        let p = plan(&db, sql, opts.with_parallelism(4, 64));
+        assert!(!p.operator_counts().contains_key("Gather"));
+    }
+
+    #[test]
+    fn explain_carries_estimates_and_costs() {
+        let db = setup();
+        let p = plan(
+            &db,
+            "SELECT value FROM activity WHERE mach_id = 'm1'",
+            ExecOptions::default(),
+        );
+        let rendered = p.render();
+        assert!(
+            rendered.contains("(est 1 rows, cost 1)"),
+            "missing cost annotation: {rendered}"
+        );
     }
 }

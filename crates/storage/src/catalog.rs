@@ -7,7 +7,8 @@
 //! session so they can be dropped en masse.
 
 use std::collections::HashMap;
-use trac_types::{Result, TracError};
+use std::hash::{Hash, Hasher};
+use trac_types::{Result, TracError, Value};
 
 /// Identifies a table in the database (index into the table vector).
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
@@ -34,11 +35,138 @@ struct TableEntry {
     temp_owner: Option<SessionId>,
 }
 
+/// Bitmap size of the linear-counting NDV sketch (bits).
+const SKETCH_BITS: usize = 256;
+
+/// A fixed-size linear-counting sketch estimating the number of
+/// distinct values observed. 256 bits is plenty for planner-grade
+/// estimates on monitoring-sized tables: the estimate only steers
+/// access-path and join-order choices, never results.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct NdvSketch {
+    bits: [u64; SKETCH_BITS / 64],
+}
+
+impl NdvSketch {
+    /// Folds one value into the sketch.
+    pub fn observe(&mut self, v: &Value) {
+        let mut h = std::collections::hash_map::DefaultHasher::new();
+        v.hash(&mut h);
+        let bit = (h.finish() % SKETCH_BITS as u64) as usize;
+        self.bits[bit / 64] |= 1 << (bit % 64);
+    }
+
+    /// Linear-counting estimate: `-m · ln(z/m)` with `z` empty buckets.
+    /// Saturates to `u64::MAX` when every bucket is hit.
+    pub fn estimate(&self) -> u64 {
+        let zeros = self
+            .bits
+            .iter()
+            .map(|w| w.count_zeros() as u64)
+            .sum::<u64>();
+        if zeros == 0 {
+            return u64::MAX;
+        }
+        let m = SKETCH_BITS as f64;
+        #[allow(clippy::cast_precision_loss, clippy::cast_sign_loss)]
+        {
+            (-m * (zeros as f64 / m).ln()).round() as u64
+        }
+    }
+}
+
+/// Planner statistics for one column, maintained approximately on the
+/// write path (see [`TableStats`]).
+#[derive(Debug, Clone, Default)]
+pub struct ColumnStats {
+    /// NULL values observed on insert (never decremented on delete).
+    pub nulls: u64,
+    /// Smallest non-NULL value observed (insert-only widening).
+    pub min: Option<Value>,
+    /// Largest non-NULL value observed (insert-only widening).
+    pub max: Option<Value>,
+    /// Distinct-value sketch over inserted non-NULL values.
+    pub sketch: NdvSketch,
+}
+
+impl ColumnStats {
+    fn observe(&mut self, v: &Value) {
+        if v.is_null() {
+            self.nulls += 1;
+            return;
+        }
+        self.sketch.observe(v);
+        match &self.min {
+            Some(m) if v >= m => {}
+            _ => self.min = Some(v.clone()),
+        }
+        match &self.max {
+            Some(m) if v <= m => {}
+            _ => self.max = Some(v.clone()),
+        }
+    }
+
+    /// NDV estimate, clamped to `[1, rows]` for a non-empty table.
+    pub fn ndv(&self, rows: u64) -> u64 {
+        if rows == 0 {
+            return 1;
+        }
+        self.sketch.estimate().clamp(1, rows)
+    }
+}
+
+/// Planner statistics for one table.
+///
+/// Maintained on the write path (insert/delete/ingest, which covers the
+/// heartbeat-upsert path too) while the data lock is already held, so
+/// the counters are *estimates*, not MVCC-exact answers: an aborted
+/// transaction's inserts stay counted, deletes decrement immediately,
+/// and min/max/NDV only widen. That is the sound direction for a cost
+/// model — stats steer plan choice, and every plan computes the same
+/// rows. `epoch` records the heartbeat epoch at the last update, so
+/// consumers that already invalidate on epoch movement (the prepared
+/// recency-plan cache) pick up post-ingest stats automatically.
+#[derive(Debug, Clone, Default)]
+pub struct TableStats {
+    /// Net row estimate (inserts minus deletes, saturating).
+    pub rows: u64,
+    /// Heartbeat epoch observed at the last stats update.
+    pub epoch: u64,
+    /// Per-column statistics, indexed by column position.
+    pub columns: Vec<ColumnStats>,
+}
+
+impl TableStats {
+    /// Folds one inserted row into the stats.
+    pub fn observe_insert(&mut self, row: &[Value], epoch: u64) {
+        self.rows = self.rows.saturating_add(1);
+        self.epoch = epoch;
+        if self.columns.len() < row.len() {
+            self.columns.resize_with(row.len(), ColumnStats::default);
+        }
+        for (c, v) in self.columns.iter_mut().zip(row) {
+            c.observe(v);
+        }
+    }
+
+    /// Records one deleted row.
+    pub fn observe_delete(&mut self, epoch: u64) {
+        self.rows = self.rows.saturating_sub(1);
+        self.epoch = epoch;
+    }
+
+    /// Stats for `column`, when any row has been observed.
+    pub fn column(&self, column: usize) -> Option<&ColumnStats> {
+        self.columns.get(column)
+    }
+}
+
 /// Maps names to table ids and tracks temp-table ownership.
 #[derive(Debug, Default)]
 pub struct Catalog {
     tables: HashMap<String, TableEntry>,
     indexes: Vec<IndexMeta>,
+    stats: HashMap<TableId, TableStats>,
 }
 
 fn norm(name: &str) -> String {
@@ -101,6 +229,7 @@ impl Catalog {
             .map(|e| e.id)
             .ok_or_else(|| TracError::Catalog(format!("no table named {name}")))?;
         self.indexes.retain(|m| m.table != id);
+        self.stats.remove(&id);
         Ok(id)
     }
 
@@ -117,6 +246,9 @@ impl Catalog {
             .filter_map(|k| self.tables.remove(k).map(|e| e.id))
             .collect();
         self.indexes.retain(|m| !ids.contains(&m.table));
+        for id in &ids {
+            self.stats.remove(id);
+        }
         ids
     }
 
@@ -153,6 +285,16 @@ impl Catalog {
         self.indexes
             .iter()
             .find(|m| m.table == table && m.column == column)
+    }
+
+    /// Planner statistics for `table`, if any row was ever observed.
+    pub fn table_stats(&self, table: TableId) -> Option<&TableStats> {
+        self.stats.get(&table)
+    }
+
+    /// Mutable planner statistics for `table` (created on first use).
+    pub fn table_stats_mut(&mut self, table: TableId) -> &mut TableStats {
+        self.stats.entry(table).or_default()
     }
 
     /// Names of all registered tables (normalized), sorted.
@@ -197,6 +339,41 @@ mod tests {
         assert!(!c.is_temp("keeper"));
         assert!(c.drop_session_temps(7).is_empty());
         assert_eq!(c.lookup_table("keeper"), Some(TableId(1)));
+    }
+
+    #[test]
+    fn column_stats_track_inserts() {
+        let mut s = TableStats::default();
+        for n in 0..50i64 {
+            s.observe_insert(&[Value::Int(n % 5), Value::text("x")], 7);
+        }
+        s.observe_insert(&[Value::Null, Value::text("y")], 8);
+        s.observe_delete(9);
+        assert_eq!(s.rows, 50);
+        assert_eq!(s.epoch, 9);
+        let c0 = s.column(0).unwrap();
+        assert_eq!(c0.nulls, 1);
+        assert_eq!(c0.min, Some(Value::Int(0)));
+        assert_eq!(c0.max, Some(Value::Int(4)));
+        // Linear counting on 5 distinct values lands on (about) 5 and
+        // is clamped by the row count.
+        let ndv = c0.ndv(s.rows);
+        assert!((4..=6).contains(&ndv), "ndv estimate {ndv}");
+        let c1 = s.column(1).unwrap();
+        assert_eq!(c1.ndv(s.rows), 2);
+        // Deletes never shrink min/max or the sketch.
+        assert_eq!(c1.min, Some(Value::text("x")));
+        assert_eq!(c1.max, Some(Value::text("y")));
+    }
+
+    #[test]
+    fn ndv_sketch_saturates() {
+        let mut sk = NdvSketch::default();
+        assert_eq!(sk.estimate(), 0);
+        for n in 0..100_000i64 {
+            sk.observe(&Value::Int(n));
+        }
+        assert_eq!(sk.estimate(), u64::MAX, "full bitmap saturates");
     }
 
     #[test]

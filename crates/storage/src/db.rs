@@ -7,7 +7,7 @@
 //! advances the source's recency timestamp in the `Heartbeat` table in the
 //! same transaction (paper Sections 3.1 and 3.3).
 
-use crate::catalog::{Catalog, IndexMeta, SessionId, TableId};
+use crate::catalog::{Catalog, IndexMeta, SessionId, TableId, TableStats};
 use crate::heartbeat::{self, HEARTBEAT_TABLE};
 use crate::index::Index;
 use crate::lockorder::{self, LockId};
@@ -265,6 +265,15 @@ impl Database {
         Ok(stats)
     }
 
+    /// Applies `f` to the planner statistics of `tid`. Intended for
+    /// tests and experiments that steer the cost-based planner into a
+    /// specific shape: plan *choice* may change, results never do, and
+    /// the differential suite asserts exactly that.
+    pub fn update_table_stats(&self, tid: TableId, f: impl FnOnce(&mut TableStats)) {
+        let mut inner = self.state.data.write();
+        f(inner.catalog.table_stats_mut(tid));
+    }
+
     /// Convenience: run `f` in a write transaction, committing on `Ok`.
     pub fn with_write<T>(&self, f: impl FnOnce(&WriteTxn) -> Result<T>) -> Result<T> {
         let txn = self.begin_write();
@@ -471,6 +480,75 @@ impl ReadTxn {
             .visible_at(slot, &self.snapshot, self.own))
     }
 
+    /// Planner statistics for `tid` — a cheap clone of the write-path
+    /// counters (see [`crate::catalog::TableStats`] for the estimate
+    /// semantics). Empty default stats when no write was ever observed.
+    pub fn table_stats(&self, tid: TableId) -> TableStats {
+        self.state
+            .data
+            .read()
+            .catalog
+            .table_stats(tid)
+            .cloned()
+            .unwrap_or_default()
+    }
+
+    /// The extreme key of the index on `tid.column` that still has a
+    /// visible row: the smallest (`max == false`) or largest key, in
+    /// `Value` order. `None` when every indexed row is invisible or the
+    /// index is empty. Errors when no index exists on that column.
+    ///
+    /// Because the index never stores NULL keys and MIN/MAX skip NULLs,
+    /// this equals `MIN(col)`/`MAX(col)` whenever `Value` order and SQL
+    /// comparison agree on the column (any homogeneous non-float
+    /// column) — the applicability condition the planner checks before
+    /// emitting the fast path.
+    pub fn index_extreme(&self, tid: TableId, column: usize, max: bool) -> Result<Option<Value>> {
+        let inner = self.state.data.read();
+        let st = store(&inner, tid)?;
+        let idx = st
+            .indexes
+            .iter()
+            .find(|i| i.column == column)
+            .ok_or_else(|| TracError::Execution("index vanished mid-plan".into()))?;
+        for slot in idx.ordered_slots(max) {
+            if let Some(row) = st.table.visible_at(slot, &self.snapshot, self.own) {
+                return Ok(Some(row[column].clone()));
+            }
+        }
+        Ok(None)
+    }
+
+    /// Walks the visible rows of `tid` in index-key order on `column`
+    /// (ascending, or descending when `desc`), calling `visit` per row
+    /// until it returns `false`. The enumeration order equals a stable
+    /// sort of the table on that column (see
+    /// [`crate::index::Index::ordered_slots`]); NULL-keyed rows are
+    /// absent. Errors when no index exists on that column.
+    pub fn index_ordered_scan(
+        &self,
+        tid: TableId,
+        column: usize,
+        desc: bool,
+        mut visit: impl FnMut(Row) -> Result<bool>,
+    ) -> Result<()> {
+        let inner = self.state.data.read();
+        let st = store(&inner, tid)?;
+        let idx = st
+            .indexes
+            .iter()
+            .find(|i| i.column == column)
+            .ok_or_else(|| TracError::Execution("index vanished mid-plan".into()))?;
+        for slot in idx.ordered_slots(desc) {
+            if let Some(row) = st.table.visible_at(slot, &self.snapshot, self.own) {
+                if !visit(row)? {
+                    return Ok(());
+                }
+            }
+        }
+        Ok(())
+    }
+
     /// Heartbeat epoch observed through this transaction's database.
     /// See [`Database::heartbeat_epoch`].
     pub fn heartbeat_epoch(&self) -> u64 {
@@ -606,6 +684,15 @@ impl WriteTxn {
         for idx in &mut st.indexes {
             idx.insert(&row[idx.column], slot);
         }
+        let epoch = self
+            .read
+            .state
+            .heartbeat_epoch
+            .load(AtomicOrdering::Acquire);
+        inner
+            .catalog
+            .table_stats_mut(tid)
+            .observe_insert(&row, epoch);
         drop(inner);
         if touches_heartbeat {
             bump_heartbeat_epoch(&self.read.state);
@@ -638,6 +725,12 @@ impl WriteTxn {
             let _stamped_order = lockorder::acquire(LockId::TxnStamped);
             self.stamped.lock().push((tid, slot));
         }
+        let epoch = self
+            .read
+            .state
+            .heartbeat_epoch
+            .load(AtomicOrdering::Acquire);
+        inner.catalog.table_stats_mut(tid).observe_delete(epoch);
         drop(inner);
         if touches_heartbeat {
             bump_heartbeat_epoch(&self.read.state);

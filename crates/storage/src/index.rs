@@ -78,6 +78,27 @@ impl Index {
             .flat_map(|(_, slots)| slots.iter().copied())
     }
 
+    /// All slots in key order: ascending keys when `desc` is false,
+    /// descending keys when true, with each key's posting list always
+    /// in insertion (slot) order. Because `Value`'s total order is the
+    /// executor's ORDER BY comparator and posting lists preserve
+    /// insertion order, this walk enumerates slots exactly as a stable
+    /// sort of the base table on the indexed column would — ascending
+    /// or descending — which is what the MIN/MAX and top-N index fast
+    /// paths rely on. NULL keys are absent (never indexed).
+    pub fn ordered_slots(&self, desc: bool) -> Box<dyn Iterator<Item = RowSlot> + '_> {
+        if desc {
+            Box::new(
+                self.map
+                    .iter()
+                    .rev()
+                    .flat_map(|(_, slots)| slots.iter().copied()),
+            )
+        } else {
+            Box::new(self.map.values().flat_map(|slots| slots.iter().copied()))
+        }
+    }
+
     /// Range probe in morsel-sized chunks: like [`Index::probe_range`]
     /// but grouped into `Vec`s of at most `chunk` slots, produced
     /// lazily from the underlying B-tree cursor. Parallel `IndexLookup`
@@ -147,6 +168,18 @@ mod tests {
             .probe_range(Bound::Unbounded, Bound::Included(&Value::Int(1)))
             .collect();
         assert_eq!(unbounded, vec![RowSlot(0), RowSlot(1)]);
+    }
+
+    #[test]
+    fn ordered_walk_matches_stable_sort() {
+        let i = idx();
+        let asc: Vec<_> = i.ordered_slots(false).collect();
+        // m1's postings stay in insertion order within the key group.
+        assert_eq!(asc, vec![RowSlot(0), RowSlot(2), RowSlot(1), RowSlot(3)]);
+        let desc: Vec<_> = i.ordered_slots(true).collect();
+        // Descending keys, but postings still forward — the stable
+        // descending-sort tie order.
+        assert_eq!(desc, vec![RowSlot(3), RowSlot(1), RowSlot(0), RowSlot(2)]);
     }
 
     #[test]

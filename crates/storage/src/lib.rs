@@ -34,7 +34,7 @@ pub mod schema;
 pub mod table;
 pub mod txn;
 
-pub use catalog::{Catalog, IndexMeta, TableId};
+pub use catalog::{Catalog, ColumnStats, IndexMeta, NdvSketch, TableId, TableStats};
 pub use db::{Database, ReadTxn, VacuumStats, WriteTxn};
 pub use epoch::{set_epoch_yield_hook, Observation};
 pub use heartbeat::{HEARTBEAT_RECENCY_COL, HEARTBEAT_SID_COL, HEARTBEAT_TABLE};
