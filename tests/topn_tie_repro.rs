@@ -1,0 +1,37 @@
+//! Scratch repro: TopNIndex fast path vs general Sort+Limit tie order.
+
+use trac::exec::{execute_select_with, execute_statement};
+use trac::expr::bind_select;
+use trac::plan::ExecOptions;
+use trac::sql::parse_select;
+use trac::storage::Database;
+
+#[test]
+fn topn_fast_path_matches_general_plan_on_ties() {
+    let db = Database::new();
+    execute_statement(
+        &db,
+        "CREATE TABLE t (s TEXT NOT NULL, n INT NOT NULL) SOURCE COLUMN s",
+    )
+    .unwrap();
+    execute_statement(&db, "CREATE INDEX ts ON t (s)").unwrap();
+    execute_statement(&db, "CREATE INDEX tn ON t (n)").unwrap();
+    // Insertion (slot) order: 'b' first, then 'a'; both tie on n = 5.
+    execute_statement(&db, "INSERT INTO t VALUES ('b', 5)").unwrap();
+    execute_statement(&db, "INSERT INTO t VALUES ('a', 5)").unwrap();
+
+    let sql = "SELECT s FROM t WHERE s IN ('a', 'b') ORDER BY n LIMIT 1";
+    let txn = db.begin_read();
+    let q = bind_select(&txn, &parse_select(sql).unwrap()).unwrap();
+
+    let on = ExecOptions::default();
+    let off = ExecOptions {
+        fast_paths: false,
+        ..Default::default()
+    };
+    let (fast, fast_info) = execute_select_with(&txn, &q, on).unwrap();
+    let (general, gen_info) = execute_select_with(&txn, &q, off).unwrap();
+    eprintln!("fast plan: {fast_info:?}");
+    eprintln!("general plan: {gen_info:?}");
+    assert_eq!(fast.rows, general.rows, "fast path diverged from general plan");
+}
