@@ -1,8 +1,8 @@
 //! `trac-analyze` — audit recency plans for soundness violations.
 //!
 //! ```text
-//! trac-analyze [--explain] [--validate] [--concurrency] [--verbose]
-//!              [--format text|json] [--dnf-budget N]
+//! trac-analyze [--explain] [--validate] [--concurrency] [--typeflow]
+//!              [--verbose] [--format text|json] [--dnf-budget N]
 //! ```
 //!
 //! Runs the analyzer passes over every sample workload (the paper
@@ -10,7 +10,9 @@
 //! queries) plus the crate-level concurrency certification
 //! (`TRAC016`..`TRAC020`), and renders any findings in compiler style,
 //! or as a JSON report with `--format json`. `--concurrency` restricts
-//! the run to the concurrency certification alone.
+//! the run to the concurrency certification alone; `--typeflow` adds
+//! the typeflow certifier (`TRAC023`..`TRAC026`) to every query and
+//! the crate-level panic-path audit (`TRAC027`).
 //!
 //! Exit codes: `0` — sound; `1` — at least one error-severity
 //! diagnostic (an unsound plan or audit); `2` — usage error; `3` — the
@@ -18,7 +20,8 @@
 
 use std::process::ExitCode;
 use trac_analyze::{
-    analyze_concurrency, analyze_samples, annotated_samples, AnalyzerConfig, Severity, ALL_CODES,
+    analyze_concurrency, analyze_panic_paths, analyze_samples, annotated_samples, AnalyzerConfig,
+    Severity, ALL_CODES,
 };
 
 /// The analyzer found at least one error-severity diagnostic.
@@ -28,13 +31,15 @@ const EXIT_INTERNAL: u8 = 3;
 
 fn usage() -> ! {
     eprintln!(
-        "usage: trac-analyze [--explain] [--validate] [--concurrency] [--verbose] \
-         [--format text|json] [--dnf-budget N]\n\
+        "usage: trac-analyze [--explain] [--validate] [--concurrency] [--typeflow] \
+         [--verbose] [--format text|json] [--dnf-budget N]\n\
          \n\
-         --explain       list all diagnostic codes (TRAC001..TRAC020) and exit\n\
+         --explain       list all diagnostic codes (TRAC001..TRAC027) and exit\n\
          --validate      print every sample plan annotated with certified\n\
          \u{20}                dataflow facts, then run the sweep\n\
          --concurrency   run only the concurrency certification (TRAC016..TRAC020)\n\
+         --typeflow      audit every plan's kernel certificate (TRAC023..TRAC026)\n\
+         \u{20}                and run the panic-path audit (TRAC027)\n\
          --verbose       also print clean queries and non-error findings' renders\n\
          --format FMT    output format: text (default) or json\n\
          --dnf-budget N  DNF term budget (default: the planner's)\n\
@@ -78,6 +83,7 @@ fn main() -> ExitCode {
             }
             "--validate" => validate = true,
             "--concurrency" => concurrency_only = true,
+            "--typeflow" => cfg.typeflow = true,
             "--verbose" | "-v" => verbose = true,
             "--format" => match args.next().as_deref() {
                 Some("text") => json = false,
@@ -129,6 +135,17 @@ fn main() -> ExitCode {
             return ExitCode::from(EXIT_INTERNAL);
         }
     };
+    let panic_audit = if cfg.typeflow && !concurrency_only {
+        match analyze_panic_paths() {
+            Ok(d) => d,
+            Err(e) => {
+                eprintln!("trac-analyze: panic-path audit failed: {e}");
+                return ExitCode::from(EXIT_INTERNAL);
+            }
+        }
+    } else {
+        Vec::new()
+    };
 
     let mut errors = 0usize;
     let mut warnings = 0usize;
@@ -155,7 +172,7 @@ fn main() -> ExitCode {
             );
         }
     }
-    for d in &concurrency {
+    for d in concurrency.iter().chain(&panic_audit) {
         count(d);
         if !json && (d.is_error() || verbose) {
             println!("{}", d.render());
@@ -204,6 +221,24 @@ fn main() -> ExitCode {
                 json_escape(&d.context),
                 json_escape(&d.message),
                 if di + 1 == concurrency.len() {
+                    "\n  "
+                } else {
+                    ","
+                }
+            ));
+        }
+        // Crate-level panic-path audit (only populated under
+        // `--typeflow`), same stable diagnostic shape.
+        out.push_str("],\n  \"typeflow\": [");
+        for (di, d) in panic_audit.iter().enumerate() {
+            out.push_str(&format!(
+                "\n    {{\"code\": \"{}\", \"severity\": \"{}\", \
+                 \"context\": \"{}\", \"message\": \"{}\"}}{}",
+                json_escape(d.code.id),
+                json_escape(&d.severity.to_string()),
+                json_escape(&d.context),
+                json_escape(&d.message),
+                if di + 1 == panic_audit.len() {
                     "\n  "
                 } else {
                     ","

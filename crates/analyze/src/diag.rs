@@ -238,8 +238,56 @@ pub const FASTPATH_CERTIFIED: Code = Code {
     summary: "fast-path side conditions independently re-derived and confirmed",
 };
 
+/// Typeflow certifier: an operator consumes a lane outside its
+/// certified domain — the plan carries a type, nullability or
+/// NaN-freedom claim the abstract interpretation cannot re-derive from
+/// the schema and the write-time catalog statistics, so an unboxed
+/// kernel could read a value it cannot represent.
+pub const TYPE_UNSOUND: Code = Code {
+    id: "TRAC023",
+    severity: Severity::Error,
+    summary: "plan carries a lane certificate the typeflow analysis cannot prove",
+};
+
+/// Typeflow certifier: a lane is proven mono-typed and null-free, so
+/// the unboxed typed kernel (no null bitmap) is admissible for it.
+pub const KERNEL_CERTIFIED: Code = Code {
+    id: "TRAC024",
+    severity: Severity::Note,
+    summary: "mono-typed null-free lane: unboxed kernel admissible",
+};
+
+/// Typeflow certifier: a lane is proven mono-typed but may hold NULLs;
+/// the unboxed kernel with a null bitmap is admissible for it.
+pub const NULLMASK_CERTIFIED: Code = Code {
+    id: "TRAC025",
+    severity: Severity::Note,
+    summary: "mono-typed nullable lane: null-bitmap kernel admissible",
+};
+
+/// Typeflow certifier: a float lane is proven NaN-free from the catalog
+/// min/max bounds, so SQL comparison and the storage total order
+/// coincide on it — total-order kernels (including the `IndexMinMax`
+/// fast path) are admissible.
+pub const FLOAT_TOTAL_ORDER: Code = Code {
+    id: "TRAC026",
+    severity: Severity::Note,
+    summary: "stats-proven NaN-free float lane: total-order kernels admissible",
+};
+
+/// Typeflow certifier (crate audit): a `unwrap()`/`expect(` panic site
+/// sits on a query-reachable path of `trac-exec`/`trac-storage` without
+/// a reviewed `PANIC-OK:` justification — a malformed plan or a torn
+/// invariant would abort the process instead of surfacing a typed
+/// `TracError`.
+pub const PANIC_PATH: Code = Code {
+    id: "TRAC027",
+    severity: Severity::Error,
+    summary: "unreviewed panic site on a query-reachable path",
+};
+
 /// All codes, for `--explain` listings and the docs table.
-pub const ALL_CODES: [Code; 22] = [
+pub const ALL_CODES: [Code; 27] = [
     PARTITION_VIOLATION,
     UNSOUND_MINIMUM,
     UNSAT_NONEMPTY,
@@ -262,6 +310,11 @@ pub const ALL_CODES: [Code; 22] = [
     LOCK_ORDER,
     FASTPATH_UNSOUND,
     FASTPATH_CERTIFIED,
+    TYPE_UNSOUND,
+    KERNEL_CERTIFIED,
+    NULLMASK_CERTIFIED,
+    FLOAT_TOTAL_ORDER,
+    PANIC_PATH,
 ];
 
 /// A byte range into the SQL text under analysis.

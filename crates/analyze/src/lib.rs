@@ -39,12 +39,25 @@
 //!   statistics-driven fast-path operator the lowering emitted
 //!   (`CountStar`, `IndexMinMax`, `TopNIndex`, multi-key IN-list
 //!   probes) from the bound query and the catalog (`TRAC021`) and
-//!   records a positive certification when they all hold (`TRAC022`).
+//!   records a positive certification when they all hold (`TRAC022`);
+//! * [`passes::typeflow`] — an abstract interpreter over the lane
+//!   domain type × nullability × NaN-freedom, seeded from the schema
+//!   and the write-time catalog statistics, that audits the
+//!   [`trac_plan::KernelCert`] the lowering attached for the unboxed
+//!   columnar kernels: unprovable claims are errors (`TRAC023`),
+//!   provable ones earn positive certifications (`TRAC024` null-free
+//!   lanes, `TRAC025` null-bitmap lanes, `TRAC026` NaN-free float
+//!   total order);
+//! * [`passes::panics`] — audits every `unwrap()`/`expect(` site in
+//!   `crates/exec` and `crates/storage` sources: a panic on a
+//!   query-reachable path without a reviewed `PANIC-OK:` justification
+//!   is an error (`TRAC027`).
 //!
 //! Use [`analyze_sql`] for one query against a live database snapshot,
-//! [`analyze_samples`] to sweep every sample workload, and
-//! [`analyze_concurrency`] for the crate-level concurrency certification
-//! (the `trac-analyze` binary and CI run both).
+//! [`analyze_samples`] to sweep every sample workload,
+//! [`analyze_concurrency`] for the crate-level concurrency
+//! certification, and [`analyze_panic_paths`] for the crate-level
+//! panic-path audit (the `trac-analyze` binary and CI run all of them).
 
 #![warn(missing_docs)]
 #![forbid(unsafe_code)]
@@ -56,9 +69,10 @@ pub mod passes;
 pub use diag::{
     Code, Diagnostic, Severity, Span, SpanFinder, ALL_CODES, ALL_SOURCES_FALLBACK, BAD_PROJECTION,
     DEGRADED_GUARANTEE, EPOCH_COVERAGE, EXCHANGE_PLACEMENT, FASTPATH_CERTIFIED, FASTPATH_UNSOUND,
-    GATHER_DETERMINISM, JOIN_KEY_CONTRACT, LOCK_ORDER, OPERATOR_CONTRACT, PARTITION_KEY_UNSOUND,
-    PARTITION_VIOLATION, REFINED_MINIMUM, RESIDUE_DROPPED, RESIDUE_PHANTOM, SAT_MISMATCH,
-    SHAPE_MISMATCH, UNCONFIRMED_REFINEMENT, UNSAT_NONEMPTY, UNSOUND_MINIMUM,
+    FLOAT_TOTAL_ORDER, GATHER_DETERMINISM, JOIN_KEY_CONTRACT, KERNEL_CERTIFIED, LOCK_ORDER,
+    NULLMASK_CERTIFIED, OPERATOR_CONTRACT, PANIC_PATH, PARTITION_KEY_UNSOUND, PARTITION_VIOLATION,
+    REFINED_MINIMUM, RESIDUE_DROPPED, RESIDUE_PHANTOM, SAT_MISMATCH, SHAPE_MISMATCH, TYPE_UNSOUND,
+    UNCONFIRMED_REFINEMENT, UNSAT_NONEMPTY, UNSOUND_MINIMUM,
 };
 pub use passes::validate::validate_plan;
 pub use passes::PassCtx;
@@ -77,12 +91,17 @@ pub struct AnalyzerConfig {
     /// DNF term budget; must match the planner's so both see the same
     /// disjuncts (and the same all-sources fallback).
     pub dnf_budget: usize,
+    /// Run the typeflow certifier (`TRAC023`..`TRAC026`) over every
+    /// lowered plan's kernel certificate. Off by default so reports
+    /// without the `--typeflow` sweep stay byte-stable.
+    pub typeflow: bool,
 }
 
 impl Default for AnalyzerConfig {
     fn default() -> AnalyzerConfig {
         AnalyzerConfig {
             dnf_budget: RelevanceConfig::default().dnf_budget,
+            typeflow: false,
         }
     }
 }
@@ -185,6 +204,15 @@ pub fn analyze_sql(
     analysis
         .diagnostics
         .extend(passes::fastpath::run(txn, &q, &user_plan, &plan, name));
+    // Audit the kernel certificate the lowering attached for the
+    // unboxed columnar kernels — in the user plan and in every recency
+    // subquery plan — by re-deriving every lane claim from the schema
+    // and the write-time catalog statistics (TRAC023..TRAC026).
+    if cfg.typeflow {
+        analysis
+            .diagnostics
+            .extend(passes::typeflow::run(txn, &q, &user_plan, &plan, name));
+    }
     // Also certify the morsel-driven lowering of the same query: the
     // Exchange/Gather pair must pass dataflow facts through unchanged,
     // so a sound parallel plan adds no diagnostics to the report.
@@ -419,6 +447,37 @@ pub fn analyze_concurrency() -> Result<Vec<Diagnostic>> {
             d.severity = Severity::Note;
             diags.push(d);
         }
+    }
+    Ok(diags)
+}
+
+/// The crate-level panic-path audit (`TRAC027`): scans every
+/// `unwrap()`/`expect(` site in the `crates/exec` and `crates/storage`
+/// sources and flags the query-reachable ones carrying no reviewed
+/// `PANIC-OK:` justification.
+///
+/// A clean run returns exactly one note-severity positive certification
+/// recording the audited site census, so the committed analyzer
+/// baseline records the proof and any new unreviewed panic site flips
+/// it into an error the CI JSON diff cannot miss.
+pub fn analyze_panic_paths() -> Result<Vec<Diagnostic>> {
+    let sites = passes::panics::collect_panic_sites()?;
+    let mut diags = passes::panics::check_panic_sites(&sites);
+    if diags.is_empty() {
+        let justified = sites.iter().filter(|s| !s.in_tests && s.justified).count();
+        let tests = sites.iter().filter(|s| s.in_tests).count();
+        let mut d = Diagnostic::new(
+            PANIC_PATH,
+            "exec/storage panic audit",
+            format!(
+                "audited {} panic site(s) across crates/exec and crates/storage: \
+                 {justified} carry a reviewed PANIC-OK justification, {tests} are \
+                 test-only, none sit unreviewed on a query-reachable path",
+                sites.len()
+            ),
+        );
+        d.severity = Severity::Note;
+        diags.push(d);
     }
     Ok(diags)
 }

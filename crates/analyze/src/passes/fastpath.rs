@@ -20,11 +20,13 @@
 //! plan as an argument so tests can seed a single violation; [`run`]
 //! feeds it the production plans.
 
-use crate::diag::{Diagnostic, FASTPATH_CERTIFIED, FASTPATH_UNSOUND};
+use crate::diag::{Diagnostic, FASTPATH_CERTIFIED, FASTPATH_UNSOUND, FLOAT_TOTAL_ORDER};
 use trac_expr::bound::AggFunc;
 use trac_expr::{eval_predicate, BoundExpr, BoundSelect, BoundTable, ColRef, Projection, Truth};
-use trac_plan::{probe_candidate, split_and, PhysicalPlan, PlanNode};
-use trac_storage::ReadTxn;
+use trac_plan::{
+    choose_access_path, probe_candidate, split_and, AccessPath, ExecOptions, PhysicalPlan, PlanNode,
+};
+use trac_storage::{ColumnStats, ReadTxn};
 use trac_types::DataType;
 
 /// Certifies every fast-path operator of one claimed plan against its
@@ -102,19 +104,46 @@ fn walk(
                      MIN/MAX of the walked column",
                 )),
             }
+            // A float extreme is sound only when SQL comparison and the
+            // storage total order provably coincide on the column, i.e.
+            // when the monotone catalog bounds certify it NaN-free
+            // (TRAC026). A NaN-possible float column gets a precise
+            // TRAC021 instead of the old blanket exclusion.
+            let mut float_note = None;
             match table.schema.columns.get(*column) {
                 None => out.push(unsound(
                     context,
                     format!("IndexMinMax walks column #{column}, which does not exist"),
                 )),
-                Some(c) if c.ty == DataType::Float => out.push(unsound(
-                    context,
-                    format!(
-                        "IndexMinMax walks float column `{}`: index order and SQL \
-                         comparison can disagree on floats",
-                        c.name
-                    ),
-                )),
+                Some(c) if c.ty == DataType::Float => {
+                    if txn
+                        .table_stats(table.id)
+                        .column(*column)
+                        .is_none_or(ColumnStats::proves_nan_free)
+                    {
+                        float_note = Some(Diagnostic::new(
+                            FLOAT_TOTAL_ORDER,
+                            context,
+                            format!(
+                                "float column `{}` is stats-proven NaN-free, so the \
+                                 index total order and SQL comparison coincide: \
+                                 IndexMinMax admissible",
+                                c.name
+                            ),
+                        ));
+                    } else {
+                        out.push(unsound(
+                            context,
+                            format!(
+                                "IndexMinMax walks float column `{}` whose catalog \
+                                 bounds admit NaN: the index total order (NaN sorts \
+                                 as an extreme) and SQL comparison (NaN incomparable) \
+                                 can disagree on the reported extreme",
+                                c.name
+                            ),
+                        ));
+                    }
+                }
                 Some(_) => {}
             }
             if !txn.has_index(table.id, *column) {
@@ -127,6 +156,7 @@ fn walk(
                 ));
             }
             if out.len() == before {
+                out.extend(float_note);
                 certified.push(format!(
                     "{} via the `{}` index",
                     if *func == AggFunc::Min {
@@ -345,6 +375,25 @@ fn check_top_n(
             ));
             break;
         }
+    }
+    // Byte-identity needs the replaced pipeline to read in slot order:
+    // the walk's tie order within one key is insertion (slot) order,
+    // exactly the stable sort's tie order over a slot-order scan. If
+    // the cost model would feed the general plan by an index probe,
+    // rows stream in *key* order instead and sort ties could resolve
+    // differently.
+    if let AccessPath::IndexProbe { column: pc, keys } =
+        choose_access_path(txn, table.id, pos, filter, ExecOptions::default())
+    {
+        out.push(unsound(
+            context,
+            format!(
+                "TopNIndex replaces a pipeline the cost model would feed by an index \
+                 probe (col#{pc}, {} keys) in key order, not slot order: stable-sort \
+                 ties could resolve differently than the walk's posting order",
+                keys.len()
+            ),
+        ));
     }
 }
 

@@ -9,10 +9,12 @@
 pub mod concurrency;
 pub mod fastpath;
 pub mod guarantee;
+pub mod panics;
 pub mod partition;
 pub mod refine;
 pub mod sanitize;
 pub mod satcheck;
+pub mod typeflow;
 pub mod validate;
 
 use crate::diag::{Span, SpanFinder};

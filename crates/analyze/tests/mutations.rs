@@ -8,9 +8,10 @@
 //! mutations, that the concurrency certifier trips `TRAC016`–`TRAC020`).
 //! Every mutation models a realistic lowering bug: a dropped predicate,
 //! a phantom predicate, a corrupted join key, a retargeted slot, a
-//! mangled shaping operator, a misplaced Exchange, an unordered merge.
+//! mangled shaping operator, a misplaced Exchange, an unordered merge,
+//! a forged lane certificate, an unreviewed panic site.
 
-use trac_analyze::passes::{concurrency, fastpath};
+use trac_analyze::passes::{concurrency, fastpath, panics, typeflow};
 use trac_analyze::validate_plan;
 use trac_expr::{bind_select, BoundExpr, BoundSelect};
 use trac_plan::{ExecOptions, PhysicalPlan, PlanNode};
@@ -418,6 +419,54 @@ fn top_n_walk_of_a_missing_column_is_caught() {
 }
 
 #[test]
+fn top_n_walk_over_a_probe_preferring_filter_is_caught() {
+    // Tie-order hazard: with an in-list probe candidate on another
+    // indexed column, the general plan streams rows in *key* order
+    // while the walk visits postings in *slot* order — the stable
+    // sort's ties could resolve differently. Lowering declines the
+    // walk; a plan carrying it anyway is unsound (TRAC021).
+    let db = typed_fixture(false);
+    db.create_index("r", "sid").unwrap();
+    db.create_index("r", "n").unwrap();
+    let txn = db.begin_read();
+    let q = bind(
+        &txn,
+        "SELECT sid FROM r WHERE sid IN ('s1', 's2') ORDER BY n LIMIT 1",
+    );
+    let mut p = plan(&txn, &q, ExecOptions::default());
+    assert!(
+        !p.render().contains("TopNIndex"),
+        "lowering must decline the walk over a probe-preferring filter: {}",
+        p.render()
+    );
+    let mut filter = Vec::new();
+    trac_plan::split_and(q.predicate.as_ref().unwrap(), &mut filter);
+    p.root = PlanNode::Limit {
+        input: Box::new(PlanNode::Project {
+            input: Box::new(PlanNode::TopNIndex {
+                table: q.tables[0].clone(),
+                pos: 0,
+                column: 1,
+                desc: false,
+                n: 1,
+                filter,
+                est_rows: 1,
+                cost: 1,
+            }),
+            projections: q.projections.clone(),
+        }),
+        n: 1,
+    };
+    let diags = fastpath::check_plan(&txn, &q, &p, "mut");
+    assert!(
+        diags
+            .iter()
+            .any(|d| d.code.id == "TRAC021" && d.message.contains("slot order")),
+        "expected the tie-order obligation to fail, got {diags:?}"
+    );
+}
+
+#[test]
 fn widening_the_in_list_probe_keys_is_caught() {
     // Probe keys must re-derive from a WHERE conjunct; an extra key
     // would surface rows the query excludes — and the residue check
@@ -667,4 +716,249 @@ fn inverted_lock_acquisition_is_caught() {
         .map(|d| d.code.id)
         .collect();
     assert_eq!(codes, ["TRAC020"]);
+}
+
+/// Error-severity code ids the typeflow certifier produced.
+fn typeflow_codes(txn: &ReadTxn, q: &BoundSelect, p: &PhysicalPlan) -> Vec<&'static str> {
+    typeflow::check_plan(txn, q, p, "mut")
+        .iter()
+        .filter(|d| d.is_error())
+        .map(|d| d.code.id)
+        .collect()
+}
+
+/// A small database with a nullable float lane: `r.temp` holds one NULL
+/// and (optionally) one NaN, so the monotone catalog statistics can
+/// prove or refute null- and NaN-freedom per lane.
+fn typed_fixture(with_nan: bool) -> trac_storage::Database {
+    use trac_storage::{ColumnDef, Database, TableSchema};
+    use trac_types::DataType;
+    let db = Database::new();
+    db.create_table(
+        TableSchema::new(
+            "r",
+            vec![
+                ColumnDef::new("sid", DataType::Text),
+                ColumnDef::new("n", DataType::Int),
+                ColumnDef::new("temp", DataType::Float).nullable(),
+            ],
+            Some("sid"),
+        )
+        .unwrap(),
+    )
+    .unwrap();
+    let tid = db.begin_read().table_id("r").unwrap();
+    db.with_write(|w| {
+        w.insert(
+            tid,
+            vec![Value::text("s1"), Value::Int(1), Value::Float(2.5)],
+        )?;
+        w.insert(tid, vec![Value::text("s2"), Value::Int(2), Value::Null])?;
+        if with_nan {
+            w.insert(
+                tid,
+                vec![Value::text("s3"), Value::Int(3), Value::Float(f64::NAN)],
+            )?;
+        }
+        Ok(())
+    })
+    .unwrap();
+    db
+}
+
+#[test]
+fn forged_lane_type_is_caught() {
+    // A certificate claiming an INT lane over a TEXT column would make
+    // the unboxed kernel reinterpret every value (TRAC023).
+    let t = load_paper_tables().unwrap();
+    let txn = t.db.begin_read();
+    let q = bind(&txn, "SELECT mach_id FROM Activity WHERE value = 'idle'");
+    let mut p = plan(&txn, &q, ExecOptions::default());
+    assert!(
+        typeflow_codes(&txn, &q, &p).is_empty(),
+        "pristine plan must certify: {:?}",
+        typeflow::check_plan(&txn, &q, &p, "pre")
+    );
+    p.cert.insert(
+        0,
+        0,
+        trac_plan::LaneCert {
+            ty: trac_types::DataType::Int,
+            non_null: true,
+            nan_free: true,
+        },
+    );
+    assert_eq!(typeflow_codes(&txn, &q, &p), ["TRAC023"]);
+}
+
+#[test]
+fn forged_null_freedom_is_caught() {
+    // Claiming null-freedom of a lane the catalog counter refutes would
+    // dispatch a bitmap-less kernel onto a NULL (TRAC023); the pristine
+    // plan instead earns the TRAC025 null-bitmap certification.
+    let db = typed_fixture(false);
+    let txn = db.begin_read();
+    let q = bind(&txn, "SELECT temp FROM r");
+    let mut p = plan(&txn, &q, ExecOptions::default());
+    let pristine = typeflow::check_plan(&txn, &q, &p, "pre");
+    assert!(pristine.iter().all(|d| !d.is_error()), "{pristine:?}");
+    assert!(
+        pristine.iter().any(|d| d.code.id == "TRAC025"),
+        "nullable temp lane must earn the null-bitmap certification: {pristine:?}"
+    );
+    let lane = *p.cert.get(0, 2).expect("temp lane certified");
+    assert!(!lane.non_null, "stats must refute null-freedom");
+    p.cert.insert(
+        0,
+        2,
+        trac_plan::LaneCert {
+            non_null: true,
+            ..lane
+        },
+    );
+    assert_eq!(typeflow_codes(&txn, &q, &p), ["TRAC023"]);
+}
+
+#[test]
+fn forged_nan_freedom_is_caught() {
+    // Claiming NaN-freedom of a float lane whose bounds hold a NaN
+    // would hand total-order kernels a value SQL comparison rejects
+    // (TRAC023); without the NaN the lane certifies TRAC026.
+    let clean = typed_fixture(false);
+    let txn = clean.begin_read();
+    let q = bind(&txn, "SELECT temp FROM r");
+    let p = plan(&txn, &q, ExecOptions::default());
+    let notes = typeflow::check_plan(&txn, &q, &p, "pre");
+    assert!(
+        notes.iter().any(|d| d.code.id == "TRAC026"),
+        "NaN-free float lane must earn the total-order certification: {notes:?}"
+    );
+
+    let poisoned = typed_fixture(true);
+    let txn = poisoned.begin_read();
+    let q = bind(&txn, "SELECT temp FROM r");
+    let mut p = plan(&txn, &q, ExecOptions::default());
+    let lane = *p.cert.get(0, 2).expect("temp lane certified");
+    assert!(!lane.nan_free, "NaN insert must poison the proof");
+    p.cert.insert(
+        0,
+        2,
+        trac_plan::LaneCert {
+            nan_free: true,
+            ..lane
+        },
+    );
+    assert_eq!(typeflow_codes(&txn, &q, &p), ["TRAC023"]);
+}
+
+#[test]
+fn int_lanes_certify_unboxed_kernels() {
+    // The strongest class: NOT NULL lanes earn the TRAC024 unboxed
+    // certification and the EXPLAIN marker carries no `?`/`~`.
+    let db = typed_fixture(false);
+    let txn = db.begin_read();
+    let q = bind(&txn, "SELECT n FROM r WHERE n > 1");
+    let p = plan(&txn, &q, ExecOptions::default());
+    let notes = typeflow::check_plan(&txn, &q, &p, "pre");
+    assert!(
+        notes
+            .iter()
+            .any(|d| d.code.id == "TRAC024" && d.message.contains("r.n:int")),
+        "{notes:?}"
+    );
+}
+
+#[test]
+fn min_max_walk_of_a_nan_possible_float_is_caught() {
+    // PR 6 excluded all floats from IndexMinMax; TRAC026 lifts that for
+    // stats-proven NaN-free lanes, and the certifier gives the precise
+    // TRAC021 reason when a plan walks a lane whose bounds admit NaN.
+    let db = typed_fixture(true);
+    db.create_index("r", "temp").unwrap();
+    let txn = db.begin_read();
+    let q = bind(&txn, "SELECT MIN(temp) AS lo FROM r");
+    let mut p = plan(&txn, &q, ExecOptions::default());
+    assert!(
+        matches!(p.root, PlanNode::Aggregate { .. }),
+        "NaN-poisoned float must not fast-path: {}",
+        p.render()
+    );
+    p.root = PlanNode::IndexMinMax {
+        table: q.tables[0].clone(),
+        column: 2,
+        func: trac_expr::bound::AggFunc::Min,
+        name: "lo".to_string(),
+        est_rows: 1,
+        cost: 1,
+    };
+    let diags = fastpath::check_plan(&txn, &q, &p, "mut");
+    assert!(
+        diags
+            .iter()
+            .any(|d| d.code.id == "TRAC021" && d.message.contains("admit NaN")),
+        "expected the precise NaN reason, got {diags:?}"
+    );
+}
+
+#[test]
+fn min_max_walk_of_a_proven_float_certifies() {
+    // The dual: with NaN-free bounds the planner emits the walk and the
+    // certifier records the TRAC026 admission note.
+    let db = typed_fixture(false);
+    db.create_index("r", "temp").unwrap();
+    let txn = db.begin_read();
+    let q = bind(&txn, "SELECT MIN(temp) AS lo FROM r");
+    let p = plan(&txn, &q, ExecOptions::default());
+    assert!(
+        matches!(p.root, PlanNode::IndexMinMax { .. }),
+        "NaN-free float must fast-path: {}",
+        p.render()
+    );
+    let diags = fastpath::check_plan(&txn, &q, &p, "pre");
+    assert!(diags.iter().all(|d| !d.is_error()), "{diags:?}");
+    assert!(
+        diags.iter().any(|d| d.code.id == "TRAC026"),
+        "expected the TRAC026 admission note, got {diags:?}"
+    );
+}
+
+#[test]
+fn unreviewed_panic_site_is_caught() {
+    // A seeded query-reachable `unwrap()` with no PANIC-OK justification
+    // trips TRAC027; justified and test-only sites pass.
+    let sites = panics::scan_source(
+        "crates/exec/src/seeded.rs",
+        "fn f(v: Vec<i64>) -> i64 {\n    *v.first().unwrap()\n}\n",
+    );
+    assert_eq!(sites.len(), 1);
+    let codes: Vec<_> = panics::check_panic_sites(&sites)
+        .iter()
+        .filter(|d| d.is_error())
+        .map(|d| d.code.id)
+        .collect();
+    assert_eq!(codes, ["TRAC027"]);
+
+    let justified = panics::scan_source(
+        "ok.rs",
+        "// PANIC-OK: v is non-empty by construction.\nlet x = v.first().unwrap();\n",
+    );
+    assert!(justified.iter().all(|s| !s.violates_discipline()));
+    let test_only = panics::scan_source(
+        "t.rs",
+        "#[cfg(test)]\nmod tests {\n    fn g() { x.unwrap(); }\n}\n",
+    );
+    assert!(test_only.iter().all(|s| !s.violates_discipline()));
+}
+
+#[test]
+fn production_panic_audit_is_clean() {
+    // The committed sources must pass their own discipline: every
+    // query-reachable panic site is either converted to a TracError or
+    // carries a reviewed PANIC-OK justification.
+    let diags = trac_analyze::analyze_panic_paths().unwrap();
+    assert!(diags.iter().all(|d| !d.is_error()), "{diags:?}");
+    assert!(
+        diags.iter().any(|d| d.code.id == "TRAC027"),
+        "a clean audit must record its positive certification: {diags:?}"
+    );
 }

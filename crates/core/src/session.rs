@@ -101,26 +101,27 @@ struct CachedPlan {
     plan: RecencyPlan,
 }
 
-/// Prepared-plan cache key: the query shape plus the execution
-/// configuration the subqueries will run under. Threads and morsel size
-/// shape the lowered subquery twins (Exchange/Gather placement and
-/// morsel boundaries), so a plan prepared for one configuration must
-/// never be served to another — a session that flips
-/// [`Session::exec_options`] mid-flight gets a fresh build, not a
-/// configuration mismatch.
+/// Prepared-plan cache key: the query shape plus the *complete*
+/// execution configuration the subqueries will run under. Every
+/// [`ExecOptions`] knob shapes the lowered subquery twins — threads and
+/// morsel size place Exchange/Gather pairs, the access-path and join
+/// toggles pick operators, `fast_paths` admits storage shortcuts,
+/// `cost_based_join_order` permutes FROM order, and `typed_kernels`
+/// decides whether a kernel certificate is attached — so a plan
+/// prepared under one configuration must never be served to another. A
+/// session that flips any knob of [`Session::exec_options`] mid-flight
+/// gets a fresh build, not a configuration mismatch.
 #[derive(Clone, PartialEq, Eq, Hash)]
 struct PlanKey {
     sql: String,
-    threads: usize,
-    batch_size: usize,
+    opts: ExecOptions,
 }
 
 impl PlanKey {
     fn new(sql: &str, opts: ExecOptions) -> PlanKey {
         PlanKey {
             sql: sql.to_string(),
-            threads: opts.threads,
-            batch_size: opts.batch_size,
+            opts,
         }
     }
 }
@@ -140,7 +141,7 @@ pub struct Session {
     /// morsel-driven path.
     pub exec_options: ExecOptions,
     /// Prepared recency plans keyed by [`PlanKey`] (the raw SQL text
-    /// plus the thread count and morsel size they were prepared for),
+    /// plus the full [`ExecOptions`] they were prepared for),
     /// invalidated by the heartbeat epoch: any heartbeat upsert bumps
     /// the database epoch, and a mismatched epoch forces a rebuild.
     /// This is conservative — plans only depend on schema and
@@ -676,6 +677,89 @@ mod tests {
             "each configuration keeps its own cached plan"
         );
         assert_eq!(session.plan_cache.lock().unwrap().len(), 2);
+    }
+
+    #[test]
+    fn plan_cache_keys_on_every_exec_knob() {
+        // The key must cover the complete ExecOptions set: any knob
+        // changes the lowered subquery twins, so flipping exactly one
+        // knob — with the SQL, epoch and relevance config fixed — must
+        // miss the prepared-plan cache.
+        let db = paper_db();
+        let mut session = Session::new(db);
+        let sql = "SELECT mach_id FROM Activity WHERE value = 'idle'";
+        session.recency_report(sql).unwrap();
+        let base = ExecOptions::default();
+        let variants = [
+            (
+                "enable_index_scan",
+                ExecOptions {
+                    enable_index_scan: !base.enable_index_scan,
+                    ..base
+                },
+            ),
+            (
+                "enable_hash_join",
+                ExecOptions {
+                    enable_hash_join: !base.enable_hash_join,
+                    ..base
+                },
+            ),
+            (
+                "threads",
+                ExecOptions {
+                    threads: base.threads + 3,
+                    ..base
+                },
+            ),
+            (
+                "batch_size",
+                ExecOptions {
+                    batch_size: base.batch_size + 1,
+                    ..base
+                },
+            ),
+            (
+                "columnar",
+                ExecOptions {
+                    columnar: !base.columnar,
+                    ..base
+                },
+            ),
+            (
+                "fast_paths",
+                ExecOptions {
+                    fast_paths: !base.fast_paths,
+                    ..base
+                },
+            ),
+            (
+                "cost_based_join_order",
+                ExecOptions {
+                    cost_based_join_order: !base.cost_based_join_order,
+                    ..base
+                },
+            ),
+            (
+                "typed_kernels",
+                ExecOptions {
+                    typed_kernels: !base.typed_kernels,
+                    ..base
+                },
+            ),
+        ];
+        for (i, (knob, opts)) in variants.into_iter().enumerate() {
+            session.exec_options = opts;
+            session.recency_report(sql).unwrap();
+            assert_eq!(
+                session.plan_cache_stats(),
+                PlanCacheStats {
+                    hits: 0,
+                    misses: (i + 2) as u64,
+                },
+                "flipping `{knob}` alone must miss the prepared-plan cache"
+            );
+        }
     }
 
     #[test]

@@ -28,10 +28,12 @@ use crate::operators::{
 };
 use crate::result::QueryResult;
 use std::collections::HashMap;
-use trac_expr::{eval_expr, eval_vec, AggFunc, ColumnarBatch, Projection};
+use trac_expr::{
+    eval_expr, eval_vec, AggFunc, BoundExpr, ColRef, ColumnarBatch, KernelCert, Projection,
+};
 use trac_plan::{PhysicalPlan, PlanNode};
 use trac_storage::{ReadTxn, Row};
-use trac_types::{Result, TracError, Value};
+use trac_types::{DataType, Result, TracError, Value};
 
 /// A pull-based batch iterator over one operator subtree. Batches may
 /// have zero live lanes after filtering; consumers skip those without
@@ -57,6 +59,7 @@ struct LeafSource<'a> {
     txn: &'a ReadTxn,
     node: &'a PlanNode,
     batch_size: usize,
+    cert: &'a KernelCert,
     state: Option<(usize, &'a [trac_expr::BoundExpr], std::vec::IntoIter<Row>)>,
 }
 
@@ -74,20 +77,20 @@ impl BatchSource for LeafSource<'_> {
             return Ok(None);
         }
         let mut batch = ColumnarBatch::from_rows(*pos + 1, *pos, chunk);
-        batch.apply_filter(filter);
+        batch.apply_filter_typed(filter, self.cert);
         Ok(Some(batch))
     }
 }
 
 /// Fetches a join's inner leaf with its residual filter applied through
 /// the vectorized evaluator, returning the surviving rows.
-fn fetch_inner_rows(txn: &ReadTxn, node: &PlanNode) -> Result<Vec<Row>> {
+fn fetch_inner_rows(txn: &ReadTxn, node: &PlanNode, cert: &KernelCert) -> Result<Vec<Row>> {
     let (pos, filter, raw) = leaf_parts(txn, node)?;
     if filter.is_empty() {
         return Ok(raw);
     }
     let mut batch = ColumnarBatch::from_rows(pos + 1, pos, raw);
-    batch.apply_filter(filter);
+    batch.apply_filter_typed(filter, cert);
     Ok(batch
         .to_tuples()
         .into_iter()
@@ -103,6 +106,7 @@ struct NLJoinSource<'a> {
     inner_pos: usize,
     inner_rows: Option<Vec<Row>>,
     filter: &'a [trac_expr::BoundExpr],
+    cert: &'a KernelCert,
 }
 
 impl BatchSource for NLJoinSource<'_> {
@@ -115,15 +119,28 @@ impl BatchSource for NLJoinSource<'_> {
                 continue;
             }
             if self.inner_rows.is_none() {
-                self.inner_rows = Some(fetch_inner_rows(self.txn, self.inner_node)?);
+                self.inner_rows = Some(fetch_inner_rows(self.txn, self.inner_node, self.cert)?);
             }
             let rows = self.inner_rows.as_deref().unwrap_or_default();
             let matches: Vec<Vec<Row>> = vec![rows.to_vec(); batch.len()];
             let mut joined = batch.join_extend(self.inner_pos, &matches);
-            joined.apply_filter(self.filter);
+            joined.apply_filter_typed(self.filter, self.cert);
             return Ok(Some(joined));
         }
     }
+}
+
+/// The hash-join build table: boxed [`Value`] keys in general, unboxed
+/// `i64` keys when both sides of the equi-key carry an `INT` lane
+/// certificate. Either way NULL keys never enter the table, and key
+/// matching is `Value` identity (the equi-key conjunct is re-applied
+/// with SQL semantics afterwards), so both representations match the
+/// same rows.
+enum JoinTable {
+    /// Boxed build side, keyed by [`Value`].
+    Boxed(HashMap<Value, Vec<Row>>),
+    /// Unboxed build side, keyed by `i64` (TRAC024/025-certified).
+    Int(HashMap<i64, Vec<Row>>),
 }
 
 /// Hash join: builds `inner_col → rows` buckets from the inner leaf on
@@ -137,7 +154,92 @@ struct HashJoinSource<'a> {
     inner_col: usize,
     outer_key: trac_expr::ColRef,
     filter: &'a [trac_expr::BoundExpr],
-    table: Option<HashMap<Value, Vec<Row>>>,
+    cert: &'a KernelCert,
+    table: Option<JoinTable>,
+}
+
+impl HashJoinSource<'_> {
+    /// True when both key lanes are certified `INT`, admitting the
+    /// unboxed build table and probe kernel.
+    fn int_key_certified(&self) -> bool {
+        let inner_ok = self
+            .cert
+            .get(self.inner_pos, self.inner_col)
+            .is_some_and(|l| l.ty == DataType::Int);
+        inner_ok
+            && self
+                .cert
+                .lane(self.outer_key)
+                .is_some_and(|l| l.ty == DataType::Int)
+    }
+
+    /// Builds the boxed or unboxed key table from the inner rows. A row
+    /// whose key contradicts the `INT` certificate drops the whole
+    /// build back to the boxed representation (never a wrong answer).
+    fn build_table(&self, rows: Vec<Row>) -> JoinTable {
+        if self.int_key_certified() {
+            let mut table: HashMap<i64, Vec<Row>> = HashMap::new();
+            let mut ok = true;
+            for r in &rows {
+                match &r[self.inner_col] {
+                    Value::Int(k) => table.entry(*k).or_default().push(r.clone()),
+                    Value::Null => {}
+                    _ => {
+                        ok = false;
+                        break;
+                    }
+                }
+            }
+            if ok {
+                return JoinTable::Int(table);
+            }
+        }
+        let mut table: HashMap<Value, Vec<Row>> = HashMap::new();
+        for r in rows {
+            let k = r[self.inner_col].clone();
+            if !k.is_null() {
+                table.entry(k).or_default().push(r);
+            }
+        }
+        JoinTable::Boxed(table)
+    }
+
+    /// Per-lane match lists for one outer batch. The unboxed probe
+    /// gathers the key lane as raw `i64`s (null-bitmap aware); if the
+    /// outer data contradicts its certificate, the probe falls back to
+    /// boxed key gathering against the same table.
+    fn probe(&self, table: &JoinTable, batch: &ColumnarBatch) -> Result<Vec<Vec<Row>>> {
+        if let JoinTable::Int(t) = table {
+            let non_null = self.cert.lane(self.outer_key).is_some_and(|l| l.non_null);
+            if let Ok(lane) = batch.int_lane(self.outer_key, non_null) {
+                return Ok(lane
+                    .values
+                    .iter()
+                    .enumerate()
+                    .map(|(i, k)| {
+                        if lane.nulls.as_ref().is_some_and(|n| n[i]) {
+                            Vec::new()
+                        } else {
+                            t.get(k).cloned().unwrap_or_default()
+                        }
+                    })
+                    .collect());
+            }
+        }
+        let keys = batch.column(self.outer_key)?;
+        Ok(keys
+            .iter()
+            .map(|k| match table {
+                JoinTable::Boxed(t) => t.get(k).cloned().unwrap_or_default(),
+                // Value identity matching, like the boxed table: only an
+                // INT key can hit an i64 bucket.
+                JoinTable::Int(t) => match k {
+                    Value::Int(k) => t.get(k).cloned().unwrap_or_default(),
+                    _ => Vec::new(),
+                },
+            })
+            .collect())
+    }
 }
 
 impl BatchSource for HashJoinSource<'_> {
@@ -150,25 +252,15 @@ impl BatchSource for HashJoinSource<'_> {
                 continue;
             }
             if self.table.is_none() {
-                let mut table: HashMap<Value, Vec<Row>> = HashMap::new();
-                for r in fetch_inner_rows(self.txn, self.inner_node)? {
-                    let k = r[self.inner_col].clone();
-                    if !k.is_null() {
-                        table.entry(k).or_default().push(r);
-                    }
-                }
-                self.table = Some(table);
+                let rows = fetch_inner_rows(self.txn, self.inner_node, self.cert)?;
+                self.table = Some(self.build_table(rows));
             }
             let Some(table) = self.table.as_ref() else {
                 unreachable!("build side constructed above");
             };
-            let keys = batch.column(self.outer_key)?;
-            let matches: Vec<Vec<Row>> = keys
-                .iter()
-                .map(|k| table.get(k).cloned().unwrap_or_default())
-                .collect();
+            let matches = self.probe(table, &batch)?;
             let mut joined = batch.join_extend(self.inner_pos, &matches);
-            joined.apply_filter(self.filter);
+            joined.apply_filter_typed(self.filter, self.cert);
             return Ok(Some(joined));
         }
     }
@@ -184,6 +276,7 @@ struct IndexNLJoinSource<'a> {
     inner_col: usize,
     outer_key: trac_expr::ColRef,
     filter: &'a [trac_expr::BoundExpr],
+    cert: &'a KernelCert,
 }
 
 impl BatchSource for IndexNLJoinSource<'_> {
@@ -214,7 +307,7 @@ impl BatchSource for IndexNLJoinSource<'_> {
                 matches.push(rows);
             }
             let mut joined = batch.join_extend(self.pos, &matches);
-            joined.apply_filter(self.filter);
+            joined.apply_filter_typed(self.filter, self.cert);
             return Ok(Some(joined));
         }
     }
@@ -224,6 +317,7 @@ impl BatchSource for IndexNLJoinSource<'_> {
 struct FilterSource<'a> {
     input: Box<dyn BatchSource + 'a>,
     predicate: &'a [trac_expr::BoundExpr],
+    cert: &'a KernelCert,
 }
 
 impl BatchSource for FilterSource<'_> {
@@ -231,7 +325,7 @@ impl BatchSource for FilterSource<'_> {
         let Some(mut batch) = self.input.next_batch()? else {
             return Ok(None);
         };
-        batch.apply_filter(self.predicate);
+        batch.apply_filter_typed(self.predicate, self.cert);
         Ok(Some(batch))
     }
 }
@@ -293,10 +387,14 @@ impl BatchSource for GatherSource<'_> {
 }
 
 /// Builds the batch-source tree for the relational part of a plan.
+/// `cert` is the plan's typed-kernel certificate (empty when typed
+/// kernels are disabled): every filter application and the hash-join
+/// key path consult it before choosing an unboxed kernel.
 fn build_source<'a>(
     txn: &'a ReadTxn,
     node: &'a PlanNode,
     batch_size: usize,
+    cert: &'a KernelCert,
 ) -> Result<Box<dyn BatchSource + 'a>> {
     Ok(match node {
         PlanNode::Empty { .. } => Box::new(EmptySource),
@@ -305,6 +403,7 @@ fn build_source<'a>(
                 txn,
                 node,
                 batch_size,
+                cert,
                 state: None,
             })
         }
@@ -315,11 +414,12 @@ fn build_source<'a>(
             ..
         } => Box::new(NLJoinSource {
             txn,
-            outer: build_source(txn, outer, batch_size)?,
+            outer: build_source(txn, outer, batch_size, cert)?,
             inner_node: inner,
             inner_pos: leaf_pos(inner)?,
             inner_rows: None,
             filter,
+            cert,
         }),
         PlanNode::HashJoin {
             outer,
@@ -330,12 +430,13 @@ fn build_source<'a>(
             ..
         } => Box::new(HashJoinSource {
             txn,
-            outer: build_source(txn, outer, batch_size)?,
+            outer: build_source(txn, outer, batch_size, cert)?,
             inner_node: inner,
             inner_pos: leaf_pos(inner)?,
             inner_col: *inner_col,
             outer_key: *outer_key,
             filter,
+            cert,
             table: None,
         }),
         PlanNode::IndexNLJoin {
@@ -348,19 +449,21 @@ fn build_source<'a>(
             ..
         } => Box::new(IndexNLJoinSource {
             txn,
-            outer: build_source(txn, outer, batch_size)?,
+            outer: build_source(txn, outer, batch_size, cert)?,
             table,
             pos: *pos,
             inner_col: *inner_col,
             outer_key: *outer_key,
             filter,
+            cert,
         }),
         PlanNode::Filter { input, predicate } => Box::new(FilterSource {
-            input: build_source(txn, input, batch_size)?,
+            input: build_source(txn, input, batch_size, cert)?,
             predicate,
+            cert,
         }),
         PlanNode::Sort { input, keys } => Box::new(SortSource {
-            input: build_source(txn, input, batch_size)?,
+            input: build_source(txn, input, batch_size, cert)?,
             keys,
             done: false,
         }),
@@ -380,6 +483,140 @@ fn build_source<'a>(
             )))
         }
     })
+}
+
+/// One streaming accumulator of a certified global aggregate,
+/// mirroring the scalar [`aggregate_row`] fold state exactly: the
+/// wrapping integer sum with the `all_int` outcome (an `INT` lane is
+/// all-int by certificate), the sequential `f64` sum in stream order,
+/// and the SQL-comparison extreme fold where an incomparable value
+/// (NaN) never replaces the running best.
+///
+/// [`aggregate_row`]: crate::operators
+struct TypedAgg {
+    /// `None` for `COUNT(*)`; otherwise the certified numeric lane and
+    /// whether it is certified null-free.
+    lane: Option<(ColRef, bool, DataType)>,
+    func: AggFunc,
+    /// Tuples seen (`COUNT(*)`).
+    count: i64,
+    /// Non-NULL lane values seen.
+    n: u64,
+    int_sum: i64,
+    fsum: f64,
+    best_int: Option<i64>,
+    best_float: Option<f64>,
+}
+
+impl TypedAgg {
+    fn new(lane: Option<(ColRef, bool, DataType)>, func: AggFunc) -> TypedAgg {
+        TypedAgg {
+            lane,
+            func,
+            count: 0,
+            n: 0,
+            int_sum: 0,
+            fsum: 0.0,
+            best_int: None,
+            best_float: None,
+        }
+    }
+
+    /// Folds one batch into the accumulator through the unboxed lane
+    /// kernels. Errs only when the data contradicts the certificate.
+    fn fold(&mut self, batch: &ColumnarBatch) -> Result<()> {
+        let Some((c, non_null, ty)) = self.lane else {
+            self.count += batch.len() as i64;
+            return Ok(());
+        };
+        let max = self.func == AggFunc::Max;
+        if ty == DataType::Int {
+            let lane = batch.int_lane(c, non_null)?;
+            for (i, v) in lane.values.iter().enumerate() {
+                if lane.nulls.as_ref().is_some_and(|m| m[i]) {
+                    continue;
+                }
+                self.n += 1;
+                self.int_sum = self.int_sum.wrapping_add(*v);
+                self.fsum += *v as f64;
+                self.best_int = Some(match self.best_int {
+                    None => *v,
+                    Some(b) if (max && *v > b) || (!max && *v < b) => *v,
+                    Some(b) => b,
+                });
+            }
+        } else {
+            let lane = batch.float_lane(c, non_null)?;
+            for (i, v) in lane.values.iter().enumerate() {
+                if lane.nulls.as_ref().is_some_and(|m| m[i]) {
+                    continue;
+                }
+                self.n += 1;
+                self.fsum += *v;
+                self.best_float = Some(match self.best_float {
+                    None => *v,
+                    Some(b) => {
+                        let keep_new =
+                            v.partial_cmp(&b)
+                                .is_some_and(|o| if max { o.is_gt() } else { o.is_lt() });
+                        if keep_new {
+                            *v
+                        } else {
+                            b
+                        }
+                    }
+                });
+            }
+        }
+        Ok(())
+    }
+
+    /// The aggregate's final value, byte-identical to the scalar fold.
+    fn finish(&self) -> Value {
+        let int_lane = self.lane.is_some_and(|(_, _, ty)| ty == DataType::Int);
+        match self.func {
+            AggFunc::Count => match self.lane {
+                None => Value::Int(self.count),
+                Some(_) => Value::Int(self.n as i64),
+            },
+            AggFunc::Sum if self.n == 0 => Value::Null,
+            AggFunc::Sum if int_lane => Value::Int(self.int_sum),
+            AggFunc::Sum => Value::Float(self.fsum),
+            AggFunc::Avg if self.n == 0 => Value::Null,
+            AggFunc::Avg => Value::Float(self.fsum / self.n as f64),
+            AggFunc::Min | AggFunc::Max => {
+                if int_lane {
+                    self.best_int.map_or(Value::Null, Value::Int)
+                } else {
+                    self.best_float.map_or(Value::Null, Value::Float)
+                }
+            }
+        }
+    }
+}
+
+/// Streaming accumulators for a global aggregate, when every projection
+/// is `COUNT(*)` or an aggregate over a certified numeric lane
+/// (TRAC024/025). `None` ⇒ an uncertified or non-numeric shape is
+/// present and the boxed drain stays the path.
+fn typed_global_aggs(projections: &[Projection], cert: &KernelCert) -> Option<Vec<TypedAgg>> {
+    projections
+        .iter()
+        .map(|p| {
+            let Projection::Aggregate { func, arg, .. } = p else {
+                return None;
+            };
+            match arg {
+                None => (*func == AggFunc::Count).then(|| TypedAgg::new(None, *func)),
+                Some(BoundExpr::Column(c)) => {
+                    let lane = cert.lane(*c)?;
+                    matches!(lane.ty, DataType::Int | DataType::Float)
+                        .then(|| TypedAgg::new(Some((*c, lane.non_null, lane.ty)), *func))
+                }
+                Some(_) => None,
+            }
+        })
+        .collect()
 }
 
 /// Evaluates every projection vectorized over a batch. Any failure (an
@@ -469,8 +706,29 @@ pub(crate) fn execute_plan_columnar(
             limit: group_limit,
         } => {
             // Aggregation is a full pipeline breaker: drain the input.
-            let mut src = build_source(txn, input, batch_size)?;
+            let mut src = build_source(txn, input, batch_size, &plan.cert)?;
             if group_by.is_empty() {
+                // Certified global aggregate: fold each batch through
+                // the unboxed lane kernels without materializing
+                // tuples. Only taken when every projection is covered
+                // by a lane certificate (and there is no HAVING, whose
+                // evaluation is defined over materialized tuples).
+                if having.is_none() {
+                    if let Some(mut aggs) = typed_global_aggs(projections, &plan.cert) {
+                        while let Some(batch) = src.next_batch()? {
+                            if batch.is_empty() {
+                                continue;
+                            }
+                            for a in &mut aggs {
+                                a.fold(&batch)?;
+                            }
+                        }
+                        return Ok(QueryResult {
+                            columns,
+                            rows: vec![aggs.iter().map(TypedAgg::finish).collect()],
+                        });
+                    }
+                }
                 let mut tuples: Vec<Tuple> = Vec::new();
                 while let Some(batch) = src.next_batch()? {
                     tuples.extend(batch.to_tuples());
@@ -510,7 +768,7 @@ pub(crate) fn execute_plan_columnar(
             )
         }
         PlanNode::Project { input, projections } => {
-            let mut src = build_source(txn, input, batch_size)?;
+            let mut src = build_source(txn, input, batch_size, &plan.cert)?;
             let mut rows: Vec<Vec<Value>> = Vec::new();
             let mut dedup = RowDedup::default();
             let full = |n_rows: usize| limit.is_some_and(|n| n_rows as u64 >= n);

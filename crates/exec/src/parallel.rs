@@ -366,6 +366,7 @@ fn build_hash_partitions(
             .collect();
         handles
             .into_iter()
+            // PANIC-OK: re-raises a panic from a scoped build worker; the join itself cannot fail.
             .map(|h| h.join().expect("hash build worker panicked"))
             .collect()
     })

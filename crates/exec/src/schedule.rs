@@ -277,6 +277,7 @@ impl Controller {
     /// the explorer's control (e.g. joining a worker scope). Pair with
     /// [`Controller::resume`].
     pub fn suspend(&self) {
+        // PANIC-OK: explorer API misuse by a test harness, never reachable from a query.
         let tid = current_tid().expect("suspend outside an active exploration");
         let mut st = self.lock_state();
         debug_assert_eq!(st.granted, Some(tid));
@@ -289,6 +290,7 @@ impl Controller {
     /// Re-enters the exploration after [`Controller::suspend`], blocking
     /// until the token comes back.
     pub fn resume(&self) {
+        // PANIC-OK: explorer API misuse by a test harness, never reachable from a query.
         let tid = current_tid().expect("resume outside an active exploration");
         let mut st = self.lock_state();
         st.live += 1;

@@ -23,10 +23,340 @@
 use crate::bound::BoundExpr;
 use crate::eval::{arith, compare, eval_predicate, Truth};
 use crate::ColRef;
+use std::cmp::Ordering;
+use std::collections::BTreeMap;
 use std::sync::Arc;
 use trac_sql::BinaryOp;
 use trac_storage::Row;
-use trac_types::{Result, TracError, Value};
+use trac_types::{DataType, Result, TracError, Value};
+
+/// What the typeflow analysis certified about one column lane — the
+/// static license an unboxed typed kernel needs before it may replace
+/// the boxed [`Value`] path for that lane.
+///
+/// The claims are *proofs*, not hints: `ty` is the schema-declared type
+/// every stored value was coerced to on the write path, `non_null`
+/// means no NULL can surface in the lane (schema `NOT NULL`, or a
+/// write-time null count of zero), and `nan_free` means the catalog
+/// min/max bounds prove no NaN was ever inserted (trivially true for
+/// non-float lanes). The analyzer re-derives every claim independently
+/// and reports `TRAC023` when a plan carries one it cannot prove.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct LaneCert {
+    /// Declared column type, enforced by write-time coercion.
+    pub ty: DataType,
+    /// No NULL can surface in this lane.
+    pub non_null: bool,
+    /// No NaN can surface in this lane (always true for non-floats).
+    pub nan_free: bool,
+}
+
+impl LaneCert {
+    /// Compact EXPLAIN marker for this lane: the lowercase type name,
+    /// `?`-suffixed when the lane may hold NULLs (null-bitmap kernel),
+    /// `~`-suffixed for a float lane that may hold NaNs.
+    pub fn marker(&self) -> String {
+        let mut m = self.ty.sql_name().to_ascii_lowercase();
+        if !self.non_null {
+            m.push('?');
+        }
+        if !self.nan_free {
+            m.push('~');
+        }
+        m
+    }
+}
+
+/// Per-plan certificate mapping `(FROM position, column)` lanes to the
+/// typed-kernel licenses the lowering derived from the schema and the
+/// write-time catalog statistics. Threaded through [`plan_select`] onto
+/// the physical plan; the executor consults it before dispatching an
+/// unboxed kernel, and EXPLAIN renders it as `[typed:…]` leaf markers.
+///
+/// [`plan_select`]: https://docs.rs/trac-plan
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct KernelCert {
+    lanes: BTreeMap<(usize, usize), LaneCert>,
+}
+
+impl KernelCert {
+    /// Records the certificate for lane `(pos, column)`.
+    pub fn insert(&mut self, pos: usize, column: usize, cert: LaneCert) {
+        self.lanes.insert((pos, column), cert);
+    }
+
+    /// The certificate for lane `(pos, column)`, if one was derived.
+    pub fn get(&self, pos: usize, column: usize) -> Option<&LaneCert> {
+        self.lanes.get(&(pos, column))
+    }
+
+    /// The certificate for the lane a column reference names.
+    pub fn lane(&self, c: ColRef) -> Option<&LaneCert> {
+        self.get(c.table, c.column)
+    }
+
+    /// True when no lane is certified.
+    pub fn is_empty(&self) -> bool {
+        self.lanes.is_empty()
+    }
+
+    /// Number of certified lanes.
+    pub fn len(&self) -> usize {
+        self.lanes.len()
+    }
+
+    /// Iterates all certified lanes in `(pos, column)` order.
+    pub fn iter(&self) -> impl Iterator<Item = (&(usize, usize), &LaneCert)> {
+        self.lanes.iter()
+    }
+
+    /// EXPLAIN marker for the leaf at FROM position `pos`:
+    /// `[typed:text,int?]` listing each certified lane in column order,
+    /// or `None` when no lane of the leaf is certified.
+    pub fn marker(&self, pos: usize) -> Option<String> {
+        let lanes: Vec<String> = self
+            .lanes
+            .range((pos, 0)..(pos + 1, 0))
+            .map(|(_, c)| c.marker())
+            .collect();
+        if lanes.is_empty() {
+            None
+        } else {
+            Some(format!("[typed:{}]", lanes.join(",")))
+        }
+    }
+}
+
+/// An unboxed integer lane extracted from a certified mono-typed
+/// column. `values[i]` is meaningless where `nulls[i]` is set; a lane
+/// certified `non_null` carries no null bitmap at all.
+#[derive(Debug, Clone)]
+pub struct IntVec {
+    /// Unboxed lane values, in selection order.
+    pub values: Vec<i64>,
+    /// Null bitmap (selection order), absent for null-free lanes.
+    pub nulls: Option<Vec<bool>>,
+}
+
+/// An unboxed float lane extracted from a certified mono-typed column.
+#[derive(Debug, Clone)]
+pub struct FloatVec {
+    /// Unboxed lane values, in selection order.
+    pub values: Vec<f64>,
+    /// Null bitmap (selection order), absent for null-free lanes.
+    pub nulls: Option<Vec<bool>>,
+}
+
+/// A borrowed text lane extracted from a certified mono-typed column —
+/// borrowing avoids the per-value `String` clone the boxed
+/// [`ColumnarBatch::column`] gather pays.
+#[derive(Debug)]
+pub struct TextVec<'a> {
+    /// Borrowed lane values, in selection order.
+    pub values: Vec<&'a str>,
+    /// Null bitmap (selection order), absent for null-free lanes.
+    pub nulls: Option<Vec<bool>>,
+}
+
+/// Whether `ord` satisfies the comparison `op` — the shared predicate
+/// core of every typed comparison kernel, mirroring
+/// [`crate::eval::eval_expr`]'s boxed `compare` exactly.
+fn ord_passes(op: BinaryOp, ord: Ordering) -> bool {
+    match op {
+        BinaryOp::Eq => ord.is_eq(),
+        BinaryOp::NotEq => !ord.is_eq(),
+        BinaryOp::Lt => ord.is_lt(),
+        BinaryOp::LtEq => ord.is_le(),
+        BinaryOp::Gt => ord.is_gt(),
+        BinaryOp::GtEq => ord.is_ge(),
+        _ => unreachable!("ord_passes called with {op:?}"),
+    }
+}
+
+/// The comparison `op` with its operands swapped: `lit op col` becomes
+/// `col flip(op) lit`.
+fn flip(op: BinaryOp) -> BinaryOp {
+    match op {
+        BinaryOp::Lt => BinaryOp::Gt,
+        BinaryOp::LtEq => BinaryOp::GtEq,
+        BinaryOp::Gt => BinaryOp::Lt,
+        BinaryOp::GtEq => BinaryOp::LtEq,
+        other => other,
+    }
+}
+
+/// The error a lane extraction raises when the data contradicts its
+/// certificate (a value outside the certified domain, or a NULL in a
+/// lane certified null-free).
+fn lane_violation(expected: &str, got: &Value) -> TracError {
+    TracError::Execution(format!(
+        "lane certificate violated: expected {expected}, found {}",
+        got.type_name()
+    ))
+}
+
+/// Fold of one typed comparison into a pass mask: a lane passes iff it
+/// is non-NULL and its comparison against the literal is `TRUE` —
+/// NULL and incomparable (NaN) lanes are `Unknown`, which the filter
+/// contract treats as "not true".
+fn cmp_mask<T>(
+    values: &[T],
+    nulls: Option<&Vec<bool>>,
+    op: BinaryOp,
+    cmp: impl Fn(&T) -> Option<Ordering>,
+) -> Vec<bool> {
+    values
+        .iter()
+        .enumerate()
+        .map(|(i, v)| {
+            if nulls.is_some_and(|n| n[i]) {
+                return false;
+            }
+            cmp(v).is_some_and(|o| ord_passes(op, o))
+        })
+        .collect()
+}
+
+impl IntVec {
+    /// Pass mask of `lane op rhs` (SQL semantics: NULL lanes fail).
+    pub fn cmp_mask(&self, op: BinaryOp, rhs: i64) -> Vec<bool> {
+        cmp_mask(&self.values, self.nulls.as_ref(), op, |v| Some(v.cmp(&rhs)))
+    }
+
+    /// Pass mask of `lane op rhs` against a float literal, via the same
+    /// widening `sql_cmp` applies to mixed numeric comparisons.
+    pub fn cmp_mask_f64(&self, op: BinaryOp, rhs: f64) -> Vec<bool> {
+        cmp_mask(&self.values, self.nulls.as_ref(), op, |v| {
+            (*v as f64).partial_cmp(&rhs)
+        })
+    }
+
+    /// Pass mask of `lane IN (keys)` (NULL lanes fail).
+    pub fn in_mask(&self, keys: &[i64]) -> Vec<bool> {
+        self.values
+            .iter()
+            .enumerate()
+            .map(|(i, v)| !self.nulls.as_ref().is_some_and(|n| n[i]) && keys.contains(v))
+            .collect()
+    }
+
+    /// Number of non-NULL lanes.
+    pub fn count_non_null(&self) -> usize {
+        match &self.nulls {
+            None => self.values.len(),
+            Some(n) => n.iter().filter(|x| !**x).count(),
+        }
+    }
+
+    /// Wrapping sum over non-NULL lanes plus the lane count — the
+    /// unboxed `SUM`/`AVG` kernel (`None` parts when every lane is NULL
+    /// are the caller's concern via the count).
+    pub fn sum(&self) -> (i64, u64) {
+        let mut s = 0i64;
+        let mut n = 0u64;
+        for (i, v) in self.values.iter().enumerate() {
+            if self.nulls.as_ref().is_some_and(|m| m[i]) {
+                continue;
+            }
+            s = s.wrapping_add(*v);
+            n += 1;
+        }
+        (s, n)
+    }
+
+    /// Smallest / largest non-NULL lane — the unboxed `MIN`/`MAX`
+    /// kernel.
+    pub fn extreme(&self, max: bool) -> Option<i64> {
+        let mut best: Option<i64> = None;
+        for (i, v) in self.values.iter().enumerate() {
+            if self.nulls.as_ref().is_some_and(|m| m[i]) {
+                continue;
+            }
+            best = Some(match best {
+                None => *v,
+                Some(b) if (max && *v > b) || (!max && *v < b) => *v,
+                Some(b) => b,
+            });
+        }
+        best
+    }
+}
+
+impl FloatVec {
+    /// Pass mask of `lane op rhs` (SQL semantics: NULL lanes fail, and
+    /// NaN lanes fail every comparison — `partial_cmp` returns `None`
+    /// exactly where `sql_cmp` does).
+    pub fn cmp_mask(&self, op: BinaryOp, rhs: f64) -> Vec<bool> {
+        cmp_mask(&self.values, self.nulls.as_ref(), op, |v| {
+            v.partial_cmp(&rhs)
+        })
+    }
+
+    /// Sum over non-NULL lanes plus the lane count.
+    pub fn sum(&self) -> (f64, u64) {
+        let mut s = 0.0f64;
+        let mut n = 0u64;
+        for (i, v) in self.values.iter().enumerate() {
+            if self.nulls.as_ref().is_some_and(|m| m[i]) {
+                continue;
+            }
+            s += *v;
+            n += 1;
+        }
+        (s, n)
+    }
+
+    /// Smallest / largest non-NULL lane under SQL comparison: a lane
+    /// incomparable with the running extreme (NaN) never replaces it,
+    /// mirroring the boxed `MIN`/`MAX` fold byte for byte. On a lane
+    /// certified NaN-free this is the plain IEEE order.
+    pub fn extreme(&self, max: bool) -> Option<f64> {
+        let mut best: Option<f64> = None;
+        for (i, v) in self.values.iter().enumerate() {
+            if self.nulls.as_ref().is_some_and(|m| m[i]) {
+                continue;
+            }
+            best = Some(match best {
+                None => *v,
+                Some(b) => {
+                    let keep_new =
+                        v.partial_cmp(&b)
+                            .is_some_and(|o| if max { o.is_gt() } else { o.is_lt() });
+                    if keep_new {
+                        *v
+                    } else {
+                        b
+                    }
+                }
+            });
+        }
+        best
+    }
+
+    /// Number of non-NULL lanes.
+    pub fn count_non_null(&self) -> usize {
+        match &self.nulls {
+            None => self.values.len(),
+            Some(n) => n.iter().filter(|x| !**x).count(),
+        }
+    }
+}
+
+impl TextVec<'_> {
+    /// Pass mask of `lane op rhs` (SQL semantics: NULL lanes fail).
+    pub fn cmp_mask(&self, op: BinaryOp, rhs: &str) -> Vec<bool> {
+        cmp_mask(&self.values, self.nulls.as_ref(), op, |v| Some(v.cmp(&rhs)))
+    }
+
+    /// Pass mask of `lane IN (keys)` (NULL lanes fail).
+    pub fn in_mask(&self, keys: &[&str]) -> Vec<bool> {
+        self.values
+            .iter()
+            .enumerate()
+            .map(|(i, v)| !self.nulls.as_ref().is_some_and(|n| n[i]) && keys.contains(v))
+            .collect()
+    }
+}
 
 /// A column-major batch of composite tuples with a selection vector.
 #[derive(Debug, Clone)]
@@ -207,6 +537,203 @@ impl ColumnarBatch {
                 );
             }
             self.retain_lanes(&mask);
+        }
+    }
+
+    /// Extracts the column `c` refers to as an unboxed integer lane.
+    /// Errs when any live lane violates the certificate (`non_null`
+    /// promised but NULL found, or a non-integer value) — callers treat
+    /// that as "certificate unusable" and fall back to the boxed path.
+    pub fn int_lane(&self, c: ColRef, non_null: bool) -> Result<IntVec> {
+        let mut values = Vec::with_capacity(self.sel.len());
+        let mut nulls = if non_null {
+            None
+        } else {
+            Some(Vec::with_capacity(self.sel.len()))
+        };
+        for v in self.lane_values(c)? {
+            match (v, &mut nulls) {
+                (Value::Int(i), m) => {
+                    values.push(*i);
+                    if let Some(m) = m {
+                        m.push(false);
+                    }
+                }
+                (Value::Null, Some(m)) => {
+                    values.push(0);
+                    m.push(true);
+                }
+                (other, _) => return Err(lane_violation("INT", other)),
+            }
+        }
+        Ok(IntVec { values, nulls })
+    }
+
+    /// Extracts the column `c` refers to as an unboxed float lane; same
+    /// certificate-violation contract as [`ColumnarBatch::int_lane`].
+    pub fn float_lane(&self, c: ColRef, non_null: bool) -> Result<FloatVec> {
+        let mut values = Vec::with_capacity(self.sel.len());
+        let mut nulls = if non_null {
+            None
+        } else {
+            Some(Vec::with_capacity(self.sel.len()))
+        };
+        for v in self.lane_values(c)? {
+            match (v, &mut nulls) {
+                (Value::Float(f), m) => {
+                    values.push(*f);
+                    if let Some(m) = m {
+                        m.push(false);
+                    }
+                }
+                (Value::Null, Some(m)) => {
+                    values.push(0.0);
+                    m.push(true);
+                }
+                (other, _) => return Err(lane_violation("FLOAT", other)),
+            }
+        }
+        Ok(FloatVec { values, nulls })
+    }
+
+    /// Extracts the column `c` refers to as a borrowed text lane; same
+    /// certificate-violation contract as [`ColumnarBatch::int_lane`].
+    pub fn text_lane(&self, c: ColRef, non_null: bool) -> Result<TextVec<'_>> {
+        let mut values = Vec::with_capacity(self.sel.len());
+        let mut nulls = if non_null {
+            None
+        } else {
+            Some(Vec::with_capacity(self.sel.len()))
+        };
+        for v in self.lane_values(c)? {
+            match (v, &mut nulls) {
+                (Value::Text(s), m) => {
+                    values.push(s.as_str());
+                    if let Some(m) = m {
+                        m.push(false);
+                    }
+                }
+                (Value::Null, Some(m)) => {
+                    values.push("");
+                    m.push(true);
+                }
+                (other, _) => return Err(lane_violation("TEXT", other)),
+            }
+        }
+        Ok(TextVec { values, nulls })
+    }
+
+    /// Borrowed view of the column `c` refers to over the live lanes,
+    /// in selection order (no `Value` clones).
+    fn lane_values(&self, c: ColRef) -> Result<impl Iterator<Item = &Value>> {
+        let col = self
+            .slots
+            .get(c.table)
+            .and_then(|s| s.as_ref())
+            .ok_or_else(|| TracError::Execution(format!("tuple has no table slot {}", c.table)))?;
+        if let Some(&l) = self
+            .sel
+            .iter()
+            .find(|&&l| col[l as usize].len() <= c.column)
+        {
+            return Err(TracError::Execution(format!(
+                "row {l} has no column {}",
+                c.column
+            )));
+        }
+        Ok(self.sel.iter().map(move |&l| &col[l as usize][c.column]))
+    }
+
+    /// [`ColumnarBatch::apply_filter`] with typed-kernel dispatch: a
+    /// conjunct of the shape `column op literal` (or `column IN (…)`)
+    /// whose lane carries a certificate runs through the unboxed kernel
+    /// for the certified type; everything else takes the boxed mask.
+    /// Identical pass/fail semantics either way — debug builds
+    /// cross-check every mask against the scalar evaluator.
+    pub fn apply_filter_typed(&mut self, conjuncts: &[BoundExpr], cert: &KernelCert) {
+        for c in conjuncts {
+            if self.sel.is_empty() {
+                return;
+            }
+            let mask = self
+                .typed_mask(c, cert)
+                .unwrap_or_else(|| self.filter_mask(c));
+            #[cfg(debug_assertions)]
+            for (i, &l) in self.sel.iter().enumerate() {
+                let scalar = matches!(eval_predicate(c, &self.lane_tuple(l)), Ok(Truth::True));
+                debug_assert_eq!(
+                    mask[i], scalar,
+                    "typed filter diverged from scalar eval on lane {l}"
+                );
+            }
+            self.retain_lanes(&mask);
+        }
+    }
+
+    /// The unboxed pass mask for one conjunct, or `None` when the
+    /// conjunct's shape or lane certificate does not admit a typed
+    /// kernel (including a certificate the data contradicts — the boxed
+    /// path stays the reference in that case).
+    fn typed_mask(&self, conjunct: &BoundExpr, cert: &KernelCert) -> Option<Vec<bool>> {
+        match conjunct {
+            BoundExpr::Binary { op, lhs, rhs } if op.is_comparison() => {
+                let (c, lit, op) = match (lhs.as_ref(), rhs.as_ref()) {
+                    (BoundExpr::Column(c), BoundExpr::Literal(v)) => (*c, v, *op),
+                    (BoundExpr::Literal(v), BoundExpr::Column(c)) => (*c, v, flip(*op)),
+                    _ => return None,
+                };
+                let lane = cert.lane(c)?;
+                match (lane.ty, lit) {
+                    (DataType::Int, Value::Int(k)) => {
+                        Some(self.int_lane(c, lane.non_null).ok()?.cmp_mask(op, *k))
+                    }
+                    (DataType::Int, Value::Float(k)) => {
+                        Some(self.int_lane(c, lane.non_null).ok()?.cmp_mask_f64(op, *k))
+                    }
+                    (DataType::Float, lit) => {
+                        let k = lit.as_f64()?;
+                        Some(self.float_lane(c, lane.non_null).ok()?.cmp_mask(op, k))
+                    }
+                    (DataType::Text, Value::Text(s)) => {
+                        Some(self.text_lane(c, lane.non_null).ok()?.cmp_mask(op, s))
+                    }
+                    _ => None,
+                }
+            }
+            BoundExpr::InList {
+                expr,
+                list,
+                negated: false,
+            } => {
+                let BoundExpr::Column(c) = expr.as_ref() else {
+                    return None;
+                };
+                let lane = cert.lane(*c)?;
+                match lane.ty {
+                    DataType::Int => {
+                        let keys: Vec<i64> = list
+                            .iter()
+                            .map(|e| match e {
+                                BoundExpr::Literal(Value::Int(k)) => Some(*k),
+                                _ => None,
+                            })
+                            .collect::<Option<_>>()?;
+                        Some(self.int_lane(*c, lane.non_null).ok()?.in_mask(&keys))
+                    }
+                    DataType::Text => {
+                        let keys: Vec<&str> = list
+                            .iter()
+                            .map(|e| match e {
+                                BoundExpr::Literal(Value::Text(s)) => Some(s.as_str()),
+                                _ => None,
+                            })
+                            .collect::<Option<_>>()?;
+                        Some(self.text_lane(*c, lane.non_null).ok()?.in_mask(&keys))
+                    }
+                    _ => None,
+                }
+            }
+            _ => None,
         }
     }
 
@@ -417,6 +944,149 @@ mod tests {
             .unwrap(),
             vec![Value::Int(3)]
         );
+    }
+
+    fn cert_int_text() -> KernelCert {
+        let mut cert = KernelCert::default();
+        cert.insert(
+            0,
+            0,
+            LaneCert {
+                ty: DataType::Int,
+                non_null: false,
+                nan_free: true,
+            },
+        );
+        cert.insert(
+            0,
+            1,
+            LaneCert {
+                ty: DataType::Text,
+                non_null: false,
+                nan_free: true,
+            },
+        );
+        cert
+    }
+
+    #[test]
+    fn typed_filter_matches_boxed_filter() {
+        let cert = cert_int_text();
+        let preds = [
+            E::binary(BinaryOp::Lt, E::col(0, 0), E::lit(3i64)),
+            E::binary(BinaryOp::Gt, E::lit(2i64), E::col(0, 0)),
+            E::binary(BinaryOp::GtEq, E::col(0, 0), E::lit(2.5f64)),
+            E::binary(BinaryOp::NotEq, E::col(0, 1), E::lit("idle")),
+            E::InList {
+                expr: Box::new(E::col(0, 0)),
+                list: vec![E::lit(1i64), E::lit(4i64)],
+                negated: false,
+            },
+            E::InList {
+                expr: Box::new(E::col(0, 1)),
+                list: vec![E::lit("idle"), E::lit("gone")],
+                negated: false,
+            },
+        ];
+        for p in &preds {
+            let mut typed = batch();
+            let mut boxed = batch();
+            typed.apply_filter_typed(std::slice::from_ref(p), &cert);
+            boxed.apply_filter(std::slice::from_ref(p));
+            assert_eq!(typed.sel, boxed.sel, "pred {p:?}");
+            // The shapes above must actually hit the typed kernels.
+            assert!(batch().typed_mask(p, &cert).is_some(), "pred {p:?}");
+        }
+    }
+
+    #[test]
+    fn typed_mask_declines_uncertified_shapes() {
+        let b = batch();
+        let cert = cert_int_text();
+        // Column-vs-column, negated IN, and uncertified lanes all fall
+        // back to the boxed path.
+        let col_col = E::binary(BinaryOp::Eq, E::col(0, 0), E::col(0, 0));
+        assert!(b.typed_mask(&col_col, &cert).is_none());
+        let negated = E::InList {
+            expr: Box::new(E::col(0, 0)),
+            list: vec![E::lit(1i64)],
+            negated: true,
+        };
+        assert!(b.typed_mask(&negated, &cert).is_none());
+        let other_lane = E::binary(BinaryOp::Eq, E::col(1, 0), E::lit(1i64));
+        assert!(b.typed_mask(&other_lane, &cert).is_none());
+    }
+
+    #[test]
+    fn lane_extraction_enforces_certificates() {
+        let b = batch();
+        let c0 = ColRef {
+            table: 0,
+            column: 0,
+        };
+        // Lane 2 is NULL: a non_null extraction must refuse it…
+        assert!(b.int_lane(c0, true).is_err());
+        // …while a null-bitmap extraction records it.
+        let lane = b.int_lane(c0, false).unwrap();
+        assert_eq!(lane.values.len(), 4);
+        assert_eq!(
+            lane.nulls.as_deref(),
+            Some(&[false, false, true, false][..])
+        );
+        assert_eq!(lane.count_non_null(), 3);
+        // Type mismatch (text column as int) is a violation either way.
+        let c1 = ColRef {
+            table: 0,
+            column: 1,
+        };
+        assert!(b.int_lane(c1, false).is_err());
+        let text = b.text_lane(c1, false).unwrap();
+        assert_eq!(text.values[0], "idle");
+    }
+
+    #[test]
+    fn typed_aggregate_kernels_match_scalar_folds() {
+        let ints = IntVec {
+            values: vec![5, 0, -2, 9],
+            nulls: Some(vec![false, true, false, false]),
+        };
+        assert_eq!(ints.sum(), (12, 3));
+        assert_eq!(ints.extreme(false), Some(-2));
+        assert_eq!(ints.extreme(true), Some(9));
+        let floats = FloatVec {
+            values: vec![1.5, f64::NAN, -3.0],
+            nulls: None,
+        };
+        // NaN never replaces a running extreme (SQL comparison order).
+        assert_eq!(floats.extreme(false), Some(-3.0));
+        assert_eq!(floats.extreme(true), Some(1.5));
+        let (s, n) = floats.sum();
+        assert!(s.is_nan());
+        assert_eq!(n, 3);
+        let all_null = IntVec {
+            values: vec![0],
+            nulls: Some(vec![true]),
+        };
+        assert_eq!(all_null.extreme(true), None);
+        assert_eq!(all_null.sum(), (0, 0));
+    }
+
+    #[test]
+    fn explain_markers_summarize_lanes() {
+        let mut cert = cert_int_text();
+        cert.insert(
+            1,
+            0,
+            LaneCert {
+                ty: DataType::Float,
+                non_null: true,
+                nan_free: false,
+            },
+        );
+        assert_eq!(cert.marker(0).as_deref(), Some("[typed:int?,text?]"));
+        assert_eq!(cert.marker(1).as_deref(), Some("[typed:float~]"));
+        assert_eq!(cert.marker(2), None);
+        assert_eq!(cert.len(), 3);
     }
 
     #[test]

@@ -32,7 +32,7 @@ pub mod unbind;
 pub use bound::{bind_select, AggFunc, BoundExpr, BoundSelect, BoundTable, ColRef, Projection};
 pub use check::{bind_expr_for_table, parse_check, BoundCheck};
 pub use classify::{classify_conjunct, ClassifiedPredicates, TermClass};
-pub use columnar::{eval_vec, ColumnarBatch};
+pub use columnar::{eval_vec, ColumnarBatch, FloatVec, IntVec, KernelCert, LaneCert, TextVec};
 pub use eval::{eval_expr, eval_predicate, Truth};
 pub use normalize::{to_dnf, Conjunct, Dnf};
 pub use sat::{conjunct_satisfiable, mixed_terms_vacuous, term_implied, Sat3};

@@ -12,7 +12,10 @@ use trac_storage::{ReadTxn, TableId};
 use trac_types::Value;
 
 /// Execution tuning knobs, mostly for the ablation benchmarks.
-#[derive(Debug, Clone, Copy)]
+///
+/// Derives `Eq`/`Hash` because every knob changes the lowered artifact,
+/// so prepared-plan caches must key on the complete set.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
 pub struct ExecOptions {
     /// Allow index probes (off ⇒ everything is a sequential scan).
     pub enable_index_scan: bool,
@@ -40,6 +43,12 @@ pub struct ExecOptions {
     /// generated subqueries, where output order is defined by an
     /// explicit sort.
     pub cost_based_join_order: bool,
+    /// Attach a typeflow [`KernelCert`](trac_expr::KernelCert) to the
+    /// lowered plan so the columnar engine may dispatch unboxed typed
+    /// kernels on certified lanes. Off ⇒ no certificate is attached and
+    /// every lane takes the boxed [`Value`] path (the differential
+    /// reference).
+    pub typed_kernels: bool,
 }
 
 /// Default morsel size: large enough to amortize per-morsel dispatch,
@@ -56,6 +65,7 @@ impl Default for ExecOptions {
             columnar: true,
             fast_paths: true,
             cost_based_join_order: false,
+            typed_kernels: true,
         }
     }
 }

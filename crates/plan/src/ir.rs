@@ -4,7 +4,7 @@ use crate::access::AccessPath;
 use std::collections::BTreeMap;
 use std::fmt::Write as _;
 use trac_expr::bound::{AggFunc, BoundHaving};
-use trac_expr::{BoundExpr, BoundTable, ColRef, Projection};
+use trac_expr::{BoundExpr, BoundTable, ColRef, KernelCert, Projection};
 use trac_types::Value;
 
 /// One operator of a physical plan.
@@ -122,8 +122,11 @@ pub enum PlanNode {
     /// Fast path: a single `MIN(col)`/`MAX(col)` over one unfiltered
     /// table, answered by walking the ordered index on `col` to its
     /// first visible entry. Only emitted when `Value` order and SQL
-    /// comparison agree on the column type (non-float) — the analyzer's
-    /// fast-path pass re-derives that proof. Always a plan root.
+    /// comparison agree on the column: any non-float type, or a float
+    /// column whose catalog statistics prove it NaN-free (TRAC026 —
+    /// without NaNs, `total_cmp` and `partial_cmp` coincide). The
+    /// analyzer's fast-path pass re-derives that proof. Always a plan
+    /// root.
     IndexMinMax {
         /// The aggregated table.
         table: BoundTable,
@@ -488,6 +491,21 @@ impl PlanNode {
         }
     }
 
+    /// The FROM position of the table this operator reads, for the
+    /// operators that read exactly one table. `None` for joins read
+    /// through `outer`/`inner` and for pure shapers.
+    pub fn leaf_pos(&self) -> Option<usize> {
+        match self {
+            PlanNode::Scan { pos, .. }
+            | PlanNode::IndexLookup { pos, .. }
+            | PlanNode::IndexNLJoin { pos, .. }
+            | PlanNode::TopNIndex { pos, .. } => Some(*pos),
+            // Fast-path roots aggregate the single FROM table.
+            PlanNode::CountStar { .. } | PlanNode::IndexMinMax { .. } => Some(0),
+            _ => None,
+        }
+    }
+
     /// Estimated output rows of the relational part, where known.
     pub fn est_rows(&self) -> Option<u64> {
         match self {
@@ -542,6 +560,12 @@ pub struct PhysicalPlan {
     pub root: PlanNode,
     /// Output column names, in projection order.
     pub columns: Vec<String>,
+    /// Typeflow kernel certificate: the per-lane type/nullability/NaN
+    /// proofs the lowering derived from schema and catalog statistics.
+    /// Empty when `ExecOptions::typed_kernels` is off (boxed execution
+    /// only). The analyzer's typeflow pass re-derives every claim and
+    /// flags any it cannot prove as `TRAC023`.
+    pub cert: KernelCert,
 }
 
 impl PhysicalPlan {
@@ -559,7 +583,7 @@ impl PhysicalPlan {
     /// analyzer.
     pub fn render_annotated(&self, annotate: &dyn Fn(&PlanNode) -> Option<String>) -> String {
         let mut out = String::new();
-        render_node(&self.root, 0, annotate, &mut out);
+        render_node(&self.root, 0, &self.cert, annotate, &mut out);
         out.pop(); // trailing newline
         out
     }
@@ -598,30 +622,38 @@ impl PhysicalPlan {
 fn render_node(
     node: &PlanNode,
     depth: usize,
+    cert: &KernelCert,
     annotate: &dyn Fn(&PlanNode) -> Option<String>,
     out: &mut String,
 ) {
     for _ in 0..depth {
         out.push_str("  ");
     }
+    let mut line = node.describe();
+    // Typed-kernel certificate marker on the operator that reads the
+    // certified table, e.g. `[typed:text,int?]`.
+    if let Some(marker) = node.leaf_pos().and_then(|pos| cert.marker(pos)) {
+        line.push(' ');
+        line.push_str(&marker);
+    }
     match annotate(node) {
         Some(note) => {
-            let _ = writeln!(out, "{} -- {note}", node.describe());
+            let _ = writeln!(out, "{line} -- {note}");
         }
         None => {
-            let _ = writeln!(out, "{}", node.describe());
+            let _ = writeln!(out, "{line}");
         }
     }
     match node {
         // Joins render the outer subtree first, then the inner side.
         PlanNode::NLJoin { outer, inner, .. } | PlanNode::HashJoin { outer, inner, .. } => {
-            render_node(outer, depth + 1, annotate, out);
-            render_node(inner, depth + 1, annotate, out);
+            render_node(outer, depth + 1, cert, annotate, out);
+            render_node(inner, depth + 1, cert, annotate, out);
         }
-        PlanNode::IndexNLJoin { outer, .. } => render_node(outer, depth + 1, annotate, out),
+        PlanNode::IndexNLJoin { outer, .. } => render_node(outer, depth + 1, cert, annotate, out),
         other => {
             for child in other.children() {
-                render_node(child, depth + 1, annotate, out);
+                render_node(child, depth + 1, cert, annotate, out);
             }
         }
     }

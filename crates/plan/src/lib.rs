@@ -50,3 +50,4 @@ pub use access::{
 };
 pub use ir::{PhysicalPlan, PlanNode};
 pub use lower::{equi_key, plan_select, split_and};
+pub use trac_expr::{KernelCert, LaneCert};

@@ -28,9 +28,12 @@ use crate::cost::{join_rows, TableCost};
 use crate::ir::{PhysicalPlan, PlanNode};
 use std::collections::BTreeSet;
 use trac_expr::bound::AggFunc;
-use trac_expr::{eval_predicate, BoundExpr, BoundSelect, BoundTable, ColRef, Projection, Truth};
+use trac_expr::{
+    eval_predicate, BoundExpr, BoundSelect, BoundTable, ColRef, KernelCert, LaneCert, Projection,
+    Truth,
+};
 use trac_sql::BinaryOp;
-use trac_storage::ReadTxn;
+use trac_storage::{ColumnStats, ReadTxn};
 use trac_types::{DataType, Result};
 
 /// Splits nested `AND`s into a conjunct list.
@@ -106,6 +109,54 @@ fn make_leaf(
     }
 }
 
+/// Derives the typed-kernel certificate for every lane of `q`'s FROM
+/// tables from the schema and the write-time catalog statistics:
+///
+/// * `ty` — the declared column type; mono-typed by construction, since
+///   write-time coercion widens every stored value to it.
+/// * `non_null` — declared `NOT NULL`, or a write-time null count of
+///   zero (the counter only increments, so zero proves no NULL was ever
+///   inserted).
+/// * `nan_free` — trivially true for non-floats; for floats, proven by
+///   NaN-free catalog min/max bounds (the storage total order forces
+///   any inserted NaN into one of the bounds, which never shrink).
+///
+/// Missing statistics mean the table never saw an insert, so both stats
+/// proofs hold vacuously. The analyzer's typeflow pass re-derives all
+/// of this and reports `TRAC023` for any claim it cannot prove.
+fn compute_kernel_cert(txn: &ReadTxn, q: &BoundSelect) -> KernelCert {
+    let mut cert = KernelCert::default();
+    for (pos, bt) in q.tables.iter().enumerate() {
+        let stats = txn.table_stats(bt.id);
+        for (col, def) in bt.schema.columns.iter().enumerate() {
+            let cs = stats.column(col);
+            cert.insert(
+                pos,
+                col,
+                LaneCert {
+                    ty: def.ty,
+                    non_null: !def.nullable || cs.is_none_or(ColumnStats::proves_non_null),
+                    nan_free: def.ty != DataType::Float
+                        || cs.is_none_or(ColumnStats::proves_nan_free),
+                },
+            );
+        }
+    }
+    cert
+}
+
+/// True when SQL comparison (`sql_cmp`, NaN incomparable) and the
+/// index's storage total order (`total_cmp`) agree on `column`: any
+/// non-float type, or a float column whose catalog statistics prove it
+/// NaN-free (TRAC026) — without NaNs the two orders coincide.
+fn index_order_is_sql_order(txn: &ReadTxn, bt: &BoundTable, column: usize) -> bool {
+    bt.schema.column(column).ty != DataType::Float
+        || txn
+            .table_stats(bt.id)
+            .column(column)
+            .is_none_or(ColumnStats::proves_nan_free)
+}
+
 /// Tries to lower `q` to a certified fast-path plan. Only single-table
 /// queries qualify; every side condition checked here is re-derived by
 /// the analyzer's fast-path soundness pass (TRAC021/TRAC022).
@@ -114,6 +165,7 @@ fn try_fast_path(
     q: &BoundSelect,
     pending: &[BoundExpr],
     tc: &TableCost,
+    opts: ExecOptions,
 ) -> Option<PhysicalPlan> {
     let [bt] = q.tables.as_slice() else {
         return None;
@@ -139,17 +191,18 @@ fn try_fast_path(
                             cost: 1,
                         },
                         columns,
+                        cert: KernelCert::default(),
                     });
                 }
-                // MIN/MAX(col) over an indexed non-float column: the
-                // first visible entry of the ordered index walk. Float
-                // is excluded because SQL comparison and the index's
-                // `Value` order may disagree on it; both orders skip
-                // NULLs, so nullable columns are fine here.
+                // MIN/MAX(col) over an indexed column whose index order
+                // agrees with SQL comparison: any non-float column, or
+                // a float column the catalog statistics prove NaN-free
+                // (TRAC026). Both orders skip NULLs, so nullable
+                // columns are fine here.
                 (AggFunc::Min | AggFunc::Max, Some(BoundExpr::Column(cr)))
                     if cr.table == 0
                         && txn.has_index(bt.id, cr.column)
-                        && bt.schema.column(cr.column).ty != DataType::Float =>
+                        && index_order_is_sql_order(txn, bt, cr.column) =>
                 {
                     return Some(PhysicalPlan {
                         root: PlanNode::IndexMinMax {
@@ -161,6 +214,7 @@ fn try_fast_path(
                             cost: 1,
                         },
                         columns,
+                        cert: KernelCert::default(),
                     });
                 }
                 _ => {}
@@ -172,13 +226,23 @@ fn try_fast_path(
     // index walk. The column must be declared NOT NULL — the index
     // never stores NULL keys, so a nullable column would drop rows the
     // real sort keeps. (The guarantee comes from the schema, never from
-    // the mutable statistics.)
+    // the mutable statistics.) Byte-identity additionally needs the
+    // replaced pipeline to read in slot order: index postings within
+    // one key are in insertion (slot) order, exactly the stable sort's
+    // tie order over a slot-order scan — but a general plan that would
+    // *probe* an index streams rows in key order, so ties could resolve
+    // differently. Decline the walk whenever the cost model would pick
+    // a probe (which is then also the cheaper general plan).
     if !q.is_aggregate() && !q.distinct {
         if let (Some(n), [(BoundExpr::Column(cr), desc)]) = (q.limit, q.order_by.as_slice()) {
             if n >= 1
                 && cr.table == 0
                 && txn.has_index(bt.id, cr.column)
                 && !bt.schema.column(cr.column).nullable
+                && matches!(
+                    choose_access_path(txn, bt.id, 0, pending, opts),
+                    AccessPath::SeqScan
+                )
             {
                 let filter = pending.to_vec();
                 let filtered = tc.filtered_rows(&filter, 0);
@@ -209,6 +273,7 @@ fn try_fast_path(
                         n,
                     },
                     columns,
+                    cert: KernelCert::default(),
                 });
             }
         }
@@ -284,11 +349,19 @@ pub fn plan_select(txn: &ReadTxn, q: &BoundSelect, opts: ExecOptions) -> Result<
         .iter()
         .map(|bt| TableCost::new(txn, bt.id))
         .collect();
+    // Typeflow kernel certificate: derived once per plan so the knob
+    // changes the lowered artifact (plan caches must key on it).
+    let cert = if opts.typed_kernels {
+        compute_kernel_cert(txn, q)
+    } else {
+        KernelCert::default()
+    };
     // 3. Fast paths: single-table shapes with a certified shortcut skip
     // the general pipeline (and its parallel decoration) entirely.
     if opts.fast_paths && !trivially_empty {
         if let Some(first) = costs.first() {
-            if let Some(plan) = try_fast_path(txn, q, &remaining, first) {
+            if let Some(mut plan) = try_fast_path(txn, q, &remaining, first, opts) {
+                plan.cert = cert;
                 return Ok(plan);
             }
         }
@@ -478,7 +551,11 @@ pub fn plan_select(txn: &ReadTxn, q: &BoundSelect, opts: ExecOptions) -> Result<
         }
         root
     };
-    Ok(PhysicalPlan { root, columns })
+    Ok(PhysicalPlan {
+        root,
+        columns,
+        cert,
+    })
 }
 
 #[cfg(test)]
@@ -776,6 +853,73 @@ mod tests {
             ExecOptions::default(),
         );
         assert!(matches!(p.root, PlanNode::Aggregate { .. }));
+    }
+
+    #[test]
+    fn min_max_fast_path_admits_nan_free_floats() {
+        let db = setup();
+        db.create_table(
+            TableSchema::new(
+                "m",
+                vec![
+                    ColumnDef::new("sid", DataType::Text),
+                    ColumnDef::new("temp", DataType::Float).nullable(),
+                ],
+                Some("sid"),
+            )
+            .unwrap(),
+        )
+        .unwrap();
+        db.create_index("m", "temp").unwrap();
+        let tid = db.begin_read().table_id("m").unwrap();
+        db.with_write(|w| {
+            w.insert(tid, vec![Value::text("s1"), Value::Float(2.5)])?;
+            w.insert(tid, vec![Value::text("s2"), Value::Float(-1.0)])
+        })
+        .unwrap();
+        // Stats prove the float lane NaN-free: TRAC026 admits the walk.
+        let sql = "SELECT MIN(temp) AS lo FROM m";
+        let p = plan(&db, sql, ExecOptions::default());
+        assert!(
+            matches!(p.root, PlanNode::IndexMinMax { .. }),
+            "expected IndexMinMax for NaN-free float: {:?}",
+            p.root
+        );
+        // A NaN insert poisons the proof permanently: general pipeline.
+        db.with_write(|w| w.insert(tid, vec![Value::text("s3"), Value::Float(f64::NAN)]))
+            .unwrap();
+        let p = plan(&db, sql, ExecOptions::default());
+        assert!(
+            matches!(p.root, PlanNode::Aggregate { .. }),
+            "expected Aggregate once NaN observed: {:?}",
+            p.root
+        );
+    }
+
+    #[test]
+    fn lowering_attaches_kernel_certificates() {
+        let db = setup();
+        let sql = "SELECT value FROM activity WHERE mach_id = 'm1'";
+        let p = plan(&db, sql, ExecOptions::default());
+        // Both TEXT lanes of `activity` are certified; the schema
+        // declares them NOT NULL, so no null bitmap is needed.
+        let lane = p.cert.get(0, 0).expect("lane (0,0) certified");
+        assert_eq!(lane.ty, DataType::Text);
+        assert!(lane.non_null && lane.nan_free);
+        assert_eq!(p.cert.len(), 2);
+        assert!(
+            p.render().contains("[typed:text,text]"),
+            "missing EXPLAIN marker: {}",
+            p.render()
+        );
+        // The knob strips the certificate (boxed reference execution).
+        let off = ExecOptions {
+            typed_kernels: false,
+            ..Default::default()
+        };
+        let p = plan(&db, sql, off);
+        assert!(p.cert.is_empty());
+        assert!(!p.render().contains("[typed:"), "{}", p.render());
     }
 
     #[test]

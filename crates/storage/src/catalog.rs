@@ -113,6 +113,28 @@ impl ColumnStats {
         }
         self.sketch.estimate().clamp(1, rows)
     }
+
+    /// Proof that no NULL was ever inserted into this column.
+    ///
+    /// Sound because `nulls` only ever increments (deletes and aborts
+    /// never decrement it), so a zero count means the column has never
+    /// seen a NULL — a visible NULL without an insert is impossible.
+    pub fn proves_non_null(&self) -> bool {
+        self.nulls == 0
+    }
+
+    /// Proof that no NaN was ever inserted into this column.
+    ///
+    /// `min`/`max` widen under the storage total order
+    /// ([`Value::cmp`], which uses `f64::total_cmp`), where negative
+    /// NaNs sort below `-inf` and positive NaNs above `+inf`. Any
+    /// inserted NaN therefore necessarily becomes `min` or `max`, and
+    /// the bounds never shrink — so NaN-free extremes prove the whole
+    /// insert history was NaN-free.
+    pub fn proves_nan_free(&self) -> bool {
+        let nan = |v: &Option<Value>| matches!(v, Some(Value::Float(f)) if f.is_nan());
+        !nan(&self.min) && !nan(&self.max)
+    }
 }
 
 /// Planner statistics for one table.
@@ -364,6 +386,26 @@ mod tests {
         // Deletes never shrink min/max or the sketch.
         assert_eq!(c1.min, Some(Value::text("x")));
         assert_eq!(c1.max, Some(Value::text("y")));
+    }
+
+    #[test]
+    fn stats_prove_null_and_nan_freedom() {
+        let mut s = TableStats::default();
+        s.observe_insert(&[Value::Float(1.5)], 1);
+        assert!(s.column(0).unwrap().proves_non_null());
+        assert!(s.column(0).unwrap().proves_nan_free());
+        // A positive NaN surfaces as `max` under the storage order.
+        s.observe_insert(&[Value::Float(f64::NAN)], 2);
+        assert!(!s.column(0).unwrap().proves_nan_free());
+        // A negative NaN surfaces as `min`.
+        let mut s2 = TableStats::default();
+        s2.observe_insert(&[Value::Float(2.0)], 1);
+        s2.observe_insert(&[Value::Float(-f64::NAN)], 2);
+        assert!(!s2.column(0).unwrap().proves_nan_free());
+        // NULLs are counted forever: the proof never un-learns.
+        s2.observe_insert(&[Value::Null], 3);
+        s2.observe_delete(4);
+        assert!(!s2.column(0).unwrap().proves_non_null());
     }
 
     #[test]

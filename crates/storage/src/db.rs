@@ -87,8 +87,10 @@ impl Database {
                 heartbeat_epoch: AtomicU64::new(0),
             }),
         };
+        // PANIC-OK: static bootstrap at Db::new, before any query exists.
         db.create_table(heartbeat::heartbeat_schema())
             .expect("bootstrap heartbeat table");
+        // PANIC-OK: static bootstrap at Db::new, before any query exists.
         db.create_index(HEARTBEAT_TABLE, heartbeat::HEARTBEAT_SID_COL)
             .expect("bootstrap heartbeat index");
         db
@@ -185,10 +187,14 @@ impl Database {
             table: tid,
             column: col,
         })?;
-        let store = inner.stores[tid.0].as_mut().unwrap();
+        let store = inner.stores[tid.0]
+            .as_mut()
+            .ok_or_else(|| TracError::Storage(format!("table {table} has no backing store")))?;
         let mut index = Index::new(col);
         for slot in 0..store.table.version_count() {
-            let v = store.table.version(RowSlot(slot)).unwrap();
+            let v = store.table.version(RowSlot(slot)).ok_or_else(|| {
+                TracError::Storage(format!("table {table} lost version slot {slot} mid-build"))
+            })?;
             index.insert(&v.values[col], RowSlot(slot));
         }
         store.indexes.push(index);

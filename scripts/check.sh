@@ -50,13 +50,15 @@ cargo run --release -q -p trac-bench --bin bench_schema -- \
   || { echo "bench JSON schema diverged from scripts/bench_schema.json"; exit 1; }
 rm -rf "$BENCH_SMOKE_DIR"
 
-echo "==> trac-analyze (soundness audit of sample workloads, incl. planned recency subqueries)"
-cargo run --release -p trac-analyze --bin trac-analyze
+echo "==> trac-analyze --typeflow (soundness audit of sample workloads, incl. planned recency subqueries)"
+cargo run --release -p trac-analyze --bin trac-analyze -- --typeflow
 
-echo "==> trac-analyze --format json (diagnostic sweep vs committed baseline)"
+echo "==> trac-analyze --typeflow --format json (diagnostic sweep vs committed baseline)"
 # Any new diagnostic — even a note — must be acknowledged by updating the
 # baseline, so silent regressions in the certified sweep cannot land.
-cargo run --release -q -p trac-analyze --bin trac-analyze -- --format json \
+# --typeflow folds the lane-certificate proofs (TRAC023-026) into each
+# query's diagnostics and appends the panic-path audit (TRAC027).
+cargo run --release -q -p trac-analyze --bin trac-analyze -- --typeflow --format json \
   | diff -u scripts/analyzer_baseline.json - \
   || { echo "analyzer sweep diverged from scripts/analyzer_baseline.json"; exit 1; }
 

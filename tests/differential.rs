@@ -21,6 +21,13 @@
 //! — because `Gather` merges morsel outputs in morsel-index order; this
 //! covers ordered plans (where byte-identity is semantically required)
 //! and exceeds the multiset requirement for unordered ones.
+//!
+//! Two typed-kernel arms close the loop on the lane certificates: the
+//! main workload re-runs with `typed_kernels: false` (the boxed `Value`
+//! path as byte-level reference over NULL-heavy INT columns), and a
+//! dedicated float workload feeds a nullable FLOAT column NULLs *and*
+//! NaN — which has no SQL literal and enters through the storage write
+//! path, exactly as a malformed distributed source would deliver it.
 
 use proptest::prelude::*;
 use trac::exec::{execute_select, execute_select_with, execute_statement};
@@ -290,6 +297,23 @@ proptest! {
             "columnar engine diverges from the scalar reference for {}",
             &sql
         );
+        // Typed-kernel differential: disabling the lane certificates
+        // forces every filter, join, and aggregate through the boxed
+        // `Value` reference path; the unboxed `IntVec`/`TextVec` kernels
+        // the certificates admit must be byte-identical. The `n`/`m`
+        // columns are NULL-heavy (one cell value in five encodes NULL),
+        // so this arm leans on the certified null bitmaps (TRAC025).
+        let boxed_opts = trac::plan::ExecOptions {
+            typed_kernels: false,
+            ..Default::default()
+        };
+        let boxed = execute_select_with(&txn, &bound, boxed_opts).unwrap().0.rows;
+        prop_assert_eq!(
+            &serial,
+            &boxed,
+            "typed kernels diverge from the boxed reference for {}",
+            &sql
+        );
         // Fast-path differential: disabling the certified shortcuts must
         // not change a single byte — the shortcut and the general
         // pipeline share tie order (index postings keep insertion order
@@ -415,5 +439,134 @@ proptest! {
         prop_assert_eq!(&uncached, &serial, "uncached path diverges for {}", &sql);
         let stats = session.plan_cache_stats();
         prop_assert!(stats.hits >= 1, "second report must hit the plan cache");
+    }
+}
+
+/// Cells for the float column `x`: finite values with a deliberate
+/// duplicate (2.5 twice, so extremes tie and equality predicates hit
+/// more than one row), NULL, and NaN. NaN has no SQL literal — it can
+/// only enter through the storage write path, exactly as a malformed
+/// distributed source feed would deliver it.
+fn float_cell(c: usize) -> Value {
+    match c {
+        0 => Value::Float(-1.5),
+        1 => Value::Float(0.0),
+        2 | 3 => Value::Float(2.5),
+        4 => Value::Null,
+        _ => Value::Float(f64::NAN),
+    }
+}
+
+fn float_setup(rows: &[(usize, usize, usize)]) -> Database {
+    let db = Database::new();
+    execute_statement(
+        &db,
+        "CREATE TABLE f (s TEXT NOT NULL, x FLOAT, n INT) SOURCE COLUMN s",
+    )
+    .unwrap();
+    execute_statement(&db, "CREATE INDEX fs ON f (s)").unwrap();
+    execute_statement(&db, "CREATE INDEX fx ON f (x)").unwrap();
+    let tid = db.begin_read().table_id("f").unwrap();
+    db.with_write(|w| {
+        for &(s, x, n) in rows {
+            let n_cell = if n == 4 {
+                Value::Null
+            } else {
+                Value::Int(i64::try_from(n).unwrap())
+            };
+            w.insert(tid, vec![Value::text(SIDS[s]), float_cell(x), n_cell])?;
+        }
+        Ok(())
+    })
+    .unwrap();
+    db
+}
+
+/// Single-table queries over the float fixture: comparison and
+/// null-test predicates on `x`, plus scalar projections and the full
+/// aggregate family (`MIN`/`MAX`/`SUM`/`AVG` over the float lane).
+fn float_query() -> BoxedStrategy<String> {
+    const COLS: [&str; 3] = ["s", "x", "n"];
+    let cmp = (
+        prop_oneof![Just("<"), Just("<="), Just("="), Just(">="), Just(">")],
+        prop_oneof![Just("-1.5"), Just("0.0"), Just("2.5"), Just("3.25")],
+    )
+        .prop_map(|(op, k)| format!("x {op} {k}"));
+    let atoms = prop_oneof![
+        (0..4usize).prop_map(|s| format!("s = '{}'", SIDS[s])),
+        cmp,
+        any::<bool>().prop_map(|not| format!("x IS {}NULL", if not { "NOT " } else { "" })),
+        (0..4i64).prop_map(|k| format!("n < {k}")),
+    ]
+    .boxed();
+    let head = prop_oneof![
+        prop_oneof![
+            Just("COUNT(*)"),
+            Just("MIN(x)"),
+            Just("MAX(x)"),
+            Just("SUM(x)"),
+            Just("AVG(x)"),
+            Just("MIN(n)"),
+            Just("SUM(n)"),
+        ]
+        .prop_map(|agg| format!("SELECT {agg}")),
+        (
+            proptest::sample::subsequence(COLS.to_vec(), 0..=3),
+            any::<bool>(),
+        )
+            .prop_map(|(picked, distinct)| shape_query(&COLS, picked, false, distinct)),
+    ];
+    (pred_strategy(atoms), head)
+        .prop_map(|(pred, head)| format!("{head} FROM f WHERE {pred}"))
+        .boxed()
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig { cases: 64, ..ProptestConfig::default() })]
+
+    /// Typed-kernel differential over float data the main fixture cannot
+    /// express: a nullable FLOAT column carrying NULLs *and* NaN. The
+    /// default engine (typed kernels enabled) must be byte-identical to
+    /// the boxed `Value` reference (`typed_kernels: false`), to the
+    /// row-at-a-time scalar engine, and to the general pipeline with the
+    /// certified shortcuts disabled — the last arm exercising the
+    /// TRAC026 gate: `MIN(x)`/`MAX(x)` may take the index walk only when
+    /// the catalog proves the lane NaN-free, so NaN-bearing instances
+    /// must fall back without changing a byte. `Value` equality is the
+    /// IEEE total order, so NaN outputs compare equal when both engines
+    /// produce them.
+    #[test]
+    fn typed_kernels_match_boxed_reference_on_float_data(
+        rows in proptest::collection::vec((0..4usize, 0..6usize, 0..5usize), 0..10),
+        sql in float_query(),
+    ) {
+        let db = float_setup(&rows);
+        let txn = db.begin_read();
+        let bound = bind_select(&txn, &parse_select(&sql).unwrap()).unwrap();
+        let serial = execute_select(&txn, &bound).unwrap().rows;
+        let arms = [
+            (
+                trac::plan::ExecOptions { typed_kernels: false, ..Default::default() },
+                "boxed value reference",
+            ),
+            (
+                trac::plan::ExecOptions { columnar: false, ..Default::default() },
+                "scalar engine",
+            ),
+            (
+                trac::plan::ExecOptions { fast_paths: false, ..Default::default() },
+                "general pipeline",
+            ),
+        ];
+        for (opts, engine) in arms {
+            let got = execute_select_with(&txn, &bound, opts).unwrap().0.rows;
+            prop_assert_eq!(
+                &serial,
+                &got,
+                "{} diverges from the typed kernels for {}",
+                engine,
+                &sql
+            );
+        }
     }
 }

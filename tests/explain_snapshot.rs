@@ -2,12 +2,16 @@
 //! fast-path demonstration queries.
 //!
 //! Every operator line carries its estimated cardinality and abstract
-//! cost (`(est N rows, cost M)`), and the four certified fast paths
-//! announce themselves with a `[fast-path: ...]` marker.  The snapshot
-//! keeps both annotations honest: a cost-model change that silently
-//! reroutes a workload query, or a guard change that stops a fast path
-//! from firing, shows up as a diff here before it shows up in a perf
-//! regression.
+//! cost (`(est N rows, cost M)`), the four certified fast paths
+//! announce themselves with a `[fast-path: ...]` marker, and every
+//! table-reading leaf renders its typed-kernel lane certificate as
+//! `[typed:...]` (one lowercase type per lane; `?` marks a
+//! possibly-NULL lane, `~` a float lane whose catalog bounds admit
+//! NaN).  The snapshot keeps all three annotations honest: a
+//! cost-model change that silently reroutes a workload query, a guard
+//! change that stops a fast path from firing, or a certificate
+//! derivation change that strips an unboxed-kernel license shows up
+//! as a diff here before it shows up in a perf regression.
 
 use trac::expr::bind_select;
 use trac::plan::{plan_select, ExecOptions};
@@ -67,57 +71,57 @@ fn actual_snapshot() -> String {
 /// and copying the printed actual output, then reviewing the diff.
 const EXPECTED: &str = r"paper/Q1:
 Project (mach_id)
-  IndexLookup Activity [IndexProbe(col#0, 2 keys)] [fast-path: in-list probe] filter: 2 conjuncts (est 1 rows, cost 2)
+  IndexLookup Activity [IndexProbe(col#0, 2 keys)] [fast-path: in-list probe] filter: 2 conjuncts (est 1 rows, cost 2) [typed:text,text,timestamp]
 paper/Q2:
 Project (mach_id)
-  IndexNLJoin A (col#0) filter: 2 conjuncts (est 1 rows, cost 3)
-    IndexLookup R [IndexProbe(col#0, 1 keys)] filter: 1 conjuncts (est 1 rows, cost 1)
+  IndexNLJoin A (col#0) filter: 2 conjuncts (est 1 rows, cost 3) [typed:text,text,timestamp]
+    IndexLookup R [IndexProbe(col#0, 1 keys)] filter: 1 conjuncts (est 1 rows, cost 1) [typed:text,text,timestamp]
 paper/quickstart:
 Project (mach_id, value)
-  Scan A [SeqScan] filter: 1 conjuncts (est 2 rows, cost 3)
+  Scan A [SeqScan] filter: 1 conjuncts (est 2 rows, cost 3) [typed:text,text,timestamp]
 paper/ordered:
 Project (mach_id)
   Sort (1 keys)
-    Scan Activity [SeqScan] filter: 1 conjuncts (est 2 rows, cost 3)
+    Scan Activity [SeqScan] filter: 1 conjuncts (est 2 rows, cost 3) [typed:text,text,timestamp]
 paper/unfiltered:
 Project (mach_id)
-  Scan Activity [SeqScan] (est 3 rows, cost 3)
+  Scan Activity [SeqScan] (est 3 rows, cost 3) [typed:text,text,timestamp]
 paper/refined:
 Project (mach_id)
-  Scan Activity [SeqScan] filter: 2 conjuncts (est 2 rows, cost 3)
+  Scan Activity [SeqScan] filter: 2 conjuncts (est 2 rows, cost 3) [typed:text,text,timestamp]
 fastpath/count:
-CountStar Activity AS count [fast-path: storage row count] (est 3 rows, cost 1)
+CountStar Activity AS count [fast-path: storage row count] (est 3 rows, cost 1) [typed:text,text,timestamp]
 fastpath/min:
-IndexMinMax Activity.col#0 (Min) AS min [fast-path: ordered index probe] (est 1 rows, cost 1)
+IndexMinMax Activity.col#0 (Min) AS min [fast-path: ordered index probe] (est 1 rows, cost 1) [typed:text,text,timestamp]
 fastpath/topn:
 Limit (2)
   Project (mach_id)
-    TopNIndex Activity (col#0 desc, first 2) [fast-path: ordered index walk] (est 2 rows, cost 2)
+    TopNIndex Activity (col#0 desc, first 2) [fast-path: ordered index walk] (est 2 rows, cost 2) [typed:text,text,timestamp]
 fastpath/inlist:
 Project (value)
-  IndexLookup Activity [IndexProbe(col#0, 2 keys)] [fast-path: in-list probe] filter: 1 conjuncts (est 2 rows, cost 2)
+  IndexLookup Activity [IndexProbe(col#0, 2 keys)] [fast-path: in-list probe] filter: 1 conjuncts (est 2 rows, cost 2) [typed:text,text,timestamp]
 section42/Q3:
 Project (runningMachineId)
-  IndexLookup R [IndexProbe(col#1, 1 keys)] filter: 1 conjuncts (est 0 rows, cost 1)
+  IndexLookup R [IndexProbe(col#1, 1 keys)] filter: 1 conjuncts (est 0 rows, cost 1) [typed:text,int]
 section42/Q4:
 Project (runningMachineId)
   HashJoin(col#0) filter: 2 conjuncts (est 0 rows, cost 2)
-    IndexLookup S [IndexProbe(col#0, 1 keys)] filter: 2 conjuncts (est 0 rows, cost 1)
-    IndexLookup R [IndexProbe(col#1, 1 keys)] filter: 1 conjuncts (est 0 rows, cost 1)
+    IndexLookup S [IndexProbe(col#0, 1 keys)] filter: 2 conjuncts (est 0 rows, cost 1) [typed:text,int,text]
+    IndexLookup R [IndexProbe(col#1, 1 keys)] filter: 1 conjuncts (est 0 rows, cost 1) [typed:text,int]
 eval/Q1:
 Aggregate (0 keys, 1 projections)
-  IndexLookup A [IndexProbe(col#0, 6 keys)] [fast-path: in-list probe] filter: 2 conjuncts (est 60 rows, cost 120)
+  IndexLookup A [IndexProbe(col#0, 6 keys)] [fast-path: in-list probe] filter: 2 conjuncts (est 60 rows, cost 120) [typed:text,text,timestamp]
 eval/Q2:
 Aggregate (0 keys, 1 projections)
-  Scan A [SeqScan] filter: 2 conjuncts (est 100 rows, cost 200)
+  Scan A [SeqScan] filter: 2 conjuncts (est 100 rows, cost 200) [typed:text,text,timestamp]
 eval/Q3:
 Aggregate (0 keys, 1 projections)
-  IndexNLJoin A (col#0) filter: 2 conjuncts (est 120 rows, cost 132)
-    IndexLookup R [IndexProbe(col#0, 6 keys)] [fast-path: in-list probe] filter: 1 conjuncts (est 6 rows, cost 6)
+  IndexNLJoin A (col#0) filter: 2 conjuncts (est 120 rows, cost 132) [typed:text,text,timestamp]
+    IndexLookup R [IndexProbe(col#0, 6 keys)] [fast-path: in-list probe] filter: 1 conjuncts (est 6 rows, cost 6) [typed:text,text,timestamp]
 eval/Q4:
 Aggregate (0 keys, 1 projections)
-  IndexNLJoin A (col#0) filter: 2 conjuncts (est 200 rows, cost 220)
-    Scan R [SeqScan] filter: 1 conjuncts (est 10 rows, cost 10)";
+  IndexNLJoin A (col#0) filter: 2 conjuncts (est 200 rows, cost 220) [typed:text,text,timestamp]
+    Scan R [SeqScan] filter: 1 conjuncts (est 10 rows, cost 10) [typed:text,text,timestamp]";
 
 #[test]
 fn explain_snapshot_is_stable() {

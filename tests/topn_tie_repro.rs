@@ -1,4 +1,12 @@
-//! Scratch repro: TopNIndex fast path vs general Sort+Limit tie order.
+//! Regression: TopNIndex fast path vs general Sort+Limit tie order.
+//!
+//! When the residual filter carries an in-list probe candidate on
+//! another indexed column, the general plan streams rows in *key*
+//! order while the ordered index walk visits postings in *slot*
+//! order — the stable sort's ties then resolve differently. Lowering
+//! must decline the walk whenever the cost model would pick a probe
+//! (the analyzer re-derives the same obligation under `TRAC021`), so
+//! both plans here take the probe and return identical bytes.
 
 use trac::exec::{execute_select_with, execute_statement};
 use trac::expr::bind_select;
@@ -33,5 +41,8 @@ fn topn_fast_path_matches_general_plan_on_ties() {
     let (general, gen_info) = execute_select_with(&txn, &q, off).unwrap();
     eprintln!("fast plan: {fast_info:?}");
     eprintln!("general plan: {gen_info:?}");
-    assert_eq!(fast.rows, general.rows, "fast path diverged from general plan");
+    assert_eq!(
+        fast.rows, general.rows,
+        "fast path diverged from general plan"
+    );
 }
