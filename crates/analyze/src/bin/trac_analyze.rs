@@ -1,18 +1,21 @@
 //! `trac-analyze` — audit recency plans for soundness violations.
 //!
 //! ```text
-//! trac-analyze [--explain] [--validate] [--concurrency] [--typeflow]
-//!              [--verbose] [--format text|json] [--dnf-budget N]
+//! trac-analyze [--explain] [--validate] [--concurrency] [--maintenance]
+//!              [--typeflow] [--verbose] [--format text|json] [--dnf-budget N]
 //! ```
 //!
 //! Runs the analyzer passes over every sample workload (the paper
 //! fixture, the Section 4.2 fixture, and the Section 5.2 evaluation
 //! queries) plus the crate-level concurrency certification
-//! (`TRAC016`..`TRAC020`), and renders any findings in compiler style,
-//! or as a JSON report with `--format json`. `--concurrency` restricts
-//! the run to the concurrency certification alone; `--typeflow` adds
-//! the typeflow certifier (`TRAC023`..`TRAC026`) to every query and
-//! the crate-level panic-path audit (`TRAC027`).
+//! (`TRAC016`..`TRAC020`) and the crate-level delta-maintenance
+//! certification (`TRAC028`..`TRAC030`), and renders any findings in
+//! compiler style, or as a JSON report with `--format json`.
+//! `--concurrency` restricts the run to the concurrency certification
+//! alone; `--maintenance` restricts it to the delta-maintenance
+//! certification alone; `--typeflow` adds the typeflow certifier
+//! (`TRAC023`..`TRAC026`) to every query and the crate-level panic-path
+//! audit (`TRAC027`).
 //!
 //! Exit codes: `0` — sound; `1` — at least one error-severity
 //! diagnostic (an unsound plan or audit); `2` — usage error; `3` — the
@@ -20,8 +23,8 @@
 
 use std::process::ExitCode;
 use trac_analyze::{
-    analyze_concurrency, analyze_panic_paths, analyze_samples, annotated_samples, AnalyzerConfig,
-    Severity, ALL_CODES,
+    analyze_concurrency, analyze_maintenance, analyze_panic_paths, analyze_samples,
+    annotated_samples, AnalyzerConfig, Severity, ALL_CODES,
 };
 
 /// The analyzer found at least one error-severity diagnostic.
@@ -31,13 +34,14 @@ const EXIT_INTERNAL: u8 = 3;
 
 fn usage() -> ! {
     eprintln!(
-        "usage: trac-analyze [--explain] [--validate] [--concurrency] [--typeflow] \
-         [--verbose] [--format text|json] [--dnf-budget N]\n\
+        "usage: trac-analyze [--explain] [--validate] [--concurrency] [--maintenance] \
+         [--typeflow] [--verbose] [--format text|json] [--dnf-budget N]\n\
          \n\
-         --explain       list all diagnostic codes (TRAC001..TRAC027) and exit\n\
+         --explain       list all diagnostic codes (TRAC001..TRAC030) and exit\n\
          --validate      print every sample plan annotated with certified\n\
          \u{20}                dataflow facts, then run the sweep\n\
          --concurrency   run only the concurrency certification (TRAC016..TRAC020)\n\
+         --maintenance   run only the delta-maintenance certification (TRAC028..TRAC030)\n\
          --typeflow      audit every plan's kernel certificate (TRAC023..TRAC026)\n\
          \u{20}                and run the panic-path audit (TRAC027)\n\
          --verbose       also print clean queries and non-error findings' renders\n\
@@ -71,6 +75,7 @@ fn main() -> ExitCode {
     let mut verbose = false;
     let mut validate = false;
     let mut concurrency_only = false;
+    let mut maintenance_only = false;
     let mut json = false;
     let mut args = std::env::args().skip(1);
     while let Some(arg) = args.next() {
@@ -83,6 +88,7 @@ fn main() -> ExitCode {
             }
             "--validate" => validate = true,
             "--concurrency" => concurrency_only = true,
+            "--maintenance" => maintenance_only = true,
             "--typeflow" => cfg.typeflow = true,
             "--verbose" | "-v" => verbose = true,
             "--format" => match args.next().as_deref() {
@@ -117,7 +123,7 @@ fn main() -> ExitCode {
         }
     }
 
-    let analyses = if concurrency_only {
+    let analyses = if concurrency_only || maintenance_only {
         Vec::new()
     } else {
         match analyze_samples(cfg) {
@@ -128,14 +134,29 @@ fn main() -> ExitCode {
             }
         }
     };
-    let concurrency = match analyze_concurrency() {
-        Ok(d) => d,
-        Err(e) => {
-            eprintln!("trac-analyze: concurrency certification failed: {e}");
-            return ExitCode::from(EXIT_INTERNAL);
+    let concurrency = if maintenance_only {
+        Vec::new()
+    } else {
+        match analyze_concurrency() {
+            Ok(d) => d,
+            Err(e) => {
+                eprintln!("trac-analyze: concurrency certification failed: {e}");
+                return ExitCode::from(EXIT_INTERNAL);
+            }
         }
     };
-    let panic_audit = if cfg.typeflow && !concurrency_only {
+    let maintenance = if concurrency_only {
+        Vec::new()
+    } else {
+        match analyze_maintenance() {
+            Ok(d) => d,
+            Err(e) => {
+                eprintln!("trac-analyze: maintenance certification failed: {e}");
+                return ExitCode::from(EXIT_INTERNAL);
+            }
+        }
+    };
+    let panic_audit = if cfg.typeflow && !concurrency_only && !maintenance_only {
         match analyze_panic_paths() {
             Ok(d) => d,
             Err(e) => {
@@ -172,7 +193,7 @@ fn main() -> ExitCode {
             );
         }
     }
-    for d in concurrency.iter().chain(&panic_audit) {
+    for d in concurrency.iter().chain(&maintenance).chain(&panic_audit) {
         count(d);
         if !json && (d.is_error() || verbose) {
             println!("{}", d.render());
@@ -227,6 +248,24 @@ fn main() -> ExitCode {
                 }
             ));
         }
+        // Crate-level delta-maintenance certification, same stable
+        // diagnostic shape.
+        out.push_str("],\n  \"maintenance\": [");
+        for (di, d) in maintenance.iter().enumerate() {
+            out.push_str(&format!(
+                "\n    {{\"code\": \"{}\", \"severity\": \"{}\", \
+                 \"context\": \"{}\", \"message\": \"{}\"}}{}",
+                json_escape(d.code.id),
+                json_escape(&d.severity.to_string()),
+                json_escape(&d.context),
+                json_escape(&d.message),
+                if di + 1 == maintenance.len() {
+                    "\n  "
+                } else {
+                    ","
+                }
+            ));
+        }
         // Crate-level panic-path audit (only populated under
         // `--typeflow`), same stable diagnostic shape.
         out.push_str("],\n  \"typeflow\": [");
@@ -252,11 +291,14 @@ fn main() -> ExitCode {
     } else {
         println!(
             "trac-analyze: {} quer{} checked, {} concurrency finding{}, \
+             {} maintenance finding{}, \
              {errors} error{}, {warnings} warning{}, {notes} note{}",
             analyses.len(),
             if analyses.len() == 1 { "y" } else { "ies" },
             concurrency.len(),
             if concurrency.len() == 1 { "" } else { "s" },
+            maintenance.len(),
+            if maintenance.len() == 1 { "" } else { "s" },
             if errors == 1 { "" } else { "s" },
             if warnings == 1 { "" } else { "s" },
             if notes == 1 { "" } else { "s" },

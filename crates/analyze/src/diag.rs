@@ -202,8 +202,8 @@ pub const PARTITION_KEY_UNSOUND: Code = Code {
 };
 
 /// Concurrency certifier (crate audit): a storage mutation path that can
-/// change recency-relevant state does not bump the heartbeat epoch that
-/// keys the prepared-plan cache — a stale cached plan could be served.
+/// change recency-relevant state does not bump the heartbeat epoch — the
+/// coarse freshness counter would silently under-report the write.
 pub const EPOCH_COVERAGE: Code = Code {
     id: "TRAC019",
     severity: Severity::Error,
@@ -286,8 +286,38 @@ pub const PANIC_PATH: Code = Code {
     summary: "unreviewed panic site on a query-reachable path",
 };
 
+/// Maintenance certifier (crate audit): the typed change stream does
+/// not cover a committed write path — a heartbeat upsert, tuple ingest
+/// or SQL DML reached the committed state without publishing a
+/// sequenced change event, so a delta-maintained report folding the
+/// stream could silently diverge from a rescan.
+pub const STREAM_COVERAGE: Code = Code {
+    id: "TRAC028",
+    severity: Severity::Error,
+    summary: "committed write path not covered by the typed change stream",
+};
+
+/// Maintenance certifier: a planned recency subquery carries a
+/// delta-fold maintenance license the analyzer cannot independently
+/// re-derive from the bound query — folding the change stream under
+/// that license could serve a report a rescan would not produce.
+pub const MAINTENANCE_UNSOUND: Code = Code {
+    id: "TRAC029",
+    severity: Severity::Error,
+    summary: "claimed delta-fold maintenance license not re-derivable",
+};
+
+/// Maintenance certifier: a recency subquery is licensed rescan-only —
+/// the forced-rescan fallback is recorded so repeated reports for it
+/// are served by re-running the subquery, never by folding deltas.
+pub const RESCAN_LICENSED: Code = Code {
+    id: "TRAC030",
+    severity: Severity::Note,
+    summary: "rescan-only maintenance license: forced-rescan fallback recorded",
+};
+
 /// All codes, for `--explain` listings and the docs table.
-pub const ALL_CODES: [Code; 27] = [
+pub const ALL_CODES: [Code; 30] = [
     PARTITION_VIOLATION,
     UNSOUND_MINIMUM,
     UNSAT_NONEMPTY,
@@ -315,6 +345,9 @@ pub const ALL_CODES: [Code; 27] = [
     NULLMASK_CERTIFIED,
     FLOAT_TOTAL_ORDER,
     PANIC_PATH,
+    STREAM_COVERAGE,
+    MAINTENANCE_UNSOUND,
+    RESCAN_LICENSED,
 ];
 
 /// A byte range into the SQL text under analysis.

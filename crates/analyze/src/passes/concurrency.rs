@@ -25,11 +25,11 @@
 //!   the dataflow facts (the same facts backing `TRAC011`).
 //! * **`TRAC019` epoch coverage** — every `crates/storage` mutation
 //!   path that can change recency-relevant state must bump the
-//!   heartbeat epoch that keys the prepared-plan cache
-//!   ([`trac_storage::epoch::audit`]).
+//!   heartbeat epoch, the coarse freshness counter backing the typed
+//!   change stream ([`trac_storage::epoch::audit`]).
 //! * **`TRAC020` lock order** — the instrumented acquisition graph
 //!   ([`trac_storage::lockorder`]) must respect the declared partial
-//!   order `PlanCache < DbData < TxnStamped < MorselSlot`.
+//!   order `PlanCache < DbData < TxnStamped < MorselSlot < ChangeLog`.
 //!
 //! Like every pass, the fine-grained check functions take the claimed
 //! artifact as an argument so tests can seed one violation and assert
@@ -125,8 +125,8 @@ pub fn check_epoch_observations(observations: &[Observation]) -> Vec<Diagnostic>
                 "crates/storage mutation audit",
                 format!(
                     "mutation path `{}` changes recency-relevant state without bumping the \
-                     heartbeat epoch; a prepared plan keyed on the stale epoch would be served \
-                     after the write",
+                     heartbeat epoch; the freshness counter would silently under-report the \
+                     write",
                     o.name
                 ),
             )

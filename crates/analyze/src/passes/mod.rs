@@ -9,6 +9,7 @@
 pub mod concurrency;
 pub mod fastpath;
 pub mod guarantee;
+pub mod maintain;
 pub mod panics;
 pub mod partition;
 pub mod refine;

@@ -11,7 +11,7 @@
 //! mangled shaping operator, a misplaced Exchange, an unordered merge,
 //! a forged lane certificate, an unreviewed panic site.
 
-use trac_analyze::passes::{concurrency, fastpath, panics, typeflow};
+use trac_analyze::passes::{concurrency, fastpath, maintain, panics, typeflow};
 use trac_analyze::validate_plan;
 use trac_expr::{bind_select, BoundExpr, BoundSelect};
 use trac_plan::{ExecOptions, PhysicalPlan, PlanNode};
@@ -948,6 +948,100 @@ fn unreviewed_panic_site_is_caught() {
         "#[cfg(test)]\nmod tests {\n    fn g() { x.unwrap(); }\n}\n",
     );
     assert!(test_only.iter().all(|s| !s.violates_discipline()));
+}
+
+/// Builds the production recency plan for `sql` over the paper fixture.
+fn recency_plan(sql: &str) -> trac_core::RecencyPlan {
+    let t = load_paper_tables().unwrap();
+    let txn = t.db.begin_read();
+    let q = bind(&txn, sql);
+    trac_core::RecencyPlan::build(&txn, &q, trac_core::RelevanceConfig::default()).unwrap()
+}
+
+#[test]
+fn silent_change_stream_path_is_caught() {
+    // A storage mutation path that commits without publishing its typed
+    // change event would let a delta-maintained report diverge from a
+    // rescan with no fold ever seeing the write (TRAC028).
+    let obs = [trac_storage::changelog::StreamObservation {
+        name: "seeded: heartbeat upsert skips publication",
+        expected: &["heartbeat-upsert"],
+        published: vec![],
+    }];
+    let codes: Vec<_> = maintain::check_stream_observations(&obs)
+        .iter()
+        .filter(|d| d.is_error())
+        .map(|d| d.code.id)
+        .collect();
+    assert_eq!(codes, ["TRAC028"]);
+}
+
+#[test]
+fn forged_maintenance_license_is_caught() {
+    // Upgrading a sid-equality subquery's claim to heartbeat-only would
+    // make the fold ignore witness-relation inserts that nominate new
+    // members (TRAC029); the pristine plan's claims must re-derive.
+    let mut plan = recency_plan(
+        "SELECT A.mach_id FROM Routing R, Activity A \
+         WHERE R.mach_id = 'm1' AND A.value = 'idle' AND R.neighbor = A.mach_id",
+    );
+    assert!(
+        maintain::run(&plan, "pre").iter().all(|d| !d.is_error()),
+        "pristine claims must re-derive"
+    );
+    let sub = plan
+        .subqueries
+        .iter_mut()
+        .find(|s| s.maintenance.kind() == "sid-equality")
+        .expect("join query must license a sid-equality fold");
+    sub.maintenance = trac_plan::MaintenanceLicense::HeartbeatOnly;
+    let codes: Vec<_> = maintain::run(&plan, "mut")
+        .iter()
+        .filter(|d| d.is_error())
+        .map(|d| d.code.id)
+        .collect();
+    assert!(codes.contains(&"TRAC029"), "got {codes:?}");
+}
+
+#[test]
+fn rescan_only_license_is_noted_with_its_reason() {
+    // Three relations in one disjunct put two on the witness side of
+    // every generated subquery — not locally decidable from an insert
+    // event, so the production classifier licenses rescan-only and the
+    // pass records the forced-rescan fallback (TRAC030, a note).
+    let plan = recency_plan(
+        "SELECT A.mach_id FROM Routing R, Activity A, Routing R2 \
+         WHERE R.neighbor = A.mach_id AND R2.mach_id = A.mach_id AND A.value = 'idle'",
+    );
+    let diags = maintain::run(&plan, "three-way");
+    assert!(
+        diags.iter().all(|d| !d.is_error()),
+        "rescan-only is sound, not an error: {diags:?}"
+    );
+    let note = diags
+        .iter()
+        .find(|d| d.code.id == "TRAC030")
+        .expect("rescan license must be recorded");
+    assert!(
+        note.message
+            .contains("witness side spans multiple relations"),
+        "{note:?}"
+    );
+}
+
+#[test]
+fn production_maintenance_audit_is_clean() {
+    // The committed change stream and every sample plan's license claims
+    // must pass their own certification, recording the three positive
+    // proofs (TRAC028 coverage, TRAC029 re-derivation, TRAC030 census).
+    let diags = trac_analyze::analyze_maintenance().unwrap();
+    assert!(diags.iter().all(|d| !d.is_error()), "{diags:?}");
+    for code in ["TRAC028", "TRAC029", "TRAC030"] {
+        assert!(
+            diags.iter().any(|d| d.code.id == code),
+            "a clean audit must record its {code} certification: {diags:?}"
+        );
+    }
 }
 
 #[test]

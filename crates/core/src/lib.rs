@@ -23,6 +23,7 @@
 
 #![warn(missing_docs)]
 
+pub mod maintained;
 pub mod metrics;
 pub mod oracle;
 pub mod relevance;
@@ -33,8 +34,9 @@ pub mod session;
 pub(crate) mod testutil;
 pub mod zscore;
 
+pub use maintained::{MaintainedReport, ServeKind};
 pub use metrics::{false_positive_rate, overhead};
 pub use relevance::{Guarantee, RecencyPlan, RecencySubquery, RelevanceConfig};
 pub use report::{RecencyReport, ReportConfig, StalenessSummary};
-pub use session::{Method, PlanCacheStats, ReportOutput, Session};
+pub use session::{MaintenanceStats, Method, PlanCacheStats, ReportOutput, Session};
 pub use zscore::{mean, population_std_dev, z_scores};

@@ -101,6 +101,10 @@ pub struct RecencySubquery {
     /// Theorem 3/4 conditions. The analyzer re-derives and certifies
     /// refined claims independently (TRAC014/TRAC015).
     pub refined: bool,
+    /// How this subquery participates in delta maintenance of a
+    /// prepared report (claimed at build time from the generated query
+    /// shape; the analyzer re-derives and certifies it — TRAC029).
+    pub maintenance: trac_plan::MaintenanceLicense,
 }
 
 /// A compiled recency plan for one user query.
@@ -265,6 +269,7 @@ fn build_subquery(
             plan: None,
             sql: "-- empty: relation has no data source column".into(),
             refined: false,
+            maintenance: trac_plan::MaintenanceLicense::ProvenEmpty,
         });
     }
     // Section 3.4's constraint-aware rewrite Q → Q': potential tuples of
@@ -303,6 +308,7 @@ fn build_subquery(
             plan: None,
             sql: "-- empty: selection predicates unsatisfiable".into(),
             refined: false,
+            maintenance: trac_plan::MaintenanceLicense::ProvenEmpty,
         });
     }
     // Theorem 3/4 minimality conditions, with a refinement fallback: when
@@ -376,6 +382,7 @@ fn build_subquery(
         limit: None,
     };
     let sql = render_sql(&query)?;
+    let maintenance = trac_plan::classify_maintenance(&query);
     Ok(RecencySubquery {
         disjunct: d_idx,
         via_relation,
@@ -384,6 +391,7 @@ fn build_subquery(
         plan: None,
         sql,
         refined,
+        maintenance,
     })
 }
 

@@ -14,9 +14,10 @@
 //!   *Focused (hardcoded)* variant isolating the analysis cost;
 //! * [`Method::Naive`] — report every data source in `Heartbeat`.
 
+use crate::maintained::{self, MaintainedReport, ServeKind};
 use crate::relevance::{Guarantee, RecencyPlan, RelevanceConfig};
 use crate::report::{RecencyReport, ReportConfig};
-use std::collections::{BTreeSet, HashMap};
+use std::collections::HashMap;
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::Mutex;
 use std::time::{Duration, Instant};
@@ -25,7 +26,7 @@ use trac_expr::{bind_select, BoundSelect};
 use trac_sql::parse_select;
 use trac_storage::lockorder::{self, LockId};
 use trac_storage::{heartbeat, ColumnDef, Database, ReadTxn, TableSchema, HEARTBEAT_TABLE};
-use trac_types::{DataType, Result, SourceId, Timestamp, TracError, Value};
+use trac_types::{DataType, Result, SourceId, Timestamp, Value};
 
 /// Which recency-reporting method to use.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -93,12 +94,16 @@ impl ReportOutput {
     }
 }
 
-/// A cached prepared recency plan, tagged with the heartbeat epoch and
-/// relevance config it was built under.
+/// A cached prepared recency plan, tagged with the relevance config it
+/// was built under, carrying the delta-maintained report state that
+/// makes repeated reports O(changes) instead of O(data).
 struct CachedPlan {
-    epoch: u64,
     config: RelevanceConfig,
     plan: RecencyPlan,
+    /// Delta-maintained state ([`MaintainedReport`]), present after the
+    /// first maintained report. `None` while a report has it checked
+    /// out for folding (or when maintenance is disabled).
+    maintained: Option<MaintainedReport>,
 }
 
 /// Prepared-plan cache key: the query shape plus the *complete*
@@ -142,15 +147,17 @@ pub struct Session {
     pub exec_options: ExecOptions,
     /// Prepared recency plans keyed by [`PlanKey`] (the raw SQL text
     /// plus the full [`ExecOptions`] they were prepared for),
-    /// invalidated by the heartbeat epoch: any heartbeat upsert bumps
-    /// the database epoch, and a mismatched epoch forces a rebuild.
-    /// This is conservative — plans only depend on schema and
-    /// predicates, not on heartbeat *values* — but heartbeat traffic is
-    /// the natural staleness clock TRAC already maintains, and a rebuild
-    /// is cheap relative to a wrong cached plan after DDL-ish change.
+    /// invalidated by a [`Self::relevance_config`] change. Heartbeat
+    /// writes no longer invalidate entries: plans depend only on schema
+    /// and predicates, and data freshness is carried by each entry's
+    /// delta-maintained [`MaintainedReport`] state, which folds the
+    /// typed change stream up to the serving snapshot on every report.
     plan_cache: Mutex<HashMap<PlanKey, CachedPlan>>,
     cache_hits: AtomicU64,
     cache_misses: AtomicU64,
+    maint_registrations: AtomicU64,
+    maint_delta_serves: AtomicU64,
+    maint_rescan_serves: AtomicU64,
 }
 
 /// Plan-cache hit/miss counters (see [`Session::plan_cache_stats`]).
@@ -160,6 +167,20 @@ pub struct PlanCacheStats {
     pub hits: u64,
     /// Reports that (re)built their plan.
     pub misses: u64,
+}
+
+/// Report-maintenance counters (see [`Session::maintenance_stats`]).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct MaintenanceStats {
+    /// Fresh registrations of delta-maintained state for a cache entry
+    /// (first maintained report per entry; each is a full rescan).
+    pub registrations: u64,
+    /// Reports whose relevance came from folding the change stream.
+    pub delta_serves: u64,
+    /// Reports served by a rescan while maintained state existed:
+    /// blocked fold, non-covering snapshot, or a non-foldable change
+    /// that forced the state to re-register in place.
+    pub rescan_serves: u64,
 }
 
 impl Session {
@@ -176,6 +197,9 @@ impl Session {
             plan_cache: Mutex::new(HashMap::new()),
             cache_hits: AtomicU64::new(0),
             cache_misses: AtomicU64::new(0),
+            maint_registrations: AtomicU64::new(0),
+            maint_delta_serves: AtomicU64::new(0),
+            maint_rescan_serves: AtomicU64::new(0),
         }
     }
 
@@ -211,14 +235,15 @@ impl Session {
                 let t0 = Instant::now();
                 let stmt = parse_select(sql)?;
                 let bound = bind_select(&txn, &stmt)?;
-                let plan = self.cached_or_build_plan(&txn, sql, &bound)?;
+                let key = PlanKey::new(sql, self.exec_options);
+                let plan = self.cached_or_build_plan(&txn, &key, &bound)?;
                 let analyze = t0.elapsed();
-                self.report_inner(&txn, &bound, Some(&plan), analyze)
+                self.report_inner(&txn, &bound, Some(&plan), analyze, Some(&key))
             }
             Method::Naive => {
                 let stmt = parse_select(sql)?;
                 let bound = bind_select(&txn, &stmt)?;
-                self.report_inner(&txn, &bound, None, Duration::ZERO)
+                self.report_inner(&txn, &bound, None, Duration::ZERO, None)
             }
         }
     }
@@ -229,7 +254,7 @@ impl Session {
         let txn = self.db.begin_read();
         let stmt = parse_select(sql)?;
         let bound = bind_select(&txn, &stmt)?;
-        self.report_inner(&txn, &bound, Some(plan), Duration::ZERO)
+        self.report_inner(&txn, &bound, Some(plan), Duration::ZERO, None)
     }
 
     /// Builds a recency plan for later reuse (outside any timing).
@@ -240,32 +265,31 @@ impl Session {
         RecencyPlan::build(&txn, &bound, self.relevance_config)
     }
 
-    /// Returns the prepared recency plan for `sql` from the session
-    /// cache when it was built under the snapshot's heartbeat epoch and
-    /// the current relevance config; otherwise builds and caches it.
+    /// Returns the prepared recency plan for `key` from the session
+    /// cache when it was built under the current relevance config;
+    /// otherwise builds and caches it. Heartbeat traffic does **not**
+    /// age entries out: data freshness is the maintained state's job,
+    /// folded per report, so a cached plan stays valid until its
+    /// relevance config changes.
     fn cached_or_build_plan(
         &self,
         txn: &ReadTxn,
-        sql: &str,
+        key: &PlanKey,
         bound: &BoundSelect,
     ) -> Result<RecencyPlan> {
-        // Schedule point: the epoch read plus cache probe is where a
-        // racing heartbeat write can make a cached plan stale. The
-        // interleaving explorer switches threads here to prove the
-        // epoch check rejects entries cached before an invalidating
-        // write (yields no-op outside an exploration).
+        // Schedule point: the cache probe races report folds and
+        // config changes; the interleaving explorer switches threads
+        // here (yields no-op outside an exploration).
         trac_exec::schedule::yield_point(trac_exec::schedule::Site::CacheRead);
-        let epoch = txn.heartbeat_epoch();
-        let key = PlanKey::new(sql, self.exec_options);
         {
             let _cache_order = lockorder::acquire(LockId::PlanCache);
             if let Some(hit) = self
                 .plan_cache
                 .lock()
                 .expect("plan cache poisoned")
-                .get(&key)
+                .get(key)
             {
-                if hit.epoch == epoch && hit.config == self.relevance_config {
+                if hit.config == self.relevance_config {
                     self.cache_hits.fetch_add(1, Ordering::Relaxed);
                     return Ok(hit.plan.clone());
                 }
@@ -275,21 +299,20 @@ impl Session {
         let plan = RecencyPlan::build(txn, bound, self.relevance_config)?;
         trac_exec::schedule::yield_point(trac_exec::schedule::Site::CacheWrite);
         let _cache_order = lockorder::acquire(LockId::PlanCache);
+        // Replacing an entry drops any maintained state with it: the
+        // state was registered for the *old* plan's subqueries.
         self.plan_cache.lock().expect("plan cache poisoned").insert(
-            key,
+            key.clone(),
             CachedPlan {
-                epoch,
                 config: self.relevance_config,
                 plan: plan.clone(),
+                maintained: None,
             },
         );
         Ok(plan)
     }
 
-    /// Plan-cache hit/miss counters since the session opened. The
-    /// interleaving explorer asserts on these: after an invalidating
-    /// heartbeat write, a report must *miss* (a hit would mean a stale
-    /// plan was served).
+    /// Plan-cache hit/miss counters since the session opened.
     pub fn plan_cache_stats(&self) -> PlanCacheStats {
         PlanCacheStats {
             hits: self.cache_hits.load(Ordering::Relaxed),
@@ -297,9 +320,23 @@ impl Session {
         }
     }
 
-    /// Drops every cached prepared recency plan. Plans also age out on
-    /// their own whenever the heartbeat epoch or [`Self::relevance_config`]
-    /// changes; this is only needed to reclaim memory eagerly.
+    /// Report-maintenance counters since the session opened. The
+    /// interleaving explorer and the differential suite assert on
+    /// these: a delta serve must be byte-identical to the rescan it
+    /// replaced, and writes racing a fold must degrade to rescans, not
+    /// to stale reports.
+    pub fn maintenance_stats(&self) -> MaintenanceStats {
+        MaintenanceStats {
+            registrations: self.maint_registrations.load(Ordering::Relaxed),
+            delta_serves: self.maint_delta_serves.load(Ordering::Relaxed),
+            rescan_serves: self.maint_rescan_serves.load(Ordering::Relaxed),
+        }
+    }
+
+    /// Drops every cached prepared recency plan together with its
+    /// delta-maintained report state. Plans also age out on their own
+    /// whenever [`Self::relevance_config`] changes; this is only needed
+    /// to reclaim memory eagerly.
     pub fn clear_plan_cache(&self) {
         let _cache_order = lockorder::acquire(LockId::PlanCache);
         self.plan_cache.lock().expect("plan cache poisoned").clear();
@@ -311,23 +348,22 @@ impl Session {
         bound: &BoundSelect,
         plan: Option<&RecencyPlan>,
         analyze: Duration,
+        cache_key: Option<&PlanKey>,
     ) -> Result<ReportOutput> {
         // 1. The user query, in the shared snapshot (already bound — the
         // SQL text is never re-parsed past this point).
         let t0 = Instant::now();
         let result = trac_exec::execute_select_with(txn, bound, self.exec_options)?.0;
         let user_query = t0.elapsed();
-        // 2. Relevant sources + their recency timestamps, same snapshot.
+        // 2. Relevant sources + their recency timestamps, same snapshot
+        // — folded from the change stream when maintained state exists.
         let t0 = Instant::now();
         let (pairs, guarantee, generated_sql) = match plan {
-            Some(plan) => {
-                let sids = plan.execute_with(txn, self.exec_options)?;
-                (
-                    fetch_recencies(txn, &sids)?,
-                    plan.guarantee,
-                    plan.generated_sql(),
-                )
-            }
+            Some(plan) => (
+                self.relevant_pairs(txn, plan, cache_key)?,
+                plan.guarantee,
+                plan.generated_sql(),
+            ),
             None => (
                 heartbeat::all_recencies(txn)?,
                 Guarantee::UpperBound,
@@ -357,6 +393,60 @@ impl Session {
                 stats,
             },
         })
+    }
+
+    /// Member `(source, recency)` pairs for a Focused report. With a
+    /// cache key and [`ExecOptions::maintain_reports`] on, the entry's
+    /// [`MaintainedReport`] is checked out of the plan cache, brought
+    /// up to `txn`'s snapshot by folding the change stream (or
+    /// registered on first use), and put back; the lock is never held
+    /// across the fold. Otherwise: a plain rescan.
+    fn relevant_pairs(
+        &self,
+        txn: &ReadTxn,
+        plan: &RecencyPlan,
+        cache_key: Option<&PlanKey>,
+    ) -> Result<Vec<(SourceId, Timestamp)>> {
+        let Some(key) = cache_key.filter(|_| self.exec_options.maintain_reports) else {
+            return maintained::rescan_pairs(txn, plan, self.exec_options);
+        };
+        let taken = {
+            let _cache_order = lockorder::acquire(LockId::PlanCache);
+            self.plan_cache
+                .lock()
+                .expect("plan cache poisoned")
+                .get_mut(key)
+                .and_then(|e| e.maintained.take())
+        };
+        let (state, pairs) = match taken {
+            Some(mut state) => {
+                let (pairs, kind) = state.refresh(txn, &self.db, plan, self.exec_options)?;
+                match kind {
+                    ServeKind::Delta => self.maint_delta_serves.fetch_add(1, Ordering::Relaxed),
+                    ServeKind::Rescan => self.maint_rescan_serves.fetch_add(1, Ordering::Relaxed),
+                };
+                (state, pairs)
+            }
+            None => {
+                let (state, pairs) =
+                    MaintainedReport::register(txn, &self.db, plan, self.exec_options)?;
+                self.maint_registrations.fetch_add(1, Ordering::Relaxed);
+                (state, pairs)
+            }
+        };
+        let _cache_order = lockorder::acquire(LockId::PlanCache);
+        if let Some(entry) = self
+            .plan_cache
+            .lock()
+            .expect("plan cache poisoned")
+            .get_mut(key)
+        {
+            // A concurrent report may have registered its own state
+            // while ours was checked out; keep whichever is in place
+            // (both are valid — each serves from its own cursor).
+            entry.maintained.get_or_insert(state);
+        }
+        Ok(pairs)
     }
 
     fn materialize(&self, name: &str, rows: &[(SourceId, Timestamp)]) -> Result<()> {
@@ -393,34 +483,6 @@ impl Drop for Session {
     fn drop(&mut self) {
         self.close();
     }
-}
-
-/// Fetches `(source, recency)` for the given sids from `Heartbeat` in the
-/// same snapshot, preferring the sid index.
-fn fetch_recencies(txn: &ReadTxn, sids: &BTreeSet<SourceId>) -> Result<Vec<(SourceId, Timestamp)>> {
-    if sids.is_empty() {
-        return Ok(Vec::new());
-    }
-    let hb = txn.table_id(HEARTBEAT_TABLE)?;
-    let keys: Vec<Value> = sids.iter().map(SourceId::to_value).collect();
-    let rows = match txn.index_probe_in(hb, 0, &keys)? {
-        Some(rows) => rows,
-        None => txn
-            .scan(hb)?
-            .into_iter()
-            .filter(|r| keys.contains(&r[0]))
-            .collect(),
-    };
-    rows.into_iter()
-        .map(|r| {
-            let sid = SourceId::from_value(&r[0])
-                .ok_or_else(|| TracError::Storage("heartbeat sid not text".into()))?;
-            let ts = r[1]
-                .as_timestamp()
-                .ok_or_else(|| TracError::Storage("heartbeat recency not timestamp".into()))?;
-            Ok((sid, ts))
-        })
-        .collect()
 }
 
 #[cfg(test)]
@@ -582,7 +644,12 @@ mod tests {
     }
 
     #[test]
-    fn plan_cache_reuses_until_heartbeat_epoch_moves() {
+    fn plan_cache_survives_heartbeat_writes_and_reports_stay_fresh() {
+        // PR 8 flips the invalidation story: heartbeat traffic no
+        // longer ages cached plans out. The cached plan must be
+        // *reused* across heartbeat writes, and the report must still
+        // reflect the new data — freshness now comes from the
+        // delta-maintained state folding the change stream.
         let db = paper_db();
         let session = Session::new(db.clone());
         let sql = "SELECT mach_id FROM Activity WHERE value = 'idle'";
@@ -599,14 +666,6 @@ mod tests {
             .unwrap()
             .plan
             .guarantee = Guarantee::UpperBound;
-        let hit = session.recency_report(sql).unwrap();
-        assert_eq!(
-            hit.report.guarantee,
-            Guarantee::UpperBound,
-            "same shape + same epoch must reuse the cached plan"
-        );
-        // Any heartbeat upsert bumps the database epoch; the stale entry
-        // must be rebuilt (and the poison washed out).
         db.with_write(|w| {
             w.heartbeat(
                 &SourceId::new("m1"),
@@ -614,11 +673,33 @@ mod tests {
             )
         })
         .unwrap();
-        let rebuilt = session.recency_report(sql).unwrap();
+        let hit = session.recency_report(sql).unwrap();
         assert_eq!(
-            rebuilt.report.guarantee,
-            Guarantee::Minimum,
-            "heartbeat epoch bump must invalidate the cached plan"
+            hit.report.guarantee,
+            Guarantee::UpperBound,
+            "a heartbeat write must NOT invalidate the cached plan"
+        );
+        assert_eq!(
+            session.plan_cache_stats(),
+            PlanCacheStats { hits: 1, misses: 1 }
+        );
+        // ...and the reused plan's report carries the new heartbeat,
+        // folded in as a delta rather than rescanned.
+        let m1 = hit
+            .report
+            .normal
+            .iter()
+            .find(|(s, _)| s.as_str() == "m1")
+            .unwrap()
+            .1;
+        assert_eq!(m1, Timestamp::parse("2006-02-10 00:01:00").unwrap());
+        assert_eq!(
+            session.maintenance_stats(),
+            MaintenanceStats {
+                registrations: 1,
+                delta_serves: 1,
+                rescan_serves: 0,
+            }
         );
     }
 
@@ -747,6 +828,13 @@ mod tests {
                     ..base
                 },
             ),
+            (
+                "maintain_reports",
+                ExecOptions {
+                    maintain_reports: !base.maintain_reports,
+                    ..base
+                },
+            ),
         ];
         for (i, (knob, opts)) in variants.into_iter().enumerate() {
             session.exec_options = opts;
@@ -760,6 +848,101 @@ mod tests {
                 "flipping `{knob}` alone must miss the prepared-plan cache"
             );
         }
+    }
+
+    #[test]
+    fn maintained_state_folds_deltas_across_reports() {
+        let db = paper_db();
+        let session = Session::new(db.clone());
+        let sql = "SELECT mach_id, value FROM Activity WHERE value = 'idle'";
+        session.recency_report(sql).unwrap();
+        assert_eq!(session.maintenance_stats().registrations, 1);
+        let a = db.begin_read().table_id("activity").unwrap();
+        db.with_write(|w| {
+            let ts = Timestamp::parse("2006-02-10 00:01:10").unwrap();
+            w.ingest(
+                &SourceId::new("m2"),
+                a,
+                vec![Value::text("m2"), Value::text("idle"), Value::Timestamp(ts)],
+                ts,
+            )
+        })
+        .unwrap();
+        let out = session.recency_report(sql).unwrap();
+        // The fold picked up both legs of the ingest: the new idle row
+        // (user query) and m2's heartbeat advance (recency report).
+        assert_eq!(out.result.len(), 3);
+        let m2 = out
+            .report
+            .normal
+            .iter()
+            .find(|(s, _)| s.as_str() == "m2")
+            .unwrap()
+            .1;
+        assert_eq!(m2, Timestamp::parse("2006-02-10 00:01:10").unwrap());
+        // Quiet stream: a third report folds zero events, still delta.
+        session.recency_report(sql).unwrap();
+        assert_eq!(
+            session.maintenance_stats(),
+            MaintenanceStats {
+                registrations: 1,
+                delta_serves: 2,
+                rescan_serves: 0,
+            }
+        );
+    }
+
+    #[test]
+    fn maintain_reports_off_rescans_every_report() {
+        let db = paper_db();
+        let mut session = Session::new(db.clone());
+        session.exec_options.maintain_reports = false;
+        let sql = "SELECT mach_id FROM Activity WHERE value = 'idle'";
+        session.recency_report(sql).unwrap();
+        db.with_write(|w| {
+            w.heartbeat(
+                &SourceId::new("m1"),
+                Timestamp::parse("2006-02-10 00:01:20").unwrap(),
+            )
+        })
+        .unwrap();
+        let out = session.recency_report(sql).unwrap();
+        let m1 = out
+            .report
+            .normal
+            .iter()
+            .find(|(s, _)| s.as_str() == "m1")
+            .unwrap()
+            .1;
+        assert_eq!(m1, Timestamp::parse("2006-02-10 00:01:20").unwrap());
+        assert_eq!(
+            session.maintenance_stats(),
+            MaintenanceStats::default(),
+            "the knob must disable registration entirely"
+        );
+    }
+
+    #[test]
+    fn knob_or_config_change_drops_maintained_state() {
+        // Maintained state is only valid for the exact plan it was
+        // registered against: a fresh ExecOptions key gets fresh state,
+        // and a relevance-config rebuild replaces state in place.
+        let db = paper_db();
+        let mut session = Session::new(db);
+        let sql = "SELECT mach_id FROM Activity WHERE value = 'idle'";
+        session.recency_report(sql).unwrap();
+        session.recency_report(sql).unwrap();
+        assert_eq!(session.maintenance_stats().registrations, 1);
+        assert_eq!(session.maintenance_stats().delta_serves, 1);
+        // New exec configuration → new cache entry → new registration.
+        session.exec_options = ExecOptions::default().with_parallelism(4, 2);
+        session.recency_report(sql).unwrap();
+        assert_eq!(session.maintenance_stats().registrations, 2);
+        // Config change rebuilds the entry and drops its state with it.
+        session.exec_options = ExecOptions::default();
+        session.relevance_config.dnf_budget += 1;
+        session.recency_report(sql).unwrap();
+        assert_eq!(session.maintenance_stats().registrations, 3);
     }
 
     #[test]

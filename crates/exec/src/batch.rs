@@ -17,8 +17,11 @@
 //! * `LIMIT` is checked before each output lane is materialized, so an
 //!   evaluation error past the limit never surfaces — exactly like the
 //!   scalar engine checking the limit before pulling the next tuple.
-//! * Joins expand outer-major ([`ColumnarBatch::join_extend`]), so lane
-//!   order equals the serial streaming order.
+//! * Joins expand outer-major ([`ColumnarBatch::join_extend_ref`] /
+//!   [`ColumnarBatch::join_extend_indexed`]), so lane order equals the
+//!   serial streaming order; the hash build side stores its rows once
+//!   and probes hand out borrowed index lists, so a matched row is
+//!   cloned exactly once — into the output batch.
 //! * Aggregates drain their input and finish through the shared
 //!   [`finish_global`]/[`finish_groups`] helpers, keeping
 //!   HAVING/projection error ordering identical.
@@ -122,26 +125,44 @@ impl BatchSource for NLJoinSource<'_> {
                 self.inner_rows = Some(fetch_inner_rows(self.txn, self.inner_node, self.cert)?);
             }
             let rows = self.inner_rows.as_deref().unwrap_or_default();
-            let matches: Vec<Vec<Row>> = vec![rows.to_vec(); batch.len()];
-            let mut joined = batch.join_extend(self.inner_pos, &matches);
+            // Every live lane matches the whole inner row set; hand the
+            // shared slice to the gather so each row is cloned exactly
+            // once, into the output, never per outer lane.
+            let matches: Vec<&[Row]> = vec![rows; batch.len()];
+            let mut joined = batch.join_extend_ref(self.inner_pos, &matches);
             joined.apply_filter_typed(self.filter, self.cert);
             return Ok(Some(joined));
         }
     }
 }
 
-/// The hash-join build table: boxed [`Value`] keys in general, unboxed
+/// The hash-join build side: the inner rows stored exactly once, plus a
+/// key → row-index table over them. Probing yields `u32` index lists
+/// borrowed from the table, and matched rows are cloned only at gather
+/// time ([`ColumnarBatch::join_extend_indexed`]) — never per probe.
+struct BuildSide {
+    /// The (filtered) inner rows, in fetch order.
+    rows: Vec<Row>,
+    /// Key index into `rows`.
+    index: JoinIndex,
+}
+
+/// The hash-join key index: boxed [`Value`] keys in general, unboxed
 /// `i64` keys when both sides of the equi-key carry an `INT` lane
 /// certificate. Either way NULL keys never enter the table, and key
 /// matching is `Value` identity (the equi-key conjunct is re-applied
 /// with SQL semantics afterwards), so both representations match the
 /// same rows.
-enum JoinTable {
-    /// Boxed build side, keyed by [`Value`].
-    Boxed(HashMap<Value, Vec<Row>>),
-    /// Unboxed build side, keyed by `i64` (TRAC024/025-certified).
-    Int(HashMap<i64, Vec<Row>>),
+enum JoinIndex {
+    /// Boxed keys, bucketing row indices by [`Value`].
+    Boxed(HashMap<Value, Vec<u32>>),
+    /// Unboxed keys, bucketing row indices by `i64`
+    /// (TRAC024/025-certified).
+    Int(HashMap<i64, Vec<u32>>),
 }
+
+/// The empty match list shared by every non-matching probe lane.
+const NO_MATCH: &[u32] = &[];
 
 /// Hash join: builds `inner_col → rows` buckets from the inner leaf on
 /// the first non-empty outer batch, then matches whole batches through
@@ -155,7 +176,7 @@ struct HashJoinSource<'a> {
     outer_key: trac_expr::ColRef,
     filter: &'a [trac_expr::BoundExpr],
     cert: &'a KernelCert,
-    table: Option<JoinTable>,
+    build: Option<BuildSide>,
 }
 
 impl HashJoinSource<'_> {
@@ -173,16 +194,16 @@ impl HashJoinSource<'_> {
                 .is_some_and(|l| l.ty == DataType::Int)
     }
 
-    /// Builds the boxed or unboxed key table from the inner rows. A row
+    /// Builds the boxed or unboxed key index over the inner rows. A row
     /// whose key contradicts the `INT` certificate drops the whole
     /// build back to the boxed representation (never a wrong answer).
-    fn build_table(&self, rows: Vec<Row>) -> JoinTable {
+    fn build_side(&self, rows: Vec<Row>) -> BuildSide {
         if self.int_key_certified() {
-            let mut table: HashMap<i64, Vec<Row>> = HashMap::new();
+            let mut index: HashMap<i64, Vec<u32>> = HashMap::new();
             let mut ok = true;
-            for r in &rows {
+            for (i, r) in rows.iter().enumerate() {
                 match &r[self.inner_col] {
-                    Value::Int(k) => table.entry(*k).or_default().push(r.clone()),
+                    Value::Int(k) => index.entry(*k).or_default().push(i as u32),
                     Value::Null => {}
                     _ => {
                         ok = false;
@@ -191,25 +212,32 @@ impl HashJoinSource<'_> {
                 }
             }
             if ok {
-                return JoinTable::Int(table);
+                return BuildSide {
+                    rows,
+                    index: JoinIndex::Int(index),
+                };
             }
         }
-        let mut table: HashMap<Value, Vec<Row>> = HashMap::new();
-        for r in rows {
-            let k = r[self.inner_col].clone();
+        let mut index: HashMap<Value, Vec<u32>> = HashMap::new();
+        for (i, r) in rows.iter().enumerate() {
+            let k = &r[self.inner_col];
             if !k.is_null() {
-                table.entry(k).or_default().push(r);
+                index.entry(k.clone()).or_default().push(i as u32);
             }
         }
-        JoinTable::Boxed(table)
+        BuildSide {
+            rows,
+            index: JoinIndex::Boxed(index),
+        }
     }
 
-    /// Per-lane match lists for one outer batch. The unboxed probe
-    /// gathers the key lane as raw `i64`s (null-bitmap aware); if the
-    /// outer data contradicts its certificate, the probe falls back to
-    /// boxed key gathering against the same table.
-    fn probe(&self, table: &JoinTable, batch: &ColumnarBatch) -> Result<Vec<Vec<Row>>> {
-        if let JoinTable::Int(t) = table {
+    /// Per-lane match lists for one outer batch, borrowed straight from
+    /// the build-side buckets (no rows are cloned here). The unboxed
+    /// probe gathers the key lane as raw `i64`s (null-bitmap aware); if
+    /// the outer data contradicts its certificate, the probe falls back
+    /// to boxed key gathering against the same index.
+    fn probe<'t>(&self, build: &'t BuildSide, batch: &ColumnarBatch) -> Result<Vec<&'t [u32]>> {
+        if let JoinIndex::Int(t) = &build.index {
             let non_null = self.cert.lane(self.outer_key).is_some_and(|l| l.non_null);
             if let Ok(lane) = batch.int_lane(self.outer_key, non_null) {
                 return Ok(lane
@@ -218,9 +246,9 @@ impl HashJoinSource<'_> {
                     .enumerate()
                     .map(|(i, k)| {
                         if lane.nulls.as_ref().is_some_and(|n| n[i]) {
-                            Vec::new()
+                            NO_MATCH
                         } else {
-                            t.get(k).cloned().unwrap_or_default()
+                            t.get(k).map_or(NO_MATCH, Vec::as_slice)
                         }
                     })
                     .collect());
@@ -229,13 +257,13 @@ impl HashJoinSource<'_> {
         let keys = batch.column(self.outer_key)?;
         Ok(keys
             .iter()
-            .map(|k| match table {
-                JoinTable::Boxed(t) => t.get(k).cloned().unwrap_or_default(),
-                // Value identity matching, like the boxed table: only an
+            .map(|k| match &build.index {
+                JoinIndex::Boxed(t) => t.get(k).map_or(NO_MATCH, Vec::as_slice),
+                // Value identity matching, like the boxed index: only an
                 // INT key can hit an i64 bucket.
-                JoinTable::Int(t) => match k {
-                    Value::Int(k) => t.get(k).cloned().unwrap_or_default(),
-                    _ => Vec::new(),
+                JoinIndex::Int(t) => match k {
+                    Value::Int(k) => t.get(k).map_or(NO_MATCH, Vec::as_slice),
+                    _ => NO_MATCH,
                 },
             })
             .collect())
@@ -251,15 +279,15 @@ impl BatchSource for HashJoinSource<'_> {
             if batch.is_empty() {
                 continue;
             }
-            if self.table.is_none() {
+            if self.build.is_none() {
                 let rows = fetch_inner_rows(self.txn, self.inner_node, self.cert)?;
-                self.table = Some(self.build_table(rows));
+                self.build = Some(self.build_side(rows));
             }
-            let Some(table) = self.table.as_ref() else {
+            let Some(build) = self.build.as_ref() else {
                 unreachable!("build side constructed above");
             };
-            let matches = self.probe(table, &batch)?;
-            let mut joined = batch.join_extend(self.inner_pos, &matches);
+            let matches = self.probe(build, &batch)?;
+            let mut joined = batch.join_extend_indexed(self.inner_pos, &build.rows, &matches);
             joined.apply_filter_typed(self.filter, self.cert);
             return Ok(Some(joined));
         }
@@ -437,7 +465,7 @@ fn build_source<'a>(
             outer_key: *outer_key,
             filter,
             cert,
-            table: None,
+            build: None,
         }),
         PlanNode::IndexNLJoin {
             outer,

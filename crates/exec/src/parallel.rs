@@ -561,8 +561,10 @@ fn apply_op_columnar(
             batch
         }
         SpineOp::NL { rows, pos, filter } => {
-            let matches: Vec<Vec<Row>> = vec![rows.clone(); batch.len()];
-            let mut joined = batch.join_extend(*pos, &matches);
+            // Shared inner row set: every lane borrows the same slice;
+            // rows are cloned once each, at gather time.
+            let matches: Vec<&[Row]> = vec![rows.as_slice(); batch.len()];
+            let mut joined = batch.join_extend_ref(*pos, &matches);
             joined.apply_filter(filter);
             joined
         }
@@ -572,21 +574,23 @@ fn apply_op_columnar(
             outer_key,
             filter,
         } => {
+            const NO_MATCH: &[Row] = &[];
             let keys = batch.column(*outer_key)?;
-            let matches: Vec<Vec<Row>> = keys
+            // Buckets are borrowed from the shared partitioned build;
+            // matched rows are cloned only into the output batch.
+            let matches: Vec<&[Row]> = keys
                 .iter()
                 .map(|k| {
                     if k.is_null() {
-                        Vec::new()
+                        NO_MATCH
                     } else {
                         parts[partition_of(k, parts.len())]
                             .get(k)
-                            .cloned()
-                            .unwrap_or_default()
+                            .map_or(NO_MATCH, Vec::as_slice)
                     }
                 })
                 .collect();
-            let mut joined = batch.join_extend(*pos, &matches);
+            let mut joined = batch.join_extend_ref(*pos, &matches);
             joined.apply_filter(filter);
             joined
         }

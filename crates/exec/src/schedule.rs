@@ -65,6 +65,10 @@ pub enum Site {
     CacheWrite,
     /// A writer about to advance the heartbeat epoch.
     EpochBump,
+    /// A session about to fold the change stream into maintained
+    /// report state (after taking the state out of the plan cache,
+    /// before reading the stream).
+    DeltaFold,
 }
 
 /// How many schedules to run and how to choose at each decision point.

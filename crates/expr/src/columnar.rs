@@ -485,15 +485,13 @@ impl ColumnarBatch {
         });
     }
 
-    /// Joins this batch against per-lane match lists: the output batch
-    /// has one lane per (live lane, match) pair in outer-major order —
-    /// the serial nested-loop expansion order — with the match row
-    /// placed in FROM slot `pos`. `matches` is dense over the live
-    /// lanes.
-    pub fn join_extend(&self, pos: usize, matches: &[Vec<Row>]) -> ColumnarBatch {
-        debug_assert_eq!(matches.len(), self.sel.len());
+    /// Shared outer-major expansion behind the join gathers: replicates
+    /// every live outer lane `counts[i]` times into fresh column
+    /// vectors, leaving FROM slot `pos` unfilled for the caller.
+    fn join_expand(&self, pos: usize, counts: &[usize]) -> (usize, Vec<Option<Vec<Row>>>, usize) {
+        debug_assert_eq!(counts.len(), self.sel.len());
         let width = self.width.max(pos + 1);
-        let lanes: usize = matches.iter().map(Vec::len).sum();
+        let lanes: usize = counts.iter().sum();
         let mut slots: Vec<Option<Vec<Row>>> = vec![None; width];
         for (s, out) in slots.iter_mut().enumerate().take(self.width) {
             if s == pos {
@@ -502,14 +500,63 @@ impl ColumnarBatch {
             if let Some(col) = &self.slots[s] {
                 let mut v = Vec::with_capacity(lanes);
                 for (i, &l) in self.sel.iter().enumerate() {
-                    for _ in 0..matches[i].len() {
+                    for _ in 0..counts[i] {
                         v.push(col[l as usize].clone());
                     }
                 }
                 *out = Some(v);
             }
         }
-        slots[pos] = Some(matches.iter().flatten().cloned().collect());
+        (width, slots, lanes)
+    }
+
+    /// Joins this batch against per-lane match lists: the output batch
+    /// has one lane per (live lane, match) pair in outer-major order —
+    /// the serial nested-loop expansion order — with the match row
+    /// placed in FROM slot `pos`. `matches` is dense over the live
+    /// lanes.
+    pub fn join_extend(&self, pos: usize, matches: &[Vec<Row>]) -> ColumnarBatch {
+        let refs: Vec<&[Row]> = matches.iter().map(Vec::as_slice).collect();
+        self.join_extend_ref(pos, &refs)
+    }
+
+    /// [`Self::join_extend`] over borrowed match lists: each matched row
+    /// is cloned exactly once, into the output batch, so probes can hand
+    /// out build-side buckets (or one shared inner row set) without
+    /// materializing per-lane copies first.
+    pub fn join_extend_ref(&self, pos: usize, matches: &[&[Row]]) -> ColumnarBatch {
+        let counts: Vec<usize> = matches.iter().map(|m| m.len()).collect();
+        let (width, mut slots, lanes) = self.join_expand(pos, &counts);
+        let mut col = Vec::with_capacity(lanes);
+        for m in matches {
+            col.extend(m.iter().cloned());
+        }
+        slots[pos] = Some(col);
+        ColumnarBatch {
+            width,
+            slots,
+            sel: (0..lanes as u32).collect(),
+        }
+    }
+
+    /// [`Self::join_extend`] against a shared build-side row store:
+    /// `matches` holds per-lane index lists into `rows`, and each
+    /// matched row is gathered (cloned) exactly once, into the output
+    /// batch. This is the hash-join probe path — the build rows are
+    /// stored once and the buckets are plain `u32` lists.
+    pub fn join_extend_indexed(
+        &self,
+        pos: usize,
+        rows: &[Row],
+        matches: &[&[u32]],
+    ) -> ColumnarBatch {
+        let counts: Vec<usize> = matches.iter().map(|m| m.len()).collect();
+        let (width, mut slots, lanes) = self.join_expand(pos, &counts);
+        let mut col = Vec::with_capacity(lanes);
+        for m in matches {
+            col.extend(m.iter().map(|&i| rows[i as usize].clone()));
+        }
+        slots[pos] = Some(col);
         ColumnarBatch {
             width,
             slots,
@@ -1117,5 +1164,48 @@ mod tests {
             inner_col,
             vec![Value::text("a"), Value::text("b"), Value::text("b")]
         );
+    }
+
+    #[test]
+    fn borrowed_and_indexed_gathers_match_the_owned_join() {
+        let outer = ColumnarBatch::from_rows(
+            2,
+            0,
+            vec![
+                row(vec![Value::Int(1)]),
+                row(vec![Value::Int(2)]),
+                row(vec![Value::Int(3)]),
+            ],
+        );
+        let store = [row(vec![Value::text("a")]), row(vec![Value::text("b")])];
+        // Owned per-lane lists (the reference), borrowed slices, and
+        // index lists into the shared store must gather identically.
+        let owned = outer.join_extend(
+            1,
+            &[
+                vec![store[0].clone(), store[1].clone()],
+                vec![],
+                vec![store[1].clone()],
+            ],
+        );
+        let refs: Vec<&[Row]> = vec![&store[..], &[], &store[1..]];
+        let borrowed = outer.join_extend_ref(1, &refs);
+        let idx: Vec<&[u32]> = vec![&[0, 1], &[], &[1]];
+        let indexed = outer.join_extend_indexed(1, &store, &idx);
+        for joined in [&borrowed, &indexed] {
+            assert_eq!(joined.len(), owned.len());
+            for col in [
+                ColRef {
+                    table: 0,
+                    column: 0,
+                },
+                ColRef {
+                    table: 1,
+                    column: 0,
+                },
+            ] {
+                assert_eq!(joined.column(col).unwrap(), owned.column(col).unwrap());
+            }
+        }
     }
 }

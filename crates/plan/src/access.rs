@@ -49,6 +49,12 @@ pub struct ExecOptions {
     /// every lane takes the boxed [`Value`] path (the differential
     /// reference).
     pub typed_kernels: bool,
+    /// Keep delta-maintained state for prepared recency reports: the
+    /// session folds the typed change stream into each cached plan's
+    /// [`MaintainedReport`](../maintain) instead of rescanning per
+    /// report. Off ⇒ every report recomputes from scratch (the
+    /// differential reference for the maintained path).
+    pub maintain_reports: bool,
 }
 
 /// Default morsel size: large enough to amortize per-morsel dispatch,
@@ -66,6 +72,7 @@ impl Default for ExecOptions {
             fast_paths: true,
             cost_based_join_order: false,
             typed_kernels: true,
+            maintain_reports: true,
         }
     }
 }

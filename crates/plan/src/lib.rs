@@ -44,10 +44,12 @@ mod access;
 mod cost;
 mod ir;
 mod lower;
+pub mod maintain;
 
 pub use access::{
     choose_access_path, probe_candidate, AccessPath, ExecOptions, DEFAULT_BATCH_SIZE,
 };
 pub use ir::{PhysicalPlan, PlanNode};
 pub use lower::{equi_key, plan_select, split_and};
+pub use maintain::{classify_maintenance, MaintenanceLicense};
 pub use trac_expr::{KernelCert, LaneCert};

@@ -243,6 +243,15 @@ impl Catalog {
             .is_some_and(|e| e.temp_owner.is_some())
     }
 
+    /// True when `id` refers to a temp table. Temp-table writes are
+    /// session-private report materializations; the change stream skips
+    /// them so maintained consumers fold only shared, durable state.
+    pub fn is_temp_id(&self, id: TableId) -> bool {
+        self.tables
+            .values()
+            .any(|e| e.id == id && e.temp_owner.is_some())
+    }
+
     /// Removes one table binding (and its index metadata); returns its id.
     pub fn drop_table(&mut self, name: &str) -> Result<TableId> {
         let id = self

@@ -8,6 +8,7 @@
 //! same transaction (paper Sections 3.1 and 3.3).
 
 use crate::catalog::{Catalog, IndexMeta, SessionId, TableId, TableStats};
+use crate::changelog::{ChangeData, ChangeLog};
 use crate::heartbeat::{self, HEARTBEAT_TABLE};
 use crate::index::Index;
 use crate::lockorder::{self, LockId};
@@ -44,6 +45,12 @@ struct DbState {
     /// invalidates), which is the sound direction for a cache. Coverage
     /// of the bump is audited by [`crate::epoch::audit`].
     heartbeat_epoch: AtomicU64,
+    /// The epoch, materialized: every mutation that the epoch counter
+    /// summarizes also publishes a typed [`ChangeData`] event here, so
+    /// consumers can *fold* what changed instead of rescanning.
+    /// Coverage of the publication sites is audited by
+    /// [`crate::changelog::audit`].
+    changes: ChangeLog,
 }
 
 /// Advances the heartbeat epoch. Must be called with no storage lock
@@ -85,6 +92,7 @@ impl Database {
                 }),
                 next_session: AtomicU64::new(1),
                 heartbeat_epoch: AtomicU64::new(0),
+                changes: ChangeLog::new(),
             }),
         };
         // PANIC-OK: static bootstrap at Db::new, before any query exists.
@@ -106,6 +114,13 @@ impl Database {
     /// recency plans) compare epochs to decide whether to invalidate.
     pub fn heartbeat_epoch(&self) -> u64 {
         self.state.heartbeat_epoch.load(AtomicOrdering::Acquire)
+    }
+
+    /// The database's typed change stream. Consumers hold a cursor
+    /// (sequence number) and read complete suffixes; see
+    /// [`crate::changelog::ChangeLog::read_from`].
+    pub fn change_log(&self) -> &ChangeLog {
+        &self.state.changes
     }
 
     /// Creates a permanent table.
@@ -221,6 +236,7 @@ impl Database {
             },
             id,
             stamped: Mutex::new(Vec::new()),
+            suppress_events: std::sync::atomic::AtomicBool::new(false),
             finished: false,
         }
     }
@@ -658,6 +674,10 @@ pub struct WriteTxn {
     id: TxnId,
     /// Versions this txn stamped `xmax` on — unstamped again on abort.
     stamped: Mutex<Vec<(TableId, RowSlot)>>,
+    /// While set, `insert`/`delete` publish no change events. Used by
+    /// [`WriteTxn::heartbeat`] so the monotone upsert surfaces as one
+    /// semantic `HeartbeatUpsert` event instead of its raw table writes.
+    suppress_events: std::sync::atomic::AtomicBool,
     finished: bool,
 }
 
@@ -674,6 +694,21 @@ impl WriteTxn {
         self.id
     }
 
+    /// Publishes one typed change event on behalf of this transaction,
+    /// unless suppressed. Called with no storage lock held (the change
+    /// log's own lock ranks last in the declared order).
+    fn publish_change(&self, data: ChangeData) {
+        if self.suppress_events.load(AtomicOrdering::Relaxed) {
+            return;
+        }
+        let epoch = self
+            .read
+            .state
+            .heartbeat_epoch
+            .load(AtomicOrdering::Acquire);
+        self.read.state.changes.publish(self.id, epoch, data);
+    }
+
     /// Inserts a row (schema-checked and coerced). Returns its slot.
     /// Writes landing in the heartbeat table bump the heartbeat epoch —
     /// SQL DML reaches recency state through this entry point, bypassing
@@ -683,6 +718,7 @@ impl WriteTxn {
         let _order = lockorder::acquire(LockId::DbData);
         let mut inner = self.read.state.data.write();
         let touches_heartbeat = is_heartbeat_table(&inner, tid);
+        let is_temp = inner.catalog.is_temp_id(tid);
         let st = store_mut(&mut inner, tid)?;
         let row = st.table.schema.check_row(row)?;
         let row: Row = Arc::from(row.into_boxed_slice());
@@ -702,6 +738,13 @@ impl WriteTxn {
         drop(inner);
         if touches_heartbeat {
             bump_heartbeat_epoch(&self.read.state);
+            // Raw DML on the heartbeat table bypasses the monotone
+            // upsert: no fold stays exact, so the typed event is the
+            // rescan trigger (the semantic upsert suppresses this and
+            // publishes `HeartbeatUpsert` instead).
+            self.publish_change(ChangeData::HeartbeatDml);
+        } else if !is_temp {
+            self.publish_change(ChangeData::RowInsert { table: tid, row });
         }
         Ok(slot)
     }
@@ -714,6 +757,7 @@ impl WriteTxn {
         let _order = lockorder::acquire(LockId::DbData);
         let mut inner = self.read.state.data.write();
         let touches_heartbeat = is_heartbeat_table(&inner, tid);
+        let is_temp = inner.catalog.is_temp_id(tid);
         let st = store_mut(&mut inner, tid)?;
         if st
             .table
@@ -740,6 +784,9 @@ impl WriteTxn {
         drop(inner);
         if touches_heartbeat {
             bump_heartbeat_epoch(&self.read.state);
+            self.publish_change(ChangeData::HeartbeatDml);
+        } else if !is_temp {
+            self.publish_change(ChangeData::RowDelete { table: tid });
         }
         Ok(())
     }
@@ -791,11 +838,22 @@ impl WriteTxn {
     /// "nothing to report" beacon, Section 3.1).
     pub fn heartbeat(&self, source: &SourceId, ts: Timestamp) -> Result<()> {
         let epoch_before = self.read.heartbeat_epoch();
-        heartbeat::upsert(self, source, ts)?;
+        // The upsert's raw heartbeat-table writes are suppressed on the
+        // change stream: the one semantic `HeartbeatUpsert` event below
+        // carries strictly more information (max-fold is exact), and
+        // maintained consumers must not see the same advance twice.
+        self.suppress_events.store(true, AtomicOrdering::Relaxed);
+        let upserted = heartbeat::upsert(self, source, ts);
+        self.suppress_events.store(false, AtomicOrdering::Relaxed);
+        upserted?;
         // The upsert's own heartbeat-table write already bumped when it
         // stored anything; this explicit bump also covers the no-op case
         // (ts older than current), staying conservative.
         bump_heartbeat_epoch(&self.read.state);
+        self.publish_change(ChangeData::HeartbeatUpsert {
+            source: Value::text(source.as_str()),
+            ts: Value::Timestamp(ts),
+        });
         debug_assert!(
             self.read.heartbeat_epoch() > epoch_before,
             "heartbeat must advance the heartbeat epoch"

@@ -1,12 +1,14 @@
 //! Heartbeat-epoch coverage: an auditable registry of mutation paths.
 //!
-//! The prepared-plan cache in `trac-core` is keyed by the heartbeat
-//! epoch: a cached recency analysis stays valid exactly as long as no
-//! mutation has changed recency-relevant state (the `Heartbeat` table).
-//! That invariant is only as strong as the *coverage* of the epoch bump:
-//! every mutation path that can change recency-relevant state must
-//! advance the epoch, or a stale plan can be served after the state it
-//! certified has moved.
+//! The heartbeat epoch is the coarse freshness witness of the database:
+//! a monotone counter that advances whenever recency-relevant state
+//! (the `Heartbeat` table) changes. Report freshness itself is carried
+//! by the typed change stream ([`crate::changelog`]) that maintained
+//! reports fold, but the epoch remains the cheap observable — a single
+//! load answers "has anything recency-relevant happened since?" — and
+//! its value is only as strong as the *coverage* of the bump: every
+//! mutation path that can change recency-relevant state must advance
+//! it, or the counter silently under-reports the state it witnesses.
 //!
 //! This module makes the coverage claim checkable instead of folklore.
 //! [`audit`] drives every mutation entry point of the storage crate
@@ -53,15 +55,15 @@ pub struct Observation {
     /// Stable name of the mutation path (used in diagnostics).
     pub name: &'static str,
     /// True when the path can change recency-relevant state (the
-    /// heartbeat table), so a cached recency plan keyed on the epoch
-    /// would be invalidated by it.
+    /// heartbeat table), so the epoch freshness counter must witness
+    /// it.
     pub affects_recency: bool,
     /// True when exercising the path advanced the epoch.
     pub bumped: bool,
 }
 
 impl Observation {
-    /// True when this path violates cache-invalidation coverage: it
+    /// True when this path violates freshness-counter coverage: it
     /// changes recency-relevant state without advancing the epoch.
     pub fn violates_coverage(&self) -> bool {
         self.affects_recency && !self.bumped

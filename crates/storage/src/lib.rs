@@ -16,7 +16,9 @@
 //! * [`heartbeat`] — the system `Heartbeat(sid, recency)` table and the
 //!   ingestion discipline that keeps it monotone (Section 3.1).
 //! * [`epoch`] — the heartbeat-epoch mutation-path registry auditing
-//!   cache-invalidation coverage (diagnostic `TRAC019`).
+//!   freshness-counter coverage (diagnostic `TRAC019`).
+//! * [`changelog`] — the typed, sequenced change stream maintained
+//!   reports fold, with its coverage audit (diagnostic `TRAC028`).
 //! * [`lockorder`] — the declared lock-acquisition order and the
 //!   instrumented acquisition graph (diagnostic `TRAC020`).
 //! * [`db`] — the [`Database`] facade tying it all together.
@@ -24,6 +26,7 @@
 #![warn(missing_docs)]
 
 pub mod catalog;
+pub mod changelog;
 pub mod db;
 pub mod epoch;
 pub mod heartbeat;
@@ -35,6 +38,10 @@ pub mod table;
 pub mod txn;
 
 pub use catalog::{Catalog, ColumnStats, IndexMeta, NdvSketch, TableId, TableStats};
+pub use changelog::{
+    ChangeData, ChangeEvent, ChangeLog, RescanRequired, StreamObservation,
+    DEFAULT_CHANGELOG_CAPACITY,
+};
 pub use db::{Database, ReadTxn, VacuumStats, WriteTxn};
 pub use epoch::{set_epoch_yield_hook, Observation};
 pub use heartbeat::{HEARTBEAT_RECENCY_COL, HEARTBEAT_SID_COL, HEARTBEAT_TABLE};
@@ -42,4 +49,4 @@ pub use lockorder::{LockId, LockToken};
 pub use persist::{load_snapshot, save_snapshot};
 pub use schema::{ColumnDef, TableSchema};
 pub use table::{Row, RowSlot, Table};
-pub use txn::{Snapshot, TxnId, TxnManager, TxnStatus};
+pub use txn::{Snapshot, SnapshotBasis, TxnId, TxnManager, TxnStatus};

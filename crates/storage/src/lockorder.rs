@@ -10,6 +10,7 @@
 //! | 1    | `DbData`    | the database's table/catalog `RwLock`          |
 //! | 2    | `TxnStamped`| a write transaction's stamped-version list     |
 //! | 3    | `MorselSlot`| a parallel worker's per-morsel result slot     |
+//! | 4    | `ChangeLog` | the typed change-stream ring                   |
 //!
 //! An acquisition of lock `b` while holding lock `a` is legal iff
 //! `rank(a) < rank(b)`. The order is *checked*, not assumed: when
@@ -43,6 +44,11 @@ pub enum LockId {
     TxnStamped,
     /// Parallel worker per-morsel result slot (`trac-exec`).
     MorselSlot,
+    /// The typed change-stream ring ([`crate::changelog::ChangeLog`]).
+    /// Ranked last: publication runs with no storage lock held, and
+    /// consumers drain holding at most the plan cache, so every edge
+    /// into it is downhill.
+    ChangeLog,
 }
 
 impl LockId {
@@ -58,6 +64,7 @@ impl LockId {
             LockId::DbData => "DbData",
             LockId::TxnStamped => "TxnStamped",
             LockId::MorselSlot => "MorselSlot",
+            LockId::ChangeLog => "ChangeLog",
         }
     }
 }
@@ -149,6 +156,7 @@ mod tests {
         assert!(LockId::PlanCache.rank() < LockId::DbData.rank());
         assert!(LockId::DbData.rank() < LockId::TxnStamped.rank());
         assert!(LockId::TxnStamped.rank() < LockId::MorselSlot.rank());
+        assert!(LockId::MorselSlot.rank() < LockId::ChangeLog.rank());
         assert!(edge_is_legal(LockId::DbData, LockId::TxnStamped));
         assert!(!edge_is_legal(LockId::TxnStamped, LockId::DbData));
         assert!(!edge_is_legal(LockId::DbData, LockId::DbData));

@@ -158,6 +158,16 @@ impl TxnManager {
     }
 }
 
+/// The recency footprint of a snapshot, detached from the snapshot
+/// registry: enough to answer [`Snapshot::covers_basis`] but holding
+/// nothing back from vacuum. Cheap to clone (the in-flight set is
+/// shared).
+#[derive(Debug, Clone)]
+pub struct SnapshotBasis {
+    xmax: TxnId,
+    in_flight: Arc<HashSet<TxnId>>,
+}
+
 /// A point-in-time view of which transactions' effects are visible.
 ///
 /// Cloning re-registers: every live clone holds back the vacuum horizon.
@@ -219,6 +229,43 @@ impl Snapshot {
         id < self.xmax
             && !self.in_flight.contains(&id)
             && self.mgr.status(id) == TxnStatus::Committed
+    }
+
+    /// Extracts the comparison data [`Snapshot::covers_basis`] needs,
+    /// without keeping the snapshot itself alive (a registered
+    /// [`Snapshot`] holds back the vacuum horizon; a basis does not).
+    pub fn coverage_basis(&self) -> SnapshotBasis {
+        SnapshotBasis {
+            xmax: self.xmax,
+            in_flight: Arc::clone(&self.in_flight),
+        }
+    }
+
+    /// True when every transaction that was visible to the snapshot
+    /// `basis` was taken from is also visible here — i.e. this snapshot
+    /// is at least as recent. Used by delta-maintained report state:
+    /// state folded under one snapshot may only serve a snapshot that
+    /// covers it, otherwise the server falls back to a rescan.
+    ///
+    /// The check is conservative: a transaction this snapshot saw in
+    /// flight that has committed *since* is treated as possibly visible
+    /// to the basis (we cannot reconstruct when it committed), so an
+    /// occasional false `false` forces a harmless rescan; `true` is
+    /// always sound.
+    pub fn covers_basis(&self, basis: &SnapshotBasis) -> bool {
+        if self.xmax < basis.xmax {
+            // Transactions in [self.xmax, basis.xmax) may be visible to
+            // the basis but started after this snapshot.
+            return false;
+        }
+        self.in_flight.iter().all(|t| {
+            // A txn we can't see is fine unless the basis could see it:
+            // it must have started after the basis, been in flight there
+            // too, or still be uncommitted.
+            *t >= basis.xmax
+                || basis.in_flight.contains(t)
+                || self.mgr.status(*t) != TxnStatus::Committed
+        })
     }
 
     /// Visibility of a row version `(xmin, xmax)` to this snapshot, where

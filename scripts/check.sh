@@ -41,10 +41,20 @@ cargo run --release -q -p trac-bench --bin figure2 -- \
   --total-rows 2000 --max-sources 100 --runs 2 --warmup 1 \
   --threads 4 --batch-size 64 --json-out "$BENCH_SMOKE_DIR/BENCH_figure2.json"
 
+echo "==> delta-maintenance smoke, serial (tiny config)"
+# Exercises the change-then-report loop end to end: heartbeat upserts
+# publish to the typed change stream, the maintained session folds them
+# (the bin asserts it actually served delta-folded reports), and the
+# rescan reference recomputes. Serial, so it also covers threads=1.
+cargo run --release -q -p trac-bench --bin delta -- \
+  --sources 100 --ratio 10 --scales 2 --changes 16 --runs 2 --warmup 1 \
+  --json-out "$BENCH_SMOKE_DIR/BENCH_delta.json"
+
 echo "==> BENCH_*.json schema vs committed scripts/bench_schema.json"
 # The perf-trajectory files are diffed across commits; their key-path
 # schema is a reviewed contract, not an implementation detail.
 cargo run --release -q -p trac-bench --bin bench_schema -- \
+  "$BENCH_SMOKE_DIR/BENCH_delta.json" \
   "$BENCH_SMOKE_DIR/BENCH_figure1.json" "$BENCH_SMOKE_DIR/BENCH_figure2.json" \
   | diff -u scripts/bench_schema.json - \
   || { echo "bench JSON schema diverged from scripts/bench_schema.json"; exit 1; }

@@ -24,7 +24,8 @@ Commands:
                     dataflow facts the analyzer certified per operator
   \\report <select>  run a SELECT with Focused recency & consistency reporting
   \\naive <select>   run a SELECT with Naive (all-sources) reporting
-  \\plan <select>    show the generated recency queries and their guarantee
+  \\plan <select>    show the generated recency queries, their guarantee, and
+                    how repeated reports are maintained (delta-fold vs rescan)
   \\tables           list tables
   \\vacuum           reclaim dead row versions
   \\demo             load the paper's Table 1 (Activity) and Table 2 (Routing)
@@ -160,6 +161,7 @@ fn run_line(db: &mut Database, session: &mut Session, line: &str) -> Result<bool
                         if sub.refined { ", refined" } else { "" },
                         sub.sql
                     );
+                    println!("    {}", sub.maintenance.marker());
                 }
             }
             other => {

@@ -442,6 +442,140 @@ proptest! {
     }
 }
 
+/// One step of a generated maintenance history (see
+/// [`delta_maintained_reports_match_rescans`]).
+#[derive(Debug, Clone)]
+enum DeltaOp {
+    /// Heartbeat upsert for `SIDS[sid]` at `micros` (possibly stale —
+    /// the monotone upsert must no-op, and so must the fold).
+    Heartbeat { sid: usize, micros: i64 },
+    /// Source-attributed ingest: heartbeat leg plus a `t` row, one
+    /// transaction (both change events fold together).
+    Ingest { sid: usize, n: usize, micros: i64 },
+    /// Plain SQL insert into `t` (no heartbeat leg): a witness row for
+    /// a source that may have no heartbeat yet.
+    SqlInsert { sid: usize, n: usize },
+    /// SQL delete from `t`: non-monotone, must force a re-registration.
+    Delete { n: usize },
+    /// Report and compare delta vs rescan.
+    Report,
+    /// Registration/fold racing an uncommitted writer: publish a
+    /// heartbeat event, report while it is in flight (both paths must
+    /// exclude it), commit, report again (both must include it).
+    BlockedReport { sid: usize, micros: i64 },
+}
+
+fn delta_op() -> BoxedStrategy<DeltaOp> {
+    let micros = 1_000_000i64..64_000_000;
+    prop_oneof![
+        3 => (0..4usize, micros.clone()).prop_map(|(sid, micros)| DeltaOp::Heartbeat { sid, micros }),
+        3 => (0..4usize, 0..5usize, micros.clone())
+            .prop_map(|(sid, n, micros)| DeltaOp::Ingest { sid, n, micros }),
+        2 => (0..4usize, 0..5usize).prop_map(|(sid, n)| DeltaOp::SqlInsert { sid, n }),
+        1 => (0..5usize).prop_map(|n| DeltaOp::Delete { n }),
+        3 => Just(DeltaOp::Report),
+        1 => (0..4usize, micros).prop_map(|(sid, micros)| DeltaOp::BlockedReport { sid, micros }),
+    ]
+    .boxed()
+}
+
+/// Reports the same SQL through the delta-maintained session and a
+/// maintenance-free reference session, and demands byte-identical
+/// recency reports (every field, via the Debug render).
+fn check_report_parity(
+    maintained: &trac::core::Session,
+    reference: &trac::core::Session,
+    sql: &str,
+) -> std::result::Result<(), proptest::test_runner::TestCaseError> {
+    let delta = maintained.recency_report(sql).unwrap().report;
+    let rescan = reference.recency_report(sql).unwrap().report;
+    prop_assert_eq!(
+        format!("{:?}", delta),
+        format!("{:?}", rescan),
+        "delta-maintained report diverges from the rescan for {}",
+        sql
+    );
+    Ok(())
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig { cases: 48, ..ProptestConfig::default() })]
+
+    /// Maintenance differential: a random interleaving of heartbeat
+    /// upserts, source-attributed ingests, plain inserts, and deletes,
+    /// with reports interspersed. The session keeps delta-maintained
+    /// state across the whole history (registered mid-stream, folded
+    /// per report, force-rescanned by deletes); a maintenance-disabled
+    /// session rescans every time. Every report — including ones racing
+    /// an uncommitted writer — must be byte-identical between the two.
+    #[test]
+    fn delta_maintained_reports_match_rescans(
+        t_rows in proptest::collection::vec((0..4usize, 0..5usize), 0..6),
+        u_rows in proptest::collection::vec((0..4usize, 0..5usize), 0..4),
+        ops in proptest::collection::vec(delta_op(), 1..14),
+        sql in query_strategy(),
+    ) {
+        use trac::types::{SourceId, Timestamp};
+        let db = setup(&t_rows, &u_rows);
+        let tid = db.begin_read().table_id("t").unwrap();
+        let maintained = trac::core::Session::new(db.clone());
+        let mut reference = trac::core::Session::new(db.clone());
+        reference.exec_options.maintain_reports = false;
+        for op in &ops {
+            match op {
+                DeltaOp::Heartbeat { sid, micros } => {
+                    db.with_write(|w| {
+                        w.heartbeat(&SourceId::new(SIDS[*sid]), Timestamp::from_micros(*micros))
+                    })
+                    .unwrap();
+                }
+                DeltaOp::Ingest { sid, n, micros } => {
+                    db.with_write(|w| {
+                        let ts = Timestamp::from_micros(*micros);
+                        w.ingest(
+                            &SourceId::new(SIDS[*sid]),
+                            tid,
+                            vec![
+                                Value::text(SIDS[*sid]),
+                                if *n == 4 { Value::Null } else { Value::Int(*n as i64) },
+                            ],
+                            ts,
+                        )
+                    })
+                    .unwrap();
+                }
+                DeltaOp::SqlInsert { sid, n } => {
+                    execute_statement(
+                        &db,
+                        &format!("INSERT INTO t VALUES ('{}', {})", SIDS[*sid], int_cell(*n)),
+                    )
+                    .unwrap();
+                }
+                DeltaOp::Delete { n } => {
+                    execute_statement(&db, &format!("DELETE FROM t WHERE n = {n}")).unwrap();
+                }
+                DeltaOp::Report => {
+                    check_report_parity(&maintained, &reference, &sql)?;
+                }
+                DeltaOp::BlockedReport { sid, micros } => {
+                    let w = db.begin_write();
+                    w.heartbeat(&SourceId::new(SIDS[*sid]), Timestamp::from_micros(*micros))
+                        .unwrap();
+                    // In flight: neither path may see the write.
+                    check_report_parity(&maintained, &reference, &sql)?;
+                    w.commit();
+                    // Committed: both must pick it up.
+                    check_report_parity(&maintained, &reference, &sql)?;
+                }
+            }
+        }
+        check_report_parity(&maintained, &reference, &sql)?;
+        // The maintained session must actually have exercised the delta
+        // machinery (registration happens on the first report).
+        prop_assert!(maintained.maintenance_stats().registrations >= 1);
+    }
+}
+
 /// Cells for the float column `x`: finite values with a deliberate
 /// duplicate (2.5 twice, so extremes tie and equality predicates hit
 /// more than one row), NULL, and NaN. NaN has no SQL literal — it can
